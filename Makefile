@@ -1,0 +1,21 @@
+# Convenience targets for the Invisible Bits reproduction.
+
+.PHONY: install test bench report examples clean
+
+install:
+	pip install -e .
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+report:
+	python -m repro report --out invisible_bits_report.txt
+
+examples:
+	for ex in examples/*.py; do echo "== $$ex"; python $$ex; done
+
+clean:
+	rm -rf benchmarks/out .pytest_cache $(shell find . -name __pycache__)

@@ -1,0 +1,35 @@
+"""Benchmark-harness fixtures.
+
+Every bench regenerates one of the paper's tables or figures through
+:mod:`repro.experiments`, checks its paper-shape invariants, and writes the
+rendered table to ``benchmarks/out/<id>.txt`` so EXPERIMENTS.md's measured
+numbers are auditable from a single run of::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _out_dir():
+    OUT_DIR.mkdir(exist_ok=True)
+    return OUT_DIR
+
+
+@pytest.fixture
+def save_report():
+    """Persist an ExperimentResult (or raw text) under benchmarks/out/."""
+
+    def _save(name: str, result) -> None:
+        text = result if isinstance(result, str) else result.to_text()
+        (OUT_DIR / f"{name}.txt").write_text(text + "\n")
+        print("\n" + text)
+
+    return _save

@@ -1,0 +1,18 @@
+"""Ablation bench: number of majority-voted power-on captures (§4.3)."""
+
+from repro.experiments import ablations
+
+
+def test_ablation_capture_votes(benchmark, save_report):
+    result = benchmark.pedantic(
+        ablations.run_capture_votes, rounds=1, iterations=1
+    )
+    save_report("ablation_capture_votes", result)
+
+    errors = dict(result.rows)
+    # The error floor is set by manufacturing mismatch, not capture noise:
+    # even one capture is within half a point of five (the paper's choice
+    # of five is cheap insurance, not a big knob).
+    assert abs(errors[1] - errors[5]) < 0.005
+    # And nine captures buy nothing beyond five.
+    assert abs(errors[9] - errors[5]) < 0.002

@@ -1,0 +1,22 @@
+"""Ablation bench: stream vs block cipher under channel errors (§4.1)."""
+
+from repro.experiments import ablations
+
+
+def test_ablation_cipher_mode(benchmark, save_report):
+    result = benchmark.pedantic(
+        ablations.run_cipher_mode, rounds=1, iterations=1
+    )
+    save_report("ablation_cipher_mode", result)
+
+    rows = {row[0].split()[0]: row for row in result.rows}
+    channel = rows["AES-CTR"][1]
+    ctr_error = rows["AES-CTR"][2]
+    cbc_error = rows["AES-CBC"][2]
+
+    # CTR is error-neutral: message error ~ channel error (0.8%).
+    assert abs(ctr_error - channel) < 0.003
+    # CBC amplifies it by more than an order of magnitude toward 50%
+    # (paper: "0.8% ... into an error rate of 50%").
+    assert cbc_error > 25 * channel
+    assert cbc_error > 0.2

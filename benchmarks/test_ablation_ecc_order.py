@@ -1,0 +1,20 @@
+"""Ablation bench: ECC composition order (paper footnote 7)."""
+
+from repro.experiments import ablations
+
+
+def test_ablation_ecc_order(benchmark, save_report):
+    result = benchmark.pedantic(ablations.run_ecc_order, rounds=1, iterations=1)
+    save_report("ablation_ecc_order", result)
+
+    rows = {row[0]: row for row in result.rows}
+    forward = rows["Hamming then repetition"]
+    reverse = rows["repetition then Hamming"]
+
+    # Same rate either way.
+    assert abs(forward[1] - reverse[1]) < 1e-12
+    # Footnote 7: "the order of ECCs does not significantly affect the
+    # overall error rate" — both residuals are small and close.
+    assert forward[2] < 0.01
+    assert reverse[2] < 0.01
+    assert abs(forward[2] - reverse[2]) < 0.005

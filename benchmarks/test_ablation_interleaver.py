@@ -1,0 +1,19 @@
+"""Ablation bench: interleaving against bursty adversarial damage."""
+
+from repro.experiments import ablations
+
+
+def test_ablation_interleaver(benchmark, save_report):
+    result = benchmark.pedantic(
+        ablations.run_interleaver, rounds=1, iterations=1
+    )
+    save_report("ablation_interleaver", result)
+
+    rows = {row[0]: row for row in result.rows}
+    bare = rows["Hamming(7,4) alone"][2]
+    stacked = rows["Hamming(7,4) + interleaver"][2]
+
+    # A burst overwhelms bare Hamming blocks but is fully spread (one error
+    # per codeword) by the interleaver.
+    assert bare > 0.0
+    assert stacked == 0.0

@@ -1,0 +1,20 @@
+"""Ablation bench: power-up noise vs majority voting."""
+
+from repro.experiments import ablation_noise
+
+
+def test_ablation_noise(benchmark, save_report):
+    result = benchmark.pedantic(ablation_noise.run, rounds=1, iterations=1)
+    save_report("ablation_noise", result)
+
+    rows = {row[0]: row for row in result.rows}
+    # Noisier processes hurt single captures (endpoints of the sweep).
+    singles = [rows[s][1] for s in sorted(rows)]
+    assert singles[-1] > singles[0]
+    # Voting's benefit grows with noise and becomes material at 0.30...
+    gains = [rows[s][3] for s in sorted(rows)]
+    assert gains[-1] > gains[0]
+    assert gains[-1] > 0.005
+    # ...and voted error stays anchored near the mismatch floor throughout.
+    for sigma, row in rows.items():
+        assert row[2] < 0.11, sigma

@@ -1,0 +1,17 @@
+"""Bench: Figure 2 — 6T power-up waveforms pre/post aging."""
+
+from repro.experiments import fig02_waveforms
+
+
+def test_fig02_powerup_waveforms(benchmark, save_report):
+    data = benchmark.pedantic(fig02_waveforms.run, rounds=1, iterations=1)
+    save_report("fig02_powerup_waveforms", data.result)
+
+    # Fresh cell powers on to 1 (M4 wins the race); aged cell flips to 0.
+    assert data.fresh.power_on_state == 1
+    assert data.aged.power_on_state == 0
+    assert data.fresh.resolved and data.aged.resolved
+    # Nodes settle within the paper's ~2 ns scale.
+    assert data.fresh.settle_time_s < 5e-9
+    # The full waveforms (the plotted series) are available.
+    assert len(data.fresh.waveform_rows()) > 1000

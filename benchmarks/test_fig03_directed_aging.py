@@ -1,0 +1,52 @@
+"""Bench: Figure 3 — software-directed and accelerated aging."""
+
+from repro.experiments import fig03_directed_aging
+
+
+def test_fig03_directed_aging(benchmark, save_report):
+    data = benchmark.pedantic(fig03_directed_aging.run, rounds=1, iterations=1)
+    save_report("fig03_abc_directed_aging", data.result_abc)
+    save_report("fig03_d_accelerated_aging", data.result_d)
+
+    from collections import defaultdict
+
+    from repro.experiments.asciichart import ascii_chart
+
+    corners = defaultdict(dict)
+    for vdd, temp, hrs, ones in data.result_d.rows:
+        corners[(vdd, temp)][hrs] = ones
+    hours_axis = sorted(next(iter(corners.values())))
+    save_report(
+        "fig03d_chart",
+        ascii_chart(
+            hours_axis,
+            {
+                f"{v}V/{t:.0f}C": [corners[(v, t)][h] for h in hours_axis]
+                for (v, t) in sorted(corners)
+            },
+            title="Figure 3d: %1s vs stress time per (V, T) corner",
+            x_label="stress hours", y_label="% of 1s",
+        ),
+    )
+
+    by_panel = {row[0]: row for row in data.result_abc.rows}
+    fresh_to1 = by_panel["(a) unaged"][1]
+    # (b) stress holding 0 grows the 1-biased population...
+    assert by_panel["(b) aged holding 0"][1] > fresh_to1 + 0.15
+    # ...(c) stress holding 1 grows the 0-biased population.
+    assert by_panel["(c) aged holding 1"][2] > by_panel["(a) unaged"][2] + 0.15
+
+    # (d): final %1s per corner after 4 h, ordered by acceleration.
+    final = {
+        (row[0], row[1]): row[3]
+        for row in data.result_d.rows
+        if row[2] == 4.0
+    }
+    nominal = final[(1.2, 25.0)]
+    hot = final[(1.2, 85.0)]
+    high_v = final[(3.3, 25.0)]
+    both = final[(3.3, 85.0)]
+    # All-1s stress pushes %1s DOWN; voltage is the bigger knob (Fig 3d).
+    assert both < high_v < hot < nominal
+    assert nominal > 49.5  # nominal conditions barely move
+    assert both < 30.0  # the accelerated corner moves a lot

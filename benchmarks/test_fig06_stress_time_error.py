@@ -1,0 +1,40 @@
+"""Bench: Figure 6 — error vs stress time across five devices."""
+
+from repro.experiments import fig06_stress_time
+
+
+def test_fig06_stress_time_error(benchmark, save_report):
+    result = benchmark.pedantic(fig06_stress_time.run, rounds=1, iterations=1)
+    save_report("fig06_stress_time_error", result)
+
+    from repro.experiments.asciichart import ascii_chart
+
+    save_report(
+        "fig06_chart",
+        ascii_chart(
+            result.column("hours"),
+            {
+                "mean": result.column("mean_error"),
+                "min": result.column("min_error"),
+                "max": result.column("max_error"),
+            },
+            title="Figure 6: error (%) vs stress time (h), five devices",
+            x_label="stress hours", y_label="error %",
+        ),
+    )
+
+    means = result.column("mean_error")
+    mins = result.column("min_error")
+    maxs = result.column("max_error")
+    hours = result.column("hours")
+
+    # Error falls monotonically with stress time.
+    assert means == sorted(means, reverse=True)
+    # Paper endpoints: ~33% at 2 h, ~5-7% at 10 h.
+    assert 25.0 < means[hours.index(2)] < 40.0
+    assert 3.0 < means[hours.index(10)] < 9.0
+    # Device-to-device band exists and brackets the mean.
+    for lo, mid, hi in zip(mins, means, maxs):
+        assert lo <= mid <= hi
+    # §5.3: the best device approaches ~2.7% at 10 h.
+    assert mins[hours.index(10)] < 4.5

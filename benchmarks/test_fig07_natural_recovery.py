@@ -1,0 +1,39 @@
+"""Bench: Figure 7 — natural recovery over 14 weeks."""
+
+from repro.experiments import fig07_recovery
+
+
+def test_fig07_natural_recovery(benchmark, save_report):
+    result = benchmark.pedantic(fig07_recovery.run, rounds=1, iterations=1)
+    save_report("fig07_natural_recovery", result)
+
+    from repro.experiments.asciichart import ascii_chart
+
+    save_report(
+        "fig07_chart",
+        ascii_chart(
+            result.column("week"),
+            {
+                "normalized error": result.column("normalized_error"),
+                "recovery rate %": result.column("recovery_rate_pct"),
+            },
+            title="Figure 7: recovery over 14 shelved weeks",
+            x_label="weeks", y_label="x baseline / % per week",
+        ),
+    )
+
+    weeks = result.column("week")
+    normalized = result.column("normalized_error")
+    errors = result.column("error")
+    rates = result.column("recovery_rate_pct")
+
+    # Error grows monotonically (within one vote of noise).
+    assert normalized[-1] > normalized[4] > normalized[0]
+    # Paper: ~1.6x after one month, still within 10%...
+    month = normalized[weeks.index(4)]
+    assert 1.4 < month < 1.9
+    assert errors[weeks.index(4)] < 0.12
+    # ...about 2x at 14 weeks.
+    assert 1.7 < normalized[-1] < 2.3
+    # Recovery rate decays: early weeks recover faster than late weeks.
+    assert rates[1] > max(rates[-3:])

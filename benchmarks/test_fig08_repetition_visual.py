@@ -1,0 +1,21 @@
+"""Bench: Figure 8 — repetition-code visual cleanup."""
+
+from repro.experiments import fig08_repetition_visual
+
+
+def test_fig08_repetition_visual(benchmark, save_report):
+    panels = benchmark.pedantic(
+        fig08_repetition_visual.run, rounds=1, iterations=1
+    )
+    save_report("fig08_repetition_visual", panels.result)
+
+    errors = dict(panels.result.rows)
+    # More copies, cleaner image (monotone within noise).
+    assert errors[7] < errors[3] < errors[1]
+    assert errors[5] < errors[1]
+    # The 1-copy image is visibly noisy at the short 4 h stress...
+    assert errors[1] > 0.05
+    # ...and 7 copies clean most of it up.
+    assert errors[7] < errors[1] / 3
+    # The decoded bitmaps are exported for rendering.
+    assert set(panels.images) == {1, 3, 5, 7}

@@ -1,0 +1,41 @@
+"""Bench: Figure 9 — error vs copies at three stress budgets."""
+
+from collections import defaultdict
+
+from repro.experiments import fig09_copies_stress
+
+
+def test_fig09_copies_vs_stress(benchmark, save_report):
+    result = benchmark.pedantic(fig09_copies_stress.run, rounds=1, iterations=1)
+    save_report("fig09_copies_vs_stress", result)
+
+    curves = defaultdict(dict)
+    for hours, copies, error in result.rows:
+        curves[hours][copies] = error
+
+    from repro.experiments.asciichart import ascii_chart
+
+    copies_axis = sorted(curves[2.0])
+    save_report(
+        "fig09_chart",
+        ascii_chart(
+            copies_axis,
+            {
+                f"{h:.0f} h": [curves[h][c] for c in copies_axis]
+                for h in sorted(curves)
+            },
+            title="Figure 9: error (%) vs payload copies at 2/4/6 h",
+            x_label="copies", y_label="error %",
+        ),
+    )
+
+    # Longer stress gives a lower curve at every copy count (within noise).
+    for copies in (1, 5, 9):
+        assert curves[6.0][copies] < curves[4.0][copies] < curves[2.0][copies]
+    # Copies reduce error along each curve.
+    for hours, curve in curves.items():
+        assert curve[19] < curve[7] < curve[1], hours
+    # Diminishing returns: the first copies help more than the last.
+    gain_early = curves[4.0][1] - curves[4.0][5]
+    gain_late = curves[4.0][15] - curves[4.0][19]
+    assert gain_early > 5 * max(gain_late, 1e-9)

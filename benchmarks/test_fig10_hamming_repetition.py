@@ -1,0 +1,39 @@
+"""Bench: Figure 10 — repetition + Hamming(7,4) vs theory."""
+
+from repro.experiments import fig10_hamming
+
+
+def test_fig10_hamming_repetition(benchmark, save_report):
+    result = benchmark.pedantic(fig10_hamming.run, rounds=1, iterations=1)
+    save_report("fig10_hamming_repetition", result)
+
+    copies = result.column("copies")
+    theory = result.column("theoretical_pct")
+    repetition = result.column("repetition_pct")
+    combined = result.column("rep_hamming_pct")
+
+    from repro.experiments.asciichart import ascii_chart
+
+    save_report(
+        "fig10_chart",
+        ascii_chart(
+            copies,
+            {
+                "theoretical": theory,
+                "repetition": repetition,
+                "rep+hamming": combined,
+            },
+            title="Figure 10: residual error (%) vs copies",
+            x_label="copies", y_label="error %",
+        ),
+    )
+
+    # The measured repetition curve follows the Equation-1 prediction.
+    for t, r in zip(theory, repetition):
+        assert abs(t - r) < max(1.5, 0.5 * t)
+    # Paper: repetition alone hits zero by ~13 copies at the 6.5% channel.
+    assert repetition[copies.index(13)] < 0.05
+    # The combination reaches (near) zero with far fewer copies.
+    assert combined[copies.index(5)] < 0.05
+    for c, r in zip(combined, repetition):
+        assert c <= r + 1e-9

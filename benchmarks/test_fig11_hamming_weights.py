@@ -1,0 +1,40 @@
+"""Bench: Figure 11 — block Hamming-weight distributions."""
+
+from repro.experiments import fig11_weights
+
+
+def test_fig11_hamming_weights(benchmark, save_report):
+    data = benchmark.pedantic(fig11_weights.run, rounds=1, iterations=1)
+    save_report("fig11_hamming_weights", data.result)
+
+    from repro.experiments.asciichart import ascii_chart
+
+    axis = data.densities["no hidden message"][0][30:100].tolist()
+    save_report(
+        "fig11_chart",
+        ascii_chart(
+            axis,
+            {
+                name: density[30:100].tolist()
+                for name, (weights, density) in data.densities.items()
+            },
+            title="Figure 11: block Hamming-weight density (weights 30-99)",
+            x_label="hamming weight", y_label="density",
+        ),
+    )
+
+    rows = {row[0]: row for row in data.result.rows}
+    clean_mean, clean_std = rows["no hidden message"][1:]
+    plain_mean, plain_std = rows["hidden message (plain-text)"][1:]
+    enc_mean, enc_std = rows["hidden message (encrypted)"][1:]
+
+    # Clean devices: binomial bell around 64 with sigma ~ 5.7.
+    assert abs(clean_mean - 64.0) < 1.5
+    assert 4.5 < clean_std < 7.0
+    # Plaintext payload: visibly wider/skewed distribution.
+    assert plain_std > 2.0 * clean_std
+    # Encrypted payload: matches the clean bell.
+    assert abs(enc_mean - clean_mean) < 1.0
+    assert abs(enc_std - clean_std) < 1.0
+    # The plotted densities are exported for all three classes.
+    assert len(data.densities) == 3

@@ -1,0 +1,15 @@
+"""Bench: Figure 13 — the end-to-end steganography system."""
+
+from repro.experiments import fig13_end_to_end
+
+
+def test_fig13_end_to_end(benchmark, save_report):
+    result = benchmark.pedantic(fig13_end_to_end.run, rounds=1, iterations=1)
+    save_report("fig13_end_to_end", result)
+
+    rows = dict(result.rows)
+    # Raw channel around the Table 4 bit rate...
+    assert 0.04 < rows["raw channel error"] < 0.10
+    # ...and the message comes back exactly through key + ECC.
+    assert rows["message recovered exactly"] is True
+    assert rows["stress hours"] == 10.0

@@ -1,0 +1,22 @@
+"""Bench: Figure 14 — the multiple-snapshot adversary."""
+
+from repro.experiments import fig14_multisnapshot
+
+
+def test_fig14_multisnapshot(benchmark, save_report):
+    data = benchmark.pedantic(fig14_multisnapshot.run, rounds=1, iterations=1)
+    save_report("fig14_multisnapshot", data.result)
+
+    rows = {row[0]: row for row in data.result.rows}
+    # Every snapshot's weight distribution centres near 64 and stays
+    # spatially random — encoding is invisible at every point in time.
+    for label, (name, weight, stat, flips) in rows.items():
+        assert abs(weight - 64.0) < 2.0, label
+        assert abs(stat) < 0.03, label
+    # Post-encode snapshot-to-snapshot flips are measurement-noise sized
+    # (m1 vs m2 back-to-back, and across 1 h / 1 day / 1 week recovery).
+    for label in ("encoded (m2)", "one hour recovery", "one day recovery",
+                  "one week recovery"):
+        assert rows[label][3] < 0.05, label
+    # The week-long drift stays the same order as back-to-back noise.
+    assert rows["one week recovery"][3] < 12 * max(rows["encoded (m2)"][3], 1e-3)

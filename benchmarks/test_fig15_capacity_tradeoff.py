@@ -1,0 +1,48 @@
+"""Bench: Figure 15 — capacity/error trade-off per device class."""
+
+from collections import defaultdict
+
+from repro.experiments import fig15_tradeoff
+
+
+def test_fig15_capacity_tradeoff(benchmark, save_report):
+    result = benchmark.pedantic(fig15_tradeoff.run, rounds=1, iterations=1)
+    save_report("fig15_capacity_tradeoff", result)
+
+    curves = defaultdict(dict)
+    for device, copies, capacity, error in result.rows:
+        curves[device][copies] = (capacity, error)
+
+    from repro.experiments.asciichart import ascii_chart
+
+    copies_axis = sorted(next(iter(curves.values())))
+    save_report(
+        "fig15_chart",
+        ascii_chart(
+            [curves["MSP432P401"][c][0] for c in copies_axis],
+            {
+                device: [curves[device][c][1] for c in copies_axis]
+                for device in sorted(curves)
+            },
+            title="Figure 15: error (%) vs capacity (%) per device",
+            x_label="capacity %", y_label="error %",
+        ),
+    )
+
+    assert set(curves) == {
+        "ATSAML11E16A", "MSP432P401", "LPC55S69JBD100", "BCM2837",
+    }
+    # At every copy count the paper's device ordering holds: the
+    # lowest-channel-error device has the lowest residual error.
+    for copies in (1, 5, 9, 17):
+        errors = {d: curves[d][copies][1] for d in curves}
+        assert (
+            errors["ATSAML11E16A"]
+            < errors["MSP432P401"]
+            < errors["LPC55S69JBD100"]
+            < errors["BCM2837"]
+        )
+    # Within a device, error falls as capacity is spent on copies.
+    for device, curve in curves.items():
+        errs = [curve[c][1] for c in sorted(curve)]
+        assert errs == sorted(errs, reverse=True), device

@@ -1,0 +1,68 @@
+"""Performance microbenchmarks of the substrate hot paths.
+
+Unlike the experiment benches (one-shot regenerations), these run multiple
+rounds to give honest throughput numbers for the operations every
+experiment leans on: power-on sampling of a full-size 64 KiB array, bulk
+AES-CTR keystream generation, Hamming decode, and Moran's I over a full
+die grid.
+"""
+
+import numpy as np
+import pytest
+
+from repro.crypto import AesCtr
+from repro.device.catalog import device_spec
+from repro.ecc import hamming_7_4
+from repro.sram import SRAMArray
+from repro.stats import morans_i
+
+
+@pytest.fixture(scope="module")
+def full_size_array():
+    """A full 64 KiB MSP432 SRAM (524,288 cells)."""
+    tech = device_spec("MSP432P401").technology
+    return SRAMArray.from_kib(64, tech, rng=0)
+
+
+def test_perf_power_cycle_64kib(benchmark, full_size_array):
+    """Sampling one power-on state of a full-size array."""
+    result = benchmark(full_size_array.power_cycle)
+    assert result.size == 64 * 1024 * 8
+
+
+def test_perf_stress_step_64kib(benchmark, full_size_array):
+    """One aging step over a full-size array (the encode inner loop)."""
+    arr = full_size_array
+    if not arr.powered:
+        arr.apply_power()
+
+    def step():
+        arr.hold(60.0)
+
+    benchmark(step)
+
+
+def test_perf_aes_ctr_keystream(benchmark):
+    """64 KiB of AES-CTR keystream (one full SRAM image's envelope)."""
+    ctr = AesCtr(b"0123456789abcdef", b"perf-nonce12")
+    out = benchmark(ctr.keystream, 64 * 1024)
+    assert out.size == 64 * 1024
+
+
+def test_perf_hamming_decode(benchmark):
+    """Hamming(7,4) decode of a 64 KiB-equivalent coded stream."""
+    code = hamming_7_4()
+    rng = np.random.default_rng(0)
+    data = rng.integers(0, 2, 4 * 10_000).astype(np.uint8)
+    coded = code.encode(data)
+    noisy = coded ^ (rng.random(coded.size) < 0.01).astype(np.uint8)
+    decoded = benchmark(code.decode, noisy)
+    assert decoded.size == data.size
+
+
+def test_perf_morans_i_full_grid(benchmark):
+    """Moran's I over a full 64 KiB die grid (2048 x 256)."""
+    rng = np.random.default_rng(1)
+    bits = rng.integers(0, 2, (2048, 256)).astype(np.float64)
+    result = benchmark(morans_i, bits)
+    assert abs(result.statistic) < 0.02

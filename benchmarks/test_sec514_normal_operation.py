@@ -1,0 +1,19 @@
+"""Bench: §5.1.4 — error growth under normal device operation."""
+
+from repro.experiments import sec514_normal_operation
+
+
+def test_sec514_normal_operation(benchmark, save_report):
+    result = benchmark.pedantic(
+        sec514_normal_operation.run, rounds=1, iterations=1
+    )
+    save_report("sec514_normal_operation", result)
+
+    rows = {row[0]: row for row in result.rows}
+    operated = rows["normal operation"][3]
+    shelved = rows["shelved"][3]
+    # Paper: ~1.2x under operation vs ~1.4x shelved — operation reinforces
+    # the encoding half the time.
+    assert 1.05 < operated < 1.40
+    assert 1.25 < shelved < 1.55
+    assert operated < shelved

@@ -1,0 +1,26 @@
+"""Bench: §7.2 — aging complex (regulated) systems."""
+
+from repro.experiments import sec72_complex_systems
+
+
+def test_sec72_complex_systems(benchmark, save_report):
+    result = benchmark.pedantic(
+        sec72_complex_systems.run, rounds=1, iterations=1
+    )
+    save_report("sec72_complex_systems", result)
+
+    rows = {row[0]: row for row in result.rows}
+    intact = rows["regulator intact, rail at 5.5 V"]
+    bypassed = rows["inductor-pin bypass, core at 2.2 V"]
+    control = rows["bypassed, nominal 1.2 V (control)"]
+
+    # The intact regulator clamps the core at its 1.2 V output...
+    assert intact[1] == 1.2
+    # ...so even a full 120 h recipe encodes nearly nothing.
+    assert intact[2] > 0.42
+    # The bypass lets the elevated rail reach the cells...
+    assert bypassed[1] == 2.2
+    # ...and the full recipe lands at Table 4's ~20.8% error.
+    assert bypassed[2] < 0.25
+    # Nominal conditions are the no-op control either way.
+    assert control[2] > 0.42

@@ -1,0 +1,18 @@
+"""Bench: §7.4 — adversarial aging and the receiver's restore."""
+
+from repro.experiments import sec74_adversarial
+
+
+def test_sec74_adversarial_aging(benchmark, save_report):
+    result = benchmark.pedantic(sec74_adversarial.run, rounds=1, iterations=1)
+    save_report("sec74_adversarial_aging", result)
+
+    rows = {row[0]: row for row in result.rows}
+    attack_factor = rows["after adversarial aging"][2]
+    restore_factor = rows["after receiver restore"][2]
+
+    # Paper: one hour of power-on-state aging costs ~1.12x error...
+    assert 1.03 < attack_factor < 1.35
+    # ...and re-encoding brings it back to ~1x (paper: 0.98x).
+    assert 0.85 < restore_factor < 1.08
+    assert restore_factor < attack_factor

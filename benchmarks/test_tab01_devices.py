@@ -1,0 +1,20 @@
+"""Bench: Table 1 — the device population with verified feasibility."""
+
+from repro.experiments import tab01_devices
+
+
+def test_tab01_devices(benchmark, save_report):
+    result = benchmark.pedantic(tab01_devices.run, rounds=1, iterations=1)
+    save_report("tab01_devices", result)
+
+    assert len(result.rows) == 12  # all of the paper's Table 1
+    for row in result.rows:
+        name, core, sram, flash, access, aging, mfr = row
+        # Both feasibility checkmarks hold for every device, as in Table 1.
+        assert access is True, name
+        assert aging is True, name
+    names = result.column("device")
+    assert names[0] == "MSP430G2553" and names[-1] == "BCM2837"
+    # The cache-based device reports zero on-chip Flash, as in the paper.
+    by_name = {row[0]: row for row in result.rows}
+    assert by_name["BCM2837"][3] == 0

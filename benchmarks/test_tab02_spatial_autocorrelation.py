@@ -1,0 +1,18 @@
+"""Bench: Table 2 — spatial autocorrelation of power-on states."""
+
+from repro.experiments import tab02_spatial
+
+
+def test_tab02_spatial_autocorrelation(benchmark, save_report):
+    result = benchmark.pedantic(tab02_spatial.run, rounds=1, iterations=1)
+    save_report("tab02_spatial_autocorrelation", result)
+
+    for condition, sram, stat, p_value in result.rows:
+        # All measurements are near zero: spatially random patterns
+        # (paper Table 2 reports 0.004-0.011).
+        assert abs(stat) < 0.03, (condition, sram, stat)
+    stressed = [row for row in result.rows if row[0].startswith("Stressed")]
+    assert len(stressed) == 2
+    # Errors after single-value stress stay spatially random.
+    for condition, _, stat, _ in stressed:
+        assert abs(stat) < 0.02, condition

@@ -1,0 +1,28 @@
+"""Bench: Table 3 and §5.3 — comparison against the Flash baselines."""
+
+from repro.experiments import tab03_comparison
+from repro.flashsteg.comparison import capacity_advantage
+
+
+def test_tab03_comparison(benchmark, save_report):
+    result = benchmark.pedantic(tab03_comparison.run, rounds=1, iterations=1)
+    save_report("tab03_comparison", result)
+
+    rows = {row[0].split()[0]: row for row in result.rows}
+
+    # Capacity: Invisible Bits is two orders of magnitude above either
+    # Flash scheme at matched residual error.
+    ib_cap = rows["Invisible"][1]
+    assert ib_cap > 100 * rows["Wang"][1]
+    assert ib_cap > 100 * rows["Zuck"][1]
+
+    # Resilience: the Zuck stash dies to a digital-no-op rewrite; Wang's
+    # wear survives; Invisible Bits survives (and still decodes).
+    assert rows["Zuck"][2] is False
+    assert rows["Wang"][2] is True
+    assert rows["Invisible"][2] is True
+    assert rows["Invisible"][3] is True
+
+    # §5.3 arithmetic: ~100x (recipe device) and ~160x (selected device).
+    assert capacity_advantage() > 90
+    assert capacity_advantage(sram_capacity_fraction=1 / 3) > 150

@@ -1,0 +1,22 @@
+"""Bench: Table 4 — per-device encoding summary."""
+
+from repro.experiments import tab04_devices
+
+
+def test_tab04_devices(benchmark, save_report):
+    result = benchmark.pedantic(tab04_devices.run, rounds=1, iterations=1)
+    save_report("tab04_devices", result)
+
+    for device, _, _, temp, measured, paper, hours in result.rows:
+        # Measured bit rate within 2 points of the paper's (Table 4).
+        assert abs(measured - paper) < 2.0, device
+        assert temp == 85.0
+        assert hours > 0
+
+    by_name = {row[0]: row for row in result.rows}
+    # Paper's ordering: SAML11 best, BCM2837 (cache, lowest overdrive) worst.
+    assert by_name["ATSAML11E16A"][4] > by_name["MSP432P401"][4]
+    assert by_name["MSP432P401"][4] > by_name["LPC55S69JBD100"][4]
+    assert by_name["LPC55S69JBD100"][4] > by_name["BCM2837"][4]
+    # Abstract: "over 90% capacity" on the main-memory MCU class.
+    assert by_name["MSP432P401"][4] > 90.0

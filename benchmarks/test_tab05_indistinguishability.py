@@ -1,0 +1,29 @@
+"""Bench: Table 5 and the §6 Welch's t-test — plausible deniability."""
+
+from repro.experiments import tab05_indistinguishability
+
+
+def test_tab05_indistinguishability(benchmark, save_report):
+    data = benchmark.pedantic(
+        tab05_indistinguishability.run, rounds=1, iterations=1
+    )
+    save_report("tab05_indistinguishability", data.result)
+
+    plain = [r for r in data.result.rows if r[0].endswith("(no encryption)")]
+    clean = [r for r in data.result.rows if r[0] == "No hidden message"]
+    encrypted = [r for r in data.result.rows if r[0].endswith("(encrypted)")]
+
+    # Plaintext payloads: strong spatial autocorrelation and biased states
+    # (paper: I ~ 0.4-0.5, bias ~ 0.535).
+    for _, stat, bias in plain:
+        assert stat > 0.1
+        assert abs(bias - 0.5) > 0.01
+    # Clean and encrypted devices: both near-random and unbiased
+    # (paper: I < 0.01, bias ~ 0.50).
+    for _, stat, bias in clean + encrypted:
+        assert abs(stat) < 0.03
+        assert abs(bias - 0.5) < 0.015
+
+    # §6: the adversary's t-test cannot reject the null (paper p = 0.071).
+    assert not data.null_rejected
+    assert data.welch_p_one_tailed > 0.05

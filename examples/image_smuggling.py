@@ -1,0 +1,80 @@
+"""Figure 1, live: smuggle a bitmap image through SRAM's analog domain.
+
+Shows the three encodings the paper contrasts:
+  1. the raw bitmap encoded directly (recoverable, but *visible* to
+     steganalysis of the power-on state);
+  2. the bitmap behind ECC (recovered pixel-perfect);
+  3. the bitmap encrypted before encoding (invisible to steganalysis).
+
+Run:  python examples/image_smuggling.py
+"""
+
+import numpy as np
+
+from repro import ControlBoard, InvisibleBits, make_device, paper_end_to_end_code
+from repro.bitutils import bits_to_bytes, bytes_to_bits, invert_bits
+from repro.core.payloads import logo_bitmap, render_bitmap
+from repro.core.steganalysis import analyze_power_on_state
+
+KEY = b"image-demo-key16"
+
+
+def show(title: str, bits, width: int) -> None:
+    print(f"\n--- {title} ---")
+    print(render_bitmap(bits, width))
+
+
+def main() -> None:
+    logo = logo_bitmap(scale=2)
+    height, width = logo.shape
+    image_bits = logo.ravel()
+    show("the secret image", image_bits, width)
+
+    # 1. Raw encode: write the bitmap, stress, read the power-on state.
+    device = make_device("MSP432P401", rng=11, sram_kib=2)
+    board = ControlBoard(device)
+    payload = np.tile(image_bits, -(-device.sram.n_bits // image_bits.size))
+    payload = payload[: device.sram.n_bits]
+    board.encode_message(payload, use_firmware=False)
+    state = board.majority_power_on_state(5)
+    show("power-on state after raw encode (inverted)",
+         invert_bits(state)[: image_bits.size], width)
+    report = analyze_power_on_state(state, device.sram.grid_shape())
+    print(f"adversary's verdict on the raw encode: "
+          f"{'SUSPICIOUS' if report.looks_encoded() else 'clean'} "
+          f"(Moran's I = {report.morans_i.statistic:.3f})")
+
+    # 2. With the paper's ECC stack: pixel-perfect recovery.
+    device2 = make_device("MSP432P401", rng=12, sram_kib=2)
+    channel = InvisibleBits(
+        ControlBoard(device2), ecc=paper_end_to_end_code(7), use_firmware=False
+    )
+    padded = np.concatenate(
+        [image_bits, np.zeros((-image_bits.size) % 8, dtype=np.uint8)]
+    )
+    channel.send(bits_to_bytes(padded))
+    recovered = bytes_to_bits(channel.receive().message)[: image_bits.size]
+    show("image recovered through ECC", recovered, width)
+    errors = int(np.count_nonzero(recovered != image_bits))
+    print(f"pixel errors after ECC: {errors}")
+
+    # 3. Encrypted: same recovery, but the power-on state reveals nothing.
+    device3 = make_device("MSP432P401", rng=13, sram_kib=2)
+    board3 = ControlBoard(device3)
+    channel3 = InvisibleBits(
+        board3, key=KEY, ecc=paper_end_to_end_code(7), use_firmware=False
+    )
+    channel3.send(bits_to_bytes(padded))
+    state3 = board3.majority_power_on_state(5)
+    report3 = analyze_power_on_state(state3, device3.sram.grid_shape())
+    print(f"\nadversary's verdict on the encrypted encode: "
+          f"{'SUSPICIOUS' if report3.looks_encoded() else 'clean'} "
+          f"(Moran's I = {report3.morans_i.statistic:.3f}, "
+          f"bias = {report3.mean_bias:.3f})")
+    recovered3 = bytes_to_bits(channel3.receive().message)[: image_bits.size]
+    assert np.array_equal(recovered3, image_bits)
+    print("encrypted round trip: pixel-perfect")
+
+
+if __name__ == "__main__":
+    main()

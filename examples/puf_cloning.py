@@ -1,0 +1,56 @@
+"""Cloning an SRAM PUF with directed aging (the paper's footnote 2).
+
+The paper conjectures that "the results of our extreme/controlled aging
+suggest that it is possible to clone SRAM PUFs."  This example quantifies
+it: enroll a victim device's power-on fingerprint, derive a key through a
+fuzzy extractor, then forge a blank device into the victim's identity by
+aging it while it holds the fingerprint's complement — and watch the clone
+authenticate AND reproduce the victim's key.
+
+Run:  python examples/puf_cloning.py
+"""
+
+from repro import make_device
+from repro.puf import FuzzyExtractor, SramPuf, clone_power_on_state, degrade_puf
+
+
+def main() -> None:
+    # --- a service enrolls the victim device's PUF
+    victim = make_device("MSP432P401", rng=501, sram_kib=2)
+    victim_puf = SramPuf(victim)
+    enrollment = victim_puf.enroll()
+    extractor = FuzzyExtractor(copies=15, secret_bits=128)
+    key, helper = extractor.generate(victim_puf.response(), rng=9)
+    print(f"victim enrolled: {enrollment.n_bits} bits, key {key.hex()[:16]}...")
+
+    ok, distance = victim_puf.authenticate(enrollment)
+    print(f"victim authenticates: {ok} (distance {distance:.1%})")
+
+    # --- the attacker gets one read of the fingerprint (e.g. a debug port
+    # left open) and a blank device of the same model.
+    fingerprint = victim_puf.response()
+    blank = make_device("MSP432P401", rng=502, sram_kib=2)
+    print("\nattacker ages a blank device against the stolen fingerprint...")
+    result = clone_power_on_state(fingerprint, blank)
+    print(f"  before: {result.baseline_distance:.1%} distance (unrelated device)")
+    print(f"  after {result.stress_hours:.0f} h directed aging: "
+          f"{result.clone_distance:.1%} distance")
+
+    clone_puf = SramPuf(blank)
+    ok, distance = clone_puf.authenticate(enrollment)
+    print(f"clone authenticates as the victim: {ok} (distance {distance:.1%})")
+
+    cloned_key = extractor.reproduce(clone_puf.response(), helper)
+    print(f"clone reproduces the victim's key: {cloned_key == key}")
+
+    # --- the same knob as a denial of service (footnote 2's citation [37])
+    print("\nthe same aging, pointed at the victim itself, is a DoS:")
+    before, after = degrade_puf(victim, enrollment, stress_hours=4.0)
+    print(f"  victim's distance to its own enrollment: "
+          f"{before:.1%} -> {after:.1%} (threshold 20%)")
+    ok, _ = victim_puf.authenticate(enrollment)
+    print(f"  victim still authenticates: {ok}")
+
+
+if __name__ == "__main__":
+    main()

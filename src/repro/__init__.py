@@ -1,0 +1,150 @@
+"""Invisible Bits — a full-system reproduction of Mahmod & Hicks, ASPLOS 2022.
+
+Hide messages in the analog domain of SRAM by directing NBTI aging, and
+recover them from power-on states.  The physical devices of the paper are
+replaced by a calibrated physics simulator (see DESIGN.md section 2);
+everything host-side — ECC, AES-CTR, statistics, planning — is implemented
+in full and usable against real captures.
+
+Quickstart::
+
+    from repro import InvisibleBits, make_device, ControlBoard, paper_end_to_end_code
+
+    device = make_device("MSP432P401", rng=1, sram_kib=8)
+    board = ControlBoard(device)
+    channel = InvisibleBits(board, key=b"0123456789abcdef", ecc=paper_end_to_end_code())
+    channel.send(b"meet at the dead drop at dawn")
+    print(channel.receive().message)
+"""
+
+from .bitutils import (
+    bit_error_rate,
+    bits_to_bytes,
+    bytes_to_bits,
+    hamming_distance,
+    hamming_weight,
+    invert_bits,
+    majority_vote,
+)
+from .core import (
+    ChannelModel,
+    DecodeResult,
+    EncodeResult,
+    FrameFormat,
+    InvisibleBits,
+    MultipleSnapshotAdversary,
+    SteganalysisReport,
+    adversarial_aging_attack,
+    analyze_power_on_state,
+    bsc_capacity,
+    capacity_error_tradeoff,
+    compare_device_populations,
+    measure_channel_error,
+    normal_operation_effect,
+    parallel_device_selection,
+    plan_scheme,
+    restore_encoding,
+)
+from .crypto import AES, AesCbc, AesCtr, NormalOperationPrng, nonce_from_device_id
+from .device import (
+    DebugPort,
+    Device,
+    DeviceSpec,
+    EncodingRecipe,
+    all_device_specs,
+    device_spec,
+    make_device,
+)
+from .ecc import (
+    BCHCode,
+    BlockInterleaver,
+    Code,
+    ConcatenatedCode,
+    HammingCode,
+    RepetitionCode,
+    hamming_3_1,
+    hamming_7_4,
+)
+from .ecc.product import paper_end_to_end_code
+from .errors import ReproError
+from .harness import ControlBoard, PowerSupply, ThermalChamber
+from .harness.rack import EncodingRack
+from .io import load_captures, save_captures
+from .puf import (
+    FuzzyExtractor,
+    PowerOnTrng,
+    SramPuf,
+    clone_power_on_state,
+    degrade_puf,
+)
+from .sram import SRAMArray, TechnologyProfile
+from .stats import morans_i, normalized_entropy, shannon_entropy, welch_t_test
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AES",
+    "AesCbc",
+    "AesCtr",
+    "BCHCode",
+    "BlockInterleaver",
+    "ChannelModel",
+    "Code",
+    "ConcatenatedCode",
+    "ControlBoard",
+    "DebugPort",
+    "DecodeResult",
+    "Device",
+    "DeviceSpec",
+    "EncodeResult",
+    "EncodingRack",
+    "EncodingRecipe",
+    "FrameFormat",
+    "FuzzyExtractor",
+    "HammingCode",
+    "InvisibleBits",
+    "MultipleSnapshotAdversary",
+    "NormalOperationPrng",
+    "PowerOnTrng",
+    "PowerSupply",
+    "RepetitionCode",
+    "ReproError",
+    "SRAMArray",
+    "SramPuf",
+    "SteganalysisReport",
+    "TechnologyProfile",
+    "ThermalChamber",
+    "__version__",
+    "adversarial_aging_attack",
+    "all_device_specs",
+    "analyze_power_on_state",
+    "bit_error_rate",
+    "bits_to_bytes",
+    "bsc_capacity",
+    "bytes_to_bits",
+    "capacity_error_tradeoff",
+    "clone_power_on_state",
+    "compare_device_populations",
+    "degrade_puf",
+    "device_spec",
+    "hamming_3_1",
+    "hamming_7_4",
+    "hamming_distance",
+    "hamming_weight",
+    "invert_bits",
+    "load_captures",
+    "majority_vote",
+    "make_device",
+    "measure_channel_error",
+    "morans_i",
+    "nonce_from_device_id",
+    "normal_operation_effect",
+    "normalized_entropy",
+    "paper_end_to_end_code",
+    "parallel_device_selection",
+    "plan_scheme",
+    "restore_encoding",
+    "save_captures",
+    "shannon_entropy",
+    "welch_t_test",
+]

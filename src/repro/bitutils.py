@@ -1,0 +1,116 @@
+"""Bit- and byte-level utilities shared across the library.
+
+The simulator represents memory contents as numpy arrays of ``uint8`` bits
+(one bit per element, values 0/1).  These helpers convert between that
+representation and packed bytes, and provide the Hamming-weight/-distance
+primitives the evaluation leans on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .errors import BlockLengthError
+
+
+def bytes_to_bits(data: bytes | bytearray | np.ndarray) -> np.ndarray:
+    """Unpack bytes into a bit array (MSB first within each byte)."""
+    buf = np.frombuffer(bytes(data), dtype=np.uint8)
+    return np.unpackbits(buf)
+
+
+def bits_to_bytes(bits: np.ndarray) -> bytes:
+    """Pack a 0/1 bit array (MSB first) into bytes.
+
+    The bit count must be a multiple of 8; memory images always are.
+    """
+    bits = np.asarray(bits, dtype=np.uint8)
+    if bits.ndim != 1:
+        raise BlockLengthError(f"expected 1-D bit array, got shape {bits.shape}")
+    if bits.size % 8 != 0:
+        raise BlockLengthError(f"bit count {bits.size} is not a multiple of 8")
+    return np.packbits(bits).tobytes()
+
+
+def as_bit_array(bits: "np.ndarray | bytes | list[int]") -> np.ndarray:
+    """Coerce ``bits`` to a 1-D uint8 array of 0/1 values, validating range."""
+    if isinstance(bits, (bytes, bytearray)):
+        return bytes_to_bits(bits)
+    arr = np.asarray(bits, dtype=np.uint8).ravel()
+    if arr.size and arr.max(initial=0) > 1:
+        raise BlockLengthError("bit array contains values other than 0/1")
+    return arr
+
+
+def hamming_weight(bits: np.ndarray) -> int:
+    """Number of set bits in a 0/1 array."""
+    return int(np.count_nonzero(np.asarray(bits)))
+
+
+def hamming_distance(a: np.ndarray, b: np.ndarray) -> int:
+    """Number of positions at which two equal-length bit arrays differ."""
+    a = np.asarray(a, dtype=np.uint8)
+    b = np.asarray(b, dtype=np.uint8)
+    if a.shape != b.shape:
+        raise BlockLengthError(f"shape mismatch: {a.shape} vs {b.shape}")
+    return int(np.count_nonzero(a != b))
+
+
+def bit_error_rate(reference: np.ndarray, observed: np.ndarray) -> float:
+    """Fraction of differing bits between two equal-length bit arrays."""
+    reference = np.asarray(reference)
+    if reference.size == 0:
+        raise BlockLengthError("cannot compute a bit error rate on zero bits")
+    return hamming_distance(reference, observed) / reference.size
+
+
+def block_view(bits: np.ndarray, block_bits: int, *, pad_value: int = 0) -> np.ndarray:
+    """Reshape a bit array into ``(n_blocks, block_bits)``, zero-padding the
+    final partial block if necessary."""
+    bits = as_bit_array(bits)
+    if block_bits <= 0:
+        raise BlockLengthError(f"block size must be positive, got {block_bits}")
+    remainder = bits.size % block_bits
+    if remainder:
+        pad = np.full(block_bits - remainder, pad_value, dtype=np.uint8)
+        bits = np.concatenate([bits, pad])
+    return bits.reshape(-1, block_bits)
+
+
+def block_hamming_weights(bits: np.ndarray, block_bits: int) -> np.ndarray:
+    """Hamming weight of each ``block_bits``-sized block of ``bits``.
+
+    This is the statistic behind the paper's Figures 11 and 14.
+    """
+    return block_view(bits, block_bits).sum(axis=1, dtype=np.int64)
+
+
+def majority_vote(samples: np.ndarray) -> np.ndarray:
+    """Bitwise majority across ``samples`` of shape ``(n_samples, n_bits)``.
+
+    The paper uses an odd number of power-on captures (five) so ties cannot
+    occur; with an even count, ties resolve to 1 (sum*2 == n counts as >=).
+    """
+    samples = np.asarray(samples, dtype=np.uint8)
+    if samples.ndim != 2:
+        raise BlockLengthError(f"expected (n_samples, n_bits), got {samples.shape}")
+    if samples.shape[0] == 0:
+        raise BlockLengthError("majority vote needs at least one sample")
+    counts = samples.sum(axis=0, dtype=np.int64)
+    return (2 * counts >= samples.shape[0]).astype(np.uint8)
+
+
+def invert_bits(bits: np.ndarray) -> np.ndarray:
+    """Complement a 0/1 bit array (decoding inverts the power-on state)."""
+    return (1 - as_bit_array(bits)).astype(np.uint8)
+
+
+def tile_to_length(bits: np.ndarray, length: int) -> np.ndarray:
+    """Repeat ``bits`` cyclically to exactly ``length`` bits."""
+    bits = as_bit_array(bits)
+    if bits.size == 0:
+        raise BlockLengthError("cannot tile an empty bit array")
+    if length < 0:
+        raise BlockLengthError(f"negative target length {length}")
+    reps = -(-length // bits.size)
+    return np.tile(bits, reps)[:length]

@@ -1,0 +1,301 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+- ``list-devices`` — the Table 1 catalog with recipes;
+- ``roundtrip`` — run the full protocol on a simulated device;
+- ``survey`` — capacity/error planning across the catalog;
+- ``experiment`` — regenerate one of the paper's tables/figures by ID
+  (``fig06``, ``tab04``, ...; ``--list`` shows all).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .device.catalog import all_device_specs, device_spec
+
+#: Experiment IDs -> (module name, callable name).  Modules are imported
+#: lazily so ``--help`` stays instant.
+EXPERIMENTS = {
+    "fig01": ("fig01_image", "run"),
+    "fig02": ("fig02_waveforms", "run"),
+    "fig03": ("fig03_directed_aging", "run"),
+    "fig06": ("fig06_stress_time", "run"),
+    "fig07": ("fig07_recovery", "run"),
+    "fig08": ("fig08_repetition_visual", "run"),
+    "fig09": ("fig09_copies_stress", "run"),
+    "fig10": ("fig10_hamming", "run"),
+    "fig11": ("fig11_weights", "run"),
+    "fig12": ("fig12_entropy", "run"),
+    "fig13": ("fig13_end_to_end", "run"),
+    "fig14": ("fig14_multisnapshot", "run"),
+    "fig15": ("fig15_tradeoff", "run"),
+    "tab01": ("tab01_devices", "run"),
+    "tab02": ("tab02_spatial", "run"),
+    "tab03": ("tab03_comparison", "run"),
+    "tab04": ("tab04_devices", "run"),
+    "tab05": ("tab05_indistinguishability", "run"),
+    "sec514": ("sec514_normal_operation", "run"),
+    "sec72": ("sec72_complex_systems", "run"),
+    "sec74": ("sec74_adversarial", "run"),
+    "ablation-noise": ("ablation_noise", "run"),
+    "ablation-votes": ("ablations", "run_capture_votes"),
+    "ablation-cipher": ("ablations", "run_cipher_mode"),
+    "ablation-order": ("ablations", "run_ecc_order"),
+    "ablation-interleave": ("ablations", "run_interleaver"),
+}
+
+
+def _cmd_list_devices(_args) -> int:
+    print(f"{'device':<18}{'core':<28}{'SRAM':>9}{'Flash':>8}"
+          f"{'Vacc':>6}{'hours':>6}{'bit rate':>9}")
+    for spec in all_device_specs():
+        print(
+            f"{spec.name:<18}{spec.cpu_core:<28}"
+            f"{spec.sram_kib:>7.1f}Ki{spec.flash_kib:>6.0f}Ki"
+            f"{spec.recipe.vdd_stress:>5.1f}V{spec.recipe.stress_hours:>6.0f}"
+            f"{spec.recipe.bit_rate:>8.1%}"
+        )
+    return 0
+
+
+def _cmd_roundtrip(args) -> int:
+    from .core.pipeline import InvisibleBits
+    from .ecc.product import paper_end_to_end_code
+    from .device.catalog import make_device
+    from .harness.controlboard import ControlBoard
+
+    device = make_device(args.device, rng=args.seed, sram_kib=args.sram_kib)
+    board = ControlBoard(device)
+    key = bytes.fromhex(args.key) if args.key else None
+    channel = InvisibleBits(
+        board,
+        key=key,
+        ecc=paper_end_to_end_code(args.copies),
+        use_firmware=not args.fast,
+    )
+    message = args.message.encode()
+    print(f"encoding {len(message)} bytes on {device.spec.name} "
+          f"({device.sram.n_bytes // 1024} KiB slice)...")
+    sent = channel.send(message)
+    print(f"  stress: {sent.stress_hours:.0f} h at the Table 4 recipe; "
+          f"payload {sent.capacity_used:.1%} of SRAM")
+    result = channel.receive()
+    print(f"recovered: {result.message.decode(errors='replace')!r}")
+    if result.message != message:
+        print("MISMATCH", file=sys.stderr)
+        return 1
+    print("round trip exact")
+    return 0
+
+
+def _cmd_survey(_args) -> int:
+    from .core.channel import ChannelModel
+    from .core.message import max_message_bytes
+    from .core.planner import plan_scheme
+
+    print(f"{'device':<18}{'err@recipe':>11}{'scheme':>36}{'payload':>10}")
+    for spec in all_device_specs():
+        error = ChannelModel(spec).recipe_error()
+        scheme = plan_scheme(error, 0.001)
+        capacity = max_message_bytes(spec.sram_bits, ecc=scheme)
+        print(f"{spec.name:<18}{error:>10.2%} {scheme.name:>35}{capacity:>9,}B")
+    return 0
+
+
+def _cmd_report(args) -> int:
+    """Run every experiment and write one combined artifact report."""
+    import importlib
+    import time
+
+    sections = []
+    for exp_id in sorted(EXPERIMENTS):
+        module_name, func_name = EXPERIMENTS[exp_id]
+        module = importlib.import_module(f"repro.experiments.{module_name}")
+        started = time.time()
+        out = getattr(module, func_name)()
+        elapsed = time.time() - started
+        results = []
+        if hasattr(out, "to_text"):
+            results.append(out)
+        if hasattr(out, "result"):
+            results.append(out.result)
+        for attr in ("result_abc", "result_d"):
+            if hasattr(out, attr):
+                results.append(getattr(out, attr))
+        body = "\n\n".join(r.to_text() for r in results)
+        sections.append(f"[{exp_id}] ({elapsed:.1f}s)\n{body}")
+        print(f"{exp_id}: done in {elapsed:.1f}s")
+    report = (
+        "INVISIBLE BITS — full experiment report\n"
+        "========================================\n\n"
+        + "\n\n".join(sections)
+        + "\n"
+    )
+    import pathlib
+
+    pathlib.Path(args.out).write_text(report)
+    print(f"wrote {args.out}")
+    return 0
+
+
+def _cmd_inspect(args) -> int:
+    """Run the steganalysis suite over a saved capture file."""
+    from .bitutils import majority_vote
+    from .core.steganalysis import analyze_power_on_state
+    from .io import load_captures
+
+    samples, info = load_captures(args.captures)
+    voted = majority_vote(samples)
+    width = args.row_width
+    if voted.size % width:
+        print(f"row width {width} does not divide {voted.size} bits",
+              file=sys.stderr)
+        return 2
+    report = analyze_power_on_state(voted, (voted.size // width, width))
+    name = info["device_name"] or "<unknown device>"
+    print(f"device:             {name} ({samples.shape[0]} captures, "
+          f"{voted.size} bits)")
+    print(f"Moran's I:          {report.morans_i.statistic:+.4f} "
+          f"(p = {report.morans_i.p_value:.3f})")
+    print(f"mean power-on bias: {report.mean_bias:.4f}")
+    print(f"normalized entropy: {report.normalized_entropy:.4f} "
+          f"(fresh SRAM: ~0.0312)")
+    verdict = "SUSPICIOUS" if report.looks_encoded() else "clean"
+    print(f"verdict:            {verdict}")
+    return 1 if report.looks_encoded() else 0
+
+
+def _cmd_puf_clone(args) -> int:
+    from .device.catalog import make_device
+    from .puf import SramPuf, clone_power_on_state
+
+    victim = make_device(args.device, rng=args.seed, sram_kib=args.sram_kib)
+    fingerprint = SramPuf(victim).response()
+    blank = make_device(args.device, rng=args.seed + 1, sram_kib=args.sram_kib)
+    result = clone_power_on_state(
+        fingerprint, blank, stress_hours=args.stress_hours
+    )
+    print(f"victim fingerprint: {result.target_bits} bits")
+    print(f"blank-device distance before attack: {result.baseline_distance:.1%}")
+    print(f"clone distance after {result.stress_hours:.0f} h directed aging: "
+          f"{result.clone_distance:.1%}")
+    print(f"fools a 20% authentication threshold: "
+          f"{result.fools_threshold(0.20)}")
+    return 0
+
+
+def _cmd_trng(args) -> int:
+    from .bitutils import bytes_to_bits
+    from .device.catalog import make_device
+    from .puf import PowerOnTrng
+    from .stats.randomness import run_battery
+
+    device = make_device(args.device, rng=args.seed, sram_kib=args.sram_kib)
+    trng = PowerOnTrng(device)
+    trng.characterize()
+    print(f"noisy cells: {trng.noisy_cell_count} / {device.sram.n_bits}")
+    data = trng.random_bytes(args.bytes)
+    print(f"harvested {len(data)} bytes: {data[:16].hex()}...")
+    for verdict in run_battery(bytes_to_bits(data)):
+        status = "pass" if verdict.passed else "FAIL"
+        print(f"  {verdict.test}: p = {verdict.p_value:.3f} [{status}]")
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    if args.list or not args.id:
+        for exp_id in sorted(EXPERIMENTS):
+            print(exp_id)
+        return 0
+    if args.id not in EXPERIMENTS:
+        print(f"unknown experiment {args.id!r}; use --list", file=sys.stderr)
+        return 2
+    import importlib
+
+    module_name, func_name = EXPERIMENTS[args.id]
+    module = importlib.import_module(f"repro.experiments.{module_name}")
+    out = getattr(module, func_name)()
+    results = []
+    if hasattr(out, "to_text"):
+        results.append(out)
+    if hasattr(out, "result"):
+        results.append(out.result)
+    for attr in ("result_abc", "result_d"):
+        if hasattr(out, attr):
+            results.append(getattr(out, attr))
+    for result in results:
+        print(result.to_text())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Invisible Bits (ASPLOS 2022) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list-devices", help="show the Table 1 catalog").set_defaults(
+        func=_cmd_list_devices
+    )
+
+    roundtrip = sub.add_parser("roundtrip", help="run the full protocol")
+    roundtrip.add_argument("--device", default="MSP432P401")
+    roundtrip.add_argument("--message", default="meet at the dead drop at dawn")
+    roundtrip.add_argument("--key", default="00112233445566778899aabbccddeeff",
+                           help="hex AES key; empty string disables encryption")
+    roundtrip.add_argument("--copies", type=int, default=7)
+    roundtrip.add_argument("--sram-kib", type=float, default=4)
+    roundtrip.add_argument("--seed", type=int, default=0)
+    roundtrip.add_argument("--fast", action="store_true",
+                           help="debugger bulk-write instead of firmware")
+    roundtrip.set_defaults(func=_cmd_roundtrip)
+
+    sub.add_parser(
+        "survey", help="capacity/error planning across the catalog"
+    ).set_defaults(func=_cmd_survey)
+
+    experiment = sub.add_parser("experiment", help="regenerate a table/figure")
+    experiment.add_argument("id", nargs="?", help="experiment ID (see --list)")
+    experiment.add_argument("--list", action="store_true")
+    experiment.set_defaults(func=_cmd_experiment)
+
+    report = sub.add_parser(
+        "report", help="run every experiment into one combined report file"
+    )
+    report.add_argument("--out", default="invisible_bits_report.txt")
+    report.set_defaults(func=_cmd_report)
+
+    inspect = sub.add_parser(
+        "inspect", help="steganalyse a saved capture file (adversary view)"
+    )
+    inspect.add_argument("captures", help="path from `repro` save_captures")
+    inspect.add_argument("--row-width", type=int, default=256)
+    inspect.set_defaults(func=_cmd_inspect)
+
+    clone = sub.add_parser("puf-clone", help="run the footnote-2 PUF clone attack")
+    clone.add_argument("--device", default="MSP432P401")
+    clone.add_argument("--sram-kib", type=float, default=1)
+    clone.add_argument("--stress-hours", type=float, default=None)
+    clone.add_argument("--seed", type=int, default=0)
+    clone.set_defaults(func=_cmd_puf_clone)
+
+    trng = sub.add_parser("trng", help="harvest randomness from power-up noise")
+    trng.add_argument("--device", default="MSP432P401")
+    trng.add_argument("--sram-kib", type=float, default=4)
+    trng.add_argument("--bytes", type=int, default=64)
+    trng.add_argument("--seed", type=int, default=0)
+    trng.set_defaults(func=_cmd_trng)
+    return parser
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

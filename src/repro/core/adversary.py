@@ -1,0 +1,173 @@
+"""Adversary models beyond passive inspection (paper §5.1.4, §7.1, §7.4).
+
+- :func:`normal_operation_effect` — the legitimate-use "adversary": a week
+  of pseudo-random writes at nominal conditions (§5.1.4);
+- :class:`MultipleSnapshotAdversary` — captures power-on states at several
+  points in time and compares them (§7.1);
+- :func:`adversarial_aging_attack` — writes the device's own power-on state
+  back and stresses it, flipping the marginal (symmetric) cells (§7.4);
+- :func:`restore_encoding` — the receiver's §7.4 countermeasure: re-encode
+  with the ECC-recovered payload, pushing the marginal cells back.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..bitutils import bit_error_rate, invert_bits
+from ..errors import ConfigurationError
+from ..harness.controlboard import ControlBoard
+from ..units import days
+
+
+@dataclass(frozen=True)
+class AdversarialAgingResult:
+    """Error trajectory across an adversarial-aging episode."""
+
+    baseline_error: float
+    post_attack_error: float
+    post_restore_error: "float | None"
+
+    @property
+    def attack_factor(self) -> float:
+        """Error multiplier the attack achieved (paper measured 1.12x)."""
+        return self.post_attack_error / self.baseline_error
+
+    @property
+    def restore_factor(self) -> "float | None":
+        """Error multiplier after the countermeasure (paper: 0.98x)."""
+        if self.post_restore_error is None:
+            return None
+        return self.post_restore_error / self.baseline_error
+
+
+def normal_operation_effect(
+    board: ControlBoard,
+    payload_bits: np.ndarray,
+    *,
+    operation_days: float = 7.0,
+    n_captures: int = 5,
+) -> tuple[float, float]:
+    """§5.1.4: run the device normally and measure the error growth.
+
+    Returns ``(error_before, error_after)``.  The workload is the paper's
+    pseudo-random write stream; its analog effect (duty-cycled AC stress,
+    half-rate recovery) is modelled by :meth:`repro.sram.SRAMArray.operate`.
+    """
+    if operation_days < 0:
+        raise ConfigurationError("operation_days must be >= 0")
+    before = bit_error_rate(
+        payload_bits, invert_bits(board.majority_power_on_state(n_captures))
+    )
+    board.power_on_nominal()
+    board.device.run_workload(days(operation_days))
+    board.power_off()
+    after = bit_error_rate(
+        payload_bits, invert_bits(board.majority_power_on_state(n_captures))
+    )
+    return before, after
+
+
+@dataclass
+class MultipleSnapshotAdversary:
+    """§7.1: an adversary who samples the device at multiple times.
+
+    Collects power-on snapshots (each a majority over ``n_captures``) with
+    shelf intervals between them; :meth:`snapshots` hands the series to the
+    steganalysis suite, and :meth:`flip_fractions` gives the per-interval
+    cell-flip rates the adversary would try to exploit.
+    """
+
+    board: ControlBoard
+    n_captures: int = 5
+    _snapshots: list[np.ndarray] = field(default_factory=list)
+    _labels: list[str] = field(default_factory=list)
+
+    def observe(self, label: str) -> np.ndarray:
+        """Take one snapshot now."""
+        snap = self.board.majority_power_on_state(self.n_captures)
+        self._snapshots.append(snap)
+        self._labels.append(label)
+        return snap
+
+    def wait(self, seconds: float) -> None:
+        """Shelve the device between observations."""
+        if self.board.device.powered:
+            self.board.power_off()
+        self.board.device.advance(seconds)
+
+    def snapshots(self) -> list[tuple[str, np.ndarray]]:
+        return list(zip(self._labels, self._snapshots))
+
+    def flip_fractions(self) -> list[float]:
+        """Fraction of cells that changed between consecutive snapshots."""
+        return [
+            bit_error_rate(a, b)
+            for a, b in zip(self._snapshots, self._snapshots[1:])
+        ]
+
+
+def adversarial_aging_attack(
+    board: ControlBoard,
+    payload_bits: np.ndarray,
+    *,
+    attack_hours: float = 1.0,
+    vdd_attack: "float | None" = None,
+    temp_attack_c: "float | None" = None,
+    n_captures: int = 5,
+) -> AdversarialAgingResult:
+    """§7.4: age the device while it holds its own power-on state.
+
+    Stressing a cell holding value v pushes its power-on state toward ~v, so
+    holding the *power-on state itself* under stress flips the weakest
+    (symmetric) cells first — maximum noise injection per stress hour.
+    Returns the trajectory with ``post_restore_error`` unset; chain
+    :func:`restore_encoding` for the countermeasure.
+    """
+    if attack_hours <= 0:
+        raise ConfigurationError("attack_hours must be positive")
+    baseline = bit_error_rate(
+        payload_bits, invert_bits(board.majority_power_on_state(n_captures))
+    )
+    # The adversary captures the power-on state and writes it back (this
+    # requires the firmware tampering the paper describes).
+    state = board.majority_power_on_state(n_captures)
+    board.stage_payload(state, use_firmware=False)
+    board.encode(
+        stress_hours=attack_hours,
+        vdd_stress=vdd_attack,
+        temp_stress_c=temp_attack_c,
+    )
+    board.power_off()
+    attacked = bit_error_rate(
+        payload_bits, invert_bits(board.majority_power_on_state(n_captures))
+    )
+    return AdversarialAgingResult(
+        baseline_error=baseline,
+        post_attack_error=attacked,
+        post_restore_error=None,
+    )
+
+
+def restore_encoding(
+    board: ControlBoard,
+    recovered_payload: np.ndarray,
+    *,
+    restore_hours: float = 1.5,
+    vdd: "float | None" = None,
+    temp_c: "float | None" = None,
+) -> None:
+    """§7.4 countermeasure: re-encode the (ECC-cleaned) payload.
+
+    The receiving party decodes the message through the ECC — correcting the
+    injected noise — re-derives the exact payload, and "ages it in a similar
+    way": marginal cells the adversary flipped get pushed back toward the
+    encoded state while strongly-encoded cells only strengthen.
+    """
+    if restore_hours <= 0:
+        raise ConfigurationError("restore_hours must be positive")
+    board.stage_payload(recovered_payload, use_firmware=False)
+    board.encode(stress_hours=restore_hours, vdd_stress=vdd, temp_stress_c=temp_c)
+    board.power_off()

@@ -1,0 +1,91 @@
+"""The covert channel as a binary symmetric channel.
+
+The paper's error analysis (§5.1-§5.2) treats the SRAM channel as a BSC
+whose crossover probability is set by stress time/conditions plus recovery.
+This module measures that probability on simulated devices and provides the
+information-theoretic context (BSC capacity) for the §5.3 comparisons.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..bitutils import bit_error_rate, invert_bits
+from ..errors import ConfigurationError
+from ..harness.controlboard import ControlBoard
+from ..sram.calibration import predicted_error
+from ..units import seconds_to_hours
+
+
+def bsc_capacity(p_error: float) -> float:
+    """Shannon capacity of a BSC: ``1 - H2(p)`` bits per cell."""
+    if not 0.0 <= p_error <= 1.0:
+        raise ConfigurationError(f"error rate must be in [0, 1], got {p_error}")
+    if p_error in (0.0, 1.0):
+        return 1.0
+    h2 = -p_error * math.log2(p_error) - (1 - p_error) * math.log2(1 - p_error)
+    return 1.0 - h2
+
+
+def measure_channel_error(
+    board: ControlBoard,
+    payload_bits: np.ndarray,
+    *,
+    n_captures: int = 5,
+) -> float:
+    """Raw per-bit channel error of an already-encoded device.
+
+    Compares the inverted majority power-on state against the payload the
+    sender staged — the quantity Figures 6, 7 and 9 plot.
+    """
+    state = board.majority_power_on_state(n_captures)
+    return bit_error_rate(payload_bits, invert_bits(state))
+
+
+@dataclass(frozen=True)
+class ChannelModel:
+    """Analytic view of one device's channel at its recipe conditions.
+
+    Wraps the calibrated closed form so planning code (Figure 15) can
+    predict error without running the simulator.
+    """
+
+    spec: "object"  # DeviceSpec; typed loosely to avoid an import cycle
+
+    def error_at(self, stress_hours: float) -> float:
+        """Predicted single-copy error after ``stress_hours`` at the
+        device's recipe voltage/temperature."""
+        recipe = self.spec.recipe
+        return predicted_error(
+            self.spec.technology,
+            vdd=recipe.vdd_stress,
+            temp_c=recipe.temp_stress_c,
+            stress_seconds=stress_hours * 3600.0,
+        )
+
+    def recipe_error(self) -> float:
+        """Predicted error at the full Table 4 recipe."""
+        return self.error_at(self.spec.recipe.stress_hours)
+
+    def capacity_bits(self, stress_hours: "float | None" = None) -> float:
+        """Shannon-capacity upper bound in bits for the whole SRAM."""
+        hours = (
+            self.spec.recipe.stress_hours if stress_hours is None else stress_hours
+        )
+        return bsc_capacity(self.error_at(hours)) * self.spec.sram_bits
+
+    def hours_for_error(self, target_error: float) -> float:
+        """Stress hours needed to reach ``target_error`` (planning inverse)."""
+        from ..sram.calibration import stress_time_for_error
+
+        recipe = self.spec.recipe
+        seconds = stress_time_for_error(
+            self.spec.technology,
+            vdd=recipe.vdd_stress,
+            temp_c=recipe.temp_stress_c,
+            target_error=target_error,
+        )
+        return seconds_to_hours(seconds)

@@ -1,0 +1,169 @@
+"""The end-to-end Invisible Bits pipeline (paper §4, Figure 13).
+
+``InvisibleBits`` binds a coding scheme (ECC + optional AES-CTR) to the
+control-board automation:
+
+- :meth:`InvisibleBits.send` — Algorithm 1: ECC, encrypt, generate the
+  payload-writer firmware, stress at the device's recipe;
+- :meth:`InvisibleBits.receive` — Algorithm 2: capture N power-on states,
+  majority vote, invert, decrypt, ECC-decode.
+
+Both ends must construct the scheme from the same pre-shared parameters
+(key, ECC, frame format) — exactly the paper's assumption (footnote 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..bitutils import bit_error_rate, invert_bits
+from ..crypto.ctr import AesCtr, nonce_from_device_id
+from ..ecc.base import Code
+from ..errors import ConfigurationError
+from ..harness.controlboard import ControlBoard
+from .message import FrameFormat, build_payload, extract_message
+
+
+@dataclass(frozen=True)
+class EncodeResult:
+    """What the sender knows after encoding."""
+
+    payload_bits: np.ndarray
+    message_bytes: int
+    coded_bits: int
+    stress_hours: float
+    encrypted: bool
+
+    @property
+    def capacity_used(self) -> float:
+        return self.coded_bits / self.payload_bits.size
+
+
+@dataclass(frozen=True)
+class DecodeResult:
+    """What the receiver recovers, with channel diagnostics."""
+
+    message: bytes
+    power_on_state: np.ndarray
+    recovered_payload: np.ndarray
+    n_captures: int
+    raw_error_vs: "float | None" = None  # filled when the truth is known
+
+
+class InvisibleBits:
+    """One party's view of the covert channel for a specific device."""
+
+    def __init__(
+        self,
+        board: ControlBoard,
+        *,
+        key: "bytes | None" = None,
+        ecc: "Code | None" = None,
+        frame: "FrameFormat | None" = None,
+        n_captures: int = 5,
+        use_firmware: bool = True,
+    ):
+        if n_captures < 1 or n_captures % 2 == 0:
+            raise ConfigurationError("n_captures must be positive odd (§4.3)")
+        self.board = board
+        self.key = key
+        self.ecc = ecc
+        self.frame = frame or FrameFormat()
+        self.n_captures = n_captures
+        self.use_firmware = use_firmware
+
+    # -- crypto envelope ----------------------------------------------------------
+
+    def _cipher(self) -> "AesCtr | None":
+        if self.key is None:
+            return None
+        nonce = nonce_from_device_id(self.board.device.device_id)
+        return AesCtr(self.key, nonce)
+
+    # -- Algorithm 1 -----------------------------------------------------------------
+
+    def prepare_payload(self, message: bytes) -> np.ndarray:
+        """Message pre-processing only (ECC then encryption, §4.1)."""
+        plain = build_payload(
+            message,
+            self.board.device.sram.n_bits,
+            ecc=self.ecc,
+            frame=self.frame,
+        )
+        cipher = self._cipher()
+        return cipher.process_bits(plain) if cipher else plain
+
+    def send(
+        self,
+        message: bytes,
+        *,
+        stress_hours: "float | None" = None,
+        camouflage: bool = True,
+    ) -> EncodeResult:
+        """Run the full sender side against the bound device."""
+        payload = self.prepare_payload(message)
+        recipe = self.board.device.spec.recipe
+        stress_hours = recipe.stress_hours if stress_hours is None else stress_hours
+        self.board.encode_message(
+            payload,
+            stress_hours=stress_hours,
+            use_firmware=self.use_firmware,
+            camouflage=camouflage,
+        )
+        coded_bits = self.frame.header_bits + (
+            len(message) * 8 if self.ecc is None
+            else -(-len(message) * 8 // self.ecc.k) * self.ecc.n
+        )
+        return EncodeResult(
+            payload_bits=payload,
+            message_bytes=len(message),
+            coded_bits=coded_bits,
+            stress_hours=stress_hours,
+            encrypted=self.key is not None,
+        )
+
+    # -- Algorithm 2 -----------------------------------------------------------------
+
+    def recover_payload(self) -> tuple[np.ndarray, np.ndarray]:
+        """Capture, vote and invert: returns (power_on_state, payload_bits).
+
+        The power-on state is the *complement* of the written payload
+        (§4.3's photographic-negative property), so the recovered payload is
+        the inverted majority state.
+        """
+        state = self.board.majority_power_on_state(self.n_captures)
+        return state, invert_bits(state)
+
+    def receive(
+        self,
+        *,
+        message_len: "int | None" = None,
+        expected_payload: "np.ndarray | None" = None,
+    ) -> DecodeResult:
+        """Run the full receiver side against the bound device."""
+        state, recovered = self.recover_payload()
+        cipher = self._cipher()
+        plain = cipher.process_bits(recovered) if cipher else recovered
+        message = extract_message(
+            plain, ecc=self.ecc, frame=self.frame, message_len=message_len
+        )
+        raw_error = (
+            bit_error_rate(expected_payload, recovered)
+            if expected_payload is not None
+            else None
+        )
+        return DecodeResult(
+            message=message,
+            power_on_state=state,
+            recovered_payload=recovered,
+            n_captures=self.n_captures,
+            raw_error_vs=raw_error,
+        )
+
+    # -- diagnostics --------------------------------------------------------------------
+
+    def capture_samples(self, n: "int | None" = None) -> np.ndarray:
+        """Raw power-on captures for steganalysis or channel measurement."""
+        return self.board.capture_power_on_states(n or self.n_captures)

@@ -1,0 +1,140 @@
+"""Capacity/error planning and device selection (paper §5.3, §7.3, Fig 15).
+
+Given a device's single-copy error, sweep ECC configurations (repetition
+copies with or without Hamming(7,4)) to map the capacity-versus-error
+frontier, pick schemes meeting a target, and model the paper's
+encode-many-pick-best parallel device selection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..ecc.analysis import (
+    concatenated_residual_error,
+    repetition_residual_error,
+)
+from ..ecc.hamming import hamming_7_4
+from ..ecc.product import ConcatenatedCode
+from ..ecc.repetition import RepetitionCode
+from ..errors import ConfigurationError
+from ..rng import make_rng
+from ..sram.calibration import error_to_shift, shift_to_error
+
+
+@dataclass(frozen=True)
+class CapacityPoint:
+    """One point on the Figure 15 frontier."""
+
+    device: str
+    copies: int
+    with_hamming: bool
+    capacity_fraction: float
+    predicted_error: float
+
+    @property
+    def capacity_percent(self) -> float:
+        return 100.0 * self.capacity_fraction
+
+
+def capacity_error_tradeoff(
+    device_name: str,
+    single_copy_error: float,
+    *,
+    copies_list: "tuple[int, ...]" = (1, 3, 5, 7, 9, 11, 13, 15, 17),
+    with_hamming: bool = True,
+) -> list[CapacityPoint]:
+    """The Figure 15 sweep for one device.
+
+    ``with_hamming=True`` composes Hamming(7,4) under each repetition count
+    (the paper's recommended stack); capacity fractions are k/n of the
+    composed code.
+    """
+    if not 0.0 < single_copy_error < 0.5:
+        raise ConfigurationError("single-copy error must be in (0, 0.5)")
+    points = []
+    for copies in copies_list:
+        if copies % 2 == 0:
+            raise ConfigurationError("copy counts must be odd")
+        if with_hamming:
+            error = concatenated_residual_error(single_copy_error, copies)
+            rate = (4 / 7) / copies
+        else:
+            error = repetition_residual_error(single_copy_error, copies)
+            rate = 1.0 / copies
+        points.append(
+            CapacityPoint(
+                device=device_name,
+                copies=copies,
+                with_hamming=with_hamming,
+                capacity_fraction=rate,
+                predicted_error=error,
+            )
+        )
+    return points
+
+
+def plan_scheme(
+    single_copy_error: float,
+    target_error: float,
+    *,
+    max_copies: int = 33,
+):
+    """Choose the highest-rate scheme meeting ``target_error``.
+
+    Searches plain repetition and repetition+Hamming(7,4); returns the
+    :class:`repro.ecc.Code` to hand to the pipeline, or raises when no
+    scheme reaches the target.
+    """
+    if not 0.0 < target_error < 1.0:
+        raise ConfigurationError("target error must be in (0, 1)")
+    best_code = None
+    best_rate = -1.0
+    # Tolerance absorbs float round-off in the binomial sums so that e.g. a
+    # 1% channel exactly meets a 1% target with one copy.
+    tol = target_error * 1e-9
+    for copies in range(1, max_copies + 1, 2):
+        rep_err = repetition_residual_error(single_copy_error, copies)
+        if rep_err <= target_error + tol and 1.0 / copies > best_rate:
+            best_rate = 1.0 / copies
+            best_code = RepetitionCode(copies)
+        ham_err = concatenated_residual_error(single_copy_error, copies)
+        rate = (4 / 7) / copies
+        if ham_err <= target_error + tol and rate > best_rate:
+            best_rate = rate
+            best_code = ConcatenatedCode(hamming_7_4(), RepetitionCode(copies))
+    if best_code is None:
+        raise ConfigurationError(
+            f"no scheme up to {max_copies} copies reaches error {target_error} "
+            f"from channel error {single_copy_error}"
+        )
+    return best_code
+
+
+def parallel_device_selection(
+    mean_error: float,
+    *,
+    n_devices: int = 10,
+    device_sigma: float = 0.15,
+    rng: "int | np.random.Generator | None" = None,
+) -> tuple[float, list[float]]:
+    """The §5.3 trick: encode many devices in parallel, ship the best.
+
+    Device-to-device variation makes single-copy error a random variable;
+    sampling ``n_devices`` and taking the minimum models the paper's
+    "a device with 2.7% error is possible" observation.  Variation is a
+    lognormal spread on the aging shift (``device_sigma`` relative); the
+    default 0.15 reproduces Figure 6's min/max band, whose best device sits
+    near 2.7% when the mean is 6.5%.
+    """
+    if n_devices < 1:
+        raise ConfigurationError("need at least one device")
+    if device_sigma < 0:
+        raise ConfigurationError("device_sigma must be >= 0")
+    gen = make_rng(rng)
+    shift = error_to_shift(mean_error)
+    shifts = shift * np.exp(device_sigma * gen.standard_normal(n_devices))
+    errors = [shift_to_error(float(s)) for s in shifts]
+    return min(errors), errors

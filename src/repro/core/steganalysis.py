@@ -1,0 +1,97 @@
+"""The adversary's toolkit (paper §6, Tables 2 & 5, Figures 11-12).
+
+Everything a border inspector could compute over captured power-on states:
+spatial autocorrelation, mean bias, Hamming-weight distribution, symbol
+entropy — plus the population-level Welch's t-test.  The paper's claim is
+that all of these are blind to *encrypted* payloads; the Table 5 bench
+verifies it against this exact toolkit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..bitutils import as_bit_array
+from ..errors import ConfigurationError
+from ..stats.distributions import mean_fraction_of_ones
+from ..stats.entropy import normalized_entropy, per_symbol_entropy
+from ..stats.hamming_weight import DEFAULT_BLOCK_BITS, block_weight_density, block_weights
+from ..stats.morans_i import MoransIResult, morans_i
+from ..stats.welch import WelchResult, welch_t_test
+
+
+@dataclass(frozen=True)
+class SteganalysisReport:
+    """All single-device statistics over one power-on state."""
+
+    morans_i: MoransIResult
+    mean_bias: float
+    normalized_entropy: float
+    weight_axis: np.ndarray
+    weight_density: np.ndarray
+    entropy_per_symbol: np.ndarray
+
+    def looks_encoded(
+        self,
+        *,
+        alpha: float = 0.05,
+        bias_tolerance: float = 0.02,
+        entropy_floor: float = 0.0305,
+    ) -> bool:
+        """The adversary's verdict: does this device look suspicious?
+
+        Flags a device when the power-on state is spatially non-random, the
+        bias strays from 0.5, or the symbol entropy drops below a fresh
+        SRAM's (the paper's plaintext payloads trip all three; encrypted
+        payloads trip none).
+        """
+        if self.morans_i.p_value < alpha and abs(self.morans_i.statistic) > 0.05:
+            return True
+        if abs(self.mean_bias - 0.5) > bias_tolerance:
+            return True
+        if self.normalized_entropy < entropy_floor:
+            return True
+        return False
+
+
+def analyze_power_on_state(
+    bits: np.ndarray,
+    grid_shape: tuple[int, int],
+    *,
+    block_bits: int = DEFAULT_BLOCK_BITS,
+) -> SteganalysisReport:
+    """Run the full single-device analysis over one power-on state."""
+    arr = as_bit_array(bits)
+    if arr.size != grid_shape[0] * grid_shape[1]:
+        raise ConfigurationError(
+            f"{arr.size} bits do not fill grid {grid_shape}"
+        )
+    weight_axis, weight_density = block_weight_density(arr, block_bits)
+    return SteganalysisReport(
+        morans_i=morans_i(arr, grid_shape=grid_shape),
+        mean_bias=mean_fraction_of_ones(arr),
+        normalized_entropy=normalized_entropy(arr),
+        weight_axis=weight_axis,
+        weight_density=weight_density,
+        entropy_per_symbol=per_symbol_entropy(arr),
+    )
+
+
+def compare_device_populations(
+    states_a: "list[np.ndarray]",
+    states_b: "list[np.ndarray]",
+    *,
+    block_bits: int = DEFAULT_BLOCK_BITS,
+) -> WelchResult:
+    """Welch's t-test between two device populations (§6).
+
+    The observation per device is its mean block Hamming weight; the null
+    hypothesis is identical means ("the chips have no hidden messages").
+    """
+    if len(states_a) < 2 or len(states_b) < 2:
+        raise ConfigurationError("each population needs at least two devices")
+    sample_a = [float(block_weights(s, block_bits).mean()) for s in states_a]
+    sample_b = [float(block_weights(s, block_bits).mean()) for s in states_b]
+    return welch_t_test(np.array(sample_a), np.array(sample_b))

@@ -1,0 +1,30 @@
+"""Cryptography layered on Invisible Bits (paper §4.1, §6).
+
+A from-scratch FIPS-197 AES (validated against the standard's vectors in
+the test suite) with the two modes the paper contrasts:
+
+- :class:`AesCtr` — the stream mode the paper advocates: error-neutral
+  (bit errors in ciphertext map 1:1 to plaintext) and, keyed with a
+  pre-shared key and the device ID as nonce, the source of analog-domain
+  plausible deniability;
+- :class:`AesCbc` — the block mode the paper warns against: diffusion
+  amplifies a 0.8% channel error into ~50% message error.
+
+Plus :class:`NormalOperationPrng`, the §5.1.4 LFSR+LCG workload generator
+(the host-side reference for the MiniCore firmware version).
+"""
+
+from .aes_core import AES
+from .cbc import AesCbc
+from .ctr import AesCtr, nonce_from_device_id
+from .prng import GaloisLfsr32, Lcg31, NormalOperationPrng
+
+__all__ = [
+    "AES",
+    "AesCbc",
+    "AesCtr",
+    "GaloisLfsr32",
+    "Lcg31",
+    "NormalOperationPrng",
+    "nonce_from_device_id",
+]

@@ -1,0 +1,192 @@
+"""AES block cipher (FIPS-197), implemented from scratch.
+
+No external crypto dependency exists in the offline evaluation environment,
+and the paper's argument depends on cipher *mode* behaviour, so the cipher
+is implemented here in full: S-boxes derived from the GF(2^8) inverse plus
+affine map, the standard key schedule for 128/192/256-bit keys, and
+numpy-vectorized encryption/decryption over batches of blocks (a 64 KiB
+SRAM image is 4096 blocks — per-block Python AES would dominate every
+experiment's runtime).
+
+State layout note: FIPS-197 states are column-major 4x4 byte matrices; this
+implementation keeps each block as a flat 16-byte row and implements
+ShiftRows/MixColumns with precomputed flat index maps, which is both faster
+and harder to get wrong than repeated reshapes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigurationError, KeyLengthError
+
+# -- GF(2^8) tables -------------------------------------------------------------
+
+
+def _build_gf_tables() -> tuple[np.ndarray, np.ndarray]:
+    """Exp/log tables for GF(2^8) with the AES polynomial 0x11B."""
+    exp = np.zeros(512, dtype=np.uint8)
+    log = np.zeros(256, dtype=np.int32)
+    x = 1
+    for i in range(255):
+        exp[i] = x
+        log[x] = i
+        # multiply x by the generator 0x03
+        x ^= (x << 1) ^ (0x11B if x & 0x80 else 0)
+        x &= 0xFF
+    exp[255:510] = exp[0:255]
+    return exp, log
+
+
+_GF_EXP, _GF_LOG = _build_gf_tables()
+
+
+def gf_mul(a: int, b: int) -> int:
+    """Multiply in GF(2^8) (exposed for tests and the MixColumns tables)."""
+    if a == 0 or b == 0:
+        return 0
+    return int(_GF_EXP[_GF_LOG[a] + _GF_LOG[b]])
+
+
+def _build_sboxes() -> tuple[np.ndarray, np.ndarray]:
+    sbox = np.zeros(256, dtype=np.uint8)
+    for value in range(256):
+        inv = 0 if value == 0 else int(_GF_EXP[255 - _GF_LOG[value]])
+        out = 0
+        for bit in range(8):
+            out |= (
+                ((inv >> bit) ^ (inv >> ((bit + 4) % 8)) ^ (inv >> ((bit + 5) % 8))
+                 ^ (inv >> ((bit + 6) % 8)) ^ (inv >> ((bit + 7) % 8))
+                 ^ (0x63 >> bit)) & 1
+            ) << bit
+        sbox[value] = out
+    inv_sbox = np.zeros(256, dtype=np.uint8)
+    inv_sbox[sbox] = np.arange(256, dtype=np.uint8)
+    return sbox, inv_sbox
+
+
+SBOX, INV_SBOX = _build_sboxes()
+
+# MixColumns multiplication tables for the constants AES needs.
+_MUL = {
+    c: np.array([gf_mul(c, v) for v in range(256)], dtype=np.uint8)
+    for c in (2, 3, 9, 11, 13, 14)
+}
+
+# Flat-index permutations for ShiftRows on a row-major 16-byte block whose
+# FIPS-197 column-major state index is (row + 4*col) -> flat byte r + 4c.
+_SHIFT_ROWS = np.array(
+    [(4 * ((i // 4 + i % 4) % 4)) + i % 4 for i in range(16)], dtype=np.intp
+)
+_INV_SHIFT_ROWS = np.zeros(16, dtype=np.intp)
+_INV_SHIFT_ROWS[_SHIFT_ROWS] = np.arange(16, dtype=np.intp)
+
+_ROUNDS_BY_KEYLEN = {16: 10, 24: 12, 32: 14}
+_RCON = [0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1B, 0x36, 0x6C, 0xD8]
+
+
+class AES:
+    """The AES block cipher for one key; encrypts/decrypts batches of blocks."""
+
+    block_bytes = 16
+
+    def __init__(self, key: bytes):
+        if len(key) not in _ROUNDS_BY_KEYLEN:
+            raise KeyLengthError(
+                f"AES keys are 16/24/32 bytes, got {len(key)}"
+            )
+        self.key = bytes(key)
+        self.n_rounds = _ROUNDS_BY_KEYLEN[len(key)]
+        self._round_keys = self._expand_key(self.key)
+
+    # -- key schedule ------------------------------------------------------------
+
+    def _expand_key(self, key: bytes) -> np.ndarray:
+        """Round keys as an array of shape (n_rounds + 1, 16)."""
+        nk = len(key) // 4
+        words: list[list[int]] = [list(key[4 * i : 4 * i + 4]) for i in range(nk)]
+        total_words = 4 * (self.n_rounds + 1)
+        for i in range(nk, total_words):
+            temp = list(words[i - 1])
+            if i % nk == 0:
+                temp = temp[1:] + temp[:1]  # RotWord
+                temp = [int(SBOX[b]) for b in temp]  # SubWord
+                temp[0] ^= _RCON[i // nk - 1]
+            elif nk > 6 and i % nk == 4:
+                temp = [int(SBOX[b]) for b in temp]
+            words.append([w ^ t for w, t in zip(words[i - nk], temp)])
+        flat = np.array(words, dtype=np.uint8).reshape(self.n_rounds + 1, 16)
+        return flat
+
+    # -- round primitives (vectorized over blocks) ----------------------------------
+
+    @staticmethod
+    def _mix_columns(state: np.ndarray) -> np.ndarray:
+        cols = state.reshape(-1, 4, 4)  # (blocks, column, row-in-column)
+        a0, a1, a2, a3 = (cols[:, :, i] for i in range(4))
+        m2, m3 = _MUL[2], _MUL[3]
+        out = np.empty_like(cols)
+        out[:, :, 0] = m2[a0] ^ m3[a1] ^ a2 ^ a3
+        out[:, :, 1] = a0 ^ m2[a1] ^ m3[a2] ^ a3
+        out[:, :, 2] = a0 ^ a1 ^ m2[a2] ^ m3[a3]
+        out[:, :, 3] = m3[a0] ^ a1 ^ a2 ^ m2[a3]
+        return out.reshape(-1, 16)
+
+    @staticmethod
+    def _inv_mix_columns(state: np.ndarray) -> np.ndarray:
+        cols = state.reshape(-1, 4, 4)
+        a0, a1, a2, a3 = (cols[:, :, i] for i in range(4))
+        m9, m11, m13, m14 = _MUL[9], _MUL[11], _MUL[13], _MUL[14]
+        out = np.empty_like(cols)
+        out[:, :, 0] = m14[a0] ^ m11[a1] ^ m13[a2] ^ m9[a3]
+        out[:, :, 1] = m9[a0] ^ m14[a1] ^ m11[a2] ^ m13[a3]
+        out[:, :, 2] = m13[a0] ^ m9[a1] ^ m14[a2] ^ m11[a3]
+        out[:, :, 3] = m11[a0] ^ m13[a1] ^ m9[a2] ^ m14[a3]
+        return out.reshape(-1, 16)
+
+    # -- block operations --------------------------------------------------------------
+
+    def encrypt_blocks(self, blocks: np.ndarray) -> np.ndarray:
+        """Encrypt an array of shape ``(n, 16)`` uint8 blocks."""
+        state = self._check_blocks(blocks) ^ self._round_keys[0]
+        for rnd in range(1, self.n_rounds):
+            state = SBOX[state]
+            state = state[:, _SHIFT_ROWS]
+            state = self._mix_columns(state)
+            state ^= self._round_keys[rnd]
+        state = SBOX[state]
+        state = state[:, _SHIFT_ROWS]
+        state ^= self._round_keys[self.n_rounds]
+        return state
+
+    def decrypt_blocks(self, blocks: np.ndarray) -> np.ndarray:
+        """Decrypt an array of shape ``(n, 16)`` uint8 blocks."""
+        state = self._check_blocks(blocks) ^ self._round_keys[self.n_rounds]
+        state = state[:, _INV_SHIFT_ROWS]
+        state = INV_SBOX[state]
+        for rnd in range(self.n_rounds - 1, 0, -1):
+            state ^= self._round_keys[rnd]
+            state = self._inv_mix_columns(state)
+            state = state[:, _INV_SHIFT_ROWS]
+            state = INV_SBOX[state]
+        state ^= self._round_keys[0]
+        return state
+
+    def encrypt_block(self, block: bytes) -> bytes:
+        """Encrypt a single 16-byte block (test-vector convenience)."""
+        arr = np.frombuffer(block, dtype=np.uint8).reshape(1, 16)
+        return self.encrypt_blocks(arr).tobytes()
+
+    def decrypt_block(self, block: bytes) -> bytes:
+        """Decrypt a single 16-byte block."""
+        arr = np.frombuffer(block, dtype=np.uint8).reshape(1, 16)
+        return self.decrypt_blocks(arr).tobytes()
+
+    @staticmethod
+    def _check_blocks(blocks: np.ndarray) -> np.ndarray:
+        blocks = np.asarray(blocks, dtype=np.uint8)
+        if blocks.ndim != 2 or blocks.shape[1] != 16:
+            raise ConfigurationError(
+                f"expected blocks of shape (n, 16), got {blocks.shape}"
+            )
+        return blocks.copy()

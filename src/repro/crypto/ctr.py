@@ -1,0 +1,87 @@
+"""AES-CTR: the stream mode Invisible Bits advocates (paper §4.1, §6).
+
+CTR turns AES into a stream cipher, which is *error-neutral*: bit errors in
+the recovered ciphertext are exactly the bit errors in the plaintext — the
+property that lets ECC work after decryption.  The nonce is derived from the
+manufacturer's device ID (footnote 4) so identical messages produce
+different payloads on different devices.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+from ..errors import ConfigurationError, NonceError
+from .aes_core import AES
+
+_NONCE_BYTES = 12
+_COUNTER_BYTES = 4
+
+
+def nonce_from_device_id(device_id: bytes) -> bytes:
+    """Derive the 96-bit CTR nonce from a device ID (paper footnote 4).
+
+    IDs shorter or longer than 96 bits are normalised through SHA-256 so any
+    vendor ID format works; the derivation is public (the nonce need not be
+    secret, only unique per device)."""
+    if not device_id:
+        raise NonceError("device ID must not be empty")
+    if len(device_id) == _NONCE_BYTES:
+        return bytes(device_id)
+    return hashlib.sha256(device_id).digest()[:_NONCE_BYTES]
+
+
+class AesCtr:
+    """AES in counter mode with a 96-bit nonce / 32-bit block counter."""
+
+    def __init__(self, key: bytes, nonce: bytes):
+        self._aes = AES(key)
+        if len(nonce) != _NONCE_BYTES:
+            raise NonceError(
+                f"nonce must be {_NONCE_BYTES} bytes, got {len(nonce)} "
+                "(use nonce_from_device_id)"
+            )
+        self.nonce = bytes(nonce)
+
+    def keystream(self, n_bytes: int, *, initial_counter: int = 0) -> np.ndarray:
+        """``n_bytes`` of keystream as a uint8 array."""
+        if n_bytes < 0:
+            raise ConfigurationError(f"negative keystream length {n_bytes}")
+        if n_bytes == 0:
+            return np.zeros(0, dtype=np.uint8)
+        n_blocks = -(-n_bytes // 16)
+        if initial_counter < 0 or initial_counter + n_blocks > 2**32:
+            raise NonceError("CTR counter would overflow 32 bits")
+        counters = np.arange(
+            initial_counter, initial_counter + n_blocks, dtype=np.uint64
+        )
+        blocks = np.zeros((n_blocks, 16), dtype=np.uint8)
+        blocks[:, :_NONCE_BYTES] = np.frombuffer(self.nonce, dtype=np.uint8)
+        # Big-endian 32-bit counter in the last four bytes.
+        for shift, col in zip((24, 16, 8, 0), range(12, 16)):
+            blocks[:, col] = (counters >> shift) & 0xFF
+        return self._aes.encrypt_blocks(blocks).reshape(-1)[:n_bytes]
+
+    def process(self, data: "bytes | np.ndarray") -> np.ndarray:
+        """Encrypt or decrypt (CTR is an involution): bytes in, bytes out."""
+        buf = np.frombuffer(bytes(data), dtype=np.uint8) if isinstance(
+            data, (bytes, bytearray)
+        ) else np.asarray(data, dtype=np.uint8).ravel()
+        return buf ^ self.keystream(buf.size)
+
+    def encrypt(self, plaintext: "bytes | np.ndarray") -> bytes:
+        return self.process(plaintext).tobytes()
+
+    def decrypt(self, ciphertext: "bytes | np.ndarray") -> bytes:
+        return self.process(ciphertext).tobytes()
+
+    def process_bits(self, bits: np.ndarray) -> np.ndarray:
+        """Encrypt/decrypt a bit array (payloads are bit-level objects).
+
+        The bit length must be a byte multiple; SRAM payloads always are.
+        """
+        from ..bitutils import bits_to_bytes, bytes_to_bits
+
+        return bytes_to_bits(self.process(bits_to_bytes(bits)).tobytes())

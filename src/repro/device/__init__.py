@@ -1,0 +1,25 @@
+"""Simulated computing devices (the paper's Table 1 population).
+
+A :class:`Device` wires a MiniCore CPU, on-chip Flash, the analog SRAM
+simulator, and a supply-regulation model into one package with a debug port
+— the same interface surface the paper's control board drives: load
+firmware, power-cycle, read memories, elevate the supply.
+"""
+
+from .catalog import DeviceSpec, EncodingRecipe, all_device_specs, device_spec, make_device
+from .debugport import DebugPort
+from .device import Device
+from .flashmem import OnChipFlash
+from .regulator import SupplyRegulator
+
+__all__ = [
+    "DebugPort",
+    "Device",
+    "DeviceSpec",
+    "EncodingRecipe",
+    "OnChipFlash",
+    "SupplyRegulator",
+    "all_device_specs",
+    "device_spec",
+    "make_device",
+]

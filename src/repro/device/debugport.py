@@ -1,0 +1,72 @@
+"""The debug port: how the host reaches a device's memories.
+
+The paper's setup reads microcontroller SRAM through a standard ARM debug
+port and cache SRAM through co-processor operations (§5); either way the
+host sees "read/write memory while the target is parked".  This class is
+that interface for simulated devices.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import DebugPortError
+from .device import Device
+
+
+class DebugPort:
+    """Host-side handle on a powered target."""
+
+    def __init__(self, device: Device):
+        self.device = device
+
+    def _require_target(self) -> None:
+        if not self.device.powered:
+            raise DebugPortError("target is unpowered; the debug port is dead")
+
+    # -- memory access ---------------------------------------------------------
+
+    def read_sram(self, offset: int = 0, count: "int | None" = None) -> bytes:
+        """Read SRAM bytes (non-destructive; used to capture power-on state)."""
+        self._require_target()
+        count = self.device.sram.n_bytes - offset if count is None else count
+        return self.device.sram_region.read_bytes(offset, count)
+
+    def write_sram(self, data: bytes, offset: int = 0) -> None:
+        """Write SRAM bytes directly (bulk payload staging fast path)."""
+        self._require_target()
+        self.device.sram_region.write_bytes(data, offset)
+
+    def read_sram_bits(self) -> np.ndarray:
+        """Whole SRAM contents as a bit array."""
+        self._require_target()
+        return self.device.sram.read()
+
+    def write_sram_bits(self, bits: np.ndarray, bit_offset: int = 0) -> None:
+        """Write a bit array into SRAM."""
+        self._require_target()
+        self.device.sram.write(bits, bit_offset)
+
+    def read_flash(self, offset: int = 0, count: "int | None" = None) -> bytes:
+        """Dump Flash contents (the adversary's digital inspection path)."""
+        self._require_target()
+        return self.device.flash.dump(offset, count)
+
+    # -- execution control ----------------------------------------------------------
+
+    def halt(self) -> None:
+        """Halt the core (park it; modelled as entering the halted state)."""
+        self._require_target()
+        self.device.cpu.halted = True
+
+    def resume(self, max_steps: int = 1_000_000) -> str:
+        """Resume execution until HALT/busy-wait/step limit."""
+        self._require_target()
+        self.device.cpu.halted = False
+        self.device.cpu.spinning = False
+        return self.device.cpu.run(max_steps)
+
+    def registers(self) -> list[int]:
+        """Architectural register snapshot."""
+        self._require_target()
+        return list(self.device.cpu.regs)

@@ -1,0 +1,106 @@
+"""On-chip Flash memory.
+
+Firmware executes from Flash (the paper's programs run "from non-volatile
+memory on the device, i.e., not the SRAM", §4.2).  The model keeps real
+Flash semantics — erase-to-ones blocks, program can only clear bits, finite
+endurance — because the Flash-based steganography baselines
+(:mod:`repro.flashsteg`) and the camouflage-reload flow both exercise them.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigurationError, DeviceError, EmulatorError
+from ..isa.memory import MemoryRegion
+from ..isa.opcodes import WORD_BYTES
+
+
+class OnChipFlash(MemoryRegion):
+    """NOR-style code Flash on the CPU bus.
+
+    CPU loads read it; CPU stores fault (programming goes through the
+    debugger/controller path, as on real parts).
+    """
+
+    def __init__(
+        self,
+        base: int,
+        size: int,
+        *,
+        block_size: int = 4096,
+        endurance_cycles: int = 10_000,
+        name: str = "flash",
+    ):
+        super().__init__(base, size, name)
+        if block_size <= 0 or size % block_size:
+            raise ConfigurationError(
+                f"{name}: size {size:#x} is not a multiple of block {block_size:#x}"
+            )
+        self.block_size = block_size
+        self.endurance_cycles = endurance_cycles
+        self._bytes = bytearray(b"\xff" * size)
+        self.erase_counts = [0] * (size // block_size)
+
+    # -- CPU bus ---------------------------------------------------------------
+
+    def load_word(self, address: int) -> int:
+        offset = address - self.base
+        return int.from_bytes(self._bytes[offset : offset + WORD_BYTES], "little")
+
+    def store_word(self, address: int, value: int) -> None:
+        raise EmulatorError(
+            f"CPU store to Flash at {address:#010x}; use the debugger to program"
+        )
+
+    # -- programmer path -----------------------------------------------------------
+
+    def erase_block(self, block_index: int) -> None:
+        """Erase one block to all-ones, consuming an endurance cycle."""
+        if not 0 <= block_index < len(self.erase_counts):
+            raise ConfigurationError(f"block {block_index} out of range")
+        if self.erase_counts[block_index] >= self.endurance_cycles:
+            raise DeviceError(
+                f"{self.name}: block {block_index} exceeded endurance "
+                f"({self.endurance_cycles} cycles)"
+            )
+        self.erase_counts[block_index] += 1
+        start = block_index * self.block_size
+        self._bytes[start : start + self.block_size] = b"\xff" * self.block_size
+
+    def erase_all(self) -> None:
+        """Mass erase."""
+        for block in range(len(self.erase_counts)):
+            self.erase_block(block)
+
+    def program(self, image: bytes, offset: int = 0) -> None:
+        """Program bytes: Flash programming can only clear bits (1 -> 0).
+
+        Callers must erase first; programming a 1 over a 0 raises, exactly
+        like a real part's verify step failing.
+        """
+        if offset < 0 or offset + len(image) > self.size:
+            raise ConfigurationError(
+                f"{self.name}: image of {len(image)} bytes at {offset:#x} "
+                f"exceeds size {self.size:#x}"
+            )
+        for i, byte in enumerate(image):
+            current = self._bytes[offset + i]
+            if byte & ~current:
+                raise DeviceError(
+                    f"{self.name}: programming would set bits at offset "
+                    f"{offset + i:#x} (erase first)"
+                )
+            self._bytes[offset + i] = current & byte
+
+    def load_firmware(self, image: bytes) -> None:
+        """Erase the blocks an image spans, then program it at offset 0."""
+        n_blocks = -(-len(image) // self.block_size)
+        for block in range(n_blocks):
+            self.erase_block(block)
+        self.program(image, 0)
+
+    def dump(self, offset: int = 0, count: "int | None" = None) -> bytes:
+        """Debugger read-out."""
+        count = self.size - offset if count is None else count
+        if offset < 0 or count < 0 or offset + count > self.size:
+            raise ConfigurationError("dump range out of bounds")
+        return bytes(self._bytes[offset : offset + count])

@@ -1,0 +1,59 @@
+"""Core supply regulation (paper §7.2).
+
+Simple microcontrollers feed the external rail straight to the cells, so
+raising the board supply raises the SRAM stress voltage.  Complex devices
+(the Raspberry Pi class) run a switching regulator whose *output* powers the
+core: elevating the board rail alone does nothing.  The paper's workaround
+is the regulator's external inductor pin, which connects directly to the
+internal supply line — modelled here as :meth:`bypass`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ConfigurationError, PowerError
+
+
+@dataclass
+class SupplyRegulator:
+    """Maps the externally applied voltage to the core (SRAM) voltage."""
+
+    regulated: bool
+    output_v: float
+    dropout_v: float = 0.2
+    input_abs_max_v: float = 6.0
+    bypassed: bool = field(default=False, init=False)
+
+    def __post_init__(self) -> None:
+        if self.output_v <= 0:
+            raise ConfigurationError(f"output voltage must be positive: {self.output_v}")
+        if self.dropout_v < 0:
+            raise ConfigurationError(f"dropout must be >= 0: {self.dropout_v}")
+        if self.input_abs_max_v <= self.output_v:
+            raise ConfigurationError("input abs-max must exceed the output voltage")
+
+    def bypass(self) -> None:
+        """Solder onto the inductor pin: external rail drives the core
+        directly from now on (§7.2's physical tampering step)."""
+        self.bypassed = True
+
+    def restore(self) -> None:
+        """Undo the bypass (remove the tap)."""
+        self.bypassed = False
+
+    def core_voltage(self, external_v: float) -> float:
+        """Core voltage for an applied external rail voltage."""
+        if external_v < 0:
+            raise ConfigurationError(f"negative supply: {external_v}")
+        if external_v > self.input_abs_max_v:
+            raise PowerError(
+                f"external rail {external_v} V exceeds regulator input rating "
+                f"{self.input_abs_max_v} V"
+            )
+        if not self.regulated or self.bypassed:
+            return external_v
+        if external_v < self.output_v + self.dropout_v:
+            # Brown-out region: the regulator tracks input minus dropout.
+            return max(0.0, external_v - self.dropout_v)
+        return self.output_v

@@ -1,0 +1,38 @@
+"""Error-correcting codes layered on top of the channel (paper §4.1, §5.2).
+
+The paper's guidance: randomly distributed errors at ~10% need a repetition
+code first; once the residual rate is low, a Hamming code is more
+efficient; the two compose (Figure 10).  This package provides those codes
+behind one :class:`Code` interface plus the analytic error models
+(Equation 1 and exact small-code enumeration) the paper uses to predict
+them.
+"""
+
+from .analysis import (
+    copies_to_reach,
+    exact_residual_ber,
+    repetition_residual_error,
+)
+from .base import Code, IdentityCode
+from .bch import BCHCode
+from .gf2m import GF2m
+from .hamming import HammingCode, hamming_3_1, hamming_7_4
+from .interleave import BlockInterleaver
+from .product import ConcatenatedCode
+from .repetition import RepetitionCode
+
+__all__ = [
+    "BCHCode",
+    "BlockInterleaver",
+    "Code",
+    "GF2m",
+    "ConcatenatedCode",
+    "HammingCode",
+    "IdentityCode",
+    "RepetitionCode",
+    "copies_to_reach",
+    "exact_residual_ber",
+    "hamming_3_1",
+    "hamming_7_4",
+    "repetition_residual_error",
+]

@@ -1,0 +1,105 @@
+"""Analytic error models for the coded channel.
+
+Implements the paper's Equation 1 (majority voting over ``n`` copies as
+Bernoulli trials) and an exact enumeration of residual error for small block
+codes, used to draw the "Theoretical" curve of Figure 10 and to plan
+capacity/error trade-offs (Figure 15).
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+from scipy.stats import binom
+
+from ..errors import ConfigurationError
+from .base import Code
+
+
+def repetition_residual_error(p_error: float, copies: int) -> float:
+    """Equation 1: residual error after majority voting over ``copies``.
+
+    ``p_error`` is the per-bit channel error rate; a vote is wrong when at
+    most ``(copies+1)/2 - 1`` of the copies are correct, i.e. when fewer
+    than the majority succeed.  (The paper writes it via the success
+    probability ``p``: Error = 1 - sum_{i=(n+1)/2}^{n} C(n,i) p^i (1-p)^(n-i).)
+    """
+    if not 0.0 <= p_error <= 1.0:
+        raise ConfigurationError(f"error rate must be in [0, 1], got {p_error}")
+    if copies < 1 or copies % 2 == 0:
+        raise ConfigurationError(f"copies must be positive odd, got {copies}")
+    p_success = 1.0 - p_error
+    majority = (copies + 1) // 2
+    return float(1.0 - binom.sf(majority - 1, copies, p_success))
+
+
+def copies_to_reach(p_error: float, target_error: float, *, max_copies: int = 99) -> int:
+    """Smallest odd copy count whose Equation-1 residual is <= target."""
+    if not 0.0 < target_error < 1.0:
+        raise ConfigurationError("target error must be in (0, 1)")
+    for copies in range(1, max_copies + 1, 2):
+        if repetition_residual_error(p_error, copies) <= target_error:
+            return copies
+    raise ConfigurationError(
+        f"no odd copy count up to {max_copies} reaches {target_error} "
+        f"from channel error {p_error}"
+    )
+
+
+def exact_residual_ber(code: Code, p_error: float, *, max_block_bits: int = 16) -> float:
+    """Exact residual data-bit error rate of a block code on a BSC.
+
+    Enumerates all ``2^n`` channel error patterns of one block, decodes
+    each, and weights the resulting data-bit error count by the pattern's
+    probability.  Exact but exponential — restricted to small blocks
+    (Hamming(7,4)'s 128 patterns are instant).
+    """
+    if not 0.0 <= p_error <= 1.0:
+        raise ConfigurationError(f"error rate must be in [0, 1], got {p_error}")
+    n = code.n
+    if n > max_block_bits:
+        raise ConfigurationError(
+            f"exact enumeration over 2^{n} patterns refused "
+            f"(max_block_bits={max_block_bits})"
+        )
+    data = np.zeros(code.k, dtype=np.uint8)  # linear codes: WLOG all-zero data
+    codeword = code.encode(data)
+
+    total = 0.0
+    for weight in range(n + 1):
+        pattern_prob = p_error**weight * (1.0 - p_error) ** (n - weight)
+        if pattern_prob == 0.0:
+            continue
+        for positions in itertools.combinations(range(n), weight):
+            corrupted = codeword.copy()
+            for pos in positions:
+                corrupted[pos] ^= 1
+            decoded = code.decode(corrupted)
+            wrong = int(np.count_nonzero(decoded != data))
+            total += pattern_prob * wrong
+    return total / code.k
+
+
+def concatenated_residual_error(
+    p_error: float, copies: int, *, hamming_code: "Code | None" = None
+) -> float:
+    """Residual error of the paper's repetition+Hamming(7,4) stack.
+
+    The repetition stage sees the raw channel; the Hamming stage then sees
+    the voted residual (errors stay independent because the paper's channel
+    errors are spatially random, Table 2).
+    """
+    from .hamming import hamming_7_4
+
+    code = hamming_code or hamming_7_4()
+    after_vote = repetition_residual_error(p_error, copies)
+    return exact_residual_ber(code, after_vote)
+
+
+def effective_capacity(sram_bits: int, code: Code) -> int:
+    """Message bits a coded SRAM can carry (the §5.3 capacity numbers)."""
+    if sram_bits <= 0:
+        raise ConfigurationError("sram_bits must be positive")
+    blocks = sram_bits // code.n
+    return blocks * code.k

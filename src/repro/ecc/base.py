@@ -1,0 +1,99 @@
+"""The code interface all ECC schemes implement."""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from ..bitutils import as_bit_array
+from ..errors import BlockLengthError
+
+
+class Code(abc.ABC):
+    """A block error-correcting code over bit arrays.
+
+    ``encode`` maps each ``k``-bit data block to an ``n``-bit codeword;
+    ``decode`` inverts it, correcting what the code can.  Inputs whose
+    length is not a multiple of the block size are rejected — padding policy
+    belongs to the caller (the pipeline frames messages explicitly).
+    """
+
+    #: Human-readable name used in experiment tables.
+    name: str = "code"
+
+    @property
+    @abc.abstractmethod
+    def k(self) -> int:
+        """Data bits per block."""
+
+    @property
+    @abc.abstractmethod
+    def n(self) -> int:
+        """Code bits per block."""
+
+    @property
+    def rate(self) -> float:
+        """Information rate k/n (the capacity cost the paper trades, §5.3)."""
+        return self.k / self.n
+
+    def encoded_length(self, data_bits: int) -> int:
+        """Code bits produced for ``data_bits`` input bits."""
+        if data_bits < 0:
+            raise BlockLengthError(f"{self.name}: negative length {data_bits}")
+        if data_bits % self.k:
+            raise BlockLengthError(
+                f"{self.name}: data length {data_bits} is not a multiple of k={self.k}"
+            )
+        return data_bits // self.k * self.n
+
+    @abc.abstractmethod
+    def encode(self, data: np.ndarray) -> np.ndarray:
+        """Encode a bit array whose length is a multiple of ``k``."""
+
+    @abc.abstractmethod
+    def decode(self, code: np.ndarray) -> np.ndarray:
+        """Decode a bit array whose length is a multiple of ``n``."""
+
+    # -- shared validation helpers ------------------------------------------------
+
+    def _check_encode_input(self, data) -> np.ndarray:
+        bits = as_bit_array(data)
+        if bits.size == 0 or bits.size % self.k:
+            raise BlockLengthError(
+                f"{self.name}: encode input of {bits.size} bits is not a "
+                f"positive multiple of k={self.k}"
+            )
+        return bits
+
+    def _check_decode_input(self, code) -> np.ndarray:
+        bits = as_bit_array(code)
+        if bits.size == 0 or bits.size % self.n:
+            raise BlockLengthError(
+                f"{self.name}: decode input of {bits.size} bits is not a "
+                f"positive multiple of n={self.n}"
+            )
+        return bits
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}({self.name}, rate={self.rate:.3f})"
+
+
+class IdentityCode(Code):
+    """The no-coding baseline (rate 1)."""
+
+    name = "identity"
+
+    @property
+    def k(self) -> int:
+        return 1
+
+    @property
+    def n(self) -> int:
+        return 1
+
+    def encode(self, data) -> np.ndarray:
+        return self._check_encode_input(data).copy()
+
+    def decode(self, code) -> np.ndarray:
+        return self._check_decode_input(code).copy()

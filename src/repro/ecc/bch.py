@@ -1,0 +1,184 @@
+"""Binary BCH codes: multi-error correction for the low-error regime.
+
+The paper notes that "once the error rate is low enough, more efficient
+error correction codes are available" (§5.2) and demonstrates Hamming(7,4);
+BCH codes are the natural next step — the same algebraic family with a
+designed correction capability ``t``.  This implementation provides
+systematic encoding from the generator polynomial and the classic decoding
+chain: syndromes, Berlekamp-Massey, Chien search.
+
+``BCHCode(m=4, t=2)`` is the textbook BCH(15,7) double-error corrector; at
+Invisible Bits' post-repetition error rates it beats stacking more
+repetition copies at the same rate (see the extension bench
+``benchmarks/test_ext_bch.py``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .base import Code
+from .gf2m import GF2m
+
+
+def _poly_mod_gf2(value: int, divisor: int) -> int:
+    """Remainder of GF(2)[x] division of bit-mask polynomials."""
+    div_deg = divisor.bit_length() - 1
+    while value.bit_length() - 1 >= div_deg and value:
+        shift = value.bit_length() - 1 - div_deg
+        value ^= divisor << shift
+    return value
+
+
+class BCHCode(Code):
+    """A binary BCH code of length ``2^m - 1`` correcting ``t`` errors.
+
+    Systematic layout: data bits occupy the high-degree positions of each
+    codeword, parity the low-degree remainder positions, so a clean
+    codeword displays its data verbatim.
+    """
+
+    def __init__(self, m: int, t: int):
+        if t < 1:
+            raise ConfigurationError(f"t must be >= 1, got {t}")
+        self.field = GF2m(m)
+        self.t = t
+        self._n = self.field.order
+
+        # Generator polynomial: lcm of minimal polynomials of alpha^1..2t.
+        generator = 1
+        included: set[int] = set()
+        for power in range(1, 2 * t + 1):
+            element = self.field.pow_alpha(power)
+            if element in included:
+                continue
+            minimal = self.field.minimal_polynomial(element)
+            generator = GF2m.poly_mul_gf2(generator, minimal)
+            # Mark the whole conjugacy class as covered.
+            e = element
+            while e not in included:
+                included.add(e)
+                e = self.field.mul(e, e)
+        self.generator = generator
+        self._parity = generator.bit_length() - 1
+        self._k = self._n - self._parity
+        if self._k <= 0:
+            raise ConfigurationError(
+                f"BCH(m={m}, t={t}) has no data bits (k={self._k})"
+            )
+        self.name = f"bch({self._n},{self._k},t={t})"
+
+    @property
+    def k(self) -> int:
+        return self._k
+
+    @property
+    def n(self) -> int:
+        return self._n
+
+    # -- encoding -----------------------------------------------------------------
+
+    def _encode_block(self, data_bits: np.ndarray) -> np.ndarray:
+        # Data polynomial shifted up by the parity width; append remainder.
+        value = 0
+        for bit in data_bits:  # data_bits[0] is the highest-degree term
+            value = (value << 1) | int(bit)
+        shifted = value << self._parity
+        remainder = _poly_mod_gf2(shifted, self.generator)
+        codeword = shifted | remainder
+        out = np.zeros(self._n, dtype=np.uint8)
+        for i in range(self._n):
+            out[self._n - 1 - i] = (codeword >> i) & 1
+        return out
+
+    def encode(self, data) -> np.ndarray:
+        bits = self._check_encode_input(data)
+        blocks = bits.reshape(-1, self._k)
+        return np.concatenate([self._encode_block(b) for b in blocks])
+
+    # -- decoding -------------------------------------------------------------------
+
+    def _syndromes(self, received: np.ndarray) -> list[int]:
+        # received[0] is the coefficient of x^(n-1).
+        field = self.field
+        syndromes = []
+        error_positions = np.nonzero(received)[0]
+        degrees = [self._n - 1 - int(p) for p in error_positions]
+        for power in range(1, 2 * self.t + 1):
+            s = 0
+            for degree in degrees:
+                s ^= field.pow_alpha(power * degree)
+            syndromes.append(s)
+        return syndromes
+
+    def _berlekamp_massey(self, syndromes: list[int]) -> list[int]:
+        """Error-locator polynomial sigma (coefficients, sigma[0] = 1)."""
+        field = self.field
+        sigma = [1]
+        prev_sigma = [1]
+        prev_discrepancy = 1
+        shift = 1
+        for step, s in enumerate(syndromes):
+            discrepancy = s
+            for j in range(1, len(sigma)):
+                if j <= step:
+                    discrepancy ^= field.mul(sigma[j], syndromes[step - j])
+            if discrepancy == 0:
+                shift += 1
+                continue
+            scale = field.div(discrepancy, prev_discrepancy)
+            update = list(sigma)
+            needed = len(prev_sigma) + shift
+            if needed > len(update):
+                update += [0] * (needed - len(update))
+            for j, coeff in enumerate(prev_sigma):
+                update[j + shift] ^= field.mul(scale, coeff)
+            if 2 * (len(sigma) - 1) <= step:
+                prev_sigma = sigma
+                prev_discrepancy = discrepancy
+                shift = 1
+            else:
+                shift += 1
+            sigma = update
+        return sigma
+
+    def _chien_search(self, sigma: list[int]) -> "list[int] | None":
+        """Error degrees, or None when the locator doesn't factor fully."""
+        field = self.field
+        degree = len(sigma) - 1
+        if degree == 0:
+            return []
+        roots = []
+        for i in range(self._n):
+            # Evaluate sigma at x = alpha^i: sum_j sigma_j * alpha^(i*j).
+            value = 0
+            for j, coeff in enumerate(sigma):
+                if coeff:
+                    value ^= field.mul(coeff, field.pow_alpha(i * j))
+            if value == 0:
+                # root x = alpha^i locates an error at degree -i mod n
+                roots.append((field.order - i) % field.order)
+        if len(roots) != degree:
+            return None
+        return roots
+
+    def _decode_block(self, received: np.ndarray) -> np.ndarray:
+        syndromes = self._syndromes(received)
+        if not any(syndromes):
+            return received[: self._k].copy()
+        sigma = self._berlekamp_massey(syndromes)
+        if len(sigma) - 1 > self.t:
+            # More errors than the design distance: leave as-is.
+            return received[: self._k].copy()
+        error_degrees = self._chien_search(sigma)
+        corrected = received.copy()
+        if error_degrees is not None:
+            for degree in error_degrees:
+                corrected[self._n - 1 - degree] ^= 1
+        return corrected[: self._k].copy()
+
+    def decode(self, code) -> np.ndarray:
+        bits = self._check_decode_input(code)
+        blocks = bits.reshape(-1, self._n)
+        return np.concatenate([self._decode_block(b) for b in blocks])

@@ -1,0 +1,119 @@
+"""Arithmetic in GF(2^m), the field underlying BCH codes.
+
+Log/antilog-table implementation over the standard primitive polynomials.
+Elements are integers in [0, 2^m); addition is XOR; multiplication and
+inversion go through the discrete-log tables.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+#: Primitive polynomials (with the x^m term) for small fields.
+PRIMITIVE_POLYS = {
+    2: 0b111,
+    3: 0b1011,
+    4: 0b10011,
+    5: 0b100101,
+    6: 0b1000011,
+    7: 0b10001001,
+    8: 0b100011101,
+    9: 0b1000010001,
+    10: 0b10000001001,
+}
+
+
+class GF2m:
+    """The finite field GF(2^m)."""
+
+    def __init__(self, m: int):
+        if m not in PRIMITIVE_POLYS:
+            raise ConfigurationError(
+                f"unsupported field degree {m}; supported: "
+                f"{sorted(PRIMITIVE_POLYS)}"
+            )
+        self.m = m
+        self.size = 1 << m
+        self.order = self.size - 1  # multiplicative group order
+        poly = PRIMITIVE_POLYS[m]
+
+        self.exp = np.zeros(2 * self.order, dtype=np.int64)
+        self.log = np.zeros(self.size, dtype=np.int64)
+        x = 1
+        for i in range(self.order):
+            self.exp[i] = x
+            self.log[x] = i
+            x <<= 1
+            if x & self.size:
+                x ^= poly
+        self.exp[self.order : 2 * self.order] = self.exp[: self.order]
+
+    def mul(self, a: int, b: int) -> int:
+        """Field multiplication."""
+        if a == 0 or b == 0:
+            return 0
+        return int(self.exp[self.log[a] + self.log[b]])
+
+    def div(self, a: int, b: int) -> int:
+        """Field division a / b."""
+        if b == 0:
+            raise ZeroDivisionError("division by zero in GF(2^m)")
+        if a == 0:
+            return 0
+        return int(self.exp[(self.log[a] - self.log[b]) % self.order])
+
+    def inv(self, a: int) -> int:
+        """Multiplicative inverse."""
+        if a == 0:
+            raise ZeroDivisionError("zero has no inverse")
+        return int(self.exp[self.order - self.log[a]])
+
+    def pow_alpha(self, exponent: int) -> int:
+        """alpha^exponent for the field's primitive element alpha."""
+        return int(self.exp[exponent % self.order])
+
+    # -- polynomials over GF(2) (bit vectors, LSB = x^0) ----------------------------
+
+    @staticmethod
+    def poly_mul_gf2(a: int, b: int) -> int:
+        """Carry-less product of two GF(2)[x] polynomials as bit masks."""
+        result = 0
+        while b:
+            if b & 1:
+                result ^= a
+            a <<= 1
+            b >>= 1
+        return result
+
+    def minimal_polynomial(self, element: int) -> int:
+        """Minimal polynomial (bit mask) over GF(2) of a field element.
+
+        Product of (x - e^{2^i}) over the conjugacy class of ``element``.
+        """
+        if element == 0:
+            return 0b10  # x
+        conjugates = set()
+        e = element
+        while e not in conjugates:
+            conjugates.add(e)
+            e = self.mul(e, e)
+        # Multiply out (x + c) for each conjugate, coefficients in GF(2^m);
+        # the result is guaranteed to have GF(2) coefficients.
+        coeffs = [1]  # x^0 term of the running product, highest degree last
+        for c in conjugates:
+            nxt = [0] * (len(coeffs) + 1)
+            for degree, coeff in enumerate(coeffs):
+                nxt[degree + 1] ^= coeff  # x * coeff
+                nxt[degree] ^= self.mul(coeff, c)
+            coeffs = nxt
+        mask = 0
+        for degree, coeff in enumerate(coeffs):
+            if coeff not in (0, 1):
+                raise ConfigurationError(
+                    "minimal polynomial has non-binary coefficient"
+                )
+            if coeff:
+                mask |= 1 << degree
+        return mask

@@ -1,0 +1,56 @@
+"""Repetition coding with majority-vote decoding (paper §5.2).
+
+Two physical layouts, identical under the paper's randomly located errors:
+
+- ``block``: the whole payload is replicated ``copies`` times back to back —
+  the paper's layout ("the payload is replicated into many copies", §5.2);
+- ``bitwise``: each bit is repeated ``copies`` times in place.
+
+The block layout is the default because it is what Figures 8-10 measure.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..bitutils import majority_vote
+from ..errors import ConfigurationError
+from .base import Code
+
+
+class RepetitionCode(Code):
+    """An (copies, 1) repetition code with majority-vote decoding."""
+
+    def __init__(self, copies: int, *, layout: str = "block"):
+        if copies < 1 or copies % 2 == 0:
+            raise ConfigurationError(
+                f"copies must be a positive odd number (majority voting must "
+                f"not tie), got {copies}"
+            )
+        if layout not in ("block", "bitwise"):
+            raise ConfigurationError(f"unknown layout {layout!r}")
+        self.copies = copies
+        self.layout = layout
+        self.name = f"repetition(x{copies},{layout})"
+
+    @property
+    def k(self) -> int:
+        return 1
+
+    @property
+    def n(self) -> int:
+        return self.copies
+
+    def encode(self, data) -> np.ndarray:
+        bits = self._check_encode_input(data)
+        if self.layout == "block":
+            return np.tile(bits, self.copies)
+        return np.repeat(bits, self.copies)
+
+    def decode(self, code) -> np.ndarray:
+        bits = self._check_decode_input(code)
+        if self.layout == "block":
+            samples = bits.reshape(self.copies, -1)
+            return majority_vote(samples)
+        per_bit = bits.reshape(-1, self.copies)
+        return majority_vote(per_bit.T)

@@ -1,0 +1,85 @@
+"""Exception hierarchy for the Invisible Bits reproduction.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still letting programming errors (``TypeError``, ``ValueError`` from numpy,
+etc.) propagate unchanged.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ConfigurationError(ReproError):
+    """A component was constructed or configured with invalid parameters."""
+
+
+class DeviceError(ReproError):
+    """Base class for simulated-hardware failures."""
+
+
+class PowerError(DeviceError):
+    """An operation needed power (or the absence of it) and did not have it."""
+
+
+class OverstressError(DeviceError):
+    """The applied voltage or temperature exceeds the device's absolute
+    maximum ratings and would destroy a real part."""
+
+
+class DebugPortError(DeviceError):
+    """The debug port was used in an invalid state (e.g. target unpowered)."""
+
+
+class FirmwareError(DeviceError):
+    """Firmware loading or execution failed."""
+
+
+class AssemblerError(ReproError):
+    """The assembler rejected a source program."""
+
+    def __init__(self, message: str, line: int | None = None):
+        self.line = line
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+
+
+class EmulatorError(ReproError):
+    """The CPU emulator hit an illegal state (bad opcode, bus fault...)."""
+
+
+class CodecError(ReproError):
+    """Base class for ECC encode/decode failures."""
+
+
+class BlockLengthError(CodecError):
+    """Input length is incompatible with the code's block structure."""
+
+
+class DecodeFailure(CodecError):
+    """A codeword was uncorrectable (used by codes that can detect this)."""
+
+
+class CryptoError(ReproError):
+    """Base class for cryptographic failures."""
+
+
+class KeyLengthError(CryptoError):
+    """An AES key had an unsupported length."""
+
+
+class NonceError(CryptoError):
+    """A CTR nonce/counter combination was invalid or would overflow."""
+
+
+class CapacityError(ReproError):
+    """A payload does not fit in the target memory under the chosen coding."""
+
+
+class ExtractionError(ReproError):
+    """Message extraction failed end-to-end (e.g. residual errors after ECC
+    corrupted a length header beyond recovery)."""

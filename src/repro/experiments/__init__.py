@@ -1,0 +1,37 @@
+"""Experiment reproductions: one module per table/figure of the paper.
+
+Every module exposes a ``run(...)`` function returning an
+:class:`repro.experiments.common.ExperimentResult` whose rows/series mirror
+what the paper plots or tabulates.  The benchmark harness under
+``benchmarks/`` executes these and checks the paper-shape invariants; the
+modules themselves stay UI-free so they can also be scripted directly.
+
+Index (see DESIGN.md §5 for the full mapping):
+
+========  ==========================================================
+fig01     image pipeline (raw / ECC / encrypted power-on states)
+fig02     6T power-up waveforms pre/post aging
+fig03     directed + accelerated aging histograms
+fig06     error vs stress time across five devices
+tab02     spatial autocorrelation, stressed vs unstressed
+fig07     natural recovery over 14 weeks
+sec514    normal-operation error growth
+fig08     repetition-code visual cleanup
+fig09     error vs copies at three stress times
+fig10     theoretical vs repetition vs repetition+Hamming
+tab03     on-chip hiding comparison (+ §5.3 capacity advantage)
+tab04     per-device encoding summary
+fig11     Hamming-weight densities (none/plain/encrypted)
+fig12     symbol entropy (none/plain/encrypted)
+tab05     indistinguishability (Moran's I, bias, Welch's t)
+fig13     end-to-end steganography system
+fig14     multiple-snapshot adversary
+fig15     capacity/error trade-off
+sec74     adversarial aging and restore
+ablation  capture votes / cipher mode / ECC order / interleaver
+========  ==========================================================
+"""
+
+from .common import ExperimentResult, make_varied_device
+
+__all__ = ["ExperimentResult", "make_varied_device"]

@@ -1,0 +1,110 @@
+"""ASCII chart rendering for the benchmark reports.
+
+The evaluation environment has no plotting stack, so the "figures" the
+benches regenerate are rendered as fixed-width ASCII line charts into
+``benchmarks/out/``.  Good enough to see a curve's shape, a crossover, or
+a distribution at a glance in any terminal or diff.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+_MARKERS = "*o+x#@%&"
+
+
+def ascii_chart(
+    x: "list[float]",
+    series: "dict[str, list[float]]",
+    *,
+    width: int = 64,
+    height: int = 16,
+    title: str = "",
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """Render one or more y-series over a shared x-axis.
+
+    Each series gets a marker from ``*o+x...``; the legend maps markers to
+    names.  Axes are linear; points are nearest-cell plotted.
+    """
+    if not series:
+        raise ConfigurationError("need at least one series")
+    if width < 16 or height < 4:
+        raise ConfigurationError("chart too small to be legible")
+    xs = np.asarray(x, dtype=np.float64)
+    if xs.size < 2:
+        raise ConfigurationError("need at least two x points")
+    for name, ys in series.items():
+        if len(ys) != xs.size:
+            raise ConfigurationError(f"series {name!r} length mismatch")
+
+    all_y = np.concatenate([np.asarray(v, dtype=np.float64) for v in series.values()])
+    y_min, y_max = float(all_y.min()), float(all_y.max())
+    if math.isclose(y_min, y_max):
+        y_max = y_min + 1.0
+    x_min, x_max = float(xs.min()), float(xs.max())
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (name, ys) in enumerate(series.items()):
+        marker = _MARKERS[index % len(_MARKERS)]
+        for xi, yi in zip(xs, ys):
+            col = int(round((xi - x_min) / (x_max - x_min) * (width - 1)))
+            row = int(round((yi - y_min) / (y_max - y_min) * (height - 1)))
+            grid[height - 1 - row][col] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    top_label = f"{y_max:.4g}"
+    bottom_label = f"{y_min:.4g}"
+    label_width = max(len(top_label), len(bottom_label))
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            label = top_label.rjust(label_width)
+        elif row_index == height - 1:
+            label = bottom_label.rjust(label_width)
+        else:
+            label = " " * label_width
+        lines.append(f"{label} |{''.join(row)}")
+    axis = " " * label_width + " +" + "-" * width
+    lines.append(axis)
+    x_axis = (
+        " " * label_width
+        + "  "
+        + f"{x_min:.4g}".ljust(width - 8)
+        + f"{x_max:.4g}".rjust(8)
+    )
+    lines.append(x_axis)
+    if x_label or y_label:
+        lines.append(f"   x: {x_label}    y: {y_label}".rstrip())
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} {name}" for i, name in enumerate(series)
+    )
+    lines.append(f"   {legend}")
+    return "\n".join(lines)
+
+
+def ascii_histogram(
+    labels: "list[str]",
+    values: "list[float]",
+    *,
+    width: int = 48,
+    title: str = "",
+) -> str:
+    """A horizontal bar chart (for the distribution figures)."""
+    if len(labels) != len(values) or not labels:
+        raise ConfigurationError("labels and values must be equal-length, nonempty")
+    peak = max(values)
+    if peak <= 0:
+        raise ConfigurationError("values must contain something positive")
+    label_width = max(len(str(l)) for l in labels)
+    lines = [title] if title else []
+    for label, value in zip(labels, values):
+        bar = "#" * int(round(value / peak * width))
+        lines.append(f"{str(label).rjust(label_width)} |{bar} {value:.4g}")
+    return "\n".join(lines)

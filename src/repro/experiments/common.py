@@ -1,0 +1,91 @@
+"""Shared infrastructure for the experiment modules."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..device import Device
+from ..device.catalog import device_spec
+from ..errors import ConfigurationError
+from ..rng import make_rng
+
+
+@dataclass
+class ExperimentResult:
+    """A reproduced table or figure: labelled rows the paper also reports."""
+
+    experiment: str
+    description: str
+    columns: list[str]
+    rows: list[tuple] = field(default_factory=list)
+    notes: str = ""
+
+    def add_row(self, *values) -> None:
+        if len(values) != len(self.columns):
+            raise ConfigurationError(
+                f"{self.experiment}: row of {len(values)} values for "
+                f"{len(self.columns)} columns"
+            )
+        self.rows.append(tuple(values))
+
+    def column(self, name: str) -> list:
+        """All values of one named column."""
+        try:
+            index = self.columns.index(name)
+        except ValueError:
+            raise ConfigurationError(
+                f"{self.experiment}: no column {name!r}"
+            ) from None
+        return [row[index] for row in self.rows]
+
+    def to_text(self) -> str:
+        """Fixed-width table rendering (what the bench harness prints)."""
+
+        def fmt(value) -> str:
+            if isinstance(value, float):
+                return f"{value:.4g}"
+            return str(value)
+
+        table = [self.columns] + [[fmt(v) for v in row] for row in self.rows]
+        widths = [max(len(r[c]) for r in table) for c in range(len(self.columns))]
+        lines = [f"== {self.experiment}: {self.description} =="]
+        header = "  ".join(c.ljust(w) for c, w in zip(table[0], widths))
+        lines.append(header)
+        lines.append("-" * len(header))
+        for row in table[1:]:
+            lines.append("  ".join(v.ljust(w) for v, w in zip(row, widths)))
+        if self.notes:
+            lines.append(f"note: {self.notes}")
+        return "\n".join(lines)
+
+
+def make_varied_device(
+    name: str,
+    *,
+    rng: "int | np.random.Generator",
+    device_sigma: float = 0.15,
+    sram_kib: "float | None" = None,
+) -> Device:
+    """A device instance with device-to-device aging variation.
+
+    The paper's Figure 6 shows a wide min/max band across five nominally
+    identical MSP432s; we model it as a lognormal spread on the NBTI
+    magnitude (same ``device_sigma`` the planner uses, see
+    :func:`repro.core.planner.parallel_device_selection`).
+    """
+    if device_sigma < 0:
+        raise ConfigurationError("device_sigma must be >= 0")
+    gen = make_rng(rng)
+    spec = device_spec(name)
+    k = spec.technology.nbti_k_scale * float(
+        np.exp(device_sigma * gen.standard_normal())
+    )
+    varied_spec = type(spec)(
+        **{
+            **spec.__dict__,
+            "technology": spec.technology.with_k_scale(k),
+        }
+    )
+    return Device(varied_spec, rng=gen, sram_kib=sram_kib)

@@ -1,0 +1,61 @@
+"""Figure 9: error reduction from stress time and repetition copies.
+
+One device per stress budget (2/4/6 hours, the paper's three two-hour
+cycles); a single-copy payload is measured, then majority voting over
+1-19 copies is applied — both knobs reduce error, with diminishing
+returns per copy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..bitutils import bit_error_rate, invert_bits, majority_vote
+from ..device import make_device
+from ..harness import ControlBoard
+from .common import ExperimentResult
+
+COPIES = (1, 3, 5, 7, 9, 11, 13, 15, 17, 19)
+
+
+def run(
+    *,
+    stress_budgets: tuple = (2.0, 4.0, 6.0),
+    copies_list: tuple = COPIES,
+    sram_kib: float = 4,
+    seed: int = 8,
+) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment="Figure 9",
+        description="residual error vs payload copies at 2/4/6 h stress",
+        columns=["stress_hours", "copies", "error_pct"],
+    )
+    max_copies = max(copies_list)
+    for index, budget in enumerate(stress_budgets):
+        device = make_device("MSP432P401", rng=seed + index, sram_kib=sram_kib)
+        board = ControlBoard(device)
+        bits_per_copy = device.sram.n_bits // max_copies
+        message = np.random.default_rng(seed + 50 + index).integers(
+            0, 2, bits_per_copy
+        ).astype(np.uint8)
+        payload = np.tile(message, max_copies)
+        payload = np.concatenate(
+            [payload, np.zeros(device.sram.n_bits - payload.size, dtype=np.uint8)]
+        )
+        board.encode_message(
+            payload, stress_hours=budget, use_firmware=False, camouflage=False
+        )
+        recovered = invert_bits(board.majority_power_on_state(5))
+        copies_matrix = recovered[: bits_per_copy * max_copies].reshape(
+            max_copies, bits_per_copy
+        )
+        for copies in copies_list:
+            voted = majority_vote(copies_matrix[:copies])
+            result.add_row(
+                budget, copies, bit_error_rate(message, voted) * 100.0
+            )
+    result.notes = (
+        "both knobs help; copies give diminishing returns at the cost of "
+        "capacity (paper Figure 9)"
+    )
+    return result

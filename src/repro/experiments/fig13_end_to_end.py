@@ -1,0 +1,46 @@
+"""Figure 13: the end-to-end steganography system.
+
+The full §6 walkthrough: x = ECC(d) with Hamming(7,4) replicated seven
+times, y = AES-CTR(x) with the device-ID nonce, 10 hours of encoding on an
+MSP432, then capture, decrypt and decode.  Reports the raw channel error,
+post-vote error, and the recovered message's fidelity.
+"""
+
+from __future__ import annotations
+
+from ..core.pipeline import InvisibleBits
+from ..device import make_device
+from ..ecc.product import paper_end_to_end_code
+from ..harness import ControlBoard
+from .common import ExperimentResult
+
+KEY = b"pre-shared-key16"
+MESSAGE = (
+    b"CASE 73: crossing logs and witness ledger archived at the "
+    b"northern site. Trust only the courier with the red notebook."
+)
+
+
+def run(*, sram_kib: float = 4, seed: int = 15) -> ExperimentResult:
+    device = make_device("MSP432P401", rng=seed, sram_kib=sram_kib)
+    board = ControlBoard(device)
+    channel = InvisibleBits(
+        board, key=KEY, ecc=paper_end_to_end_code(7), use_firmware=False
+    )
+    sent = channel.send(MESSAGE)
+    received = channel.receive(expected_payload=sent.payload_bits)
+
+    ok = received.message == MESSAGE
+    result = ExperimentResult(
+        experiment="Figure 13",
+        description="end-to-end: ECC -> AES-CTR -> encode -> decode",
+        columns=["stage", "value"],
+    )
+    result.add_row("message bytes", len(MESSAGE))
+    result.add_row("payload bits", int(sent.payload_bits.size))
+    result.add_row("coded bits used", sent.coded_bits)
+    result.add_row("stress hours", sent.stress_hours)
+    result.add_row("raw channel error", received.raw_error_vs)
+    result.add_row("message recovered exactly", ok)
+    result.notes = "paper SS6: 10 h MSP432 encode, message recovered via key+ECC"
+    return result

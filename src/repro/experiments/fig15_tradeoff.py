@@ -1,0 +1,37 @@
+"""Figure 15: the capacity/error trade-off across device classes.
+
+Each Table 4 device's single-copy error feeds the repetition +
+Hamming(7,4) Bernoulli model (the paper does the same: "we provide a
+theoretical analysis... augmenting it with ECC"), producing the
+error-vs-capacity frontier per device.
+"""
+
+from __future__ import annotations
+
+from ..core.planner import capacity_error_tradeoff
+from ..device.catalog import TABLE4_DEVICES, device_spec
+from .common import ExperimentResult
+
+
+def run(*, copies_list: tuple = (1, 3, 5, 7, 9, 11, 13, 15, 17)) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment="Figure 15",
+        description="error vs capacity across device classes (rep + Hamming)",
+        columns=["device", "copies", "capacity_pct", "error_pct"],
+    )
+    for name in TABLE4_DEVICES:
+        single = device_spec(name).recipe.single_copy_error
+        for point in capacity_error_tradeoff(
+            name, single, copies_list=copies_list, with_hamming=True
+        ):
+            result.add_row(
+                name,
+                point.copies,
+                point.capacity_percent,
+                point.predicted_error * 100.0,
+            )
+    result.notes = (
+        "lower-error devices reach the same residual error at higher "
+        "capacity (paper Figure 15's ordering)"
+    )
+    return result

@@ -1,0 +1,53 @@
+"""§5.1.4: effect of normal operation.
+
+An encoded device runs the pseudo-random write workload for a week at
+nominal conditions; the error growth is compared against a week on the
+shelf.  The paper measures ~1.2x (operation) vs ~1.4x (shelf): operation
+reinforces the encoding half the time, suppressing recovery.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..bitutils import bit_error_rate, invert_bits
+from ..core.adversary import normal_operation_effect
+from ..device import make_device
+from ..harness import ControlBoard
+from ..units import days
+from .common import ExperimentResult
+
+
+def _encoded_rig(seed: int, sram_kib: float):
+    device = make_device("MSP432P401", rng=seed, sram_kib=sram_kib)
+    board = ControlBoard(device)
+    payload = np.random.default_rng(seed).integers(0, 2, device.sram.n_bits)
+    payload = payload.astype(np.uint8)
+    board.encode_message(payload, use_firmware=False, camouflage=False)
+    return board, payload
+
+
+def run(*, sram_kib: float = 2, operation_days: float = 7.0, seed: int = 6) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment="Section 5.1.4",
+        description="error growth: one week of operation vs one week shelved",
+        columns=["condition", "error_before", "error_after", "factor"],
+    )
+
+    board_op, payload_op = _encoded_rig(seed, sram_kib)
+    before, after = normal_operation_effect(
+        board_op, payload_op, operation_days=operation_days
+    )
+    result.add_row("normal operation", before, after, after / before)
+
+    board_shelf, payload_shelf = _encoded_rig(seed + 1, sram_kib)
+    base = bit_error_rate(
+        payload_shelf, invert_bits(board_shelf.majority_power_on_state(5))
+    )
+    board_shelf.device.advance(days(operation_days))
+    shelved = bit_error_rate(
+        payload_shelf, invert_bits(board_shelf.majority_power_on_state(5))
+    )
+    result.add_row("shelved", base, shelved, shelved / base)
+    result.notes = "paper: ~1.2x under operation vs ~1.4x shelved"
+    return result

@@ -1,0 +1,32 @@
+"""Flash-based on-chip steganography baselines (paper §5.3, §8, Table 3).
+
+The paper compares Invisible Bits against the two prior on-chip hiding
+techniques, both Flash-based:
+
+- Wang et al. 2013 (:class:`WangProgramTimeScheme`): hide bits in the
+  *program time* of 128-cell groups by selectively wearing them out;
+- Zuck et al. 2018, "Stash in a Flash" (:class:`ZuckVoltageScheme`): hide
+  bits in the analog *voltage level* of cells that carry public cover data.
+
+Both run on :class:`FlashAnalogArray`, an analog-domain Flash model with
+lognormal program-time variation, wear-driven drift and charge levels, so
+the Table 3 capacity/resilience comparison is measured, not asserted.
+"""
+
+from .comparison import ComparisonRow, build_comparison_table
+from .flash_cell import FlashAnalogArray
+from .ftl import FtlHiddenVolume, NandBlockDevice, SimpleFtl, detect_hidden_volume
+from .wang2013 import WangProgramTimeScheme
+from .zuck2018 import ZuckVoltageScheme
+
+__all__ = [
+    "ComparisonRow",
+    "FlashAnalogArray",
+    "FtlHiddenVolume",
+    "NandBlockDevice",
+    "SimpleFtl",
+    "WangProgramTimeScheme",
+    "ZuckVoltageScheme",
+    "build_comparison_table",
+    "detect_hidden_volume",
+]

@@ -1,0 +1,214 @@
+"""Flash-translation-layer hiding and its failure modes (paper §8).
+
+The paper's related work covers a third family of hiding schemes:
+exploiting the FTL and over-provisioning of managed Flash (Srinivasan's
+DeadDrop-in-a-Flash, DEFY) — and their two fatal problems, which the paper
+quotes:
+
+- *unintentional overwriting*: the hidden data lives in physical blocks the
+  FTL considers free, so normal garbage collection and wear levelling
+  eventually recycle them;
+- *detectability*: DEFTL-style analysis (Jia et al.) compares physical
+  occupancy against the logical fill level — hidden data shows up as
+  programmed-but-unmapped blocks.
+
+This module implements a minimal page-mapping FTL with over-provisioning,
+the hidden-volume scheme on top, and the detection analysis — so the
+Table 3-adjacent claims about this family are measured, like the Wang and
+Zuck baselines.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import CapacityError, ConfigurationError, DeviceError
+from ..rng import make_rng
+
+
+class NandBlockDevice:
+    """Raw managed-NAND semantics: program pages once, erase whole blocks."""
+
+    ERASED = 0xFF
+
+    def __init__(self, *, n_blocks: int, pages_per_block: int, page_bytes: int):
+        if min(n_blocks, pages_per_block, page_bytes) <= 0:
+            raise ConfigurationError("geometry must be positive")
+        self.n_blocks = n_blocks
+        self.pages_per_block = pages_per_block
+        self.page_bytes = page_bytes
+        self._pages = np.full(
+            (n_blocks * pages_per_block, page_bytes), self.ERASED, dtype=np.uint8
+        )
+        self._programmed = np.zeros(n_blocks * pages_per_block, dtype=bool)
+        self.erase_counts = np.zeros(n_blocks, dtype=np.int64)
+
+    @property
+    def n_pages(self) -> int:
+        return self.n_blocks * self.pages_per_block
+
+    def program_page(self, page: int, data: bytes) -> None:
+        if not 0 <= page < self.n_pages:
+            raise ConfigurationError(f"page {page} out of range")
+        if self._programmed[page]:
+            raise DeviceError(f"page {page} already programmed; erase first")
+        if len(data) != self.page_bytes:
+            raise ConfigurationError("data must fill the page exactly")
+        self._pages[page] = np.frombuffer(data, dtype=np.uint8)
+        self._programmed[page] = True
+
+    def read_page(self, page: int) -> bytes:
+        if not 0 <= page < self.n_pages:
+            raise ConfigurationError(f"page {page} out of range")
+        return self._pages[page].tobytes()
+
+    def erase_block(self, block: int) -> None:
+        if not 0 <= block < self.n_blocks:
+            raise ConfigurationError(f"block {block} out of range")
+        start = block * self.pages_per_block
+        end = start + self.pages_per_block
+        self._pages[start:end] = self.ERASED
+        self._programmed[start:end] = False
+        self.erase_counts[block] += 1
+
+    def is_programmed(self, page: int) -> bool:
+        return bool(self._programmed[page])
+
+
+class SimpleFtl:
+    """A page-mapping FTL with over-provisioning and greedy GC."""
+
+    def __init__(
+        self,
+        nand: NandBlockDevice,
+        *,
+        overprovision_fraction: float = 0.25,
+        rng=None,
+    ):
+        if not 0.0 < overprovision_fraction < 0.9:
+            raise ConfigurationError("overprovision fraction out of range")
+        self.nand = nand
+        total_pages = nand.n_pages
+        self.n_logical = int(total_pages * (1.0 - overprovision_fraction))
+        self._map = np.full(self.n_logical, -1, dtype=np.int64)  # lpn -> ppn
+        self._valid = np.zeros(total_pages, dtype=bool)
+        self._next_free = 0
+        self._rng = make_rng(rng)
+
+    # -- host interface -----------------------------------------------------------
+
+    def write(self, lpn: int, data: bytes) -> None:
+        """Write one logical page (out-of-place, like every real FTL)."""
+        if not 0 <= lpn < self.n_logical:
+            raise ConfigurationError(f"logical page {lpn} out of range")
+        ppn = self._allocate_page()
+        self.nand.program_page(ppn, data)
+        old = self._map[lpn]
+        if old >= 0:
+            self._valid[old] = False
+        self._map[lpn] = ppn
+        self._valid[ppn] = True
+
+    def read(self, lpn: int) -> bytes:
+        if not 0 <= lpn < self.n_logical:
+            raise ConfigurationError(f"logical page {lpn} out of range")
+        ppn = self._map[lpn]
+        if ppn < 0:
+            return b"\xff" * self.nand.page_bytes
+        return self.nand.read_page(int(ppn))
+
+    # -- internals -------------------------------------------------------------------
+
+    def _allocate_page(self) -> int:
+        for _ in range(self.nand.n_pages + 1):
+            if self._next_free >= self.nand.n_pages:
+                self._garbage_collect()
+            ppn = self._next_free
+            self._next_free += 1
+            if not self.nand.is_programmed(ppn):
+                return ppn
+        raise DeviceError("FTL out of space even after garbage collection")
+
+    def _garbage_collect(self) -> None:
+        """Greedy GC: erase the block with the fewest valid pages, moving
+        survivors.  This is the mechanism that eats hidden volumes."""
+        ppb = self.nand.pages_per_block
+        valid_per_block = self._valid.reshape(self.nand.n_blocks, ppb).sum(axis=1)
+        victim = int(np.argmin(valid_per_block))
+        start = victim * ppb
+        survivors = [
+            (int(np.nonzero(self._map == ppn)[0][0]), self.nand.read_page(ppn))
+            for ppn in range(start, start + ppb)
+            if self._valid[ppn]
+        ]
+        self.nand.erase_block(victim)
+        self._valid[start : start + ppb] = False
+        self._next_free = start
+        for lpn, data in survivors:
+            ppn = self._next_free
+            self._next_free += 1
+            self.nand.program_page(ppn, data)
+            self._map[lpn] = ppn
+            self._valid[ppn] = True
+
+    # -- occupancy accounting (what the detector sees) ----------------------------------
+
+    def physical_programmed_pages(self) -> int:
+        return int(sum(self.nand.is_programmed(p) for p in range(self.nand.n_pages)))
+
+    def logical_mapped_pages(self) -> int:
+        return int((self._map >= 0).sum())
+
+
+class FtlHiddenVolume:
+    """The Srinivasan-style scheme: stash data in over-provisioned pages.
+
+    Hidden pages are programmed directly into physical pages the FTL has
+    not allocated, chosen from the top of the address space.  The FTL does
+    not know about them — which is both the hiding and the fragility.
+    """
+
+    def __init__(self, ftl: SimpleFtl):
+        self.ftl = ftl
+        self._hidden_pages: list[int] = []
+
+    @property
+    def capacity_pages(self) -> int:
+        return self.ftl.nand.n_pages - self.ftl.n_logical
+
+    def hide(self, pages: "list[bytes]") -> None:
+        if len(pages) > self.capacity_pages:
+            raise CapacityError(
+                f"{len(pages)} pages exceed the over-provisioned "
+                f"{self.capacity_pages}"
+            )
+        candidates = [
+            p
+            for p in range(self.ftl.nand.n_pages - 1, -1, -1)
+            if not self.ftl.nand.is_programmed(p)
+        ]
+        for data in pages:
+            page = candidates.pop(0)
+            self.ftl.nand.program_page(page, data)
+            self._hidden_pages.append(page)
+
+    def reveal(self) -> "list[bytes]":
+        """Read the stash back — silently returning garbage for pages the
+        FTL has since recycled (the unintentional-overwriting failure)."""
+        return [self.ftl.nand.read_page(p) for p in self._hidden_pages]
+
+    def surviving_fraction(self, original: "list[bytes]") -> float:
+        recovered = self.reveal()
+        if not original:
+            raise ConfigurationError("nothing was hidden")
+        hits = sum(1 for a, b in zip(original, recovered) if a == b)
+        return hits / len(original)
+
+
+def detect_hidden_volume(ftl: SimpleFtl, *, slack_pages: int = 2) -> bool:
+    """The Jia et al. style detector: physical occupancy should not exceed
+    logical occupancy (plus a little GC slack).  Hidden pages are
+    programmed but unmapped — exactly the discrepancy this flags."""
+    if slack_pages < 0:
+        raise ConfigurationError("slack must be >= 0")
+    return ftl.physical_programmed_pages() > ftl.logical_mapped_pages() + slack_pages

@@ -1,0 +1,112 @@
+"""Wang et al. 2013: hiding information in Flash program time.
+
+The scheme (paper §8): deliberately stress (program/erase cycle) a group of
+128 cells to shift their program time; because intrinsic program times are
+long-tailed, a stressed group hides among the natural variation.  Group
+membership is keyed — addresses are permuted with a symmetric cipher — so
+only the key holder knows which cells to measure.  Decoding programs the
+array once, measures per-cell times, and compares each group's mean against
+the unstressed population.
+
+Capacity is intrinsically tiny: one bit per group, and only a fraction of
+pages are usable because heavy cycling of adjacent pages interferes —
+modelled with ``usable_page_fraction``, landing at the paper's ~0.05%.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..bitutils import as_bit_array
+from ..crypto.ctr import AesCtr
+from ..errors import CapacityError, ConfigurationError
+from .flash_cell import FlashAnalogArray
+
+#: Paper-quoted group size: "A group of 128-bit cells encodes 1-bit".
+GROUP_CELLS = 128
+
+#: P/E cycles applied to groups encoding a 1 (enough to shift the mean
+#: program time ~1.5 sigma without visibly damaging the block).
+STRESS_CYCLES = 3000
+
+
+class WangProgramTimeScheme:
+    """The program-time hiding baseline."""
+
+    def __init__(
+        self,
+        flash: FlashAnalogArray,
+        key: bytes,
+        *,
+        group_cells: int = GROUP_CELLS,
+        usable_page_fraction: float = 0.125,
+        stress_cycles: int = STRESS_CYCLES,
+    ):
+        if group_cells <= 1:
+            raise ConfigurationError("group_cells must be > 1")
+        if not 0 < usable_page_fraction <= 1:
+            raise ConfigurationError("usable_page_fraction must be in (0, 1]")
+        self.flash = flash
+        self.key = key
+        self.group_cells = group_cells
+        self.usable_page_fraction = usable_page_fraction
+        self.stress_cycles = stress_cycles
+        self._permutation = self._keyed_permutation()
+
+    def _keyed_permutation(self) -> np.ndarray:
+        """Key-dependent cell permutation (the paper's encrypted grouping)."""
+        stream = AesCtr(self.key, b"wang13-group").keystream(
+            4 * self.flash.n_cells
+        )
+        ranks = stream.view(np.uint32)[: self.flash.n_cells].astype(np.uint64)
+        # Stable argsort of keyed ranks = pseudorandom permutation.
+        return np.argsort(ranks, kind="stable")
+
+    @property
+    def capacity_bits(self) -> int:
+        """Hidden bits this array can carry."""
+        usable_cells = int(self.flash.n_cells * self.usable_page_fraction)
+        return usable_cells // self.group_cells
+
+    @property
+    def capacity_fraction(self) -> float:
+        """Hidden bits per memory bit (the §5.3 0.05% figure)."""
+        return self.capacity_bits / self.flash.n_cells
+
+    def _group_indices(self, bit_index: int) -> np.ndarray:
+        start = bit_index * self.group_cells
+        return self._permutation[start : start + self.group_cells]
+
+    # -- protocol -------------------------------------------------------------------
+
+    def encode(self, bits: np.ndarray) -> None:
+        """Hide ``bits``: stress the groups whose bit is 1."""
+        bits = as_bit_array(bits)
+        if bits.size > self.capacity_bits:
+            raise CapacityError(
+                f"{bits.size} bits exceed Wang capacity {self.capacity_bits}"
+            )
+        mask = np.zeros(self.flash.n_cells, dtype=bool)
+        for i, bit in enumerate(bits):
+            if bit:
+                mask[self._group_indices(i)] = True
+        self.flash.cycle_cells(mask, self.stress_cycles)
+
+    def decode(self, n_bits: int) -> np.ndarray:
+        """Recover hidden bits by measuring program times.
+
+        Destructive to current contents (erase + program a test pattern),
+        exactly like the real attack-surface: decoding needs device control.
+        """
+        if not 0 < n_bits <= self.capacity_bits:
+            raise ConfigurationError(f"n_bits out of range (max {self.capacity_bits})")
+        self.flash.erase()
+        times = self.flash.program(np.zeros(self.flash.n_cells, dtype=np.uint8))
+        reference = float(np.median(times))
+        slowdown = 1.0 + self.flash.wear_slowdown * self.stress_cycles / 2.0
+        threshold = reference * slowdown
+        out = np.empty(n_bits, dtype=np.uint8)
+        for i in range(n_bits):
+            group = times[self._group_indices(i)]
+            out[i] = 1 if float(group.mean()) > threshold else 0
+        return out

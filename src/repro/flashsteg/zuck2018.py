@@ -1,0 +1,138 @@
+"""Zuck et al. 2018 ("Stash in a Flash"): voltage-level hiding.
+
+Two passes (paper §8): the first stores encrypted *cover data*; the second
+selects cells that hold a programmed value and incrementally charges some of
+them beyond their preset level to encode hidden bits.  Reading the hidden
+data uses a shifted read threshold that splits "normal" from "overcharged"
+programmed cells.
+
+Flash voltage levels drift with temperature, read disturb and wear, so one
+cell per bit is hopeless in practice: like the Wang scheme, hidden bits are
+spread over *groups* of carrier cells and majority-decoded, which is what
+caps the capacity at the paper's ~0.1% (twice the write-time method's, §5.3).
+
+The fatal fragility the paper highlights: the hidden data only survives as
+long as the cover data is never erased or re-programmed — an active
+adversary who copies the cover data and writes it back destroys the stash
+without ever proving it existed.  :meth:`rewrite_cover` implements exactly
+that attack for the Table 3 resilience comparison.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..bitutils import as_bit_array
+from ..errors import CapacityError, ConfigurationError, DecodeFailure
+from .flash_cell import FlashAnalogArray, PROGRAMMED_LEVEL
+
+#: Extra charge marking a hidden 1 (kept below one full level so the cell's
+#: digital value is unchanged — that is the whole trick).
+HIDE_DELTA = 0.6
+
+#: Read threshold separating normal from overcharged programmed cells.
+HIDDEN_READ_LEVEL = PROGRAMMED_LEVEL + HIDE_DELTA / 2.0
+
+#: Carrier cells per hidden bit: the margin against level drift.
+GROUP_CELLS = 250
+
+
+class ZuckVoltageScheme:
+    """The voltage-level hiding baseline."""
+
+    def __init__(
+        self,
+        flash: FlashAnalogArray,
+        *,
+        bits_per_cell_fraction: float = 0.5,
+        group_cells: int = GROUP_CELLS,
+    ):
+        if not 0 < bits_per_cell_fraction <= 1:
+            raise ConfigurationError("bits_per_cell_fraction must be in (0, 1]")
+        if group_cells < 1:
+            raise ConfigurationError("group_cells must be >= 1")
+        self.flash = flash
+        self.bits_per_cell_fraction = bits_per_cell_fraction
+        self.group_cells = group_cells
+        self._cover: np.ndarray | None = None
+        self._carrier_cells: np.ndarray | None = None
+
+    # -- pass 1: cover data -----------------------------------------------------------
+
+    def write_cover(self, cover_bits: np.ndarray) -> None:
+        """Store the (already encrypted) cover data."""
+        bits = as_bit_array(cover_bits)
+        if bits.size != self.flash.n_cells:
+            raise ConfigurationError(
+                f"cover must fill the array ({self.flash.n_cells} bits)"
+            )
+        self.flash.erase()
+        self.flash.program(bits)
+        self._cover = bits.copy()
+        programmed = np.nonzero(bits == 0)[0]
+        keep = int(len(programmed) * self.bits_per_cell_fraction)
+        self._carrier_cells = programmed[:keep]
+
+    @property
+    def capacity_bits(self) -> int:
+        """Hidden bits available given the current cover data."""
+        if self._carrier_cells is None:
+            return 0
+        return len(self._carrier_cells) // self.group_cells
+
+    @property
+    def capacity_fraction(self) -> float:
+        """Hidden bits per memory bit (the §5.3 ~0.1% figure)."""
+        return self.capacity_bits / self.flash.n_cells
+
+    def _group(self, bit_index: int) -> np.ndarray:
+        start = bit_index * self.group_cells
+        return self._carrier_cells[start : start + self.group_cells]
+
+    # -- pass 2: hidden data ---------------------------------------------------------------
+
+    def hide(self, hidden_bits: np.ndarray) -> None:
+        """Overcharge the carrier groups whose hidden bit is 1."""
+        if self._carrier_cells is None:
+            raise DecodeFailure("write cover data before hiding")
+        bits = as_bit_array(hidden_bits)
+        if bits.size > self.capacity_bits:
+            raise CapacityError(
+                f"{bits.size} hidden bits exceed capacity {self.capacity_bits}"
+            )
+        mask = np.zeros(self.flash.n_cells, dtype=bool)
+        for i, bit in enumerate(bits):
+            if bit:
+                mask[self._group(i)] = True
+        self.flash.nudge_levels(mask, HIDE_DELTA)
+
+    def reveal(self, n_bits: int) -> np.ndarray:
+        """Read hidden bits back through the shifted threshold, majority
+        voting within each carrier group."""
+        if self._carrier_cells is None:
+            raise DecodeFailure("no cover data; nothing to reveal")
+        if not 0 < n_bits <= self.capacity_bits:
+            raise ConfigurationError(f"n_bits out of range (max {self.capacity_bits})")
+        levels = self.flash.read_levels()
+        out = np.empty(n_bits, dtype=np.uint8)
+        for i in range(n_bits):
+            group_levels = levels[self._group(i)]
+            overcharged = group_levels > HIDDEN_READ_LEVEL
+            out[i] = 1 if overcharged.mean() > 0.5 else 0
+        return out
+
+    # -- the adversary's move -------------------------------------------------------------------
+
+    def rewrite_cover(self) -> None:
+        """Copy the cover data out and program it back unchanged.
+
+        Digitally a no-op; analogically it resets every charge level —
+        destroying the hidden message.  This is the Table 3 resilience
+        failure mode Invisible Bits does not share.
+        """
+        if self._cover is None:
+            raise DecodeFailure("no cover data present")
+        cover = self.flash.read()
+        self.flash.erase()
+        self.flash.program(cover)
+        # Carrier bookkeeping survives (same cover), but all nudges are gone.

@@ -1,0 +1,14 @@
+"""The evaluation platform (paper §5, Figure 5).
+
+The paper automates encoding and decoding with a custom control board, a
+thermal chamber, a bench supply, and a debug host.  This package is that
+rig for simulated devices: :class:`ControlBoard` sequences power cycling,
+supply elevation, chamber set-points and debug-port sampling, so experiment
+code reads like the paper's methodology sections.
+"""
+
+from .controlboard import ControlBoard
+from .power import PowerSupply
+from .thermal import ThermalChamber
+
+__all__ = ["ControlBoard", "PowerSupply", "ThermalChamber"]

@@ -1,0 +1,85 @@
+"""An encoding rack: many boards, one thermal chamber.
+
+The paper points out that "devices can be encoded in parallel" (§5.3) — a
+single thermal chamber holds a tray of boards, all stressed together.  The
+rack owns one shared :class:`ThermalChamber` and per-slot
+:class:`ControlBoard` instances (each device still needs its own supply)
+and sequences the shared stress period once for the whole tray.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..device.device import Device
+from ..errors import ConfigurationError
+from ..units import hours, kelvin_to_celsius
+from .controlboard import ControlBoard
+from .thermal import ThermalChamber
+
+
+class EncodingRack:
+    """A tray of devices sharing one chamber."""
+
+    def __init__(self, devices: "list[Device]"):
+        if not devices:
+            raise ConfigurationError("rack needs at least one device")
+        self.chamber = ThermalChamber()
+        self.boards = [
+            ControlBoard(device, chamber=self.chamber) for device in devices
+        ]
+        # ControlBoard.__init__ inserts each device; nothing else to wire.
+
+    def __len__(self) -> int:
+        return len(self.boards)
+
+    def stage_payloads(self, payloads: "list[np.ndarray]", *, use_firmware: bool = False) -> None:
+        """Stage one payload per slot (Alg. 1 lines 3-4, tray-wide)."""
+        if len(payloads) != len(self.boards):
+            raise ConfigurationError(
+                f"{len(payloads)} payloads for {len(self.boards)} slots"
+            )
+        for board, payload in zip(self.boards, payloads):
+            board.stage_payload(payload, use_firmware=use_firmware)
+
+    def stress_all(
+        self,
+        *,
+        stress_hours: float,
+        temp_stress_c: float = 85.0,
+        vdd_per_board: "list[float] | None" = None,
+    ) -> None:
+        """One shared stress period: set the chamber once, elevate every
+        slot's supply, let the time pass for all devices together."""
+        if stress_hours <= 0:
+            raise ConfigurationError("stress time must be positive")
+        for board in self.boards:
+            if not board.device.powered:
+                raise ConfigurationError("stage payloads before stressing")
+        self.chamber.set_temperature(temp_stress_c)
+        for index, board in enumerate(self.boards):
+            vdd = (
+                board.device.spec.recipe.vdd_stress
+                if vdd_per_board is None
+                else vdd_per_board[index]
+            )
+            if board.device.spec.has_regulator and not board.device.regulator.bypassed:
+                board.device.regulator.bypass()
+            board.supply.set_voltage(vdd)
+        for board in self.boards:
+            board.device.advance(hours(stress_hours))
+        self.chamber.set_temperature(kelvin_to_celsius(self.chamber.ambient_k))
+        for board in self.boards:
+            board.power_off()
+
+    def measure_errors(self, payloads: "list[np.ndarray]", *, n_captures: int = 5) -> list[float]:
+        """Per-slot channel error against the staged payloads."""
+        from ..bitutils import bit_error_rate, invert_bits
+
+        if len(payloads) != len(self.boards):
+            raise ConfigurationError("payload count mismatch")
+        errors = []
+        for board, payload in zip(self.boards, payloads):
+            state = board.majority_power_on_state(n_captures)
+            errors.append(bit_error_rate(payload, invert_bits(state)))
+        return errors

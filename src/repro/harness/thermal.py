@@ -1,0 +1,65 @@
+"""The thermal chamber (paper's TestEquity 123H stand-in)."""
+
+from __future__ import annotations
+
+from ..errors import ConfigurationError
+from ..units import celsius_to_kelvin, kelvin_to_celsius
+
+from ..physics.constants import NOMINAL_TEMP_K
+
+
+class ThermalChamber:
+    """Holds devices at a set-point temperature.
+
+    Devices placed in the chamber track its set-point; removing a device
+    returns it to room ambient.  Ramp dynamics are instantaneous — the
+    paper's multi-hour stress periods dwarf any chamber ramp time.
+    """
+
+    def __init__(
+        self,
+        *,
+        min_c: float = -40.0,
+        max_c: float = 130.0,
+        ambient_k: float = NOMINAL_TEMP_K,
+    ):
+        if min_c >= max_c:
+            raise ConfigurationError("chamber range is empty")
+        self.min_c = min_c
+        self.max_c = max_c
+        self.ambient_k = ambient_k
+        self.setpoint_k = ambient_k
+        self._contents: list = []
+
+    def set_temperature(self, temp_c: float) -> None:
+        """Program the chamber set-point (degrees Celsius, like the panel)."""
+        if not self.min_c <= temp_c <= self.max_c:
+            raise ConfigurationError(
+                f"set-point {temp_c} C outside chamber range "
+                f"[{self.min_c}, {self.max_c}] C"
+            )
+        self.setpoint_k = celsius_to_kelvin(temp_c)
+        for device in self._contents:
+            device.set_ambient(self.setpoint_k)
+
+    @property
+    def temperature_c(self) -> float:
+        return kelvin_to_celsius(self.setpoint_k)
+
+    def insert(self, device) -> None:
+        """Place a device in the chamber: it tracks the set-point."""
+        if device in self._contents:
+            raise ConfigurationError("device is already in the chamber")
+        self._contents.append(device)
+        device.set_ambient(self.setpoint_k)
+
+    def remove(self, device) -> None:
+        """Take a device out: it returns to room ambient."""
+        if device not in self._contents:
+            raise ConfigurationError("device is not in the chamber")
+        self._contents.remove(device)
+        device.set_ambient(self.ambient_k)
+
+    @property
+    def contents(self) -> list:
+        return list(self._contents)

@@ -1,0 +1,186 @@
+"""Host-side persistence: captures, enrollments and key material on disk.
+
+A real deployment separates capture from analysis: the field laptop stores
+power-on captures from the debug probe; decoding and steganalysis happen
+later, elsewhere.  This module is that interchange layer — a small, stable,
+self-describing JSON+hex container (no pickle: capture files cross trust
+boundaries).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import numpy as np
+
+from .bitutils import bits_to_bytes, bytes_to_bits
+from .errors import ConfigurationError
+
+FORMAT_VERSION = 1
+
+
+def _check_path(path) -> pathlib.Path:
+    return pathlib.Path(path)
+
+
+def save_captures(
+    path,
+    samples: np.ndarray,
+    *,
+    device_name: str = "",
+    device_id: bytes = b"",
+    metadata: "dict | None" = None,
+) -> None:
+    """Persist power-on captures of shape ``(n_captures, n_bits)``."""
+    samples = np.asarray(samples, dtype=np.uint8)
+    if samples.ndim != 2 or samples.shape[1] % 8:
+        raise ConfigurationError(
+            "captures must be (n_captures, n_bits) with whole-byte rows"
+        )
+    payload = {
+        "format": "invisible-bits/captures",
+        "version": FORMAT_VERSION,
+        "device_name": device_name,
+        "device_id": device_id.hex(),
+        "n_captures": int(samples.shape[0]),
+        "n_bits": int(samples.shape[1]),
+        "captures": [bits_to_bytes(row).hex() for row in samples],
+        "metadata": metadata or {},
+    }
+    _check_path(path).write_text(json.dumps(payload, indent=1))
+
+
+def load_captures(path) -> tuple[np.ndarray, dict]:
+    """Load captures; returns ``(samples, info)`` where ``info`` carries
+    the device name/ID and any metadata."""
+    raw = json.loads(_check_path(path).read_text())
+    if raw.get("format") != "invisible-bits/captures":
+        raise ConfigurationError(f"{path}: not a captures file")
+    if raw.get("version") != FORMAT_VERSION:
+        raise ConfigurationError(
+            f"{path}: unsupported version {raw.get('version')}"
+        )
+    n_bits = int(raw["n_bits"])
+    samples = np.stack(
+        [bytes_to_bits(bytes.fromhex(row))[:n_bits] for row in raw["captures"]]
+    )
+    if samples.shape[0] != raw["n_captures"]:
+        raise ConfigurationError(f"{path}: capture count mismatch")
+    info = {
+        "device_name": raw.get("device_name", ""),
+        "device_id": bytes.fromhex(raw.get("device_id", "")),
+        "metadata": raw.get("metadata", {}),
+    }
+    return samples, info
+
+
+def save_enrollment(path, enrollment) -> None:
+    """Persist a PUF enrollment (:class:`repro.puf.PufEnrollment`)."""
+    payload = {
+        "format": "invisible-bits/enrollment",
+        "version": FORMAT_VERSION,
+        "device_name": enrollment.device_name,
+        "n_captures": enrollment.n_captures,
+        "n_bits": int(enrollment.reference.size),
+        "reference": bits_to_bytes(enrollment.reference).hex(),
+    }
+    _check_path(path).write_text(json.dumps(payload, indent=1))
+
+
+def load_enrollment(path):
+    """Load a PUF enrollment."""
+    from .puf.sram_puf import PufEnrollment
+
+    raw = json.loads(_check_path(path).read_text())
+    if raw.get("format") != "invisible-bits/enrollment":
+        raise ConfigurationError(f"{path}: not an enrollment file")
+    reference = bytes_to_bits(bytes.fromhex(raw["reference"]))[: raw["n_bits"]]
+    return PufEnrollment(
+        device_name=raw["device_name"],
+        reference=reference,
+        n_captures=int(raw["n_captures"]),
+    )
+
+
+def save_device_state(path, device) -> None:
+    """Persist a simulated device's full analog state (mismatch + aging).
+
+    Long campaigns (14-week shelf studies, multi-session fleets) can stop
+    and resume without recomputing stress history.  Uses numpy's ``.npz``
+    container; power must be off (a real device also only travels cold).
+    """
+    from .errors import PowerError
+
+    if device.powered:
+        raise PowerError("power the device down before snapshotting")
+    sram = device.sram
+    np.savez_compressed(
+        _check_path(path),
+        format=np.array("invisible-bits/device-state"),
+        version=np.array(FORMAT_VERSION),
+        device_name=np.array(device.spec.name),
+        device_id=np.frombuffer(device.device_id, dtype=np.uint8),
+        n_bits=np.array(sram.n_bits),
+        mismatch=sram.mismatch,
+        stress_1=sram.age_when_1.stress_seconds,
+        relax_1=sram.age_when_1.relax_seconds,
+        stress_0=sram.age_when_0.stress_seconds,
+        relax_0=sram.age_when_0.relax_seconds,
+        toggle_count=np.array(sram.toggle_count),
+    )
+
+
+def load_device_state(path, device) -> None:
+    """Restore a snapshot into a compatible (same model, same size) device.
+
+    The target keeps its own RNG stream; only the analog state is replaced.
+    """
+    raw = np.load(_check_path(path))
+    if str(raw["format"]) != "invisible-bits/device-state":
+        raise ConfigurationError(f"{path}: not a device-state file")
+    if int(raw["version"]) != FORMAT_VERSION:
+        raise ConfigurationError(f"{path}: unsupported version")
+    if str(raw["device_name"]) != device.spec.name:
+        raise ConfigurationError(
+            f"{path}: snapshot is for {raw['device_name']}, "
+            f"target is {device.spec.name}"
+        )
+    if int(raw["n_bits"]) != device.sram.n_bits:
+        raise ConfigurationError(f"{path}: SRAM size mismatch")
+    sram = device.sram
+    sram.mismatch[...] = raw["mismatch"]
+    sram.age_when_1.stress_seconds[...] = raw["stress_1"]
+    sram.age_when_1.relax_seconds[...] = raw["relax_1"]
+    sram.age_when_0.stress_seconds[...] = raw["stress_0"]
+    sram.age_when_0.relax_seconds[...] = raw["relax_0"]
+    sram.toggle_count = float(raw["toggle_count"])
+    device.device_id = bytes(raw["device_id"].tobytes())
+
+
+def save_helper_data(path, helper) -> None:
+    """Persist fuzzy-extractor helper data (public by construction)."""
+    payload = {
+        "format": "invisible-bits/helper",
+        "version": FORMAT_VERSION,
+        "copies": helper.copies,
+        "secret_bits": helper.secret_bits,
+        "offset": bits_to_bytes(helper.offset).hex(),
+    }
+    _check_path(path).write_text(json.dumps(payload, indent=1))
+
+
+def load_helper_data(path):
+    """Load fuzzy-extractor helper data."""
+    from .puf.fuzzy import HelperData
+
+    raw = json.loads(_check_path(path).read_text())
+    if raw.get("format") != "invisible-bits/helper":
+        raise ConfigurationError(f"{path}: not a helper-data file")
+    offset = bytes_to_bits(bytes.fromhex(raw["offset"]))
+    expected = int(raw["copies"]) * int(raw["secret_bits"])
+    return HelperData(
+        offset=offset[:expected],
+        copies=int(raw["copies"]),
+        secret_bits=int(raw["secret_bits"]),
+    )

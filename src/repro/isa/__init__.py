@@ -1,0 +1,38 @@
+"""A small RISC toolchain: the firmware substrate.
+
+The paper's tool "takes a payload expressed as a binary file, and returns an
+assembly program that writes that payload to the SRAM" (§4.2), assembles it
+and loads it over a debug port.  This package provides the equivalent for
+the simulated devices: a 32-bit load/store ISA ("MiniCore"), a two-pass
+assembler, a disassembler, a cycle-stepped CPU emulator, and generators for
+the three programs the protocol needs (payload writer, power-on-state
+retention, camouflage).
+"""
+
+from .assembler import assemble
+from .cpu import CPU
+from .disassembler import disassemble, disassemble_word
+from .memory import MemoryBus, MemoryRegion, RamRegion, RomRegion
+from .opcodes import Opcode
+from .programs import (
+    camouflage_program,
+    payload_writer_program,
+    prng_workload_program,
+    retention_program,
+)
+
+__all__ = [
+    "CPU",
+    "MemoryBus",
+    "MemoryRegion",
+    "Opcode",
+    "RamRegion",
+    "RomRegion",
+    "assemble",
+    "camouflage_program",
+    "disassemble",
+    "disassemble_word",
+    "payload_writer_program",
+    "prng_workload_program",
+    "retention_program",
+]

@@ -1,0 +1,150 @@
+"""The MiniCore CPU emulator.
+
+A straightforward fetch-decode-execute interpreter.  Two termination states
+matter to the Invisible Bits protocol:
+
+- ``halted`` — the program executed HALT;
+- ``spinning`` — the program entered a tight busy-wait (a jump or branch to
+  itself), which is how the paper's payload-writer and retention programs
+  park the CPU while the analog encoding happens (§4.2).  The run loop
+  detects this so callers don't burn host cycles emulating a spin.
+"""
+
+from __future__ import annotations
+
+from ..errors import EmulatorError
+from .memory import MemoryBus
+from .opcodes import (
+    LINK_REGISTER,
+    N_REGISTERS,
+    WORD_BYTES,
+    Opcode,
+    sign_extend_16,
+)
+
+_MASK32 = 0xFFFF_FFFF
+
+
+class CPU:
+    """A single MiniCore hart attached to a :class:`MemoryBus`."""
+
+    def __init__(self, bus: MemoryBus, *, reset_pc: int = 0):
+        self.bus = bus
+        self.reset_pc = reset_pc
+        self.regs = [0] * N_REGISTERS
+        self.pc = reset_pc
+        self.halted = False
+        self.spinning = False
+        self.instructions_retired = 0
+
+    def reset(self, pc: "int | None" = None) -> None:
+        """Reset architectural state (power-on or debugger reset)."""
+        self.regs = [0] * N_REGISTERS
+        self.pc = self.reset_pc if pc is None else pc
+        self.halted = False
+        self.spinning = False
+        self.instructions_retired = 0
+
+    # -- execution ---------------------------------------------------------------
+
+    def step(self) -> None:
+        """Execute one instruction."""
+        if self.halted:
+            raise EmulatorError("CPU is halted")
+        word = self.bus.load_word(self.pc)
+        opcode_raw = (word >> 26) & 0x3F
+        rd = (word >> 22) & 0xF
+        rs1 = (word >> 18) & 0xF
+        rs2 = (word >> 14) & 0xF
+        imm_u = word & 0xFFFF
+
+        try:
+            opcode = Opcode(opcode_raw)
+        except ValueError:
+            raise EmulatorError(
+                f"illegal opcode {opcode_raw:#04x} at {self.pc:#010x}"
+            ) from None
+
+        regs = self.regs
+        next_pc = self.pc + WORD_BYTES
+
+        if opcode is Opcode.NOP:
+            pass
+        elif opcode is Opcode.HALT:
+            self.halted = True
+        elif opcode is Opcode.ADD:
+            regs[rd] = (regs[rs1] + regs[rs2]) & _MASK32
+        elif opcode is Opcode.SUB:
+            regs[rd] = (regs[rs1] - regs[rs2]) & _MASK32
+        elif opcode is Opcode.AND:
+            regs[rd] = regs[rs1] & regs[rs2]
+        elif opcode is Opcode.OR:
+            regs[rd] = regs[rs1] | regs[rs2]
+        elif opcode is Opcode.XOR:
+            regs[rd] = regs[rs1] ^ regs[rs2]
+        elif opcode is Opcode.SLL:
+            regs[rd] = (regs[rs1] << (regs[rs2] & 31)) & _MASK32
+        elif opcode is Opcode.SRL:
+            regs[rd] = (regs[rs1] & _MASK32) >> (regs[rs2] & 31)
+        elif opcode is Opcode.MUL:
+            regs[rd] = (regs[rs1] * regs[rs2]) & _MASK32
+        elif opcode is Opcode.ADDI:
+            regs[rd] = (regs[rs1] + sign_extend_16(imm_u)) & _MASK32
+        elif opcode is Opcode.ANDI:
+            regs[rd] = regs[rs1] & imm_u
+        elif opcode is Opcode.ORI:
+            regs[rd] = regs[rs1] | imm_u
+        elif opcode is Opcode.XORI:
+            regs[rd] = regs[rs1] ^ imm_u
+        elif opcode is Opcode.LUI:
+            regs[rd] = (imm_u << 16) & _MASK32
+        elif opcode is Opcode.SLLI:
+            regs[rd] = (regs[rs1] << (imm_u & 31)) & _MASK32
+        elif opcode is Opcode.SRLI:
+            regs[rd] = (regs[rs1] & _MASK32) >> (imm_u & 31)
+        elif opcode is Opcode.LW:
+            regs[rd] = self.bus.load_word((regs[rs1] + sign_extend_16(imm_u)) & _MASK32)
+        elif opcode is Opcode.SW:
+            self.bus.store_word((regs[rs1] + sign_extend_16(imm_u)) & _MASK32, regs[rd])
+        elif opcode is Opcode.BEQ:
+            if regs[rd] == regs[rs1]:
+                next_pc = self._branch_target(imm_u)
+        elif opcode is Opcode.BNE:
+            if regs[rd] != regs[rs1]:
+                next_pc = self._branch_target(imm_u)
+        elif opcode is Opcode.BLTU:
+            if (regs[rd] & _MASK32) < (regs[rs1] & _MASK32):
+                next_pc = self._branch_target(imm_u)
+        elif opcode is Opcode.JMP:
+            next_pc = (word & 0x03FF_FFFF) << 2
+        elif opcode is Opcode.JAL:
+            regs[LINK_REGISTER] = self.pc + WORD_BYTES
+            next_pc = (word & 0x03FF_FFFF) << 2
+        elif opcode is Opcode.JR:
+            next_pc = regs[rs1] & ~0x3
+        else:  # pragma: no cover - exhaustive above
+            raise EmulatorError(f"unimplemented opcode {opcode}")
+
+        if not self.halted and next_pc == self.pc:
+            # A jump/branch straight back to itself: the canonical busy-wait.
+            self.spinning = True
+        self.pc = next_pc
+        self.instructions_retired += 1
+
+    def _branch_target(self, imm_u: int) -> int:
+        return self.pc + WORD_BYTES + WORD_BYTES * sign_extend_16(imm_u)
+
+    def run(self, max_steps: int = 10_000_000) -> str:
+        """Run until HALT, a busy-wait spin, or ``max_steps``.
+
+        Returns ``"halted"``, ``"spinning"`` or ``"limit"``.
+        """
+        if max_steps <= 0:
+            raise EmulatorError(f"max_steps must be positive, got {max_steps}")
+        for _ in range(max_steps):
+            self.step()
+            if self.halted:
+                return "halted"
+            if self.spinning:
+                return "spinning"
+        return "limit"

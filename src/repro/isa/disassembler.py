@@ -1,0 +1,59 @@
+"""MiniCore disassembler — the debugging counterpart of the assembler."""
+
+from __future__ import annotations
+
+from .opcodes import (
+    BRANCH_OPCODES,
+    FORMATS,
+    WORD_BYTES,
+    Format,
+    Opcode,
+    decode_fields,
+    sign_extend_16,
+)
+
+
+def disassemble_word(word: int, address: int = 0) -> str:
+    """Render one instruction word as assembly text.
+
+    Unknown opcodes render as ``.word`` directives so a full-image
+    disassembly round-trips through the assembler.
+    """
+    op_raw, rd, rs1, rs2, imm16, jtarget = decode_fields(word)
+    try:
+        opcode = Opcode(op_raw)
+    except ValueError:
+        return f".word {word:#010x}"
+    fmt = FORMATS[opcode]
+    name = opcode.name.lower()
+
+    if fmt is Format.N:
+        return name
+    if fmt is Format.J:
+        return f"{name} {jtarget:#x}"
+    if opcode is Opcode.JR:
+        return f"{name} r{rs1}"
+    if fmt is Format.R:
+        return f"{name} r{rd}, r{rs1}, r{rs2}"
+    if opcode in (Opcode.LW, Opcode.SW):
+        return f"{name} r{rd}, {sign_extend_16(imm16)}(r{rs1})"
+    if opcode in BRANCH_OPCODES:
+        target = address + WORD_BYTES + WORD_BYTES * sign_extend_16(imm16)
+        return f"{name} r{rd}, r{rs1}, {target:#x}"
+    if opcode is Opcode.LUI:
+        return f"{name} r{rd}, {imm16:#x}"
+    if opcode is Opcode.ADDI:
+        return f"{name} r{rd}, r{rs1}, {sign_extend_16(imm16)}"
+    return f"{name} r{rd}, r{rs1}, {imm16:#x}"
+
+
+def disassemble(image: bytes, base_address: int = 0) -> list[str]:
+    """Disassemble a flat image into ``address: text`` lines."""
+    if len(image) % WORD_BYTES:
+        image = image.ljust(-(-len(image) // WORD_BYTES) * WORD_BYTES, b"\x00")
+    lines = []
+    for offset in range(0, len(image), WORD_BYTES):
+        word = int.from_bytes(image[offset : offset + WORD_BYTES], "little")
+        address = base_address + offset
+        lines.append(f"{address:#010x}: {disassemble_word(word, address)}")
+    return lines

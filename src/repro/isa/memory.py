@@ -1,0 +1,160 @@
+"""The memory bus connecting the CPU to Flash and SRAM.
+
+Regions are registered at base addresses (the memory map mimics a Cortex-M
+part: code Flash at 0x0000_0000, SRAM at 0x2000_0000) and the bus dispatches
+word accesses.  :class:`SramRegion` adapts word traffic onto the bit-level
+:class:`repro.sram.SRAMArray` so firmware writes actually set the analog
+simulator's stored state.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigurationError, EmulatorError
+from ..bitutils import bits_to_bytes, bytes_to_bits
+from .opcodes import WORD_BYTES
+
+FLASH_BASE = 0x0000_0000
+SRAM_BASE = 0x2000_0000
+
+
+class MemoryRegion:
+    """Abstract address range with word load/store semantics."""
+
+    def __init__(self, base: int, size: int, name: str):
+        if base % WORD_BYTES or size % WORD_BYTES:
+            raise ConfigurationError(f"region {name}: base/size must be word aligned")
+        if size <= 0:
+            raise ConfigurationError(f"region {name}: size must be positive")
+        self.base = base
+        self.size = size
+        self.name = name
+
+    def contains(self, address: int) -> bool:
+        return self.base <= address < self.base + self.size
+
+    def load_word(self, address: int) -> int:
+        raise NotImplementedError
+
+    def store_word(self, address: int, value: int) -> None:
+        raise NotImplementedError
+
+
+class RomRegion(MemoryRegion):
+    """Read-only code memory (firmware already programmed into Flash)."""
+
+    def __init__(self, base: int, size: int, name: str = "flash"):
+        super().__init__(base, size, name)
+        self._bytes = bytearray(size)
+
+    def program(self, image: bytes, offset: int = 0) -> None:
+        """Burn an image (debugger/programmer path, not CPU stores)."""
+        if offset < 0 or offset + len(image) > self.size:
+            raise ConfigurationError(
+                f"image of {len(image)} bytes at offset {offset:#x} exceeds "
+                f"{self.name} size {self.size:#x}"
+            )
+        self._bytes[offset : offset + len(image)] = image
+
+    def load_word(self, address: int) -> int:
+        offset = address - self.base
+        return int.from_bytes(self._bytes[offset : offset + WORD_BYTES], "little")
+
+    def store_word(self, address: int, value: int) -> None:
+        raise EmulatorError(
+            f"store to read-only region {self.name} at {address:#010x}"
+        )
+
+    def dump(self) -> bytes:
+        return bytes(self._bytes)
+
+
+class RamRegion(MemoryRegion):
+    """Plain volatile RAM backed by a bytearray (for tests and scratch)."""
+
+    def __init__(self, base: int, size: int, name: str = "ram"):
+        super().__init__(base, size, name)
+        self._bytes = bytearray(size)
+
+    def load_word(self, address: int) -> int:
+        offset = address - self.base
+        return int.from_bytes(self._bytes[offset : offset + WORD_BYTES], "little")
+
+    def store_word(self, address: int, value: int) -> None:
+        offset = address - self.base
+        self._bytes[offset : offset + WORD_BYTES] = (value & 0xFFFF_FFFF).to_bytes(
+            WORD_BYTES, "little"
+        )
+
+    def dump(self) -> bytes:
+        return bytes(self._bytes)
+
+
+class SramRegion(MemoryRegion):
+    """Adapter exposing an :class:`repro.sram.SRAMArray` on the bus.
+
+    Word stores rewrite the corresponding 32 bits of the analog array's
+    stored state; loads read them back.  The array must be powered (the CPU
+    cannot run otherwise anyway).
+    """
+
+    def __init__(self, base: int, array, name: str = "sram"):
+        super().__init__(base, array.n_bytes // WORD_BYTES * WORD_BYTES, name)
+        self.array = array
+
+    def load_word(self, address: int) -> int:
+        offset = address - self.base
+        bits = self.array.read(32, bit_offset=offset * 8)
+        return int.from_bytes(bits_to_bytes(bits), "big")
+
+    def store_word(self, address: int, value: int) -> None:
+        offset = address - self.base
+        raw = (value & 0xFFFF_FFFF).to_bytes(WORD_BYTES, "big")
+        self.array.write(bytes_to_bits(raw), bit_offset=offset * 8)
+
+    def read_bytes(self, offset: int, count: int) -> bytes:
+        """Bulk byte read (debugger path)."""
+        bits = self.array.read(count * 8, bit_offset=offset * 8)
+        return bits_to_bytes(bits)
+
+    def write_bytes(self, data: bytes, offset: int = 0) -> None:
+        """Bulk byte write (debugger path)."""
+        self.array.write(bytes_to_bits(data), bit_offset=offset * 8)
+
+
+class MemoryBus:
+    """Dispatches word accesses to registered regions; faults on holes."""
+
+    def __init__(self):
+        self.regions: list[MemoryRegion] = []
+
+    def add_region(self, region: MemoryRegion) -> MemoryRegion:
+        for existing in self.regions:
+            overlap = (
+                region.base < existing.base + existing.size
+                and existing.base < region.base + region.size
+            )
+            if overlap:
+                raise ConfigurationError(
+                    f"region {region.name} overlaps {existing.name}"
+                )
+        self.regions.append(region)
+        return region
+
+    def _find(self, address: int) -> MemoryRegion:
+        for region in self.regions:
+            if region.contains(address):
+                return region
+        raise EmulatorError(f"bus fault at {address:#010x}")
+
+    def load_word(self, address: int) -> int:
+        self._check_aligned(address)
+        return self._find(address).load_word(address)
+
+    def store_word(self, address: int, value: int) -> None:
+        self._check_aligned(address)
+        self._find(address).store_word(address, value)
+
+    @staticmethod
+    def _check_aligned(address: int) -> None:
+        if address % WORD_BYTES:
+            raise EmulatorError(f"unaligned word access at {address:#010x}")

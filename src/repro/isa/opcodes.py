@@ -1,0 +1,142 @@
+"""MiniCore instruction set definition.
+
+A deliberately small 32-bit RISC: 16 registers, fixed-width instructions,
+three encoding formats.  It is just rich enough to express the paper's
+firmware (bulk copy loops, busy-wait loops, and the §5.1.4 LFSR+LCG
+pseudo-random write workload).
+
+Encoding (32 bits)::
+
+    R-type:  [31:26 opcode][25:22 rd][21:18 rs1][17:14 rs2][13:0 zero]
+    I-type:  [31:26 opcode][25:22 rd][21:18 rs1][17:16 zero][15:0 imm16]
+    J-type:  [31:26 opcode][25:0 target>>2]   (absolute word target)
+
+Branches are I-type with rd/rs1 as the compared registers and imm16 a signed
+word offset relative to the *next* instruction.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Format(enum.Enum):
+    """Instruction encoding format."""
+
+    R = "r"
+    I = "i"  # noqa: E741 - conventional ISA format name
+    J = "j"
+    N = "n"  # no operands
+
+
+class Opcode(enum.IntEnum):
+    """MiniCore opcodes (6-bit)."""
+
+    NOP = 0x00
+    HALT = 0x01
+
+    # arithmetic / logic, R-type
+    ADD = 0x02
+    SUB = 0x03
+    AND = 0x04
+    OR = 0x05
+    XOR = 0x06
+    SLL = 0x07  # shift left logical by rs2
+    SRL = 0x08  # shift right logical by rs2
+    MUL = 0x09  # low 32 bits of product
+
+    # immediates, I-type
+    ADDI = 0x10
+    ANDI = 0x11
+    ORI = 0x12
+    XORI = 0x13
+    LUI = 0x14  # rd = imm16 << 16
+    SLLI = 0x15
+    SRLI = 0x16
+
+    # memory, I-type (imm is a signed byte offset; addresses word-aligned)
+    LW = 0x20  # rd = mem[rs1 + imm]
+    SW = 0x21  # mem[rs1 + imm] = rd
+
+    # control flow
+    BEQ = 0x30  # I-type: branch if rd == rs1
+    BNE = 0x31  # I-type: branch if rd != rs1
+    BLTU = 0x32  # I-type: branch if rd < rs1 (unsigned)
+    JMP = 0x38  # J-type: absolute jump
+    JAL = 0x39  # J-type: r15 = return address, jump
+    JR = 0x3A  # R-type: jump to rs1
+
+
+#: Encoding format per opcode.
+FORMATS: dict[Opcode, Format] = {
+    Opcode.NOP: Format.N,
+    Opcode.HALT: Format.N,
+    Opcode.ADD: Format.R,
+    Opcode.SUB: Format.R,
+    Opcode.AND: Format.R,
+    Opcode.OR: Format.R,
+    Opcode.XOR: Format.R,
+    Opcode.SLL: Format.R,
+    Opcode.SRL: Format.R,
+    Opcode.MUL: Format.R,
+    Opcode.ADDI: Format.I,
+    Opcode.ANDI: Format.I,
+    Opcode.ORI: Format.I,
+    Opcode.XORI: Format.I,
+    Opcode.LUI: Format.I,
+    Opcode.SLLI: Format.I,
+    Opcode.SRLI: Format.I,
+    Opcode.LW: Format.I,
+    Opcode.SW: Format.I,
+    Opcode.BEQ: Format.I,
+    Opcode.BNE: Format.I,
+    Opcode.BLTU: Format.I,
+    Opcode.JMP: Format.J,
+    Opcode.JAL: Format.J,
+    Opcode.JR: Format.R,
+}
+
+#: Opcodes whose I-type immediate is a signed branch offset to a label.
+BRANCH_OPCODES = frozenset({Opcode.BEQ, Opcode.BNE, Opcode.BLTU})
+
+#: Opcodes whose I-type immediate is sign-extended at execution.
+SIGNED_IMM_OPCODES = frozenset(
+    {Opcode.ADDI, Opcode.LW, Opcode.SW, Opcode.BEQ, Opcode.BNE, Opcode.BLTU}
+)
+
+N_REGISTERS = 16
+WORD_BYTES = 4
+LINK_REGISTER = 15
+
+
+def encode(opcode: Opcode, rd: int = 0, rs1: int = 0, rs2: int = 0, imm: int = 0) -> int:
+    """Pack one instruction into its 32-bit word."""
+    fmt = FORMATS[opcode]
+    word = (int(opcode) & 0x3F) << 26
+    if fmt is Format.N:
+        return word
+    if fmt is Format.J:
+        return word | ((imm >> 2) & 0x03FF_FFFF)
+    word |= (rd & 0xF) << 22
+    word |= (rs1 & 0xF) << 18
+    if fmt is Format.R:
+        word |= (rs2 & 0xF) << 14
+        return word
+    return word | (imm & 0xFFFF)
+
+
+def decode_fields(word: int) -> tuple[int, int, int, int, int, int]:
+    """Unpack ``(opcode, rd, rs1, rs2, imm16, jtarget)`` raw fields."""
+    opcode = (word >> 26) & 0x3F
+    rd = (word >> 22) & 0xF
+    rs1 = (word >> 18) & 0xF
+    rs2 = (word >> 14) & 0xF
+    imm16 = word & 0xFFFF
+    jtarget = (word & 0x03FF_FFFF) << 2
+    return opcode, rd, rs1, rs2, imm16, jtarget
+
+
+def sign_extend_16(value: int) -> int:
+    """Sign-extend a 16-bit field to a Python int."""
+    value &= 0xFFFF
+    return value - 0x1_0000 if value & 0x8000 else value

@@ -1,0 +1,202 @@
+"""Generators for the firmware the Invisible Bits protocol needs.
+
+The paper's flow (§4.2-4.3) uses four programs, all generated here as
+MiniCore assembly source:
+
+- :func:`payload_writer_program` — embeds a payload binary in Flash, copies
+  it into SRAM, then busy-waits so the analog encoding can run;
+- :func:`retention_program` — boots straight into a busy-wait without ever
+  touching SRAM, preserving the power-on state for capture;
+- :func:`camouflage_program` — a plausible "application" loaded after
+  encoding, whose SRAM writes demonstrate the channel's erase/write
+  tolerance;
+- :func:`fill_program` — writes a single logic value everywhere (the
+  §5.1.2 spatial-distribution workload);
+- :func:`prng_workload_program` — the §5.1.4 normal-operation workload: a
+  32-bit LFSR reseeding a glibc-constant LCG that streams pseudo-random
+  words across all of SRAM forever.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigurationError
+from .memory import SRAM_BASE
+from .opcodes import WORD_BYTES
+
+#: glibc's LCG multiplier/increment, quoted in the paper (§5.1.4).
+LCG_MULTIPLIER = 1103515245
+LCG_INCREMENT = 12345
+LCG_MODULUS_MASK = 0x7FFF_FFFF
+
+#: Galois LFSR feedback taps for x^32 + x^22 + x^2 + x + 1 (maximal length).
+LFSR_TAPS = 0x8020_0003
+
+
+def _hi(value: int) -> int:
+    return (value >> 16) & 0xFFFF
+
+
+def _lo(value: int) -> int:
+    return value & 0xFFFF
+
+
+def _load_constant(reg: str, value: int) -> list[str]:
+    """Emit the two-instruction LUI/ORI idiom for a 32-bit constant."""
+    value &= 0xFFFF_FFFF
+    if value <= 0x7FFF:
+        return [f"    addi {reg}, r0, {value}"]
+    lines = [f"    lui {reg}, {_hi(value):#x}"]
+    if _lo(value):
+        lines.append(f"    ori {reg}, {reg}, {_lo(value):#x}")
+    return lines
+
+
+def payload_writer_program(payload: bytes, *, sram_base: int = SRAM_BASE) -> str:
+    """Assembly that copies ``payload`` from Flash into SRAM and busy-waits.
+
+    The payload is padded to a word boundary (the pipeline always supplies
+    whole SRAM images, so padding only matters for hand-rolled payloads).
+    """
+    if not payload:
+        raise ConfigurationError("payload must not be empty")
+    padded = bytes(payload)
+    if len(padded) % WORD_BYTES:
+        padded = padded.ljust(
+            -(-len(padded) // WORD_BYTES) * WORD_BYTES, b"\x00"
+        )
+
+    words = [
+        int.from_bytes(padded[i : i + WORD_BYTES], "big")
+        for i in range(0, len(padded), WORD_BYTES)
+    ]
+    word_lines = "\n".join(f"    .word {w:#010x}" for w in words)
+
+    lines = ["_start:"]
+    lines += [
+        "    lui r1, hi(payload)",
+        "    ori r1, r1, lo(payload)",
+        "    lui r3, hi(payload_end)",
+        "    ori r3, r3, lo(payload_end)",
+    ]
+    lines += _load_constant("r2", sram_base)
+    lines += [
+        "copy:",
+        "    beq r1, r3, done",
+        "    lw r4, 0(r1)",
+        "    sw r4, 0(r2)",
+        "    addi r1, r1, 4",
+        "    addi r2, r2, 4",
+        "    jmp copy",
+        "done:",
+        "    jmp done            ; busy-wait holding the payload (SS 4.2)",
+        "payload:",
+        word_lines,
+        "payload_end:",
+        "    nop",
+    ]
+    return "\n".join(lines) + "\n"
+
+
+def retention_program() -> str:
+    """Assembly that boots to a busy-wait without touching SRAM (§4.3)."""
+    return "_start:\nspin:\n    jmp spin        ; never touches SRAM\n"
+
+
+def camouflage_program(*, sram_base: int = SRAM_BASE, words: int = 256) -> str:
+    """A plausible 'application': hashes a counter into a scratch buffer.
+
+    Loaded after encoding (§4.2, Algorithm 1's last step) so a casual
+    inspection sees an ordinary busy device; its SRAM writes are exactly the
+    digital-domain activity the channel must tolerate.
+    """
+    if words <= 0:
+        raise ConfigurationError(f"words must be positive, got {words}")
+    end = sram_base + WORD_BYTES * words
+    lines = ["_start:"]
+    lines += _load_constant("r1", sram_base)
+    lines += _load_constant("r5", end)
+    lines += _load_constant("r3", 2654435761)  # Knuth multiplicative hash
+    lines += [
+        "    addi r2, r0, 0      ; counter",
+        "loop:",
+        "    mul r4, r2, r3",
+        "    sw r4, 0(r1)",
+        "    addi r1, r1, 4",
+        "    addi r2, r2, 1",
+        "    bne r1, r5, loop",
+        "idle:",
+        "    jmp idle            ; park; Device.run_workload models long use",
+    ]
+    return "\n".join(lines) + "\n"
+
+
+def fill_program(value: int, *, sram_base: int = SRAM_BASE, sram_bytes: int = 1024) -> str:
+    """Assembly that writes logic ``value`` to every SRAM cell and spins
+    (the §5.1.2 all-0s/all-1s stress workload)."""
+    if value not in (0, 1):
+        raise ConfigurationError(f"fill value must be 0 or 1, got {value}")
+    if sram_bytes <= 0 or sram_bytes % WORD_BYTES:
+        raise ConfigurationError(f"sram_bytes must be a positive word multiple")
+    pattern = 0xFFFF_FFFF if value else 0
+    end = sram_base + sram_bytes
+    lines = ["_start:"]
+    lines += _load_constant("r1", sram_base)
+    lines += _load_constant("r2", end)
+    lines += _load_constant("r3", pattern)
+    lines += [
+        "loop:",
+        "    sw r3, 0(r1)",
+        "    addi r1, r1, 4",
+        "    bne r1, r2, loop",
+        "spin:",
+        "    jmp spin",
+    ]
+    return "\n".join(lines) + "\n"
+
+
+def prng_workload_program(
+    *,
+    sram_base: int = SRAM_BASE,
+    sram_bytes: int = 1024,
+    lfsr_seed: int = 0xACE1,
+) -> str:
+    """The §5.1.4 normal-operation workload.
+
+    A 32-bit Galois LFSR produces a fresh seed per sweep; a glibc-constant
+    LCG (x_{n+1} = 1103515245 x_n + 12345 mod 2^31) streams words across
+    the whole SRAM, forever.  :class:`repro.crypto.prng.NormalOperationPrng`
+    is the host-side reference implementation tests check this against.
+    """
+    if sram_bytes <= 0 or sram_bytes % WORD_BYTES:
+        raise ConfigurationError("sram_bytes must be a positive word multiple")
+    if not 0 < lfsr_seed <= 0xFFFF_FFFF:
+        raise ConfigurationError("lfsr_seed must be a nonzero 32-bit value")
+    end = sram_base + sram_bytes
+
+    lines = ["_start:"]
+    lines += _load_constant("r1", sram_base)  # base
+    lines += _load_constant("r12", end)  # end
+    lines += _load_constant("r2", lfsr_seed)  # lfsr state
+    lines += _load_constant("r8", LCG_MULTIPLIER)
+    lines += _load_constant("r9", LCG_INCREMENT)
+    lines += _load_constant("r10", LCG_MODULUS_MASK)
+    lines += _load_constant("r11", LFSR_TAPS)
+    lines += [
+        "outer:",
+        "    andi r3, r2, 1      ; LFSR: Galois step",
+        "    srli r2, r2, 1",
+        "    beq r3, r0, no_tap",
+        "    xor r2, r2, r11",
+        "no_tap:",
+        "    add r4, r2, r0      ; LCG seeded from the LFSR",
+        "    add r5, r1, r0      ; write pointer",
+        "inner:",
+        "    mul r4, r4, r8",
+        "    add r4, r4, r9",
+        "    and r4, r4, r10",
+        "    sw r4, 0(r5)",
+        "    addi r5, r5, 4",
+        "    bne r5, r12, inner",
+        "    jmp outer",
+    ]
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,35 @@
+"""Transistor-level physics models underlying the SRAM simulator.
+
+This package provides the analog-domain machinery that the paper's physical
+testbed gets for free from real silicon:
+
+- :mod:`repro.physics.constants` — physical constants and nominal conditions.
+- :mod:`repro.physics.mosfet` — square-law MOSFET used by the transient
+  power-up simulation (paper Figure 2).
+- :mod:`repro.physics.variation` — Pelgrom-style process-variation sampling
+  with a small spatially-correlated (wafer gradient) component.
+- :mod:`repro.physics.acceleration` — voltage/temperature aging acceleration
+  (paper Figure 3d).
+- :mod:`repro.physics.nbti` — Negative Bias Temperature Instability stress
+  and partial recovery (paper §2.2, Figures 6 and 7).
+- :mod:`repro.physics.hci` — Hot Carrier Injection (common-mode, §2.2).
+"""
+
+from .acceleration import AccelerationModel
+from .constants import BOLTZMANN_EV, NOMINAL_TEMP_K
+from .hci import HCIModel
+from .mosfet import MOSFET, MOSType
+from .nbti import NBTIModel, NBTIState
+from .variation import sample_mismatch
+
+__all__ = [
+    "AccelerationModel",
+    "BOLTZMANN_EV",
+    "NOMINAL_TEMP_K",
+    "HCIModel",
+    "MOSFET",
+    "MOSType",
+    "NBTIModel",
+    "NBTIState",
+    "sample_mismatch",
+]

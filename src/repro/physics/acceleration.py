@@ -1,0 +1,83 @@
+"""Voltage/temperature acceleration of NBTI aging.
+
+The paper's encoding knobs are supply voltage and temperature (§2.2,
+Figure 3d): stress at (Vacc, Tacc) ages a device ``factor`` times faster
+than at nominal conditions.  We use the standard empirical model
+
+    af(V, T) = (V / Vnom)^gamma * exp(Ea/kB * (1/Tnom - 1/T))
+
+with ``gamma`` and ``Ea`` chosen so voltage is the dominant knob and
+temperature magnifies it, matching Figure 3d's ordering.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+from .constants import (
+    BOLTZMANN_EV,
+    NBTI_ACTIVATION_ENERGY_EV,
+    NBTI_VOLTAGE_EXPONENT,
+    NOMINAL_TEMP_K,
+)
+
+
+@dataclass(frozen=True)
+class AccelerationModel:
+    """Maps an operating point (V, T) to an aging acceleration factor.
+
+    ``factor(vdd_nominal, NOMINAL_TEMP_K) == 1.0`` by construction; raising
+    either knob raises the factor monotonically.
+    """
+
+    vdd_nominal: float
+    temp_nominal_k: float = NOMINAL_TEMP_K
+    voltage_exponent: float = NBTI_VOLTAGE_EXPONENT
+    activation_energy_ev: float = NBTI_ACTIVATION_ENERGY_EV
+
+    def __post_init__(self) -> None:
+        if self.vdd_nominal <= 0:
+            raise ConfigurationError(
+                f"nominal Vdd must be positive, got {self.vdd_nominal}"
+            )
+        if self.temp_nominal_k <= 0:
+            raise ConfigurationError(
+                f"nominal temperature must be positive, got {self.temp_nominal_k}"
+            )
+        if self.voltage_exponent <= 0:
+            raise ConfigurationError(
+                f"voltage exponent must be positive, got {self.voltage_exponent}"
+            )
+        if self.activation_energy_ev < 0:
+            raise ConfigurationError(
+                f"activation energy must be >= 0, got {self.activation_energy_ev}"
+            )
+
+    def voltage_factor(self, vdd: float) -> float:
+        """Acceleration contribution of the supply voltage alone."""
+        if vdd <= 0:
+            raise ConfigurationError(f"Vdd must be positive, got {vdd}")
+        return (vdd / self.vdd_nominal) ** self.voltage_exponent
+
+    def temperature_factor(self, temp_k: float) -> float:
+        """Arrhenius acceleration contribution of temperature alone."""
+        if temp_k <= 0:
+            raise ConfigurationError(f"temperature must be positive, got {temp_k}")
+        exponent = (
+            self.activation_energy_ev
+            / BOLTZMANN_EV
+            * (1.0 / self.temp_nominal_k - 1.0 / temp_k)
+        )
+        return math.exp(exponent)
+
+    def factor(self, vdd: float, temp_k: float) -> float:
+        """Total acceleration factor at the operating point (V, T)."""
+        return self.voltage_factor(vdd) * self.temperature_factor(temp_k)
+
+    def equivalent_seconds(self, vdd: float, temp_k: float, duration_s: float) -> float:
+        """Stress time at (V, T) expressed as equivalent nominal seconds."""
+        if duration_s < 0:
+            raise ConfigurationError(f"negative duration: {duration_s}")
+        return self.factor(vdd, temp_k) * duration_s

@@ -1,0 +1,52 @@
+"""Hot Carrier Injection (HCI) aging.
+
+The paper (§2.2) notes that HCI "has less effect and affects both inverters
+equally since HCI involves switching and both inverters switch together":
+it is a *common-mode* degradation that shifts both sides of the cell by the
+same amount and therefore cannot bias the power-on race.  We model it anyway
+so the simulator degrades realistically under write-heavy workloads (it
+slightly widens the metastable window by weakening both pull-ups) and so the
+§7.4 adversarial-aging discussion's "irreversible component" exists in the
+code base.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class HCIModel:
+    """Permanent, switching-driven |Vth| shift, common to both inverters.
+
+    ``dvth = k_scale * toggles^exponent`` in normalized sigma units.  HCI is
+    not recoverable (unlike the NBTI recoverable component).
+    """
+
+    k_scale: float = 1e-6
+    exponent: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.k_scale < 0:
+            raise ConfigurationError(f"k_scale must be >= 0, got {self.k_scale}")
+        if not 0 < self.exponent <= 1:
+            raise ConfigurationError(f"exponent must be in (0, 1], got {self.exponent}")
+
+    def dvth(self, toggle_count: float) -> float:
+        """Common-mode shift after ``toggle_count`` write/flip events."""
+        if toggle_count < 0:
+            raise ConfigurationError(f"toggle count must be >= 0, got {toggle_count}")
+        return self.k_scale * toggle_count**self.exponent
+
+    def noise_widening(self, toggle_count: float, base_noise_sigma: float) -> float:
+        """Effective power-up noise sigma after HCI weakens both pull-ups.
+
+        A symmetric weakening slows the race's resolution, enlarging the
+        window in which thermal noise decides the outcome.  First-order, the
+        noise sigma scales with (1 + dvth).
+        """
+        if base_noise_sigma < 0:
+            raise ConfigurationError("noise sigma must be >= 0")
+        return base_noise_sigma * (1.0 + self.dvth(toggle_count))

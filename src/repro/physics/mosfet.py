@@ -1,0 +1,91 @@
+"""Square-law MOSFET model for the 6T-cell transient simulation.
+
+The paper motivates Invisible Bits with an HSpice MOSRA simulation of a 6T
+cell's power-up race (Figure 2).  We reproduce that qualitative experiment
+with a level-1 (square-law) MOSFET model: crude by TCAD standards, but the
+power-up race only depends on which pull-up turns on first and how hard it
+pulls, which the square-law model captures.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+
+
+class MOSType(enum.Enum):
+    """Transistor polarity."""
+
+    NMOS = "nmos"
+    PMOS = "pmos"
+
+
+@dataclass
+class MOSFET:
+    """A level-1 MOSFET.
+
+    Parameters
+    ----------
+    mos_type:
+        NMOS or PMOS.
+    vth:
+        Threshold voltage in volts.  Positive for NMOS; for PMOS the value is
+        the magnitude |Vth| (the sign convention is handled internally).
+    beta:
+        Transconductance parameter ``k' * W/L`` in A/V^2.
+    lambda_:
+        Channel-length modulation in 1/V.
+    """
+
+    mos_type: MOSType
+    vth: float
+    beta: float
+    lambda_: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.vth < 0:
+            raise ConfigurationError(
+                f"vth must be a magnitude (got {self.vth}); polarity comes "
+                "from mos_type"
+            )
+        if self.beta <= 0:
+            raise ConfigurationError(f"beta must be positive, got {self.beta}")
+        if self.lambda_ < 0:
+            raise ConfigurationError(f"lambda must be >= 0, got {self.lambda_}")
+
+    def drain_current(self, vg: float, vd: float, vs: float) -> float:
+        """Drain current (flowing drain -> source for NMOS, source -> drain
+        for PMOS) given absolute node voltages.
+
+        Returns the conventional current *into the drain terminal*: positive
+        for a conducting NMOS, negative for a conducting PMOS.
+        """
+        if self.mos_type is MOSType.NMOS:
+            vgs = vg - vs
+            vds = vd - vs
+            sign = 1.0
+        else:
+            # Mirror a PMOS into NMOS coordinates.
+            vgs = vs - vg
+            vds = vs - vd
+            sign = -1.0
+
+        vov = vgs - self.vth
+        if vov <= 0 or vds <= 0:
+            # Cut-off (we neglect subthreshold conduction; the power-up race
+            # is decided in strong inversion) or no forward bias.
+            return 0.0
+        if vds < vov:
+            ids = self.beta * (vov - vds / 2.0) * vds
+        else:
+            ids = 0.5 * self.beta * vov * vov * (1.0 + self.lambda_ * vds)
+        return sign * ids
+
+    def aged(self, delta_vth: float) -> "MOSFET":
+        """Return a copy of this transistor with |Vth| increased by
+        ``delta_vth`` (BTI only ever increases the magnitude)."""
+        if delta_vth < 0:
+            raise ConfigurationError(f"aging cannot decrease |Vth|: {delta_vth}")
+        return MOSFET(self.mos_type, self.vth + delta_vth, self.beta, self.lambda_)

@@ -1,0 +1,84 @@
+"""Process-variation sampling.
+
+Each SRAM cell's power-on preference is set by post-manufacturing transistor
+mismatch (paper §2.1).  We sample a normalized mismatch offset per cell,
+``m ~ N(0, 1)``, in units of the array's mismatch sigma.  Real dies also
+carry a small *spatially correlated* component (wafer-level gradients and
+lithographic striping), which is what gives the paper's unstressed devices
+their tiny-but-nonzero Moran's I of ~0.01 (Table 2).  We reproduce that by
+mixing in a low-spatial-frequency field with a small variance share.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..rng import make_rng
+
+
+def _smooth_field(
+    n_rows: int, n_cols: int, coarse: int, rng: np.random.Generator
+) -> np.ndarray:
+    """A unit-variance low-frequency 2-D Gaussian field.
+
+    Sampled on a coarse grid and piecewise-constant upsampled: adjacent cells
+    almost always share a coarse tile, which produces the positive nearest-
+    neighbour correlation that Moran's I detects.
+    """
+    coarse_rows = max(1, -(-n_rows // coarse))
+    coarse_cols = max(1, -(-n_cols // coarse))
+    grid = rng.standard_normal((coarse_rows, coarse_cols))
+    field = np.repeat(np.repeat(grid, coarse, axis=0), coarse, axis=1)
+    return field[:n_rows, :n_cols]
+
+
+def sample_mismatch(
+    n_cells: int,
+    *,
+    row_width: int = 256,
+    correlated_share: float = 0.01,
+    coarse_tile: int = 8,
+    rng: "int | np.random.Generator | None" = None,
+) -> np.ndarray:
+    """Sample normalized per-cell mismatch offsets for ``n_cells`` cells.
+
+    Parameters
+    ----------
+    n_cells:
+        Number of SRAM cells.
+    row_width:
+        Physical row width used to lay the cells on a 2-D die grid for the
+        spatially correlated component (and later for Moran's I analysis).
+    correlated_share:
+        Fraction of the mismatch *variance* carried by the low-frequency
+        spatial field.  The paper's unstressed Moran's I of ~0.01 (Table 2)
+        corresponds to a share of about 0.01.
+    coarse_tile:
+        Side length, in cells, of the correlated field's tiles.
+    rng:
+        Seed or generator.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``float32`` array of shape ``(n_cells,)`` with unit total variance.
+    """
+    if n_cells <= 0:
+        raise ConfigurationError(f"n_cells must be positive, got {n_cells}")
+    if not 0.0 <= correlated_share < 1.0:
+        raise ConfigurationError(
+            f"correlated_share must be in [0, 1), got {correlated_share}"
+        )
+    if row_width <= 0:
+        raise ConfigurationError(f"row_width must be positive, got {row_width}")
+    gen = make_rng(rng)
+
+    iid = gen.standard_normal(n_cells)
+    if correlated_share == 0.0:
+        return iid.astype(np.float32)
+
+    n_rows = -(-n_cells // row_width)
+    field = _smooth_field(n_rows, row_width, coarse_tile, gen).ravel()[:n_cells]
+    mixed = np.sqrt(1.0 - correlated_share) * iid + np.sqrt(correlated_share) * field
+    return mixed.astype(np.float32)

@@ -1,0 +1,43 @@
+"""SRAM PUF applications and attacks (paper §2, footnote 2).
+
+The paper's background notes that SRAM power-on state is a standard security
+primitive — physical unclonable functions, true random number generation,
+device fingerprinting — and that the "results of our extreme/controlled
+aging suggest that it is possible to clone SRAM PUFs" (footnote 2).  This
+package builds those systems on the same simulator:
+
+- :mod:`repro.puf.sram_puf` — enrollment / response / matching of an SRAM
+  power-on PUF, with inter- vs intra-device distance statistics;
+- :mod:`repro.puf.fuzzy` — a repetition-code fuzzy extractor (secure
+  sketch + SHA-256 key derivation) so noisy responses yield stable keys;
+- :mod:`repro.puf.clone` — the footnote-2 attack: directed aging forges a
+  blank device's power-on state into a victim's fingerprint;
+- :mod:`repro.puf.trng` — true random number generation from the unstable
+  (symmetric) cells, with a von Neumann extractor;
+- :mod:`repro.puf.aging_attacks` — the Roelke & Stan style
+  denial-of-service: age a PUF against its own fingerprint.
+"""
+
+from .clone import CloneResult, clone_power_on_state
+from .fuzzy import FuzzyExtractor, HelperData
+from .protocol import Challenge, CrpDatabase, PufVerifier, ReplayAttacker
+from .sram_puf import PufEnrollment, SramPuf, inter_device_distance, intra_device_distance
+from .trng import PowerOnTrng
+from .aging_attacks import degrade_puf
+
+__all__ = [
+    "Challenge",
+    "CloneResult",
+    "CrpDatabase",
+    "FuzzyExtractor",
+    "HelperData",
+    "PowerOnTrng",
+    "PufEnrollment",
+    "PufVerifier",
+    "ReplayAttacker",
+    "SramPuf",
+    "clone_power_on_state",
+    "degrade_puf",
+    "inter_device_distance",
+    "intra_device_distance",
+]

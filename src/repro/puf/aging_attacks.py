@@ -1,0 +1,47 @@
+"""Aging as a denial-of-service against SRAM PUFs.
+
+The paper cites Roelke & Stan's observation that modest directed aging
+works as a DoS on SRAM PUFs (footnote 2's citation [37]): age the device
+while it holds its *own* power-on state and every cell is pushed away from
+its enrolled value, raising the intra-device distance past the
+authentication threshold.
+"""
+
+from __future__ import annotations
+
+from ..device.device import Device
+from ..errors import ConfigurationError
+from ..harness.controlboard import ControlBoard
+from .sram_puf import PufEnrollment, SramPuf
+
+
+def degrade_puf(
+    device: Device,
+    enrollment: PufEnrollment,
+    *,
+    stress_hours: float = 4.0,
+    n_captures: int = 5,
+) -> tuple[float, float]:
+    """Age ``device`` against its own fingerprint.
+
+    Returns ``(distance_before, distance_after)`` relative to the
+    enrollment.  Enough stress pushes the distance toward 1.0 — far past
+    any threshold — bricking the PUF identity (while the device keeps
+    working as memory, the same digital/analog decoupling Invisible Bits
+    relies on).
+    """
+    if stress_hours <= 0:
+        raise ConfigurationError("stress_hours must be positive")
+    puf = SramPuf(device, n_captures=n_captures)
+    _, before = puf.authenticate(enrollment)
+
+    board = ControlBoard(device)
+    # Hold the current power-on state under stress: every cell ages toward
+    # the complement of its enrolled value.
+    state = board.majority_power_on_state(n_captures)
+    board.stage_payload(state, use_firmware=False)
+    board.encode(stress_hours=stress_hours)
+    board.power_off()
+
+    _, after = puf.authenticate(enrollment)
+    return before, after

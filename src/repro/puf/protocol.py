@@ -1,0 +1,119 @@
+"""A challenge-response authentication protocol over the SRAM PUF.
+
+The PUF background the paper builds on (§2) is usually deployed behind a
+protocol, not as raw fingerprint comparison: a verifier enrolls many
+(challenge, response) pairs, then authenticates by issuing a *fresh*
+challenge each session and never reusing it — otherwise a man-in-the-middle
+replays recorded responses.  This module implements that standard CRP
+protocol, which also makes the clone attack's consequences concrete: a
+physical clone answers *unseen* challenges correctly, which no amount of
+replay protection catches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..bitutils import bit_error_rate
+from ..errors import ConfigurationError
+from ..rng import make_rng
+from .sram_puf import SramPuf
+
+
+@dataclass(frozen=True)
+class Challenge:
+    """An address-range challenge."""
+
+    offset: int
+    length: int
+
+    def __post_init__(self) -> None:
+        if self.offset < 0 or self.length <= 0:
+            raise ConfigurationError("bad challenge geometry")
+
+
+@dataclass
+class CrpDatabase:
+    """The verifier's secret store of challenge-response pairs."""
+
+    device_name: str
+    pairs: dict = field(default_factory=dict)  # Challenge -> np.ndarray
+    used: set = field(default_factory=set)
+
+    @property
+    def remaining(self) -> int:
+        return len(self.pairs) - len(self.used)
+
+
+class PufVerifier:
+    """Server side: enroll once, authenticate many times, never reuse."""
+
+    def __init__(self, *, threshold: float = 0.20, rng=None):
+        if not 0.0 < threshold < 0.5:
+            raise ConfigurationError("threshold must be in (0, 0.5)")
+        self.threshold = threshold
+        self._rng = make_rng(rng)
+
+    def enroll(
+        self,
+        puf: SramPuf,
+        *,
+        n_challenges: int = 16,
+        challenge_bits: int = 512,
+    ) -> CrpDatabase:
+        """Collect ``n_challenges`` random-address CRPs from a trusted
+        device during provisioning."""
+        n_bits = puf.device.sram.n_bits
+        if challenge_bits <= 0 or challenge_bits > n_bits:
+            raise ConfigurationError("challenge_bits out of range")
+        max_offset = n_bits - challenge_bits
+        db = CrpDatabase(device_name=puf.device.spec.name)
+        while len(db.pairs) < n_challenges:
+            offset = int(self._rng.integers(0, max_offset + 1))
+            challenge = Challenge(offset=offset, length=challenge_bits)
+            if challenge in db.pairs:
+                continue
+            db.pairs[challenge] = puf.response(challenge.offset, challenge.length)
+        return db
+
+    def issue_challenge(self, db: CrpDatabase) -> Challenge:
+        """Pick an unused challenge; raises when the database is spent."""
+        fresh = [c for c in db.pairs if c not in db.used]
+        if not fresh:
+            raise ConfigurationError(
+                "CRP database exhausted; re-enroll the device"
+            )
+        challenge = fresh[int(self._rng.integers(0, len(fresh)))]
+        db.used.add(challenge)
+        return challenge
+
+    def verify(
+        self, db: CrpDatabase, challenge: Challenge, response: np.ndarray
+    ) -> tuple[bool, float]:
+        """Check a prover's response against the stored reference."""
+        if challenge not in db.pairs:
+            raise ConfigurationError("unknown challenge")
+        reference = db.pairs[challenge]
+        if response.size != reference.size:
+            return False, 1.0
+        distance = bit_error_rate(reference, response)
+        return distance <= self.threshold, distance
+
+
+class ReplayAttacker:
+    """A network adversary who records protocol transcripts.
+
+    Useless against fresh challenges (the whole point of the CRP database)
+    — and this class proves it in the tests."""
+
+    def __init__(self):
+        self.transcripts: dict = {}
+
+    def observe(self, challenge: Challenge, response: np.ndarray) -> None:
+        self.transcripts[challenge] = response.copy()
+
+    def respond(self, challenge: Challenge) -> "np.ndarray | None":
+        """Replay a recorded response, or nothing for unseen challenges."""
+        return self.transcripts.get(challenge)

@@ -1,0 +1,116 @@
+"""The SRAM power-on PUF (Holcomb et al. style, paper §2 background).
+
+A device's power-on state is a fingerprint: mostly stable per device
+(intra-device fractional Hamming distance of a few percent, from power-up
+noise) and unpredictable across devices (inter-device distance ~50%, from
+process variation).  Enrollment stores a majority-voted reference; later
+authentications compare fresh responses against it with a distance
+threshold between the two distributions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..bitutils import bit_error_rate, majority_vote
+from ..device.device import Device
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class PufEnrollment:
+    """Stored reference for one device (server side of the protocol)."""
+
+    device_name: str
+    reference: np.ndarray
+    n_captures: int
+
+    @property
+    def n_bits(self) -> int:
+        return self.reference.size
+
+
+class SramPuf:
+    """Power-on-state PUF operations on a :class:`Device`.
+
+    The challenge space is (offset, length) address ranges of the SRAM;
+    responses are raw power-on bits from that range.
+    """
+
+    def __init__(self, device: Device, *, n_captures: int = 5):
+        if n_captures < 1 or n_captures % 2 == 0:
+            raise ConfigurationError("n_captures must be positive odd")
+        self.device = device
+        self.n_captures = n_captures
+
+    def _captures(self) -> np.ndarray:
+        return self.device.sram.capture_power_on_states(self.n_captures)
+
+    def response(self, offset: int = 0, length: "int | None" = None) -> np.ndarray:
+        """One majority-voted response for the (offset, length) challenge."""
+        length = self.device.sram.n_bits - offset if length is None else length
+        if offset < 0 or length <= 0 or offset + length > self.device.sram.n_bits:
+            raise ConfigurationError("challenge range out of bounds")
+        voted = majority_vote(self._captures())
+        self.device.sram.remove_power()
+        return voted[offset : offset + length]
+
+    def raw_response(self, offset: int = 0, length: "int | None" = None) -> np.ndarray:
+        """A single-capture (noisy) response — what a cheap verifier reads."""
+        length = self.device.sram.n_bits - offset if length is None else length
+        state = self.device.sram.power_cycle()
+        self.device.sram.remove_power()
+        return state[offset : offset + length]
+
+    def enroll(self) -> PufEnrollment:
+        """Create the stored reference (uses the full SRAM as the response)."""
+        return PufEnrollment(
+            device_name=self.device.spec.name,
+            reference=self.response(),
+            n_captures=self.n_captures,
+        )
+
+    def authenticate(
+        self, enrollment: PufEnrollment, *, threshold: float = 0.20
+    ) -> tuple[bool, float]:
+        """Match a fresh response against an enrollment.
+
+        The threshold sits between the intra-device (few %) and inter-device
+        (~50%) distance distributions; 20% is the conventional midpoint
+        choice with huge margin on both sides.
+        """
+        if enrollment.n_bits != self.device.sram.n_bits:
+            raise ConfigurationError("enrollment size does not match the device")
+        if not 0.0 < threshold < 0.5:
+            raise ConfigurationError("threshold must be in (0, 0.5)")
+        distance = bit_error_rate(enrollment.reference, self.response())
+        return distance <= threshold, distance
+
+
+def intra_device_distance(device: Device, *, trials: int = 5) -> float:
+    """Mean fractional Hamming distance between repeated responses of one
+    device (the PUF's noise floor)."""
+    if trials < 2:
+        raise ConfigurationError("need at least two trials")
+    states = device.sram.capture_power_on_states(trials)
+    device.sram.remove_power()
+    distances = [
+        bit_error_rate(states[i], states[j])
+        for i in range(trials)
+        for j in range(i + 1, trials)
+    ]
+    return float(np.mean(distances))
+
+
+def inter_device_distance(device_a: Device, device_b: Device) -> float:
+    """Fractional Hamming distance between two devices' responses
+    (uniqueness; ~0.5 for healthy PUFs)."""
+    if device_a.sram.n_bits != device_b.sram.n_bits:
+        raise ConfigurationError("devices must have equal response sizes")
+    a = device_a.sram.power_cycle()
+    device_a.sram.remove_power()
+    b = device_b.sram.power_cycle()
+    device_b.sram.remove_power()
+    return bit_error_rate(a, b)

@@ -1,0 +1,92 @@
+"""True random number generation from SRAM power-up noise (paper §2).
+
+The symmetric cells that make Invisible Bits' majority voting necessary are
+a TRNG's raw material: their power-on values are decided by thermal noise.
+The generator first *characterizes* the array (finds cells that flip across
+captures), then harvests entropy from only those cells, and debiases the
+stream with a von Neumann extractor.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..bitutils import bits_to_bytes
+from ..device.device import Device
+from ..errors import ConfigurationError
+
+
+def von_neumann_extract(bits: np.ndarray) -> np.ndarray:
+    """Von Neumann debiasing: 01 -> 0, 10 -> 1, 00/11 -> discard."""
+    bits = np.asarray(bits, dtype=np.uint8).ravel()
+    pairs = bits[: bits.size // 2 * 2].reshape(-1, 2)
+    keep = pairs[:, 0] != pairs[:, 1]
+    return pairs[keep, 0].copy()
+
+
+class PowerOnTrng:
+    """Harvest random bits from a device's noisy power-on cells."""
+
+    def __init__(
+        self,
+        device: Device,
+        *,
+        characterization_captures: int = 9,
+        min_flip_fraction: float = 0.2,
+    ):
+        if characterization_captures < 3:
+            raise ConfigurationError("need at least three characterization captures")
+        if not 0.0 < min_flip_fraction <= 0.5:
+            raise ConfigurationError("min_flip_fraction must be in (0, 0.5]")
+        self.device = device
+        self.characterization_captures = characterization_captures
+        self.min_flip_fraction = min_flip_fraction
+        self._noisy_cells: np.ndarray | None = None
+
+    def characterize(self) -> np.ndarray:
+        """Find the noisy cells; returns their indices."""
+        captures = self.device.sram.capture_power_on_states(
+            self.characterization_captures
+        )
+        self.device.sram.remove_power()
+        bias = captures.mean(axis=0)
+        flip_rate = np.minimum(bias, 1.0 - bias)
+        self._noisy_cells = np.nonzero(flip_rate >= self.min_flip_fraction)[0]
+        return self._noisy_cells
+
+    @property
+    def noisy_cell_count(self) -> int:
+        if self._noisy_cells is None:
+            raise ConfigurationError("characterize() the array first")
+        return int(self._noisy_cells.size)
+
+    def raw_bits(self, n_captures: int = 1) -> np.ndarray:
+        """Raw (biased) noise bits: one per noisy cell per capture."""
+        if self._noisy_cells is None:
+            raise ConfigurationError("characterize() the array first")
+        out = []
+        for _ in range(max(1, n_captures)):
+            state = self.device.sram.power_cycle()
+            self.device.sram.remove_power()
+            out.append(state[self._noisy_cells])
+        return np.concatenate(out)
+
+    def random_bytes(self, n_bytes: int, *, max_captures: int = 200) -> bytes:
+        """``n_bytes`` of debiased randomness (von Neumann extracted)."""
+        if n_bytes <= 0:
+            raise ConfigurationError("n_bytes must be positive")
+        collected: list[np.ndarray] = []
+        total = 0
+        for _ in range(max_captures):
+            extracted = von_neumann_extract(self.raw_bits())
+            collected.append(extracted)
+            total += extracted.size
+            if total >= n_bytes * 8:
+                break
+        else:
+            raise ConfigurationError(
+                f"could not harvest {n_bytes} bytes within {max_captures} "
+                "captures; array has too few noisy cells"
+            )
+        bits = np.concatenate(collected)[: n_bytes * 8]
+        return bits_to_bytes(bits)

@@ -1,0 +1,21 @@
+"""Transient circuit simulation of the 6T cell's power-up race.
+
+The paper motivates data-directed aging with an HSpice MOSRA simulation of a
+single 6T cell (Figure 2): before aging, node A wins the power-up race; after
+NBTI ages the winning pull-up, node B wins instead.  This package reproduces
+that experiment with a fixed-step transient solver over square-law MOSFETs.
+"""
+
+from .cell6t import Cell6T, CellTransistors
+from .components import RampSupply
+from .powerup import PowerUpResult, simulate_power_up
+from .transient import TransientSolver
+
+__all__ = [
+    "Cell6T",
+    "CellTransistors",
+    "RampSupply",
+    "PowerUpResult",
+    "simulate_power_up",
+    "TransientSolver",
+]

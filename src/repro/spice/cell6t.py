@@ -1,0 +1,112 @@
+"""The 6T SRAM cell netlist (paper Figure 2a).
+
+Transistor naming follows the paper: inverter 1 is M1 (NMOS) + M2 (PMOS) and
+drives node B from input A; inverter 2 is M3 (NMOS) + M4 (PMOS) and drives
+node A from input B.  The access transistors M5/M6 are off during power-up
+(word line low), so the power-up dynamics only involve M1-M4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..errors import ConfigurationError
+from ..physics.mosfet import MOSFET, MOSType
+
+
+@dataclass(frozen=True)
+class CellTransistors:
+    """The four transistors that decide the power-up race."""
+
+    m1_nmos: MOSFET  # inverter 1 pull-down (gate A, drain B)
+    m2_pmos: MOSFET  # inverter 1 pull-up   (gate A, drain B)
+    m3_nmos: MOSFET  # inverter 2 pull-down (gate B, drain A)
+    m4_pmos: MOSFET  # inverter 2 pull-up   (gate B, drain A)
+
+    def __post_init__(self) -> None:
+        for name, fet, expected in (
+            ("m1_nmos", self.m1_nmos, MOSType.NMOS),
+            ("m2_pmos", self.m2_pmos, MOSType.PMOS),
+            ("m3_nmos", self.m3_nmos, MOSType.NMOS),
+            ("m4_pmos", self.m4_pmos, MOSType.PMOS),
+        ):
+            if fet.mos_type is not expected:
+                raise ConfigurationError(f"{name} must be {expected.value}")
+
+
+@dataclass(frozen=True)
+class Cell6T:
+    """A 6T cell: four race transistors plus node capacitances.
+
+    Parameters loosely follow a 45 nm predictive technology model, the same
+    family the paper's Figure 2 simulation uses.
+    """
+
+    transistors: CellTransistors
+    node_capacitance_f: float = 1e-15
+
+    def __post_init__(self) -> None:
+        if self.node_capacitance_f <= 0:
+            raise ConfigurationError(
+                f"node capacitance must be positive, got {self.node_capacitance_f}"
+            )
+
+    @classmethod
+    def predictive_45nm(
+        cls,
+        *,
+        vth_n: float = 0.35,
+        vth_p: float = 0.35,
+        m2_vth_offset: float = 0.0,
+        m4_vth_offset: float = 0.0,
+        beta_n: float = 3.0e-4,
+        beta_p: float = 1.5e-4,
+    ) -> "Cell6T":
+        """A cell with optional PMOS mismatch.
+
+        A negative ``m4_vth_offset`` relative to ``m2_vth_offset`` makes M4
+        turn on first, biasing the cell's power-on state to 1 — the situation
+        in the paper's Figure 2 walkthrough.
+        """
+        fets = CellTransistors(
+            m1_nmos=MOSFET(MOSType.NMOS, vth_n, beta_n),
+            m2_pmos=MOSFET(MOSType.PMOS, vth_p + m2_vth_offset, beta_p),
+            m3_nmos=MOSFET(MOSType.NMOS, vth_n, beta_n),
+            m4_pmos=MOSFET(MOSType.PMOS, vth_p + m4_vth_offset, beta_p),
+        )
+        return cls(transistors=fets)
+
+    def aged(self, *, m2_delta: float = 0.0, m4_delta: float = 0.0) -> "Cell6T":
+        """Return a copy with NBTI shifts applied to the pull-ups.
+
+        The paper ages M4 (the PMOS that is active while the cell holds 1);
+        here either pull-up can age so tests can exercise both directions.
+        """
+        fets = self.transistors
+        new = CellTransistors(
+            m1_nmos=fets.m1_nmos,
+            m2_pmos=fets.m2_pmos.aged(m2_delta),
+            m3_nmos=fets.m3_nmos,
+            m4_pmos=fets.m4_pmos.aged(m4_delta),
+        )
+        return replace(self, transistors=new)
+
+    # -- node dynamics -------------------------------------------------------
+
+    def node_derivatives(self, va: float, vb: float, vdd: float) -> tuple[float, float]:
+        """``(dVA/dt, dVB/dt)`` at supply ``vdd``.
+
+        Node A is driven by inverter 2 (gate B): M4 sources from Vdd, M3
+        sinks to ground.  Node B mirrors with inverter 1 (gate A).
+        """
+        fets = self.transistors
+        # Currents *into the drain terminal*: positive for conducting NMOS
+        # (discharges the node), negative for conducting PMOS (charges it).
+        i_a = fets.m3_nmos.drain_current(vb, va, 0.0) + fets.m4_pmos.drain_current(
+            vb, va, vdd
+        )
+        i_b = fets.m1_nmos.drain_current(va, vb, 0.0) + fets.m2_pmos.drain_current(
+            va, vb, vdd
+        )
+        c = self.node_capacitance_f
+        return (-i_a / c, -i_b / c)

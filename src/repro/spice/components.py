@@ -1,0 +1,30 @@
+"""Sources and passives for the transient simulation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class RampSupply:
+    """A supply that ramps linearly from 0 V to ``vdd`` over ``ramp_s``
+    seconds and holds, modelling the power-on event of §2.1."""
+
+    vdd: float
+    ramp_s: float
+
+    def __post_init__(self) -> None:
+        if self.vdd <= 0:
+            raise ConfigurationError(f"Vdd must be positive, got {self.vdd}")
+        if self.ramp_s <= 0:
+            raise ConfigurationError(f"ramp time must be positive, got {self.ramp_s}")
+
+    def voltage(self, t: float) -> float:
+        """Supply voltage at time ``t`` seconds after power application."""
+        if t <= 0:
+            return 0.0
+        if t >= self.ramp_s:
+            return self.vdd
+        return self.vdd * t / self.ramp_s

@@ -1,0 +1,77 @@
+"""Power-up race experiments on single cells (paper Figure 2b).
+
+:func:`simulate_power_up` runs the transient solver on a cell and reports
+which node won the race — i.e. the cell's power-on state — together with the
+full waveforms, so callers can both reproduce the paper's plotted waveforms
+and sanity-check the bit-level simulator's abstraction against the circuit
+level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .cell6t import Cell6T
+from .components import RampSupply
+from .transient import TransientSolver
+
+
+@dataclass(frozen=True)
+class PowerUpResult:
+    """Outcome of one simulated power-up transient."""
+
+    t: np.ndarray
+    vdd: np.ndarray
+    va: np.ndarray
+    vb: np.ndarray
+    power_on_state: int
+    settle_time_s: float
+    resolved: bool
+
+    def waveform_rows(self) -> list[tuple[float, float, float, float]]:
+        """``(t, vdd, va, vb)`` rows — the series the paper's Figure 2b plots."""
+        return list(zip(self.t.tolist(), self.vdd.tolist(), self.va.tolist(), self.vb.tolist()))
+
+
+def simulate_power_up(
+    cell: Cell6T,
+    *,
+    supply: RampSupply | None = None,
+    duration_s: float = 5e-9,
+    solver: TransientSolver | None = None,
+    settle_fraction: float = 0.9,
+) -> PowerUpResult:
+    """Power a cell up from all-ground and report the race outcome.
+
+    The cell's power-on state is 1 when node A settles at the rail (paper
+    §2.1's convention).  ``settle_time_s`` is the first time the winning node
+    exceeds ``settle_fraction`` of Vdd while the loser is below the
+    complement; ``resolved`` is False when the transient ends before the
+    nodes separate (a metastable cell).
+    """
+    supply = supply or RampSupply(vdd=1.0, ramp_s=1e-9)
+    solver = solver or TransientSolver()
+    t, vdd, va, vb = solver.run(cell, supply, duration_s)
+
+    final_a, final_b = va[-1], vb[-1]
+    rail = supply.vdd
+    hi = settle_fraction * rail
+    lo = (1.0 - settle_fraction) * rail
+
+    if final_a >= hi and final_b <= lo:
+        state = 1
+        winner, loser = va, vb
+    elif final_b >= hi and final_a <= lo:
+        state = 0
+        winner, loser = vb, va
+    else:
+        return PowerUpResult(t, vdd, va, vb, power_on_state=int(final_a > final_b),
+                             settle_time_s=float("nan"), resolved=False)
+
+    settled = np.nonzero((winner >= hi) & (loser <= lo))[0]
+    settle_time = float(t[settled[0]]) if settled.size else float("nan")
+    return PowerUpResult(
+        t, vdd, va, vb, power_on_state=state, settle_time_s=settle_time, resolved=True
+    )

@@ -1,0 +1,16 @@
+"""The SRAM analog-domain simulator.
+
+This package is the substitution for the paper's physical devices: a bank of
+6T cells whose power-on state is decided by a race between per-cell
+manufacturing mismatch, accumulated NBTI skew, and per-power-up thermal
+noise (paper §2).  See DESIGN.md §2 for the substitution argument and
+:mod:`repro.sram.calibration` for how the constants are anchored to the
+paper's measured error rates.
+"""
+
+from .array import SRAMArray
+from .calibration import solve_k_scale
+from .remanence import RemanenceModel
+from .technology import TechnologyProfile
+
+__all__ = ["SRAMArray", "RemanenceModel", "TechnologyProfile", "solve_k_scale"]

@@ -1,0 +1,336 @@
+"""The simulated SRAM bank.
+
+An :class:`SRAMArray` is the analog-domain stand-in for the paper's physical
+SRAM: every cell carries a static manufacturing mismatch, two NBTI aging
+accumulators (one per inverter), and per-power-up noise.  The power-on state
+of a cell is the sign of::
+
+    offset = mismatch + dvth(aged while holding 0) - dvth(aged while holding 1)
+    power_on = (offset + noise) > 0
+
+so stressing a cell holding value ``v`` biases its future power-on state
+toward ``~v`` — the paper's data-directed aging (§2.2), and the reason the
+decoded payload is the *complement* of the power-on state (§4.3).
+
+Time is explicit: callers advance it with :meth:`hold` (powered, holding
+data — this is what ages cells), :meth:`shelve` (unpowered — this is what
+lets aging recover), and :meth:`operate` (powered, running a write workload).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigurationError, PowerError
+from ..bitutils import as_bit_array
+from ..physics.hci import HCIModel
+from ..physics.nbti import NBTIState
+from ..rng import make_rng
+from .remanence import RemanenceModel
+from .technology import TechnologyProfile
+
+
+class SRAMArray:
+    """A bank of simulated 6T cells.
+
+    Parameters
+    ----------
+    n_bits:
+        Number of cells.
+    technology:
+        The :class:`TechnologyProfile` describing the cells' physics.
+    rng:
+        Seed or generator for process variation and power-up noise.
+    row_width:
+        Physical row width in cells; defines the 2-D die layout used for
+        spatially correlated variation and Moran's I analysis.
+    """
+
+    def __init__(
+        self,
+        n_bits: int,
+        technology: TechnologyProfile,
+        *,
+        rng: "int | np.random.Generator | None" = None,
+        row_width: int = 256,
+    ):
+        if n_bits <= 0:
+            raise ConfigurationError(f"n_bits must be positive, got {n_bits}")
+        if row_width <= 0:
+            raise ConfigurationError(f"row_width must be positive, got {row_width}")
+        from ..physics.variation import sample_mismatch
+
+        self._rng = make_rng(rng)
+        self.technology = technology
+        self.n_bits = int(n_bits)
+        self.row_width = int(row_width)
+
+        self.mismatch = sample_mismatch(
+            n_bits,
+            row_width=row_width,
+            correlated_share=technology.correlated_share,
+            coarse_tile=technology.coarse_tile,
+            rng=self._rng,
+        ).astype(np.float64)
+
+        self._nbti = technology.nbti_model()
+        self._accel = technology.acceleration_model()
+        self._hci = HCIModel()
+        self._remanence = RemanenceModel(
+            technology.remanence_tau_s, temp_nominal_k=technology.temp_nominal_k
+        )
+
+        #: Aging accrued while the cell held 1 / held 0.
+        self.age_when_1 = NBTIState.fresh(n_bits)
+        self.age_when_0 = NBTIState.fresh(n_bits)
+
+        self.powered = False
+        self.vdd: float | None = None
+        self.temp_k = technology.temp_nominal_k
+        self.toggle_count = 0.0
+
+        self._data: np.ndarray | None = None
+        self._retained: np.ndarray | None = None
+        self._off_seconds = 0.0
+
+    # -- construction helpers --------------------------------------------------
+
+    @classmethod
+    def from_kib(
+        cls,
+        kib: float,
+        technology: TechnologyProfile,
+        *,
+        rng: "int | np.random.Generator | None" = None,
+        row_width: int = 256,
+    ) -> "SRAMArray":
+        """An array of ``kib`` KiB (8192 cells per KiB)."""
+        return cls(int(kib * 8192), technology, rng=rng, row_width=row_width)
+
+    @property
+    def n_bytes(self) -> int:
+        """Capacity in bytes."""
+        return self.n_bits // 8
+
+    # -- environment -----------------------------------------------------------
+
+    def set_ambient(self, temp_k: float) -> None:
+        """Set the ambient temperature (the thermal chamber knob)."""
+        self.technology.check_operating_point(self.technology.vdd_nominal, temp_k)
+        self.temp_k = float(temp_k)
+
+    def set_voltage(self, vdd: float) -> None:
+        """Change the supply voltage while powered (the supply knob)."""
+        self._require_power()
+        self.technology.check_operating_point(vdd, self.temp_k)
+        self.vdd = float(vdd)
+
+    # -- power events ------------------------------------------------------------
+
+    def apply_power(self, vdd: "float | None" = None) -> np.ndarray:
+        """Power the array up and return a copy of its power-on state.
+
+        Cells whose charge survived the power gap (see
+        :class:`RemanenceModel`) return their previous value instead of the
+        true power-on state — the effect the paper's harness eliminates by
+        draining the rail.
+        """
+        if self.powered:
+            raise PowerError("array is already powered")
+        vdd = self.technology.vdd_nominal if vdd is None else float(vdd)
+        self.technology.check_operating_point(vdd, self.temp_k)
+
+        state = self._sample_power_on()
+        if self._retained is not None:
+            keep = self._remanence.retained_mask(
+                self.n_bits, self._off_seconds, self.temp_k, self._rng
+            )
+            state[keep] = self._retained[keep]
+        self._retained = None
+        self._off_seconds = 0.0
+
+        self.powered = True
+        self.vdd = vdd
+        self._data = state
+        return state.copy()
+
+    def remove_power(self, *, drain: bool = True) -> None:
+        """Cut power.  ``drain=True`` pulls the rail to ground, destroying
+        remanence (the paper's measurement discipline, §5)."""
+        self._require_power()
+        self._retained = None if drain else self._data.copy()
+        self._off_seconds = 0.0
+        self.powered = False
+        self.vdd = None
+        self._data = None
+
+    def power_cycle(
+        self,
+        *,
+        off_seconds: float = 1.0,
+        drain: bool = True,
+        vdd: "float | None" = None,
+    ) -> np.ndarray:
+        """Cut power, wait ``off_seconds``, reapply, return the power-on
+        state.  The off time counts as shelf time for aging recovery."""
+        if self.powered:
+            self.remove_power(drain=drain)
+        self.shelve(off_seconds)
+        return self.apply_power(vdd)
+
+    def capture_power_on_states(
+        self,
+        n_captures: int,
+        *,
+        off_seconds: float = 1.0,
+        drain: bool = True,
+    ) -> np.ndarray:
+        """Capture ``n_captures`` successive power-on states (§4.3's
+        sampling loop); returns shape ``(n_captures, n_bits)``."""
+        if n_captures <= 0:
+            raise ConfigurationError(f"need at least one capture, got {n_captures}")
+        samples = np.empty((n_captures, self.n_bits), dtype=np.uint8)
+        for i in range(n_captures):
+            samples[i] = self.power_cycle(off_seconds=off_seconds, drain=drain)
+        return samples
+
+    # -- memory operations ----------------------------------------------------
+
+    def write(self, bits: "np.ndarray | bytes", bit_offset: int = 0) -> None:
+        """Store ``bits`` starting at ``bit_offset`` (digital write)."""
+        self._require_power()
+        bits = as_bit_array(bits)
+        if bit_offset < 0 or bit_offset + bits.size > self.n_bits:
+            raise ConfigurationError(
+                f"write of {bits.size} bits at offset {bit_offset} exceeds "
+                f"array size {self.n_bits}"
+            )
+        region = self._data[bit_offset : bit_offset + bits.size]
+        self.toggle_count += float(np.count_nonzero(region != bits))
+        region[...] = bits
+
+    def fill(self, value: int) -> None:
+        """Write a single logic value to every cell (the §5.1.2 workload)."""
+        if value not in (0, 1):
+            raise ConfigurationError(f"fill value must be 0 or 1, got {value}")
+        self._require_power()
+        self.toggle_count += float(np.count_nonzero(self._data != value))
+        self._data[...] = value
+
+    def read(self, n_bits: "int | None" = None, bit_offset: int = 0) -> np.ndarray:
+        """Read stored bits (digital read; never disturbs the analog state)."""
+        self._require_power()
+        n_bits = self.n_bits - bit_offset if n_bits is None else n_bits
+        if bit_offset < 0 or n_bits < 0 or bit_offset + n_bits > self.n_bits:
+            raise ConfigurationError(
+                f"read of {n_bits} bits at offset {bit_offset} exceeds "
+                f"array size {self.n_bits}"
+            )
+        return self._data[bit_offset : bit_offset + n_bits].copy()
+
+    # -- the passage of time ----------------------------------------------------
+
+    def hold(self, seconds: float) -> None:
+        """Remain powered, holding the current contents, for ``seconds``.
+
+        This is the encoding primitive: the active inverter of every cell
+        accrues NBTI stress at the current (Vdd, T) acceleration factor while
+        the inactive inverter's recovery clock runs.
+        """
+        self._require_power()
+        if seconds < 0:
+            raise ConfigurationError(f"negative duration: {seconds}")
+        if seconds == 0:
+            return
+        self.technology.check_operating_point(self.vdd, self.temp_k)
+        af = self._accel.factor(self.vdd, self.temp_k)
+        holding_1 = self._data.astype(np.float64)
+        holding_0 = 1.0 - holding_1
+        self._nbti.stress(self.age_when_1, af * seconds * holding_1)
+        self._nbti.stress(self.age_when_0, af * seconds * holding_0)
+        self._nbti.relax(self.age_when_1, seconds * holding_0)
+        self._nbti.relax(self.age_when_0, seconds * holding_1)
+
+    def shelve(self, seconds: float) -> None:
+        """Remain unpowered for ``seconds``: both inverters recover and any
+        undrained remanence decays."""
+        if self.powered:
+            raise PowerError("cannot shelve a powered array")
+        if seconds < 0:
+            raise ConfigurationError(f"negative duration: {seconds}")
+        if seconds == 0:
+            return
+        self._nbti.relax(self.age_when_1, seconds)
+        self._nbti.relax(self.age_when_0, seconds)
+        if self._retained is not None:
+            self._off_seconds += seconds
+
+    def operate(
+        self,
+        seconds: float,
+        *,
+        duty: float = 0.5,
+        writes_per_second: float = 1e6,
+    ) -> None:
+        """Run a general-purpose write workload for ``seconds`` (§5.1.4).
+
+        Each cell alternates values on sub-millisecond scales, so each
+        inverter sees duty-scaled AC stress (no recovery re-lock) while its
+        recovery clock advances only during the fraction of time it is
+        unbiased.  The net effect — about half the natural-recovery rate plus
+        negligible counter-stress — reproduces the paper's ~1.2x-per-week
+        versus ~1.4x-per-week observation.
+        """
+        self._require_power()
+        if seconds < 0:
+            raise ConfigurationError(f"negative duration: {seconds}")
+        if not 0.0 <= duty <= 1.0:
+            raise ConfigurationError(f"duty must be in [0, 1], got {duty}")
+        if seconds == 0:
+            return
+        self.technology.check_operating_point(self.vdd, self.temp_k)
+        af = self._accel.factor(self.vdd, self.temp_k)
+        self._nbti.stress_ac(self.age_when_1, af * seconds * duty)
+        self._nbti.stress_ac(self.age_when_0, af * seconds * duty)
+        self._nbti.relax(self.age_when_1, seconds * (1.0 - duty))
+        self._nbti.relax(self.age_when_0, seconds * (1.0 - duty))
+        self.toggle_count += writes_per_second * seconds
+        # Contents after a random workload are whatever was last written;
+        # callers that care write explicitly afterwards.
+
+    # -- observables --------------------------------------------------------------
+
+    def offsets(self) -> np.ndarray:
+        """Noise-free effective offsets: positive means the cell prefers to
+        power on to 1.  Diagnostic view of the analog domain."""
+        return (
+            self.mismatch
+            + self._nbti.dvth(self.age_when_0)
+            - self._nbti.dvth(self.age_when_1)
+        )
+
+    def grid_shape(self) -> tuple[int, int]:
+        """Die layout ``(rows, row_width)`` used for spatial statistics."""
+        return (-(-self.n_bits // self.row_width), self.row_width)
+
+    # -- internals -----------------------------------------------------------------
+
+    def _sample_power_on(self) -> np.ndarray:
+        sigma = self._hci.noise_widening(
+            self.toggle_count, self.technology.noise_sigma
+        )
+        # Power-up noise is thermal: sigma scales as sqrt(T/Tnom), so a cold
+        # capture is slightly cleaner and a hot one slightly noisier.
+        sigma *= float(np.sqrt(self.temp_k / self.technology.temp_nominal_k))
+        noise = sigma * self._rng.standard_normal(self.n_bits)
+        return (self.offsets() + noise > 0.0).astype(np.uint8)
+
+    def _require_power(self) -> None:
+        if not self.powered:
+            raise PowerError("array is not powered")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "on" if self.powered else "off"
+        return (
+            f"SRAMArray({self.n_bits} bits, {self.technology.name}, power {state})"
+        )

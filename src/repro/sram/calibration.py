@@ -1,0 +1,153 @@
+"""Calibration of NBTI constants against the paper's measurements.
+
+CALIBRATION NOTE (referenced from DESIGN.md §4)
+-----------------------------------------------
+
+The observable in Invisible Bits is not a raw threshold-voltage shift but the
+*digitized outcome of the power-up race*: a cell encodes its target bit once
+the aging skew ``D(t)`` exceeds its manufacturing mismatch ``m ~ N(0, 1)``.
+A device stressed holding one value for time ``t`` at conditions with
+acceleration factor ``af`` therefore shows bit error rate::
+
+    error(t) = P(m > D(af * t)) = Phi(-k * (af * t)^n)
+
+The paper reports that error falls roughly logarithmically in stress time
+over 2-10 h (Figure 6) and gives one (stress condition, time, bit rate)
+anchor per device (Table 4).  Fitting ``Phi(-k t^n)`` to the MSP432 curve's
+end points (≈33% at 2 h, 6.5% at 10 h) yields an *effective* exponent
+``n ≈ 0.75`` — larger than the textbook reaction-diffusion NBTI exponent
+(~0.16-0.25) because the race observable compounds the raw shift with the
+race's load-line slope.  We therefore calibrate ``n`` on the observable and
+solve ``k`` per device from its Table 4 anchor with
+:func:`solve_k_scale`.
+
+Recovery constants come from Figure 7: error grows ≈1.4x after one week,
+≈1.6x after one month and ≈2.0x at 14 weeks of shelving, logarithmic in
+time.  With ``f_rec(t) = c * ln(1 + t / tau)``, ``tau`` = 1 day and
+``c = 0.055`` reproduce those three points within a few percent (see
+tests/sram/test_calibration.py).
+"""
+
+from __future__ import annotations
+
+import math
+
+from scipy.stats import norm
+
+from ..errors import ConfigurationError
+from ..physics.acceleration import AccelerationModel
+from ..units import celsius_to_kelvin
+from .technology import TechnologyProfile
+
+
+def error_to_shift(target_error: float) -> float:
+    """Aging shift (normalized sigma units) that yields ``target_error``.
+
+    Inverse of ``error = Phi(-D)``; only errors below 50% are reachable by
+    aging (a fresh device already sits at 50%).
+    """
+    if not 0.0 < target_error < 0.5:
+        raise ConfigurationError(
+            f"target error must be in (0, 0.5), got {target_error}"
+        )
+    return float(-norm.ppf(target_error))
+
+
+def shift_to_error(shift: float) -> float:
+    """Predicted single-copy bit error rate for an aging shift ``shift``."""
+    if shift < 0:
+        raise ConfigurationError(f"shift must be >= 0, got {shift}")
+    return float(norm.cdf(-shift))
+
+
+def solve_k_scale(
+    target_error: float,
+    *,
+    vdd_stress: float,
+    temp_stress_c: float,
+    stress_seconds: float,
+    vdd_nominal: float,
+    time_exponent: float,
+    voltage_exponent: float,
+    activation_energy_ev: float,
+    temp_nominal_k: "float | None" = None,
+) -> float:
+    """Solve the NBTI magnitude ``k`` from one measured anchor point.
+
+    Given that stressing at (``vdd_stress``, ``temp_stress_c``) for
+    ``stress_seconds`` produced single-copy error ``target_error`` (Table 4
+    reports these per device), return the ``k`` for which
+    ``Phi(-k * (af * t)^n)`` hits the anchor exactly.
+    """
+    if stress_seconds <= 0:
+        raise ConfigurationError("anchor stress time must be positive")
+    kwargs = {} if temp_nominal_k is None else {"temp_nominal_k": temp_nominal_k}
+    accel = AccelerationModel(
+        vdd_nominal=vdd_nominal,
+        voltage_exponent=voltage_exponent,
+        activation_energy_ev=activation_energy_ev,
+        **kwargs,
+    )
+    eq_seconds = accel.equivalent_seconds(
+        vdd_stress, celsius_to_kelvin(temp_stress_c), stress_seconds
+    )
+    return error_to_shift(target_error) / eq_seconds**time_exponent
+
+
+def calibrate_profile(
+    profile: TechnologyProfile,
+    *,
+    target_error: float,
+    vdd_stress: float,
+    temp_stress_c: float,
+    stress_seconds: float,
+) -> TechnologyProfile:
+    """Return ``profile`` with its ``nbti_k_scale`` solved from an anchor."""
+    k = solve_k_scale(
+        target_error,
+        vdd_stress=vdd_stress,
+        temp_stress_c=temp_stress_c,
+        stress_seconds=stress_seconds,
+        vdd_nominal=profile.vdd_nominal,
+        time_exponent=profile.nbti_time_exponent,
+        voltage_exponent=profile.voltage_exponent,
+        activation_energy_ev=profile.activation_energy_ev,
+        temp_nominal_k=profile.temp_nominal_k,
+    )
+    return profile.with_k_scale(k)
+
+
+def predicted_error(
+    profile: TechnologyProfile,
+    *,
+    vdd: float,
+    temp_c: float,
+    stress_seconds: float,
+) -> float:
+    """Closed-form single-copy error after stressing a fresh device.
+
+    Useful for planning (Figure 15) without running the full simulator.
+    """
+    accel = profile.acceleration_model()
+    eq = accel.equivalent_seconds(vdd, celsius_to_kelvin(temp_c), stress_seconds)
+    shift = profile.nbti_model().shift_after(eq)
+    return shift_to_error(shift)
+
+
+def stress_time_for_error(
+    profile: TechnologyProfile,
+    *,
+    vdd: float,
+    temp_c: float,
+    target_error: float,
+) -> float:
+    """Stress seconds needed at (V, T) to reach ``target_error`` on a fresh
+    device — the planning inverse of :func:`predicted_error`."""
+    accel = profile.acceleration_model()
+    af = accel.factor(vdd, celsius_to_kelvin(temp_c))
+    shift = error_to_shift(target_error)
+    n = profile.nbti_time_exponent
+    k = profile.nbti_k_scale
+    if k <= 0:
+        raise ConfigurationError("profile has zero NBTI magnitude")
+    return math.exp(math.log(shift / k) / n) / af

@@ -1,0 +1,84 @@
+"""Data Retention Voltage (DRV) modelling.
+
+The paper's background cites DRV fingerprinting (Holcomb et al., its refs
+[18, 19]): every cell has a minimum supply voltage below which it can no
+longer hold data, and the per-cell DRV spectrum is another analog-domain
+fingerprint.  The model ties DRV to the same mismatch that decides the
+power-on race — symmetric cells retain to lower voltages; heavily
+mismatched cells fail earlier and collapse toward their preferred state.
+
+Two uses in this library:
+
+- :func:`retention_failures` — which cells lose their data when the rail
+  droops to ``vdd_hold`` (brown-out behaviour for the supply model);
+- :func:`drv_fingerprint` — the binary fingerprint "does cell i retain at
+  test voltage V*", an alternative identifier to the power-on state.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .array import SRAMArray
+
+
+def cell_drv(
+    array: SRAMArray,
+    *,
+    drv_nominal_fraction: float = 0.35,
+    drv_spread_fraction: float = 0.08,
+) -> np.ndarray:
+    """Per-cell data retention voltage (volts).
+
+    ``DRV_i = Vnom * (f0 + f1 * |offset_i|)``: a balanced cell holds data
+    down to ~f0 of nominal; mismatch (manufacturing plus aging skew) raises
+    the retention floor because the weak side gives up sooner.
+    """
+    if not 0 < drv_nominal_fraction < 1:
+        raise ConfigurationError("drv_nominal_fraction must be in (0, 1)")
+    if drv_spread_fraction < 0:
+        raise ConfigurationError("drv_spread_fraction must be >= 0")
+    vnom = array.technology.vdd_nominal
+    return vnom * (
+        drv_nominal_fraction + drv_spread_fraction * np.abs(array.offsets())
+    )
+
+
+def retention_failures(
+    array: SRAMArray, vdd_hold: float, **drv_kwargs
+) -> np.ndarray:
+    """Boolean mask of cells that cannot hold data at ``vdd_hold``.
+
+    A failing cell collapses to its power-on preference (the race winner),
+    losing whatever was stored.
+    """
+    if vdd_hold < 0:
+        raise ConfigurationError("hold voltage must be >= 0")
+    return cell_drv(array, **drv_kwargs) > vdd_hold
+
+
+def apply_brownout(array: SRAMArray, vdd_hold: float, **drv_kwargs) -> int:
+    """Droop the rail to ``vdd_hold`` while data is held: failing cells
+    collapse to their preferred power-on value.  Returns the number of
+    cells that lost their data.  The array must be powered."""
+    if not array.powered:
+        from ..errors import PowerError
+
+        raise PowerError("brown-out needs a powered array holding data")
+    failures = retention_failures(array, vdd_hold, **drv_kwargs)
+    if not failures.any():
+        return 0
+    preferred = (array.offsets() > 0).astype(np.uint8)
+    data = array.read()
+    data[failures] = preferred[failures]
+    array.write(data)
+    return int(failures.sum())
+
+
+def drv_fingerprint(array: SRAMArray, test_voltage: float, **drv_kwargs) -> np.ndarray:
+    """The DRV fingerprint: bit i is 1 iff cell i retains at
+    ``test_voltage`` (refs [18, 19]'s identifier)."""
+    if test_voltage <= 0:
+        raise ConfigurationError("test voltage must be positive")
+    return (~retention_failures(array, test_voltage, **drv_kwargs)).astype(np.uint8)

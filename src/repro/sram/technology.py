@@ -1,0 +1,122 @@
+"""Per-technology SRAM parameter sets.
+
+A :class:`TechnologyProfile` bundles everything the simulator needs to know
+about one silicon process + device family: nominal and absolute-maximum
+operating points, the mismatch/noise magnitudes of its cells, and the NBTI
+constants calibrated against the paper's measurements (see
+:mod:`repro.sram.calibration`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..errors import ConfigurationError, OverstressError
+from ..physics.acceleration import AccelerationModel
+from ..physics.constants import (
+    NBTI_ACTIVATION_ENERGY_EV,
+    NBTI_TIME_EXPONENT,
+    NBTI_VOLTAGE_EXPONENT,
+    NOMINAL_TEMP_K,
+)
+from ..physics.nbti import NBTIModel
+
+
+@dataclass(frozen=True)
+class TechnologyProfile:
+    """Analog-domain parameters of one SRAM technology.
+
+    All mismatch-related quantities are in *normalized sigma units*: the
+    per-cell mismatch offset is N(0, 1) and NBTI shifts are expressed on the
+    same scale.
+    """
+
+    name: str
+    node_nm: float
+    vdd_nominal: float
+    vdd_abs_max: float
+    temp_nominal_k: float = NOMINAL_TEMP_K
+    temp_abs_max_k: float = NOMINAL_TEMP_K + 100.0
+
+    #: Per-power-up thermal noise sigma; cells with |offset| below a few
+    #: noise sigmas are the paper's "noisy" cells that majority voting
+    #: filters (§4.3).
+    noise_sigma: float = 0.05
+
+    #: Variance share of the spatially correlated mismatch component
+    #: (wafer gradient); sets the unstressed Moran's I (~0.01, Table 2).
+    correlated_share: float = 0.01
+    coarse_tile: int = 8
+
+    #: NBTI constants (normalized-sigma scale); see calibration module.
+    nbti_k_scale: float = 1.0e-6
+    nbti_time_exponent: float = NBTI_TIME_EXPONENT
+    nbti_rec_ceiling: float = 0.35
+    nbti_rec_log_coeff: float = 0.055
+    nbti_rec_tau_s: float = 86400.0
+
+    #: Acceleration-law constants.
+    voltage_exponent: float = NBTI_VOLTAGE_EXPONENT
+    activation_energy_ev: float = NBTI_ACTIVATION_ENERGY_EV
+
+    #: Data-remanence time constant at nominal temperature (seconds): how
+    #: long a cell holds its value without power before decaying.
+    remanence_tau_s: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.vdd_nominal <= 0:
+            raise ConfigurationError(f"{self.name}: nominal Vdd must be positive")
+        if self.vdd_abs_max < self.vdd_nominal:
+            raise ConfigurationError(
+                f"{self.name}: abs-max Vdd below nominal "
+                f"({self.vdd_abs_max} < {self.vdd_nominal})"
+            )
+        if self.noise_sigma < 0:
+            raise ConfigurationError(f"{self.name}: noise sigma must be >= 0")
+        if not 0 <= self.correlated_share < 1:
+            raise ConfigurationError(f"{self.name}: correlated share out of range")
+        if self.remanence_tau_s <= 0:
+            raise ConfigurationError(f"{self.name}: remanence tau must be positive")
+
+    # -- derived models -------------------------------------------------------
+
+    def acceleration_model(self) -> AccelerationModel:
+        """The aging-acceleration law for this technology."""
+        return AccelerationModel(
+            vdd_nominal=self.vdd_nominal,
+            temp_nominal_k=self.temp_nominal_k,
+            voltage_exponent=self.voltage_exponent,
+            activation_energy_ev=self.activation_energy_ev,
+        )
+
+    def nbti_model(self) -> NBTIModel:
+        """The NBTI stress/recovery law for this technology."""
+        return NBTIModel(
+            k_scale=self.nbti_k_scale,
+            time_exponent=self.nbti_time_exponent,
+            rec_ceiling=self.nbti_rec_ceiling,
+            rec_log_coeff=self.nbti_rec_log_coeff,
+            rec_tau_s=self.nbti_rec_tau_s,
+        )
+
+    def check_operating_point(self, vdd: float, temp_k: float) -> None:
+        """Raise :class:`OverstressError` outside absolute maximum ratings."""
+        if vdd <= 0:
+            raise ConfigurationError(f"Vdd must be positive, got {vdd}")
+        if temp_k <= 0:
+            raise ConfigurationError(f"temperature must be positive, got {temp_k}")
+        if vdd > self.vdd_abs_max:
+            raise OverstressError(
+                f"{self.name}: {vdd} V exceeds absolute maximum "
+                f"{self.vdd_abs_max} V"
+            )
+        if temp_k > self.temp_abs_max_k:
+            raise OverstressError(
+                f"{self.name}: {temp_k} K exceeds absolute maximum "
+                f"{self.temp_abs_max_k} K"
+            )
+
+    def with_k_scale(self, k_scale: float) -> "TechnologyProfile":
+        """Copy of this profile with a different NBTI magnitude (used by the
+        calibration helpers and by device-to-device variation)."""
+        return replace(self, nbti_k_scale=k_scale)

@@ -1,0 +1,38 @@
+"""Statistical machinery for the paper's steganalysis (Tables 2 & 5, §6-7).
+
+Everything an adversary — or the paper's own evaluation — computes over
+power-on states:
+
+- :mod:`repro.stats.morans_i` — spatial autocorrelation on the die grid;
+- :mod:`repro.stats.welch` — Welch's unequal-variance t-test;
+- :mod:`repro.stats.entropy` — Shannon entropy over byte symbols;
+- :mod:`repro.stats.hamming_weight` — block Hamming-weight distributions;
+- :mod:`repro.stats.distributions` — histogram/density helpers shared by
+  the figure benches.
+"""
+
+from .distributions import density_histogram, power_on_bias
+from .entropy import (
+    normalized_entropy,
+    per_symbol_entropy,
+    shannon_entropy,
+    symbol_distribution,
+)
+from .hamming_weight import block_weight_density, block_weights
+from .morans_i import MoransIResult, morans_i
+from .welch import WelchResult, welch_t_test
+
+__all__ = [
+    "MoransIResult",
+    "WelchResult",
+    "block_weight_density",
+    "block_weights",
+    "density_histogram",
+    "morans_i",
+    "normalized_entropy",
+    "per_symbol_entropy",
+    "power_on_bias",
+    "shannon_entropy",
+    "symbol_distribution",
+    "welch_t_test",
+]

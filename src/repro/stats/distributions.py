@@ -1,0 +1,42 @@
+"""Histogram/density helpers shared by the figure benches."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..bitutils import as_bit_array
+from ..errors import ConfigurationError
+
+
+def power_on_bias(samples: np.ndarray) -> np.ndarray:
+    """Per-cell power-on bias over repeated captures (paper Figure 3a-c).
+
+    ``samples`` has shape ``(n_captures, n_bits)``; the result is each
+    cell's mean power-on value in [0, 1].  Strongly skewed cells power on
+    deterministically; values near 0.5 mark the noisy symmetric cells.
+    """
+    samples = np.asarray(samples, dtype=np.float64)
+    if samples.ndim != 2 or samples.shape[0] == 0:
+        raise ConfigurationError(f"expected (n_captures, n_bits), got {samples.shape}")
+    return samples.mean(axis=0)
+
+
+def density_histogram(
+    values: np.ndarray, *, bins: int = 20, value_range: "tuple[float, float] | None" = None
+) -> tuple[np.ndarray, np.ndarray]:
+    """``(bin_centres, density)`` with densities summing to 1."""
+    values = np.asarray(values, dtype=np.float64).ravel()
+    if values.size == 0:
+        raise ConfigurationError("cannot histogram zero values")
+    counts, edges = np.histogram(values, bins=bins, range=value_range)
+    density = counts / counts.sum()
+    centres = (edges[:-1] + edges[1:]) / 2.0
+    return centres, density
+
+
+def mean_fraction_of_ones(bits: np.ndarray) -> float:
+    """Fraction of 1s in a bit array (Table 5's "mean power-on bias")."""
+    arr = as_bit_array(bits)
+    if arr.size == 0:
+        raise ConfigurationError("empty bit array")
+    return float(arr.mean())

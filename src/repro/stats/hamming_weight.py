@@ -1,0 +1,34 @@
+"""Block Hamming-weight distributions (paper Figures 11 and 14).
+
+Grouping adjacent cells into fixed-size blocks and histogramming the block
+weights is the adversary's second statistic: a fresh SRAM gives a binomial
+bell around blocksize/2; a plaintext payload skews and widens it; an
+encrypted payload reproduces the bell.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..bitutils import block_hamming_weights
+from ..errors import ConfigurationError
+
+#: The paper's block size for weight analysis (its Flash-comparison bin).
+DEFAULT_BLOCK_BITS = 128
+
+
+def block_weights(bits: np.ndarray, block_bits: int = DEFAULT_BLOCK_BITS) -> np.ndarray:
+    """Hamming weight of each ``block_bits`` block."""
+    return block_hamming_weights(bits, block_bits)
+
+
+def block_weight_density(
+    bits: np.ndarray, block_bits: int = DEFAULT_BLOCK_BITS
+) -> tuple[np.ndarray, np.ndarray]:
+    """``(weights 0..block_bits, density)`` — the Figure 11/14 series."""
+    if block_bits <= 0:
+        raise ConfigurationError("block size must be positive")
+    weights = block_weights(bits, block_bits)
+    counts = np.bincount(weights, minlength=block_bits + 1).astype(np.float64)
+    density = counts / counts.sum()
+    return np.arange(block_bits + 1), density

@@ -1,0 +1,73 @@
+"""Unit helpers.
+
+The library stores time in seconds, temperature in kelvin and voltage in
+volts internally.  The paper (and therefore the public API) speaks in hours
+and degrees Celsius, so these helpers keep conversions explicit and in one
+place.
+"""
+
+from __future__ import annotations
+
+from .errors import ConfigurationError
+
+ZERO_CELSIUS_K = 273.15
+
+SECONDS_PER_MINUTE = 60.0
+SECONDS_PER_HOUR = 3600.0
+SECONDS_PER_DAY = 86400.0
+SECONDS_PER_WEEK = 7 * SECONDS_PER_DAY
+
+
+def celsius_to_kelvin(celsius: float) -> float:
+    """Convert a temperature from degrees Celsius to kelvin."""
+    kelvin = celsius + ZERO_CELSIUS_K
+    if kelvin <= 0:
+        raise ConfigurationError(f"temperature {celsius} C is below absolute zero")
+    return kelvin
+
+
+def kelvin_to_celsius(kelvin: float) -> float:
+    """Convert a temperature from kelvin to degrees Celsius."""
+    if kelvin <= 0:
+        raise ConfigurationError(f"temperature {kelvin} K is not physical")
+    return kelvin - ZERO_CELSIUS_K
+
+
+def hours(value: float) -> float:
+    """Express a duration given in hours as seconds."""
+    if value < 0:
+        raise ConfigurationError(f"negative duration: {value} hours")
+    return value * SECONDS_PER_HOUR
+
+
+def minutes(value: float) -> float:
+    """Express a duration given in minutes as seconds."""
+    if value < 0:
+        raise ConfigurationError(f"negative duration: {value} minutes")
+    return value * SECONDS_PER_MINUTE
+
+
+def days(value: float) -> float:
+    """Express a duration given in days as seconds."""
+    if value < 0:
+        raise ConfigurationError(f"negative duration: {value} days")
+    return value * SECONDS_PER_DAY
+
+
+def weeks(value: float) -> float:
+    """Express a duration given in weeks as seconds."""
+    if value < 0:
+        raise ConfigurationError(f"negative duration: {value} weeks")
+    return value * SECONDS_PER_WEEK
+
+
+def seconds_to_hours(value: float) -> float:
+    """Express a duration given in seconds as hours."""
+    return value / SECONDS_PER_HOUR
+
+
+def kib(value: float) -> int:
+    """Express a size given in KiB as bytes (the paper's "KB" is KiB)."""
+    if value < 0:
+        raise ConfigurationError(f"negative size: {value} KiB")
+    return int(value * 1024)

@@ -1,0 +1,48 @@
+"""Shared fixtures for the Invisible Bits test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.device import make_device
+from repro.device.catalog import device_spec
+from repro.harness import ControlBoard
+
+
+@pytest.fixture
+def msp432_profile():
+    """The calibrated MSP432P401 technology profile."""
+    return device_spec("MSP432P401").technology
+
+
+@pytest.fixture
+def msp432_recipe():
+    return device_spec("MSP432P401").recipe
+
+
+@pytest.fixture
+def small_board():
+    """A 2 KiB MSP432 wired to a control board (fast default rig)."""
+    device = make_device("MSP432P401", rng=1234, sram_kib=2)
+    return ControlBoard(device)
+
+
+@pytest.fixture
+def random_payload():
+    """Deterministic random payload factory: payload(n_bits, seed=0)."""
+
+    def _make(n_bits: int, seed: int = 0) -> np.ndarray:
+        return np.random.default_rng(seed).integers(0, 2, n_bits).astype(np.uint8)
+
+    return _make
+
+
+def encode_quick(board, payload, *, hours=None):
+    """Encode without the (slow) firmware emulation path."""
+    board.encode_message(
+        payload,
+        stress_hours=hours,
+        use_firmware=False,
+        camouflage=False,
+    )

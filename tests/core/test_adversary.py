@@ -1,0 +1,94 @@
+"""Integration tests for the adversary models (§5.1.4, §7.1, §7.4)."""
+
+import numpy as np
+import pytest
+
+from repro.bitutils import bit_error_rate, invert_bits
+from repro.core.adversary import (
+    MultipleSnapshotAdversary,
+    adversarial_aging_attack,
+    normal_operation_effect,
+    restore_encoding,
+)
+from repro.device import make_device
+from repro.errors import ConfigurationError
+from repro.harness import ControlBoard
+from repro.units import days
+
+
+@pytest.fixture
+def encoded_board(random_payload):
+    device = make_device("MSP432P401", rng=61, sram_kib=2)
+    board = ControlBoard(device)
+    payload = random_payload(device.sram.n_bits, seed=17)
+    board.encode_message(payload, use_firmware=False, camouflage=False)
+    return board, payload
+
+
+class TestNormalOperation:
+    def test_week_of_use_grows_error_modestly(self, encoded_board):
+        """§5.1.4: ~1.2x after a week, less than shelf recovery's ~1.4x."""
+        board, payload = encoded_board
+        before, after = normal_operation_effect(board, payload, operation_days=7)
+        factor = after / before
+        assert 1.05 < factor < 1.45
+
+    def test_validation(self, encoded_board):
+        board, payload = encoded_board
+        with pytest.raises(ConfigurationError):
+            normal_operation_effect(board, payload, operation_days=-1)
+
+
+class TestMultipleSnapshot:
+    def test_snapshots_collected_with_labels(self, encoded_board):
+        board, _ = encoded_board
+        adversary = MultipleSnapshotAdversary(board)
+        adversary.observe("m1")
+        adversary.observe("m2")
+        adversary.wait(days(1))
+        adversary.observe("one day")
+        labels = [label for label, _ in adversary.snapshots()]
+        assert labels == ["m1", "m2", "one day"]
+
+    def test_flip_fractions_small(self, encoded_board):
+        """§7.1: differences between snapshots look like measurement noise."""
+        board, _ = encoded_board
+        adversary = MultipleSnapshotAdversary(board)
+        adversary.observe("m1")
+        adversary.observe("m2")
+        adversary.wait(days(7))
+        adversary.observe("one week")
+        flips = adversary.flip_fractions()
+        assert all(f < 0.06 for f in flips)
+        # back-to-back and week-later flips are the same order of magnitude
+        assert flips[1] < 10 * max(flips[0], 1e-4)
+
+
+class TestAdversarialAging:
+    def test_attack_injects_noise(self, encoded_board):
+        board, payload = encoded_board
+        result = adversarial_aging_attack(
+            board, payload, attack_hours=1.0, vdd_attack=2.2
+        )
+        assert result.attack_factor > 1.02
+        assert result.post_restore_error is None
+
+    def test_restore_recovers_encoding(self, encoded_board):
+        """§7.4: re-encoding restores error to ~1x of baseline."""
+        board, payload = encoded_board
+        result = adversarial_aging_attack(
+            board, payload, attack_hours=1.0, vdd_attack=2.2
+        )
+        restore_encoding(board, payload, restore_hours=1.5)
+        restored = bit_error_rate(
+            payload, invert_bits(board.majority_power_on_state(5))
+        )
+        assert restored / result.baseline_error < result.attack_factor
+        assert restored / result.baseline_error < 1.1
+
+    def test_validation(self, encoded_board):
+        board, payload = encoded_board
+        with pytest.raises(ConfigurationError):
+            adversarial_aging_attack(board, payload, attack_hours=0.0)
+        with pytest.raises(ConfigurationError):
+            restore_encoding(board, payload, restore_hours=0.0)

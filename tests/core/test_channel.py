@@ -1,0 +1,60 @@
+"""Unit tests for the BSC channel model."""
+
+import pytest
+
+from repro.core.channel import ChannelModel, bsc_capacity, measure_channel_error
+from repro.device import make_device
+from repro.device.catalog import device_spec
+from repro.errors import ConfigurationError
+from repro.harness import ControlBoard
+
+
+class TestBscCapacity:
+    def test_perfect_channel(self):
+        assert bsc_capacity(0.0) == 1.0
+
+    def test_coin_flip_channel(self):
+        assert bsc_capacity(0.5) == pytest.approx(0.0, abs=1e-12)
+
+    def test_symmetry(self):
+        assert bsc_capacity(0.1) == pytest.approx(bsc_capacity(0.9))
+
+    def test_paper_operating_point(self):
+        # 6.5% error channel: ~0.65 bits per cell of Shannon capacity.
+        assert bsc_capacity(0.065) == pytest.approx(0.6498, abs=0.01)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            bsc_capacity(1.5)
+
+
+class TestChannelModel:
+    @pytest.fixture
+    def model(self):
+        return ChannelModel(device_spec("MSP432P401"))
+
+    def test_recipe_error_matches_table4(self, model):
+        assert model.recipe_error() == pytest.approx(0.065, rel=1e-6)
+
+    def test_error_monotone_in_time(self, model):
+        assert model.error_at(2.0) > model.error_at(10.0)
+
+    def test_hours_for_error_inverts(self, model):
+        hours = model.hours_for_error(0.10)
+        assert model.error_at(hours) == pytest.approx(0.10, rel=1e-6)
+
+    def test_capacity_bits_scale(self, model):
+        # 64 KiB at the recipe error: a few hundred kilobits of capacity.
+        cap = model.capacity_bits()
+        assert 0.5 * model.spec.sram_bits < cap < model.spec.sram_bits
+
+
+class TestMeasuredChannel:
+    def test_measured_error_matches_model(self, random_payload):
+        device = make_device("MSP432P401", rng=51, sram_kib=2)
+        board = ControlBoard(device)
+        payload = random_payload(device.sram.n_bits, seed=8)
+        board.encode_message(payload, use_firmware=False, camouflage=False)
+        measured = measure_channel_error(board, payload)
+        model = ChannelModel(device.spec)
+        assert measured == pytest.approx(model.recipe_error(), abs=0.015)

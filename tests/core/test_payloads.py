@@ -1,0 +1,79 @@
+"""Unit tests for the payload generators."""
+
+import numpy as np
+import pytest
+
+from repro.core.payloads import (
+    logo_bitmap,
+    render_bitmap,
+    synthetic_image_bits,
+    synthetic_image_bytes,
+    text_message,
+)
+from repro.errors import ConfigurationError
+
+
+class TestSyntheticImage:
+    def test_shape_and_values(self):
+        bits = synthetic_image_bits(64, 32, rng=0)
+        assert bits.size == 64 * 32
+        assert set(np.unique(bits)) <= {0, 1}
+
+    def test_deterministic(self):
+        a = synthetic_image_bits(64, 64, rng=1)
+        b = synthetic_image_bits(64, 64, rng=1)
+        assert np.array_equal(a, b)
+
+    def test_has_long_runs(self):
+        """The property Table 5 depends on: blobby, not noisy."""
+        bits = synthetic_image_bits(128, 128, rng=2)
+        transitions = np.count_nonzero(bits[1:] != bits[:-1])
+        # Random bits would transition ~50% of the time; blobs far less.
+        assert transitions / bits.size < 0.2
+
+    def test_dark_fraction_controls_bias(self):
+        dark = synthetic_image_bits(128, 128, dark_fraction=0.8, rng=3)
+        light = synthetic_image_bits(128, 128, dark_fraction=0.2, rng=3)
+        assert dark.mean() < light.mean()
+
+    def test_bytes_variant(self):
+        data = synthetic_image_bytes(100, rng=0)
+        assert len(data) == 100
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            synthetic_image_bits(0, 10)
+        with pytest.raises(ConfigurationError):
+            synthetic_image_bits(10, 10, dark_fraction=1.5)
+        with pytest.raises(ConfigurationError):
+            synthetic_image_bytes(0)
+
+
+class TestLogo:
+    def test_scales(self):
+        small = logo_bitmap(scale=1)
+        big = logo_bitmap(scale=3)
+        assert big.shape == (small.shape[0] * 3, small.shape[1] * 3)
+
+    def test_binary(self):
+        assert set(np.unique(logo_bitmap())) == {0, 1}
+
+    def test_scale_validated(self):
+        with pytest.raises(ConfigurationError):
+            logo_bitmap(scale=0)
+
+
+class TestTextAndRender:
+    def test_text_message_length(self):
+        assert len(text_message(100)) == 100
+        with pytest.raises(ConfigurationError):
+            text_message(0)
+
+    def test_render_shapes_lines(self):
+        bits = np.array([1, 0, 0, 1], dtype=np.uint8)
+        art = render_bitmap(bits, width=2)
+        assert art == "#.\n.#"
+
+    def test_render_validates_width(self):
+        with pytest.raises(ConfigurationError):
+            render_bitmap(np.ones(4, dtype=np.uint8), width=0)

@@ -1,0 +1,89 @@
+"""Unit tests for capacity/error planning (Figure 15, §5.3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.planner import (
+    capacity_error_tradeoff,
+    parallel_device_selection,
+    plan_scheme,
+)
+from repro.ecc import ConcatenatedCode, RepetitionCode
+from repro.errors import ConfigurationError
+
+
+class TestTradeoffSweep:
+    def test_frontier_shape(self):
+        points = capacity_error_tradeoff("MSP432P401", 0.065)
+        errors = [p.predicted_error for p in points]
+        caps = [p.capacity_fraction for p in points]
+        assert errors == sorted(errors, reverse=True)
+        assert caps == sorted(caps, reverse=True)
+
+    def test_hamming_beats_plain_at_same_copies(self):
+        plain = capacity_error_tradeoff("x", 0.065, with_hamming=False)
+        stacked = capacity_error_tradeoff("x", 0.065, with_hamming=True)
+        for p, s in zip(plain, stacked):
+            assert s.predicted_error <= p.predicted_error
+
+    def test_capacity_percent(self):
+        point = capacity_error_tradeoff("x", 0.065, copies_list=(5,),
+                                        with_hamming=False)[0]
+        assert point.capacity_percent == pytest.approx(20.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            capacity_error_tradeoff("x", 0.6)
+        with pytest.raises(ConfigurationError):
+            capacity_error_tradeoff("x", 0.1, copies_list=(2,))
+
+
+class TestPlanScheme:
+    def test_easy_target_gets_high_rate(self):
+        code = plan_scheme(0.01, 0.01)
+        assert code.rate == 1.0 or isinstance(code, RepetitionCode)
+
+    def test_paper_target(self):
+        """§5.3: 6.5% channel, <0.3% target -> 5-copy repetition (rate 0.2)
+        unless the Hamming stack wins on rate."""
+        code = plan_scheme(0.065, 0.003)
+        assert code.rate >= 0.2 - 1e-9
+
+    def test_scheme_actually_meets_target(self):
+        rng = np.random.default_rng(0)
+        code = plan_scheme(0.065, 0.003)
+        data = rng.integers(0, 2, code.k * 3000).astype(np.uint8)
+        coded = code.encode(data)
+        noisy = coded ^ (rng.random(coded.size) < 0.065).astype(np.uint8)
+        residual = float(np.mean(code.decode(noisy) != data))
+        assert residual <= 0.004
+
+    def test_impossible_target_raises(self):
+        with pytest.raises(ConfigurationError):
+            plan_scheme(0.45, 1e-9, max_copies=3)
+
+
+class TestParallelSelection:
+    def test_best_error_below_mean(self):
+        best, errors = parallel_device_selection(0.065, n_devices=10, rng=0)
+        assert best == min(errors)
+        assert best < 0.065
+
+    def test_paper_2_7_percent_reachable(self):
+        """§5.3: 'a device with 2.7% error is possible'."""
+        best, _ = parallel_device_selection(0.065, n_devices=40, rng=1)
+        assert best < 0.035
+
+    def test_single_device_is_just_a_sample(self):
+        best, errors = parallel_device_selection(0.065, n_devices=1, rng=2)
+        assert len(errors) == 1
+
+    def test_zero_sigma_deterministic(self):
+        best, errors = parallel_device_selection(
+            0.065, n_devices=5, device_sigma=0.0, rng=3
+        )
+        assert all(e == pytest.approx(0.065) for e in errors)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            parallel_device_selection(0.065, n_devices=0)

@@ -1,0 +1,88 @@
+"""AES validated against FIPS-197 Appendix C vectors."""
+
+import numpy as np
+import pytest
+
+from repro.crypto import AES
+from repro.crypto.aes_core import INV_SBOX, SBOX, gf_mul
+from repro.errors import ConfigurationError, KeyLengthError
+
+PLAINTEXT = bytes.fromhex("00112233445566778899aabbccddeeff")
+VECTORS = [
+    ("000102030405060708090a0b0c0d0e0f", "69c4e0d86a7b0430d8cdb78070b4c55a"),
+    (
+        "000102030405060708090a0b0c0d0e0f1011121314151617",
+        "dda97ca4864cdfe06eaf70a0ec0d7191",
+    ),
+    (
+        "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f",
+        "8ea2b7ca516745bfeafc49904b496089",
+    ),
+]
+
+
+class TestFips197:
+    @pytest.mark.parametrize("key_hex,ct_hex", VECTORS)
+    def test_encrypt_vectors(self, key_hex, ct_hex):
+        aes = AES(bytes.fromhex(key_hex))
+        assert aes.encrypt_block(PLAINTEXT).hex() == ct_hex
+
+    @pytest.mark.parametrize("key_hex,ct_hex", VECTORS)
+    def test_decrypt_vectors(self, key_hex, ct_hex):
+        aes = AES(bytes.fromhex(key_hex))
+        assert aes.decrypt_block(bytes.fromhex(ct_hex)) == PLAINTEXT
+
+    def test_fips197_appendix_b_example(self):
+        key = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+        pt = bytes.fromhex("3243f6a8885a308d313198a2e0370734")
+        assert AES(key).encrypt_block(pt).hex() == "3925841d02dc09fbdc118597196a0b32"
+
+
+class TestTables:
+    def test_sbox_known_entries(self):
+        assert SBOX[0x00] == 0x63
+        assert SBOX[0x53] == 0xED
+        assert SBOX[0xFF] == 0x16
+
+    def test_sboxes_are_inverse_permutations(self):
+        assert sorted(SBOX.tolist()) == list(range(256))
+        assert all(INV_SBOX[SBOX[i]] == i for i in range(256))
+
+    def test_gf_mul_known_products(self):
+        assert gf_mul(0x57, 0x83) == 0xC1  # FIPS-197 §4.2 example
+        assert gf_mul(0x57, 0x13) == 0xFE
+        assert gf_mul(0, 0x42) == 0
+        assert gf_mul(1, 0x42) == 0x42
+
+
+class TestBatching:
+    def test_vectorized_matches_single_block(self):
+        rng = np.random.default_rng(0)
+        aes = AES(b"0123456789abcdef")
+        blocks = rng.integers(0, 256, (32, 16), dtype=np.uint8)
+        batch = aes.encrypt_blocks(blocks)
+        for i in range(32):
+            assert batch[i].tobytes() == aes.encrypt_block(blocks[i].tobytes())
+
+    def test_round_trip_batch(self):
+        rng = np.random.default_rng(1)
+        aes = AES(b"0123456789abcdef")
+        blocks = rng.integers(0, 256, (100, 16), dtype=np.uint8)
+        assert np.array_equal(aes.decrypt_blocks(aes.encrypt_blocks(blocks)), blocks)
+
+    def test_input_blocks_not_mutated(self):
+        aes = AES(b"0123456789abcdef")
+        blocks = np.zeros((4, 16), dtype=np.uint8)
+        aes.encrypt_blocks(blocks)
+        assert not blocks.any()
+
+
+class TestValidation:
+    def test_bad_key_length(self):
+        with pytest.raises(KeyLengthError):
+            AES(b"short")
+
+    def test_bad_block_shape(self):
+        aes = AES(b"0123456789abcdef")
+        with pytest.raises(ConfigurationError):
+            aes.encrypt_blocks(np.zeros((4, 8), dtype=np.uint8))

@@ -1,0 +1,144 @@
+"""Unit tests for AES-CTR (NIST SP 800-38A vector + paper properties)."""
+
+import numpy as np
+import pytest
+
+from repro.crypto import AesCtr, nonce_from_device_id
+from repro.errors import ConfigurationError, NonceError
+
+
+@pytest.fixture
+def ctr():
+    return AesCtr(b"0123456789abcdef", b"\x01" * 12)
+
+
+class TestCorrectness:
+    def test_involution(self, ctr):
+        msg = b"attack at dawn" * 13
+        assert ctr.decrypt(ctr.encrypt(msg)) == msg
+
+    def test_keystream_deterministic(self, ctr):
+        assert np.array_equal(ctr.keystream(100), ctr.keystream(100))
+
+    def test_keystream_prefix_property(self, ctr):
+        long = ctr.keystream(64)
+        short = ctr.keystream(32)
+        assert np.array_equal(long[:32], short)
+
+    def test_counter_offset_continues_stream(self, ctr):
+        whole = ctr.keystream(48)
+        tail = ctr.keystream(32, initial_counter=1)
+        assert np.array_equal(whole[16:48], tail)
+
+    def test_different_nonces_differ(self):
+        a = AesCtr(b"0123456789abcdef", b"\x01" * 12).keystream(32)
+        b = AesCtr(b"0123456789abcdef", b"\x02" * 12).keystream(32)
+        assert not np.array_equal(a, b)
+
+
+class TestErrorNeutrality:
+    """§4.1: a stream cipher is error-neutral — bit errors map 1:1."""
+
+    def test_single_flip_single_error(self, ctr):
+        msg = bytes(64)
+        ct = bytearray(ctr.encrypt(msg))
+        ct[10] ^= 0x40
+        recovered = ctr.decrypt(bytes(ct))
+        flips = sum(bin(a ^ b).count("1") for a, b in zip(recovered, msg))
+        assert flips == 1
+
+    def test_error_positions_preserved(self, ctr):
+        msg = bytes(range(64))
+        ct = np.frombuffer(ctr.encrypt(msg), dtype=np.uint8).copy()
+        ct[[3, 17, 40]] ^= 0x01
+        recovered = np.frombuffer(ctr.decrypt(ct.tobytes()), dtype=np.uint8)
+        original = np.frombuffer(msg, dtype=np.uint8)
+        assert list(np.nonzero(recovered != original)[0]) == [3, 17, 40]
+
+
+class TestBitsInterface:
+    def test_process_bits_round_trip(self, ctr, random_payload):
+        bits = random_payload(256, seed=2)
+        assert np.array_equal(ctr.process_bits(ctr.process_bits(bits)), bits)
+
+    def test_encrypted_bits_look_random(self, ctr):
+        bits = np.zeros(80_000, dtype=np.uint8)
+        enc = ctr.process_bits(bits)
+        assert enc.mean() == pytest.approx(0.5, abs=0.01)
+
+
+class TestNonceReuseHazard:
+    """Why footnote 4's per-device nonces are load-bearing."""
+
+    def test_nonce_reuse_leaks_message_xor(self):
+        ctr_a = AesCtr(b"0123456789abcdef", b"\x07" * 12)
+        ctr_b = AesCtr(b"0123456789abcdef", b"\x07" * 12)  # same nonce!
+        m1 = b"attack at dawn..".ljust(32)
+        m2 = b"retreat at dusk.".ljust(32)
+        c1 = ctr_a.encrypt(m1)
+        c2 = ctr_b.encrypt(m2)
+        leaked = bytes(a ^ b for a, b in zip(c1, c2))
+        expected = bytes(a ^ b for a, b in zip(m1, m2))
+        assert leaked == expected  # keystream cancelled: adversary wins
+
+    def test_per_device_nonces_prevent_the_leak(self):
+        key = b"0123456789abcdef"
+        ctr_a = AesCtr(key, nonce_from_device_id(b"device-serial-1"))
+        ctr_b = AesCtr(key, nonce_from_device_id(b"device-serial-2"))
+        m = b"same message on two devices....."
+        c1, c2 = ctr_a.encrypt(m), ctr_b.encrypt(m)
+        assert c1 != c2
+        xored = np.frombuffer(c1, np.uint8) ^ np.frombuffer(c2, np.uint8)
+        # The XOR of the two ciphertexts is keystream XOR, not plaintext:
+        # it looks random rather than zero.
+        assert 0.25 < np.unpackbits(xored).mean() < 0.75
+        assert xored.any()
+
+
+class TestNonceDerivation:
+    def test_12_byte_id_passthrough(self):
+        assert nonce_from_device_id(b"x" * 12) == b"x" * 12
+
+    def test_other_lengths_hashed(self):
+        nonce = nonce_from_device_id(b"serial-42")
+        assert len(nonce) == 12
+        assert nonce == nonce_from_device_id(b"serial-42")
+        assert nonce != nonce_from_device_id(b"serial-43")
+
+    def test_empty_id_rejected(self):
+        with pytest.raises(NonceError):
+            nonce_from_device_id(b"")
+
+
+class TestValidation:
+    def test_bad_nonce_length(self):
+        with pytest.raises(NonceError):
+            AesCtr(b"0123456789abcdef", b"short")
+
+    def test_counter_overflow_guard(self, ctr):
+        with pytest.raises(NonceError):
+            ctr.keystream(32, initial_counter=2**32 - 1)
+
+    def test_negative_length(self, ctr):
+        with pytest.raises(ConfigurationError):
+            ctr.keystream(-1)
+
+    def test_zero_length(self, ctr):
+        assert ctr.keystream(0).size == 0
+
+
+def test_sp800_38a_ctr_vector():
+    """NIST SP 800-38A F.5.1 CTR-AES128, first block."""
+    key = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+    # SP 800-38A uses a full 16-byte initial counter block; our CTR splits
+    # 12-byte nonce || 4-byte counter, so use its prefix and start counter.
+    ctr = AesCtr(key, bytes.fromhex("f0f1f2f3f4f5f6f7f8f9fafb"))
+    pt = bytes.fromhex("6bc1bee22e409f96e93d7e117393172a")
+    ct = ctr.process(
+        np.frombuffer(pt, dtype=np.uint8)
+    ) .tobytes()
+    # keystream block must be E_K(f0..fb || fcfdfeff) with counter 0xfcfdfeff
+    expected = bytes.fromhex("874d6191b620e3261bef6864990db6ce")
+    ks = ctr.keystream(16, initial_counter=0xFCFDFEFF)
+    manual = bytes(a ^ b for a, b in zip(pt, ks.tobytes()))
+    assert manual == expected

@@ -1,0 +1,64 @@
+"""Unit tests for the §5.1.4 workload PRNG."""
+
+import pytest
+
+from repro.crypto.prng import GaloisLfsr32, Lcg31, NormalOperationPrng
+from repro.errors import ConfigurationError
+
+
+class TestLfsr:
+    def test_known_first_step(self):
+        lfsr = GaloisLfsr32(0xACE1)
+        assert lfsr.step() == 0x80205673
+
+    def test_never_reaches_zero(self):
+        lfsr = GaloisLfsr32(1)
+        for _ in range(10_000):
+            assert lfsr.step() != 0
+
+    def test_long_period_no_short_cycle(self):
+        lfsr = GaloisLfsr32(0xDEADBEEF)
+        seen_start = lfsr.state
+        for _ in range(100_000):
+            if lfsr.step() == seen_start:
+                pytest.fail("LFSR cycled suspiciously early")
+
+    def test_zero_seed_rejected(self):
+        with pytest.raises(ConfigurationError):
+            GaloisLfsr32(0)
+
+
+class TestLcg:
+    def test_glibc_constants(self):
+        """x1 = (1103515245 * 1 + 12345) mod 2^31 — the paper's recurrence."""
+        lcg = Lcg31(1)
+        assert lcg.next_word() == 1103527590
+
+    def test_stays_in_31_bits(self):
+        lcg = Lcg31(0x7FFFFFFF)
+        for _ in range(1000):
+            assert 0 <= lcg.next_word() < 2**31
+
+    def test_seed_masked_to_31_bits(self):
+        assert Lcg31(0x80000001).next_word() == Lcg31(0x00000001).next_word()
+
+
+class TestComposedGenerator:
+    def test_sweeps_are_deterministic(self):
+        a = NormalOperationPrng(0xACE1).sweep(32)
+        b = NormalOperationPrng(0xACE1).sweep(32)
+        assert a == b
+
+    def test_successive_sweeps_differ(self):
+        gen = NormalOperationPrng(0xACE1)
+        assert gen.sweep(32) != gen.sweep(32)
+
+    def test_words_look_balanced(self):
+        words = NormalOperationPrng(7).sweep(4096)
+        ones = sum(bin(w).count("1") for w in words)
+        total = 31 * len(words)  # 31-bit words
+        assert ones / total == pytest.approx(0.5, abs=0.02)
+
+    def test_zero_length_sweep_rejected(self):
+        with pytest.raises(ConfigurationError):
+            NormalOperationPrng(1).sweep(0)

@@ -1,0 +1,95 @@
+"""Unit tests for the Table 1 device catalog."""
+
+import pytest
+
+from repro.device.catalog import (
+    TABLE4_DEVICES,
+    all_device_specs,
+    device_spec,
+    make_device,
+)
+from repro.errors import ConfigurationError
+
+#: The paper's Table 1, abridged to (name, sram KiB, flash KiB, manufacturer).
+TABLE1 = [
+    ("MSP430G2553", 0.5, 16, "Texas Instruments"),
+    ("MSP432P401", 64, 256, "Texas Instruments"),
+    ("EFM32WG990F256", 32, 256, "Silicon Labs"),
+    ("ATSAML11E16A", 16, 64, "Microchip Technology"),
+    ("M263KIAAE", 96, 512, "Nuvoton"),
+    ("M2351SFSIAAP", 96, 512, "Nuvoton"),
+    ("M252KG6AE", 32, 256, "Nuvoton"),
+    ("M251SD2AE", 12, 64, "Nuvoton"),
+    ("R7FS1JA783A01CFM", 32, 256, "Renesas Electronics"),
+    ("STM32L562", 40, 256, "STMicroelectronics"),
+    ("LPC55S69JBD100", 320, 640, "NXP Semiconductors"),
+    ("BCM2837", 768, 0, "Broadcom"),
+]
+
+
+def test_all_twelve_table1_devices_present():
+    assert len(all_device_specs()) == 12
+
+
+@pytest.mark.parametrize("name,sram,flash,mfr", TABLE1)
+def test_table1_rows(name, sram, flash, mfr):
+    spec = device_spec(name)
+    assert spec.sram_kib == sram
+    assert spec.flash_kib == flash
+    assert spec.manufacturer == mfr
+    assert spec.power_on_state_access
+    assert spec.accelerated_aging
+
+
+@pytest.mark.parametrize(
+    "name,vdd,temp,hours,bit_rate",
+    [
+        ("ATSAML11E16A", 4.8, 85.0, 16.0, 0.972),
+        ("MSP432P401", 3.3, 85.0, 10.0, 0.935),
+        ("LPC55S69JBD100", 5.5, 85.0, 24.0, 0.885),
+        ("BCM2837", 2.2, 85.0, 120.0, 0.792),
+    ],
+)
+def test_table4_recipes(name, vdd, temp, hours, bit_rate):
+    recipe = device_spec(name).recipe
+    assert recipe.vdd_stress == vdd
+    assert recipe.temp_stress_c == temp
+    assert recipe.stress_hours == hours
+    assert recipe.bit_rate == bit_rate
+
+
+def test_table4_devices_constant():
+    assert set(TABLE4_DEVICES) <= {s.name for s in all_device_specs()}
+
+
+def test_bcm2837_is_the_cache_device():
+    spec = device_spec("BCM2837")
+    assert "cache" in spec.sram_kind
+    assert spec.has_regulator
+
+
+def test_unknown_device_rejected():
+    with pytest.raises(ConfigurationError):
+        device_spec("Z80")
+
+
+def test_make_device_size_override():
+    dev = make_device("MSP432P401", rng=0, sram_kib=2)
+    assert dev.sram.n_bytes == 2048
+
+
+def test_make_device_rejects_oversize():
+    with pytest.raises(ConfigurationError):
+        make_device("ATSAML11E16A", rng=0, sram_kib=64)
+
+
+def test_device_ids_are_unique():
+    a = make_device("MSP432P401", rng=1, sram_kib=1)
+    b = make_device("MSP432P401", rng=2, sram_kib=1)
+    assert a.device_id != b.device_id
+
+
+def test_serial_pins_device_id():
+    a = make_device("MSP432P401", rng=1, sram_kib=1, serial=77)
+    b = make_device("MSP432P401", rng=2, sram_kib=1, serial=77)
+    assert a.device_id == b.device_id

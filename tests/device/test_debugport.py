@@ -1,0 +1,57 @@
+"""Unit tests for the debug port."""
+
+import numpy as np
+import pytest
+
+from repro.device import DebugPort, make_device
+from repro.errors import DebugPortError
+from repro.isa.programs import retention_program
+
+
+@pytest.fixture
+def target():
+    device = make_device("MSP432P401", rng=5, sram_kib=1)
+    device.load_firmware(retention_program())
+    device.power_on()
+    return device
+
+
+def test_unpowered_target_is_dead():
+    device = make_device("MSP432P401", rng=5, sram_kib=1)
+    port = DebugPort(device)
+    with pytest.raises(DebugPortError):
+        port.read_sram()
+    with pytest.raises(DebugPortError):
+        port.halt()
+
+
+def test_sram_byte_round_trip(target):
+    port = DebugPort(target)
+    port.write_sram(b"\xDE\xAD\xBE\xEF", offset=32)
+    assert port.read_sram(32, 4) == b"\xDE\xAD\xBE\xEF"
+
+
+def test_sram_bit_round_trip(target):
+    port = DebugPort(target)
+    bits = np.tile(np.array([1, 0], dtype=np.uint8), target.sram.n_bits // 2)
+    port.write_sram_bits(bits)
+    assert np.array_equal(port.read_sram_bits(), bits)
+
+
+def test_read_flash_sees_firmware(target):
+    port = DebugPort(target)
+    image = port.read_flash(0, 8)
+    assert image != b"\xff" * 8  # retention program is there
+
+
+def test_halt_and_resume(target):
+    port = DebugPort(target)
+    port.halt()
+    assert target.cpu.halted
+    assert port.resume(100) == "spinning"
+
+
+def test_registers_snapshot(target):
+    port = DebugPort(target)
+    regs = port.registers()
+    assert len(regs) == 16

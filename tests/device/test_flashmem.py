@@ -1,0 +1,67 @@
+"""Unit tests for on-chip Flash semantics."""
+
+import pytest
+
+from repro.errors import ConfigurationError, DeviceError, EmulatorError
+from repro.device.flashmem import OnChipFlash
+
+
+@pytest.fixture
+def flash():
+    return OnChipFlash(0, 16 * 1024, block_size=4096, endurance_cycles=5)
+
+
+def test_erased_state_reads_ones(flash):
+    assert flash.load_word(0) == 0xFFFF_FFFF
+
+
+def test_program_clears_bits(flash):
+    flash.erase_block(0)
+    flash.program(b"\x0F\x00\xFF\xAA")
+    assert flash.dump(0, 4) == b"\x0F\x00\xFF\xAA"
+
+
+def test_programming_ones_over_zeros_rejected(flash):
+    flash.erase_block(0)
+    flash.program(b"\x00")
+    with pytest.raises(DeviceError):
+        flash.program(b"\x01")
+
+
+def test_erase_restores_block(flash):
+    flash.erase_block(0)
+    flash.program(b"\x00" * 16)
+    flash.erase_block(0)
+    assert flash.dump(0, 16) == b"\xff" * 16
+
+
+def test_endurance_limit(flash):
+    for _ in range(5):
+        flash.erase_block(1)
+    with pytest.raises(DeviceError):
+        flash.erase_block(1)
+
+
+def test_load_firmware_spans_blocks(flash):
+    image = bytes(range(256)) * 20  # 5120 bytes -> 2 blocks
+    flash.load_firmware(image)
+    assert flash.dump(0, len(image)) == image
+    assert flash.erase_counts[0] == 1
+    assert flash.erase_counts[1] == 1
+    assert flash.erase_counts[2] == 0
+
+
+def test_cpu_store_faults(flash):
+    with pytest.raises(EmulatorError):
+        flash.store_word(0, 0)
+
+
+def test_validation(flash):
+    with pytest.raises(ConfigurationError):
+        OnChipFlash(0, 1000, block_size=300)
+    with pytest.raises(ConfigurationError):
+        flash.erase_block(99)
+    with pytest.raises(ConfigurationError):
+        flash.program(b"\x00" * 99999)
+    with pytest.raises(ConfigurationError):
+        flash.dump(0, 99999)

@@ -1,0 +1,55 @@
+"""Unit tests for supply regulation (§7.2)."""
+
+import pytest
+
+from repro.device.regulator import SupplyRegulator
+from repro.errors import ConfigurationError, PowerError
+
+
+@pytest.fixture
+def regulated():
+    return SupplyRegulator(regulated=True, output_v=1.2)
+
+
+@pytest.fixture
+def direct():
+    return SupplyRegulator(regulated=False, output_v=1.8)
+
+
+def test_unregulated_passes_through(direct):
+    assert direct.core_voltage(3.3) == 3.3
+
+
+def test_regulated_clamps_to_output(regulated):
+    assert regulated.core_voltage(5.0) == pytest.approx(1.2)
+    assert regulated.core_voltage(2.2) == pytest.approx(1.2)
+
+
+def test_brownout_tracks_input_minus_dropout(regulated):
+    assert regulated.core_voltage(1.0) == pytest.approx(0.8)
+    assert regulated.core_voltage(0.1) == 0.0
+
+
+def test_bypass_defeats_regulation(regulated):
+    """The paper's inductor-pin trick: the core sees the raw rail."""
+    regulated.bypass()
+    assert regulated.core_voltage(2.2) == 2.2
+    regulated.restore()
+    assert regulated.core_voltage(2.2) == pytest.approx(1.2)
+
+
+def test_input_rating_enforced(regulated):
+    with pytest.raises(PowerError):
+        regulated.core_voltage(20.0)
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        SupplyRegulator(regulated=True, output_v=0.0)
+    with pytest.raises(ConfigurationError):
+        SupplyRegulator(regulated=True, output_v=1.2, dropout_v=-0.1)
+    with pytest.raises(ConfigurationError):
+        SupplyRegulator(regulated=True, output_v=7.0, input_abs_max_v=6.0)
+    reg = SupplyRegulator(regulated=False, output_v=1.2)
+    with pytest.raises(ConfigurationError):
+        reg.core_voltage(-1.0)

@@ -1,0 +1,107 @@
+"""Unit tests for the analytic ECC error models (Equation 1 and friends)."""
+
+import numpy as np
+import pytest
+
+from repro.ecc import RepetitionCode, hamming_7_4
+from repro.ecc.analysis import (
+    concatenated_residual_error,
+    copies_to_reach,
+    effective_capacity,
+    exact_residual_ber,
+    repetition_residual_error,
+)
+from repro.errors import ConfigurationError
+
+
+class TestEquationOne:
+    def test_paper_worked_example(self):
+        """§5.2: '10% error becomes 2.8% when three copies are encoded'."""
+        assert repetition_residual_error(0.10, 3) == pytest.approx(0.028, abs=1e-3)
+
+    def test_single_copy_is_channel_error(self):
+        assert repetition_residual_error(0.065, 1) == pytest.approx(0.065)
+
+    def test_monotone_in_copies(self):
+        errs = [repetition_residual_error(0.10, c) for c in (1, 3, 5, 7, 9)]
+        assert errs == sorted(errs, reverse=True)
+
+    def test_thirteen_copies_at_paper_error_near_zero(self):
+        """§5.2: repetition alone 'brings the error to an absolute zero with
+        13 copies' at the 6.5% channel (i.e. below their ~1e-5 resolution)."""
+        assert repetition_residual_error(0.065, 13) < 1e-5
+
+    def test_matches_monte_carlo(self):
+        rng = np.random.default_rng(0)
+        p, copies, trials = 0.2, 5, 200_000
+        errors = (rng.random((trials, copies)) < p).sum(axis=1) > copies // 2
+        assert repetition_residual_error(p, copies) == pytest.approx(
+            errors.mean(), abs=0.003
+        )
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            repetition_residual_error(1.5, 3)
+        with pytest.raises(ConfigurationError):
+            repetition_residual_error(0.1, 4)
+
+
+class TestCopiesToReach:
+    def test_paper_five_copies_case(self):
+        """§5.3: 6.5% channel with 5 copies reaches <0.3%."""
+        assert copies_to_reach(0.065, 0.003) == 5
+
+    def test_already_good_channel(self):
+        assert copies_to_reach(0.001, 0.01) == 1
+
+    def test_unreachable_raises(self):
+        with pytest.raises(ConfigurationError):
+            copies_to_reach(0.49, 1e-12, max_copies=5)
+
+
+class TestExactEnumeration:
+    def test_hamming74_residual_matches_monte_carlo(self):
+        code = hamming_7_4()
+        p = 0.05
+        exact = exact_residual_ber(code, p)
+        rng = np.random.default_rng(1)
+        data = rng.integers(0, 2, 4 * 50_000).astype(np.uint8)
+        coded = code.encode(data)
+        noisy = coded ^ (rng.random(coded.size) < p).astype(np.uint8)
+        mc = float(np.mean(code.decode(noisy) != data))
+        assert exact == pytest.approx(mc, abs=0.002)
+
+    def test_zero_channel_zero_residual(self):
+        assert exact_residual_ber(hamming_7_4(), 0.0) == 0.0
+
+    def test_repetition_enumeration_matches_closed_form(self):
+        code = RepetitionCode(5, layout="bitwise")
+        p = 0.1
+        assert exact_residual_ber(code, p) == pytest.approx(
+            repetition_residual_error(p, 5), rel=1e-9
+        )
+
+    def test_large_blocks_refused(self):
+        with pytest.raises(ConfigurationError):
+            exact_residual_ber(RepetitionCode(21, layout="bitwise"), 0.1)
+
+
+class TestComposedModel:
+    def test_hamming_improves_on_repetition_alone(self):
+        """Figure 10's point: the combination reaches low error with fewer
+        copies than repetition alone."""
+        p = 0.065
+        for copies in (3, 5, 7):
+            assert concatenated_residual_error(p, copies) < (
+                repetition_residual_error(p, copies)
+            )
+
+    def test_effective_capacity(self):
+        sram_bits = 64 * 1024 * 8
+        assert effective_capacity(sram_bits, RepetitionCode(5)) == sram_bits // 5
+        code74 = hamming_7_4()
+        assert effective_capacity(sram_bits, code74) == sram_bits // 7 * 4
+
+    def test_effective_capacity_validation(self):
+        with pytest.raises(ConfigurationError):
+            effective_capacity(0, RepetitionCode(3))

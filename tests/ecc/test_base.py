@@ -1,0 +1,50 @@
+"""Unit tests for the Code interface plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.ecc import IdentityCode, RepetitionCode
+from repro.errors import BlockLengthError
+
+
+def test_identity_round_trip(random_payload):
+    code = IdentityCode()
+    data = random_payload(32, seed=0)
+    assert np.array_equal(code.decode(code.encode(data)), data)
+    assert code.rate == 1.0
+
+
+def test_identity_copies_input(random_payload):
+    code = IdentityCode()
+    data = random_payload(8, seed=0)
+    out = code.encode(data)
+    out[0] ^= 1
+    assert not np.array_equal(out, data)  # caller's array untouched
+
+
+def test_encoded_length():
+    code = RepetitionCode(3)
+    assert code.encoded_length(10) == 30
+    with pytest.raises(BlockLengthError):
+        RepetitionCode(3).encoded_length(-3)
+
+
+def test_encoded_length_block_mismatch():
+    from repro.ecc import hamming_7_4
+
+    with pytest.raises(BlockLengthError):
+        hamming_7_4().encoded_length(10)
+
+
+def test_empty_input_rejected():
+    code = RepetitionCode(3)
+    with pytest.raises(BlockLengthError):
+        code.encode(np.zeros(0, dtype=np.uint8))
+    with pytest.raises(BlockLengthError):
+        code.decode(np.zeros(0, dtype=np.uint8))
+
+
+def test_bytes_accepted_as_input():
+    code = IdentityCode()
+    out = code.encode(b"\xf0")
+    assert out.tolist() == [1, 1, 1, 1, 0, 0, 0, 0]

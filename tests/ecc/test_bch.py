@@ -1,0 +1,118 @@
+"""Unit tests for the BCH codes."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.ecc.bch import BCHCode
+from repro.errors import BlockLengthError, ConfigurationError
+
+
+@pytest.fixture
+def bch15():
+    return BCHCode(4, 2)  # the textbook BCH(15,7) double-error corrector
+
+
+class TestConstruction:
+    def test_bch_15_7_parameters(self, bch15):
+        assert (bch15.n, bch15.k) == (15, 7)
+        # The canonical generator: x^8 + x^7 + x^6 + x^4 + 1.
+        assert bch15.generator == 0b1_1101_0001
+
+    def test_t1_is_hamming(self):
+        code = BCHCode(4, 1)
+        assert (code.n, code.k) == (15, 11)
+
+    def test_bch_31_16(self):
+        code = BCHCode(5, 3)
+        assert (code.n, code.k) == (31, 16)
+
+    def test_degenerate_t_is_repetition(self):
+        # BCH(7,1,t=3) collapses to the length-7 repetition code.
+        code = BCHCode(3, 3)
+        assert (code.n, code.k) == (7, 1)
+
+    def test_overlarge_t_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BCHCode(3, 4)  # generator would consume every bit
+        with pytest.raises(ConfigurationError):
+            BCHCode(4, 0)
+
+
+class TestRoundTrip:
+    def test_clean(self, bch15, random_payload):
+        data = random_payload(7 * 25, seed=1)
+        assert np.array_equal(bch15.decode(bch15.encode(data)), data)
+
+    def test_systematic_layout(self, bch15):
+        data = np.array([1, 0, 1, 1, 0, 0, 1], dtype=np.uint8)
+        codeword = bch15.encode(data)
+        assert np.array_equal(codeword[:7], data)
+
+    def test_block_length_enforced(self, bch15):
+        with pytest.raises(BlockLengthError):
+            bch15.encode(np.ones(8, dtype=np.uint8))
+        with pytest.raises(BlockLengthError):
+            bch15.decode(np.ones(16, dtype=np.uint8))
+
+
+class TestCorrection:
+    def test_all_single_and_double_errors(self, bch15):
+        data = np.array([1, 1, 0, 1, 0, 1, 0], dtype=np.uint8)
+        codeword = bch15.encode(data)
+        patterns = itertools.chain(
+            itertools.combinations(range(15), 1),
+            itertools.combinations(range(15), 2),
+        )
+        for pattern in patterns:
+            corrupted = codeword.copy()
+            for position in pattern:
+                corrupted[position] ^= 1
+            assert np.array_equal(bch15.decode(corrupted), data), pattern
+
+    def test_triple_error_not_guaranteed(self, bch15):
+        data = np.zeros(7, dtype=np.uint8)
+        codeword = bch15.encode(data)
+        failures = 0
+        for pattern in itertools.combinations(range(15), 3):
+            corrupted = codeword.copy()
+            for position in pattern:
+                corrupted[position] ^= 1
+            if not np.array_equal(bch15.decode(corrupted), data):
+                failures += 1
+        assert failures > 0  # t=2 cannot cover weight-3 patterns
+
+    def test_t3_corrects_three(self):
+        code = BCHCode(5, 3)
+        rng = np.random.default_rng(2)
+        data = rng.integers(0, 2, code.k).astype(np.uint8)
+        codeword = code.encode(data)
+        for pattern in [(0, 10, 30), (5, 6, 7), (1,), (2, 29)]:
+            corrupted = codeword.copy()
+            for position in pattern:
+                corrupted[position] ^= 1
+            assert np.array_equal(code.decode(corrupted), data), pattern
+
+    def test_multiblock_independence(self, bch15, random_payload):
+        data = random_payload(7 * 4, seed=3)
+        coded = bch15.encode(data)
+        for block in range(4):
+            coded[15 * block] ^= 1
+            coded[15 * block + 8] ^= 1
+        assert np.array_equal(bch15.decode(coded), data)
+
+
+class TestVersusRepetition:
+    def test_bch_beats_repetition_at_comparable_rate(self, random_payload):
+        """The §5.2 point: at low error, algebraic codes beat repetition.
+
+        BCH(15,7) (rate 0.47) vs 3-copy repetition (rate 0.33): at a 1%
+        channel the BCH residual is far lower despite the higher rate.
+        """
+        from repro.ecc.analysis import exact_residual_ber, repetition_residual_error
+
+        p = 0.01
+        bch_res = exact_residual_ber(BCHCode(4, 2), p)
+        rep_res = repetition_residual_error(p, 3)
+        assert bch_res < rep_res / 2

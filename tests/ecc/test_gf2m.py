@@ -1,0 +1,88 @@
+"""Unit tests for GF(2^m) arithmetic."""
+
+import pytest
+
+from repro.ecc.gf2m import GF2m, PRIMITIVE_POLYS
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture
+def gf16():
+    return GF2m(4)
+
+
+class TestFieldAxioms:
+    def test_exp_log_inverse_maps(self, gf16):
+        for value in range(1, 16):
+            assert gf16.exp[gf16.log[value]] == value
+
+    def test_multiplication_table_closed(self, gf16):
+        for a in range(16):
+            for b in range(16):
+                assert 0 <= gf16.mul(a, b) < 16
+
+    def test_multiplicative_identity(self, gf16):
+        for a in range(16):
+            assert gf16.mul(a, 1) == a
+
+    def test_zero_annihilates(self, gf16):
+        for a in range(16):
+            assert gf16.mul(a, 0) == 0
+
+    def test_inverse(self, gf16):
+        for a in range(1, 16):
+            assert gf16.mul(a, gf16.inv(a)) == 1
+
+    def test_division(self, gf16):
+        for a in range(1, 16):
+            for b in range(1, 16):
+                assert gf16.mul(gf16.div(a, b), b) == a
+
+    def test_zero_division_rejected(self, gf16):
+        with pytest.raises(ZeroDivisionError):
+            gf16.div(3, 0)
+        with pytest.raises(ZeroDivisionError):
+            gf16.inv(0)
+
+    def test_primitive_element_generates_group(self, gf16):
+        seen = {gf16.pow_alpha(i) for i in range(15)}
+        assert seen == set(range(1, 16))
+
+    def test_alpha_order(self, gf16):
+        assert gf16.pow_alpha(15) == gf16.pow_alpha(0) == 1
+
+
+class TestPolynomials:
+    def test_poly_mul_gf2(self):
+        # (x + 1)(x + 1) = x^2 + 1 over GF(2)
+        assert GF2m.poly_mul_gf2(0b11, 0b11) == 0b101
+
+    def test_minimal_polynomial_of_alpha_is_primitive(self, gf16):
+        assert gf16.minimal_polynomial(gf16.pow_alpha(1)) == PRIMITIVE_POLYS[4]
+
+    def test_minimal_polynomial_divides_annihilator(self, gf16):
+        # Every element of GF(16) satisfies x^16 = x, so its minimal
+        # polynomial has the element as a root.
+        for value in range(1, 16):
+            poly = gf16.minimal_polynomial(value)
+            acc = 0
+            for degree in range(poly.bit_length()):
+                if (poly >> degree) & 1:
+                    acc ^= gf16.pow_alpha(gf16.log[value] * degree)
+            assert acc == 0, value
+
+    def test_minimal_polynomial_of_one(self, gf16):
+        assert gf16.minimal_polynomial(1) == 0b11  # x + 1
+
+
+def test_unsupported_degree_rejected():
+    with pytest.raises(ConfigurationError):
+        GF2m(1)
+    with pytest.raises(ConfigurationError):
+        GF2m(11)
+
+
+@pytest.mark.parametrize("m", sorted(PRIMITIVE_POLYS))
+def test_all_supported_fields_construct(m):
+    field = GF2m(m)
+    assert field.mul(field.pow_alpha(1), field.inv(field.pow_alpha(1))) == 1

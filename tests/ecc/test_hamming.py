@@ -1,0 +1,95 @@
+"""Unit tests for the Hamming codes."""
+
+import numpy as np
+import pytest
+
+from repro.ecc import HammingCode, hamming_3_1, hamming_7_4
+from repro.errors import BlockLengthError, ConfigurationError
+
+
+@pytest.fixture
+def code74():
+    return hamming_7_4()
+
+
+class TestParameters:
+    def test_hamming_7_4(self, code74):
+        assert (code74.n, code74.k) == (7, 4)
+        assert code74.rate == pytest.approx(4 / 7)
+
+    def test_hamming_3_1_is_triple_repetition(self):
+        """Paper §5.2: Hamming(3,1) has valid codewords 000 and 111."""
+        code = hamming_3_1()
+        assert (code.n, code.k) == (3, 1)
+        zero = code.encode(np.array([0], dtype=np.uint8))
+        one = code.encode(np.array([1], dtype=np.uint8))
+        assert zero.tolist() == [0, 0, 0]
+        assert one.tolist() == [1, 1, 1]
+
+    def test_general_sizes(self):
+        assert (HammingCode(4).n, HammingCode(4).k) == (15, 11)
+        assert (HammingCode(5).n, HammingCode(5).k) == (31, 26)
+
+    def test_r_below_two_rejected(self):
+        with pytest.raises(ConfigurationError):
+            HammingCode(1)
+
+
+class TestCorrection:
+    def test_round_trip_clean(self, code74, random_payload):
+        data = random_payload(4 * 50, seed=1)
+        assert np.array_equal(code74.decode(code74.encode(data)), data)
+
+    def test_corrects_any_single_error(self, code74):
+        data = np.array([1, 0, 1, 1], dtype=np.uint8)
+        codeword = code74.encode(data)
+        for position in range(7):
+            corrupted = codeword.copy()
+            corrupted[position] ^= 1
+            assert np.array_equal(code74.decode(corrupted), data), position
+
+    def test_double_error_miscorrects(self, code74):
+        """Hamming(7,4) cannot correct two errors — document the boundary."""
+        data = np.array([1, 0, 1, 1], dtype=np.uint8)
+        codeword = code74.encode(data)
+        corrupted = codeword.copy()
+        corrupted[0] ^= 1
+        corrupted[3] ^= 1
+        assert not np.array_equal(code74.decode(corrupted), data)
+
+    def test_multiblock_independent_correction(self, code74):
+        data = np.arange(16) % 2
+        coded = code74.encode(data.astype(np.uint8))
+        # one error in each of the four blocks
+        for block in range(4):
+            coded[block * 7 + (block % 7)] ^= 1
+        assert np.array_equal(code74.decode(coded), data)
+
+    def test_all_codewords_valid_syndrome(self, code74):
+        """Every data word encodes to a zero-syndrome codeword."""
+        for value in range(16):
+            data = np.array(
+                [(value >> i) & 1 for i in range(4)], dtype=np.uint8
+            )
+            codeword = code74.encode(data)
+            assert np.array_equal(code74.decode(codeword), data)
+
+    def test_min_distance_is_three(self, code74):
+        words = []
+        for value in range(16):
+            data = np.array([(value >> i) & 1 for i in range(4)], dtype=np.uint8)
+            words.append(code74.encode(data))
+        dmin = min(
+            int(np.count_nonzero(a != b))
+            for i, a in enumerate(words)
+            for b in words[i + 1 :]
+        )
+        assert dmin == 3
+
+
+class TestValidation:
+    def test_block_length_enforced(self, code74):
+        with pytest.raises(BlockLengthError):
+            code74.encode(np.ones(5, dtype=np.uint8))
+        with pytest.raises(BlockLengthError):
+            code74.decode(np.ones(8, dtype=np.uint8))

@@ -1,0 +1,47 @@
+"""Unit tests for the block interleaver."""
+
+import numpy as np
+import pytest
+
+from repro.ecc import BlockInterleaver, ConcatenatedCode, RepetitionCode
+from repro.errors import BlockLengthError, ConfigurationError
+
+
+@pytest.fixture
+def interleaver():
+    return BlockInterleaver(depth=4, span=8)
+
+
+def test_rate_one(interleaver):
+    assert interleaver.rate == 1.0
+
+
+def test_round_trip(interleaver, random_payload):
+    data = random_payload(interleaver.k * 3, seed=1)
+    assert np.array_equal(interleaver.decode(interleaver.encode(data)), data)
+
+
+def test_burst_spreads_across_codewords(interleaver):
+    """A burst of `depth` adjacent channel bits lands in `depth` distinct
+    de-interleaved rows."""
+    data = np.zeros(interleaver.k, dtype=np.uint8)
+    channel = interleaver.encode(data)
+    channel[0:4] ^= 1  # 4-bit burst
+    recovered = interleaver.decode(channel)
+    rows = recovered.reshape(interleaver.depth, interleaver.span)
+    errors_per_row = rows.sum(axis=1)
+    assert np.all(errors_per_row == 1)
+
+
+def test_composes_with_repetition(random_payload):
+    code = ConcatenatedCode(RepetitionCode(3), BlockInterleaver(3, 5))
+    data = random_payload(code.k * 2, seed=2)
+    assert np.array_equal(code.decode(code.encode(data)), data)
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        BlockInterleaver(0, 5)
+    inter = BlockInterleaver(2, 4)
+    with pytest.raises(BlockLengthError):
+        inter.encode(np.ones(7, dtype=np.uint8))

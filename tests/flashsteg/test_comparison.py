@@ -1,0 +1,43 @@
+"""Unit tests for the Table 3 / §5.3 comparison arithmetic."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.flashsteg.comparison import (
+    build_comparison_table,
+    capacity_advantage,
+    invisible_bits_capacity_fraction,
+)
+
+
+def test_invisible_bits_fraction_paper_case():
+    """§5.3: 6.5% error + 5 copies -> 20% capacity at <0.3% error."""
+    assert invisible_bits_capacity_fraction() == pytest.approx(0.2)
+
+
+def test_capacity_matching_enforced():
+    with pytest.raises(ConfigurationError):
+        invisible_bits_capacity_fraction(0.30, 3)  # 30% channel, 3 copies
+
+
+def test_hundredfold_advantage():
+    """§5.3: 12.8 KiB in SRAM vs 131 bytes in Flash ~ 100x."""
+    advantage = capacity_advantage()
+    assert advantage == pytest.approx(100.0, rel=0.05)
+
+
+def test_parallel_selection_advantage():
+    """§5.3: a hand-picked 2.7% device with 3 copies reaches ~160x."""
+    advantage = capacity_advantage(sram_capacity_fraction=1 / 3)
+    assert advantage == pytest.approx(160.0, rel=0.08)
+
+
+def test_table3_rows():
+    rows = build_comparison_table()
+    assert [r.method.split()[0] for r in rows] == ["Zuck", "Wang", "Invisible"]
+    ib = rows[-1]
+    assert ib.survives_rewrite
+    assert ib.capacity_fraction > 100 * rows[0].capacity_fraction
+    zuck = rows[0]
+    assert not zuck.survives_rewrite
+    assert zuck.read_stable == "poor"

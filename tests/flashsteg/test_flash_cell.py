@@ -1,0 +1,90 @@
+"""Unit tests for the Flash analog model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, DeviceError
+from repro.flashsteg.flash_cell import ERASED_LEVEL, FlashAnalogArray
+
+
+@pytest.fixture
+def flash():
+    return FlashAnalogArray(4096, page_cells=1024, rng=0)
+
+
+def test_erased_array_reads_ones(flash):
+    assert flash.read().all()
+
+
+def test_program_read_round_trip(flash):
+    rng = np.random.default_rng(1)
+    bits = rng.integers(0, 2, flash.n_cells).astype(np.uint8)
+    flash.program(bits)
+    assert np.array_equal(flash.read(), bits)
+
+
+def test_program_requires_erase(flash):
+    flash.program(np.zeros(flash.n_cells, dtype=np.uint8))
+    with pytest.raises(DeviceError):
+        flash.program(np.ones(flash.n_cells, dtype=np.uint8))
+    flash.erase()
+    flash.program(np.ones(flash.n_cells, dtype=np.uint8))
+
+
+def test_program_times_long_tailed(flash):
+    times = flash.program(np.zeros(flash.n_cells, dtype=np.uint8))
+    programmed = times[times > 0]
+    assert programmed.size == flash.n_cells
+    # lognormal: mean above median
+    assert programmed.mean() > np.median(programmed)
+
+
+def test_wear_slows_programming(flash):
+    mask = np.zeros(flash.n_cells, dtype=bool)
+    mask[:1024] = True
+    flash.cycle_cells(mask, 5000)
+    times = flash.program(np.zeros(flash.n_cells, dtype=np.uint8))
+    assert times[:1024].mean() > 1.5 * times[1024:].mean()
+
+
+def test_nudge_only_on_programmed_cells(flash):
+    bits = np.zeros(flash.n_cells, dtype=np.uint8)
+    bits[::2] = 1  # odd cells erased
+    flash.program(bits)
+    bad_mask = np.zeros(flash.n_cells, dtype=bool)
+    bad_mask[0] = True  # erased cell
+    with pytest.raises(DeviceError):
+        flash.nudge_levels(bad_mask, 0.5)
+    ok_mask = np.zeros(flash.n_cells, dtype=bool)
+    ok_mask[1] = True  # programmed cell
+    flash.nudge_levels(ok_mask, 0.5)
+    assert flash.read_levels()[1] > 4.0
+
+
+def test_nudge_preserves_digital_value(flash):
+    flash.program(np.zeros(flash.n_cells, dtype=np.uint8))
+    mask = np.ones(flash.n_cells, dtype=bool)
+    flash.nudge_levels(mask, 0.6)
+    assert not flash.read().any()  # still reads programmed
+
+
+def test_erase_resets_levels_but_not_wear(flash):
+    flash.program(np.zeros(flash.n_cells, dtype=np.uint8))
+    cycles_before = flash.cycle_counts.copy()
+    flash.erase()
+    assert np.all(flash.read_levels() == ERASED_LEVEL)
+    assert np.all(flash.cycle_counts == cycles_before + 1)
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        FlashAnalogArray(0)
+    with pytest.raises(ConfigurationError):
+        FlashAnalogArray(1000, page_cells=300)
+    flash = FlashAnalogArray(2048, page_cells=1024, rng=0)
+    with pytest.raises(ConfigurationError):
+        flash.program(np.zeros(5, dtype=np.uint8))
+    with pytest.raises(ConfigurationError):
+        flash.nudge_levels(np.zeros(5, dtype=bool), 0.1)
+    with pytest.raises(ConfigurationError):
+        flash.cycle_cells(np.zeros(2048, dtype=bool), -1)

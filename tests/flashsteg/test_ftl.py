@@ -1,0 +1,136 @@
+"""Unit tests for FTL-based hiding and its §8 failure modes."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CapacityError, ConfigurationError, DeviceError
+from repro.flashsteg.ftl import (
+    FtlHiddenVolume,
+    NandBlockDevice,
+    SimpleFtl,
+    detect_hidden_volume,
+)
+
+
+def make_rig(*, n_blocks=16, pages_per_block=8, page_bytes=32, op=0.25):
+    nand = NandBlockDevice(
+        n_blocks=n_blocks, pages_per_block=pages_per_block, page_bytes=page_bytes
+    )
+    return nand, SimpleFtl(nand, overprovision_fraction=op, rng=0)
+
+
+def page(i: int, page_bytes=32) -> bytes:
+    return bytes([i % 256]) * page_bytes
+
+
+class TestNand:
+    def test_program_read_round_trip(self):
+        nand, _ = make_rig()
+        nand.program_page(3, page(7))
+        assert nand.read_page(3) == page(7)
+
+    def test_program_once_semantics(self):
+        nand, _ = make_rig()
+        nand.program_page(0, page(1))
+        with pytest.raises(DeviceError):
+            nand.program_page(0, page(2))
+
+    def test_erase_is_block_granular(self):
+        nand, _ = make_rig()
+        nand.program_page(0, page(1))
+        nand.program_page(9, page(2))  # second block
+        nand.erase_block(0)
+        assert not nand.is_programmed(0)
+        assert nand.is_programmed(9)
+        assert nand.erase_counts[0] == 1
+
+    def test_validation(self):
+        nand, _ = make_rig()
+        with pytest.raises(ConfigurationError):
+            nand.program_page(10**6, page(0))
+        with pytest.raises(ConfigurationError):
+            nand.program_page(0, b"short")
+        with pytest.raises(ConfigurationError):
+            NandBlockDevice(n_blocks=0, pages_per_block=1, page_bytes=1)
+
+
+class TestFtl:
+    def test_logical_round_trip(self):
+        _, ftl = make_rig()
+        ftl.write(5, page(42))
+        assert ftl.read(5) == page(42)
+
+    def test_unwritten_reads_erased(self):
+        _, ftl = make_rig()
+        assert ftl.read(0) == b"\xff" * 32
+
+    def test_overwrite_goes_out_of_place(self):
+        nand, ftl = make_rig()
+        ftl.write(0, page(1))
+        ftl.write(0, page(2))
+        assert ftl.read(0) == page(2)
+        assert ftl.physical_programmed_pages() == 2  # old copy still there
+        assert ftl.logical_mapped_pages() == 1
+
+    def test_gc_reclaims_space_under_churn(self):
+        _, ftl = make_rig()
+        rng = np.random.default_rng(0)
+        for i in range(600):  # far more writes than physical pages
+            ftl.write(int(rng.integers(0, ftl.n_logical)), page(i))
+        # Every logical page still readable, so GC moved data correctly.
+        for lpn in range(ftl.n_logical):
+            ftl.read(lpn)
+
+    def test_gc_preserves_contents(self):
+        _, ftl = make_rig()
+        expected = {}
+        rng = np.random.default_rng(1)
+        for i in range(400):
+            lpn = int(rng.integers(0, ftl.n_logical))
+            data = page(i)
+            ftl.write(lpn, data)
+            expected[lpn] = data
+        for lpn, data in expected.items():
+            assert ftl.read(lpn) == data
+
+
+class TestHiddenVolume:
+    def test_hide_and_reveal_when_quiet(self):
+        _, ftl = make_rig()
+        volume = FtlHiddenVolume(ftl)
+        stash = [page(200 + i) for i in range(4)]
+        volume.hide(stash)
+        assert volume.surviving_fraction(stash) == 1.0
+
+    def test_capacity_bound(self):
+        _, ftl = make_rig()
+        volume = FtlHiddenVolume(ftl)
+        with pytest.raises(CapacityError):
+            volume.hide([page(0)] * (volume.capacity_pages + 1))
+
+    def test_normal_use_destroys_the_stash(self):
+        """§8: 'unintentional overwriting' — GC recycles hidden blocks."""
+        _, ftl = make_rig()
+        volume = FtlHiddenVolume(ftl)
+        stash = [page(200 + i) for i in range(8)]
+        volume.hide(stash)
+        rng = np.random.default_rng(2)
+        for i in range(800):  # a busy filesystem
+            ftl.write(int(rng.integers(0, ftl.n_logical)), page(i))
+        assert volume.surviving_fraction(stash) < 1.0
+
+    def test_detector_flags_hidden_volume(self):
+        """§8 (Jia et al.): occupancy accounting reveals the stash."""
+        _, ftl = make_rig()
+        for lpn in range(20):
+            ftl.write(lpn, page(lpn))
+        assert not detect_hidden_volume(ftl)
+        volume = FtlHiddenVolume(ftl)
+        volume.hide([page(99)] * 6)
+        assert detect_hidden_volume(ftl)
+
+    def test_detector_tolerates_gc_slack(self):
+        _, ftl = make_rig()
+        ftl.write(0, page(1))
+        ftl.write(0, page(2))  # one stale physical copy
+        assert not detect_hidden_volume(ftl)

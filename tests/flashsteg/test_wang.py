@@ -1,0 +1,62 @@
+"""Unit tests for the Wang 2013 program-time baseline."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CapacityError, ConfigurationError
+from repro.flashsteg import FlashAnalogArray, WangProgramTimeScheme
+
+KEY = b"0123456789abcdef"
+
+
+@pytest.fixture
+def scheme():
+    flash = FlashAnalogArray(64 * 1024, page_cells=8192, rng=0)
+    return WangProgramTimeScheme(flash, KEY)
+
+
+def test_capacity_is_tiny(scheme):
+    """§5.3: ~0.05% of the memory's bits."""
+    assert scheme.capacity_fraction == pytest.approx(0.0005, abs=0.0005)
+    assert scheme.capacity_bits < scheme.flash.n_cells // 1000
+
+
+def test_round_trip(scheme, random_payload):
+    bits = random_payload(scheme.capacity_bits, seed=1)
+    scheme.encode(bits)
+    assert np.array_equal(scheme.decode(bits.size), bits)
+
+
+def test_survives_erase_and_reprogram(scheme, random_payload):
+    """Wear is permanent: rewriting the Flash does not destroy the stash."""
+    bits = random_payload(scheme.capacity_bits, seed=2)
+    scheme.encode(bits)
+    scheme.flash.erase()
+    scheme.flash.program(np.zeros(scheme.flash.n_cells, dtype=np.uint8))
+    assert np.array_equal(scheme.decode(bits.size), bits)
+
+
+def test_key_controls_grouping():
+    flash_a = FlashAnalogArray(16 * 1024, page_cells=8192, rng=3)
+    flash_b = FlashAnalogArray(16 * 1024, page_cells=8192, rng=3)
+    a = WangProgramTimeScheme(flash_a, KEY)
+    b = WangProgramTimeScheme(flash_b, b"another-key-0000")
+    assert not np.array_equal(a._permutation, b._permutation)
+
+
+def test_overflow_rejected(scheme):
+    with pytest.raises(CapacityError):
+        scheme.encode(np.ones(scheme.capacity_bits + 1, dtype=np.uint8))
+
+
+def test_decode_range_validated(scheme):
+    with pytest.raises(ConfigurationError):
+        scheme.decode(0)
+
+
+def test_construction_validation():
+    flash = FlashAnalogArray(16 * 1024, page_cells=8192, rng=0)
+    with pytest.raises(ConfigurationError):
+        WangProgramTimeScheme(flash, KEY, group_cells=1)
+    with pytest.raises(ConfigurationError):
+        WangProgramTimeScheme(flash, KEY, usable_page_fraction=0.0)

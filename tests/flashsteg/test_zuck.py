@@ -1,0 +1,64 @@
+"""Unit tests for the Zuck 2018 voltage-level baseline."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CapacityError, DecodeFailure
+from repro.flashsteg import FlashAnalogArray, ZuckVoltageScheme
+
+
+@pytest.fixture
+def scheme(random_payload):
+    flash = FlashAnalogArray(16 * 1024, page_cells=8192, rng=0)
+    scheme = ZuckVoltageScheme(flash)
+    cover = random_payload(flash.n_cells, seed=4)
+    scheme.write_cover(cover)
+    return scheme
+
+
+def test_round_trip(scheme, random_payload):
+    hidden = random_payload(min(512, scheme.capacity_bits), seed=5)
+    scheme.hide(hidden)
+    assert np.array_equal(scheme.reveal(hidden.size), hidden)
+
+
+def test_cover_data_unharmed_by_hiding(scheme, random_payload):
+    cover_before = scheme.flash.read()
+    hidden = random_payload(min(16, scheme.capacity_bits), seed=6)
+    scheme.hide(hidden)
+    assert np.array_equal(scheme.flash.read(), cover_before)
+
+
+def test_capacity_tied_to_cover_ones(scheme):
+    # carriers are programmed cells (cover bit 0), halved by the fraction
+    assert 0 < scheme.capacity_bits < scheme.flash.n_cells
+
+
+def test_rewrite_cover_destroys_stash(scheme, random_payload):
+    """The paper's §8 attack: copy cover out, write it back, stash gone."""
+    hidden = random_payload(min(16, scheme.capacity_bits), seed=7)
+    scheme.hide(hidden)
+    scheme.rewrite_cover()
+    revealed = scheme.reveal(hidden.size)
+    assert not revealed.any()  # every overcharge reset
+
+
+def test_rewrite_is_digitally_invisible(scheme, random_payload):
+    cover_before = scheme.flash.read()
+    scheme.hide(random_payload(min(8, scheme.capacity_bits), seed=8))
+    scheme.rewrite_cover()
+    assert np.array_equal(scheme.flash.read(), cover_before)
+
+
+def test_hide_before_cover_rejected():
+    flash = FlashAnalogArray(8192, page_cells=8192, rng=1)
+    scheme = ZuckVoltageScheme(flash)
+    with pytest.raises(DecodeFailure):
+        scheme.hide(np.ones(8, dtype=np.uint8))
+    with pytest.raises(DecodeFailure):
+        scheme.reveal(8)
+
+
+def test_overflow_rejected(scheme):
+    with pytest.raises(CapacityError):
+        scheme.hide(np.ones(scheme.capacity_bits + 1, dtype=np.uint8))

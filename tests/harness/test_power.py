@@ -1,0 +1,76 @@
+"""Unit tests for the bench power supply."""
+
+import pytest
+
+from repro.device import make_device
+from repro.errors import ConfigurationError, PowerError
+from repro.harness.power import PowerSupply
+
+
+@pytest.fixture
+def rig():
+    supply = PowerSupply()
+    device = make_device("MSP432P401", rng=0, sram_kib=1)
+    supply.connect(device)
+    return supply, device
+
+
+def test_on_off_cycle(rig):
+    supply, device = rig
+    supply.set_voltage(1.2)
+    state = supply.on()
+    assert device.powered
+    assert state.shape == (device.sram.n_bits,)
+    supply.off()
+    assert not device.powered
+
+
+def test_live_voltage_change_reaches_device(rig):
+    supply, device = rig
+    supply.set_voltage(1.2)
+    supply.on()
+    supply.set_voltage(3.3)
+    assert device.core_voltage == pytest.approx(3.3)
+
+
+def test_output_requires_voltage(rig):
+    supply, _ = rig
+    with pytest.raises(PowerError):
+        supply.on()
+
+
+def test_double_on_rejected(rig):
+    supply, _ = rig
+    supply.set_voltage(1.2)
+    supply.on()
+    with pytest.raises(PowerError):
+        supply.on()
+
+
+def test_voltage_range_enforced(rig):
+    supply, _ = rig
+    with pytest.raises(ConfigurationError):
+        supply.set_voltage(99.0)
+    with pytest.raises(ConfigurationError):
+        supply.set_voltage(0.0)
+
+
+def test_single_device_connection():
+    supply = PowerSupply()
+    a = make_device("MSP432P401", rng=0, sram_kib=1)
+    b = make_device("MSP432P401", rng=1, sram_kib=1)
+    supply.connect(a)
+    with pytest.raises(PowerError):
+        supply.connect(b)
+    supply.disconnect()
+    supply.connect(b)
+
+
+def test_disconnect_powers_down():
+    supply = PowerSupply()
+    device = make_device("MSP432P401", rng=0, sram_kib=1)
+    supply.connect(device)
+    supply.set_voltage(1.2)
+    supply.on()
+    supply.disconnect()
+    assert not device.powered

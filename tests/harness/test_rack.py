@@ -1,0 +1,71 @@
+"""Unit tests for the encoding rack (§5.3's parallel encoding)."""
+
+import numpy as np
+import pytest
+
+from repro.device import make_device
+from repro.errors import ConfigurationError
+from repro.harness.rack import EncodingRack
+
+
+@pytest.fixture
+def rack():
+    devices = [
+        make_device("MSP432P401", rng=70 + i, sram_kib=1) for i in range(3)
+    ]
+    return EncodingRack(devices)
+
+
+@pytest.fixture
+def payloads(rack):
+    rng = np.random.default_rng(5)
+    return [
+        rng.integers(0, 2, board.device.sram.n_bits).astype(np.uint8)
+        for board in rack.boards
+    ]
+
+
+def test_shared_chamber(rack):
+    assert len({id(board.chamber) for board in rack.boards}) == 1
+    rack.chamber.set_temperature(60.0)
+    for board in rack.boards:
+        assert board.device.sram.temp_k == pytest.approx(333.15)
+    rack.chamber.set_temperature(25.0)
+
+
+def test_parallel_encode_matches_recipe_error(rack, payloads):
+    rack.stage_payloads(payloads)
+    rack.stress_all(stress_hours=10.0)
+    errors = rack.measure_errors(payloads)
+    assert len(errors) == 3
+    for error in errors:
+        assert error == pytest.approx(0.065, abs=0.02)
+
+
+def test_constant_time_property(rack, payloads):
+    """§5.3/abstract: one stress period encodes the whole tray — encoding
+    time is independent of how many devices share the chamber."""
+    rack.stage_payloads(payloads)
+    rack.stress_all(stress_hours=4.0)
+    errors = rack.measure_errors(payloads)
+    spread = max(errors) - min(errors)
+    assert spread < 0.05  # all slots saw the same stress
+
+
+def test_stage_before_stress_enforced(rack):
+    with pytest.raises(ConfigurationError):
+        rack.stress_all(stress_hours=1.0)
+
+
+def test_payload_count_validated(rack, payloads):
+    with pytest.raises(ConfigurationError):
+        rack.stage_payloads(payloads[:-1])
+    rack.stage_payloads(payloads)
+    rack.stress_all(stress_hours=2.0)
+    with pytest.raises(ConfigurationError):
+        rack.measure_errors(payloads[:-1])
+
+
+def test_empty_rack_rejected():
+    with pytest.raises(ConfigurationError):
+        EncodingRack([])

@@ -1,0 +1,62 @@
+"""Unit tests for the thermal chamber."""
+
+import pytest
+
+from repro.device import make_device
+from repro.errors import ConfigurationError
+from repro.harness.thermal import ThermalChamber
+from repro.units import celsius_to_kelvin
+
+
+@pytest.fixture
+def chamber():
+    return ThermalChamber()
+
+
+def test_setpoint_range_enforced(chamber):
+    chamber.set_temperature(85.0)
+    assert chamber.temperature_c == pytest.approx(85.0)
+    with pytest.raises(ConfigurationError):
+        chamber.set_temperature(200.0)
+    with pytest.raises(ConfigurationError):
+        chamber.set_temperature(-100.0)
+
+
+def test_inserted_device_tracks_setpoint(chamber):
+    device = make_device("MSP432P401", rng=0, sram_kib=1)
+    chamber.insert(device)
+    chamber.set_temperature(85.0)
+    assert device.sram.temp_k == pytest.approx(celsius_to_kelvin(85.0))
+
+
+def test_removed_device_returns_to_ambient(chamber):
+    device = make_device("MSP432P401", rng=0, sram_kib=1)
+    chamber.insert(device)
+    chamber.set_temperature(85.0)
+    chamber.remove(device)
+    assert device.sram.temp_k == pytest.approx(chamber.ambient_k)
+
+
+def test_insertion_applies_current_setpoint(chamber):
+    chamber.set_temperature(60.0)
+    device = make_device("MSP432P401", rng=0, sram_kib=1)
+    chamber.insert(device)
+    assert device.sram.temp_k == pytest.approx(celsius_to_kelvin(60.0))
+
+
+def test_double_insert_rejected(chamber):
+    device = make_device("MSP432P401", rng=0, sram_kib=1)
+    chamber.insert(device)
+    with pytest.raises(ConfigurationError):
+        chamber.insert(device)
+
+
+def test_remove_absent_rejected(chamber):
+    device = make_device("MSP432P401", rng=0, sram_kib=1)
+    with pytest.raises(ConfigurationError):
+        chamber.remove(device)
+
+
+def test_empty_range_rejected():
+    with pytest.raises(ConfigurationError):
+        ThermalChamber(min_c=50.0, max_c=50.0)

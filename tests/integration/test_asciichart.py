@@ -1,0 +1,61 @@
+"""Unit tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.asciichart import ascii_chart, ascii_histogram
+
+
+class TestChart:
+    def test_renders_all_series_markers(self):
+        art = ascii_chart(
+            [1, 2, 3], {"a": [1, 2, 3], "b": [3, 2, 1]}, title="T"
+        )
+        assert "T" in art
+        assert "*" in art and "o" in art
+        assert "* a" in art and "o b" in art
+
+    def test_extremes_labelled(self):
+        art = ascii_chart([0, 10], {"s": [5.0, 25.0]})
+        assert "25" in art
+        assert "5" in art
+        assert "10" in art  # x max
+
+    def test_constant_series_does_not_crash(self):
+        art = ascii_chart([0, 1, 2], {"flat": [2.0, 2.0, 2.0]})
+        assert "flat" in art
+
+    def test_monotone_curve_shape(self):
+        """The marker for the max y must appear above the min y's row."""
+        art = ascii_chart([0, 1, 2, 3], {"up": [0, 1, 2, 3]}, height=8)
+        rows = [line for line in art.splitlines() if "|" in line]
+        first_marked = next(i for i, r in enumerate(rows) if "*" in r)
+        last_marked = max(i for i, r in enumerate(rows) if "*" in r)
+        assert first_marked < last_marked
+
+    @pytest.mark.parametrize(
+        "call",
+        [
+            lambda: ascii_chart([1, 2], {}),
+            lambda: ascii_chart([1], {"s": [1]}),
+            lambda: ascii_chart([1, 2], {"s": [1]}),
+            lambda: ascii_chart([1, 2], {"s": [1, 2]}, width=4),
+        ],
+    )
+    def test_validation(self, call):
+        with pytest.raises(ConfigurationError):
+            call()
+
+
+class TestHistogram:
+    def test_bars_scale_to_peak(self):
+        art = ascii_histogram(["a", "b"], [1.0, 2.0], width=10)
+        lines = art.splitlines()
+        assert lines[0].count("#") == 5
+        assert lines[1].count("#") == 10
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ascii_histogram([], [])
+        with pytest.raises(ConfigurationError):
+            ascii_histogram(["a"], [0.0])

@@ -1,0 +1,72 @@
+"""Determinism regression: the same seeds must give the same science.
+
+Every number in EXPERIMENTS.md depends on this — a silent RNG-plumbing
+change would invalidate the recorded measurements without failing any
+physics test.  These tests rebuild small experiments twice and require
+bit-identical outputs.
+"""
+
+import numpy as np
+
+from repro.device import make_device
+from repro.experiments import fig07_recovery, tab02_spatial
+from repro.experiments.common import make_varied_device
+from repro.harness import ControlBoard
+
+
+class TestDeviceDeterminism:
+    def test_same_seed_same_device(self):
+        a = make_device("MSP432P401", rng=300, sram_kib=1)
+        b = make_device("MSP432P401", rng=300, sram_kib=1)
+        assert np.array_equal(a.sram.mismatch, b.sram.mismatch)
+        assert a.device_id == b.device_id
+
+    def test_same_seed_same_power_on_noise(self):
+        a = make_device("MSP432P401", rng=301, sram_kib=1)
+        b = make_device("MSP432P401", rng=301, sram_kib=1)
+        assert np.array_equal(a.power_on(), b.power_on())
+
+    def test_different_seeds_differ(self):
+        a = make_device("MSP432P401", rng=302, sram_kib=1)
+        b = make_device("MSP432P401", rng=303, sram_kib=1)
+        assert not np.array_equal(a.sram.mismatch, b.sram.mismatch)
+
+    def test_varied_device_deterministic(self):
+        a = make_varied_device("MSP432P401", rng=304, sram_kib=1)
+        b = make_varied_device("MSP432P401", rng=304, sram_kib=1)
+        assert a.spec.technology.nbti_k_scale == b.spec.technology.nbti_k_scale
+        assert np.array_equal(a.sram.mismatch, b.sram.mismatch)
+
+    def test_varied_device_spreads_k(self):
+        ks = {
+            make_varied_device("MSP432P401", rng=s, sram_kib=0.5)
+            .spec.technology.nbti_k_scale
+            for s in range(305, 310)
+        }
+        assert len(ks) == 5
+
+
+class TestPipelineDeterminism:
+    def test_full_encode_capture_reproducible(self):
+        def run():
+            device = make_device("MSP432P401", rng=310, sram_kib=1)
+            board = ControlBoard(device)
+            payload = np.random.default_rng(311).integers(
+                0, 2, device.sram.n_bits
+            ).astype(np.uint8)
+            board.encode_message(payload, use_firmware=False, camouflage=False)
+            return board.majority_power_on_state(5)
+
+        assert np.array_equal(run(), run())
+
+
+class TestExperimentDeterminism:
+    def test_tab02_reproducible(self):
+        a = tab02_spatial.run(sram_kib=0.5, stress_hours=4.0)
+        b = tab02_spatial.run(sram_kib=0.5, stress_hours=4.0)
+        assert a.rows == b.rows
+
+    def test_fig07_reproducible(self):
+        a = fig07_recovery.run(sram_kib=0.5, n_weeks=2)
+        b = fig07_recovery.run(sram_kib=0.5, n_weeks=2)
+        assert a.rows == b.rows

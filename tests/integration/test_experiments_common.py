@@ -1,0 +1,48 @@
+"""Unit tests for the experiments' shared infrastructure."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.common import ExperimentResult, make_varied_device
+
+
+class TestExperimentResult:
+    def test_row_arity_enforced(self):
+        result = ExperimentResult("X", "d", ["a", "b"])
+        with pytest.raises(ConfigurationError):
+            result.add_row(1)
+
+    def test_unknown_column_rejected(self):
+        result = ExperimentResult("X", "d", ["a"])
+        result.add_row(1)
+        with pytest.raises(ConfigurationError):
+            result.column("b")
+
+    def test_to_text_contains_notes(self):
+        result = ExperimentResult("X", "d", ["a"])
+        result.add_row(3.14159)
+        result.notes = "important caveat"
+        text = result.to_text()
+        assert "important caveat" in text
+        assert "3.142" in text  # 4-sig-fig float formatting
+
+
+class TestVariedDevice:
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_varied_device("MSP432P401", rng=0, device_sigma=-0.1)
+
+    def test_zero_sigma_matches_catalog(self):
+        from repro.device.catalog import device_spec
+
+        device = make_varied_device(
+            "MSP432P401", rng=1, device_sigma=0.0, sram_kib=0.5
+        )
+        assert device.spec.technology.nbti_k_scale == pytest.approx(
+            device_spec("MSP432P401").technology.nbti_k_scale
+        )
+
+    def test_spec_remains_well_formed(self):
+        device = make_varied_device("MSP432P401", rng=2, sram_kib=0.5)
+        assert device.spec.recipe.stress_hours == 10.0
+        assert device.spec.name == "MSP432P401"

@@ -1,0 +1,140 @@
+"""Smoke tests over the experiment modules at reduced sizes.
+
+The benchmark harness runs the full-size experiments; these tests keep the
+experiment code covered by the plain test suite with small, fast inputs.
+"""
+
+import pytest
+
+from repro.experiments import (
+    ablations,
+    fig01_image,
+    fig02_waveforms,
+    fig06_stress_time,
+    fig07_recovery,
+    fig08_repetition_visual,
+    fig09_copies_stress,
+    fig10_hamming,
+    fig11_weights,
+    fig12_entropy,
+    fig13_end_to_end,
+    fig14_multisnapshot,
+    fig15_tradeoff,
+    sec514_normal_operation,
+    sec74_adversarial,
+    tab02_spatial,
+    tab03_comparison,
+    tab04_devices,
+    tab05_indistinguishability,
+)
+from repro.experiments.common import ExperimentResult
+
+
+def rows_of(out) -> list:
+    result = out.result if hasattr(out, "result") else out
+    assert isinstance(result, ExperimentResult)
+    assert result.rows
+    return result.rows
+
+
+def test_fig01_small():
+    rows_of(fig01_image.run(sram_kib=1))
+
+
+def test_fig02():
+    data = fig02_waveforms.run(duration_ns=3.0)
+    assert data.fresh.power_on_state != data.aged.power_on_state
+
+
+def test_fig06_small():
+    result = fig06_stress_time.run(
+        n_devices=2, sram_kib=0.5, stress_hours=(2, 10)
+    )
+    means = result.column("mean_error")
+    assert means[0] > means[-1]
+
+
+def test_fig07_small():
+    result = fig07_recovery.run(sram_kib=0.5, n_weeks=2)
+    assert len(result.rows) == 3
+
+
+def test_fig08_small():
+    panels = fig08_repetition_visual.run(copies_list=(1, 3), sram_kib=1)
+    assert set(panels.images) == {1, 3}
+
+
+def test_fig09_small():
+    rows_of(fig09_copies_stress.run(
+        stress_budgets=(4.0,), copies_list=(1, 5), sram_kib=1
+    ))
+
+
+def test_fig10_small():
+    rows_of(fig10_hamming.run(copies_list=(1, 5), sram_kib=2))
+
+
+def test_fig11_small():
+    rows_of(fig11_weights.run(sram_kib=2))
+
+
+def test_fig12_small():
+    rows_of(fig12_entropy.run(sram_kib=2))
+
+
+def test_fig13_small():
+    rows = dict(rows_of(fig13_end_to_end.run(sram_kib=4)))
+    assert rows["message recovered exactly"] is True
+
+
+def test_fig14_small():
+    rows_of(fig14_multisnapshot.run(sram_kib=1))
+
+
+def test_fig15():
+    rows_of(fig15_tradeoff.run(copies_list=(1, 5)))
+
+
+def test_tab02_small():
+    rows_of(tab02_spatial.run(sram_kib=1, stress_hours=4.0))
+
+
+def test_tab03_small():
+    rows_of(tab03_comparison.run(sram_kib=1, flash_kib=4))
+
+
+def test_tab04_small():
+    rows_of(tab04_devices.run(sram_kib=0.5))
+
+
+def test_tab05_small():
+    data = tab05_indistinguishability.run(
+        sram_kib=1, n_plain=1, n_clean=2, n_encrypted=2
+    )
+    assert not data.null_rejected
+
+
+def test_sec514_small():
+    rows_of(sec514_normal_operation.run(sram_kib=1, operation_days=3))
+
+
+def test_sec74_small():
+    rows_of(sec74_adversarial.run(sram_kib=1))
+
+
+def test_ablations():
+    rows_of(ablations.run_capture_votes(sram_kib=1))
+    rows_of(ablations.run_cipher_mode(n_bytes=1024))
+    rows_of(ablations.run_ecc_order())
+    rows_of(ablations.run_interleaver())
+
+
+def test_experiment_result_helpers():
+    result = ExperimentResult("X", "desc", ["a", "b"])
+    result.add_row(1, 2.5)
+    assert result.column("a") == [1]
+    assert "X" in result.to_text()
+    with pytest.raises(Exception):
+        result.add_row(1)
+    with pytest.raises(Exception):
+        result.column("missing")

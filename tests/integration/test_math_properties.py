@@ -1,0 +1,127 @@
+"""Mathematical invariants of the statistics and codes.
+
+These properties hold by theory; testing them catches implementation drift
+that example-based tests miss.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ecc import BCHCode, HammingCode, hamming_7_4
+from repro.stats import morans_i, shannon_entropy
+from repro.stats.welch import welch_t_test
+
+
+class TestLinearity:
+    """Hamming and BCH are linear codes: enc(a ^ b) = enc(a) ^ enc(b)."""
+
+    @given(seed=st.integers(0, 2000))
+    @settings(max_examples=40, deadline=None)
+    def test_hamming_linearity(self, seed):
+        code = hamming_7_4()
+        rng = np.random.default_rng(seed)
+        a = rng.integers(0, 2, 4).astype(np.uint8)
+        b = rng.integers(0, 2, 4).astype(np.uint8)
+        assert np.array_equal(
+            code.encode(a ^ b), code.encode(a) ^ code.encode(b)
+        )
+
+    @given(seed=st.integers(0, 2000), r=st.integers(2, 4))
+    @settings(max_examples=30, deadline=None)
+    def test_general_hamming_linearity(self, seed, r):
+        code = HammingCode(r)
+        rng = np.random.default_rng(seed)
+        a = rng.integers(0, 2, code.k).astype(np.uint8)
+        b = rng.integers(0, 2, code.k).astype(np.uint8)
+        assert np.array_equal(
+            code.encode(a ^ b), code.encode(a) ^ code.encode(b)
+        )
+
+    @given(seed=st.integers(0, 1000))
+    @settings(max_examples=25, deadline=None)
+    def test_bch_linearity(self, seed):
+        code = BCHCode(4, 2)
+        rng = np.random.default_rng(seed)
+        a = rng.integers(0, 2, code.k).astype(np.uint8)
+        b = rng.integers(0, 2, code.k).astype(np.uint8)
+        assert np.array_equal(
+            code.encode(a ^ b), code.encode(a) ^ code.encode(b)
+        )
+
+    def test_zero_maps_to_zero(self):
+        for code in (hamming_7_4(), BCHCode(4, 2), HammingCode(4)):
+            zero = np.zeros(code.k, dtype=np.uint8)
+            assert not code.encode(zero).any(), code.name
+
+
+class TestMoransInvariance:
+    @given(seed=st.integers(0, 1000), scale=st.floats(0.1, 50.0),
+           shift=st.floats(-100.0, 100.0))
+    @settings(max_examples=25, deadline=None)
+    def test_affine_invariance(self, seed, scale, shift):
+        """Moran's I is invariant under x -> a*x + b (a != 0)."""
+        rng = np.random.default_rng(seed)
+        grid = rng.standard_normal((12, 12))
+        base = morans_i(grid)
+        transformed = morans_i(scale * grid + shift)
+        assert transformed.statistic == pytest.approx(base.statistic, rel=1e-9)
+
+    @given(seed=st.integers(0, 500))
+    @settings(max_examples=20, deadline=None)
+    def test_bounded(self, seed):
+        rng = np.random.default_rng(seed)
+        grid = rng.standard_normal((10, 10))
+        result = morans_i(grid)
+        # Rook-lattice Moran's I is bounded by ~|1| + small-edge slack.
+        assert -1.3 < result.statistic < 1.3
+
+
+class TestEntropyInvariance:
+    @given(seed=st.integers(0, 1000))
+    @settings(max_examples=25, deadline=None)
+    def test_byte_permutation_invariance(self, seed):
+        """Symbol entropy depends on frequencies, not positions."""
+        rng = np.random.default_rng(seed)
+        data = rng.integers(0, 256, 512, dtype=np.uint8)
+        shuffled = rng.permutation(data)
+        from repro.bitutils import bytes_to_bits
+
+        assert shannon_entropy(bytes_to_bits(data.tobytes())) == pytest.approx(
+            shannon_entropy(bytes_to_bits(shuffled.tobytes()))
+        )
+
+    @given(seed=st.integers(0, 500))
+    @settings(max_examples=20, deadline=None)
+    def test_entropy_bounds(self, seed):
+        rng = np.random.default_rng(seed)
+        from repro.bitutils import bytes_to_bits
+
+        bits = bytes_to_bits(rng.integers(0, 256, 1024, dtype=np.uint8).tobytes())
+        h = shannon_entropy(bits)
+        assert 0.0 <= h <= 8.0
+
+
+class TestWelchSymmetry:
+    @given(seed=st.integers(0, 500))
+    @settings(max_examples=25, deadline=None)
+    def test_antisymmetric_statistic(self, seed):
+        rng = np.random.default_rng(seed)
+        a = rng.normal(0, 1, 20)
+        b = rng.normal(0.5, 2, 25)
+        fwd = welch_t_test(a, b)
+        rev = welch_t_test(b, a)
+        assert fwd.t_statistic == pytest.approx(-rev.t_statistic)
+        assert fwd.p_value_two_sided == pytest.approx(rev.p_value_two_sided)
+
+    @given(seed=st.integers(0, 500), shift=st.floats(-5.0, 5.0))
+    @settings(max_examples=25, deadline=None)
+    def test_translation_covariance(self, seed, shift):
+        """Shifting both samples equally leaves the statistic unchanged."""
+        rng = np.random.default_rng(seed)
+        a = rng.normal(0, 1, 15)
+        b = rng.normal(1, 1, 15)
+        base = welch_t_test(a, b)
+        moved = welch_t_test(a + shift, b + shift)
+        assert moved.t_statistic == pytest.approx(base.t_statistic, rel=1e-9)

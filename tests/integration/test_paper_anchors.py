@@ -1,0 +1,113 @@
+"""End-to-end anchors against the paper's headline numbers.
+
+Each test here corresponds to a claim in the paper's abstract or evaluation
+and exercises the full stack (device + harness + pipeline), not a single
+module.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bitutils import bit_error_rate, invert_bits
+from repro.core import InvisibleBits
+from repro.core.payloads import synthetic_image_bytes
+from repro.device import make_device
+from repro.ecc import RepetitionCode
+from repro.ecc.product import paper_end_to_end_code
+from repro.harness import ControlBoard
+from repro.units import days
+
+KEY = b"shared-key-16byt"
+
+
+def encoded_rig(rng=71, kib=2, seed=23):
+    device = make_device("MSP432P401", rng=rng, sram_kib=kib)
+    board = ControlBoard(device)
+    payload = np.random.default_rng(seed).integers(0, 2, device.sram.n_bits)
+    payload = payload.astype(np.uint8)
+    board.encode_message(payload, use_firmware=False, camouflage=False)
+    return board, payload
+
+
+class TestAbstractClaims:
+    def test_over_90_percent_bit_rate(self):
+        """Abstract: 'over 90% capacity' — raw bit rate on the MSP432."""
+        board, payload = encoded_rig()
+        err = bit_error_rate(payload, invert_bits(board.majority_power_on_state(5)))
+        assert 1.0 - err > 0.90
+
+    def test_shelved_for_a_month_still_within_10_percent(self):
+        """§5.1.3: 'error increases ~1.6x after one month, which still keeps
+        the error within 10%'."""
+        board, payload = encoded_rig()
+        base = bit_error_rate(
+            payload, invert_bits(board.majority_power_on_state(5))
+        )
+        # capture loop leaves the device powered off; just let time pass
+        board.device.advance(days(30))
+        after = bit_error_rate(
+            payload, invert_bits(board.majority_power_on_state(5))
+        )
+        assert 1.3 < after / base < 1.9
+        assert after < 0.12
+
+    def test_copy_tolerant(self):
+        """Abstract: sampling the power-on state does not alter the payload."""
+        board, payload = encoded_rig()
+        first = bit_error_rate(
+            payload, invert_bits(board.majority_power_on_state(5))
+        )
+        for _ in range(10):
+            board.majority_power_on_state(5)
+        last = bit_error_rate(
+            payload, invert_bits(board.majority_power_on_state(5))
+        )
+        assert abs(last - first) < 0.01
+
+    def test_erase_write_tolerant(self):
+        """Abstract: the channel survives the adversary overwriting SRAM."""
+        board, payload = encoded_rig()
+        base = bit_error_rate(
+            payload, invert_bits(board.majority_power_on_state(5))
+        )
+        # Adversary scribbles over all of SRAM, repeatedly, then hands back.
+        rng = np.random.default_rng(0)
+        board.power_on_nominal()
+        for _ in range(5):
+            board.debug.write_sram_bits(
+                rng.integers(0, 2, board.device.sram.n_bits).astype(np.uint8)
+            )
+        board.device.run_workload(3600.0)
+        board.power_off()
+        after = bit_error_rate(
+            payload, invert_bits(board.majority_power_on_state(5))
+        )
+        assert after < base * 1.1 + 0.01
+
+
+class TestEndToEndFigure13:
+    def test_image_smuggling_round_trip(self):
+        """Figure 1/13: an image goes in encrypted, comes back intact."""
+        device = make_device("MSP432P401", rng=81, sram_kib=4)
+        board = ControlBoard(device)
+        channel = InvisibleBits(
+            board, key=KEY, ecc=paper_end_to_end_code(7), use_firmware=False
+        )
+        image = synthetic_image_bytes(300, rng=9)
+        channel.send(image)
+        assert channel.receive().message == image
+
+    def test_constant_time_property(self):
+        """Abstract: encoding time is set by stress, not payload size."""
+        device = make_device("MSP432P401", rng=91, sram_kib=2)
+        board = ControlBoard(device)
+        channel = InvisibleBits(board, key=KEY, ecc=RepetitionCode(5),
+                                use_firmware=False)
+        small = channel.send(b"x")
+        assert small.stress_hours == 10.0
+        channel2 = InvisibleBits(
+            ControlBoard(make_device("MSP432P401", rng=92, sram_kib=2)),
+            key=KEY, ecc=RepetitionCode(5), use_firmware=False,
+        )
+        big = channel2.send(b"y" * 300)
+        assert big.stress_hours == small.stress_hours

@@ -1,0 +1,145 @@
+"""Property-based tests (hypothesis) over the core data paths."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bitutils import bits_to_bytes, bytes_to_bits, invert_bits, majority_vote
+from repro.core.message import FrameFormat, build_payload, extract_message
+from repro.crypto import AES, AesCbc, AesCtr
+from repro.ecc import ConcatenatedCode, HammingCode, RepetitionCode, hamming_7_4
+from repro.isa.assembler import assemble
+from repro.isa.disassembler import disassemble_word
+from repro.isa.opcodes import WORD_BYTES
+
+bits_arrays = st.lists(st.integers(0, 1), min_size=8, max_size=512).map(
+    lambda xs: np.array(xs[: len(xs) // 8 * 8], dtype=np.uint8)
+)
+
+
+@given(data=st.binary(min_size=1, max_size=256))
+def test_bytes_bits_round_trip(data):
+    assert bits_to_bytes(bytes_to_bits(data)) == data
+
+
+@given(bits=bits_arrays)
+def test_invert_is_involution(bits):
+    assert np.array_equal(invert_bits(invert_bits(bits)), bits)
+
+
+@given(
+    bits=bits_arrays,
+    copies=st.sampled_from([1, 3, 5, 7]),
+    layout=st.sampled_from(["block", "bitwise"]),
+)
+def test_repetition_round_trip(bits, copies, layout):
+    code = RepetitionCode(copies, layout=layout)
+    assert np.array_equal(code.decode(code.encode(bits)), bits)
+
+
+@given(
+    data=st.lists(st.integers(0, 1), min_size=4, max_size=64).map(
+        lambda xs: np.array(xs[: len(xs) // 4 * 4] or [0, 0, 0, 0], dtype=np.uint8)
+    ),
+    error_pos=st.integers(0, 6),
+)
+def test_hamming_corrects_every_single_error(data, error_pos):
+    code = hamming_7_4()
+    coded = code.encode(data)
+    coded[error_pos] ^= 1  # corrupt the first block
+    assert np.array_equal(code.decode(coded), data)
+
+
+@given(r=st.integers(2, 5), seed=st.integers(0, 1000))
+def test_general_hamming_round_trip(r, seed):
+    code = HammingCode(r)
+    rng = np.random.default_rng(seed)
+    data = rng.integers(0, 2, code.k * 3).astype(np.uint8)
+    assert np.array_equal(code.decode(code.encode(data)), data)
+
+
+@given(
+    copies=st.sampled_from([3, 5]),
+    seed=st.integers(0, 500),
+)
+def test_concatenated_round_trip(copies, seed):
+    code = ConcatenatedCode(hamming_7_4(), RepetitionCode(copies))
+    rng = np.random.default_rng(seed)
+    data = rng.integers(0, 2, code.k * 5).astype(np.uint8)
+    assert np.array_equal(code.decode(code.encode(data)), data)
+
+
+@given(
+    key=st.binary(min_size=16, max_size=16),
+    block=st.binary(min_size=16, max_size=16),
+)
+@settings(max_examples=30)
+def test_aes_encrypt_decrypt_inverse(key, block):
+    aes = AES(key)
+    assert aes.decrypt_block(aes.encrypt_block(block)) == block
+
+
+@given(
+    key=st.binary(min_size=16, max_size=16),
+    nonce=st.binary(min_size=12, max_size=12),
+    message=st.binary(min_size=0, max_size=200),
+)
+@settings(max_examples=30)
+def test_ctr_involution(key, nonce, message):
+    ctr = AesCtr(key, nonce)
+    assert ctr.decrypt(ctr.encrypt(message)) == message
+
+
+@given(
+    key=st.binary(min_size=16, max_size=16),
+    iv=st.binary(min_size=16, max_size=16),
+    n_blocks=st.integers(1, 8),
+    seed=st.integers(0, 100),
+)
+@settings(max_examples=30)
+def test_cbc_round_trip(key, iv, n_blocks, seed):
+    rng = np.random.default_rng(seed)
+    message = rng.integers(0, 256, 16 * n_blocks, dtype=np.uint8).tobytes()
+    cbc = AesCbc(key, iv)
+    assert cbc.decrypt(cbc.encrypt(message)) == message
+
+
+@given(message=st.binary(min_size=0, max_size=400))
+@settings(max_examples=50)
+def test_framing_round_trip(message):
+    payload = build_payload(message, 16 * 1024)
+    assert extract_message(payload) == message
+
+
+@given(message=st.binary(min_size=1, max_size=100), length=st.integers(1, 100))
+@settings(max_examples=30)
+def test_raw_framing_respects_declared_length(message, length):
+    frame = FrameFormat(framed=False)
+    payload = build_payload(message, 16 * 1024, frame=frame)
+    out = extract_message(
+        payload, frame=frame, message_len=min(length, len(message))
+    )
+    assert out == message[: min(length, len(message))]
+
+
+@given(
+    n_samples=st.sampled_from([1, 3, 5]),
+    seed=st.integers(0, 100),
+)
+def test_majority_of_identical_samples_is_identity(n_samples, seed):
+    rng = np.random.default_rng(seed)
+    row = rng.integers(0, 2, 64).astype(np.uint8)
+    samples = np.tile(row, (n_samples, 1))
+    assert np.array_equal(majority_vote(samples), row)
+
+
+@given(
+    rd=st.integers(0, 15),
+    rs1=st.integers(0, 15),
+    rs2=st.integers(0, 15),
+)
+def test_r_type_assemble_disassemble_round_trip(rd, rs1, rs2):
+    source = f"add r{rd}, r{rs1}, r{rs2}\n"
+    prog = assemble(source)
+    word = int.from_bytes(prog.image[:WORD_BYTES], "little")
+    assert disassemble_word(word) == source.strip()

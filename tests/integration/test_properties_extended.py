@@ -1,0 +1,96 @@
+"""Property-based tests for the extension modules (BCH, fuzzy, io, rack)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ecc.bch import BCHCode
+from repro.puf.fuzzy import FuzzyExtractor
+from repro.puf.trng import von_neumann_extract
+
+
+@st.composite
+def bch_case(draw):
+    m = draw(st.sampled_from([4, 5]))
+    t = draw(st.integers(1, 3))
+    code = BCHCode(m, t)
+    seed = draw(st.integers(0, 10_000))
+    rng = np.random.default_rng(seed)
+    data = rng.integers(0, 2, code.k).astype(np.uint8)
+    n_errors = draw(st.integers(0, t))
+    positions = draw(
+        st.lists(
+            st.integers(0, code.n - 1),
+            min_size=n_errors,
+            max_size=n_errors,
+            unique=True,
+        )
+    )
+    return code, data, positions
+
+
+@given(case=bch_case())
+@settings(max_examples=60, deadline=None)
+def test_bch_corrects_any_pattern_within_t(case):
+    code, data, positions = case
+    codeword = code.encode(data)
+    for position in positions:
+        codeword[position] ^= 1
+    assert np.array_equal(code.decode(codeword), data)
+
+
+@given(
+    copies=st.just(15),
+    seed=st.integers(0, 1000),
+    flip_fraction=st.floats(0.0, 0.10),
+)
+@settings(max_examples=40, deadline=None, derandomize=True)
+def test_fuzzy_extractor_stable_within_radius(copies, seed, flip_fraction):
+    """Response noise well inside the repetition radius never changes the
+    key: at <= 5% effective noise a 15-copy vote fails with probability
+    ~2.5e-7 per key bit, so 32-bit keys are stable for every example."""
+    extractor = FuzzyExtractor(copies=copies, secret_bits=32)
+    rng = np.random.default_rng(seed)
+    response = rng.integers(0, 2, extractor.response_bits).astype(np.uint8)
+    key, helper = extractor.generate(response, rng=seed + 1)
+    noisy = response ^ (rng.random(response.size) < flip_fraction * 0.5).astype(
+        np.uint8
+    )
+    assert extractor.reproduce(noisy, helper) == key
+
+
+@given(seed=st.integers(0, 10_000), bias=st.floats(0.05, 0.95))
+@settings(max_examples=30, deadline=None)
+def test_von_neumann_output_is_balanced(seed, bias):
+    rng = np.random.default_rng(seed)
+    raw = (rng.random(60_000) < bias).astype(np.uint8)
+    out = von_neumann_extract(raw)
+    if out.size > 3000:
+        assert abs(float(out.mean()) - 0.5) < 0.05
+
+
+@given(
+    n_captures=st.integers(1, 6),
+    n_bits=st.sampled_from([64, 256, 1024]),
+    seed=st.integers(0, 1000),
+)
+@settings(max_examples=30, deadline=None)
+def test_capture_serialization_round_trip(tmp_path_factory, n_captures, n_bits, seed):
+    from repro.io import load_captures, save_captures
+
+    rng = np.random.default_rng(seed)
+    samples = rng.integers(0, 2, (n_captures, n_bits)).astype(np.uint8)
+    path = tmp_path_factory.mktemp("io") / "caps.json"
+    save_captures(path, samples, device_id=seed.to_bytes(4, "big"))
+    loaded, info = load_captures(path)
+    assert np.array_equal(loaded, samples)
+    assert info["device_id"] == seed.to_bytes(4, "big")
+
+
+@given(seed=st.integers(0, 500))
+@settings(max_examples=20, deadline=None)
+def test_bch_decode_of_valid_codeword_is_exact(seed):
+    code = BCHCode(4, 2)
+    rng = np.random.default_rng(seed)
+    data = rng.integers(0, 2, code.k * 5).astype(np.uint8)
+    assert np.array_equal(code.decode(code.encode(data)), data)

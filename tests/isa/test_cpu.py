@@ -1,0 +1,154 @@
+"""Unit tests for the MiniCore CPU emulator."""
+
+import pytest
+
+from repro.errors import EmulatorError
+from repro.isa.assembler import assemble
+from repro.isa.cpu import CPU
+from repro.isa.memory import MemoryBus, RamRegion, RomRegion
+
+
+def run_program(src, *, max_steps=10_000, ram_base=0x2000_0000):
+    prog = assemble(src)
+    bus = MemoryBus()
+    rom = RomRegion(0, 64 * 1024)
+    rom.program(prog.image)
+    bus.add_region(rom)
+    bus.add_region(RamRegion(ram_base, 4096))
+    cpu = CPU(bus, reset_pc=prog.entry_point)
+    outcome = cpu.run(max_steps)
+    return cpu, bus, outcome
+
+
+class TestArithmetic:
+    def test_addi_and_add(self):
+        cpu, _, outcome = run_program(
+            "addi r1, r0, 20\naddi r2, r0, 22\nadd r3, r1, r2\nhalt\n"
+        )
+        assert outcome == "halted"
+        assert cpu.regs[3] == 42
+
+    def test_sub_wraps_unsigned(self):
+        cpu, _, _ = run_program("addi r1, r0, 1\nsub r2, r0, r1\nhalt\n")
+        assert cpu.regs[2] == 0xFFFF_FFFF
+
+    def test_logic_ops(self):
+        cpu, _, _ = run_program(
+            "addi r1, r0, 0xF0\naddi r2, r0, 0x0F\n"
+            "and r3, r1, r2\nor r4, r1, r2\nxor r5, r1, r1\nhalt\n"
+        )
+        assert cpu.regs[3] == 0
+        assert cpu.regs[4] == 0xFF
+        assert cpu.regs[5] == 0
+
+    def test_mul_truncates_to_32_bits(self):
+        cpu, _, _ = run_program(
+            "lui r1, 0x8000\naddi r2, r0, 4\nmul r3, r1, r2\nhalt\n"
+        )
+        assert cpu.regs[3] == 0  # 0x80000000 * 4 mod 2^32
+
+    def test_shifts(self):
+        cpu, _, _ = run_program(
+            "addi r1, r0, 1\nslli r2, r1, 31\nsrli r3, r2, 31\nhalt\n"
+        )
+        assert cpu.regs[2] == 0x8000_0000
+        assert cpu.regs[3] == 1
+
+    def test_lui_ori_builds_constant(self):
+        cpu, _, _ = run_program("lui r1, 0xDEAD\nori r1, r1, 0xBEEF\nhalt\n")
+        assert cpu.regs[1] == 0xDEADBEEF
+
+
+class TestMemory:
+    def test_store_load_round_trip(self):
+        cpu, _, _ = run_program(
+            "lui r1, 0x2000\nlui r2, 0xCAFE\nori r2, r2, 0xF00D\n"
+            "sw r2, 8(r1)\nlw r3, 8(r1)\nhalt\n"
+        )
+        assert cpu.regs[3] == 0xCAFEF00D
+
+    def test_negative_offset(self):
+        cpu, _, _ = run_program(
+            "lui r1, 0x2000\naddi r1, r1, 16\naddi r2, r0, 7\n"
+            "sw r2, -4(r1)\nlw r3, -4(r1)\nhalt\n"
+        )
+        assert cpu.regs[3] == 7
+
+    def test_bus_fault_on_hole(self):
+        with pytest.raises(EmulatorError):
+            run_program("lui r1, 0x4000\nlw r2, 0(r1)\nhalt\n")
+
+    def test_store_to_rom_faults(self):
+        with pytest.raises(EmulatorError):
+            run_program("addi r1, r0, 0\nsw r1, 0(r1)\nhalt\n")
+
+
+class TestControlFlow:
+    def test_beq_taken(self):
+        cpu, _, _ = run_program(
+            "beq r0, r0, skip\naddi r1, r0, 99\nskip:\nhalt\n"
+        )
+        assert cpu.regs[1] == 0
+
+    def test_bne_loop_counts(self):
+        cpu, _, _ = run_program(
+            "addi r1, r0, 0\naddi r2, r0, 5\n"
+            "loop:\naddi r1, r1, 1\nbne r1, r2, loop\nhalt\n"
+        )
+        assert cpu.regs[1] == 5
+
+    def test_bltu_unsigned_compare(self):
+        # 0xFFFFFFFF is large unsigned: no branch.
+        cpu, _, _ = run_program(
+            "addi r1, r0, -1\naddi r2, r0, 1\n"
+            "bltu r1, r2, small\naddi r3, r0, 1\nsmall:\nhalt\n"
+        )
+        assert cpu.regs[3] == 1
+
+    def test_jal_links_and_jr_returns(self):
+        cpu, _, outcome = run_program(
+            "jal sub\naddi r1, r0, 5\nhalt\nsub:\naddi r2, r0, 9\njr r15\n"
+        )
+        assert outcome == "halted"
+        assert cpu.regs[1] == 5
+        assert cpu.regs[2] == 9
+
+    def test_busy_wait_detected_as_spinning(self):
+        cpu, _, outcome = run_program("spin:\njmp spin\n")
+        assert outcome == "spinning"
+
+    def test_branch_to_self_detected_as_spinning(self):
+        cpu, _, outcome = run_program("spin:\nbeq r0, r0, spin\n")
+        assert outcome == "spinning"
+
+    def test_step_limit(self):
+        cpu, _, outcome = run_program(
+            "addi r1, r0, 0\nloop:\naddi r1, r1, 1\nbne r1, r0, loop\nhalt\n",
+            max_steps=100,
+        )
+        assert outcome == "limit"
+
+
+class TestMachineState:
+    def test_reset_clears_registers(self):
+        cpu, _, _ = run_program("addi r1, r0, 3\nhalt\n")
+        cpu.reset()
+        assert cpu.regs == [0] * 16
+        assert not cpu.halted
+
+    def test_step_after_halt_rejected(self):
+        cpu, _, _ = run_program("halt\n")
+        with pytest.raises(EmulatorError):
+            cpu.step()
+
+    def test_illegal_opcode(self):
+        bus = MemoryBus()
+        rom = RomRegion(0, 4096)
+        rom.program((0x3F << 26).to_bytes(4, "little"))
+        bus.add_region(rom)
+        with pytest.raises(EmulatorError):
+            CPU(bus).step()
+
+    def test_instruction_counter(self):
+        cpu, _, _ = run_program("nop\nnop\nhalt\n")
+        assert cpu.instructions_retired == 3

@@ -1,0 +1,69 @@
+"""Unit tests for the .ascii and .align assembler directives."""
+
+import pytest
+
+from repro.errors import AssemblerError
+from repro.isa.assembler import assemble
+
+
+def test_ascii_stores_text_padded():
+    prog = assemble('.ascii "hello"\n')
+    assert prog.image[:5] == b"hello"
+    assert prog.image[5:8] == b"\x00\x00\x00"
+    assert len(prog.image) == 8
+
+
+def test_ascii_exact_word_multiple():
+    prog = assemble('.ascii "word"\n')
+    assert prog.image == b"word"
+
+
+def test_ascii_label_addressable():
+    src = 'jmp code\nmsg:\n.ascii "hi"\ncode:\nhalt\n'
+    prog = assemble(src)
+    assert prog.symbols["msg"] == 4
+    assert prog.symbols["code"] == 8
+
+
+def test_ascii_requires_quotes():
+    with pytest.raises(AssemblerError):
+        assemble(".ascii hello\n")
+
+
+def test_ascii_rejects_non_ascii():
+    with pytest.raises((AssemblerError, UnicodeEncodeError)):
+        assemble('.ascii "héllo"\n')
+
+
+def test_align_pads_location():
+    src = "nop\n.align 16\ndata:\n.word 1\n"
+    prog = assemble(src)
+    assert prog.symbols["data"] == 16
+
+
+def test_align_noop_when_already_aligned():
+    src = ".align 4\nfirst:\nnop\n"
+    prog = assemble(src)
+    assert prog.symbols["first"] == 0
+
+
+def test_align_rejects_non_power_of_two():
+    with pytest.raises(AssemblerError):
+        assemble(".align 12\nnop\n")
+    with pytest.raises(AssemblerError):
+        assemble(".align 2\nnop\n")
+
+
+def test_align_then_code_executes():
+    from repro.isa.cpu import CPU
+    from repro.isa.memory import MemoryBus, RomRegion
+
+    src = "jmp go\n.align 32\ngo:\naddi r1, r0, 7\nhalt\n"
+    prog = assemble(src)
+    bus = MemoryBus()
+    rom = RomRegion(0, 4096)
+    rom.program(prog.image)
+    bus.add_region(rom)
+    cpu = CPU(bus)
+    assert cpu.run(100) == "halted"
+    assert cpu.regs[1] == 7

@@ -1,0 +1,39 @@
+"""Unit tests for the disassembler."""
+
+from repro.isa.assembler import assemble
+from repro.isa.disassembler import disassemble, disassemble_word
+from repro.isa.opcodes import Opcode, encode
+
+
+def test_unknown_opcode_renders_as_word():
+    word = (0x3F << 26) | 0x123
+    assert disassemble_word(word).startswith(".word")
+
+
+def test_branch_target_rendered_absolute():
+    # beq r1, r2, +2 words from address 0x100
+    word = encode(Opcode.BEQ, rd=1, rs1=2, imm=2)
+    text = disassemble_word(word, address=0x100)
+    assert text == "beq r1, r2, 0x10c"
+
+
+def test_j_type():
+    assert disassemble_word(encode(Opcode.JMP, imm=0x40)) == "jmp 0x40"
+
+
+def test_full_image_listing():
+    prog = assemble("nop\nhalt\n")
+    lines = disassemble(prog.image)
+    assert lines[0].endswith("nop")
+    assert lines[1].endswith("halt")
+    assert lines[0].startswith("0x00000000:")
+
+
+def test_listing_pads_partial_words():
+    lines = disassemble(b"\x00\x00\x00\x00\x01")
+    assert len(lines) == 2
+
+
+def test_negative_offset_memory_operand():
+    word = encode(Opcode.SW, rd=3, rs1=4, imm=-8)
+    assert disassemble_word(word) == "sw r3, -8(r4)"

@@ -1,0 +1,86 @@
+"""Unit tests for the memory bus and regions."""
+
+import numpy as np
+import pytest
+
+from repro.device.catalog import device_spec
+from repro.errors import ConfigurationError, EmulatorError
+from repro.isa.memory import (
+    SRAM_BASE,
+    MemoryBus,
+    RamRegion,
+    RomRegion,
+    SramRegion,
+)
+from repro.sram import SRAMArray
+
+
+class TestBusDispatch:
+    def test_routes_to_correct_region(self):
+        bus = MemoryBus()
+        bus.add_region(RamRegion(0x0, 0x100, "low"))
+        bus.add_region(RamRegion(0x1000, 0x100, "high"))
+        bus.store_word(0x1004, 7)
+        assert bus.load_word(0x1004) == 7
+        assert bus.load_word(0x4) == 0
+
+    def test_overlap_rejected(self):
+        bus = MemoryBus()
+        bus.add_region(RamRegion(0x0, 0x100))
+        with pytest.raises(ConfigurationError):
+            bus.add_region(RamRegion(0x80, 0x100))
+
+    def test_hole_faults(self):
+        bus = MemoryBus()
+        bus.add_region(RamRegion(0x0, 0x100))
+        with pytest.raises(EmulatorError):
+            bus.load_word(0x200)
+
+    def test_unaligned_faults(self):
+        bus = MemoryBus()
+        bus.add_region(RamRegion(0x0, 0x100))
+        with pytest.raises(EmulatorError):
+            bus.load_word(0x2)
+
+
+class TestRom:
+    def test_program_and_read(self):
+        rom = RomRegion(0, 0x100)
+        rom.program(b"\x78\x56\x34\x12")
+        assert rom.load_word(0) == 0x12345678  # little-endian
+
+    def test_cpu_store_rejected(self):
+        rom = RomRegion(0, 0x100)
+        with pytest.raises(EmulatorError):
+            rom.store_word(0, 1)
+
+    def test_oversized_image_rejected(self):
+        rom = RomRegion(0, 8)
+        with pytest.raises(ConfigurationError):
+            rom.program(b"\x00" * 16)
+
+
+class TestSramRegion:
+    @pytest.fixture
+    def region(self):
+        tech = device_spec("MSP432P401").technology
+        arr = SRAMArray.from_kib(1, tech, rng=0)
+        arr.apply_power()
+        return SramRegion(SRAM_BASE, arr)
+
+    def test_word_round_trip(self, region):
+        region.store_word(SRAM_BASE + 8, 0xCAFEBABE)
+        assert region.load_word(SRAM_BASE + 8) == 0xCAFEBABE
+
+    def test_bulk_bytes_round_trip(self, region):
+        data = bytes(range(64))
+        region.write_bytes(data, offset=16)
+        assert region.read_bytes(16, 64) == data
+
+    def test_word_and_byte_views_consistent(self, region):
+        region.write_bytes(b"\x01\x02\x03\x04", offset=0)
+        assert region.load_word(SRAM_BASE) == 0x01020304
+
+    def test_writes_reach_the_analog_array(self, region):
+        region.store_word(SRAM_BASE, 0xFFFFFFFF)
+        assert region.array.read(32).all()

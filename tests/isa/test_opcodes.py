@@ -1,0 +1,63 @@
+"""Unit tests for instruction encoding primitives."""
+
+import pytest
+
+from repro.isa.opcodes import (
+    FORMATS,
+    Format,
+    Opcode,
+    decode_fields,
+    encode,
+    sign_extend_16,
+)
+
+
+def test_every_opcode_has_a_format():
+    assert set(FORMATS) == set(Opcode)
+
+
+def test_encode_decode_r_type():
+    word = encode(Opcode.ADD, rd=3, rs1=4, rs2=5)
+    op, rd, rs1, rs2, _, _ = decode_fields(word)
+    assert Opcode(op) is Opcode.ADD
+    assert (rd, rs1, rs2) == (3, 4, 5)
+
+
+def test_encode_decode_i_type():
+    word = encode(Opcode.ADDI, rd=1, rs1=2, imm=-5)
+    op, rd, rs1, _, imm16, _ = decode_fields(word)
+    assert Opcode(op) is Opcode.ADDI
+    assert (rd, rs1) == (1, 2)
+    assert sign_extend_16(imm16) == -5
+
+
+def test_encode_decode_j_type():
+    word = encode(Opcode.JMP, imm=0x1234)
+    op, _, _, _, _, target = decode_fields(word)
+    assert Opcode(op) is Opcode.JMP
+    assert target == 0x1234
+
+
+def test_j_type_max_range():
+    target = (0x03FF_FFFF << 2)  # largest encodable word address
+    word = encode(Opcode.JMP, imm=target)
+    assert decode_fields(word)[5] == target
+
+
+def test_sign_extend():
+    assert sign_extend_16(0x0005) == 5
+    assert sign_extend_16(0xFFFF) == -1
+    assert sign_extend_16(0x8000) == -32768
+    assert sign_extend_16(0x7FFF) == 32767
+
+
+def test_n_type_encodes_opcode_only():
+    assert encode(Opcode.NOP) == 0
+    assert encode(Opcode.HALT) == (0x01 << 26)
+
+
+def test_formats_spotcheck():
+    assert FORMATS[Opcode.ADD] is Format.R
+    assert FORMATS[Opcode.LW] is Format.I
+    assert FORMATS[Opcode.JMP] is Format.J
+    assert FORMATS[Opcode.HALT] is Format.N

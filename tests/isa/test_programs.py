@@ -1,0 +1,145 @@
+"""Unit tests for the protocol firmware generators."""
+
+import numpy as np
+import pytest
+
+from repro.crypto.prng import NormalOperationPrng
+from repro.device.catalog import device_spec
+from repro.errors import ConfigurationError
+from repro.isa.assembler import assemble
+from repro.isa.cpu import CPU
+from repro.isa.memory import SRAM_BASE, MemoryBus, RamRegion, RomRegion, SramRegion
+from repro.isa.programs import (
+    camouflage_program,
+    fill_program,
+    payload_writer_program,
+    prng_workload_program,
+    retention_program,
+)
+from repro.sram import SRAMArray
+
+
+def build_machine(source, *, sram_kib=1, rng=0):
+    tech = device_spec("MSP432P401").technology
+    arr = SRAMArray.from_kib(sram_kib, tech, rng=rng)
+    arr.apply_power()
+    prog = assemble(source)
+    bus = MemoryBus()
+    rom = RomRegion(0, 1 << 20)
+    rom.program(prog.image)
+    bus.add_region(rom)
+    region = SramRegion(SRAM_BASE, arr)
+    bus.add_region(region)
+    cpu = CPU(bus, reset_pc=prog.entry_point)
+    return cpu, region, prog
+
+
+class TestPayloadWriter:
+    def test_copies_payload_and_spins(self):
+        payload = bytes(range(256)) * 2
+        cpu, region, _ = build_machine(payload_writer_program(payload))
+        assert cpu.run(100_000) == "spinning"
+        assert region.read_bytes(0, len(payload)) == payload
+
+    def test_pads_to_word_boundary(self):
+        payload = b"\xAA\xBB\xCC"  # 3 bytes
+        cpu, region, _ = build_machine(payload_writer_program(payload))
+        cpu.run(10_000)
+        assert region.read_bytes(0, 4) == b"\xAA\xBB\xCC\x00"
+
+    def test_empty_payload_rejected(self):
+        with pytest.raises(ConfigurationError):
+            payload_writer_program(b"")
+
+    def test_sram_untouched_beyond_payload(self):
+        payload = b"\xFF" * 64
+        cpu, region, _ = build_machine(payload_writer_program(payload))
+        before = region.array.read()[64 * 8 :].copy()
+        cpu.run(10_000)
+        assert np.array_equal(region.array.read()[64 * 8 :], before)
+
+
+class TestRetention:
+    def test_never_touches_sram(self):
+        cpu, region, _ = build_machine(retention_program())
+        before = region.array.read().copy()
+        assert cpu.run(100) == "spinning"
+        assert np.array_equal(region.array.read(), before)
+
+    def test_spins_immediately(self):
+        cpu, _, _ = build_machine(retention_program())
+        assert cpu.run(10) == "spinning"
+
+
+class TestCamouflage:
+    def test_fills_scratch_buffer_then_parks(self):
+        cpu, region, _ = build_machine(camouflage_program(words=32))
+        assert cpu.run(10_000) == "spinning"
+        words = [region.load_word(SRAM_BASE + 4 * i) for i in range(32)]
+        # Knuth-hash pattern: all distinct, looks like work.
+        assert len(set(words)) == 32
+
+    def test_rejects_zero_words(self):
+        with pytest.raises(ConfigurationError):
+            camouflage_program(words=0)
+
+
+class TestFill:
+    @pytest.mark.parametrize("value", [0, 1])
+    def test_fills_whole_sram(self, value):
+        src = fill_program(value, sram_bytes=1024)
+        cpu, region, _ = build_machine(src)
+        assert cpu.run(10_000) == "spinning"
+        bits = region.array.read()
+        assert bits.all() if value else not bits.any()
+
+    def test_rejects_bad_value(self):
+        with pytest.raises(ConfigurationError):
+            fill_program(2, sram_bytes=64)
+
+    def test_rejects_unaligned_size(self):
+        with pytest.raises(ConfigurationError):
+            fill_program(1, sram_bytes=63)
+
+
+class TestPrngWorkload:
+    def test_matches_reference_generator(self):
+        src = prng_workload_program(sram_bytes=256, lfsr_seed=0xACE1)
+        prog = assemble(src)
+        bus = MemoryBus()
+        rom = RomRegion(0, 1 << 16)
+        rom.program(prog.image)
+        bus.add_region(rom)
+        bus.add_region(RamRegion(SRAM_BASE, 4096))
+        cpu = CPU(bus, reset_pc=prog.entry_point)
+        outer = prog.symbols["outer"]
+        seen = 0
+        while seen < 2:
+            if cpu.pc == outer:
+                seen += 1
+            cpu.step()
+        firmware = [bus.load_word(SRAM_BASE + 4 * i) for i in range(64)]
+        assert firmware == NormalOperationPrng(0xACE1).sweep(64)
+
+    def test_successive_sweeps_differ(self):
+        src = prng_workload_program(sram_bytes=64, lfsr_seed=1)
+        prog = assemble(src)
+        bus = MemoryBus()
+        rom = RomRegion(0, 1 << 16)
+        rom.program(prog.image)
+        bus.add_region(rom)
+        bus.add_region(RamRegion(SRAM_BASE, 4096))
+        cpu = CPU(bus, reset_pc=prog.entry_point)
+        outer = prog.symbols["outer"]
+        sweeps, seen = [], 0
+        while seen < 3:
+            if cpu.pc == outer:
+                seen += 1
+                if seen >= 2:
+                    sweeps.append([bus.load_word(SRAM_BASE + 4 * i) for i in range(16)])
+            cpu.step()
+        assert sweeps[0] != sweeps[1]
+
+    def test_rejects_zero_seed(self):
+        with pytest.raises(ConfigurationError):
+            prng_workload_program(sram_bytes=64, lfsr_seed=0)

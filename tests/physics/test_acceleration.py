@@ -1,0 +1,76 @@
+"""Unit tests for the V/T acceleration law (paper Figure 3d ordering)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.physics.acceleration import AccelerationModel
+from repro.units import celsius_to_kelvin
+
+
+@pytest.fixture
+def model():
+    return AccelerationModel(vdd_nominal=1.2)
+
+
+def test_unity_at_nominal(model):
+    assert model.factor(1.2, celsius_to_kelvin(25.0)) == pytest.approx(1.0)
+
+
+def test_monotone_in_voltage(model):
+    t = celsius_to_kelvin(25.0)
+    factors = [model.factor(v, t) for v in (1.2, 1.8, 2.4, 3.3)]
+    assert factors == sorted(factors)
+    assert factors[-1] > factors[0]
+
+
+def test_monotone_in_temperature(model):
+    factors = [
+        model.factor(1.2, celsius_to_kelvin(c)) for c in (25.0, 45.0, 65.0, 85.0)
+    ]
+    assert factors == sorted(factors)
+
+
+def test_voltage_dominates_temperature_figure_3d(model):
+    """The paper: 'voltage has the largest acceleration effect'."""
+    volts_only = model.factor(3.3, celsius_to_kelvin(25.0))
+    temp_only = model.factor(1.2, celsius_to_kelvin(85.0))
+    both = model.factor(3.3, celsius_to_kelvin(85.0))
+    assert volts_only > temp_only
+    assert both == pytest.approx(volts_only * temp_only)
+
+
+def test_equivalent_seconds_scales_linearly(model):
+    t = celsius_to_kelvin(85.0)
+    assert model.equivalent_seconds(3.3, t, 200.0) == pytest.approx(
+        2 * model.equivalent_seconds(3.3, t, 100.0)
+    )
+
+
+def test_factor_magnitude_is_physical(model):
+    # The paper encodes in ~10 h what would take years at nominal: the
+    # acceleration factor at (3.3 V, 85 C) should be in the hundreds+.
+    factor = model.factor(3.3, celsius_to_kelvin(85.0))
+    assert 100 < factor < 100_000
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        dict(vdd_nominal=0.0),
+        dict(vdd_nominal=1.2, temp_nominal_k=-5.0),
+        dict(vdd_nominal=1.2, voltage_exponent=0.0),
+        dict(vdd_nominal=1.2, activation_energy_ev=-0.1),
+    ],
+)
+def test_invalid_construction(kwargs):
+    with pytest.raises(ConfigurationError):
+        AccelerationModel(**kwargs)
+
+
+def test_invalid_operating_points(model):
+    with pytest.raises(ConfigurationError):
+        model.factor(-1.0, 300.0)
+    with pytest.raises(ConfigurationError):
+        model.factor(1.2, 0.0)
+    with pytest.raises(ConfigurationError):
+        model.equivalent_seconds(1.2, 300.0, -1.0)

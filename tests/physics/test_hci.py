@@ -1,0 +1,35 @@
+"""Unit tests for the HCI common-mode model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.physics.hci import HCIModel
+
+
+def test_zero_toggles_zero_shift():
+    assert HCIModel().dvth(0) == 0.0
+
+
+def test_shift_grows_sublinearly():
+    model = HCIModel(k_scale=1e-4, exponent=0.5)
+    assert model.dvth(100) == pytest.approx(1e-3)
+    assert model.dvth(400) == pytest.approx(2e-3)
+
+
+def test_noise_widening_monotone():
+    model = HCIModel(k_scale=1e-4)
+    fresh = model.noise_widening(0, 0.05)
+    worn = model.noise_widening(1e9, 0.05)
+    assert fresh == pytest.approx(0.05)
+    assert worn > fresh
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        HCIModel(k_scale=-1.0)
+    with pytest.raises(ConfigurationError):
+        HCIModel(exponent=0.0)
+    with pytest.raises(ConfigurationError):
+        HCIModel().dvth(-1)
+    with pytest.raises(ConfigurationError):
+        HCIModel().noise_widening(10, -0.1)

@@ -1,0 +1,89 @@
+"""Unit tests for the square-law MOSFET model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.physics.mosfet import MOSFET, MOSType
+
+
+@pytest.fixture
+def nmos():
+    return MOSFET(MOSType.NMOS, vth=0.35, beta=3e-4)
+
+
+@pytest.fixture
+def pmos():
+    return MOSFET(MOSType.PMOS, vth=0.35, beta=1.5e-4)
+
+
+class TestRegions:
+    def test_cutoff_below_threshold(self, nmos):
+        assert nmos.drain_current(vg=0.3, vd=1.0, vs=0.0) == 0.0
+
+    def test_no_current_without_vds(self, nmos):
+        assert nmos.drain_current(vg=1.0, vd=0.0, vs=0.0) == 0.0
+
+    def test_triode_current_positive(self, nmos):
+        i = nmos.drain_current(vg=1.0, vd=0.1, vs=0.0)
+        assert i > 0
+
+    def test_saturation_exceeds_triode_at_fixed_vgs(self, nmos):
+        triode = nmos.drain_current(vg=1.0, vd=0.1, vs=0.0)
+        sat = nmos.drain_current(vg=1.0, vd=1.0, vs=0.0)
+        assert sat > triode
+
+    def test_saturation_value(self, nmos):
+        # Ids = beta/2 * (vgs - vth)^2 with lambda = 0
+        i = nmos.drain_current(vg=1.0, vd=1.0, vs=0.0)
+        assert i == pytest.approx(0.5 * 3e-4 * (1.0 - 0.35) ** 2)
+
+    def test_current_monotone_in_vgs(self, nmos):
+        currents = [
+            nmos.drain_current(vg=v, vd=1.2, vs=0.0) for v in (0.4, 0.6, 0.8, 1.0)
+        ]
+        assert currents == sorted(currents)
+
+
+class TestPmosMirror:
+    def test_pmos_conducts_when_gate_low(self, pmos):
+        i = pmos.drain_current(vg=0.0, vd=0.0, vs=1.0)
+        assert i < 0  # current flows out of the drain into the node
+
+    def test_pmos_cuts_off_when_gate_high(self, pmos):
+        assert pmos.drain_current(vg=1.0, vd=0.0, vs=1.0) == 0.0
+
+    def test_symmetry_with_nmos(self, nmos):
+        pmos_same_beta = MOSFET(MOSType.PMOS, vth=0.35, beta=3e-4)
+        i_n = nmos.drain_current(vg=1.0, vd=1.0, vs=0.0)
+        i_p = pmos_same_beta.drain_current(vg=0.0, vd=0.0, vs=1.0)
+        assert i_p == pytest.approx(-i_n)
+
+
+class TestAging:
+    def test_aged_raises_vth(self, pmos):
+        older = pmos.aged(0.05)
+        assert older.vth == pytest.approx(0.40)
+
+    def test_aged_reduces_current(self, pmos):
+        fresh = pmos.drain_current(vg=0.0, vd=0.0, vs=1.0)
+        aged = pmos.aged(0.1).drain_current(vg=0.0, vd=0.0, vs=1.0)
+        assert abs(aged) < abs(fresh)
+
+    def test_negative_aging_rejected(self, pmos):
+        with pytest.raises(ConfigurationError):
+            pmos.aged(-0.01)
+
+
+class TestValidation:
+    def test_negative_vth_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MOSFET(MOSType.NMOS, vth=-0.1, beta=1e-4)
+
+    def test_nonpositive_beta_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MOSFET(MOSType.NMOS, vth=0.3, beta=0.0)
+
+    def test_channel_length_modulation_increases_sat_current(self):
+        flat = MOSFET(MOSType.NMOS, vth=0.35, beta=3e-4, lambda_=0.0)
+        clm = MOSFET(MOSType.NMOS, vth=0.35, beta=3e-4, lambda_=0.1)
+        assert clm.drain_current(1.0, 1.0, 0.0) > flat.drain_current(1.0, 1.0, 0.0)

@@ -1,0 +1,146 @@
+"""Unit tests for the NBTI stress/recovery model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.physics.nbti import NBTIModel, NBTIState
+
+
+@pytest.fixture
+def model():
+    return NBTIModel(k_scale=1e-3, time_exponent=0.75)
+
+
+class TestState:
+    def test_fresh_state_is_zero(self, model):
+        state = NBTIState.fresh(4)
+        assert np.all(model.dvth(state) == 0.0)
+
+    def test_fresh_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            NBTIState.fresh(0)
+
+    def test_copy_is_independent(self, model):
+        state = NBTIState.fresh(2)
+        dup = state.copy()
+        model.stress(state, 100.0)
+        assert np.all(dup.stress_seconds == 0.0)
+
+
+class TestStress:
+    def test_power_law_growth(self, model):
+        state = NBTIState.fresh(1)
+        model.stress(state, 1000.0)
+        assert model.dvth(state)[0] == pytest.approx(1e-3 * 1000.0**0.75)
+
+    def test_stress_accumulates(self, model):
+        split = NBTIState.fresh(1)
+        model.stress(split, 500.0)
+        model.stress(split, 500.0)
+        whole = NBTIState.fresh(1)
+        model.stress(whole, 1000.0)
+        assert model.dvth(split)[0] == pytest.approx(model.dvth(whole)[0])
+
+    def test_sublinear_in_time(self, model):
+        a, b = NBTIState.fresh(1), NBTIState.fresh(1)
+        model.stress(a, 1000.0)
+        model.stress(b, 2000.0)
+        ratio = model.dvth(b)[0] / model.dvth(a)[0]
+        assert 1.0 < ratio < 2.0
+
+    def test_per_transistor_array_stress(self, model):
+        state = NBTIState.fresh(3)
+        model.stress(state, np.array([0.0, 100.0, 200.0]))
+        d = model.dvth(state)
+        assert d[0] == 0.0
+        assert 0 < d[1] < d[2]
+
+    def test_zero_stress_leaves_relax_clock_running(self, model):
+        state = NBTIState.fresh(2)
+        model.stress(state, np.array([100.0, 100.0]))
+        model.relax(state, 3600.0)
+        # Stress only transistor 0; transistor 1's relax clock must survive.
+        model.stress(state, np.array([50.0, 0.0]))
+        assert state.relax_seconds[0] == 0.0
+        assert state.relax_seconds[1] == 3600.0
+
+    def test_negative_stress_rejected(self, model):
+        with pytest.raises(ConfigurationError):
+            model.stress(NBTIState.fresh(1), -1.0)
+
+
+class TestRecovery:
+    def test_relax_reduces_shift(self, model):
+        state = NBTIState.fresh(1)
+        model.stress(state, 36000.0)
+        before = model.dvth(state)[0]
+        model.relax(state, 30 * 86400.0)
+        after = model.dvth(state)[0]
+        assert after < before
+
+    def test_recovery_is_partial(self, model):
+        state = NBTIState.fresh(1)
+        model.stress(state, 36000.0)
+        full = model.dvth_unrecovered(state)[0]
+        model.relax(state, 10 * 365 * 86400.0)  # a decade
+        assert model.dvth(state)[0] >= full * (1.0 - model.rec_ceiling)
+
+    def test_recovery_logarithmic_shape(self, model):
+        """Recovered fraction at 1 week / 1 month / 14 weeks follows the
+        paper's Figure 7 log-in-time trend (diminishing rate)."""
+        state = NBTIState.fresh(1)
+        model.stress(state, 36000.0)
+        full = model.dvth_unrecovered(state)[0]
+        recovered = []
+        elapsed = 0.0
+        for target_days in (7, 30, 98):
+            model.relax(state, (target_days - elapsed) * 86400.0)
+            elapsed = target_days
+            recovered.append(1.0 - model.dvth(state)[0] / full)
+        week, month, quarter = recovered
+        assert 0 < week < month < quarter
+        # Rate decays: the second interval recovers less per day.
+        assert (month - week) / 23 < week / 7
+
+    def test_restress_relocks_recovery(self, model):
+        state = NBTIState.fresh(1)
+        model.stress(state, 36000.0)
+        model.relax(state, 30 * 86400.0)
+        recovered_shift = model.dvth(state)[0]
+        model.stress(state, 1.0)  # tiny re-stress re-locks
+        assert state.relax_seconds[0] == 0.0
+        assert model.dvth(state)[0] == pytest.approx(recovered_shift, rel=1e-3)
+
+    def test_stress_ac_does_not_touch_relax_clock(self, model):
+        state = NBTIState.fresh(1)
+        model.stress(state, 36000.0)
+        model.relax(state, 86400.0)
+        model.stress_ac(state, 100.0)
+        assert state.relax_seconds[0] == 86400.0
+
+    def test_negative_relax_rejected(self, model):
+        with pytest.raises(ConfigurationError):
+            model.relax(NBTIState.fresh(1), -5.0)
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(k_scale=-1.0),
+            dict(k_scale=1.0, time_exponent=0.0),
+            dict(k_scale=1.0, time_exponent=1.5),
+            dict(k_scale=1.0, rec_ceiling=1.0),
+            dict(k_scale=1.0, rec_log_coeff=-0.1),
+            dict(k_scale=1.0, rec_tau_s=0.0),
+        ],
+    )
+    def test_bad_parameters(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            NBTIModel(**kwargs)
+
+    def test_shift_after_closed_form(self, model):
+        state = NBTIState.fresh(1)
+        model.stress(state, 12345.0)
+        assert model.shift_after(12345.0) == pytest.approx(model.dvth(state)[0])

@@ -1,0 +1,58 @@
+"""Unit tests for process-variation sampling."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.physics.variation import sample_mismatch
+from repro.stats.morans_i import morans_i
+
+
+def test_unit_variance():
+    m = sample_mismatch(200_000, rng=0)
+    assert m.std() == pytest.approx(1.0, abs=0.02)
+    assert abs(m.mean()) < 0.02
+
+
+def test_deterministic_for_seed():
+    a = sample_mismatch(1000, rng=5)
+    b = sample_mismatch(1000, rng=5)
+    assert np.array_equal(a, b)
+
+
+def test_zero_correlated_share_is_iid():
+    m = sample_mismatch(256 * 64, row_width=256, correlated_share=0.0, rng=1)
+    result = morans_i(m, grid_shape=(64, 256))
+    assert abs(result.statistic) < 0.01
+
+
+def test_correlated_share_raises_morans_i():
+    m = sample_mismatch(256 * 64, row_width=256, correlated_share=0.05, rng=1)
+    result = morans_i(m, grid_shape=(64, 256))
+    # ~share of variance is spatially smooth -> I approximately the share.
+    assert 0.02 < result.statistic < 0.10
+
+
+def test_default_share_matches_paper_table2_scale():
+    # Table 2: unstressed devices show Moran's I around 0.009-0.011.
+    m = sample_mismatch(256 * 128, row_width=256, rng=3)
+    result = morans_i(m, grid_shape=(128, 256))
+    assert 0.001 < result.statistic < 0.03
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        dict(n_cells=0),
+        dict(n_cells=10, correlated_share=1.0),
+        dict(n_cells=10, correlated_share=-0.1),
+        dict(n_cells=10, row_width=0),
+    ],
+)
+def test_invalid_arguments(kwargs):
+    with pytest.raises(ConfigurationError):
+        sample_mismatch(**kwargs)
+
+
+def test_dtype_is_float32():
+    assert sample_mismatch(16, rng=0).dtype == np.float32

@@ -1,0 +1,65 @@
+"""Integration tests for the footnote-2 PUF cloning attack."""
+
+import pytest
+
+from repro.device import make_device
+from repro.errors import ConfigurationError
+from repro.puf import SramPuf, clone_power_on_state, degrade_puf
+
+
+@pytest.fixture
+def victim_fingerprint():
+    victim = make_device("MSP432P401", rng=51, sram_kib=1)
+    return SramPuf(victim).response()
+
+
+class TestClone:
+    def test_clone_approaches_fingerprint(self, victim_fingerprint):
+        blank = make_device("MSP432P401", rng=52, sram_kib=1)
+        result = clone_power_on_state(victim_fingerprint, blank)
+        # Pre-attack: unrelated devices sit at ~50%.
+        assert result.baseline_distance == pytest.approx(0.5, abs=0.04)
+        # Post-attack: the clone sits at the channel's error floor (~6.5%).
+        assert result.clone_distance < 0.10
+        assert result.cloned_fraction > 0.90
+
+    def test_clone_fools_authentication(self, victim_fingerprint):
+        blank = make_device("MSP432P401", rng=53, sram_kib=1)
+        result = clone_power_on_state(victim_fingerprint, blank)
+        assert result.fools_threshold(0.20)
+
+    def test_short_stress_clones_less(self, victim_fingerprint):
+        quick = clone_power_on_state(
+            victim_fingerprint,
+            make_device("MSP432P401", rng=54, sram_kib=1),
+            stress_hours=2.0,
+        )
+        slow = clone_power_on_state(
+            victim_fingerprint,
+            make_device("MSP432P401", rng=55, sram_kib=1),
+            stress_hours=10.0,
+        )
+        assert slow.clone_distance < quick.clone_distance
+
+    def test_size_mismatch_rejected(self, victim_fingerprint):
+        blank = make_device("MSP432P401", rng=56, sram_kib=2)
+        with pytest.raises(ConfigurationError):
+            clone_power_on_state(victim_fingerprint, blank)
+
+
+class TestDenialOfService:
+    def test_aging_bricks_the_puf(self):
+        device = make_device("MSP432P401", rng=57, sram_kib=1)
+        puf = SramPuf(device)
+        enrollment = puf.enroll()
+        before, after = degrade_puf(device, enrollment, stress_hours=4.0)
+        assert before < 0.05
+        assert after > 0.30
+        ok, _ = puf.authenticate(enrollment)
+        assert not ok
+
+    def test_stress_hours_validated(self):
+        device = make_device("MSP432P401", rng=58, sram_kib=1)
+        enrollment = SramPuf(device).enroll()
+        with pytest.raises(ConfigurationError):
+            degrade_puf(device, enrollment, stress_hours=0.0)

@@ -1,0 +1,80 @@
+"""Unit tests for the fuzzy extractor."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.puf import FuzzyExtractor
+
+
+@pytest.fixture
+def extractor():
+    return FuzzyExtractor(copies=15, secret_bits=64)
+
+
+def make_response(size, seed=0):
+    return np.random.default_rng(seed).integers(0, 2, size).astype(np.uint8)
+
+
+class TestGenerateReproduce:
+    def test_clean_reproduction(self, extractor):
+        response = make_response(extractor.response_bits)
+        key, helper = extractor.generate(response, rng=1)
+        assert extractor.reproduce(response, helper) == key
+        assert len(key) == 32  # SHA-256
+
+    def test_noisy_reproduction_within_radius(self, extractor):
+        response = make_response(extractor.response_bits, seed=2)
+        key, helper = extractor.generate(response, rng=3)
+        rng = np.random.default_rng(4)
+        noisy = response ^ (rng.random(response.size) < 0.05).astype(np.uint8)
+        assert extractor.reproduce(noisy, helper) == key
+
+    def test_reproduction_fails_far_outside_radius(self, extractor):
+        response = make_response(extractor.response_bits, seed=5)
+        key, helper = extractor.generate(response, rng=6)
+        stranger = make_response(extractor.response_bits, seed=7)
+        assert extractor.reproduce(stranger, helper) != key
+
+    def test_helper_data_does_not_leak_key(self, extractor):
+        """Different responses, same helper shape; keys unrelated."""
+        r1 = make_response(extractor.response_bits, seed=8)
+        r2 = make_response(extractor.response_bits, seed=9)
+        k1, h1 = extractor.generate(r1, rng=10)
+        k2, h2 = extractor.generate(r2, rng=10)  # same secret rng!
+        # Same secret but different responses -> different helper offsets.
+        assert not np.array_equal(h1.offset, h2.offset)
+        assert k1 == k2  # keys derive from the secret only
+
+    def test_keys_differ_for_different_secrets(self, extractor):
+        response = make_response(extractor.response_bits, seed=11)
+        k1, _ = extractor.generate(response, rng=1)
+        k2, _ = extractor.generate(response, rng=2)
+        assert k1 != k2
+
+
+class TestValidation:
+    def test_short_response_rejected(self, extractor):
+        with pytest.raises(ConfigurationError):
+            extractor.generate(make_response(10))
+
+    def test_mismatched_helper_rejected(self, extractor):
+        response = make_response(extractor.response_bits, seed=12)
+        _, helper = extractor.generate(response, rng=0)
+        other = FuzzyExtractor(copies=7, secret_bits=64)
+        with pytest.raises(ConfigurationError):
+            other.reproduce(response[: other.response_bits], helper)
+
+    def test_secret_bits_validated(self):
+        with pytest.raises(ConfigurationError):
+            FuzzyExtractor(secret_bits=10)
+
+
+class TestFailureModel:
+    def test_failure_probability_monotone(self, extractor):
+        probs = [extractor.failure_probability(p) for p in (0.01, 0.05, 0.2)]
+        assert probs == sorted(probs)
+
+    def test_puf_noise_regime_is_safe(self, extractor):
+        # 2% response noise with 15 copies: essentially never fails.
+        assert extractor.failure_probability(0.02) < 1e-7

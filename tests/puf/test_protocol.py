@@ -1,0 +1,111 @@
+"""Unit tests for the CRP authentication protocol."""
+
+import numpy as np
+import pytest
+
+from repro.device import make_device
+from repro.errors import ConfigurationError
+from repro.puf import SramPuf, clone_power_on_state
+from repro.puf.protocol import Challenge, PufVerifier, ReplayAttacker
+
+
+@pytest.fixture
+def provisioned():
+    device = make_device("MSP432P401", rng=201, sram_kib=2)
+    puf = SramPuf(device)
+    verifier = PufVerifier(rng=7)
+    db = verifier.enroll(puf, n_challenges=8, challenge_bits=512)
+    return verifier, db, puf
+
+
+class TestHappyPath:
+    def test_legitimate_device_authenticates(self, provisioned):
+        verifier, db, puf = provisioned
+        challenge = verifier.issue_challenge(db)
+        response = puf.response(challenge.offset, challenge.length)
+        ok, distance = verifier.verify(db, challenge, response)
+        assert ok
+        assert distance < 0.05
+
+    def test_challenges_never_reused(self, provisioned):
+        verifier, db, _ = provisioned
+        issued = {verifier.issue_challenge(db) for _ in range(8)}
+        assert len(issued) == 8
+        with pytest.raises(ConfigurationError):
+            verifier.issue_challenge(db)
+
+    def test_remaining_counter(self, provisioned):
+        verifier, db, _ = provisioned
+        assert db.remaining == 8
+        verifier.issue_challenge(db)
+        assert db.remaining == 7
+
+
+class TestAdversaries:
+    def test_impostor_device_rejected(self, provisioned):
+        verifier, db, _ = provisioned
+        impostor = SramPuf(make_device("MSP432P401", rng=202, sram_kib=2))
+        challenge = verifier.issue_challenge(db)
+        response = impostor.response(challenge.offset, challenge.length)
+        ok, distance = verifier.verify(db, challenge, response)
+        assert not ok
+        assert distance > 0.4
+
+    def test_replay_fails_on_fresh_challenge(self, provisioned):
+        verifier, db, puf = provisioned
+        attacker = ReplayAttacker()
+        # The attacker records one legitimate session...
+        seen = verifier.issue_challenge(db)
+        attacker.observe(seen, puf.response(seen.offset, seen.length))
+        # ...but the next session uses a fresh challenge.
+        fresh = verifier.issue_challenge(db)
+        assert attacker.respond(fresh) is None
+
+    def test_clone_answers_unseen_challenges(self, provisioned):
+        """The footnote-2 attack beats replay protection: a *physical*
+        clone computes responses to challenges nobody ever transmitted."""
+        verifier, db, puf = provisioned
+        fingerprint = puf.response()
+        blank = make_device("MSP432P401", rng=203, sram_kib=2)
+        clone_power_on_state(fingerprint, blank)
+        clone = SramPuf(blank)
+
+        challenge = verifier.issue_challenge(db)  # never seen by anyone
+        response = clone.response(challenge.offset, challenge.length)
+        ok, distance = verifier.verify(db, challenge, response)
+        assert ok  # the protocol cannot tell the clone from the victim
+        assert distance < 0.20
+
+    def test_wrong_size_response_rejected(self, provisioned):
+        verifier, db, _ = provisioned
+        challenge = verifier.issue_challenge(db)
+        ok, distance = verifier.verify(
+            db, challenge, np.zeros(challenge.length // 2, dtype=np.uint8)
+        )
+        assert not ok
+        assert distance == 1.0
+
+
+class TestValidation:
+    def test_bad_challenge_geometry(self):
+        with pytest.raises(ConfigurationError):
+            Challenge(offset=-1, length=8)
+        with pytest.raises(ConfigurationError):
+            Challenge(offset=0, length=0)
+
+    def test_bad_threshold(self):
+        with pytest.raises(ConfigurationError):
+            PufVerifier(threshold=0.6)
+
+    def test_unknown_challenge_rejected(self, provisioned):
+        verifier, db, _ = provisioned
+        with pytest.raises(ConfigurationError):
+            verifier.verify(
+                db, Challenge(offset=1, length=3),
+                np.zeros(3, dtype=np.uint8),
+            )
+
+    def test_oversize_challenge_bits(self, provisioned):
+        verifier, _, puf = provisioned
+        with pytest.raises(ConfigurationError):
+            verifier.enroll(puf, challenge_bits=10**9)

@@ -1,0 +1,90 @@
+"""Unit tests for the SRAM PUF primitive."""
+
+import pytest
+
+from repro.device import make_device
+from repro.errors import ConfigurationError
+from repro.puf import SramPuf, inter_device_distance, intra_device_distance
+
+
+@pytest.fixture
+def device():
+    return make_device("MSP432P401", rng=41, sram_kib=2)
+
+
+@pytest.fixture
+def puf(device):
+    return SramPuf(device)
+
+
+class TestResponses:
+    def test_response_is_reproducible(self, puf):
+        a = puf.response()
+        b = puf.response()
+        assert (a != b).mean() < 0.02  # majority-voted: very stable
+
+    def test_raw_response_is_noisier_than_voted(self, puf):
+        voted_a, voted_b = puf.response(), puf.response()
+        raw_a, raw_b = puf.raw_response(), puf.raw_response()
+        assert (raw_a != raw_b).mean() >= (voted_a != voted_b).mean()
+
+    def test_challenge_ranges(self, puf):
+        r = puf.response(offset=64, length=256)
+        assert r.size == 256
+
+    def test_challenge_bounds_validated(self, puf):
+        with pytest.raises(ConfigurationError):
+            puf.response(offset=-1)
+        with pytest.raises(ConfigurationError):
+            puf.response(offset=0, length=10**9)
+
+    def test_even_captures_rejected(self, device):
+        with pytest.raises(ConfigurationError):
+            SramPuf(device, n_captures=4)
+
+
+class TestAuthentication:
+    def test_self_authenticates(self, puf):
+        enrollment = puf.enroll()
+        ok, distance = puf.authenticate(enrollment)
+        assert ok
+        assert distance < 0.05
+
+    def test_impostor_rejected(self, puf):
+        enrollment = puf.enroll()
+        impostor = SramPuf(make_device("MSP432P401", rng=42, sram_kib=2))
+        ok, distance = impostor.authenticate(enrollment)
+        assert not ok
+        assert distance > 0.4
+
+    def test_size_mismatch_rejected(self, puf):
+        enrollment = puf.enroll()
+        other = SramPuf(make_device("MSP432P401", rng=43, sram_kib=1))
+        with pytest.raises(ConfigurationError):
+            other.authenticate(enrollment)
+
+    def test_threshold_validated(self, puf):
+        enrollment = puf.enroll()
+        with pytest.raises(ConfigurationError):
+            puf.authenticate(enrollment, threshold=0.8)
+
+
+class TestDistanceStatistics:
+    def test_intra_device_small(self, device):
+        assert intra_device_distance(device) < 0.05
+
+    def test_inter_device_near_half(self):
+        a = make_device("MSP432P401", rng=44, sram_kib=2)
+        b = make_device("MSP432P401", rng=45, sram_kib=2)
+        assert inter_device_distance(a, b) == pytest.approx(0.5, abs=0.03)
+
+    def test_gap_supports_thresholding(self, device):
+        """The whole point: intra << threshold << inter."""
+        other = make_device("MSP432P401", rng=46, sram_kib=2)
+        intra = intra_device_distance(device)
+        inter = inter_device_distance(device, other)
+        assert intra < 0.20 < inter
+
+    def test_trials_validated(self, device):
+        with pytest.raises(ConfigurationError):
+            intra_device_distance(device, trials=1)

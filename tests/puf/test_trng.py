@@ -1,0 +1,76 @@
+"""Unit tests for the power-on TRNG."""
+
+import numpy as np
+import pytest
+
+from repro.bitutils import bytes_to_bits
+from repro.device import make_device
+from repro.errors import ConfigurationError
+from repro.puf import PowerOnTrng
+from repro.puf.trng import von_neumann_extract
+from repro.stats.randomness import run_battery
+
+
+class TestVonNeumann:
+    def test_known_pairs(self):
+        bits = np.array([0, 1, 1, 0, 0, 0, 1, 1], dtype=np.uint8)
+        assert von_neumann_extract(bits).tolist() == [0, 1]
+
+    def test_output_unbiased_from_biased_input(self):
+        rng = np.random.default_rng(0)
+        biased = (rng.random(200_000) < 0.3).astype(np.uint8)
+        out = von_neumann_extract(biased)
+        assert out.mean() == pytest.approx(0.5, abs=0.01)
+
+    def test_constant_input_yields_nothing(self):
+        assert von_neumann_extract(np.ones(100, dtype=np.uint8)).size == 0
+
+    def test_odd_length_handled(self):
+        bits = np.array([0, 1, 1], dtype=np.uint8)
+        assert von_neumann_extract(bits).tolist() == [0]
+
+
+class TestTrng:
+    @pytest.fixture
+    def trng(self):
+        device = make_device("MSP432P401", rng=61, sram_kib=4)
+        trng = PowerOnTrng(device)
+        trng.characterize()
+        return trng
+
+    def test_characterization_finds_noisy_cells(self, trng):
+        # A few percent of cells are metastable at sigma_noise = 0.05.
+        fraction = trng.noisy_cell_count / trng.device.sram.n_bits
+        assert 0.005 < fraction < 0.15
+
+    def test_raw_bits_come_from_noisy_cells_only(self, trng):
+        raw = trng.raw_bits()
+        assert raw.size == trng.noisy_cell_count
+
+    def test_random_bytes_pass_battery(self, trng):
+        data = trng.random_bytes(256)
+        assert len(data) == 256
+        for verdict in run_battery(bytes_to_bits(data)):
+            assert verdict.passed, verdict
+
+    def test_streams_differ_between_calls(self, trng):
+        assert trng.random_bytes(32) != trng.random_bytes(32)
+
+    def test_requires_characterization(self):
+        device = make_device("MSP432P401", rng=62, sram_kib=1)
+        trng = PowerOnTrng(device)
+        with pytest.raises(ConfigurationError):
+            trng.raw_bits()
+        with pytest.raises(ConfigurationError):
+            _ = trng.noisy_cell_count
+
+    def test_validation(self):
+        device = make_device("MSP432P401", rng=63, sram_kib=1)
+        with pytest.raises(ConfigurationError):
+            PowerOnTrng(device, characterization_captures=2)
+        with pytest.raises(ConfigurationError):
+            PowerOnTrng(device, min_flip_fraction=0.0)
+        trng = PowerOnTrng(device)
+        trng.characterize()
+        with pytest.raises(ConfigurationError):
+            trng.random_bytes(0)

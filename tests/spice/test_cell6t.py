@@ -1,0 +1,58 @@
+"""Unit tests for the 6T cell netlist."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.physics.mosfet import MOSFET, MOSType
+from repro.spice.cell6t import Cell6T, CellTransistors
+
+
+@pytest.fixture
+def cell():
+    return Cell6T.predictive_45nm(m4_vth_offset=-0.03)
+
+
+def test_factory_builds_valid_cell(cell):
+    assert cell.transistors.m4_pmos.vth == pytest.approx(0.32)
+    assert cell.transistors.m2_pmos.vth == pytest.approx(0.35)
+
+
+def test_wrong_polarity_rejected():
+    n = MOSFET(MOSType.NMOS, 0.35, 1e-4)
+    p = MOSFET(MOSType.PMOS, 0.35, 1e-4)
+    with pytest.raises(ConfigurationError):
+        CellTransistors(m1_nmos=p, m2_pmos=p, m3_nmos=n, m4_pmos=p)
+
+
+def test_nonpositive_capacitance_rejected(cell):
+    with pytest.raises(ConfigurationError):
+        Cell6T(transistors=cell.transistors, node_capacitance_f=0.0)
+
+
+def test_aging_returns_new_cell(cell):
+    aged = cell.aged(m4_delta=0.08)
+    assert aged is not cell
+    assert aged.transistors.m4_pmos.vth == pytest.approx(0.40)
+    assert cell.transistors.m4_pmos.vth == pytest.approx(0.32)
+
+
+class TestNodeDerivatives:
+    def test_grounded_cell_unpowered_is_static(self, cell):
+        da, db = cell.node_derivatives(0.0, 0.0, 0.0)
+        assert da == 0.0 and db == 0.0
+
+    def test_pullup_charges_low_node(self, cell):
+        # Node B low, node A low, rail high: both pull-ups fight to charge.
+        da, db = cell.node_derivatives(0.0, 0.0, 1.0)
+        assert da > 0 and db > 0
+
+    def test_stronger_pullup_charges_faster(self, cell):
+        # M4 (driving A) has the lower |vth|: node A must charge faster.
+        da, db = cell.node_derivatives(0.0, 0.0, 1.0)
+        assert da > db
+
+    def test_stable_state_is_self_reinforcing(self, cell):
+        # A=1, B=0 is a stable latch point: derivatives push toward rails.
+        da, db = cell.node_derivatives(1.0, 0.0, 1.0)
+        assert da >= 0.0
+        assert db <= 0.0

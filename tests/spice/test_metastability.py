@@ -1,0 +1,45 @@
+"""Metastability at the circuit level: the perfectly symmetric cell.
+
+The bit-level simulator's "noisy cells" are the ones whose offsets sit near
+zero; at circuit level the same cells are the ones whose power-up race has
+no winner within the transient window.  This test pins the correspondence.
+"""
+
+import pytest
+
+from repro.spice import Cell6T, simulate_power_up
+
+
+def test_perfectly_symmetric_cell_is_metastable():
+    cell = Cell6T.predictive_45nm()  # zero mismatch anywhere
+    result = simulate_power_up(cell)
+    # With literally identical inverters the deterministic solver cannot
+    # break the tie: both nodes track together and never separate.
+    assert not result.resolved
+
+
+def test_tiny_mismatch_resolves_slowly():
+    """Near-metastable cells resolve, but later than healthy ones —
+    the physical origin of power-up noise sensitivity."""
+    marginal = Cell6T.predictive_45nm(m4_vth_offset=-0.002)
+    healthy = Cell6T.predictive_45nm(m4_vth_offset=-0.05)
+    t_marginal = simulate_power_up(marginal, duration_s=20e-9)
+    t_healthy = simulate_power_up(healthy)
+    assert t_healthy.resolved
+    if t_marginal.resolved:
+        assert t_marginal.settle_time_s >= t_healthy.settle_time_s
+
+
+def test_mismatch_threshold_for_resolution():
+    """Sweep mismatch: the race outcome is deterministic once mismatch
+    clears the metastable window."""
+    outcomes = []
+    for mv in (0.005, 0.01, 0.03, 0.06):
+        result = simulate_power_up(
+            Cell6T.predictive_45nm(m4_vth_offset=-mv), duration_s=10e-9
+        )
+        outcomes.append((mv, result.resolved, result.power_on_state))
+    resolved = [o for o in outcomes if o[1]]
+    assert resolved, "at least the large-mismatch cells must resolve"
+    # Every resolved cell lands on the M4-advantage outcome: state 1.
+    assert all(state == 1 for _, _, state in resolved)

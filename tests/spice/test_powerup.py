@@ -1,0 +1,56 @@
+"""Power-up race experiments: the Figure 2 behaviour at circuit level."""
+
+import pytest
+
+from repro.spice import Cell6T, simulate_power_up
+
+
+def test_m4_advantage_powers_on_to_one():
+    """Paper §2.1: M4 turning on first pulls node A to Vdd -> state 1."""
+    cell = Cell6T.predictive_45nm(m4_vth_offset=-0.03)
+    result = simulate_power_up(cell)
+    assert result.resolved
+    assert result.power_on_state == 1
+
+
+def test_m2_advantage_powers_on_to_zero():
+    cell = Cell6T.predictive_45nm(m2_vth_offset=-0.03)
+    result = simulate_power_up(cell)
+    assert result.resolved
+    assert result.power_on_state == 0
+
+
+def test_aging_flips_the_race_figure_2b():
+    """The paper's core mechanism: NBTI-age the winning pull-up (M4) until
+    the other inverter wins the power-up race."""
+    cell = Cell6T.predictive_45nm(m4_vth_offset=-0.03)
+    assert simulate_power_up(cell).power_on_state == 1
+    aged = cell.aged(m4_delta=0.08)  # stress while the cell holds 1
+    result = simulate_power_up(aged)
+    assert result.resolved
+    assert result.power_on_state == 0
+
+
+def test_aged_cell_settles_later_than_fresh():
+    """Figure 2b's red waveforms settle later: the aged pull-up is slower."""
+    fresh = Cell6T.predictive_45nm(m4_vth_offset=-0.03)
+    slightly_aged = fresh.aged(m4_delta=0.02)  # not enough to flip
+    t_fresh = simulate_power_up(fresh).settle_time_s
+    t_aged = simulate_power_up(slightly_aged).settle_time_s
+    assert simulate_power_up(slightly_aged).power_on_state == 1
+    assert t_aged >= t_fresh
+
+
+def test_settle_time_within_nanoseconds():
+    """Paper: 'after 2 ns of powering the cell up, nodes settle'."""
+    cell = Cell6T.predictive_45nm(m4_vth_offset=-0.03)
+    result = simulate_power_up(cell)
+    assert result.settle_time_s < 5e-9
+
+
+def test_waveform_rows_exported():
+    cell = Cell6T.predictive_45nm(m4_vth_offset=-0.03)
+    rows = simulate_power_up(cell).waveform_rows()
+    assert len(rows) > 100
+    t, vdd, va, vb = rows[-1]
+    assert vdd == pytest.approx(1.0)

@@ -1,0 +1,59 @@
+"""Unit tests for the fixed-step transient solver."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.spice.cell6t import Cell6T
+from repro.spice.components import RampSupply
+from repro.spice.transient import TransientSolver
+
+
+@pytest.fixture
+def cell():
+    return Cell6T.predictive_45nm(m4_vth_offset=-0.03)
+
+
+def test_ramp_supply_profile():
+    supply = RampSupply(vdd=1.0, ramp_s=1e-9)
+    assert supply.voltage(-1.0) == 0.0
+    assert supply.voltage(0.5e-9) == pytest.approx(0.5)
+    assert supply.voltage(5e-9) == 1.0
+
+
+def test_ramp_supply_validation():
+    with pytest.raises(ConfigurationError):
+        RampSupply(vdd=0.0, ramp_s=1e-9)
+    with pytest.raises(ConfigurationError):
+        RampSupply(vdd=1.0, ramp_s=0.0)
+
+
+def test_solver_output_shapes(cell):
+    solver = TransientSolver(dt_s=1e-11)
+    t, vdd, va, vb = solver.run(cell, RampSupply(1.0, 1e-9), 2e-9)
+    assert t.shape == vdd.shape == va.shape == vb.shape
+    assert t[0] == 0.0
+    assert t[-1] == pytest.approx(2e-9)
+
+
+def test_nodes_stay_within_rails(cell):
+    solver = TransientSolver(dt_s=1e-11)
+    t, vdd, va, vb = solver.run(cell, RampSupply(1.0, 1e-9), 5e-9)
+    assert np.all(va >= 0.0) and np.all(vb >= 0.0)
+    assert np.all(va <= vdd + 1e-12) and np.all(vb <= vdd + 1e-12)
+
+
+def test_race_resolves_to_complementary_rails(cell):
+    solver = TransientSolver(dt_s=1e-11)
+    _, _, va, vb = solver.run(cell, RampSupply(1.0, 1e-9), 5e-9)
+    assert va[-1] > 0.9
+    assert vb[-1] < 0.1
+
+
+def test_solver_validation(cell):
+    with pytest.raises(ConfigurationError):
+        TransientSolver(dt_s=0.0)
+    with pytest.raises(ConfigurationError):
+        TransientSolver(max_step_v=0.0)
+    with pytest.raises(ConfigurationError):
+        TransientSolver().run(cell, RampSupply(1.0, 1e-9), 0.0)

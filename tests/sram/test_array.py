@@ -1,0 +1,231 @@
+"""Unit tests for the SRAM array simulator — the core substrate."""
+
+import numpy as np
+import pytest
+
+from repro.bitutils import bit_error_rate, invert_bits, majority_vote
+from repro.errors import ConfigurationError, OverstressError, PowerError
+from repro.sram import SRAMArray
+from repro.units import celsius_to_kelvin, days, hours
+
+
+@pytest.fixture
+def array(msp432_profile):
+    return SRAMArray.from_kib(1, msp432_profile, rng=42)
+
+
+def encode(arr, payload, stress_h=10.0):
+    """Write payload, stress at the MSP432 recipe, power down."""
+    arr.apply_power()
+    arr.write(payload)
+    arr.set_ambient(celsius_to_kelvin(85.0))
+    arr.set_voltage(3.3)
+    arr.hold(hours(stress_h))
+    arr.remove_power()
+    arr.set_ambient(celsius_to_kelvin(25.0))
+
+
+def decoded_error(arr, payload, captures=5):
+    state = majority_vote(arr.capture_power_on_states(captures))
+    arr.remove_power()
+    return bit_error_rate(payload, invert_bits(state))
+
+
+class TestConstruction:
+    def test_sizes(self, msp432_profile):
+        arr = SRAMArray.from_kib(2, msp432_profile, rng=0)
+        assert arr.n_bits == 16384
+        assert arr.n_bytes == 2048
+
+    def test_rejects_bad_sizes(self, msp432_profile):
+        with pytest.raises(ConfigurationError):
+            SRAMArray(0, msp432_profile)
+        with pytest.raises(ConfigurationError):
+            SRAMArray(8, msp432_profile, row_width=0)
+
+    def test_same_seed_same_variation(self, msp432_profile):
+        a = SRAMArray(1024, msp432_profile, rng=7)
+        b = SRAMArray(1024, msp432_profile, rng=7)
+        assert np.array_equal(a.mismatch, b.mismatch)
+
+    def test_grid_shape_covers_all_cells(self, array):
+        rows, cols = array.grid_shape()
+        assert rows * cols >= array.n_bits
+
+
+class TestPowerDiscipline:
+    def test_unpowered_operations_rejected(self, array):
+        with pytest.raises(PowerError):
+            array.read()
+        with pytest.raises(PowerError):
+            array.write(np.zeros(8, dtype=np.uint8))
+        with pytest.raises(PowerError):
+            array.hold(1.0)
+        with pytest.raises(PowerError):
+            array.remove_power()
+
+    def test_double_power_rejected(self, array):
+        array.apply_power()
+        with pytest.raises(PowerError):
+            array.apply_power()
+
+    def test_shelve_requires_power_off(self, array):
+        array.apply_power()
+        with pytest.raises(PowerError):
+            array.shelve(10.0)
+
+    def test_overstress_guard(self, array):
+        array.apply_power()
+        with pytest.raises(OverstressError):
+            array.set_voltage(10.0)
+        with pytest.raises(OverstressError):
+            array.set_ambient(celsius_to_kelvin(200.0))
+
+
+class TestMemoryOperations:
+    def test_write_read_round_trip(self, array, random_payload):
+        data = random_payload(array.n_bits)
+        array.apply_power()
+        array.write(data)
+        assert np.array_equal(array.read(), data)
+
+    def test_partial_write_at_offset(self, array):
+        array.apply_power()
+        array.write(np.ones(16, dtype=np.uint8), bit_offset=100)
+        assert array.read(16, bit_offset=100).tolist() == [1] * 16
+
+    def test_out_of_bounds_write(self, array):
+        array.apply_power()
+        with pytest.raises(ConfigurationError):
+            array.write(np.ones(16, dtype=np.uint8), bit_offset=array.n_bits - 8)
+
+    def test_fill(self, array):
+        array.apply_power()
+        array.fill(1)
+        assert array.read().all()
+        array.fill(0)
+        assert not array.read().any()
+        with pytest.raises(ConfigurationError):
+            array.fill(2)
+
+    def test_reads_do_not_disturb_analog_state(self, array):
+        array.apply_power()
+        offsets_before = array.offsets().copy()
+        for _ in range(10):
+            array.read()
+        assert np.array_equal(array.offsets(), offsets_before)
+
+
+class TestPowerOnBehaviour:
+    def test_fresh_array_is_roughly_unbiased(self, msp432_profile):
+        arr = SRAMArray.from_kib(8, msp432_profile, rng=1)
+        state = arr.apply_power()
+        assert state.mean() == pytest.approx(0.5, abs=0.02)
+
+    def test_power_on_mostly_stable_across_cycles(self, array):
+        caps = array.capture_power_on_states(2)
+        flips = bit_error_rate(caps[0], caps[1])
+        # Only the symmetric (noisy) cells flip: a few percent.
+        assert flips < 0.10
+
+    def test_majority_voting_filters_noise(self, msp432_profile):
+        arr = SRAMArray.from_kib(2, msp432_profile, rng=3)
+        votes_a = majority_vote(arr.capture_power_on_states(5))
+        arr.remove_power()
+        votes_b = majority_vote(arr.capture_power_on_states(5))
+        assert bit_error_rate(votes_a, votes_b) < bit_error_rate(
+            arr.capture_power_on_states(1)[0],
+            votes_a,
+        )
+
+
+class TestDataDirectedAging:
+    def test_stress_biases_complement(self, array):
+        """Paper §2.2: stressing with a value biases power-on to ~value."""
+        array.apply_power()
+        array.fill(1)
+        array.set_ambient(celsius_to_kelvin(85.0))
+        array.set_voltage(3.3)
+        array.hold(hours(4))
+        array.remove_power()
+        array.set_ambient(celsius_to_kelvin(25.0))
+        state = array.apply_power()
+        assert state.mean() < 0.3  # mostly 0s after all-1s stress
+
+    def test_encode_decode_error_near_recipe(self, msp432_profile, random_payload):
+        arr = SRAMArray.from_kib(4, msp432_profile, rng=11)
+        payload = random_payload(arr.n_bits, seed=2)
+        encode(arr, payload)
+        err = decoded_error(arr, payload)
+        assert err == pytest.approx(0.065, abs=0.01)
+
+    def test_longer_stress_lower_error(self, msp432_profile, random_payload):
+        errors = []
+        for stress_h in (2.0, 10.0):
+            arr = SRAMArray.from_kib(2, msp432_profile, rng=5)
+            payload = random_payload(arr.n_bits, seed=3)
+            encode(arr, payload, stress_h=stress_h)
+            errors.append(decoded_error(arr, payload))
+        assert errors[1] < errors[0]
+
+    def test_nominal_conditions_barely_age(self, msp432_profile, random_payload):
+        """Figure 3d's bottom curve: nominal V/T stress does ~nothing."""
+        arr = SRAMArray.from_kib(1, msp432_profile, rng=5)
+        payload = random_payload(arr.n_bits, seed=3)
+        arr.apply_power()
+        arr.write(payload)
+        arr.hold(hours(4))  # nominal 1.2 V / 25 C
+        arr.remove_power()
+        err = decoded_error(arr, payload)
+        assert err == pytest.approx(0.5, abs=0.05)  # still a coin flip
+
+
+class TestRecovery:
+    def test_shelving_increases_error(self, msp432_profile, random_payload):
+        arr = SRAMArray.from_kib(2, msp432_profile, rng=9)
+        payload = random_payload(arr.n_bits, seed=4)
+        encode(arr, payload)
+        base = decoded_error(arr, payload)
+        arr.shelve(days(30))
+        after = decoded_error(arr, payload)
+        assert 1.2 < after / base < 2.2
+
+    def test_operation_recovers_slower_than_shelf(
+        self, msp432_profile, random_payload
+    ):
+        """§5.1.4: a week of use costs less than a week on the shelf."""
+        results = {}
+        for mode in ("shelf", "operate"):
+            arr = SRAMArray.from_kib(2, msp432_profile, rng=13)
+            payload = random_payload(arr.n_bits, seed=5)
+            encode(arr, payload)
+            base = decoded_error(arr, payload)
+            if mode == "shelf":
+                arr.shelve(days(7))
+            else:
+                arr.apply_power()
+                arr.operate(days(7))
+                arr.remove_power()
+            results[mode] = decoded_error(arr, payload) / base
+        assert 1.0 < results["operate"] < results["shelf"]
+
+
+class TestRemanenceIntegration:
+    def test_drained_cycle_forgets_contents(self, array, random_payload):
+        data = random_payload(array.n_bits, seed=6)
+        array.apply_power()
+        array.write(data)
+        array.remove_power(drain=True)
+        array.shelve(0.001)
+        state = array.apply_power()
+        # Fresh power-on state: uncorrelated with the written data.
+        assert bit_error_rate(data, state) == pytest.approx(0.5, abs=0.05)
+
+    def test_undrained_fast_cycle_remembers(self, array, random_payload):
+        data = random_payload(array.n_bits, seed=6)
+        array.apply_power()
+        array.write(data)
+        array.remove_power(drain=False)
+        array.shelve(0.001)  # 1 ms gap, tau = 0.25 s
+        state = array.apply_power()
+        assert bit_error_rate(data, state) < 0.05

@@ -1,0 +1,104 @@
+"""Unit tests for the data-retention-voltage model."""
+
+import numpy as np
+import pytest
+
+from repro.bitutils import bit_error_rate
+from repro.errors import ConfigurationError, PowerError
+from repro.sram import SRAMArray
+from repro.sram.drv import apply_brownout, cell_drv, drv_fingerprint, retention_failures
+from repro.units import celsius_to_kelvin, hours
+
+
+@pytest.fixture
+def array(msp432_profile):
+    return SRAMArray.from_kib(1, msp432_profile, rng=99)
+
+
+class TestDrvSpectrum:
+    def test_drv_below_nominal(self, array):
+        drv = cell_drv(array)
+        assert np.all(drv < array.technology.vdd_nominal)
+        assert np.all(drv > 0)
+
+    def test_mismatched_cells_have_higher_drv(self, array):
+        drv = cell_drv(array)
+        offsets = np.abs(array.offsets())
+        # Strongly mismatched decile retains worse than the symmetric decile.
+        hi = drv[offsets > np.quantile(offsets, 0.9)].mean()
+        lo = drv[offsets < np.quantile(offsets, 0.1)].mean()
+        assert hi > lo
+
+    def test_aging_raises_drv(self, array, random_payload):
+        before = cell_drv(array).mean()
+        array.apply_power()
+        array.write(random_payload(array.n_bits, seed=1))
+        array.set_ambient(celsius_to_kelvin(85.0))
+        array.set_voltage(3.3)
+        array.hold(hours(10))
+        array.remove_power()
+        after = cell_drv(array).mean()
+        assert after > before
+
+    def test_validation(self, array):
+        with pytest.raises(ConfigurationError):
+            cell_drv(array, drv_nominal_fraction=0.0)
+        with pytest.raises(ConfigurationError):
+            cell_drv(array, drv_spread_fraction=-0.1)
+
+
+class TestBrownout:
+    def test_full_voltage_no_failures(self, array, random_payload):
+        array.apply_power()
+        array.write(random_payload(array.n_bits, seed=2))
+        lost = apply_brownout(array, array.technology.vdd_nominal)
+        assert lost == 0
+
+    def test_deep_droop_loses_everything(self, array, random_payload):
+        data = random_payload(array.n_bits, seed=3)
+        array.apply_power()
+        array.write(data)
+        lost = apply_brownout(array, 0.05)
+        assert lost == array.n_bits
+        # Contents collapsed to the power-on preference: ~50% corrupted.
+        assert bit_error_rate(data, array.read()) == pytest.approx(0.5, abs=0.05)
+
+    def test_partial_droop_partial_loss(self, array, random_payload):
+        data = random_payload(array.n_bits, seed=4)
+        array.apply_power()
+        array.write(data)
+        drv = cell_drv(array)
+        lost = apply_brownout(array, float(np.quantile(drv, 0.5)))
+        assert 0 < lost < array.n_bits
+
+    def test_requires_power(self, array):
+        with pytest.raises(PowerError):
+            apply_brownout(array, 0.3)
+
+
+class TestFingerprint:
+    def test_fingerprint_reproducible(self, array):
+        a = drv_fingerprint(array, 0.42)
+        b = drv_fingerprint(array, 0.42)
+        assert np.array_equal(a, b)
+
+    def test_fingerprint_unique_across_devices(self, msp432_profile):
+        a = SRAMArray.from_kib(1, msp432_profile, rng=100)
+        b = SRAMArray.from_kib(1, msp432_profile, rng=101)
+        test_v = 0.43
+        fp_a = drv_fingerprint(a, test_v)
+        fp_b = drv_fingerprint(b, test_v)
+        # Distinct devices disagree on a meaningful fraction of cells.
+        assert 0.05 < bit_error_rate(fp_a, fp_b) < 0.95
+
+    def test_threshold_sweeps_monotone(self, array):
+        retained = [
+            drv_fingerprint(array, v).mean() for v in (0.38, 0.45, 0.55)
+        ]
+        assert retained == sorted(retained)
+
+    def test_validation(self, array):
+        with pytest.raises(ConfigurationError):
+            drv_fingerprint(array, 0.0)
+        with pytest.raises(ConfigurationError):
+            retention_failures(array, -1.0)

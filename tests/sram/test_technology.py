@@ -1,0 +1,52 @@
+"""Unit tests for technology profiles."""
+
+import pytest
+
+from repro.errors import ConfigurationError, OverstressError
+from repro.sram.technology import TechnologyProfile
+
+
+@pytest.fixture
+def profile():
+    return TechnologyProfile(
+        name="test90", node_nm=90, vdd_nominal=1.2, vdd_abs_max=3.8
+    )
+
+
+def test_models_constructed_from_profile(profile):
+    accel = profile.acceleration_model()
+    assert accel.vdd_nominal == 1.2
+    nbti = profile.nbti_model()
+    assert nbti.k_scale == profile.nbti_k_scale
+
+
+def test_operating_point_guard(profile):
+    profile.check_operating_point(3.3, 358.0)  # fine
+    with pytest.raises(OverstressError):
+        profile.check_operating_point(4.5, 300.0)
+    with pytest.raises(OverstressError):
+        profile.check_operating_point(1.2, 500.0)
+    with pytest.raises(ConfigurationError):
+        profile.check_operating_point(-1.0, 300.0)
+
+
+def test_with_k_scale_returns_copy(profile):
+    other = profile.with_k_scale(5e-6)
+    assert other.nbti_k_scale == 5e-6
+    assert profile.nbti_k_scale != 5e-6
+    assert other.name == profile.name
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        dict(vdd_nominal=0.0, vdd_abs_max=1.0),
+        dict(vdd_nominal=2.0, vdd_abs_max=1.0),
+        dict(vdd_nominal=1.2, vdd_abs_max=3.0, noise_sigma=-0.1),
+        dict(vdd_nominal=1.2, vdd_abs_max=3.0, correlated_share=1.5),
+        dict(vdd_nominal=1.2, vdd_abs_max=3.0, remanence_tau_s=0.0),
+    ],
+)
+def test_invalid_profiles(kwargs):
+    with pytest.raises(ConfigurationError):
+        TechnologyProfile(name="bad", node_nm=90, **kwargs)

@@ -1,0 +1,49 @@
+"""Unit tests for distribution helpers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.stats.distributions import (
+    density_histogram,
+    mean_fraction_of_ones,
+    power_on_bias,
+)
+
+
+def test_power_on_bias_extremes():
+    samples = np.array([[1, 0, 1], [1, 0, 0], [1, 0, 1]], dtype=np.uint8)
+    bias = power_on_bias(samples)
+    assert bias.tolist() == [1.0, 0.0, pytest.approx(2 / 3)]
+
+
+def test_power_on_bias_validates_shape():
+    with pytest.raises(ConfigurationError):
+        power_on_bias(np.zeros(5))
+    with pytest.raises(ConfigurationError):
+        power_on_bias(np.zeros((0, 5)))
+
+
+def test_density_histogram_sums_to_one():
+    rng = np.random.default_rng(0)
+    centres, density = density_histogram(rng.random(1000), bins=10)
+    assert centres.shape == (10,)
+    assert density.sum() == pytest.approx(1.0)
+
+
+def test_density_histogram_range():
+    values = np.array([0.1, 0.5, 0.9])
+    centres, density = density_histogram(values, bins=2, value_range=(0.0, 1.0))
+    # 0.1 falls in [0, 0.5); 0.5 and 0.9 fall in [0.5, 1.0]
+    assert density.tolist() == [pytest.approx(1 / 3), pytest.approx(2 / 3)]
+
+
+def test_density_histogram_empty_rejected():
+    with pytest.raises(ConfigurationError):
+        density_histogram(np.array([]))
+
+
+def test_mean_fraction_of_ones():
+    assert mean_fraction_of_ones(np.array([1, 1, 0, 0], dtype=np.uint8)) == 0.5
+    with pytest.raises(ConfigurationError):
+        mean_fraction_of_ones(np.zeros(0, dtype=np.uint8))

@@ -1,0 +1,70 @@
+"""Unit tests for Shannon entropy over byte symbols (Figure 12)."""
+
+import numpy as np
+import pytest
+
+from repro.bitutils import bytes_to_bits
+from repro.errors import ConfigurationError
+from repro.stats import (
+    normalized_entropy,
+    per_symbol_entropy,
+    shannon_entropy,
+    symbol_distribution,
+)
+
+
+def test_uniform_bytes_entropy_is_eight_bits():
+    bits = bytes_to_bits(bytes(range(256)) * 16)
+    assert shannon_entropy(bits) == pytest.approx(8.0)
+
+
+def test_paper_normalization_value():
+    """Paper: fresh SRAM normalized entropy ~0.0312 (= 8/256)."""
+    bits = bytes_to_bits(bytes(range(256)) * 16)
+    assert normalized_entropy(bits) == pytest.approx(0.03125)
+
+
+def test_constant_symbol_zero_entropy():
+    bits = bytes_to_bits(b"\x42" * 100)
+    assert shannon_entropy(bits) == 0.0
+
+
+def test_two_symbols_one_bit():
+    bits = bytes_to_bits(b"\x00\xff" * 50)
+    assert shannon_entropy(bits) == pytest.approx(1.0)
+
+
+def test_random_bits_approach_uniform():
+    rng = np.random.default_rng(0)
+    bits = rng.integers(0, 2, 64 * 1024 * 8).astype(np.uint8)
+    # 64 Ki symbols, like the paper's 64 KiB SRAM: near 8 bits.
+    assert shannon_entropy(bits) > 7.99
+
+
+def test_structured_payload_lower_entropy():
+    """A mostly-zero payload (plaintext with padding) drops entropy —
+    Figure 12's plain-text curve."""
+    rng = np.random.default_rng(1)
+    message = rng.integers(0, 2, 8 * 1024).astype(np.uint8)
+    padded = np.concatenate([message, np.zeros(56 * 1024, dtype=np.uint8)])
+    assert shannon_entropy(padded) < 3.0
+
+
+def test_per_symbol_contributions_sum_to_total():
+    rng = np.random.default_rng(2)
+    bits = rng.integers(0, 2, 8000).astype(np.uint8)
+    contributions = per_symbol_entropy(bits)
+    assert contributions.shape == (256,)
+    assert contributions.sum() == pytest.approx(shannon_entropy(bits))
+
+
+def test_symbol_distribution_sums_to_one():
+    bits = bytes_to_bits(b"hello world!")
+    probs = symbol_distribution(bits)
+    assert probs.sum() == pytest.approx(1.0)
+    assert probs[ord("l")] == pytest.approx(3 / 12)
+
+
+def test_partial_byte_rejected():
+    with pytest.raises(ConfigurationError):
+        shannon_entropy(np.ones(9, dtype=np.uint8))

@@ -1,0 +1,48 @@
+"""Unit tests for block Hamming-weight distributions (Figures 11/14)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.stats import block_weight_density, block_weights
+
+
+def test_block_weights_basic():
+    bits = np.concatenate(
+        [np.ones(128, dtype=np.uint8), np.zeros(128, dtype=np.uint8)]
+    )
+    assert block_weights(bits).tolist() == [128, 0]
+
+
+def test_density_sums_to_one():
+    rng = np.random.default_rng(0)
+    bits = rng.integers(0, 2, 128 * 200).astype(np.uint8)
+    axis, density = block_weight_density(bits)
+    assert axis.shape == (129,)
+    assert density.sum() == pytest.approx(1.0)
+
+
+def test_random_bits_give_binomial_bell():
+    """Fresh SRAM: weights cluster around 64 with binomial sigma ~5.66."""
+    rng = np.random.default_rng(1)
+    bits = rng.integers(0, 2, 128 * 4096).astype(np.uint8)
+    weights = block_weights(bits)
+    assert weights.mean() == pytest.approx(64.0, abs=0.5)
+    assert weights.std() == pytest.approx(np.sqrt(128 * 0.25), abs=0.5)
+
+
+def test_biased_payload_shifts_distribution():
+    rng = np.random.default_rng(2)
+    bits = (rng.random(128 * 1000) < 0.3).astype(np.uint8)
+    weights = block_weights(bits)
+    assert weights.mean() == pytest.approx(128 * 0.3, abs=1.0)
+
+
+def test_custom_block_size():
+    bits = np.ones(64, dtype=np.uint8)
+    assert block_weights(bits, block_bits=32).tolist() == [32, 32]
+
+
+def test_invalid_block_size():
+    with pytest.raises(ConfigurationError):
+        block_weight_density(np.ones(8, dtype=np.uint8), block_bits=0)

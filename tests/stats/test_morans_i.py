@@ -1,0 +1,80 @@
+"""Unit tests for Moran's I spatial autocorrelation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.stats import morans_i
+
+
+class TestKnownPatterns:
+    def test_checkerboard_is_maximally_negative(self):
+        grid = np.indices((16, 16)).sum(axis=0) % 2
+        result = morans_i(grid.astype(float))
+        assert result.statistic < -0.9
+        assert result.p_value < 1e-6
+
+    def test_half_and_half_strongly_positive(self):
+        grid = np.zeros((16, 16))
+        grid[:, 8:] = 1.0
+        result = morans_i(grid)
+        assert result.statistic > 0.7
+        assert result.p_value < 1e-6
+
+    def test_random_noise_near_expected(self):
+        rng = np.random.default_rng(0)
+        grid = rng.standard_normal((64, 64))
+        result = morans_i(grid)
+        assert abs(result.statistic - result.expected) < 0.02
+        assert result.is_spatially_random()
+
+    def test_expected_value_formula(self):
+        rng = np.random.default_rng(1)
+        result = morans_i(rng.standard_normal((10, 10)))
+        assert result.expected == pytest.approx(-1.0 / 99)
+
+
+class TestPValues:
+    def test_analytic_and_permutation_agree(self):
+        rng = np.random.default_rng(2)
+        grid = rng.standard_normal((20, 20))
+        analytic = morans_i(grid)
+        permuted = morans_i(grid, permutations=199, rng=3)
+        # Both should agree this is random noise.
+        assert analytic.p_value > 0.05
+        assert permuted.p_value > 0.05
+
+    def test_permutation_detects_structure(self):
+        grid = np.zeros((12, 12))
+        grid[:6] = 1.0
+        result = morans_i(grid, permutations=199, rng=4)
+        assert result.p_value < 0.05
+
+
+class TestInterface:
+    def test_flat_input_with_grid_shape(self):
+        rng = np.random.default_rng(5)
+        flat = rng.standard_normal(256)
+        a = morans_i(flat, grid_shape=(16, 16))
+        b = morans_i(flat.reshape(16, 16))
+        assert a.statistic == pytest.approx(b.statistic)
+
+    def test_binary_input_works(self):
+        rng = np.random.default_rng(6)
+        bits = rng.integers(0, 2, (32, 32)).astype(np.uint8)
+        result = morans_i(bits)
+        assert abs(result.statistic) < 0.1
+
+    @pytest.mark.parametrize(
+        "call",
+        [
+            lambda: morans_i(np.zeros(10)),  # flat without grid_shape
+            lambda: morans_i(np.zeros(10), grid_shape=(3, 3)),  # size mismatch
+            lambda: morans_i(np.zeros((1, 5))),  # degenerate grid
+            lambda: morans_i(np.ones((8, 8))),  # constant input
+            lambda: morans_i(np.zeros((2, 2, 2))),  # 3-D
+        ],
+    )
+    def test_invalid_inputs(self, call):
+        with pytest.raises(ConfigurationError):
+            call()

@@ -1,0 +1,93 @@
+"""Unit tests for the randomness test battery."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.stats.randomness import (
+    block_frequency_test,
+    monobit_test,
+    run_battery,
+    runs_test,
+)
+
+
+@pytest.fixture
+def random_bits():
+    return np.random.default_rng(0).integers(0, 2, 50_000).astype(np.uint8)
+
+
+class TestMonobit:
+    def test_random_passes(self, random_bits):
+        assert monobit_test(random_bits).passed
+
+    def test_biased_fails(self):
+        rng = np.random.default_rng(1)
+        biased = (rng.random(50_000) < 0.45).astype(np.uint8)
+        assert not monobit_test(biased).passed
+
+    def test_known_sp80022_example(self):
+        # SP 800-22 §2.1.8 example: 1011010101 -> p = 0.527089 (n=10 is
+        # below our floor, so use the 100-bit epsilon example instead).
+        eps = (
+            "11001001000011111101101010100010001000010110100011"
+            "00001000110100110001001100011001100010100010111000"
+        )
+        bits = np.array([int(c) for c in eps], dtype=np.uint8)
+        assert monobit_test(bits).p_value == pytest.approx(0.109599, abs=1e-4)
+
+    def test_short_input_rejected(self):
+        with pytest.raises(ConfigurationError):
+            monobit_test(np.ones(50, dtype=np.uint8))
+
+
+class TestBlockFrequency:
+    def test_random_passes(self, random_bits):
+        assert block_frequency_test(random_bits).passed
+
+    def test_locally_biased_fails(self):
+        # Globally balanced but each block is constant: monobit would pass,
+        # block frequency must not.
+        blocks = np.concatenate(
+            [np.zeros(128, dtype=np.uint8), np.ones(128, dtype=np.uint8)] * 50
+        )
+        assert monobit_test(blocks).passed
+        assert not block_frequency_test(blocks).passed
+
+    def test_too_few_blocks_rejected(self):
+        with pytest.raises(ConfigurationError):
+            block_frequency_test(np.ones(256, dtype=np.uint8), block_bits=128)
+
+
+class TestRuns:
+    def test_random_passes(self, random_bits):
+        assert runs_test(random_bits).passed
+
+    def test_alternating_fails(self):
+        bits = np.tile(np.array([0, 1], dtype=np.uint8), 5000)
+        assert not runs_test(bits).passed
+
+    def test_long_runs_fail(self):
+        bits = np.repeat(
+            np.random.default_rng(2).integers(0, 2, 500), 20
+        ).astype(np.uint8)
+        assert not runs_test(bits).passed
+
+    def test_prerequisite_failure_short_circuits(self):
+        biased = (np.random.default_rng(3).random(10_000) < 0.3).astype(np.uint8)
+        verdict = runs_test(biased)
+        assert verdict.p_value == 0.0
+
+
+class TestBattery:
+    def test_random_passes_all(self, random_bits):
+        verdicts = run_battery(random_bits)
+        assert len(verdicts) == 3
+        assert all(v.passed for v in verdicts)
+
+    def test_aes_keystream_passes_all(self):
+        from repro.bitutils import bytes_to_bits
+        from repro.crypto import AesCtr
+
+        stream = AesCtr(b"0123456789abcdef", b"battery-nonce"[:12]).keystream(8192)
+        assert all(v.passed for v in run_battery(bytes_to_bits(stream.tobytes())))

@@ -1,0 +1,62 @@
+"""Unit tests for Welch's t-test, cross-checked against scipy."""
+
+import numpy as np
+import pytest
+from scipy import stats as scipy_stats
+
+from repro.errors import ConfigurationError
+from repro.stats import welch_t_test
+
+
+def test_matches_scipy():
+    rng = np.random.default_rng(0)
+    a = rng.normal(0.0, 1.0, 40)
+    b = rng.normal(0.3, 2.0, 25)
+    ours = welch_t_test(a, b)
+    ref = scipy_stats.ttest_ind(a, b, equal_var=False)
+    assert ours.t_statistic == pytest.approx(ref.statistic)
+    assert ours.p_value_two_sided == pytest.approx(ref.pvalue)
+
+
+def test_one_tailed_is_half_two_tailed():
+    rng = np.random.default_rng(1)
+    a = rng.normal(0, 1, 30)
+    b = rng.normal(0.5, 1, 30)
+    result = welch_t_test(a, b)
+    assert result.p_value_one_tailed == pytest.approx(result.p_value_two_sided / 2)
+
+
+def test_identical_populations_not_rejected():
+    rng = np.random.default_rng(2)
+    a = rng.normal(5.0, 1.0, 50)
+    b = rng.normal(5.0, 1.0, 50)
+    result = welch_t_test(a, b)
+    assert not result.rejects_null()
+
+
+def test_distinct_populations_rejected():
+    rng = np.random.default_rng(3)
+    a = rng.normal(0.0, 1.0, 50)
+    b = rng.normal(2.0, 1.0, 50)
+    assert welch_t_test(a, b).rejects_null()
+
+
+def test_unequal_variance_dof():
+    rng = np.random.default_rng(4)
+    a = rng.normal(0, 1, 10)
+    b = rng.normal(0, 10, 100)
+    result = welch_t_test(a, b)
+    assert result.degrees_of_freedom < len(a) + len(b) - 2
+
+
+def test_means_reported():
+    result = welch_t_test([1.0, 2.0, 3.0], [4.0, 5.0, 6.0])
+    assert result.mean_a == pytest.approx(2.0)
+    assert result.mean_b == pytest.approx(5.0)
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        welch_t_test([1.0], [2.0, 3.0])
+    with pytest.raises(ConfigurationError):
+        welch_t_test([1.0, 1.0], [2.0, 2.0])

@@ -1,0 +1,129 @@
+"""Unit tests for bit/byte utilities."""
+
+import numpy as np
+import pytest
+
+from repro.bitutils import (
+    as_bit_array,
+    bit_error_rate,
+    bits_to_bytes,
+    block_hamming_weights,
+    block_view,
+    bytes_to_bits,
+    hamming_distance,
+    hamming_weight,
+    invert_bits,
+    majority_vote,
+    tile_to_length,
+)
+from repro.errors import BlockLengthError
+
+
+class TestByteBitConversion:
+    def test_round_trip(self):
+        data = bytes(range(256))
+        assert bits_to_bytes(bytes_to_bits(data)) == data
+
+    def test_msb_first(self):
+        assert list(bytes_to_bits(b"\x80")) == [1, 0, 0, 0, 0, 0, 0, 0]
+        assert list(bytes_to_bits(b"\x01")) == [0, 0, 0, 0, 0, 0, 0, 1]
+
+    def test_bits_to_bytes_rejects_partial_byte(self):
+        with pytest.raises(BlockLengthError):
+            bits_to_bytes(np.ones(7, dtype=np.uint8))
+
+    def test_bits_to_bytes_rejects_2d(self):
+        with pytest.raises(BlockLengthError):
+            bits_to_bytes(np.ones((2, 8), dtype=np.uint8))
+
+
+class TestAsBitArray:
+    def test_accepts_bytes(self):
+        assert as_bit_array(b"\xff").sum() == 8
+
+    def test_accepts_list(self):
+        assert list(as_bit_array([1, 0, 1])) == [1, 0, 1]
+
+    def test_rejects_non_binary(self):
+        with pytest.raises(BlockLengthError):
+            as_bit_array([0, 2, 1])
+
+
+class TestHamming:
+    def test_weight(self):
+        assert hamming_weight(np.array([1, 0, 1, 1])) == 3
+
+    def test_distance(self):
+        a = np.array([1, 0, 1, 0], dtype=np.uint8)
+        b = np.array([1, 1, 0, 0], dtype=np.uint8)
+        assert hamming_distance(a, b) == 2
+
+    def test_distance_shape_mismatch(self):
+        with pytest.raises(BlockLengthError):
+            hamming_distance(np.zeros(3), np.zeros(4))
+
+    def test_error_rate(self):
+        a = np.zeros(10, dtype=np.uint8)
+        b = a.copy()
+        b[:3] = 1
+        assert bit_error_rate(a, b) == pytest.approx(0.3)
+
+    def test_error_rate_empty(self):
+        with pytest.raises(BlockLengthError):
+            bit_error_rate(np.zeros(0), np.zeros(0))
+
+
+class TestBlockView:
+    def test_exact_blocks(self):
+        v = block_view(np.arange(6) % 2, 3)
+        assert v.shape == (2, 3)
+
+    def test_pads_final_block(self):
+        v = block_view(np.ones(5, dtype=np.uint8), 4)
+        assert v.shape == (2, 4)
+        assert v[1].tolist() == [1, 0, 0, 0]
+
+    def test_block_weights(self):
+        bits = np.array([1, 1, 0, 0, 1, 0, 1, 1], dtype=np.uint8)
+        assert block_hamming_weights(bits, 4).tolist() == [2, 3]
+
+    def test_rejects_nonpositive_block(self):
+        with pytest.raises(BlockLengthError):
+            block_view(np.ones(4, dtype=np.uint8), 0)
+
+
+class TestMajorityVote:
+    def test_odd_samples(self):
+        samples = np.array([[1, 0, 1], [1, 1, 0], [0, 0, 1]], dtype=np.uint8)
+        assert majority_vote(samples).tolist() == [1, 0, 1]
+
+    def test_single_sample_is_identity(self):
+        s = np.array([[0, 1, 1]], dtype=np.uint8)
+        assert majority_vote(s).tolist() == [0, 1, 1]
+
+    def test_rejects_empty(self):
+        with pytest.raises(BlockLengthError):
+            majority_vote(np.zeros((0, 4), dtype=np.uint8))
+
+    def test_rejects_1d(self):
+        with pytest.raises(BlockLengthError):
+            majority_vote(np.zeros(4, dtype=np.uint8))
+
+
+class TestInvertAndTile:
+    def test_invert(self):
+        assert invert_bits(np.array([1, 0, 1])).tolist() == [0, 1, 0]
+
+    def test_double_invert_identity(self):
+        bits = np.array([1, 0, 0, 1], dtype=np.uint8)
+        assert np.array_equal(invert_bits(invert_bits(bits)), bits)
+
+    def test_tile_exact(self):
+        assert tile_to_length(np.array([1, 0]), 5).tolist() == [1, 0, 1, 0, 1]
+
+    def test_tile_shorter(self):
+        assert tile_to_length(np.array([1, 0, 1]), 2).tolist() == [1, 0]
+
+    def test_tile_empty_rejected(self):
+        with pytest.raises(BlockLengthError):
+            tile_to_length(np.zeros(0, dtype=np.uint8), 4)

@@ -1,0 +1,135 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_roundtrip_defaults(self):
+        args = build_parser().parse_args(["roundtrip"])
+        assert args.device == "MSP432P401"
+        assert args.copies == 7
+
+
+class TestCommands:
+    def test_list_devices(self, capsys):
+        assert main(["list-devices"]) == 0
+        out = capsys.readouterr().out
+        assert "MSP432P401" in out
+        assert "BCM2837" in out
+        assert out.count("\n") >= 13  # header + 12 devices
+
+    def test_experiment_list(self, capsys):
+        assert main(["experiment", "--list"]) == 0
+        out = capsys.readouterr().out
+        for exp_id in ("fig06", "tab04", "sec74"):
+            assert exp_id in out
+
+    def test_experiment_unknown_id(self, capsys):
+        assert main(["experiment", "nope"]) == 2
+
+    def test_experiment_runs(self, capsys):
+        assert main(["experiment", "ablation-order"]) == 0
+        out = capsys.readouterr().out
+        assert "ECC order" in out
+
+    def test_roundtrip_fast(self, capsys):
+        code = main([
+            "roundtrip", "--fast", "--sram-kib", "2", "--message", "cli test",
+        ])
+        assert code == 0
+        assert "round trip exact" in capsys.readouterr().out
+
+    def test_roundtrip_without_key(self, capsys):
+        code = main([
+            "roundtrip", "--fast", "--sram-kib", "2", "--key", "",
+            "--message", "plain",
+        ])
+        assert code == 0
+
+    def test_survey(self, capsys):
+        assert main(["survey"]) == 0
+        out = capsys.readouterr().out
+        assert "MSP432P401" in out
+
+    def test_report_writes_combined_artifact(self, capsys, tmp_path, monkeypatch):
+        # Shrink the experiment set so the test stays fast.
+        from repro import cli
+
+        monkeypatch.setattr(
+            cli, "EXPERIMENTS",
+            {"ablation-order": cli.EXPERIMENTS["ablation-order"],
+             "fig02": cli.EXPERIMENTS["fig02"]},
+        )
+        out = tmp_path / "report.txt"
+        assert main(["report", "--out", str(out)]) == 0
+        text = out.read_text()
+        assert "[ablation-order]" in text
+        assert "[fig02]" in text
+        assert "Figure 2" in text
+
+    def test_inspect_clean_device(self, capsys, tmp_path):
+        import numpy as np
+
+        from repro.device import make_device
+        from repro.io import save_captures
+
+        device = make_device("MSP432P401", rng=400, sram_kib=2)
+        samples = device.sram.capture_power_on_states(5)
+        path = tmp_path / "caps.json"
+        save_captures(path, samples, device_name="MSP432P401")
+        assert main(["inspect", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "clean" in out
+
+    def test_inspect_flags_plaintext_payload(self, capsys, tmp_path):
+        from repro.core.payloads import synthetic_image_bytes
+        from repro.core.pipeline import InvisibleBits
+        from repro.device import make_device
+        from repro.harness import ControlBoard
+        from repro.io import save_captures
+
+        device = make_device("MSP432P401", rng=401, sram_kib=2)
+        board = ControlBoard(device)
+        InvisibleBits(board, use_firmware=False).send(
+            synthetic_image_bytes(1800, rng=1)
+        )
+        path = tmp_path / "caps.json"
+        save_captures(path, board.capture_power_on_states(5))
+        assert main(["inspect", str(path)]) == 1
+        assert "SUSPICIOUS" in capsys.readouterr().out
+
+    def test_inspect_bad_row_width(self, tmp_path, capsys):
+        import numpy as np
+
+        from repro.io import save_captures
+
+        path = tmp_path / "caps.json"
+        save_captures(
+            path, np.zeros((1, 1024), dtype=np.uint8) | 1
+        )
+        assert main(["inspect", str(path), "--row-width", "100"]) == 2
+
+    def test_puf_clone(self, capsys):
+        assert main(["puf-clone", "--sram-kib", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "clone distance" in out
+        assert "True" in out
+
+    def test_trng(self, capsys):
+        assert main(["trng", "--sram-kib", "2", "--bytes", "32"]) == 0
+        out = capsys.readouterr().out
+        assert "monobit" in out
+        assert "FAIL" not in out
+
+    def test_every_experiment_id_maps_to_a_module(self):
+        import importlib
+
+        for exp_id, (module_name, func_name) in EXPERIMENTS.items():
+            module = importlib.import_module(f"repro.experiments.{module_name}")
+            assert callable(getattr(module, func_name)), exp_id

@@ -1,0 +1,59 @@
+"""Unit tests for the exception hierarchy contract."""
+
+import pytest
+
+from repro import errors
+
+
+def test_everything_derives_from_repro_error():
+    leaf_exceptions = [
+        errors.ConfigurationError,
+        errors.DeviceError,
+        errors.PowerError,
+        errors.OverstressError,
+        errors.DebugPortError,
+        errors.FirmwareError,
+        errors.AssemblerError,
+        errors.EmulatorError,
+        errors.CodecError,
+        errors.BlockLengthError,
+        errors.DecodeFailure,
+        errors.CryptoError,
+        errors.KeyLengthError,
+        errors.NonceError,
+        errors.CapacityError,
+        errors.ExtractionError,
+    ]
+    for exc in leaf_exceptions:
+        assert issubclass(exc, errors.ReproError), exc
+
+
+def test_device_family():
+    for exc in (errors.PowerError, errors.OverstressError,
+                errors.DebugPortError, errors.FirmwareError):
+        assert issubclass(exc, errors.DeviceError)
+
+
+def test_codec_family():
+    assert issubclass(errors.BlockLengthError, errors.CodecError)
+    assert issubclass(errors.DecodeFailure, errors.CodecError)
+
+
+def test_crypto_family():
+    assert issubclass(errors.KeyLengthError, errors.CryptoError)
+    assert issubclass(errors.NonceError, errors.CryptoError)
+
+
+def test_assembler_error_line_prefix():
+    err = errors.AssemblerError("bad thing", line=7)
+    assert "line 7" in str(err)
+    assert err.line == 7
+    bare = errors.AssemblerError("no line info")
+    assert bare.line is None
+
+
+def test_single_except_clause_catches_library_failures():
+    from repro.ecc import RepetitionCode
+
+    with pytest.raises(errors.ReproError):
+        RepetitionCode(2)

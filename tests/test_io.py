@@ -1,0 +1,120 @@
+"""Unit tests for capture/enrollment serialization."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.io import (
+    load_captures,
+    load_enrollment,
+    load_helper_data,
+    save_captures,
+    save_enrollment,
+    save_helper_data,
+)
+
+
+@pytest.fixture
+def samples():
+    return np.random.default_rng(0).integers(0, 2, (5, 1024)).astype(np.uint8)
+
+
+class TestCaptures:
+    def test_round_trip(self, tmp_path, samples):
+        path = tmp_path / "caps.json"
+        save_captures(
+            path, samples, device_name="MSP432P401", device_id=b"\x01\x02",
+            metadata={"trip": "test"},
+        )
+        loaded, info = load_captures(path)
+        assert np.array_equal(loaded, samples)
+        assert info["device_name"] == "MSP432P401"
+        assert info["device_id"] == b"\x01\x02"
+        assert info["metadata"] == {"trip": "test"}
+
+    def test_rejects_partial_byte_rows(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            save_captures(tmp_path / "x.json", np.zeros((2, 10), dtype=np.uint8))
+
+    def test_rejects_wrong_format(self, tmp_path):
+        path = tmp_path / "bogus.json"
+        path.write_text(json.dumps({"format": "something-else"}))
+        with pytest.raises(ConfigurationError):
+            load_captures(path)
+
+    def test_rejects_future_version(self, tmp_path, samples):
+        path = tmp_path / "caps.json"
+        save_captures(path, samples)
+        raw = json.loads(path.read_text())
+        raw["version"] = 999
+        path.write_text(json.dumps(raw))
+        with pytest.raises(ConfigurationError):
+            load_captures(path)
+
+    def test_file_is_not_pickle(self, tmp_path, samples):
+        path = tmp_path / "caps.json"
+        save_captures(path, samples)
+        # plain JSON: loadable by the stdlib without repro installed
+        assert json.loads(path.read_text())["n_bits"] == 1024
+
+    def test_end_to_end_with_pipeline(self, tmp_path, small_board):
+        """Field laptop saves captures; analyst decodes from the file."""
+        from repro.bitutils import bit_error_rate, invert_bits, majority_vote
+
+        payload = np.random.default_rng(1).integers(
+            0, 2, small_board.device.sram.n_bits
+        ).astype(np.uint8)
+        small_board.encode_message(payload, use_firmware=False, camouflage=False)
+        caps = small_board.capture_power_on_states(5)
+        path = tmp_path / "field.json"
+        save_captures(path, caps, device_id=small_board.device.device_id)
+        loaded, info = load_captures(path)
+        error = bit_error_rate(payload, invert_bits(majority_vote(loaded)))
+        assert error < 0.09
+        assert info["device_id"] == small_board.device.device_id
+
+
+class TestEnrollment:
+    def test_round_trip(self, tmp_path):
+        from repro.device import make_device
+        from repro.puf import SramPuf
+
+        device = make_device("MSP432P401", rng=85, sram_kib=1)
+        puf = SramPuf(device)
+        enrollment = puf.enroll()
+        path = tmp_path / "enroll.json"
+        save_enrollment(path, enrollment)
+        loaded = load_enrollment(path)
+        assert loaded.device_name == enrollment.device_name
+        assert np.array_equal(loaded.reference, enrollment.reference)
+        ok, _ = puf.authenticate(loaded)
+        assert ok
+
+    def test_wrong_format_rejected(self, tmp_path):
+        path = tmp_path / "x.json"
+        path.write_text(json.dumps({"format": "nope"}))
+        with pytest.raises(ConfigurationError):
+            load_enrollment(path)
+
+
+class TestHelperData:
+    def test_round_trip(self, tmp_path):
+        from repro.puf import FuzzyExtractor
+
+        extractor = FuzzyExtractor(copies=7, secret_bits=64)
+        response = np.random.default_rng(2).integers(
+            0, 2, extractor.response_bits
+        ).astype(np.uint8)
+        key, helper = extractor.generate(response, rng=3)
+        path = tmp_path / "helper.json"
+        save_helper_data(path, helper)
+        loaded = load_helper_data(path)
+        assert extractor.reproduce(response, loaded) == key
+
+    def test_wrong_format_rejected(self, tmp_path):
+        path = tmp_path / "x.json"
+        path.write_text(json.dumps({"format": "nope"}))
+        with pytest.raises(ConfigurationError):
+            load_helper_data(path)

@@ -1,0 +1,94 @@
+"""Unit tests for device-state snapshots (campaign resume)."""
+
+import numpy as np
+import pytest
+
+from repro.bitutils import bit_error_rate, invert_bits
+from repro.device import make_device
+from repro.errors import ConfigurationError, PowerError
+from repro.harness import ControlBoard
+from repro.io import load_device_state, save_device_state
+
+
+@pytest.fixture
+def encoded(random_payload, tmp_path):
+    device = make_device("MSP432P401", rng=500, sram_kib=1)
+    board = ControlBoard(device)
+    payload = random_payload(device.sram.n_bits, seed=50)
+    board.encode_message(payload, use_firmware=False, camouflage=False)
+    return device, board, payload, tmp_path
+
+
+def test_snapshot_resume_preserves_channel(encoded):
+    device, board, payload, tmp_path = encoded
+    path = tmp_path / "state.npz"
+    save_device_state(path, device)
+
+    # A fresh device of the same model, restored from the snapshot,
+    # decodes the message exactly as the original would.
+    resumed = make_device("MSP432P401", rng=501, sram_kib=1)
+    load_device_state(path, resumed)
+    resumed_board = ControlBoard(resumed)
+    error = bit_error_rate(
+        payload, invert_bits(resumed_board.majority_power_on_state(5))
+    )
+    assert error == pytest.approx(0.065, abs=0.02)
+
+
+def test_snapshot_keeps_device_id(encoded):
+    device, _, _, tmp_path = encoded
+    path = tmp_path / "state.npz"
+    save_device_state(path, device)
+    resumed = make_device("MSP432P401", rng=502, sram_kib=1)
+    load_device_state(path, resumed)
+    assert resumed.device_id == device.device_id
+
+
+def test_campaign_can_continue_after_resume(encoded):
+    """Shelve-sample campaigns resume mid-way with consistent physics."""
+    device, board, payload, tmp_path = encoded
+    from repro.units import days
+
+    device.advance(days(7))
+    path = tmp_path / "week1.npz"
+    save_device_state(path, device)
+    # Continue on the original...
+    device.advance(days(21))
+    original = bit_error_rate(
+        payload, invert_bits(board.majority_power_on_state(5))
+    )
+    # ...and on the resumed copy.
+    resumed = make_device("MSP432P401", rng=503, sram_kib=1)
+    load_device_state(path, resumed)
+    resumed.advance(days(21))
+    resumed_err = bit_error_rate(
+        payload,
+        invert_bits(ControlBoard(resumed).majority_power_on_state(5)),
+    )
+    assert resumed_err == pytest.approx(original, abs=0.01)
+
+
+def test_powered_device_rejected(encoded):
+    device, board, _, tmp_path = encoded
+    board.power_on_nominal()
+    with pytest.raises(PowerError):
+        save_device_state(tmp_path / "x.npz", device)
+    board.power_off()
+
+
+def test_model_mismatch_rejected(encoded):
+    device, _, _, tmp_path = encoded
+    path = tmp_path / "state.npz"
+    save_device_state(path, device)
+    other_model = make_device("ATSAML11E16A", rng=504, sram_kib=1)
+    with pytest.raises(ConfigurationError):
+        load_device_state(path, other_model)
+
+
+def test_size_mismatch_rejected(encoded):
+    device, _, _, tmp_path = encoded
+    path = tmp_path / "state.npz"
+    save_device_state(path, device)
+    bigger = make_device("MSP432P401", rng=505, sram_kib=2)
+    with pytest.raises(ConfigurationError):
+        load_device_state(path, bigger)

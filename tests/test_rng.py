@@ -1,0 +1,29 @@
+"""Unit tests for RNG plumbing."""
+
+import numpy as np
+
+from repro.rng import make_rng, spawn
+
+
+def test_int_seed_is_deterministic():
+    a = make_rng(42).integers(0, 1000, 10)
+    b = make_rng(42).integers(0, 1000, 10)
+    assert np.array_equal(a, b)
+
+
+def test_generator_passthrough():
+    gen = np.random.default_rng(1)
+    assert make_rng(gen) is gen
+
+
+def test_none_gives_generator():
+    assert isinstance(make_rng(None), np.random.Generator)
+
+
+def test_spawn_children_are_independent_and_deterministic():
+    kids_a = spawn(make_rng(7), 3)
+    kids_b = spawn(make_rng(7), 3)
+    draws_a = [k.integers(0, 10**9) for k in kids_a]
+    draws_b = [k.integers(0, 10**9) for k in kids_b]
+    assert draws_a == draws_b
+    assert len(set(int(d) for d in draws_a)) == 3

@@ -1,0 +1,51 @@
+"""Unit tests for unit conversions."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.units import (
+    celsius_to_kelvin,
+    days,
+    hours,
+    kelvin_to_celsius,
+    kib,
+    minutes,
+    seconds_to_hours,
+    weeks,
+)
+
+
+def test_celsius_round_trip():
+    assert kelvin_to_celsius(celsius_to_kelvin(25.0)) == pytest.approx(25.0)
+
+
+def test_celsius_to_kelvin_known():
+    assert celsius_to_kelvin(0.0) == pytest.approx(273.15)
+    assert celsius_to_kelvin(85.0) == pytest.approx(358.15)
+
+
+def test_below_absolute_zero_rejected():
+    with pytest.raises(ConfigurationError):
+        celsius_to_kelvin(-300.0)
+    with pytest.raises(ConfigurationError):
+        kelvin_to_celsius(-1.0)
+
+
+def test_durations():
+    assert hours(2) == 7200.0
+    assert minutes(3) == 180.0
+    assert days(1) == 86400.0
+    assert weeks(2) == 14 * 86400.0
+    assert seconds_to_hours(7200.0) == pytest.approx(2.0)
+
+
+@pytest.mark.parametrize("fn", [hours, minutes, days, weeks])
+def test_negative_durations_rejected(fn):
+    with pytest.raises(ConfigurationError):
+        fn(-1)
+
+
+def test_kib():
+    assert kib(64) == 65536
+    with pytest.raises(ConfigurationError):
+        kib(-1)
