@@ -7,14 +7,19 @@ AES-CTR keystream generation, Hamming decode, and Moran's I over a full
 die grid.
 """
 
+import time
+
 import numpy as np
 import pytest
 
 from repro.crypto import AesCtr
 from repro.device.catalog import device_spec
+from repro.device import make_device
 from repro.ecc import hamming_7_4
+from repro.harness.rack import EncodingRack
 from repro.sram import SRAMArray
 from repro.stats import morans_i
+from repro.units import hours
 
 
 @pytest.fixture(scope="module")
@@ -22,6 +27,47 @@ def full_size_array():
     """A full 64 KiB MSP432 SRAM (524,288 cells)."""
     tech = device_spec("MSP432P401").technology
     return SRAMArray.from_kib(64, tech, rng=0)
+
+
+def _aged_full_array(seed):
+    """A deterministically stress-encoded 64 KiB array (the receiver's
+    workload: captures happen on arrays that carry a message)."""
+    tech = device_spec("MSP432P401").technology
+    arr = SRAMArray.from_kib(64, tech, rng=seed)
+    arr.apply_power()
+    payload = np.random.default_rng(99).integers(0, 2, arr.n_bits)
+    arr.write(payload.astype(np.uint8))
+    arr.set_voltage(3.0)
+    arr.hold(hours(10))
+    arr.remove_power()
+    return arr
+
+
+def _seed_loop_capture(arr, n_captures, off_seconds=1.0):
+    """The pre-batching capture loop, kept as the speedup baseline: every
+    capture rebuilds both dvth arrays, the full offset vector, and a
+    full-width noise vector."""
+    nbti = arr._nbti
+    out = np.empty((n_captures, arr.n_bits), dtype=np.uint8)
+    for i in range(n_captures):
+        if arr.powered:
+            arr.remove_power(drain=True)
+        nbti.relax(arr.age_when_1, off_seconds)
+        nbti.relax(arr.age_when_0, off_seconds)
+        offsets = (
+            arr.mismatch
+            + nbti.dvth(arr.age_when_0)
+            - nbti.dvth(arr.age_when_1)
+        )
+        sigma = arr._hci.noise_widening(arr.toggle_count, arr.technology.noise_sigma)
+        sigma *= float(np.sqrt(arr.temp_k / arr.technology.temp_nominal_k))
+        state = (offsets + sigma * arr._rng.standard_normal(arr.n_bits) > 0.0)
+        out[i] = state
+        arr.powered = True
+        arr.vdd = arr.technology.vdd_nominal
+        arr._data = out[i]
+    arr._data = out[-1].copy()
+    return out
 
 
 def test_perf_power_cycle_64kib(benchmark, full_size_array):
@@ -58,6 +104,67 @@ def test_perf_hamming_decode(benchmark):
     noisy = coded ^ (rng.random(coded.size) < 0.01).astype(np.uint8)
     decoded = benchmark(code.decode, noisy)
     assert decoded.size == data.size
+
+
+def test_perf_batch_capture_64kib(benchmark):
+    """Five-capture batched power-on sampling of an encoded 64 KiB array
+    (the §4.3 receiver inner loop)."""
+    arr = _aged_full_array(seed=0)
+    samples = benchmark(arr.capture_power_on_states, 5)
+    assert samples.shape == (5, arr.n_bits)
+
+
+def test_perf_batch_capture_speedup_vs_seed_loop():
+    """The batch engine must beat the pre-batching loop by >= 5x on the
+    5-capture 64 KiB workload while decoding to the same result.
+
+    The two algorithms consume the noise stream differently (full-width
+    versus band-only draws), so agreement here is statistical; the
+    *bit-exact* batch-vs-loop guarantee for the production engine is
+    tests/sram/test_capture_batch.py.
+    """
+    from repro.bitutils import bit_error_rate, invert_bits, majority_vote
+
+    arr_loop = _aged_full_array(seed=0)
+    arr_batch = _aged_full_array(seed=0)
+    payload = np.random.default_rng(99).integers(0, 2, arr_loop.n_bits)
+
+    # Same channel error on identical twins (also the warm-up pass).
+    vote_loop = majority_vote(_seed_loop_capture(arr_loop, 5))
+    vote_batch = majority_vote(arr_batch.capture_power_on_states(5))
+    err_loop = bit_error_rate(payload, invert_bits(vote_loop))
+    err_batch = bit_error_rate(payload, invert_bits(vote_batch))
+    assert err_batch == pytest.approx(err_loop, abs=0.002)
+
+    def best_of(fn, reps=5):
+        best = float("inf")
+        for _ in range(reps):
+            t0 = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - t0)
+        return best
+
+    t_loop = best_of(lambda: _seed_loop_capture(arr_loop, 5))
+    t_batch = best_of(lambda: arr_batch.capture_power_on_states(5))
+    speedup = t_loop / t_batch
+    print(f"\nbatch capture speedup: {speedup:.1f}x "
+          f"({t_loop * 1e3:.1f} ms -> {t_batch * 1e3:.1f} ms)")
+    assert speedup >= 5.0
+
+
+def test_perf_rack_measure_throughput(benchmark):
+    """Tray-wide channel measurement: 4 boards x 5 captures each."""
+    devices = [make_device("MSP432P401", rng=80 + i, sram_kib=4) for i in range(4)]
+    rack = EncodingRack(devices)
+    rng = np.random.default_rng(5)
+    payloads = [
+        rng.integers(0, 2, board.device.sram.n_bits).astype(np.uint8)
+        for board in rack.boards
+    ]
+    rack.stage_payloads(payloads)
+    rack.stress_all(stress_hours=10.0)
+    errors = benchmark(rack.measure_errors, payloads)
+    assert len(errors) == 4
 
 
 def test_perf_morans_i_full_grid(benchmark):

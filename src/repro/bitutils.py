@@ -65,11 +65,14 @@ def bit_error_rate(reference: np.ndarray, observed: np.ndarray) -> float:
 
 
 def block_view(bits: np.ndarray, block_bits: int, *, pad_value: int = 0) -> np.ndarray:
-    """Reshape a bit array into ``(n_blocks, block_bits)``, zero-padding the
-    final partial block if necessary."""
+    """Reshape a bit array into ``(n_blocks, block_bits)``, padding the final
+    partial block with ``pad_value`` (which must itself be a bit — anything
+    else would leak non-bit values into Hamming-weight statistics)."""
     bits = as_bit_array(bits)
     if block_bits <= 0:
         raise BlockLengthError(f"block size must be positive, got {block_bits}")
+    if pad_value not in (0, 1):
+        raise BlockLengthError(f"pad value must be 0 or 1, got {pad_value!r}")
     remainder = bits.size % block_bits
     if remainder:
         pad = np.full(block_bits - remainder, pad_value, dtype=np.uint8)

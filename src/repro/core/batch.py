@@ -9,6 +9,8 @@ hand back the winner bound to the best-rate ECC meeting the target.
 
 from __future__ import annotations
 
+import os
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 
 import numpy as np
@@ -16,7 +18,7 @@ import numpy as np
 from ..bitutils import bit_error_rate, invert_bits
 from ..errors import ConfigurationError
 from ..harness.controlboard import ControlBoard
-from ..rng import make_rng
+from ..rng import make_rng, spawn
 from .planner import plan_scheme
 from ..experiments.common import make_varied_device
 
@@ -51,6 +53,7 @@ def encode_fleet(
     stress_hours: "float | None" = None,
     target_error: float = 1e-4,
     rng: "int | np.random.Generator | None" = 0,
+    max_workers: "int | None" = None,
 ) -> FleetSelection:
     """Encode ``n_devices`` candidates with a probe payload and select.
 
@@ -58,17 +61,32 @@ def encode_fleet(
     aging magnitude; the probe payload is random (so the measured error is
     the channel's, not the payload's).  Returns every member ranked plus
     the winner with the highest-rate scheme hitting ``target_error``.
+
+    Candidates are encoded concurrently (``max_workers`` threads, default
+    one per available CPU up to the fleet size).  Every device draws from
+    its own pre-assigned generator spawned from ``rng`` — see
+    :func:`repro.rng.spawn` — and payloads are pre-drawn in slot order, so
+    the result is identical for any worker count, including 1.
     """
     if n_devices < 1:
         raise ConfigurationError("need at least one device")
+    if max_workers is not None and max_workers < 1:
+        raise ConfigurationError(f"max_workers must be >= 1, got {max_workers}")
     gen = make_rng(rng)
     payload_rng = np.random.default_rng(gen.integers(0, 2**63))
+    n_bits = int(sram_kib * 8192)
+    payloads = [
+        payload_rng.integers(0, 2, n_bits).astype(np.uint8)
+        for _ in range(n_devices)
+    ]
+    streams = spawn(gen, n_devices)
 
-    members: list[FleetMember] = []
-    for index in range(n_devices):
-        device = make_varied_device(device_name, rng=gen, sram_kib=sram_kib)
+    def encode_one(index: int) -> FleetMember:
+        device = make_varied_device(
+            device_name, rng=streams[index], sram_kib=sram_kib
+        )
         board = ControlBoard(device)
-        payload = payload_rng.integers(0, 2, device.sram.n_bits).astype(np.uint8)
+        payload = payloads[index]
         board.encode_message(
             payload,
             stress_hours=stress_hours,
@@ -78,7 +96,14 @@ def encode_fleet(
         error = bit_error_rate(
             payload, invert_bits(board.majority_power_on_state(5))
         )
-        members.append(FleetMember(index=index, board=board, measured_error=error))
+        return FleetMember(index=index, board=board, measured_error=error)
+
+    workers = max_workers or min(n_devices, os.cpu_count() or 1)
+    if workers <= 1 or n_devices == 1:
+        members = [encode_one(i) for i in range(n_devices)]
+    else:
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            members = list(pool.map(encode_one, range(n_devices)))
 
     members.sort(key=lambda m: m.measured_error)
     winner = members[0]

@@ -5,9 +5,18 @@ single thermal chamber holds a tray of boards, all stressed together.  The
 rack owns one shared :class:`ThermalChamber` and per-slot
 :class:`ControlBoard` instances (each device still needs its own supply)
 and sequences the shared stress period once for the whole tray.
+
+Per-slot work (staging, time advancement, measurement) fans out over a
+thread pool: each board touches only its own device and its device's own
+RNG stream, so results are identical for any worker count.  Anything that
+touches the *shared* chamber — which pushes ambient temperature into every
+inserted device — stays serialized between fan-outs.
 """
 
 from __future__ import annotations
+
+import os
+from concurrent.futures import ThreadPoolExecutor
 
 import numpy as np
 
@@ -19,11 +28,19 @@ from .thermal import ThermalChamber
 
 
 class EncodingRack:
-    """A tray of devices sharing one chamber."""
+    """A tray of devices sharing one chamber.
 
-    def __init__(self, devices: "list[Device]"):
+    ``max_workers`` caps the thread pool used for per-slot operations;
+    ``None`` (default) uses one thread per available CPU, up to the tray
+    size.
+    """
+
+    def __init__(self, devices: "list[Device]", *, max_workers: "int | None" = None):
         if not devices:
             raise ConfigurationError("rack needs at least one device")
+        if max_workers is not None and max_workers < 1:
+            raise ConfigurationError(f"max_workers must be >= 1, got {max_workers}")
+        self.max_workers = max_workers
         self.chamber = ThermalChamber()
         self.boards = [
             ControlBoard(device, chamber=self.chamber) for device in devices
@@ -33,14 +50,34 @@ class EncodingRack:
     def __len__(self) -> int:
         return len(self.boards)
 
+    def _map_slots(self, fn, items: "list | None" = None) -> list:
+        """Apply ``fn(board[, item])`` to every slot, in slot order.
+
+        Slots are independent (own device, own RNG stream), so the pool
+        width only affects wall-clock time, never results.
+        """
+        if items is None:
+            calls = [(board,) for board in self.boards]
+        else:
+            calls = list(zip(self.boards, items))
+        workers = self.max_workers or min(len(calls), os.cpu_count() or 1)
+        if workers <= 1 or len(calls) <= 1:
+            return [fn(*call) for call in calls]
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(lambda call: fn(*call), calls))
+
     def stage_payloads(self, payloads: "list[np.ndarray]", *, use_firmware: bool = False) -> None:
         """Stage one payload per slot (Alg. 1 lines 3-4, tray-wide)."""
         if len(payloads) != len(self.boards):
             raise ConfigurationError(
                 f"{len(payloads)} payloads for {len(self.boards)} slots"
             )
-        for board, payload in zip(self.boards, payloads):
-            board.stage_payload(payload, use_firmware=use_firmware)
+        self._map_slots(
+            lambda board, payload: board.stage_payload(
+                payload, use_firmware=use_firmware
+            ),
+            payloads,
+        )
 
     def stress_all(
         self,
@@ -66,11 +103,9 @@ class EncodingRack:
             if board.device.spec.has_regulator and not board.device.regulator.bypassed:
                 board.device.regulator.bypass()
             board.supply.set_voltage(vdd)
-        for board in self.boards:
-            board.device.advance(hours(stress_hours))
+        self._map_slots(lambda board: board.device.advance(hours(stress_hours)))
         self.chamber.set_temperature(kelvin_to_celsius(self.chamber.ambient_k))
-        for board in self.boards:
-            board.power_off()
+        self._map_slots(lambda board: board.power_off())
 
     def measure_errors(self, payloads: "list[np.ndarray]", *, n_captures: int = 5) -> list[float]:
         """Per-slot channel error against the staged payloads."""
@@ -78,8 +113,9 @@ class EncodingRack:
 
         if len(payloads) != len(self.boards):
             raise ConfigurationError("payload count mismatch")
-        errors = []
-        for board, payload in zip(self.boards, payloads):
+
+        def measure(board: ControlBoard, payload: np.ndarray) -> float:
             state = board.majority_power_on_state(n_captures)
-            errors.append(bit_error_rate(payload, invert_bits(state)))
-        return errors
+            return bit_error_rate(payload, invert_bits(state))
+
+        return self._map_slots(measure, payloads)

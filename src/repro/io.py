@@ -115,6 +115,10 @@ def save_device_state(path, device) -> None:
     if device.powered:
         raise PowerError("power the device down before snapshotting")
     sram = device.sram
+    # Fold any deferred shelf-time recovery into the per-cell clocks so the
+    # snapshot is self-contained (the format has no pending-relax field).
+    sram.age_when_1.flush_relax()
+    sram.age_when_0.flush_relax()
     np.savez_compressed(
         _check_path(path),
         format=np.array("invisible-bits/device-state"),
@@ -154,7 +158,12 @@ def load_device_state(path, device) -> None:
     sram.age_when_1.relax_seconds[...] = raw["relax_1"]
     sram.age_when_0.stress_seconds[...] = raw["stress_0"]
     sram.age_when_0.relax_seconds[...] = raw["relax_0"]
+    # The snapshot's clocks are authoritative: discard any deferred relax
+    # the target accumulated, and drop its memoised analog state.
+    sram.age_when_1.pending_relax = 0.0
+    sram.age_when_0.pending_relax = 0.0
     sram.toggle_count = float(raw["toggle_count"])
+    sram.invalidate_analog_caches()
     device.device_id = bytes(raw["device_id"].tobytes())
 
 

@@ -39,10 +39,22 @@ class NBTIState:
     relax_seconds:
         Seconds since the end of the last stress interval, per transistor.
         Drives the recoverable component's logarithmic relaxation.
+    pending_relax:
+        Uniform bias-off seconds not yet folded into ``relax_seconds``.
+        Shelf time advances *every* transistor's recovery clock by the same
+        amount, so it can be deferred as one scalar instead of a full-array
+        add — the hot capture loop relies on this.  Always call
+        :meth:`flush_relax` (or go through :class:`NBTIModel`, which does)
+        before reading ``relax_seconds`` directly.
+    flushes:
+        Count of :meth:`flush_relax` applications.  Cache layers key on it
+        to detect that ``relax_seconds`` changed underneath them.
     """
 
     stress_seconds: np.ndarray
     relax_seconds: np.ndarray
+    pending_relax: float = 0.0
+    flushes: int = 0
 
     @classmethod
     def fresh(cls, n: int) -> "NBTIState":
@@ -54,8 +66,20 @@ class NBTIState:
             relax_seconds=np.zeros(n, dtype=np.float64),
         )
 
+    def flush_relax(self) -> None:
+        """Fold any deferred uniform relaxation into ``relax_seconds``."""
+        if self.pending_relax:
+            self.relax_seconds += self.pending_relax
+            self.pending_relax = 0.0
+            self.flushes += 1
+
     def copy(self) -> "NBTIState":
-        return NBTIState(self.stress_seconds.copy(), self.relax_seconds.copy())
+        return NBTIState(
+            self.stress_seconds.copy(),
+            self.relax_seconds.copy(),
+            self.pending_relax,
+            self.flushes,
+        )
 
 
 @dataclass(frozen=True)
@@ -111,6 +135,7 @@ class NBTIModel:
         clocks keep running), so one call can age just the active side of a
         memory bank.
         """
+        state.flush_relax()
         eq = np.broadcast_to(
             np.asarray(equivalent_seconds, dtype=np.float64), state.stress_seconds.shape
         )
@@ -144,10 +169,23 @@ class NBTIModel:
 
     def relax(self, state: NBTIState, seconds: "float | np.ndarray") -> None:
         """Let the bias-off recovery clock advance by ``seconds``."""
+        state.flush_relax()
         sec = np.asarray(seconds, dtype=np.float64)
         if np.any(sec < 0):
             raise ConfigurationError("relax duration must be >= 0")
         state.relax_seconds += sec
+
+    def relax_uniform(self, state: NBTIState, seconds: float) -> None:
+        """Advance every transistor's recovery clock by the same ``seconds``.
+
+        O(1): the increment is deferred as :attr:`NBTIState.pending_relax`
+        and folded in by the next operation that needs true per-transistor
+        clocks.  This is what makes power-cycle bursts cheap — shelf gaps
+        between captures cost two scalar adds instead of two array passes.
+        """
+        if seconds < 0:
+            raise ConfigurationError("relax duration must be >= 0")
+        state.pending_relax += float(seconds)
 
     # -- observables ---------------------------------------------------------
 
@@ -157,6 +195,7 @@ class NBTIModel:
 
     def dvth(self, state: NBTIState) -> np.ndarray:
         """Current |Vth| shift per transistor, in normalized sigma units."""
+        state.flush_relax()
         full = self.k_scale * np.power(state.stress_seconds, self.time_exponent)
         return full * (1.0 - self._recovered_fraction(state.relax_seconds))
 

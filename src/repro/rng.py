@@ -29,7 +29,20 @@ def make_rng(seed: "int | np.random.Generator | None" = None) -> np.random.Gener
 def spawn(rng: np.random.Generator, count: int) -> list[np.random.Generator]:
     """Derive ``count`` independent child generators from ``rng``.
 
-    Used when one experiment instantiates several devices that must have
-    independent—but still reproducible—process variation.
+    Built on :meth:`numpy.random.SeedSequence.spawn`, so the children are
+    statistically independent of each other *and* of the parent's future
+    output.  The fan-out is a pure function of the parent's seed sequence
+    and its spawn history — not of who consumes which child when — which is
+    what makes parallel fleets reproducible regardless of worker count:
+    assign child ``i`` to device ``i`` up front, then let any pool ordering
+    execute them.
+
+    Used whenever one experiment instantiates several devices that must
+    have independent—but still reproducible—process variation.
     """
-    return [np.random.default_rng(s) for s in rng.bit_generator.seed_seq.spawn(count)]
+    if count < 0:
+        raise ValueError(f"spawn count must be >= 0, got {count}")
+    seed_seq = getattr(rng.bit_generator, "seed_seq", None)
+    if seed_seq is None:  # a bit generator seeded without a SeedSequence
+        seed_seq = np.random.SeedSequence(int(rng.integers(0, 2**63)))
+    return [np.random.default_rng(s) for s in seed_seq.spawn(count)]

@@ -15,9 +15,38 @@ decoded payload is the *complement* of the power-on state (§4.3).
 Time is explicit: callers advance it with :meth:`hold` (powered, holding
 data — this is what ages cells), :meth:`shelve` (unpowered — this is what
 lets aging recover), and :meth:`operate` (powered, running a write workload).
+
+Capture engine
+--------------
+
+The receiver's hot path is §4.3's power-cycle/majority-vote loop, so the
+array keeps two cache layers keyed on the aging state:
+
+- The noise-free :meth:`offsets` vector is memoised and recomputed only when
+  an aging event (``hold``/``operate``/``shelve``/external state mutation)
+  changes it — repeated analysis reads are one cached-vector copy.
+- Power-on sampling works from a *capture cache*: the expensive power-law
+  ``k * t^n`` terms of both inverters plus a **noise band** — the cells whose
+  offset lies within ``NOISE_TAIL_SIGMA`` noise sigmas of the decision
+  threshold.  Cells outside the band power on to ``sign(offset)`` (the
+  probability of a Gaussian draw beyond 8 sigma is ~6e-16, far below any
+  observable error-rate resolution); only the band is re-evaluated per
+  capture, with the exact logarithmic-recovery increment applied to its
+  relax clocks.
+
+Shelf gaps between captures are uniform across cells, so they are deferred
+as one scalar (:meth:`repro.physics.nbti.NBTIState.flush_relax`) instead of
+a full-array add.  A rigorous drift bound (the recovery increment is largest
+for the least-relaxed cell) decides when accumulated shelf time has moved
+out-of-band offsets enough to force a cache refresh, so arbitrarily long
+capture sequences stay correct.  Code that mutates aging state behind the
+array's back (e.g. snapshot restore) must call
+:meth:`invalidate_analog_caches`.
 """
 
 from __future__ import annotations
+
+import math
 
 import numpy as np
 
@@ -45,6 +74,16 @@ class SRAMArray:
         Physical row width in cells; defines the 2-D die layout used for
         spatially correlated variation and Moran's I analysis.
     """
+
+    #: Power-up noise is evaluated only for cells within this many noise
+    #: sigmas of the decision threshold; everything further out powers on to
+    #: the sign of its offset (tail probability ~6e-16 per cell per capture).
+    NOISE_TAIL_SIGMA = 8.0
+
+    #: Fraction of the current noise sigma that out-of-band offsets may
+    #: drift (through deferred shelf-time recovery) before the capture cache
+    #: is refreshed.  With the 8-sigma band this leaves a >7-sigma guard.
+    OFFSET_DRIFT_BUDGET = 0.5
 
     def __init__(
         self,
@@ -93,6 +132,11 @@ class SRAMArray:
         self._retained: np.ndarray | None = None
         self._off_seconds = 0.0
 
+        #: Bumped on every stress event; both caches key on it.
+        self._aging_epoch = 0
+        self._offsets_cache: "tuple | None" = None
+        self._capture_cache: "dict | None" = None
+
     # -- construction helpers --------------------------------------------------
 
     @classmethod
@@ -115,8 +159,14 @@ class SRAMArray:
     # -- environment -----------------------------------------------------------
 
     def set_ambient(self, temp_k: float) -> None:
-        """Set the ambient temperature (the thermal chamber knob)."""
-        self.technology.check_operating_point(self.technology.vdd_nominal, temp_k)
+        """Set the ambient temperature (the thermal chamber knob).
+
+        The new temperature is validated against the *live* operating point:
+        a powered array at stress Vdd gets the (derated) envelope for that
+        supply, not the nominal-supply envelope.
+        """
+        vdd = self.vdd if self.powered else self.technology.vdd_nominal
+        self.technology.check_operating_point(vdd, temp_k)
         self.temp_k = float(temp_k)
 
     def set_voltage(self, vdd: float) -> None:
@@ -186,12 +236,31 @@ class SRAMArray:
         drain: bool = True,
     ) -> np.ndarray:
         """Capture ``n_captures`` successive power-on states (§4.3's
-        sampling loop); returns shape ``(n_captures, n_bits)``."""
+        sampling loop); returns shape ``(n_captures, n_bits)``.
+
+        Drained captures run on the batch path: one capture-cache pass plus
+        a single ``(n_captures, band)`` noise draw.  The result is
+        bit-identical to calling :meth:`power_cycle` ``n_captures`` times —
+        one big Gaussian draw consumes the generator exactly like the
+        equivalent sequence of per-capture draws.  Undrained captures (and a
+        first capture that can still see remanence) fall back to the cycle
+        path because the retained-cell masks interleave with the noise
+        stream.
+        """
         if n_captures <= 0:
             raise ConfigurationError(f"need at least one capture, got {n_captures}")
         samples = np.empty((n_captures, self.n_bits), dtype=np.uint8)
-        for i in range(n_captures):
-            samples[i] = self.power_cycle(off_seconds=off_seconds, drain=drain)
+        start = 0
+        if drain and self._retained is not None:
+            # Remanence from an earlier undrained power-off reaches into the
+            # first capture only; take it the general way, then batch.
+            samples[0] = self.power_cycle(off_seconds=off_seconds, drain=True)
+            start = 1
+        if drain:
+            self._capture_batch_drained(samples, start, off_seconds)
+        else:
+            for i in range(start, n_captures):
+                samples[i] = self.power_cycle(off_seconds=off_seconds, drain=False)
         return samples
 
     # -- memory operations ----------------------------------------------------
@@ -250,18 +319,23 @@ class SRAMArray:
         self._nbti.stress(self.age_when_0, af * seconds * holding_0)
         self._nbti.relax(self.age_when_1, seconds * holding_0)
         self._nbti.relax(self.age_when_0, seconds * holding_1)
+        self._bump_aging_epoch()
 
     def shelve(self, seconds: float) -> None:
         """Remain unpowered for ``seconds``: both inverters recover and any
-        undrained remanence decays."""
+        undrained remanence decays.
+
+        The recovery increment is uniform across cells, so it is deferred as
+        a scalar (O(1)) and folded into the per-cell clocks on demand.
+        """
         if self.powered:
             raise PowerError("cannot shelve a powered array")
         if seconds < 0:
             raise ConfigurationError(f"negative duration: {seconds}")
         if seconds == 0:
             return
-        self._nbti.relax(self.age_when_1, seconds)
-        self._nbti.relax(self.age_when_0, seconds)
+        self._nbti.relax_uniform(self.age_when_1, seconds)
+        self._nbti.relax_uniform(self.age_when_0, seconds)
         if self._retained is not None:
             self._off_seconds += seconds
 
@@ -294,7 +368,9 @@ class SRAMArray:
         self._nbti.stress_ac(self.age_when_0, af * seconds * duty)
         self._nbti.relax(self.age_when_1, seconds * (1.0 - duty))
         self._nbti.relax(self.age_when_0, seconds * (1.0 - duty))
-        self.toggle_count += writes_per_second * seconds
+        # Cells toggle only while the workload is actually writing them.
+        self.toggle_count += writes_per_second * seconds * duty
+        self._bump_aging_epoch()
         # Contents after a random workload are whatever was last written;
         # callers that care write explicitly afterwards.
 
@@ -302,28 +378,220 @@ class SRAMArray:
 
     def offsets(self) -> np.ndarray:
         """Noise-free effective offsets: positive means the cell prefers to
-        power on to 1.  Diagnostic view of the analog domain."""
-        return (
-            self.mismatch
-            + self._nbti.dvth(self.age_when_0)
-            - self._nbti.dvth(self.age_when_1)
-        )
+        power on to 1.  Diagnostic view of the analog domain.
+
+        Memoised: recomputed only after aging state changes (stress, shelf
+        time, external mutation); otherwise returns a copy of the cached
+        vector.
+        """
+        return self._exact_offsets().copy()
 
     def grid_shape(self) -> tuple[int, int]:
         """Die layout ``(rows, row_width)`` used for spatial statistics."""
         return (-(-self.n_bits // self.row_width), self.row_width)
 
-    # -- internals -----------------------------------------------------------------
+    # -- cache management ---------------------------------------------------------
 
-    def _sample_power_on(self) -> np.ndarray:
+    def invalidate_analog_caches(self) -> None:
+        """Drop the offsets and capture caches.
+
+        Required after mutating ``mismatch``, ``age_when_1``/``age_when_0``
+        or ``toggle_count`` directly (e.g. restoring a snapshot); the
+        array's own mutators invalidate automatically.
+        """
+        self._bump_aging_epoch()
+
+    def _bump_aging_epoch(self) -> None:
+        self._aging_epoch += 1
+        self._offsets_cache = None
+        self._capture_cache = None
+
+    def _aging_key(self) -> tuple:
+        st1, st0 = self.age_when_1, self.age_when_0
+        return (
+            self._aging_epoch,
+            st1.pending_relax,
+            st0.pending_relax,
+            st1.flushes,
+            st0.flushes,
+        )
+
+    def _exact_offsets(self) -> np.ndarray:
+        """The offsets vector, memoised; callers must not mutate it."""
+        cached = self._offsets_cache
+        if cached is not None and cached[0] == self._aging_key():
+            return cached[1]
+        vec = (
+            self.mismatch
+            + self._nbti.dvth(self.age_when_0)
+            - self._nbti.dvth(self.age_when_1)
+        )
+        # dvth() flushed any deferred relax; key on the post-flush state.
+        self._offsets_cache = (self._aging_key(), vec)
+        return vec
+
+    def _effective_noise_sigma(self) -> float:
         sigma = self._hci.noise_widening(
             self.toggle_count, self.technology.noise_sigma
         )
         # Power-up noise is thermal: sigma scales as sqrt(T/Tnom), so a cold
         # capture is slightly cleaner and a hot one slightly noisier.
-        sigma *= float(np.sqrt(self.temp_k / self.technology.temp_nominal_k))
-        noise = sigma * self._rng.standard_normal(self.n_bits)
-        return (self.offsets() + noise > 0.0).astype(np.uint8)
+        return sigma * float(np.sqrt(self.temp_k / self.technology.temp_nominal_k))
+
+    def _refresh_capture_cache(self, sigma: float) -> dict:
+        """Rebuild the sampling cache at the current (flushed) aging state."""
+        st1, st0 = self.age_when_1, self.age_when_0
+        st1.flush_relax()
+        st0.flush_relax()
+        offs = self._exact_offsets()
+        full1 = self._nbti.dvth_unrecovered(st1)
+        full0 = self._nbti.dvth_unrecovered(st0)
+        band = np.flatnonzero(np.abs(offs) < self.NOISE_TAIL_SIGMA * sigma)
+        self._capture_cache = {
+            "aging_epoch": self._aging_epoch,
+            "flushes": (st1.flushes, st0.flushes),
+            "sigma_ref": sigma,
+            "decision_base": (offs > 0.0).astype(np.uint8),
+            "band": band,
+            "mismatch_b": self.mismatch[band],
+            "full1_b": full1[band],
+            "full0_b": full0[band],
+            "r1_b": st1.relax_seconds[band],
+            "r0_b": st0.relax_seconds[band],
+            "r1_min": float(st1.relax_seconds.min()) if self.n_bits else 0.0,
+            "r0_min": float(st0.relax_seconds.min()) if self.n_bits else 0.0,
+            "full_max": float(full1.max()) + float(full0.max()),
+        }
+        return self._capture_cache
+
+    def _capture_cache_valid(
+        self, cache: "dict | None", sigma: float, extra_relax: float = 0.0
+    ) -> bool:
+        """True when sampling may keep using ``cache``.
+
+        The cache was built at some flushed relax state; shelf time since
+        then only *adds* recovery.  The recovery increment ``c*(log1p((r+p)/
+        tau) - log1p(r/tau))`` is monotonically decreasing in ``r``, so the
+        worst-case out-of-band offset drift is bounded by the least-relaxed
+        cell's increment times the largest power-law magnitudes.  While that
+        bound stays under ``OFFSET_DRIFT_BUDGET`` noise sigmas, out-of-band
+        decisions cannot change (>7-sigma guard) and in-band cells — which
+        are recomputed exactly every capture — need no refresh either.
+        """
+        if cache is None or cache["aging_epoch"] != self._aging_epoch:
+            return False
+        st1, st0 = self.age_when_1, self.age_when_0
+        if (st1.flushes, st0.flushes) != cache["flushes"]:
+            return False
+        if sigma > cache["sigma_ref"] * (1.0 + 1e-12):
+            return False
+        if cache["full_max"] == 0.0:
+            return True  # unstressed cells have nothing to recover
+        nbti = self._nbti
+        tau = nbti.rec_tau_s
+        p1 = st1.pending_relax + extra_relax
+        p0 = st0.pending_relax + extra_relax
+        d1 = math.log1p((cache["r1_min"] + p1) / tau) - math.log1p(
+            cache["r1_min"] / tau
+        )
+        d0 = math.log1p((cache["r0_min"] + p0) / tau) - math.log1p(
+            cache["r0_min"] / tau
+        )
+        drift = nbti.rec_log_coeff * cache["full_max"] * max(d1, d0)
+        return drift <= self.OFFSET_DRIFT_BUDGET * sigma
+
+    def _band_decisions(
+        self, cache: dict, sigma: float, noise: np.ndarray
+    ) -> np.ndarray:
+        """Exact power-on decisions for the noise-band cells.
+
+        Applies the deferred recovery increment to the band's relax clocks
+        and re-evaluates the same offset expression :meth:`offsets` uses —
+        identical physics, restricted to the cells noise can actually flip.
+        """
+        nbti = self._nbti
+        tau = nbti.rec_tau_s
+        r1 = cache["r1_b"] + self.age_when_1.pending_relax
+        r0 = cache["r0_b"] + self.age_when_0.pending_relax
+        rec1 = np.minimum(nbti.rec_log_coeff * np.log1p(r1 / tau), nbti.rec_ceiling)
+        rec0 = np.minimum(nbti.rec_log_coeff * np.log1p(r0 / tau), nbti.rec_ceiling)
+        offs = (
+            cache["mismatch_b"]
+            + cache["full0_b"] * (1.0 - rec0)
+            - cache["full1_b"] * (1.0 - rec1)
+        )
+        return (offs + sigma * noise > 0.0).astype(np.uint8)
+
+    # -- internals -----------------------------------------------------------------
+
+    def _sample_power_on(self) -> np.ndarray:
+        sigma = self._effective_noise_sigma()
+        cache = self._capture_cache
+        if not self._capture_cache_valid(cache, sigma):
+            cache = self._refresh_capture_cache(sigma)
+        state = cache["decision_base"].copy()
+        band = cache["band"]
+        if band.size:
+            noise = self._rng.standard_normal(band.size)
+            state[band] = self._band_decisions(cache, sigma, noise)
+        return state
+
+    def _capture_batch_drained(
+        self, samples: np.ndarray, start: int, off_seconds: float
+    ) -> None:
+        """Fill ``samples[start:]`` with drained power cycles.
+
+        Bit-identical to the equivalent :meth:`power_cycle` sequence: the
+        per-capture relax bookkeeping, cache-refresh schedule and noise
+        consumption are the same — the only difference is that once the
+        drift bound guarantees no mid-burst refresh, the remaining captures'
+        noise is drawn in a single ``(remaining, band)`` call.
+        """
+        n = samples.shape[0]
+        if start >= n:
+            return
+        vdd = self.technology.vdd_nominal
+        st1, st0 = self.age_when_1, self.age_when_0
+        nbti = self._nbti
+        noise_block: "np.ndarray | None" = None
+        block_row = 0
+        for i in range(start, n):
+            if self.powered:
+                self.remove_power(drain=True)
+            nbti.relax_uniform(st1, off_seconds)
+            nbti.relax_uniform(st0, off_seconds)
+            self.technology.check_operating_point(vdd, self.temp_k)
+            sigma = self._effective_noise_sigma()
+            cache = self._capture_cache
+            if not self._capture_cache_valid(cache, sigma):
+                cache = self._refresh_capture_cache(sigma)
+                noise_block, block_row = None, 0
+            band = cache["band"]
+            if (
+                noise_block is None
+                and band.size
+                and i < n - 1
+                and self._capture_cache_valid(
+                    cache, sigma, extra_relax=(n - 1 - i) * off_seconds
+                )
+            ):
+                # No refresh can occur for the rest of the burst: hoist the
+                # remaining captures' noise into one draw (stream-order
+                # identical to per-capture draws).
+                noise_block = self._rng.standard_normal((n - i, band.size))
+                block_row = 0
+            row = samples[i]
+            row[...] = cache["decision_base"]
+            if band.size:
+                if noise_block is not None:
+                    noise = noise_block[block_row]
+                    block_row += 1
+                else:
+                    noise = self._rng.standard_normal(band.size)
+                row[band] = self._band_decisions(cache, sigma, noise)
+            self.powered = True
+            self.vdd = vdd
+        self._data = samples[n - 1].copy()
 
     def _require_power(self) -> None:
         if not self.powered:

@@ -51,11 +51,19 @@ class RemanenceModel:
         )
         return self.tau_nominal_s * float(np.exp(exponent))
 
-    def retention_probability(self, off_seconds: float, temp_k: float) -> float:
-        """Probability a cell retains its value after ``off_seconds``."""
-        if off_seconds < 0:
+    def retention_probability(
+        self, off_seconds: "float | np.ndarray", temp_k: float
+    ) -> "float | np.ndarray":
+        """Probability a cell retains its value after ``off_seconds``.
+
+        ``off_seconds`` may be a scalar or an array of gap lengths; the
+        return type matches.
+        """
+        off = np.asarray(off_seconds, dtype=np.float64)
+        if np.any(off < 0):
             raise ConfigurationError("off time must be >= 0")
-        return float(np.exp(-off_seconds / self.tau(temp_k)))
+        p = np.exp(-off / self.tau(temp_k))
+        return float(p) if np.ndim(off_seconds) == 0 else p
 
     def retained_mask(
         self,
@@ -71,3 +79,28 @@ class RemanenceModel:
         if p >= 1.0:
             return np.ones(n_cells, dtype=bool)
         return rng.random(n_cells) < p
+
+    def retained_masks(
+        self,
+        n_cells: int,
+        off_seconds: float,
+        temp_k: float,
+        rng: np.random.Generator,
+        n_gaps: int,
+    ) -> np.ndarray:
+        """``(n_gaps, n_cells)`` retention masks for a burst of equal gaps.
+
+        Row ``i`` is bit-identical to the ``i``-th of ``n_gaps`` sequential
+        :meth:`retained_mask` calls on the same generator — ``rng.random``
+        fills a 2-D array in row-major stream order — so batch consumers can
+        pre-draw a capture sequence's remanence without perturbing
+        reproducibility.
+        """
+        if n_gaps <= 0:
+            raise ConfigurationError(f"need at least one gap, got {n_gaps}")
+        p = self.retention_probability(off_seconds, temp_k)
+        if p <= 0.0:
+            return np.zeros((n_gaps, n_cells), dtype=bool)
+        if p >= 1.0:
+            return np.ones((n_gaps, n_cells), dtype=bool)
+        return rng.random((n_gaps, n_cells)) < p

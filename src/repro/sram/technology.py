@@ -63,6 +63,12 @@ class TechnologyProfile:
     #: long a cell holds its value without power before decaying.
     remanence_tau_s: float = 0.25
 
+    #: Joint (Vdd, T) envelope derating: every volt of overdrive above
+    #: nominal lowers the absolute-maximum temperature by this many kelvin.
+    #: Datasheets publish exactly this kind of safe-operating-area corner;
+    #: zero (the default) keeps the independent V/T limits.
+    derate_k_per_v: float = 0.0
+
     def __post_init__(self) -> None:
         if self.vdd_nominal <= 0:
             raise ConfigurationError(f"{self.name}: nominal Vdd must be positive")
@@ -77,6 +83,8 @@ class TechnologyProfile:
             raise ConfigurationError(f"{self.name}: correlated share out of range")
         if self.remanence_tau_s <= 0:
             raise ConfigurationError(f"{self.name}: remanence tau must be positive")
+        if self.derate_k_per_v < 0:
+            raise ConfigurationError(f"{self.name}: derating must be >= 0")
 
     # -- derived models -------------------------------------------------------
 
@@ -99,8 +107,18 @@ class TechnologyProfile:
             rec_tau_s=self.nbti_rec_tau_s,
         )
 
+    def temp_max_k(self, vdd: float) -> float:
+        """Absolute-maximum temperature at supply ``vdd`` after derating."""
+        overdrive = max(0.0, vdd - self.vdd_nominal)
+        return self.temp_abs_max_k - self.derate_k_per_v * overdrive
+
     def check_operating_point(self, vdd: float, temp_k: float) -> None:
-        """Raise :class:`OverstressError` outside absolute maximum ratings."""
+        """Raise :class:`OverstressError` outside absolute maximum ratings.
+
+        The temperature limit is the *derated* one for the given supply, so
+        a (stress-Vdd, high-T) corner that each axis alone would allow can
+        still be rejected.
+        """
         if vdd <= 0:
             raise ConfigurationError(f"Vdd must be positive, got {vdd}")
         if temp_k <= 0:
@@ -110,10 +128,16 @@ class TechnologyProfile:
                 f"{self.name}: {vdd} V exceeds absolute maximum "
                 f"{self.vdd_abs_max} V"
             )
-        if temp_k > self.temp_abs_max_k:
+        temp_limit = self.temp_max_k(vdd)
+        if temp_k > temp_limit:
+            detail = (
+                f" (derated from {self.temp_abs_max_k} K at {vdd} V)"
+                if temp_limit < self.temp_abs_max_k
+                else ""
+            )
             raise OverstressError(
                 f"{self.name}: {temp_k} K exceeds absolute maximum "
-                f"{self.temp_abs_max_k} K"
+                f"{temp_limit} K{detail}"
             )
 
     def with_k_scale(self, k_scale: float) -> "TechnologyProfile":

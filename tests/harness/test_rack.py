@@ -69,3 +69,30 @@ def test_payload_count_validated(rack, payloads):
 def test_empty_rack_rejected():
     with pytest.raises(ConfigurationError):
         EncodingRack([])
+
+
+def _run_rack(max_workers):
+    devices = [
+        make_device("MSP432P401", rng=70 + i, sram_kib=1) for i in range(3)
+    ]
+    rack = EncodingRack(devices, max_workers=max_workers)
+    rng = np.random.default_rng(5)
+    payloads = [
+        rng.integers(0, 2, board.device.sram.n_bits).astype(np.uint8)
+        for board in rack.boards
+    ]
+    rack.stage_payloads(payloads)
+    rack.stress_all(stress_hours=4.0)
+    return rack.measure_errors(payloads)
+
+
+def test_worker_count_does_not_change_results():
+    """Slots own their devices and RNG streams, so any pool width must
+    produce identical measurements."""
+    assert _run_rack(1) == _run_rack(4)
+
+
+def test_max_workers_validated():
+    devices = [make_device("MSP432P401", rng=70, sram_kib=1)]
+    with pytest.raises(ConfigurationError):
+        EncodingRack(devices, max_workers=0)

@@ -229,3 +229,62 @@ class TestRemanenceIntegration:
         array.shelve(0.001)  # 1 ms gap, tau = 0.25 s
         state = array.apply_power()
         assert bit_error_rate(data, state) < 0.05
+
+
+class TestWorkloadAccounting:
+    def test_operate_toggle_count_scales_with_duty(self, array):
+        """Regression: operate() used to add writes_per_second * seconds to
+        toggle_count regardless of duty, inflating HCI noise widening for
+        low-duty workloads."""
+        array.apply_power()
+        array.fill(0)
+        before = array.toggle_count
+        array.operate(10.0, duty=0.25, writes_per_second=1000.0)
+        assert array.toggle_count - before == pytest.approx(2500.0)
+
+    def test_operate_zero_duty_adds_no_toggles(self, array):
+        array.apply_power()
+        array.fill(0)
+        before = array.toggle_count
+        array.operate(10.0, duty=0.0, writes_per_second=1000.0)
+        assert array.toggle_count == before
+
+    def test_operate_duty_validated(self, array):
+        array.apply_power()
+        with pytest.raises(ConfigurationError):
+            array.operate(1.0, duty=1.5)
+
+
+class TestOperatingEnvelope:
+    @pytest.fixture
+    def derated_array(self, msp432_profile):
+        """A profile whose safe temperature drops 20 K per volt of
+        overdrive: nominal Vdd allows the full range, stress Vdd does not."""
+        from dataclasses import replace
+
+        profile = replace(msp432_profile, derate_k_per_v=20.0)
+        return SRAMArray.from_kib(1, profile, rng=5)
+
+    def test_set_ambient_checks_live_supply(self, derated_array):
+        """Regression: set_ambient() used to validate against vdd_nominal
+        even while powered at stress Vdd, letting a derated (stress-Vdd, T)
+        corner slip through."""
+        arr = derated_array
+        arr.apply_power()
+        arr.set_voltage(3.3)  # 2.1 V overdrive => limit drops by 42 K
+        bad_temp = arr.technology.temp_abs_max_k - 10.0
+        with pytest.raises(OverstressError):
+            arr.set_ambient(bad_temp)
+
+    def test_set_ambient_uses_nominal_when_unpowered(self, derated_array):
+        arr = derated_array
+        arr.set_ambient(arr.technology.temp_abs_max_k - 10.0)  # fine at nominal
+        assert arr.temp_k == pytest.approx(arr.technology.temp_abs_max_k - 10.0)
+
+    def test_voltage_then_temperature_order_cannot_bypass(self, derated_array):
+        """Raising temperature first, then voltage, hits the same wall."""
+        arr = derated_array
+        arr.set_ambient(arr.technology.temp_abs_max_k - 10.0)
+        arr.apply_power()
+        with pytest.raises(OverstressError):
+            arr.set_voltage(3.3)

@@ -50,3 +50,39 @@ def test_with_k_scale_returns_copy(profile):
 def test_invalid_profiles(kwargs):
     with pytest.raises(ConfigurationError):
         TechnologyProfile(name="bad", node_nm=90, **kwargs)
+
+
+class TestDeratedEnvelope:
+    @pytest.fixture
+    def derated(self):
+        return TechnologyProfile(
+            name="test90",
+            node_nm=90,
+            vdd_nominal=1.2,
+            vdd_abs_max=3.8,
+            derate_k_per_v=20.0,
+        )
+
+    def test_temp_max_drops_with_overdrive(self, derated):
+        assert derated.temp_max_k(1.2) == derated.temp_abs_max_k
+        assert derated.temp_max_k(1.0) == derated.temp_abs_max_k  # no credit below nominal
+        assert derated.temp_max_k(2.2) == pytest.approx(derated.temp_abs_max_k - 20.0)
+
+    def test_joint_corner_rejected(self, derated):
+        near_max = derated.temp_abs_max_k - 5.0
+        derated.check_operating_point(1.2, near_max)  # fine at nominal supply
+        with pytest.raises(OverstressError):
+            derated.check_operating_point(3.3, near_max)
+
+    def test_default_profile_not_derated(self, profile):
+        assert profile.temp_max_k(profile.vdd_abs_max) == profile.temp_abs_max_k
+
+    def test_negative_derating_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TechnologyProfile(
+                name="bad",
+                node_nm=90,
+                vdd_nominal=1.2,
+                vdd_abs_max=3.8,
+                derate_k_per_v=-1.0,
+            )

@@ -91,6 +91,17 @@ class TestBlockView:
         with pytest.raises(BlockLengthError):
             block_view(np.ones(4, dtype=np.uint8), 0)
 
+    def test_pads_with_one(self):
+        v = block_view(np.zeros(5, dtype=np.uint8), 4, pad_value=1)
+        assert v[1].tolist() == [0, 1, 1, 1]
+
+    def test_rejects_non_bit_pad(self):
+        """Regression: any pad_value used to be accepted, leaking non-bit
+        values into downstream Hamming-weight statistics."""
+        for bad in (2, -1, 255):
+            with pytest.raises(BlockLengthError):
+                block_view(np.ones(5, dtype=np.uint8), 4, pad_value=bad)
+
 
 class TestMajorityVote:
     def test_odd_samples(self):

@@ -92,3 +92,24 @@ def test_size_mismatch_rejected(encoded):
     bigger = make_device("MSP432P401", rng=505, sram_kib=2)
     with pytest.raises(ConfigurationError):
         load_device_state(path, bigger)
+
+
+def test_snapshot_roundtrip_with_deferred_relax(encoded):
+    """Shelf time deferred as pending_relax must survive save/load: the
+    snapshot folds it into the per-cell clocks and the restored device
+    carries no stale pending state."""
+    device, _, _, tmp_path = encoded
+    device.sram.shelve(3600.0)  # deferred, not yet folded
+    path = tmp_path / "state.npz"
+    save_device_state(path, device)
+    assert device.sram.age_when_1.pending_relax == 0.0  # folded by save
+
+    resumed = make_device("MSP432P401", rng=502, sram_kib=1)
+    resumed.sram.shelve(7200.0)  # target's own pending state: discarded
+    load_device_state(path, resumed)
+    assert resumed.sram.age_when_1.pending_relax == 0.0
+    assert resumed.sram.age_when_0.pending_relax == 0.0
+    assert np.array_equal(
+        resumed.sram.age_when_1.relax_seconds, device.sram.age_when_1.relax_seconds
+    )
+    assert np.array_equal(resumed.sram.offsets(), device.sram.offsets())
