@@ -14,6 +14,7 @@ from repro.core.payloads import synthetic_image_bytes
 from repro.core.pipeline import InvisibleBits
 from repro.core.steganalysis import analyze_power_on_state
 from repro.device import make_device
+from repro.core.scheme import CodingScheme
 from repro.ecc import RepetitionCode
 from repro.experiments.common import ExperimentResult
 from repro.flashsteg import (
@@ -74,7 +75,8 @@ def run_family_comparison(*, seed: int = 800):
     device = make_device("MSP432P401", rng=seed + 3, sram_kib=2)
     board = ControlBoard(device)
     channel = InvisibleBits(
-        board, key=KEY, ecc=RepetitionCode(7), use_firmware=False
+        board, scheme=CodingScheme(key=KEY, ecc=RepetitionCode(7)),
+        use_firmware=False,
     )
     message = synthetic_image_bytes(200, rng=seed)
     channel.send(message)

@@ -152,6 +152,81 @@ def test_perf_batch_capture_speedup_vs_seed_loop():
     assert speedup >= 5.0
 
 
+def test_perf_telemetry_disabled_overhead():
+    """Collecting spans (forced, no sink) must stay within 1.25x of the
+    fully-disabled null-span path on the receiver hot path.
+
+    The disabled path itself is guarded against regression by
+    ``test_perf_batch_capture_speedup_vs_seed_loop``: the >= 5x gate is
+    measured against an *uninstrumented* replica of the pre-batching
+    algorithm, so any always-on telemetry cost would erode that margin
+    (docs/telemetry.md, overhead contract: < 5% disabled-mode).
+    """
+    from repro import telemetry
+
+    if telemetry.enabled():  # REPRO_TRACE runs measure the enabled path
+        pytest.skip("a sink is attached (REPRO_TRACE): no disabled path")
+    arr = _aged_full_array(seed=3)
+    arr.capture_power_on_states(5)  # warm the caches
+
+    def best_of(fn, reps=9):
+        best = float("inf")
+        for _ in range(reps):
+            t0 = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - t0)
+        return best
+
+    t_off = best_of(lambda: arr.capture_power_on_states(5))
+
+    with telemetry.trace("bench", force=True):
+        t_collecting = best_of(lambda: arr.capture_power_on_states(5))
+
+    ratio = t_collecting / t_off
+    print(f"\ntelemetry collecting/disabled ratio: {ratio:.3f} "
+          f"({t_off * 1e3:.2f} ms -> {t_collecting * 1e3:.2f} ms)")
+    # Span collection is burst-granular: a handful of dict ops per
+    # 524,288-cell burst.
+    assert ratio < 1.25
+
+
+def test_perf_telemetry_enabled_overhead():
+    """With a live RingBufferSink the capture hot path must stay within
+    1.25x of the disabled path (record volume is burst-granular, never
+    per cell or per capture)."""
+    from repro import telemetry
+    from repro.telemetry import RingBufferSink
+
+    arr = _aged_full_array(seed=4)
+    arr.capture_power_on_states(5)  # warm-up
+
+    def best_of(fn, reps=9):
+        best = float("inf")
+        for _ in range(reps):
+            t0 = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - t0)
+        return best
+
+    t_disabled = best_of(lambda: arr.capture_power_on_states(5))
+
+    sink = RingBufferSink()
+    telemetry.add_sink(sink)
+    try:
+        t_enabled = best_of(lambda: arr.capture_power_on_states(5))
+    finally:
+        telemetry.remove_sink(sink)
+
+    assert len(sink) > 0  # it really recorded
+    spans = sink.records(type="span", name="sram.capture")
+    assert spans and spans[-1]["counters"]["sram.captures"] == 5
+
+    ratio = t_enabled / t_disabled
+    print(f"\ntelemetry enabled/disabled ratio: {ratio:.3f} "
+          f"({t_disabled * 1e3:.2f} ms -> {t_enabled * 1e3:.2f} ms)")
+    assert ratio < 1.25
+
+
 def test_perf_rack_measure_throughput(benchmark):
     """Tray-wide channel measurement: 4 boards x 5 captures each."""
     devices = [make_device("MSP432P401", rng=80 + i, sram_kib=4) for i in range(4)]

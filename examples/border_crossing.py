@@ -11,7 +11,7 @@ Run:  python examples/border_crossing.py
 
 import numpy as np
 
-from repro import ControlBoard, InvisibleBits, make_device, paper_end_to_end_code
+from repro import ControlBoard, InvisibleBits, make_device, paper_end_to_end_scheme
 from repro.core.adversary import MultipleSnapshotAdversary
 from repro.core.steganalysis import analyze_power_on_state
 from repro.units import days, hours
@@ -27,7 +27,7 @@ def main() -> None:
     # ---------------------------------------------------------------- Alice
     device = make_device("MSP432P401", rng=73, sram_kib=8)
     board = ControlBoard(device)
-    alice = InvisibleBits(board, key=KEY, ecc=paper_end_to_end_code(7))
+    alice = InvisibleBits(board, scheme=paper_end_to_end_scheme(KEY, copies=7))
     alice.send(REPORT)  # full recipe: firmware, 10 h at 3.3 V / 85 C
     print(f"[alice]    report encoded ({len(REPORT)} bytes), camouflage app "
           "flashed")
@@ -67,7 +67,7 @@ def main() -> None:
           "flipped (measurement noise) -> released")
 
     # ----------------------------------------------------------------- Bob
-    bob = InvisibleBits(board, key=KEY, ecc=paper_end_to_end_code(7))
+    bob = InvisibleBits(board, scheme=paper_end_to_end_scheme(KEY, copies=7))
     result = bob.receive()
     print(f"[bob]      recovered: {result.message.decode()!r}")
     assert result.message == REPORT

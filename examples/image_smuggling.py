@@ -11,7 +11,7 @@ Run:  python examples/image_smuggling.py
 
 import numpy as np
 
-from repro import ControlBoard, InvisibleBits, make_device, paper_end_to_end_code
+from repro import ControlBoard, InvisibleBits, make_device, paper_end_to_end_scheme
 from repro.bitutils import bits_to_bytes, bytes_to_bits, invert_bits
 from repro.core.payloads import logo_bitmap, render_bitmap
 from repro.core.steganalysis import analyze_power_on_state
@@ -47,7 +47,7 @@ def main() -> None:
     # 2. With the paper's ECC stack: pixel-perfect recovery.
     device2 = make_device("MSP432P401", rng=12, sram_kib=2)
     channel = InvisibleBits(
-        ControlBoard(device2), ecc=paper_end_to_end_code(7), use_firmware=False
+        ControlBoard(device2), scheme=paper_end_to_end_scheme(copies=7), use_firmware=False
     )
     padded = np.concatenate(
         [image_bits, np.zeros((-image_bits.size) % 8, dtype=np.uint8)]
@@ -62,7 +62,7 @@ def main() -> None:
     device3 = make_device("MSP432P401", rng=13, sram_kib=2)
     board3 = ControlBoard(device3)
     channel3 = InvisibleBits(
-        board3, key=KEY, ecc=paper_end_to_end_code(7), use_firmware=False
+        board3, scheme=paper_end_to_end_scheme(KEY, copies=7), use_firmware=False
     )
     channel3.send(bits_to_bytes(padded))
     state3 = board3.majority_power_on_state(5)

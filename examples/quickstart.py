@@ -8,7 +8,7 @@ power-on states -> majority vote -> invert -> decrypt -> decode.
 Run:  python examples/quickstart.py
 """
 
-from repro import ControlBoard, InvisibleBits, make_device, paper_end_to_end_code
+from repro import ControlBoard, InvisibleBits, make_device, paper_end_to_end_scheme
 
 PRE_SHARED_KEY = b"0123456789abcdef"
 MESSAGE = b"meet at the dead drop at dawn; bring the second notebook"
@@ -19,9 +19,7 @@ def main() -> None:
     device = make_device("MSP432P401", rng=2024, sram_kib=8)
     board = ControlBoard(device)
     alice = InvisibleBits(
-        board,
-        key=PRE_SHARED_KEY,
-        ecc=paper_end_to_end_code(copies=7),
+        board, scheme=paper_end_to_end_scheme(PRE_SHARED_KEY, copies=7)
     )
 
     print(f"device:      {device.spec.name} "
@@ -38,9 +36,7 @@ def main() -> None:
 
     # --- Bob: same pre-shared parameters, same device, other end of the trip.
     bob = InvisibleBits(
-        board,
-        key=PRE_SHARED_KEY,
-        ecc=paper_end_to_end_code(copies=7),
+        board, scheme=paper_end_to_end_scheme(PRE_SHARED_KEY, copies=7)
     )
     result = bob.receive()
     print(f"captures:    {result.n_captures} power-on states, majority voted")

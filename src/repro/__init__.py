@@ -8,16 +8,25 @@ in full and usable against real captures.
 
 Quickstart::
 
-    from repro import InvisibleBits, make_device, ControlBoard, paper_end_to_end_code
+    from repro import InvisibleBits, make_device, ControlBoard, paper_end_to_end_scheme
 
     device = make_device("MSP432P401", rng=1, sram_kib=8)
     board = ControlBoard(device)
-    channel = InvisibleBits(board, key=b"0123456789abcdef", ecc=paper_end_to_end_code())
+    scheme = paper_end_to_end_scheme(key=b"0123456789abcdef")
+    channel = InvisibleBits(board, scheme=scheme)
     channel.send(b"meet at the dead drop at dawn")
     print(channel.receive().message)
+
+To see what the channel did — spans for stress, capture, vote, decrypt and
+ECC decode, with per-capture bit error rates — attach a telemetry sink
+before sending (see :mod:`repro.telemetry` and ``docs/telemetry.md``), or
+run any CLI command under ``repro --trace out.jsonl ...`` and inspect it
+with ``repro telemetry summarize out.jsonl``.
 """
 
+from . import telemetry
 from .bitutils import (
+    Captures,
     bit_error_rate,
     bits_to_bytes,
     bytes_to_bits,
@@ -28,6 +37,7 @@ from .bitutils import (
 )
 from .core import (
     ChannelModel,
+    CodingScheme,
     DecodeResult,
     EncodeResult,
     FrameFormat,
@@ -41,6 +51,7 @@ from .core import (
     compare_device_populations,
     measure_channel_error,
     normal_operation_effect,
+    paper_end_to_end_scheme,
     parallel_device_selection,
     plan_scheme,
     restore_encoding,
@@ -88,8 +99,10 @@ __all__ = [
     "AesCtr",
     "BCHCode",
     "BlockInterleaver",
+    "Captures",
     "ChannelModel",
     "Code",
+    "CodingScheme",
     "ConcatenatedCode",
     "ControlBoard",
     "DebugPort",
@@ -141,10 +154,12 @@ __all__ = [
     "normal_operation_effect",
     "normalized_entropy",
     "paper_end_to_end_code",
+    "paper_end_to_end_scheme",
     "parallel_device_selection",
     "plan_scheme",
     "restore_encoding",
     "save_captures",
     "shannon_entropy",
+    "telemetry",
     "welch_t_test",
 ]

@@ -12,6 +12,13 @@ import numpy as np
 
 from .errors import BlockLengthError
 
+#: The library-wide convention for a stack of power-on captures: a numpy
+#: array of shape ``(n_captures, n_bits)`` and dtype ``uint8`` (one 0/1
+#: bit per element).  ``ControlBoard.capture_power_on_states``,
+#: ``InvisibleBits.capture_samples`` and ``repro.io.load_captures`` all
+#: return exactly this; ``majority_vote`` consumes it.
+Captures = np.ndarray
+
 
 def bytes_to_bits(data: bytes | bytearray | np.ndarray) -> np.ndarray:
     """Unpack bytes into a bit array (MSB first within each byte)."""

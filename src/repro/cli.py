@@ -6,7 +6,9 @@ Commands:
 - ``roundtrip`` — run the full protocol on a simulated device;
 - ``survey`` — capacity/error planning across the catalog;
 - ``experiment`` — regenerate one of the paper's tables/figures by ID
-  (``fig06``, ``tab04``, ...; ``--list`` shows all).
+  (``fig06``, ``tab04``, ...; ``--list`` shows all);
+- ``telemetry summarize <path>`` — render a JSONL trace written by the
+  global ``--trace PATH`` option (or the ``REPRO_TRACE`` env var).
 """
 
 from __future__ import annotations
@@ -63,19 +65,15 @@ def _cmd_list_devices(_args) -> int:
 
 def _cmd_roundtrip(args) -> int:
     from .core.pipeline import InvisibleBits
-    from .ecc.product import paper_end_to_end_code
+    from .core.scheme import paper_end_to_end_scheme
     from .device.catalog import make_device
     from .harness.controlboard import ControlBoard
 
     device = make_device(args.device, rng=args.seed, sram_kib=args.sram_kib)
     board = ControlBoard(device)
     key = bytes.fromhex(args.key) if args.key else None
-    channel = InvisibleBits(
-        board,
-        key=key,
-        ecc=paper_end_to_end_code(args.copies),
-        use_firmware=not args.fast,
-    )
+    scheme = paper_end_to_end_scheme(key, copies=args.copies)
+    channel = InvisibleBits(board, scheme=scheme, use_firmware=not args.fast)
     message = args.message.encode()
     print(f"encoding {len(message)} bytes on {device.spec.name} "
           f"({device.sram.n_bytes // 1024} KiB slice)...")
@@ -205,6 +203,21 @@ def _cmd_trng(args) -> int:
     return 0
 
 
+def _cmd_telemetry(args) -> int:
+    """Inspect trace files written by ``--trace`` or ``REPRO_TRACE``."""
+    from .telemetry import summarize_file
+
+    if args.action != "summarize":  # argparse choices already guard this
+        print(f"unknown telemetry action {args.action!r}", file=sys.stderr)
+        return 2
+    try:
+        print(summarize_file(args.path))
+    except FileNotFoundError:
+        print(f"{args.path}: no such trace file", file=sys.stderr)
+        return 2
+    return 0
+
+
 def _cmd_experiment(args) -> int:
     if args.list or not args.id:
         for exp_id in sorted(EXPERIMENTS):
@@ -235,6 +248,13 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Invisible Bits (ASPLOS 2022) reproduction toolkit",
+    )
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="write a JSONL telemetry trace of the command to PATH "
+        "(inspect with `repro telemetry summarize PATH`)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -289,11 +309,28 @@ def build_parser() -> argparse.ArgumentParser:
     trng.add_argument("--bytes", type=int, default=64)
     trng.add_argument("--seed", type=int, default=0)
     trng.set_defaults(func=_cmd_trng)
+
+    telemetry_cmd = sub.add_parser(
+        "telemetry", help="inspect a JSONL telemetry trace"
+    )
+    telemetry_cmd.add_argument("action", choices=["summarize"])
+    telemetry_cmd.add_argument("path", help="trace file from --trace/REPRO_TRACE")
+    telemetry_cmd.set_defaults(func=_cmd_telemetry)
     return parser
 
 
 def main(argv: "list[str] | None" = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.trace:
+        from . import telemetry
+
+        sink = telemetry.JsonlSink(args.trace)
+        telemetry.add_sink(sink)
+        try:
+            return args.func(args)
+        finally:
+            telemetry.remove_sink(sink)
+            sink.close()
     return args.func(args)
 
 

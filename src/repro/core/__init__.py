@@ -16,6 +16,7 @@ from .adversary import (
 from .channel import ChannelModel, bsc_capacity, measure_channel_error
 from .message import FrameFormat, build_payload, extract_message
 from .pipeline import DecodeResult, EncodeResult, InvisibleBits
+from .scheme import CodingScheme, paper_end_to_end_scheme
 from .planner import (
     CapacityPoint,
     capacity_error_tradeoff,
@@ -28,6 +29,7 @@ __all__ = [
     "AdversarialAgingResult",
     "ChannelModel",
     "CapacityPoint",
+    "CodingScheme",
     "DecodeResult",
     "EncodeResult",
     "FrameFormat",
@@ -43,6 +45,7 @@ __all__ = [
     "extract_message",
     "measure_channel_error",
     "normal_operation_effect",
+    "paper_end_to_end_scheme",
     "parallel_device_selection",
     "plan_scheme",
     "restore_encoding",

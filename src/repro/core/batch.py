@@ -15,6 +15,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .. import telemetry
 from ..bitutils import bit_error_rate, invert_bits
 from ..errors import ConfigurationError
 from ..harness.controlboard import ControlBoard
@@ -99,13 +100,25 @@ def encode_fleet(
         return FleetMember(index=index, board=board, measured_error=error)
 
     workers = max_workers or min(n_devices, os.cpu_count() or 1)
-    if workers <= 1 or n_devices == 1:
-        members = [encode_one(i) for i in range(n_devices)]
-    else:
-        with ThreadPoolExecutor(max_workers=workers) as pool:
-            members = list(pool.map(encode_one, range(n_devices)))
+    with telemetry.trace(
+        "fleet.encode",
+        device=device_name,
+        n_devices=n_devices,
+        sram_kib=sram_kib,
+        workers=workers,
+    ) as span:
+        if workers <= 1 or n_devices == 1:
+            members = [encode_one(i) for i in range(n_devices)]
+        else:
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                members = list(pool.map(encode_one, range(n_devices)))
 
-    members.sort(key=lambda m: m.measured_error)
-    winner = members[0]
-    scheme = plan_scheme(max(winner.measured_error, 1e-6), target_error)
-    return FleetSelection(members=members, winner=winner, scheme=scheme)
+        members.sort(key=lambda m: m.measured_error)
+        winner = members[0]
+        scheme = plan_scheme(max(winner.measured_error, 1e-6), target_error)
+        span.set(
+            winner_index=winner.index,
+            winner_error=winner.measured_error,
+            scheme=getattr(scheme, "name", str(scheme)),
+        )
+        return FleetSelection(members=members, winner=winner, scheme=scheme)

@@ -8,22 +8,36 @@ control-board automation:
 - :meth:`InvisibleBits.receive` — Algorithm 2: capture N power-on states,
   majority vote, invert, decrypt, ECC-decode.
 
-Both ends must construct the scheme from the same pre-shared parameters
-(key, ECC, frame format) — exactly the paper's assumption (footnote 3).
+Both ends must construct the scheme from the same pre-shared parameters —
+exactly the paper's assumption (footnote 3).  The pre-shared bundle is a
+:class:`~repro.core.scheme.CodingScheme`; the loose ``key=``/``ecc=``/
+``frame=``/``n_captures=`` keyword arguments survive as deprecated
+aliases.
+
+Every ``send``/``receive`` runs inside a (forced) telemetry span, so
+decode provenance — per-capture BER, vote-margin histogram, ECC
+correction counts — is collected whether or not a sink is attached; with
+a sink (e.g. ``repro --trace out.jsonl``) the same spans are emitted as
+records.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
 import numpy as np
 
-from ..bitutils import bit_error_rate, invert_bits
-from ..crypto.ctr import AesCtr, nonce_from_device_id
+from .. import telemetry
+from ..bitutils import Captures, bit_error_rate, invert_bits, majority_vote
+from ..crypto.ctr import AesCtr
 from ..ecc.base import Code
 from ..errors import ConfigurationError
 from ..harness.controlboard import ControlBoard
 from .message import FrameFormat, build_payload, extract_message
+from .scheme import CodingScheme
+
+_UNSET = object()
 
 
 @dataclass(frozen=True)
@@ -43,57 +57,158 @@ class EncodeResult:
 
 @dataclass(frozen=True)
 class DecodeResult:
-    """What the receiver recovers, with channel diagnostics."""
+    """What the receiver recovers, with channel diagnostics.
+
+    The diagnostic fields are populated on every :meth:`InvisibleBits.receive`
+    — no caller-side BER recomputation needed:
+
+    - ``per_capture_flip_rate``: each capture's disagreement with the
+      majority-voted state (the noise floor the vote suppresses);
+    - ``vote_margin_hist``: histogram of per-bit vote margins
+      ``|2 * ones - n_captures|`` (index = margin);
+    - ``ecc_corrections``: corrections performed during decode (Hamming
+      blocks repaired + repetition copies overruled), from telemetry;
+    - ``raw_error_vs`` / ``per_capture_error_vs``: channel BER against the
+      true payload, filled when ``receive(expected_payload=...)`` knows it.
+    """
 
     message: bytes
     power_on_state: np.ndarray
     recovered_payload: np.ndarray
     n_captures: int
     raw_error_vs: "float | None" = None  # filled when the truth is known
+    captures: "Captures | None" = None
+    per_capture_flip_rate: "tuple[float, ...] | None" = None
+    per_capture_error_vs: "tuple[float, ...] | None" = None
+    vote_margin_hist: "tuple[int, ...] | None" = None
+    ecc_corrections: "int | None" = None
+
+    def provenance(self) -> dict:
+        """The per-receive provenance record (JSON-ready)."""
+        return {
+            "n_captures": self.n_captures,
+            "message_bytes": len(self.message),
+            "raw_error_vs": self.raw_error_vs,
+            "per_capture_error_vs": (
+                list(self.per_capture_error_vs)
+                if self.per_capture_error_vs is not None
+                else None
+            ),
+            "per_capture_flip_rate": (
+                list(self.per_capture_flip_rate)
+                if self.per_capture_flip_rate is not None
+                else None
+            ),
+            "vote_margin_hist": (
+                list(self.vote_margin_hist)
+                if self.vote_margin_hist is not None
+                else None
+            ),
+            "ecc_corrections": self.ecc_corrections,
+        }
 
 
 class InvisibleBits:
-    """One party's view of the covert channel for a specific device."""
+    """One party's view of the covert channel for a specific device.
+
+    ``InvisibleBits(board, scheme=CodingScheme(...))`` is the primary
+    constructor; both ends build the same scheme from the pre-shared
+    parameters.  The legacy ``key=``/``ecc=``/``frame=``/``n_captures=``
+    keywords still work but emit :class:`DeprecationWarning` — they
+    produce bit-identical results to the equivalent scheme.
+    """
 
     def __init__(
         self,
         board: ControlBoard,
         *,
-        key: "bytes | None" = None,
-        ecc: "Code | None" = None,
-        frame: "FrameFormat | None" = None,
-        n_captures: int = 5,
+        scheme: "CodingScheme | None" = None,
+        key=_UNSET,
+        ecc=_UNSET,
+        frame=_UNSET,
+        n_captures=_UNSET,
         use_firmware: bool = True,
     ):
-        if n_captures < 1 or n_captures % 2 == 0:
-            raise ConfigurationError("n_captures must be positive odd (§4.3)")
+        legacy = {
+            name: value
+            for name, value in (
+                ("key", key),
+                ("ecc", ecc),
+                ("frame", frame),
+                ("n_captures", n_captures),
+            )
+            if value is not _UNSET
+        }
+        if legacy and scheme is not None:
+            raise ConfigurationError(
+                "pass either scheme=CodingScheme(...) or the legacy keyword "
+                f"arguments, not both (got scheme and {sorted(legacy)})"
+            )
+        if legacy:
+            warnings.warn(
+                "InvisibleBits(key=, ecc=, frame=, n_captures=) is deprecated; "
+                "build a repro.CodingScheme once and pass scheme=... on both "
+                "ends",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            frame_value = legacy.get("frame")
+            scheme = CodingScheme(
+                key=legacy.get("key"),
+                ecc=legacy.get("ecc"),
+                frame=frame_value if frame_value is not None else FrameFormat(),
+                n_captures=legacy.get("n_captures", 5),
+            )
+        elif scheme is None:
+            scheme = CodingScheme()
         self.board = board
-        self.key = key
-        self.ecc = ecc
-        self.frame = frame or FrameFormat()
-        self.n_captures = n_captures
+        self.scheme = scheme
         self.use_firmware = use_firmware
+
+    # -- scheme views (kept for backward compatibility) ---------------------------
+
+    @property
+    def key(self) -> "bytes | None":
+        return self.scheme.key
+
+    @property
+    def ecc(self) -> "Code | None":
+        return self.scheme.ecc
+
+    @property
+    def frame(self) -> FrameFormat:
+        return self.scheme.frame
+
+    @property
+    def n_captures(self) -> int:
+        return self.scheme.n_captures
 
     # -- crypto envelope ----------------------------------------------------------
 
     def _cipher(self) -> "AesCtr | None":
-        if self.key is None:
-            return None
-        nonce = nonce_from_device_id(self.board.device.device_id)
-        return AesCtr(self.key, nonce)
+        return self.scheme.cipher(self.board.device.device_id)
+
+    def _span_attrs(self) -> dict:
+        device = self.board.device
+        return {
+            "device": device.spec.name,
+            "device_id": device.device_id.hex(),
+            "scheme": self.scheme.describe(),
+        }
 
     # -- Algorithm 1 -----------------------------------------------------------------
 
     def prepare_payload(self, message: bytes) -> np.ndarray:
         """Message pre-processing only (ECC then encryption, §4.1)."""
-        plain = build_payload(
-            message,
-            self.board.device.sram.n_bits,
-            ecc=self.ecc,
-            frame=self.frame,
-        )
-        cipher = self._cipher()
-        return cipher.process_bits(plain) if cipher else plain
+        with telemetry.trace("channel.prepare", message_bytes=len(message)):
+            plain = build_payload(
+                message,
+                self.board.device.sram.n_bits,
+                ecc=self.ecc,
+                frame=self.frame,
+            )
+            cipher = self._cipher()
+            return cipher.process_bits(plain) if cipher else plain
 
     def send(
         self,
@@ -103,26 +218,39 @@ class InvisibleBits:
         camouflage: bool = True,
     ) -> EncodeResult:
         """Run the full sender side against the bound device."""
-        payload = self.prepare_payload(message)
         recipe = self.board.device.spec.recipe
         stress_hours = recipe.stress_hours if stress_hours is None else stress_hours
-        self.board.encode_message(
-            payload,
-            stress_hours=stress_hours,
-            use_firmware=self.use_firmware,
-            camouflage=camouflage,
-        )
-        coded_bits = self.frame.header_bits + (
-            len(message) * 8 if self.ecc is None
-            else -(-len(message) * 8 // self.ecc.k) * self.ecc.n
-        )
-        return EncodeResult(
-            payload_bits=payload,
+        with telemetry.trace(
+            "channel.send",
+            force=True,
             message_bytes=len(message),
-            coded_bits=coded_bits,
             stress_hours=stress_hours,
-            encrypted=self.key is not None,
-        )
+            recipe={
+                "vdd_stress": recipe.vdd_stress,
+                "temp_stress_c": recipe.temp_stress_c,
+                "stress_hours": recipe.stress_hours,
+            },
+            **self._span_attrs(),
+        ) as span:
+            payload = self.prepare_payload(message)
+            self.board.encode_message(
+                payload,
+                stress_hours=stress_hours,
+                use_firmware=self.use_firmware,
+                camouflage=camouflage,
+            )
+            coded_bits = self.frame.header_bits + (
+                len(message) * 8 if self.ecc is None
+                else -(-len(message) * 8 // self.ecc.k) * self.ecc.n
+            )
+            span.set(coded_bits=coded_bits)
+            return EncodeResult(
+                payload_bits=payload,
+                message_bytes=len(message),
+                coded_bits=coded_bits,
+                stress_hours=stress_hours,
+                encrypted=self.scheme.encrypted,
+            )
 
     # -- Algorithm 2 -----------------------------------------------------------------
 
@@ -142,28 +270,91 @@ class InvisibleBits:
         message_len: "int | None" = None,
         expected_payload: "np.ndarray | None" = None,
     ) -> DecodeResult:
-        """Run the full receiver side against the bound device."""
-        state, recovered = self.recover_payload()
-        cipher = self._cipher()
-        plain = cipher.process_bits(recovered) if cipher else recovered
-        message = extract_message(
-            plain, ecc=self.ecc, frame=self.frame, message_len=message_len
-        )
-        raw_error = (
-            bit_error_rate(expected_payload, recovered)
-            if expected_payload is not None
-            else None
-        )
-        return DecodeResult(
-            message=message,
-            power_on_state=state,
-            recovered_payload=recovered,
-            n_captures=self.n_captures,
-            raw_error_vs=raw_error,
-        )
+        """Run the full receiver side against the bound device.
+
+        Passing ``expected_payload`` (the sender's ``EncodeResult
+        .payload_bits``) additionally fills the truth-referenced channel
+        diagnostics: ``raw_error_vs`` and ``per_capture_error_vs``.
+        """
+        with telemetry.trace(
+            "channel.receive", force=True, **self._span_attrs()
+        ) as span:
+            samples = self.board.capture_power_on_states(self.n_captures)
+
+            with telemetry.trace("channel.vote", n_captures=self.n_captures):
+                state = majority_vote(samples)
+                ones = samples.sum(axis=0, dtype=np.int64)
+                margins = np.abs(2 * ones - self.n_captures)
+                margin_hist = tuple(
+                    int(v) for v in np.bincount(margins, minlength=self.n_captures + 1)
+                )
+                flip_rate = tuple(
+                    float(np.count_nonzero(row != state)) / state.size
+                    for row in samples
+                )
+            recovered = invert_bits(state)
+
+            cipher = self._cipher()
+            with telemetry.trace("channel.decrypt", encrypted=cipher is not None):
+                plain = cipher.process_bits(recovered) if cipher else recovered
+
+            with telemetry.trace(
+                "channel.ecc_decode",
+                code=self.ecc.name if self.ecc is not None else "identity",
+            ) as ecc_span:
+                message = extract_message(
+                    plain, ecc=self.ecc, frame=self.frame, message_len=message_len
+                )
+                corrections = int(
+                    sum(
+                        count
+                        for name, count in ecc_span.counters.items()
+                        if name.endswith(".corrections")
+                    )
+                )
+
+            raw_error = None
+            per_capture_error = None
+            if expected_payload is not None:
+                raw_error = bit_error_rate(expected_payload, recovered)
+                expected_state = invert_bits(expected_payload)
+                per_capture_error = tuple(
+                    float(np.count_nonzero(row != expected_state))
+                    / expected_state.size
+                    for row in samples
+                )
+            span.set(
+                n_captures=self.n_captures,
+                vote_margin_hist=list(margin_hist),
+                per_capture_flip_rate=list(flip_rate),
+                per_capture_ber=(
+                    list(per_capture_error) if per_capture_error else None
+                ),
+                raw_error_vs=raw_error,
+                ecc_corrections=corrections,
+                message_bytes=len(message),
+            )
+            return DecodeResult(
+                message=message,
+                power_on_state=state,
+                recovered_payload=recovered,
+                n_captures=self.n_captures,
+                raw_error_vs=raw_error,
+                captures=samples,
+                per_capture_flip_rate=flip_rate,
+                per_capture_error_vs=per_capture_error,
+                vote_margin_hist=margin_hist,
+                ecc_corrections=corrections,
+            )
 
     # -- diagnostics --------------------------------------------------------------------
 
-    def capture_samples(self, n: "int | None" = None) -> np.ndarray:
-        """Raw power-on captures for steganalysis or channel measurement."""
+    def capture_samples(self, n: "int | None" = None) -> Captures:
+        """Raw power-on captures for steganalysis or channel measurement.
+
+        Returns :data:`~repro.bitutils.Captures` — shape
+        ``(n_captures, n_bits)``, dtype ``uint8`` — the same convention as
+        :meth:`ControlBoard.capture_power_on_states` and
+        :func:`repro.io.load_captures`.
+        """
         return self.board.capture_power_on_states(n or self.n_captures)

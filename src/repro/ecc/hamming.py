@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from .. import telemetry
 from ..errors import ConfigurationError
 from .base import Code
 
@@ -78,6 +79,9 @@ class HammingCode(Code):
         rows = np.nonzero(has_error)[0]
         cols = error_pos[rows] - 1
         blocks[rows, cols] ^= 1
+        if telemetry.active():
+            telemetry.count("ecc.hamming.corrections", int(rows.size))
+            telemetry.count("ecc.hamming.blocks", int(blocks.shape[0]))
         return blocks[:, self._data_positions - 1].ravel()
 
 

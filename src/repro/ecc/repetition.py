@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from .. import telemetry
 from ..bitutils import majority_vote
 from ..errors import ConfigurationError
 from .base import Code
@@ -51,6 +52,16 @@ class RepetitionCode(Code):
         bits = self._check_decode_input(code)
         if self.layout == "block":
             samples = bits.reshape(self.copies, -1)
-            return majority_vote(samples)
-        per_bit = bits.reshape(-1, self.copies)
-        return majority_vote(per_bit.T)
+            voted = majority_vote(samples)
+        else:
+            samples = bits.reshape(-1, self.copies).T
+            voted = majority_vote(samples)
+        if telemetry.active():
+            # Copies overruled by the vote — the paper's per-capture
+            # "disagreement" accounting, one level up the stack.
+            telemetry.count(
+                "ecc.repetition.corrections",
+                int(np.count_nonzero(samples != voted[None, :])),
+            )
+            telemetry.count("ecc.repetition.bits", int(voted.size))
+        return voted

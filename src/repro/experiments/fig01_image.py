@@ -18,7 +18,7 @@ from ..core.pipeline import InvisibleBits
 from ..core.payloads import logo_bitmap
 from ..core.steganalysis import analyze_power_on_state
 from ..device import make_device
-from ..ecc.product import paper_end_to_end_code
+from ..core.scheme import paper_end_to_end_scheme
 from ..harness import ControlBoard
 from .common import ExperimentResult
 
@@ -73,7 +73,7 @@ def run(*, sram_kib: float = 2, seed: int = 1) -> Figure1Panels:
     # (d) recovered through the paper's ECC stack
     device_d, board_d = rig(seed + 2)
     channel_d = InvisibleBits(
-        board_d, ecc=paper_end_to_end_code(7), use_firmware=False
+        board_d, scheme=paper_end_to_end_scheme(copies=7), use_firmware=False
     )
     from ..bitutils import bits_to_bytes
 
@@ -91,7 +91,7 @@ def run(*, sram_kib: float = 2, seed: int = 1) -> Figure1Panels:
     # (e) encrypted image encoded
     device_e, board_e = rig(seed + 3)
     channel_e = InvisibleBits(
-        board_e, key=KEY, ecc=paper_end_to_end_code(7), use_firmware=False
+        board_e, scheme=paper_end_to_end_scheme(KEY, copies=7), use_firmware=False
     )
     channel_e.send(bits_to_bytes(padded))
     state_e = board_e.majority_power_on_state(5)

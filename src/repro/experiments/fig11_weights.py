@@ -13,6 +13,7 @@ from dataclasses import dataclass
 
 from ..core.payloads import synthetic_image_bytes
 from ..core.pipeline import InvisibleBits
+from ..core.scheme import CodingScheme
 from ..device import make_device
 from ..ecc.product import paper_end_to_end_code
 from ..harness import ControlBoard
@@ -55,7 +56,7 @@ def run(*, sram_kib: float = 4, seed: int = 12) -> Figure11Data:
     # plaintext hidden message
     dev_p = make_device("MSP432P401", rng=seed + 1, sram_kib=sram_kib)
     board_p = ControlBoard(dev_p)
-    chan_p = InvisibleBits(board_p, ecc=ecc, use_firmware=False)
+    chan_p = InvisibleBits(board_p, scheme=CodingScheme(ecc=ecc), use_firmware=False)
     chan_p.send(_message_bytes(board_p, ecc))
     state_p = board_p.majority_power_on_state(5)
     densities["hidden message (plain-text)"] = block_weight_density(state_p)
@@ -67,7 +68,9 @@ def run(*, sram_kib: float = 4, seed: int = 12) -> Figure11Data:
     # encrypted hidden message
     dev_e = make_device("MSP432P401", rng=seed + 2, sram_kib=sram_kib)
     board_e = ControlBoard(dev_e)
-    chan_e = InvisibleBits(board_e, key=KEY, ecc=ecc, use_firmware=False)
+    chan_e = InvisibleBits(
+        board_e, scheme=CodingScheme(key=KEY, ecc=ecc), use_firmware=False
+    )
     chan_e.send(_message_bytes(board_e, ecc))
     state_e = board_e.majority_power_on_state(5)
     densities["hidden message (encrypted)"] = block_weight_density(state_e)

@@ -13,6 +13,7 @@ from dataclasses import dataclass
 
 from ..core.payloads import synthetic_image_bytes
 from ..core.pipeline import InvisibleBits
+from ..core.scheme import CodingScheme
 from ..device import make_device
 from ..ecc.product import paper_end_to_end_code
 from ..harness import ControlBoard
@@ -52,12 +53,16 @@ def run(*, sram_kib: float = 8, seed: int = 13) -> Figure12Data:
     message = synthetic_image_bytes(
         max(1, max_message_bytes(dev_p.sram.n_bits, ecc=ecc) - 4), rng=3
     )
-    InvisibleBits(board_p, ecc=ecc, use_firmware=False).send(message)
+    InvisibleBits(
+        board_p, scheme=CodingScheme(ecc=ecc), use_firmware=False
+    ).send(message)
     record("hidden message (plain-text)", board_p.majority_power_on_state(5))
 
     dev_e = make_device("MSP432P401", rng=seed + 2, sram_kib=sram_kib)
     board_e = ControlBoard(dev_e)
-    InvisibleBits(board_e, key=KEY, ecc=ecc, use_firmware=False).send(message)
+    InvisibleBits(
+        board_e, scheme=CodingScheme(key=KEY, ecc=ecc), use_firmware=False
+    ).send(message)
     record("hidden message (encrypted)", board_e.majority_power_on_state(5))
 
     result.notes = (

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from ..core.pipeline import InvisibleBits
 from ..device import make_device
-from ..ecc.product import paper_end_to_end_code
+from ..core.scheme import paper_end_to_end_scheme
 from ..harness import ControlBoard
 from .common import ExperimentResult
 
@@ -25,7 +25,7 @@ def run(*, sram_kib: float = 4, seed: int = 15) -> ExperimentResult:
     device = make_device("MSP432P401", rng=seed, sram_kib=sram_kib)
     board = ControlBoard(device)
     channel = InvisibleBits(
-        board, key=KEY, ecc=paper_end_to_end_code(7), use_firmware=False
+        board, scheme=paper_end_to_end_scheme(KEY, copies=7), use_firmware=False
     )
     sent = channel.send(MESSAGE)
     received = channel.receive(expected_payload=sent.payload_bits)

@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from ..core.adversary import MultipleSnapshotAdversary
 from ..core.payloads import synthetic_image_bytes
 from ..core.pipeline import InvisibleBits
+from ..core.scheme import CodingScheme
 from ..device import make_device
 from ..ecc.product import paper_end_to_end_code
 from ..harness import ControlBoard
@@ -62,7 +63,9 @@ def run(*, sram_kib: float = 2, seed: int = 16) -> Figure14Data:
     message = synthetic_image_bytes(
         max(1, max_message_bytes(device.sram.n_bits, ecc=ecc) - 4), rng=2
     )
-    InvisibleBits(board, key=KEY, ecc=ecc, use_firmware=False).send(message)
+    InvisibleBits(
+        board, scheme=CodingScheme(key=KEY, ecc=ecc), use_firmware=False
+    ).send(message)
 
     record("encoded (m1)", adversary.observe("m1"))
     record("encoded (m2)", adversary.observe("m2"))

@@ -13,6 +13,7 @@ from dataclasses import dataclass
 
 from ..core.payloads import synthetic_image_bytes
 from ..core.pipeline import InvisibleBits
+from ..core.scheme import CodingScheme
 from ..core.steganalysis import compare_device_populations
 from ..device import make_device
 from ..ecc.product import paper_end_to_end_code
@@ -41,7 +42,9 @@ def _encoded_state(seed: int, sram_kib: float, *, key: "bytes | None"):
     message = synthetic_image_bytes(
         max(1, max_message_bytes(device.sram.n_bits, ecc=ecc) - 4), rng=7
     )
-    InvisibleBits(board, key=key, ecc=ecc, use_firmware=False).send(message)
+    InvisibleBits(
+        board, scheme=CodingScheme(key=key, ecc=ecc), use_firmware=False
+    ).send(message)
     return board.majority_power_on_state(5), device.sram.grid_shape()
 
 

@@ -10,7 +10,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..bitutils import as_bit_array, bits_to_bytes, majority_vote
+from .. import telemetry
+from ..bitutils import Captures, as_bit_array, bits_to_bytes, majority_vote
 from ..device.debugport import DebugPort
 from ..device.device import Device
 from ..errors import CapacityError, ConfigurationError, DeviceError
@@ -77,25 +78,33 @@ class ControlBoard:
                 f"payload is {bits.size} bits but {self.device.spec.name} "
                 f"SRAM holds {self.device.sram.n_bits}"
             )
-        if self.device.powered:
-            self.power_off()
+        with telemetry.trace(
+            "board.stage",
+            device=self.device.spec.name,
+            payload_bits=bits.size,
+            use_firmware=use_firmware,
+        ):
+            if self.device.powered:
+                self.power_off()
 
-        if use_firmware:
-            payload_bytes = bits_to_bytes(bits)
-            source = payload_writer_program(payload_bytes)
-            self.device.load_firmware(source)
-            self.power_on_nominal()
-            if not self.device.cpu.spinning:
-                raise DeviceError("payload writer did not reach its busy-wait")
-        else:
-            self.device.load_firmware(retention_program())
-            self.power_on_nominal()
-            self.debug.write_sram_bits(bits)
+            if use_firmware:
+                payload_bytes = bits_to_bytes(bits)
+                source = payload_writer_program(payload_bytes)
+                self.device.load_firmware(source)
+                self.power_on_nominal()
+                if not self.device.cpu.spinning:
+                    raise DeviceError("payload writer did not reach its busy-wait")
+            else:
+                self.device.load_firmware(retention_program())
+                self.power_on_nominal()
+                self.debug.write_sram_bits(bits)
 
-        if verify:
-            stored = self.debug.read_sram_bits()
-            if not np.array_equal(stored, bits):
-                raise DeviceError("SRAM readback does not match the staged payload")
+            if verify:
+                stored = self.debug.read_sram_bits()
+                if not np.array_equal(stored, bits):
+                    raise DeviceError(
+                        "SRAM readback does not match the staged payload"
+                    )
 
     def encode(
         self,
@@ -119,19 +128,27 @@ class ControlBoard:
         if stress_hours <= 0:
             raise ConfigurationError("stress time must be positive")
 
-        if self.device.spec.has_regulator and not self.device.regulator.bypassed:
-            self.device.regulator.bypass()
+        with telemetry.trace(
+            "board.stress",
+            device=self.device.spec.name,
+            stress_hours=stress_hours,
+            vdd_stress=vdd_stress,
+            temp_stress_c=temp_stress_c,
+        ):
+            if self.device.spec.has_regulator and not self.device.regulator.bypassed:
+                self.device.regulator.bypass()
 
-        self.chamber.set_temperature(temp_stress_c)
-        self.supply.set_voltage(vdd_stress)
-        self.device.advance(hours(stress_hours))
-        # Back to nominal conditions before the device leaves the bench.
-        self.supply.set_voltage(
-            self.device.spec.technology.vdd_nominal
-            if not self.device.spec.has_regulator or self.device.regulator.bypassed
-            else 5.0
-        )
-        self.chamber.set_temperature(kelvin_to_celsius(self.chamber.ambient_k))
+            self.chamber.set_temperature(temp_stress_c)
+            self.supply.set_voltage(vdd_stress)
+            self.device.advance(hours(stress_hours))
+            # Back to nominal conditions before the device leaves the bench.
+            self.supply.set_voltage(
+                self.device.spec.technology.vdd_nominal
+                if not self.device.spec.has_regulator
+                or self.device.regulator.bypassed
+                else 5.0
+            )
+            self.chamber.set_temperature(kelvin_to_celsius(self.chamber.ambient_k))
 
     def load_camouflage(self, *, run_seconds: float = 0.0) -> None:
         """Replace the payload writer with an innocuous program (Alg. 1's
@@ -204,23 +221,40 @@ class ControlBoard:
 
     def capture_power_on_states(
         self, n_captures: int = 5, *, off_seconds: float = 1.0
-    ) -> np.ndarray:
+    ) -> Captures:
         """Capture N power-on states through the retention program
-        (Alg. 2, lines 1-5); returns ``(n_captures, n_bits)``."""
+        (Alg. 2, lines 1-5).
+
+        Returns :data:`~repro.bitutils.Captures` — shape
+        ``(n_captures, n_bits)``, dtype ``uint8`` — the same convention
+        as :meth:`InvisibleBits.capture_samples` and
+        :func:`repro.io.load_captures`.
+        """
         if n_captures <= 0:
             raise ConfigurationError("need at least one capture")
-        if self.device.powered:
-            self.power_off()
-        self.device.load_firmware(retention_program())
-        samples = np.empty(
-            (n_captures, self.device.sram.n_bits), dtype=np.uint8
-        )
-        for i in range(n_captures):
-            self.power_on_nominal()
-            samples[i] = self.debug.read_sram_bits()
-            self.power_off()
-            self.device.advance(off_seconds)
-        return samples
+        with telemetry.trace(
+            "board.capture",
+            device=self.device.spec.name,
+            n_captures=n_captures,
+            off_seconds=off_seconds,
+        ) as span:
+            if self.device.powered:
+                self.power_off()
+            self.device.load_firmware(retention_program())
+            samples = np.empty(
+                (n_captures, self.device.sram.n_bits), dtype=np.uint8
+            )
+            stats_before = dict(self.device.sram.capture_stats)
+            for i in range(n_captures):
+                self.power_on_nominal()
+                samples[i] = self.debug.read_sram_bits()
+                self.power_off()
+                self.device.advance(off_seconds)
+            span.count("board.captures", n_captures)
+            stats = self.device.sram.capture_stats
+            for key in ("band_cells", "cache_refreshes"):
+                span.count(f"sram.{key}", stats[key] - stats_before[key])
+            return samples
 
     def majority_power_on_state(
         self, n_captures: int = 5, *, off_seconds: float = 1.0

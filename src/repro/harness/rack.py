@@ -20,6 +20,7 @@ from concurrent.futures import ThreadPoolExecutor
 
 import numpy as np
 
+from .. import telemetry
 from ..device.device import Device
 from ..errors import ConfigurationError
 from ..units import hours, kelvin_to_celsius
@@ -72,12 +73,13 @@ class EncodingRack:
             raise ConfigurationError(
                 f"{len(payloads)} payloads for {len(self.boards)} slots"
             )
-        self._map_slots(
-            lambda board, payload: board.stage_payload(
-                payload, use_firmware=use_firmware
-            ),
-            payloads,
-        )
+        with telemetry.trace("rack.stage", slots=len(self.boards)):
+            self._map_slots(
+                lambda board, payload: board.stage_payload(
+                    payload, use_firmware=use_firmware
+                ),
+                payloads,
+            )
 
     def stress_all(
         self,
@@ -93,19 +95,28 @@ class EncodingRack:
         for board in self.boards:
             if not board.device.powered:
                 raise ConfigurationError("stage payloads before stressing")
-        self.chamber.set_temperature(temp_stress_c)
-        for index, board in enumerate(self.boards):
-            vdd = (
-                board.device.spec.recipe.vdd_stress
-                if vdd_per_board is None
-                else vdd_per_board[index]
-            )
-            if board.device.spec.has_regulator and not board.device.regulator.bypassed:
-                board.device.regulator.bypass()
-            board.supply.set_voltage(vdd)
-        self._map_slots(lambda board: board.device.advance(hours(stress_hours)))
-        self.chamber.set_temperature(kelvin_to_celsius(self.chamber.ambient_k))
-        self._map_slots(lambda board: board.power_off())
+        with telemetry.trace(
+            "rack.stress",
+            slots=len(self.boards),
+            stress_hours=stress_hours,
+            temp_stress_c=temp_stress_c,
+        ):
+            self.chamber.set_temperature(temp_stress_c)
+            for index, board in enumerate(self.boards):
+                vdd = (
+                    board.device.spec.recipe.vdd_stress
+                    if vdd_per_board is None
+                    else vdd_per_board[index]
+                )
+                if (
+                    board.device.spec.has_regulator
+                    and not board.device.regulator.bypassed
+                ):
+                    board.device.regulator.bypass()
+                board.supply.set_voltage(vdd)
+            self._map_slots(lambda board: board.device.advance(hours(stress_hours)))
+            self.chamber.set_temperature(kelvin_to_celsius(self.chamber.ambient_k))
+            self._map_slots(lambda board: board.power_off())
 
     def measure_errors(self, payloads: "list[np.ndarray]", *, n_captures: int = 5) -> list[float]:
         """Per-slot channel error against the staged payloads."""
@@ -118,4 +129,7 @@ class EncodingRack:
             state = board.majority_power_on_state(n_captures)
             return bit_error_rate(payload, invert_bits(state))
 
-        return self._map_slots(measure, payloads)
+        with telemetry.trace(
+            "rack.measure", slots=len(self.boards), n_captures=n_captures
+        ):
+            return self._map_slots(measure, payloads)

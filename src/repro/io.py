@@ -14,7 +14,7 @@ import pathlib
 
 import numpy as np
 
-from .bitutils import bits_to_bytes, bytes_to_bits
+from .bitutils import Captures, bits_to_bytes, bytes_to_bits
 from .errors import ConfigurationError
 
 FORMAT_VERSION = 1
@@ -32,7 +32,14 @@ def save_captures(
     device_id: bytes = b"",
     metadata: "dict | None" = None,
 ) -> None:
-    """Persist power-on captures of shape ``(n_captures, n_bits)``."""
+    """Persist power-on captures.
+
+    ``samples`` follows the repo-wide :data:`~repro.bitutils.Captures`
+    convention — shape ``(n_captures, n_bits)``, dtype ``uint8`` — the
+    same layout returned by :meth:`ControlBoard.capture_power_on_states`
+    and :meth:`InvisibleBits.capture_samples`, so captures round-trip
+    through disk unchanged.
+    """
     samples = np.asarray(samples, dtype=np.uint8)
     if samples.ndim != 2 or samples.shape[1] % 8:
         raise ConfigurationError(
@@ -51,9 +58,14 @@ def save_captures(
     _check_path(path).write_text(json.dumps(payload, indent=1))
 
 
-def load_captures(path) -> tuple[np.ndarray, dict]:
+def load_captures(path) -> "tuple[Captures, dict]":
     """Load captures; returns ``(samples, info)`` where ``info`` carries
-    the device name/ID and any metadata."""
+    the device name/ID and any metadata.
+
+    ``samples`` is :data:`~repro.bitutils.Captures`: shape
+    ``(n_captures, n_bits)``, dtype ``uint8`` — exactly what
+    :func:`save_captures` was given.
+    """
     raw = json.loads(_check_path(path).read_text())
     if raw.get("format") != "invisible-bits/captures":
         raise ConfigurationError(f"{path}: not a captures file")
@@ -64,7 +76,7 @@ def load_captures(path) -> tuple[np.ndarray, dict]:
     n_bits = int(raw["n_bits"])
     samples = np.stack(
         [bytes_to_bits(bytes.fromhex(row))[:n_bits] for row in raw["captures"]]
-    )
+    ).astype(np.uint8, copy=False)
     if samples.shape[0] != raw["n_captures"]:
         raise ConfigurationError(f"{path}: capture count mismatch")
     info = {

@@ -50,6 +50,7 @@ import math
 
 import numpy as np
 
+from .. import telemetry
 from ..errors import ConfigurationError, PowerError
 from ..bitutils import as_bit_array
 from ..physics.hci import HCIModel
@@ -136,6 +137,16 @@ class SRAMArray:
         self._aging_epoch = 0
         self._offsets_cache: "tuple | None" = None
         self._capture_cache: "dict | None" = None
+
+        #: Cheap always-on counters the telemetry layer snapshots around
+        #: capture bursts: power-on samples taken, noise-band cells
+        #: re-evaluated, and capture-cache rebuilds.  Plain int bumps —
+        #: microseconds against millisecond-scale captures.
+        self.capture_stats = {
+            "captures": 0,
+            "band_cells": 0,
+            "cache_refreshes": 0,
+        }
 
     # -- construction helpers --------------------------------------------------
 
@@ -249,19 +260,30 @@ class SRAMArray:
         """
         if n_captures <= 0:
             raise ConfigurationError(f"need at least one capture, got {n_captures}")
-        samples = np.empty((n_captures, self.n_bits), dtype=np.uint8)
-        start = 0
-        if drain and self._retained is not None:
-            # Remanence from an earlier undrained power-off reaches into the
-            # first capture only; take it the general way, then batch.
-            samples[0] = self.power_cycle(off_seconds=off_seconds, drain=True)
-            start = 1
-        if drain:
-            self._capture_batch_drained(samples, start, off_seconds)
-        else:
-            for i in range(start, n_captures):
-                samples[i] = self.power_cycle(off_seconds=off_seconds, drain=False)
-        return samples
+        with telemetry.trace(
+            "sram.capture",
+            n_bits=self.n_bits,
+            n_captures=n_captures,
+            drain=drain,
+        ) as span:
+            stats_before = dict(self.capture_stats)
+            samples = np.empty((n_captures, self.n_bits), dtype=np.uint8)
+            start = 0
+            if drain and self._retained is not None:
+                # Remanence from an earlier undrained power-off reaches into
+                # the first capture only; take it the general way, then batch.
+                samples[0] = self.power_cycle(off_seconds=off_seconds, drain=True)
+                start = 1
+            if drain:
+                self._capture_batch_drained(samples, start, off_seconds)
+            else:
+                for i in range(start, n_captures):
+                    samples[i] = self.power_cycle(
+                        off_seconds=off_seconds, drain=False
+                    )
+            for key, before in stats_before.items():
+                span.count(f"sram.{key}", self.capture_stats[key] - before)
+            return samples
 
     # -- memory operations ----------------------------------------------------
 
@@ -313,12 +335,20 @@ class SRAMArray:
             return
         self.technology.check_operating_point(self.vdd, self.temp_k)
         af = self._accel.factor(self.vdd, self.temp_k)
-        holding_1 = self._data.astype(np.float64)
-        holding_0 = 1.0 - holding_1
-        self._nbti.stress(self.age_when_1, af * seconds * holding_1)
-        self._nbti.stress(self.age_when_0, af * seconds * holding_0)
-        self._nbti.relax(self.age_when_1, seconds * holding_0)
-        self._nbti.relax(self.age_when_0, seconds * holding_1)
+        with telemetry.trace(
+            "physics.stress",
+            seconds=seconds,
+            vdd=self.vdd,
+            temp_k=self.temp_k,
+            acceleration=af,
+        ) as span:
+            holding_1 = self._data.astype(np.float64)
+            holding_0 = 1.0 - holding_1
+            self._nbti.stress(self.age_when_1, af * seconds * holding_1)
+            self._nbti.stress(self.age_when_0, af * seconds * holding_0)
+            self._nbti.relax(self.age_when_1, seconds * holding_0)
+            self._nbti.relax(self.age_when_0, seconds * holding_1)
+            span.count("physics.stress_seconds_equivalent", af * seconds)
         self._bump_aging_epoch()
 
     def shelve(self, seconds: float) -> None:
@@ -336,6 +366,8 @@ class SRAMArray:
             return
         self._nbti.relax_uniform(self.age_when_1, seconds)
         self._nbti.relax_uniform(self.age_when_0, seconds)
+        if telemetry.active():
+            telemetry.count("physics.relax_seconds", seconds)
         if self._retained is not None:
             self._off_seconds += seconds
 
@@ -364,10 +396,14 @@ class SRAMArray:
             return
         self.technology.check_operating_point(self.vdd, self.temp_k)
         af = self._accel.factor(self.vdd, self.temp_k)
-        self._nbti.stress_ac(self.age_when_1, af * seconds * duty)
-        self._nbti.stress_ac(self.age_when_0, af * seconds * duty)
-        self._nbti.relax(self.age_when_1, seconds * (1.0 - duty))
-        self._nbti.relax(self.age_when_0, seconds * (1.0 - duty))
+        with telemetry.trace(
+            "physics.operate", seconds=seconds, duty=duty, acceleration=af
+        ) as span:
+            self._nbti.stress_ac(self.age_when_1, af * seconds * duty)
+            self._nbti.stress_ac(self.age_when_0, af * seconds * duty)
+            self._nbti.relax(self.age_when_1, seconds * (1.0 - duty))
+            self._nbti.relax(self.age_when_0, seconds * (1.0 - duty))
+            span.count("physics.ac_stress_seconds_equivalent", af * seconds * duty)
         # Cells toggle only while the workload is actually writing them.
         self.toggle_count += writes_per_second * seconds * duty
         self._bump_aging_epoch()
@@ -462,6 +498,7 @@ class SRAMArray:
             "r0_min": float(st0.relax_seconds.min()) if self.n_bits else 0.0,
             "full_max": float(full1.max()) + float(full0.max()),
         }
+        self.capture_stats["cache_refreshes"] += 1
         return self._capture_cache
 
     def _capture_cache_valid(
@@ -534,6 +571,9 @@ class SRAMArray:
         if band.size:
             noise = self._rng.standard_normal(band.size)
             state[band] = self._band_decisions(cache, sigma, noise)
+        stats = self.capture_stats
+        stats["captures"] += 1
+        stats["band_cells"] += int(band.size)
         return state
 
     def _capture_batch_drained(
@@ -589,6 +629,9 @@ class SRAMArray:
                 else:
                     noise = self._rng.standard_normal(band.size)
                 row[band] = self._band_decisions(cache, sigma, noise)
+            stats = self.capture_stats
+            stats["captures"] += 1
+            stats["band_cells"] += int(band.size)
             self.powered = True
             self.vdd = vdd
         self._data = samples[n - 1].copy()

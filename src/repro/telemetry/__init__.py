@@ -1,0 +1,79 @@
+"""Zero-dependency telemetry for the stress -> capture -> decode pipeline.
+
+The paper's evaluation (§5) is a chain of measurements — stress hours,
+per-capture flip counts, majority-vote disagreements, ECC corrections.
+This package makes the reproduction emit the same accounting: span-style
+tracing with typed counters/gauges and pluggable sinks, **disabled by
+default** so the benchmarked hot paths stay at their PR 1 speed (the
+overhead contract is documented in docs/telemetry.md).
+
+Quick use::
+
+    from repro import telemetry
+
+    sink = telemetry.RingBufferSink()
+    telemetry.add_sink(sink)
+    with telemetry.trace("my.phase", device="MSP432P401") as span:
+        span.count("widgets", 3)
+    telemetry.remove_sink(sink)
+    print(sink.records(type="span"))
+
+Or end to end from the CLI::
+
+    repro --trace out.jsonl roundtrip --fast --sram-kib 2
+    repro telemetry summarize out.jsonl
+
+Setting the ``REPRO_TRACE`` environment variable to a path attaches a
+:class:`JsonlSink` at import time — how CI runs the benchmark smoke
+subset with telemetry enabled.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+
+from .core import (
+    Span,
+    TelemetryRegistry,
+    active,
+    add_sink,
+    count,
+    current_span,
+    enabled,
+    gauge,
+    registry,
+    remove_sink,
+    reset,
+    trace,
+)
+from .sinks import ConsoleSink, JsonlSink, RingBufferSink, Sink
+from .summary import load_records, summarize, summarize_file
+
+__all__ = [
+    "ConsoleSink",
+    "JsonlSink",
+    "RingBufferSink",
+    "Sink",
+    "Span",
+    "TelemetryRegistry",
+    "active",
+    "add_sink",
+    "count",
+    "current_span",
+    "enabled",
+    "gauge",
+    "load_records",
+    "registry",
+    "remove_sink",
+    "reset",
+    "summarize",
+    "summarize_file",
+    "trace",
+]
+
+_env_trace = os.environ.get("REPRO_TRACE")
+if _env_trace:  # pragma: no cover - exercised via CI env, not unit tests
+    _env_sink = JsonlSink(_env_trace)
+    add_sink(_env_sink)
+    atexit.register(_env_sink.close)

@@ -1,0 +1,294 @@
+"""Span tracing and typed counters for the Invisible Bits pipeline.
+
+The registry is **disabled by default**: with no sinks attached and no
+active span, :func:`trace` hands back a shared no-op span and
+:func:`count`/:func:`gauge` return immediately — the hot paths
+(:meth:`repro.sram.array.SRAMArray.capture_power_on_states`,
+:meth:`repro.core.pipeline.InvisibleBits.receive`) pay one attribute
+lookup and a boolean test.  Attaching any sink (see
+:mod:`repro.telemetry.sinks`) turns every span and counter into an
+emitted record.
+
+Spans nest through a *thread-local* stack, so fleet workers
+(:class:`repro.harness.rack.EncodingRack`, ``encode_fleet``) trace
+independently without locks on the hot path; sink emission is the only
+serialized step.  When a span finishes, its counters fold into its
+parent — a ``channel.receive`` span therefore ends holding the ECC
+correction counts its nested decode emitted, which is how
+:class:`repro.core.pipeline.DecodeResult` gets its provenance without
+any global state.
+
+Record shapes (plain dicts, JSON-ready):
+
+``span``
+    ``{"type": "span", "name", "ts", "dur_ms", "status", "span_id",
+    "parent_id", "attrs": {...}, "counters": {...}}``
+``counter`` / ``gauge``
+    ``{"type": "counter"|"gauge", "name", "ts", "value", "span_id"}``
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from contextlib import contextmanager
+
+__all__ = [
+    "Span",
+    "TelemetryRegistry",
+    "active",
+    "add_sink",
+    "count",
+    "current_span",
+    "enabled",
+    "gauge",
+    "registry",
+    "remove_sink",
+    "reset",
+    "trace",
+]
+
+_SPAN_IDS = itertools.count(1)
+
+
+def _jsonable(value):
+    """Coerce ``value`` into something ``json.dumps`` accepts.
+
+    numpy scalars/arrays and bytes show up naturally in span attributes;
+    sinks must never raise on them.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (bytes, bytearray)):
+        return bytes(value).hex()
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    # numpy scalars expose item(); arrays expose tolist().
+    if hasattr(value, "item") and not hasattr(value, "__len__"):
+        return value.item()
+    if hasattr(value, "tolist"):
+        return _jsonable(value.tolist())
+    return str(value)
+
+
+class Span:
+    """One traced operation: name, attributes, counters, duration."""
+
+    __slots__ = (
+        "name",
+        "attrs",
+        "counters",
+        "span_id",
+        "parent_id",
+        "status",
+        "ts",
+        "duration_ms",
+        "_t0",
+    )
+
+    def __init__(self, name: str, attrs: dict, parent_id: "int | None" = None):
+        self.name = name
+        self.attrs = dict(attrs)
+        self.counters: dict[str, float] = {}
+        self.span_id = next(_SPAN_IDS)
+        self.parent_id = parent_id
+        self.status = "ok"
+        self.ts = time.time()
+        self.duration_ms: float | None = None
+        self._t0 = time.perf_counter()
+
+    def set(self, **attrs) -> "Span":
+        """Attach (or overwrite) attributes on the live span."""
+        self.attrs.update(attrs)
+        return self
+
+    def count(self, name: str, value: float = 1) -> None:
+        """Bump a counter scoped to this span."""
+        self.counters[name] = self.counters.get(name, 0) + value
+
+    def finish(self) -> None:
+        if self.duration_ms is None:
+            self.duration_ms = (time.perf_counter() - self._t0) * 1e3
+
+    def to_record(self) -> dict:
+        return {
+            "type": "span",
+            "name": self.name,
+            "ts": self.ts,
+            "dur_ms": self.duration_ms,
+            "status": self.status,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "attrs": _jsonable(self.attrs),
+            "counters": _jsonable(self.counters),
+        }
+
+
+class _NullSpan:
+    """The shared do-nothing span handed out while telemetry is inactive."""
+
+    __slots__ = ()
+    counters: dict = {}
+    attrs: dict = {}
+
+    def set(self, **attrs) -> "_NullSpan":
+        return self
+
+    def count(self, name: str, value: float = 1) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class TelemetryRegistry:
+    """Process-wide span/counter hub with pluggable sinks."""
+
+    def __init__(self):
+        self._sinks: list = []
+        self._lock = threading.Lock()
+        self._local = threading.local()
+
+    # -- sink management -----------------------------------------------------
+
+    def add_sink(self, sink) -> None:
+        """Attach a sink; telemetry is enabled while any sink is attached."""
+        with self._lock:
+            if sink not in self._sinks:
+                self._sinks.append(sink)
+
+    def remove_sink(self, sink) -> None:
+        with self._lock:
+            if sink in self._sinks:
+                self._sinks.remove(sink)
+
+    def reset(self) -> None:
+        """Detach every sink (the state tests start from)."""
+        with self._lock:
+            self._sinks.clear()
+
+    @property
+    def enabled(self) -> bool:
+        """True while at least one sink is attached."""
+        return bool(self._sinks)
+
+    # -- span stack ----------------------------------------------------------
+
+    def _stack(self) -> list:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def active(self) -> bool:
+        """True when spans/counters would actually be recorded: a sink is
+        attached, or an enclosing (possibly forced) span is collecting."""
+        return bool(self._sinks) or bool(getattr(self._local, "stack", None))
+
+    def current_span(self) -> "Span | _NullSpan":
+        stack = getattr(self._local, "stack", None)
+        return stack[-1] if stack else _NULL_SPAN
+
+    # -- recording -----------------------------------------------------------
+
+    @contextmanager
+    def trace(self, name: str, *, force: bool = False, **attrs):
+        """Context manager recording one span.
+
+        ``force=True`` creates a real (collecting) span even with no sink
+        attached — the pipeline uses it so decode provenance (ECC
+        corrections, vote statistics) is available on every
+        :class:`~repro.core.pipeline.DecodeResult`, sinks or not.  Nothing
+        is emitted unless a sink is attached.
+        """
+        stack = self._stack()
+        if not force and not self._sinks and not stack:
+            yield _NULL_SPAN
+            return
+        span = Span(name, attrs, parent_id=stack[-1].span_id if stack else None)
+        stack.append(span)
+        try:
+            yield span
+        except BaseException:
+            span.status = "error"
+            raise
+        finally:
+            stack.pop()
+            span.finish()
+            if stack:
+                parent = stack[-1]
+                for key, value in span.counters.items():
+                    parent.counters[key] = parent.counters.get(key, 0) + value
+            self._emit(span.to_record())
+
+    def count(self, name: str, value: float = 1) -> None:
+        """Bump a typed counter on the innermost span (and emit it)."""
+        stack = getattr(self._local, "stack", None)
+        if not stack and not self._sinks:
+            return
+        if stack:
+            span = stack[-1]
+            span.counters[name] = span.counters.get(name, 0) + value
+            span_id = span.span_id
+        else:
+            span_id = None
+        self._emit(
+            {
+                "type": "counter",
+                "name": name,
+                "ts": time.time(),
+                "value": _jsonable(value),
+                "span_id": span_id,
+            }
+        )
+
+    def gauge(self, name: str, value) -> None:
+        """Record an instantaneous measurement (also set as a span attr)."""
+        stack = getattr(self._local, "stack", None)
+        if not stack and not self._sinks:
+            return
+        if stack:
+            span = stack[-1]
+            span.attrs[name] = value
+            span_id = span.span_id
+        else:
+            span_id = None
+        self._emit(
+            {
+                "type": "gauge",
+                "name": name,
+                "ts": time.time(),
+                "value": _jsonable(value),
+                "span_id": span_id,
+            }
+        )
+
+    def _emit(self, record: dict) -> None:
+        if not self._sinks:
+            return
+        with self._lock:
+            for sink in self._sinks:
+                sink.emit(record)
+
+
+#: The process-wide registry every instrumented module talks to.
+registry = TelemetryRegistry()
+
+# Module-level conveniences bound to the global registry.
+add_sink = registry.add_sink
+remove_sink = registry.remove_sink
+reset = registry.reset
+trace = registry.trace
+count = registry.count
+gauge = registry.gauge
+active = registry.active
+current_span = registry.current_span
+
+
+def enabled() -> bool:
+    """True while at least one sink is attached to the global registry."""
+    return registry.enabled

@@ -1,0 +1,106 @@
+"""Telemetry sinks: where emitted records go.
+
+Three implementations cover the deployment spectrum:
+
+- :class:`RingBufferSink` — bounded in-memory buffer; tests and
+  interactive sessions read it back with :meth:`RingBufferSink.records`.
+- :class:`JsonlSink` — one JSON object per line, append-only; the
+  interchange format ``repro telemetry summarize`` consumes.
+- :class:`ConsoleSink` — human-readable one-liners for watching a run.
+
+A sink's only obligation is an ``emit(record: dict)`` method taking a
+JSON-ready dict; the registry serializes calls, so sinks need no locking
+of their own unless they are shared outside the registry.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+from collections import deque
+
+__all__ = ["Sink", "RingBufferSink", "JsonlSink", "ConsoleSink"]
+
+
+class Sink:
+    """Base class (and documentation anchor) for telemetry sinks."""
+
+    def emit(self, record: dict) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Flush and release resources; safe to call more than once."""
+
+
+class RingBufferSink(Sink):
+    """Keep the most recent ``capacity`` records in memory."""
+
+    def __init__(self, capacity: int = 4096):
+        self._buffer: deque = deque(maxlen=int(capacity))
+
+    def emit(self, record: dict) -> None:
+        self._buffer.append(record)
+
+    def records(self, *, type: "str | None" = None, name: "str | None" = None) -> list:
+        """Snapshot the buffer, optionally filtered by record type/name."""
+        out = list(self._buffer)
+        if type is not None:
+            out = [r for r in out if r.get("type") == type]
+        if name is not None:
+            out = [r for r in out if r.get("name") == name]
+        return out
+
+    def clear(self) -> None:
+        self._buffer.clear()
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+
+class JsonlSink(Sink):
+    """Append records to ``path`` as JSON Lines.
+
+    The file is opened lazily on the first record and flushed on every
+    write — a crashed run still leaves a readable trace, and record
+    volume is span/burst-granular by design (see docs/telemetry.md), so
+    flush cost is irrelevant.
+    """
+
+    def __init__(self, path):
+        self.path = pathlib.Path(path)
+        self._handle = None
+
+    def emit(self, record: dict) -> None:
+        if self._handle is None:
+            self._handle = self.path.open("w", encoding="utf-8")
+        self._handle.write(json.dumps(record, separators=(",", ":")) + "\n")
+        self._handle.flush()
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+
+class ConsoleSink(Sink):
+    """Render records as human-readable lines (default: stderr)."""
+
+    def __init__(self, stream=None):
+        self.stream = stream if stream is not None else sys.stderr
+
+    def emit(self, record: dict) -> None:
+        kind = record.get("type", "?")
+        if kind == "span":
+            extras = []
+            for key, value in record.get("attrs", {}).items():
+                extras.append(f"{key}={value}")
+            for key, value in record.get("counters", {}).items():
+                extras.append(f"{key}={value}")
+            detail = (" " + " ".join(extras)) if extras else ""
+            dur = record.get("dur_ms")
+            dur_text = f"{dur:.2f}ms" if isinstance(dur, (int, float)) else "?"
+            line = f"[span] {record['name']} {dur_text} {record['status']}{detail}"
+        else:
+            line = f"[{kind}] {record['name']} = {record.get('value')}"
+        print(line, file=self.stream)

@@ -1,0 +1,132 @@
+"""Aggregate a telemetry trace into a human-readable report.
+
+``repro telemetry summarize out.jsonl`` renders:
+
+- per-span-name timing (count, total, mean, max);
+- counter totals (each ``count()`` call emits exactly one counter
+  record, so summing records never double-counts the copies folded into
+  parent spans);
+- a provenance section for every ``channel.send`` / ``channel.receive``
+  span: device, recipe, stress hours, per-capture BER, vote-margin
+  histogram, ECC correction counts.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+__all__ = ["load_records", "summarize", "summarize_file"]
+
+
+def load_records(path) -> list[dict]:
+    """Read a JSONL trace written by :class:`repro.telemetry.JsonlSink`."""
+    records = []
+    for line in pathlib.Path(path).read_text(encoding="utf-8").splitlines():
+        line = line.strip()
+        if line:
+            records.append(json.loads(line))
+    return records
+
+
+def _format_table(rows: "list[tuple]", header: tuple) -> list[str]:
+    widths = [
+        max(len(str(row[i])) for row in [header, *rows])
+        for i in range(len(header))
+    ]
+    lines = [
+        "  ".join(str(cell).ljust(widths[i]) for i, cell in enumerate(header)),
+        "  ".join("-" * widths[i] for i in range(len(header))),
+    ]
+    for row in rows:
+        lines.append(
+            "  ".join(str(cell).ljust(widths[i]) for i, cell in enumerate(row))
+        )
+    return lines
+
+
+def _provenance_lines(span: dict) -> list[str]:
+    attrs = span.get("attrs", {})
+    counters = span.get("counters", {})
+    lines = [f"{span['name']} (span {span['span_id']}, {span['dur_ms']:.1f} ms)"]
+    for key in (
+        "device",
+        "device_id",
+        "scheme",
+        "recipe",
+        "stress_hours",
+        "message_bytes",
+        "coded_bits",
+        "n_captures",
+        "per_capture_ber",
+        "per_capture_flip_rate",
+        "vote_margin_hist",
+        "raw_error_vs",
+    ):
+        if key in attrs and attrs[key] is not None:
+            value = attrs[key]
+            if isinstance(value, float):
+                value = f"{value:.6g}"
+            elif isinstance(value, list) and value and isinstance(value[0], float):
+                value = "[" + ", ".join(f"{v:.4g}" for v in value) + "]"
+            lines.append(f"  {key}: {value}")
+    for key in sorted(counters):
+        lines.append(f"  {key}: {counters[key]:g}")
+    return lines
+
+
+def summarize(records: "list[dict]") -> str:
+    """Render the aggregate report for a list of telemetry records."""
+    spans = [r for r in records if r.get("type") == "span"]
+    counters = [r for r in records if r.get("type") == "counter"]
+    gauges = [r for r in records if r.get("type") == "gauge"]
+
+    out: list[str] = []
+    out.append(f"telemetry summary: {len(records)} records "
+               f"({len(spans)} spans, {len(counters)} counters, "
+               f"{len(gauges)} gauges)")
+
+    if spans:
+        by_name: dict[str, list[float]] = {}
+        for span in spans:
+            by_name.setdefault(span["name"], []).append(float(span["dur_ms"] or 0.0))
+        rows = [
+            (
+                name,
+                len(durs),
+                f"{sum(durs):.1f}",
+                f"{sum(durs) / len(durs):.2f}",
+                f"{max(durs):.2f}",
+            )
+            for name, durs in sorted(by_name.items())
+        ]
+        out.append("")
+        out.append("spans")
+        out.extend(_format_table(rows, ("name", "n", "total ms", "mean ms", "max ms")))
+
+    if counters:
+        totals: dict[str, float] = {}
+        for rec in counters:
+            totals[rec["name"]] = totals.get(rec["name"], 0.0) + float(rec["value"])
+        out.append("")
+        out.append("counters")
+        out.extend(
+            _format_table(
+                [(name, f"{total:g}") for name, total in sorted(totals.items())],
+                ("name", "total"),
+            )
+        )
+
+    provenance = [s for s in spans if s["name"] in ("channel.send", "channel.receive")]
+    if provenance:
+        out.append("")
+        out.append("provenance")
+        for span in provenance:
+            out.extend("  " + line for line in _provenance_lines(span))
+
+    return "\n".join(out)
+
+
+def summarize_file(path) -> str:
+    """Load ``path`` (JSONL) and render its summary."""
+    return summarize(load_records(path))

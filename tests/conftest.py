@@ -10,6 +10,16 @@ from repro.device.catalog import device_spec
 from repro.harness import ControlBoard
 
 
+@pytest.fixture(autouse=True)
+def _telemetry_isolated():
+    """No test leaks telemetry sinks into the next one."""
+    from repro import telemetry
+
+    telemetry.reset()
+    yield
+    telemetry.reset()
+
+
 @pytest.fixture
 def msp432_profile():
     """The calibrated MSP432P401 technology profile."""

@@ -1,0 +1,122 @@
+"""One traced send+receive emits the full provenance record (ISSUE gate).
+
+With a JSONL sink attached, a single protocol round trip must produce
+spans for stress, capture, vote, decrypt and ECC decode, carrying
+per-capture BER and ECC correction counts — and ``repro telemetry
+summarize`` must render them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import ControlBoard, InvisibleBits, make_device, paper_end_to_end_scheme
+from repro import telemetry
+from repro.cli import main
+from repro.telemetry import JsonlSink, load_records
+
+KEY = b"0123456789abcdef"
+
+
+def _traced_round_trip(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    sink = JsonlSink(path)
+    telemetry.add_sink(sink)
+    try:
+        device = make_device("MSP432P401", rng=7, sram_kib=2)
+        board = ControlBoard(device)
+        channel = InvisibleBits(
+            board, scheme=paper_end_to_end_scheme(KEY), use_firmware=False
+        )
+        sent = channel.send(b"provenance check")
+        result = channel.receive(expected_payload=sent.payload_bits)
+    finally:
+        telemetry.remove_sink(sink)
+        sink.close()
+    return path, result
+
+
+def test_round_trip_emits_all_pipeline_spans(tmp_path):
+    path, result = _traced_round_trip(tmp_path)
+    records = load_records(path)
+    span_names = {r["name"] for r in records if r["type"] == "span"}
+    assert {
+        "channel.send",
+        "board.stage",
+        "board.stress",
+        "physics.stress",
+        "channel.receive",
+        "board.capture",
+        "channel.vote",
+        "channel.decrypt",
+        "channel.ecc_decode",
+    } <= span_names
+
+    receive = next(
+        r for r in records if r["type"] == "span" and r["name"] == "channel.receive"
+    )
+    attrs = receive["attrs"]
+    assert attrs["device"] == "MSP432P401"
+    assert attrs["n_captures"] == 5
+    assert len(attrs["per_capture_ber"]) == 5
+    assert all(0.0 <= b <= 1.0 for b in attrs["per_capture_ber"])
+    assert sum(attrs["vote_margin_hist"]) == 2 * 8192  # every bit counted
+    assert attrs["ecc_corrections"] >= 0
+    # The nested decode's counters folded up into the receive span.
+    assert receive["counters"]["board.captures"] == 5
+    assert any(k.endswith(".corrections") for k in receive["counters"])
+
+    send = next(
+        r for r in records if r["type"] == "span" and r["name"] == "channel.send"
+    )
+    assert send["attrs"]["stress_hours"] > 0
+    assert send["attrs"]["recipe"]["vdd_stress"] > 0
+    assert send["attrs"]["scheme"]["ecc"].startswith("hamming")
+
+    # The in-process provenance mirrors the trace.
+    assert result.ecc_corrections == attrs["ecc_corrections"]
+    assert list(result.per_capture_error_vs) == attrs["per_capture_ber"]
+
+
+def test_cli_summarize_renders_trace(tmp_path, capsys):
+    path, _ = _traced_round_trip(tmp_path)
+    assert main(["telemetry", "summarize", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "channel.receive" in out
+    assert "board.capture" in out
+    assert "per_capture_ber" in out
+    assert "corrections" in out
+
+
+def test_cli_summarize_missing_file(tmp_path, capsys):
+    assert main(["telemetry", "summarize", str(tmp_path / "nope.jsonl")]) == 2
+
+
+def test_cli_trace_option_writes_jsonl(tmp_path, capsys):
+    path = tmp_path / "cli.jsonl"
+    code = main([
+        "--trace", str(path),
+        "roundtrip", "--sram-kib", "1", "--fast", "--message", "hi",
+    ])
+    assert code == 0
+    names = {r["name"] for r in load_records(path) if r["type"] == "span"}
+    assert {"channel.send", "channel.receive", "board.capture"} <= names
+    # The sink detaches with the command: nothing else appends afterwards.
+    assert not telemetry.enabled()
+
+
+def test_provenance_without_sink(small_board):
+    """force=True spans give DecodeResult its provenance sink-free."""
+    channel = InvisibleBits(
+        small_board, scheme=paper_end_to_end_scheme(KEY), use_firmware=False
+    )
+    sent = channel.send(b"quiet")
+    result = channel.receive(expected_payload=sent.payload_bits)
+    assert result.ecc_corrections is not None and result.ecc_corrections >= 0
+    assert len(result.per_capture_flip_rate) == 5
+    assert sum(result.vote_margin_hist) == small_board.device.sram.n_bits
+    assert result.captures.shape == (5, small_board.device.sram.n_bits)
+    prov = result.provenance()
+    assert prov["ecc_corrections"] == result.ecc_corrections
+    assert prov["raw_error_vs"] == result.raw_error_vs
+    assert not telemetry.enabled()

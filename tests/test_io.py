@@ -75,6 +75,28 @@ class TestCaptures:
         assert error < 0.09
         assert info["device_id"] == small_board.device.device_id
 
+    def test_captures_convention_round_trip(self, tmp_path, small_board):
+        """The unified Captures contract: every producer returns
+        (n_captures, n_bits) uint8, and disk round-trips it unchanged."""
+        from repro.core.pipeline import InvisibleBits
+
+        n_bits = small_board.device.sram.n_bits
+        board_caps = small_board.capture_power_on_states(3)
+        assert board_caps.shape == (3, n_bits)
+        assert board_caps.dtype == np.uint8
+
+        channel = InvisibleBits(small_board, use_firmware=False)
+        chan_caps = channel.capture_samples(3)
+        assert chan_caps.shape == (3, n_bits)
+        assert chan_caps.dtype == np.uint8
+
+        path = tmp_path / "contract.json"
+        save_captures(path, board_caps)
+        loaded, _ = load_captures(path)
+        assert loaded.shape == board_caps.shape
+        assert loaded.dtype == np.uint8
+        assert np.array_equal(loaded, board_caps)
+
 
 class TestEnrollment:
     def test_round_trip(self, tmp_path):
