@@ -77,9 +77,16 @@ from .ecc import (
     hamming_7_4,
 )
 from .ecc.product import paper_end_to_end_code
-from .errors import ReproError
+from .errors import QuarantinedDeviceError, ReproError, RetryExhaustedError
+from .faults import (
+    FaultInjector,
+    FaultPlan,
+    HealthLedger,
+    RetryPolicy,
+    transient_capture_plan,
+)
 from .harness import ControlBoard, PowerSupply, ThermalChamber
-from .harness.rack import EncodingRack
+from .harness.rack import EncodingRack, SlotResult
 from .io import load_captures, save_captures
 from .puf import (
     FuzzyExtractor,
@@ -112,17 +119,24 @@ __all__ = [
     "EncodeResult",
     "EncodingRack",
     "EncodingRecipe",
+    "FaultInjector",
+    "FaultPlan",
     "FrameFormat",
     "FuzzyExtractor",
     "HammingCode",
+    "HealthLedger",
     "InvisibleBits",
     "MultipleSnapshotAdversary",
     "NormalOperationPrng",
     "PowerOnTrng",
     "PowerSupply",
+    "QuarantinedDeviceError",
     "RepetitionCode",
     "ReproError",
+    "RetryExhaustedError",
+    "RetryPolicy",
     "SRAMArray",
+    "SlotResult",
     "SramPuf",
     "SteganalysisReport",
     "TechnologyProfile",
@@ -161,5 +175,6 @@ __all__ = [
     "save_captures",
     "shannon_entropy",
     "telemetry",
+    "transient_capture_plan",
     "welch_t_test",
 ]

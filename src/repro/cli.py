@@ -8,7 +8,13 @@ Commands:
 - ``experiment`` — regenerate one of the paper's tables/figures by ID
   (``fig06``, ``tab04``, ...; ``--list`` shows all);
 - ``telemetry summarize <path>`` — render a JSONL trace written by the
-  global ``--trace PATH`` option (or the ``REPRO_TRACE`` env var).
+  global ``--trace PATH`` option (or the ``REPRO_TRACE`` env var);
+- ``faults`` — chaos-test the protocol under an injected fault plan and
+  report the schedule, counters and escalation provenance.
+
+The global ``--fault-plan SPEC`` option (a JSON plan path or a compact
+spec like ``flaky:0.02``) runs any command with fault injection enabled
+on every control board — equivalent to setting ``REPRO_FAULT_PLAN``.
 """
 
 from __future__ import annotations
@@ -218,6 +224,55 @@ def _cmd_telemetry(args) -> int:
     return 0
 
 
+def _cmd_faults(args) -> int:
+    """Chaos-test the full protocol under an injected fault plan."""
+    import json
+
+    from .core.pipeline import InvisibleBits
+    from .core.scheme import paper_end_to_end_scheme
+    from .device.catalog import make_device
+    from .faults import FaultInjector, FaultPlan, transient_capture_plan
+    from .harness.controlboard import ControlBoard
+
+    if args.plan:
+        plan = FaultPlan.from_spec(args.plan)
+    else:
+        plan = transient_capture_plan(
+            args.rate, flaky_rate=args.flaky_rate, seed=args.seed
+        )
+    if args.show:
+        print(plan.to_json())
+        return 0
+
+    device = make_device(args.device, rng=args.seed, sram_kib=args.sram_kib)
+    injector = FaultInjector(plan)
+    board = ControlBoard(device, fault_injector=injector)
+    key = bytes.fromhex(args.key) if args.key else None
+    channel = InvisibleBits(
+        board, scheme=paper_end_to_end_scheme(key), use_firmware=False
+    )
+    message = args.message.encode()
+    print(f"plan: {json.dumps(plan.to_dict())}")
+    print(f"chaos roundtrip of {len(message)} bytes on {device.spec.name}...")
+    channel.send(message)
+    result = channel.receive()
+    ok = result.message == message
+    print(f"recovered: {result.message.decode(errors='replace')!r} "
+          f"[{'exact' if ok else 'MISMATCH'}]")
+    escalation = result.provenance()["escalation"]
+    print("escalation provenance:")
+    for key_, value in escalation.items():
+        print(f"  {key_}: {value}")
+    print("injector counters:")
+    for name in sorted(injector.counters):
+        print(f"  {name}: {injector.counters[name]}")
+    if args.schedule:
+        print("fault schedule (event, kind, detail):")
+        for event, kind, detail in injector.schedule:
+            print(f"  {event:>4}  {kind:<20} {detail}")
+    return 0 if ok else 1
+
+
 def _cmd_experiment(args) -> int:
     if args.list or not args.id:
         for exp_id in sorted(EXPERIMENTS):
@@ -255,6 +310,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write a JSONL telemetry trace of the command to PATH "
         "(inspect with `repro telemetry summarize PATH`)",
+    )
+    parser.add_argument(
+        "--fault-plan",
+        metavar="SPEC",
+        default=None,
+        help="enable fault injection on every control board: a JSON plan "
+        "path or compact spec like 'flaky:0.02' or "
+        "'brownout:0.05,flaky:0.01@seed=7' (see docs/faults.md)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -316,22 +379,63 @@ def build_parser() -> argparse.ArgumentParser:
     telemetry_cmd.add_argument("action", choices=["summarize"])
     telemetry_cmd.add_argument("path", help="trace file from --trace/REPRO_TRACE")
     telemetry_cmd.set_defaults(func=_cmd_telemetry)
+
+    faults = sub.add_parser(
+        "faults", help="chaos-test the protocol under an injected fault plan"
+    )
+    faults.add_argument("--plan", default=None,
+                        help="JSON plan path or compact spec; overrides "
+                        "--rate/--flaky-rate")
+    faults.add_argument("--rate", type=float, default=0.05,
+                        help="transient capture brownout rate (default 0.05)")
+    faults.add_argument("--flaky-rate", type=float, default=0.02,
+                        help="flaky debug-port rate (default 0.02)")
+    faults.add_argument("--device", default="MSP432P401")
+    faults.add_argument("--message", default="meet at the dead drop at dawn")
+    faults.add_argument("--key", default="00112233445566778899aabbccddeeff",
+                        help="hex AES key; empty string disables encryption")
+    faults.add_argument("--sram-kib", type=float, default=4)
+    faults.add_argument("--seed", type=int, default=0)
+    faults.add_argument("--show", action="store_true",
+                        help="print the resolved plan as JSON and exit")
+    faults.add_argument("--schedule", action="store_true",
+                        help="also print the realized fault schedule")
+    faults.set_defaults(func=_cmd_faults)
     return parser
 
 
 def main(argv: "list[str] | None" = None) -> int:
     args = build_parser().parse_args(argv)
+
+    def run() -> int:
+        if not args.fault_plan:
+            return args.func(args)
+        import os
+
+        from .faults import FaultPlan
+
+        FaultPlan.from_spec(args.fault_plan)  # fail fast on a bad spec
+        previous = os.environ.get("REPRO_FAULT_PLAN")
+        os.environ["REPRO_FAULT_PLAN"] = args.fault_plan
+        try:
+            return args.func(args)
+        finally:
+            if previous is None:
+                os.environ.pop("REPRO_FAULT_PLAN", None)
+            else:
+                os.environ["REPRO_FAULT_PLAN"] = previous
+
     if args.trace:
         from . import telemetry
 
         sink = telemetry.JsonlSink(args.trace)
         telemetry.add_sink(sink)
         try:
-            return args.func(args)
+            return run()
         finally:
             telemetry.remove_sink(sink)
             sink.close()
-    return args.func(args)
+    return run()
 
 
 if __name__ == "__main__":  # pragma: no cover

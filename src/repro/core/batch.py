@@ -17,7 +17,8 @@ import numpy as np
 
 from .. import telemetry
 from ..bitutils import bit_error_rate, invert_bits
-from ..errors import ConfigurationError
+from ..errors import ConfigurationError, DeviceError, SlotError
+from ..faults import FaultInjector, FaultPlan, RetryPolicy
 from ..harness.controlboard import ControlBoard
 from ..rng import make_rng, spawn
 from .planner import plan_scheme
@@ -35,15 +36,25 @@ class FleetMember:
 
 @dataclass(frozen=True)
 class FleetSelection:
-    """The ranked fleet plus the chosen scheme for the winner."""
+    """The ranked fleet plus the chosen scheme for the winner.
+
+    ``failures`` holds the :class:`~repro.errors.SlotError` of every
+    candidate that could not be encoded or measured (empty on a healthy
+    fleet); ``members`` contains only the survivors, ranked.
+    """
 
     members: list[FleetMember]
     winner: FleetMember
     scheme: "object"  # repro.ecc Code
+    failures: "tuple[SlotError, ...]" = ()
 
     @property
     def errors(self) -> list[float]:
         return [m.measured_error for m in self.members]
+
+    @property
+    def survivors(self) -> int:
+        return len(self.members)
 
 
 def encode_fleet(
@@ -55,6 +66,8 @@ def encode_fleet(
     target_error: float = 1e-4,
     rng: "int | np.random.Generator | None" = 0,
     max_workers: "int | None" = None,
+    fault_plan: "FaultPlan | None" = None,
+    retry: "RetryPolicy | None" = None,
 ) -> FleetSelection:
     """Encode ``n_devices`` candidates with a probe payload and select.
 
@@ -68,11 +81,20 @@ def encode_fleet(
     its own pre-assigned generator spawned from ``rng`` — see
     :func:`repro.rng.spawn` — and payloads are pre-drawn in slot order, so
     the result is identical for any worker count, including 1.
+
+    Fleet resilience (docs/faults.md): a candidate whose encode or
+    measurement fails — for real, or under ``fault_plan`` (each slot gets
+    its own injector, salted by index) — is dropped from the ranking and
+    recorded on :attr:`FleetSelection.failures` instead of sinking the
+    whole fleet.  Transient device faults are retried under ``retry``
+    first (the default policy; pass ``RetryPolicy.none()`` to disable).
+    Only an empty survivor set raises.
     """
     if n_devices < 1:
         raise ConfigurationError("need at least one device")
     if max_workers is not None and max_workers < 1:
         raise ConfigurationError(f"max_workers must be >= 1, got {max_workers}")
+    retry = retry if retry is not None else RetryPolicy()
     gen = make_rng(rng)
     payload_rng = np.random.default_rng(gen.integers(0, 2**63))
     n_bits = int(sram_kib * 8192)
@@ -82,21 +104,35 @@ def encode_fleet(
     ]
     streams = spawn(gen, n_devices)
 
-    def encode_one(index: int) -> FleetMember:
+    def encode_one(index: int) -> "FleetMember | SlotError":
         device = make_varied_device(
             device_name, rng=streams[index], sram_kib=sram_kib
         )
-        board = ControlBoard(device)
+        board = ControlBoard(
+            device,
+            fault_injector=(
+                FaultInjector(fault_plan, salt=index) if fault_plan else None
+            ),
+            retry=retry,
+        )
         payload = payloads[index]
-        board.encode_message(
-            payload,
-            stress_hours=stress_hours,
-            use_firmware=False,
-            camouflage=False,
-        )
-        error = bit_error_rate(
-            payload, invert_bits(board.majority_power_on_state(5))
-        )
+        try:
+            board.encode_message(
+                payload,
+                stress_hours=stress_hours,
+                use_firmware=False,
+                camouflage=False,
+            )
+            error = bit_error_rate(
+                payload, invert_bits(board.majority_power_on_state(5))
+            )
+        except DeviceError as exc:
+            telemetry.count("slots.failed")
+            return SlotError(
+                f"slot {index} ({device.spec.name}): "
+                f"{type(exc).__name__}: {exc}",
+                slot=index,
+            )
         return FleetMember(index=index, board=board, measured_error=error)
 
     workers = max_workers or min(n_devices, os.cpu_count() or 1)
@@ -108,17 +144,28 @@ def encode_fleet(
         workers=workers,
     ) as span:
         if workers <= 1 or n_devices == 1:
-            members = [encode_one(i) for i in range(n_devices)]
+            outcomes = [encode_one(i) for i in range(n_devices)]
         else:
             with ThreadPoolExecutor(max_workers=workers) as pool:
-                members = list(pool.map(encode_one, range(n_devices)))
+                outcomes = list(pool.map(encode_one, range(n_devices)))
 
+        members = [m for m in outcomes if isinstance(m, FleetMember)]
+        failures = tuple(e for e in outcomes if isinstance(e, SlotError))
+        if not members:
+            raise SlotError(
+                f"all {n_devices} fleet candidates failed; first: {failures[0]}",
+                slot=failures[0].slot,
+            ) from failures[0]
         members.sort(key=lambda m: m.measured_error)
         winner = members[0]
         scheme = plan_scheme(max(winner.measured_error, 1e-6), target_error)
         span.set(
             winner_index=winner.index,
             winner_error=winner.measured_error,
+            survivors=len(members),
+            failed=len(failures),
             scheme=getattr(scheme, "name", str(scheme)),
         )
-        return FleetSelection(members=members, winner=winner, scheme=scheme)
+        return FleetSelection(
+            members=members, winner=winner, scheme=scheme, failures=failures
+        )

@@ -32,7 +32,12 @@ from .. import telemetry
 from ..bitutils import Captures, bit_error_rate, invert_bits, majority_vote
 from ..crypto.ctr import AesCtr
 from ..ecc.base import Code
-from ..errors import ConfigurationError
+from ..errors import (
+    CodecError,
+    ConfigurationError,
+    ExtractionError,
+    RetryExhaustedError,
+)
 from ..harness.controlboard import ControlBoard
 from .message import FrameFormat, build_payload, extract_message
 from .scheme import CodingScheme
@@ -70,6 +75,21 @@ class DecodeResult:
       blocks repaired + repetition copies overruled), from telemetry;
     - ``raw_error_vs`` / ``per_capture_error_vs``: channel BER against the
       true payload, filled when ``receive(expected_payload=...)`` knows it.
+
+    The self-healing fields record what adaptive capture escalation did
+    (docs/faults.md).  On a healthy channel they are all zeros/empty:
+
+    - ``total_captures``: power-on captures actually taken (>=
+      ``n_captures`` when escalation fired);
+    - ``suspect_captures``: indices of captures excluded from the final
+      vote as faulted (flip rate above the scheme's threshold);
+    - ``escalation_rounds``: extra capture rounds taken;
+    - ``retry_attempts``: transient capture-read failures that were
+      retried away;
+    - ``faults_injected``: faults the board's injector fired during this
+      receive (0 without an injector);
+    - ``degraded``: the ceiling was reached and the result was accepted
+      with fewer clean captures than the scheme asked for.
     """
 
     message: bytes
@@ -82,6 +102,12 @@ class DecodeResult:
     per_capture_error_vs: "tuple[float, ...] | None" = None
     vote_margin_hist: "tuple[int, ...] | None" = None
     ecc_corrections: "int | None" = None
+    total_captures: int = 0
+    suspect_captures: "tuple[int, ...]" = ()
+    escalation_rounds: int = 0
+    retry_attempts: int = 0
+    faults_injected: int = 0
+    degraded: bool = False
 
     def provenance(self) -> dict:
         """The per-receive provenance record (JSON-ready)."""
@@ -105,6 +131,14 @@ class DecodeResult:
                 else None
             ),
             "ecc_corrections": self.ecc_corrections,
+            "escalation": {
+                "total_captures": self.total_captures,
+                "suspect_captures": list(self.suspect_captures),
+                "escalation_rounds": self.escalation_rounds,
+                "retry_attempts": self.retry_attempts,
+                "faults_injected": self.faults_injected,
+                "degraded": self.degraded,
+            },
         }
 
 
@@ -264,6 +298,68 @@ class InvisibleBits:
         state = self.board.majority_power_on_state(self.n_captures)
         return state, invert_bits(state)
 
+    def _vote_rows(
+        self, samples: np.ndarray, excluded: "list[int]"
+    ) -> "tuple[list[int], np.ndarray]":
+        """Majority-vote the non-excluded rows over an odd-sized set.
+
+        With an even number of usable rows, the most marginal one (highest
+        disagreement with the provisional vote; ties break to the newest
+        capture) sits the vote out — a deterministic rule, so escalated
+        receives replay identically.
+        """
+        good = [i for i in range(samples.shape[0]) if i not in excluded]
+        if len(good) % 2 == 0 and len(good) > 1:
+            provisional = majority_vote(samples[good])
+            flips = [
+                (int(np.count_nonzero(samples[i] != provisional)), i) for i in good
+            ]
+            drop = max(flips)[1]
+            good = [i for i in good if i != drop]
+        return good, majority_vote(samples[good])
+
+    def _classify_captures(
+        self, samples: np.ndarray, suspects: "list[int]"
+    ) -> "tuple[list[int], np.ndarray, list[int]]":
+        """Peel faulted captures (flip rate above the scheme threshold)
+        until the vote is stable; never peels the entire set."""
+        threshold = self.scheme.suspect_flip_rate
+        suspects = list(suspects)
+        while True:
+            vote_idx, state = self._vote_rows(samples, suspects)
+            fresh = [
+                i
+                for i in vote_idx
+                if np.count_nonzero(samples[i] != state) / state.size > threshold
+            ]
+            if not fresh or len(fresh) >= len(vote_idx):
+                return vote_idx, state, suspects
+            suspects.extend(fresh)
+
+    def _attempt_decode(
+        self, state: np.ndarray, message_len: "int | None"
+    ) -> "tuple[bytes, np.ndarray, int]":
+        """Invert, decrypt and ECC-decode one voted state."""
+        recovered = invert_bits(state)
+        cipher = self._cipher()
+        with telemetry.trace("channel.decrypt", encrypted=cipher is not None):
+            plain = cipher.process_bits(recovered) if cipher else recovered
+        with telemetry.trace(
+            "channel.ecc_decode",
+            code=self.ecc.name if self.ecc is not None else "identity",
+        ) as ecc_span:
+            message = extract_message(
+                plain, ecc=self.ecc, frame=self.frame, message_len=message_len
+            )
+            corrections = int(
+                sum(
+                    count
+                    for name, count in ecc_span.counters.items()
+                    if name.endswith(".corrections")
+                )
+            )
+        return message, recovered, corrections
+
     def receive(
         self,
         *,
@@ -275,43 +371,76 @@ class InvisibleBits:
         Passing ``expected_payload`` (the sender's ``EncodeResult
         .payload_bits``) additionally fills the truth-referenced channel
         diagnostics: ``raw_error_vs`` and ``per_capture_error_vs``.
+
+        The receive path **self-heals** (docs/faults.md): transient
+        capture-read failures are retried under the board's
+        :class:`~repro.faults.RetryPolicy`, captures that disagree with
+        the majority vote beyond ``scheme.suspect_flip_rate`` are treated
+        as faulted and replaced with fresh power-on samples, and an
+        undecodable vote escalates by ``scheme.escalation_step`` extra
+        captures per round — up to ``scheme.max_total_captures`` total,
+        after which :class:`~repro.errors.RetryExhaustedError` is raised.
+        On a healthy channel none of this fires and results are
+        bit-identical to a plain ``n_captures`` receive; whatever
+        happened is recorded in :meth:`DecodeResult.provenance`.
         """
+        scheme = self.scheme
+        ceiling = scheme.max_total_captures
         with telemetry.trace(
             "channel.receive", force=True, **self._span_attrs()
         ) as span:
             samples = self.board.capture_power_on_states(self.n_captures)
+            suspects: "list[int]" = []
+            escalation_rounds = 0
+            degraded = False
 
-            with telemetry.trace("channel.vote", n_captures=self.n_captures):
-                state = majority_vote(samples)
-                ones = samples.sum(axis=0, dtype=np.int64)
-                margins = np.abs(2 * ones - self.n_captures)
-                margin_hist = tuple(
-                    int(v) for v in np.bincount(margins, minlength=self.n_captures + 1)
+            while True:
+                vote_idx, state, suspects = self._classify_captures(
+                    samples, suspects
                 )
-                flip_rate = tuple(
-                    float(np.count_nonzero(row != state)) / state.size
-                    for row in samples
-                )
-            recovered = invert_bits(state)
-
-            cipher = self._cipher()
-            with telemetry.trace("channel.decrypt", encrypted=cipher is not None):
-                plain = cipher.process_bits(recovered) if cipher else recovered
-
-            with telemetry.trace(
-                "channel.ecc_decode",
-                code=self.ecc.name if self.ecc is not None else "identity",
-            ) as ecc_span:
-                message = extract_message(
-                    plain, ecc=self.ecc, frame=self.frame, message_len=message_len
-                )
-                corrections = int(
-                    sum(
-                        count
-                        for name, count in ecc_span.counters.items()
-                        if name.endswith(".corrections")
+                with telemetry.trace("channel.vote", n_captures=len(vote_idx)):
+                    voting = samples[vote_idx]
+                    ones = voting.sum(axis=0, dtype=np.int64)
+                    margins = np.abs(2 * ones - len(vote_idx))
+                    margin_hist = tuple(
+                        int(v)
+                        for v in np.bincount(margins, minlength=len(vote_idx) + 1)
                     )
+                    flip_rate = tuple(
+                        float(np.count_nonzero(row != state)) / state.size
+                        for row in samples
+                    )
+
+                decode_error: "Exception | None" = None
+                try:
+                    message, recovered, corrections = self._attempt_decode(
+                        state, message_len
+                    )
+                except (CodecError, ExtractionError) as exc:
+                    decode_error = exc
+
+                good_count = samples.shape[0] - len(suspects)
+                if decode_error is None and good_count >= scheme.n_captures:
+                    break  # healthy exit (the only path on a clean channel)
+
+                room = ceiling - samples.shape[0]
+                if room <= 0:
+                    if decode_error is None:
+                        degraded = True  # decodable, just short on clean votes
+                        break
+                    raise RetryExhaustedError(
+                        f"capture ceiling {ceiling} reached with the payload "
+                        f"still undecodable: {decode_error}",
+                        attempts=int(samples.shape[0]),
+                    ) from decode_error
+
+                need = scheme.n_captures - good_count
+                extra = min(room, need if need > 0 else scheme.escalation_step)
+                telemetry.count("escalation.captures", extra)
+                samples = np.vstack(
+                    [samples, self.board.capture_power_on_states(extra)]
                 )
+                escalation_rounds += 1
 
             raw_error = None
             per_capture_error = None
@@ -323,8 +452,14 @@ class InvisibleBits:
                     / expected_state.size
                     for row in samples
                 )
+            retry_attempts = int(span.counters.get("retry.attempts", 0))
+            faults_injected = int(span.counters.get("faults.injected", 0))
             span.set(
-                n_captures=self.n_captures,
+                n_captures=len(vote_idx),
+                total_captures=int(samples.shape[0]),
+                suspect_captures=sorted(suspects),
+                escalation_rounds=escalation_rounds,
+                degraded=degraded,
                 vote_margin_hist=list(margin_hist),
                 per_capture_flip_rate=list(flip_rate),
                 per_capture_ber=(
@@ -338,13 +473,19 @@ class InvisibleBits:
                 message=message,
                 power_on_state=state,
                 recovered_payload=recovered,
-                n_captures=self.n_captures,
+                n_captures=len(vote_idx),
                 raw_error_vs=raw_error,
                 captures=samples,
                 per_capture_flip_rate=flip_rate,
                 per_capture_error_vs=per_capture_error,
                 vote_margin_hist=margin_hist,
                 ecc_corrections=corrections,
+                total_captures=int(samples.shape[0]),
+                suspect_captures=tuple(sorted(suspects)),
+                escalation_rounds=escalation_rounds,
+                retry_attempts=retry_attempts,
+                faults_injected=faults_injected,
+                degraded=degraded,
             )
 
     # -- diagnostics --------------------------------------------------------------------

@@ -38,6 +38,49 @@ class FirmwareError(DeviceError):
     """Firmware loading or execution failed."""
 
 
+class RetryExhaustedError(DeviceError):
+    """A retried operation kept failing until its attempt budget ran out.
+
+    Raised by :meth:`repro.faults.retry.RetryPolicy.call` (and by the
+    adaptive capture escalation in
+    :meth:`repro.core.pipeline.InvisibleBits.receive` when the capture
+    ceiling is reached with the payload still undecodable).  The final
+    underlying failure is chained as ``__cause__``; :attr:`attempts`
+    records how many tries were spent.
+    """
+
+    def __init__(self, message: str, *, attempts: int = 0):
+        self.attempts = attempts
+        super().__init__(message)
+
+
+class QuarantinedDeviceError(DeviceError):
+    """The target slot has been quarantined by a health ledger.
+
+    :class:`repro.harness.rack.EncodingRack` stops dispatching work to a
+    slot after it fails ``quarantine_after`` consecutive times; further
+    operations on that slot raise this error instead of touching the
+    (presumed-bad) hardware.  :attr:`slot` is the rack slot index.
+    """
+
+    def __init__(self, message: str, *, slot: "int | None" = None):
+        self.slot = slot
+        super().__init__(message)
+
+
+class SlotError(ReproError):
+    """A per-slot rack operation failed; the original error is chained.
+
+    ``EncodingRack._map_slots`` wraps worker exceptions in this type so a
+    single flaky board identifies itself (``slot`` index, device name)
+    instead of killing the whole tray map anonymously.
+    """
+
+    def __init__(self, message: str, *, slot: int):
+        self.slot = slot
+        super().__init__(message)
+
+
 class AssemblerError(ReproError):
     """The assembler rejected a source program."""
 

@@ -1,0 +1,85 @@
+"""The health ledger: consecutive-failure tracking and quarantine.
+
+A rack (or any fleet operator) records every per-slot outcome here; a
+slot that fails ``quarantine_after`` consecutive times is quarantined —
+further work on it raises :class:`~repro.errors.QuarantinedDeviceError`
+instead of touching the (presumed-bad) hardware, and the
+``slots.quarantined`` telemetry counter ticks.  A success anywhere short
+of quarantine wipes the streak; quarantine itself is sticky until
+:meth:`HealthLedger.release`.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from .. import telemetry
+from ..errors import ConfigurationError, QuarantinedDeviceError
+
+__all__ = ["HealthLedger"]
+
+
+class HealthLedger:
+    """Per-slot consecutive-failure bookkeeping with quarantine."""
+
+    def __init__(self, quarantine_after: int = 3):
+        if quarantine_after < 1:
+            raise ConfigurationError(
+                f"quarantine_after must be >= 1, got {quarantine_after}"
+            )
+        self.quarantine_after = quarantine_after
+        self._streaks: dict = {}
+        self._quarantined: set = set()
+        self._lock = threading.Lock()
+
+    def record_success(self, slot) -> None:
+        """A slot completed its work: its failure streak resets."""
+        with self._lock:
+            self._streaks[slot] = 0
+
+    def record_failure(self, slot) -> bool:
+        """A slot failed; returns True when this failure quarantines it."""
+        with self._lock:
+            streak = self._streaks.get(slot, 0) + 1
+            self._streaks[slot] = streak
+            if streak >= self.quarantine_after and slot not in self._quarantined:
+                self._quarantined.add(slot)
+                telemetry.count("slots.quarantined")
+                return True
+            return False
+
+    def is_quarantined(self, slot) -> bool:
+        with self._lock:
+            return slot in self._quarantined
+
+    def check(self, slot) -> None:
+        """Raise :class:`QuarantinedDeviceError` if the slot is out."""
+        if self.is_quarantined(slot):
+            raise QuarantinedDeviceError(
+                f"slot {slot} is quarantined after "
+                f"{self._streaks.get(slot, 0)} consecutive failures",
+                slot=slot if isinstance(slot, int) else None,
+            )
+
+    def release(self, slot) -> None:
+        """Manual intervention: put a quarantined slot back in service."""
+        with self._lock:
+            self._quarantined.discard(slot)
+            self._streaks[slot] = 0
+
+    def failures(self, slot) -> int:
+        """The slot's current consecutive-failure streak."""
+        with self._lock:
+            return self._streaks.get(slot, 0)
+
+    @property
+    def quarantined(self) -> list:
+        """Quarantined slots, in insertion-stable sorted order."""
+        with self._lock:
+            return sorted(self._quarantined, key=repr)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"HealthLedger(after={self.quarantine_after}, "
+            f"quarantined={self.quarantined})"
+        )

@@ -1,0 +1,100 @@
+"""FaultInjector: turns a :class:`FaultPlan` into a live fault schedule.
+
+The injector sits at the harness layer — :class:`~repro.harness.
+controlboard.ControlBoard` consults it at its capture, thermal and stress
+hook points — and never touches the physics code underneath.  Each model
+in the plan gets its own RNG stream spawned from ``(plan.seed, salt,
+model index)``, so:
+
+- the schedule is fully deterministic (same plan + salt -> same faults,
+  event for event);
+- models compose without perturbing each other's draws;
+- racks hand every board its own ``salt`` so slots fault independently
+  but reproducibly.
+
+The injector keeps two records: ``counters`` (kind -> occurrences, also
+mirrored into telemetry as ``faults.injected`` / ``faults.<kind>``) and
+``schedule`` (the ordered event log the determinism tests compare).
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+from .. import telemetry
+from .plan import FaultPlan
+
+__all__ = ["FaultInjector"]
+
+
+class FaultInjector:
+    """Live fault state for one board (or one logical device slot)."""
+
+    def __init__(self, plan: FaultPlan, *, salt: int = 0):
+        self.plan = plan
+        self.salt = salt
+        self._streams = [
+            np.random.default_rng(
+                np.random.SeedSequence([plan.seed & 0xFFFFFFFF, salt, index])
+            )
+            for index in range(len(plan.models))
+        ]
+        #: kind -> number of injected occurrences.
+        self.counters: dict[str, int] = {}
+        #: Ordered event log: (event_index, kind, detail dict).
+        self.schedule: list[tuple[int, str, dict]] = []
+        self._events = 0
+        self._lock = threading.Lock()
+
+    def spawn(self, salt: int) -> "FaultInjector":
+        """A sibling injector for another slot of the same plan."""
+        return FaultInjector(self.plan, salt=salt)
+
+    @property
+    def injected(self) -> int:
+        """Total faults injected so far."""
+        return sum(self.counters.values())
+
+    def _record(self, kind: str, **detail) -> None:
+        with self._lock:
+            self.counters[kind] = self.counters.get(kind, 0) + 1
+            self.schedule.append((self._events, kind, detail))
+        telemetry.count("faults.injected")
+        telemetry.count(f"faults.{kind}")
+
+    def _run_hook(self, hook_name: str, value):
+        """Apply every model's ``hook_name`` to ``value`` in plan order."""
+        self._events += 1
+        for model, rng in zip(self.plan.models, self._streams):
+            hook = getattr(model, hook_name)
+            value = hook(value, rng, self._record)
+        return value
+
+    # -- hook points (called by the harness) -------------------------------
+
+    def check_debug_port(self) -> None:
+        """Before a capture read; may raise :class:`DebugPortError`."""
+        self._events += 1
+        for model, rng in zip(self.plan.models, self._streams):
+            model.on_debug_read(rng, self._record)
+
+    def filter_capture(self, bits: np.ndarray) -> np.ndarray:
+        """Pass one captured power-on state through the corruption models."""
+        return self._run_hook("on_capture", bits)
+
+    def drift_setpoint(self, temp_c: float) -> float:
+        """Pass a chamber setpoint command through the drift models."""
+        return float(self._run_hook("on_setpoint", temp_c))
+
+    def interrupt_stress(self, hours: float) -> float:
+        """Pass a stress-epoch duration through the interruption models."""
+        return float(self._run_hook("on_stress", hours))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        kinds = ",".join(m.kind for m in self.plan.models) or "empty"
+        return (
+            f"FaultInjector({kinds}, seed={self.plan.seed}, salt={self.salt}, "
+            f"injected={self.injected})"
+        )

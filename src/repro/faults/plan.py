@@ -1,0 +1,182 @@
+"""FaultPlan: a seeded, serializable bundle of fault models.
+
+A plan is pure data — seed plus model list — so the same plan always
+yields the same fault schedule, can be written to JSON and checked into a
+chaos-test matrix, and can be shipped through the ``REPRO_FAULT_PLAN``
+environment variable (CI's fault smoke job) or the CLI's global
+``--fault-plan PATH`` option.
+
+Two wire forms are accepted:
+
+- **JSON** (a file path or a ``{"seed": ..., "models": [...]}`` object);
+- **compact spec strings** for one-liners:
+  ``"flaky:0.02"``, ``"brownout:0.05,flaky:0.01@seed=7"``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+
+from ..errors import ConfigurationError
+from .models import (
+    CaptureBrownout,
+    FaultModel,
+    FlakyDebugPort,
+    InterruptedStress,
+    SetpointDrift,
+    model_from_dict,
+)
+
+__all__ = ["FaultPlan", "transient_capture_plan", "plan_from_env"]
+
+#: Spec-string aliases -> model factories taking the rate operand.
+_SPEC_KINDS = {
+    "brownout": lambda rate: CaptureBrownout(rate=rate),
+    "flaky": lambda rate: FlakyDebugPort(rate=rate),
+    "drift": lambda sigma: SetpointDrift(sigma_c=sigma),
+    "interrupt": lambda rate: InterruptedStress(rate=rate),
+}
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Seed + models: everything a :class:`FaultInjector` needs.
+
+    The plan itself never draws randomness; it is the injector that
+    spawns one independent stream per model from ``seed`` (and a
+    per-board ``salt``), which is what makes a plan's schedule a pure
+    function of ``(seed, salt, event order)``.
+    """
+
+    seed: int = 0
+    models: tuple = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "models", tuple(self.models))
+        for model in self.models:
+            if not isinstance(model, FaultModel):
+                raise ConfigurationError(
+                    f"plan models must be FaultModel instances, got {model!r}"
+                )
+
+    def __bool__(self) -> bool:
+        return bool(self.models)
+
+    # -- serialization -----------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "models": [model.to_dict() for model in self.models],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2)
+
+    @classmethod
+    def from_dict(cls, spec: dict) -> "FaultPlan":
+        if not isinstance(spec, dict) or "models" not in spec:
+            raise ConfigurationError(
+                'a fault plan dict needs {"seed": ..., "models": [...]}'
+            )
+        return cls(
+            seed=int(spec.get("seed", 0)),
+            models=tuple(model_from_dict(m) for m in spec["models"]),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        try:
+            return cls.from_dict(json.loads(text))
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(f"fault plan is not valid JSON: {exc}") from exc
+
+    @classmethod
+    def from_file(cls, path) -> "FaultPlan":
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_json(handle.read())
+
+    @classmethod
+    def from_spec(cls, spec: str) -> "FaultPlan":
+        """Parse a compact spec: ``kind:rate[,kind:rate...][@seed=N]``.
+
+        If ``spec`` names an existing file, it is loaded as JSON instead.
+        """
+        spec = spec.strip()
+        if not spec:
+            raise ConfigurationError("empty fault plan spec")
+        if os.path.exists(spec):
+            return cls.from_file(spec)
+        seed = 0
+        if "@" in spec:
+            spec, _, tail = spec.partition("@")
+            tail = tail.strip()
+            if tail.startswith("seed="):
+                tail = tail[len("seed="):]
+            try:
+                seed = int(tail)
+            except ValueError:
+                raise ConfigurationError(f"bad plan seed suffix {tail!r}") from None
+        models = []
+        for part in spec.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            kind, _, operand = part.partition(":")
+            factory = _SPEC_KINDS.get(kind)
+            if factory is None:
+                raise ConfigurationError(
+                    f"unknown fault spec kind {kind!r}; known: {sorted(_SPEC_KINDS)}"
+                )
+            try:
+                value = float(operand) if operand else None
+            except ValueError:
+                raise ConfigurationError(
+                    f"bad fault spec operand {operand!r} in {part!r}"
+                ) from None
+            models.append(factory(value) if value is not None else factory(0.05))
+        if not models:
+            raise ConfigurationError(f"fault plan spec {spec!r} names no models")
+        return cls(seed=seed, models=tuple(models))
+
+
+def transient_capture_plan(
+    rate: float = 0.05,
+    *,
+    seed: int = 0,
+    severity: float = 0.6,
+    flaky_rate: float = 0.0,
+) -> FaultPlan:
+    """The canonical chaos plan: transient capture brownouts at ``rate``
+    (plus optionally a flaky debug port) — the acceptance-gate workload.
+    """
+    models = [CaptureBrownout(rate=rate, severity=severity)]
+    if flaky_rate > 0:
+        models.append(FlakyDebugPort(rate=flaky_rate))
+    return FaultPlan(seed=seed, models=tuple(models))
+
+
+#: Cache for the environment-variable plan: (raw value, parsed plan).
+_ENV_CACHE: "tuple[str, FaultPlan | None] | None" = None
+
+
+def plan_from_env(var: str = "REPRO_FAULT_PLAN") -> "FaultPlan | None":
+    """The global default plan from the environment, or ``None``.
+
+    ``REPRO_FAULT_PLAN`` may hold a JSON file path or a compact spec
+    string; every newly constructed
+    :class:`~repro.harness.controlboard.ControlBoard` without an explicit
+    injector consults this (so CI can chaos-run the whole suite).  The
+    parse is cached per raw value.
+    """
+    global _ENV_CACHE
+    raw = os.environ.get(var)
+    if not raw:
+        return None
+    if _ENV_CACHE is not None and _ENV_CACHE[0] == raw:
+        return _ENV_CACHE[1]
+    plan = FaultPlan.from_spec(raw)
+    _ENV_CACHE = (raw, plan)
+    return plan

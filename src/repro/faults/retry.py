@@ -1,0 +1,149 @@
+"""Retry with capped exponential backoff and deterministic jitter.
+
+The policy answers two questions: *is this failure worth retrying?*
+(derived from the :mod:`repro.errors` hierarchy — transient device I/O
+is, configuration and physics-destroying conditions are not) and *how
+long to back off between attempts?* (capped exponential with seeded
+jitter, so two runs of the same seeded experiment retry identically).
+
+Backoff delays are **simulated** — this library drives a simulator, so
+:meth:`RetryPolicy.call` records the total backoff it *would* have slept
+instead of stalling the test suite; pass ``sleep=time.sleep`` to get
+real-world pacing against hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .. import telemetry
+from ..errors import (
+    ConfigurationError,
+    DeviceError,
+    OverstressError,
+    QuarantinedDeviceError,
+    ReproError,
+    RetryExhaustedError,
+)
+
+__all__ = ["RetryPolicy", "is_retryable"]
+
+#: Exception classes that retrying can never fix: bad configuration,
+#: capacity/codec/crypto logic errors (everything ReproError that is not
+#: a DeviceError), plus the device errors that signal permanent state.
+_PERMANENT_DEVICE_ERRORS = (
+    OverstressError,  # the part is cooked; retrying cooks it again
+    QuarantinedDeviceError,  # the ledger already gave up on this slot
+    RetryExhaustedError,  # never retry the retrier
+)
+
+
+def is_retryable(exc: BaseException) -> bool:
+    """Retryability by exception class, from the errors.py hierarchy.
+
+    Transient simulated-hardware failures (:class:`DeviceError` and
+    subclasses — flaky debug port, power glitches, firmware hiccups) are
+    retryable; permanent device states and every non-device
+    :class:`ReproError` (configuration, capacity, codec, crypto,
+    extraction) are not, and neither is anything outside the library's
+    hierarchy.
+    """
+    if isinstance(exc, _PERMANENT_DEVICE_ERRORS):
+        return False
+    if isinstance(exc, DeviceError):
+        return True
+    return False
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Capped exponential backoff with deterministic seeded jitter.
+
+    ``delay(attempt) = min(max_delay_s, base_delay_s * multiplier**(attempt-1))
+    * (1 + jitter * u)`` with ``u ~ U[0, 1)`` drawn from a generator
+    seeded by ``seed`` — the jitter sequence is a pure function of the
+    policy, so retries never break experiment reproducibility.
+
+    ``max_attempts=1`` disables retrying entirely (first failure
+    propagates).
+    """
+
+    max_attempts: int = 4
+    base_delay_s: float = 0.01
+    multiplier: float = 2.0
+    max_delay_s: float = 1.0
+    jitter: float = 0.1
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigurationError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.base_delay_s < 0 or self.max_delay_s < self.base_delay_s:
+            raise ConfigurationError(
+                "need 0 <= base_delay_s <= max_delay_s "
+                f"(got {self.base_delay_s}, {self.max_delay_s})"
+            )
+        if self.multiplier < 1:
+            raise ConfigurationError(f"multiplier must be >= 1, got {self.multiplier}")
+        if not 0 <= self.jitter <= 1:
+            raise ConfigurationError(f"jitter must be in [0, 1], got {self.jitter}")
+
+    @classmethod
+    def none(cls) -> "RetryPolicy":
+        """The no-retry policy (first failure propagates)."""
+        return cls(max_attempts=1)
+
+    def delays(self, n: "int | None" = None) -> list[float]:
+        """The deterministic backoff schedule (seconds) for ``n`` retries."""
+        n = self.max_attempts - 1 if n is None else n
+        rng = np.random.default_rng(self.seed)
+        out = []
+        for attempt in range(1, n + 1):
+            base = min(
+                self.max_delay_s, self.base_delay_s * self.multiplier ** (attempt - 1)
+            )
+            out.append(base * (1.0 + self.jitter * float(rng.random())))
+        return out
+
+    def call(self, fn, *, sleep=None, on_retry=None):
+        """Run ``fn()`` under this policy.
+
+        Non-retryable failures propagate immediately.  Retryable ones are
+        re-attempted up to ``max_attempts`` total tries, with the
+        deterministic backoff schedule; exhaustion raises
+        :class:`~repro.errors.RetryExhaustedError` chained to the last
+        failure.  Each retry bumps the ``retry.attempts`` telemetry
+        counter and calls ``on_retry(attempt, exc, delay_s)`` if given;
+        ``sleep`` (e.g. ``time.sleep``) actually waits — the default
+        records the would-be delay without stalling.
+        """
+        delays = self.delays()
+        last: "ReproError | None" = None
+        for attempt in range(1, self.max_attempts + 1):
+            try:
+                return fn()
+            except Exception as exc:
+                if not is_retryable(exc) or attempt == self.max_attempts:
+                    if (
+                        is_retryable(exc)
+                        and attempt == self.max_attempts
+                        and self.max_attempts > 1
+                    ):
+                        raise RetryExhaustedError(
+                            f"gave up after {attempt} attempts: {exc}",
+                            attempts=attempt,
+                        ) from exc
+                    raise
+                last = exc
+                delay = delays[attempt - 1]
+                telemetry.count("retry.attempts")
+                telemetry.count("retry.backoff_s", delay)
+                if on_retry is not None:
+                    on_retry(attempt, exc, delay)
+                if sleep is not None:
+                    sleep(delay)
+        raise AssertionError(f"unreachable: {last}")  # pragma: no cover

@@ -15,6 +15,7 @@ from ..bitutils import Captures, as_bit_array, bits_to_bytes, majority_vote
 from ..device.debugport import DebugPort
 from ..device.device import Device
 from ..errors import CapacityError, ConfigurationError, DeviceError
+from ..faults import FaultInjector, RetryPolicy, plan_from_env
 from ..isa.programs import camouflage_program, payload_writer_program, retention_program
 from ..units import hours, kelvin_to_celsius
 from .power import PowerSupply
@@ -22,7 +23,17 @@ from .thermal import ThermalChamber
 
 
 class ControlBoard:
-    """Automation harness wired to a single target device."""
+    """Automation harness wired to a single target device.
+
+    ``fault_injector`` threads a :class:`~repro.faults.FaultInjector`
+    through the board's capture/thermal/stress hook points (chaos
+    testing, docs/faults.md); when omitted, the ``REPRO_FAULT_PLAN``
+    environment variable supplies a process-wide default plan (or none).
+    ``retry`` is the :class:`~repro.faults.RetryPolicy` guarding capture
+    reads against transient device faults; the default policy retries up
+    to 4 attempts with deterministic backoff and is a no-op on a healthy
+    board.
+    """
 
     def __init__(
         self,
@@ -30,6 +41,8 @@ class ControlBoard:
         *,
         chamber: "ThermalChamber | None" = None,
         supply: "PowerSupply | None" = None,
+        fault_injector: "FaultInjector | None" = None,
+        retry: "RetryPolicy | None" = None,
     ):
         self.device = device
         self.chamber = chamber or ThermalChamber()
@@ -39,6 +52,11 @@ class ControlBoard:
         self.supply.connect(device)
         self.chamber.insert(device)
         self.debug = DebugPort(device)
+        if fault_injector is None:
+            plan = plan_from_env()
+            fault_injector = FaultInjector(plan) if plan else None
+        self.fault_injector = fault_injector
+        self.retry = retry if retry is not None else RetryPolicy()
 
     # -- low-level sequencing --------------------------------------------------
 
@@ -127,6 +145,11 @@ class ControlBoard:
         )
         if stress_hours <= 0:
             raise ConfigurationError("stress time must be positive")
+        if self.fault_injector is not None:
+            # Bench-level error sources (docs/faults.md): the chamber may
+            # drift off its panel setpoint and the epoch may be cut short.
+            temp_stress_c = self.fault_injector.drift_setpoint(temp_stress_c)
+            stress_hours = self.fault_injector.interrupt_stress(stress_hours)
 
         with telemetry.trace(
             "board.stress",
@@ -219,8 +242,32 @@ class ControlBoard:
 
     # -- Algorithm 2: message decoding ---------------------------------------------
 
+    def _read_capture(self, retry: "RetryPolicy | None") -> np.ndarray:
+        """One capture read, fault-injected and retried.
+
+        The injected failure mode (flaky debug port) strikes *before*
+        bits move and the read itself is non-destructive, so a retried
+        read returns the identical power-on state — transient I/O faults
+        never change analog results, only cost attempts.
+        """
+        injector = self.fault_injector
+
+        def attempt() -> np.ndarray:
+            if injector is not None:
+                injector.check_debug_port()
+            bits = self.debug.read_sram_bits()
+            return injector.filter_capture(bits) if injector is not None else bits
+
+        if retry is None or retry.max_attempts <= 1:
+            return attempt()
+        return retry.call(attempt)
+
     def capture_power_on_states(
-        self, n_captures: int = 5, *, off_seconds: float = 1.0
+        self,
+        n_captures: int = 5,
+        *,
+        off_seconds: float = 1.0,
+        retry: "RetryPolicy | None" = None,
     ) -> Captures:
         """Capture N power-on states through the retention program
         (Alg. 2, lines 1-5).
@@ -228,10 +275,20 @@ class ControlBoard:
         Returns :data:`~repro.bitutils.Captures` — shape
         ``(n_captures, n_bits)``, dtype ``uint8`` — the same convention
         as :meth:`InvisibleBits.capture_samples` and
-        :func:`repro.io.load_captures`.
+        :func:`repro.io.load_captures`.  ``retry`` overrides the board's
+        default policy for transient read failures (``None`` keeps it).
         """
-        if n_captures <= 0:
-            raise ConfigurationError("need at least one capture")
+        if not isinstance(n_captures, (int, np.integer)) or isinstance(
+            n_captures, bool
+        ):
+            raise ConfigurationError(
+                f"n_captures must be an integer, got {n_captures!r}"
+            )
+        if n_captures < 1:
+            raise ConfigurationError(
+                f"need at least one capture, got {n_captures}"
+            )
+        retry = self.retry if retry is None else retry
         with telemetry.trace(
             "board.capture",
             device=self.device.spec.name,
@@ -247,7 +304,7 @@ class ControlBoard:
             stats_before = dict(self.device.sram.capture_stats)
             for i in range(n_captures):
                 self.power_on_nominal()
-                samples[i] = self.debug.read_sram_bits()
+                samples[i] = self._read_capture(retry)
                 self.power_off()
                 self.device.advance(off_seconds)
             span.count("board.captures", n_captures)

@@ -11,21 +11,53 @@ thread pool: each board touches only its own device and its device's own
 RNG stream, so results are identical for any worker count.  Anything that
 touches the *shared* chamber — which pushes ambient temperature into every
 inserted device — stays serialized between fan-outs.
+
+Fleet resilience (docs/faults.md): a failing slot no longer kills the
+whole tray anonymously.  Strict maps wrap per-slot exceptions in
+:class:`~repro.errors.SlotError` carrying the slot index; resilient maps
+(``resilient=True`` / :meth:`EncodingRack.run_slots`) return one
+:class:`SlotResult` per slot instead of raising, retry transient device
+faults under the rack's :class:`~repro.faults.RetryPolicy`, and a
+:class:`~repro.faults.HealthLedger` quarantines slots after
+``quarantine_after`` consecutive failures.
 """
 
 from __future__ import annotations
 
 import os
 from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
 
 import numpy as np
 
 from .. import telemetry
 from ..device.device import Device
-from ..errors import ConfigurationError
+from ..errors import ConfigurationError, QuarantinedDeviceError, SlotError
+from ..faults import FaultInjector, FaultPlan, HealthLedger, RetryPolicy
 from ..units import hours, kelvin_to_celsius
 from .controlboard import ControlBoard
 from .thermal import ThermalChamber
+
+
+@dataclass(frozen=True)
+class SlotResult:
+    """One slot's outcome from a resilient tray operation.
+
+    ``status`` is ``"ok"`` (first try), ``"retried"`` (succeeded after
+    transient-fault retries), ``"quarantined"`` (the health ledger had
+    already pulled the slot — nothing ran) or ``"failed"`` (every attempt
+    failed; ``error`` holds the last exception).
+    """
+
+    slot: int
+    status: str
+    value: "object" = None
+    error: "Exception | None" = None
+    attempts: int = 1
+
+    @property
+    def ok(self) -> bool:
+        return self.status in ("ok", "retried")
 
 
 class EncodingRack:
@@ -33,10 +65,21 @@ class EncodingRack:
 
     ``max_workers`` caps the thread pool used for per-slot operations;
     ``None`` (default) uses one thread per available CPU, up to the tray
-    size.
+    size.  ``fault_plan`` gives every board its own deterministic
+    :class:`~repro.faults.FaultInjector` (salted by slot index);
+    ``retry`` guards resilient per-slot work; ``quarantine_after`` is the
+    health ledger's consecutive-failure threshold.
     """
 
-    def __init__(self, devices: "list[Device]", *, max_workers: "int | None" = None):
+    def __init__(
+        self,
+        devices: "list[Device]",
+        *,
+        max_workers: "int | None" = None,
+        fault_plan: "FaultPlan | None" = None,
+        retry: "RetryPolicy | None" = None,
+        quarantine_after: int = 3,
+    ):
         if not devices:
             raise ConfigurationError("rack needs at least one device")
         if max_workers is not None and max_workers < 1:
@@ -44,42 +87,143 @@ class EncodingRack:
         self.max_workers = max_workers
         self.chamber = ThermalChamber()
         self.boards = [
-            ControlBoard(device, chamber=self.chamber) for device in devices
+            ControlBoard(
+                device,
+                chamber=self.chamber,
+                fault_injector=(
+                    FaultInjector(fault_plan, salt=index) if fault_plan else None
+                ),
+            )
+            for index, device in enumerate(devices)
         ]
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.health = HealthLedger(quarantine_after)
         # ControlBoard.__init__ inserts each device; nothing else to wire.
 
     def __len__(self) -> int:
         return len(self.boards)
 
+    def _calls(self, items: "list | None") -> list:
+        if items is None:
+            return [(board,) for board in self.boards]
+        return list(zip(self.boards, items))
+
+    def _pool_width(self, n_calls: int) -> int:
+        return self.max_workers or min(n_calls, os.cpu_count() or 1)
+
     def _map_slots(self, fn, items: "list | None" = None) -> list:
         """Apply ``fn(board[, item])`` to every slot, in slot order.
 
         Slots are independent (own device, own RNG stream), so the pool
-        width only affects wall-clock time, never results.
+        width only affects wall-clock time, never results.  A worker
+        exception no longer kills the map anonymously: it surfaces as a
+        :class:`~repro.errors.SlotError` naming the slot and device, with
+        the original exception chained as ``__cause__``.
         """
-        if items is None:
-            calls = [(board,) for board in self.boards]
-        else:
-            calls = list(zip(self.boards, items))
-        workers = self.max_workers or min(len(calls), os.cpu_count() or 1)
-        if workers <= 1 or len(calls) <= 1:
-            return [fn(*call) for call in calls]
-        with ThreadPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(lambda call: fn(*call), calls))
+        calls = self._calls(items)
 
-    def stage_payloads(self, payloads: "list[np.ndarray]", *, use_firmware: bool = False) -> None:
-        """Stage one payload per slot (Alg. 1 lines 3-4, tray-wide)."""
+        def run_one(indexed_call):
+            index, call = indexed_call
+            try:
+                return fn(*call)
+            except Exception as exc:
+                raise SlotError(
+                    f"slot {index} ({call[0].device.spec.name}): "
+                    f"{type(exc).__name__}: {exc}",
+                    slot=index,
+                ) from exc
+
+        workers = self._pool_width(len(calls))
+        if workers <= 1 or len(calls) <= 1:
+            return [run_one(pair) for pair in enumerate(calls)]
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(run_one, enumerate(calls)))
+
+    def run_slots(
+        self, fn, items: "list | None" = None, *, label: str = "rack.run"
+    ) -> "list[SlotResult]":
+        """Resilient tray map: every slot returns a :class:`SlotResult`.
+
+        Quarantined slots are skipped outright; transient device faults
+        are retried under the rack's policy; a slot that still fails is
+        reported (``status="failed"``) without touching the other slots,
+        and its failure streak counts toward quarantine.  Telemetry:
+        ``slots.failed``, ``slots.quarantined``, ``retry.attempts``.
+        """
+        calls = self._calls(items)
+
+        def run_one(indexed_call) -> SlotResult:
+            index, call = indexed_call
+            if self.health.is_quarantined(index):
+                return SlotResult(
+                    slot=index,
+                    status="quarantined",
+                    error=QuarantinedDeviceError(
+                        f"slot {index} is quarantined", slot=index
+                    ),
+                    attempts=0,
+                )
+            attempts = [0]
+
+            def attempt():
+                attempts[0] += 1
+                return fn(*call)
+
+            try:
+                value = self.retry.call(attempt)
+            except Exception as exc:
+                self.health.record_failure(index)
+                telemetry.count("slots.failed")
+                return SlotResult(
+                    slot=index, status="failed", error=exc, attempts=attempts[0]
+                )
+            self.health.record_success(index)
+            return SlotResult(
+                slot=index,
+                status="ok" if attempts[0] == 1 else "retried",
+                value=value,
+                attempts=attempts[0],
+            )
+
+        with telemetry.trace(label, slots=len(calls)) as span:
+            workers = self._pool_width(len(calls))
+            if workers <= 1 or len(calls) <= 1:
+                results = [run_one(pair) for pair in enumerate(calls)]
+            else:
+                with ThreadPoolExecutor(max_workers=workers) as pool:
+                    results = list(pool.map(run_one, enumerate(calls)))
+            span.set(
+                ok=sum(1 for r in results if r.ok),
+                failed=sum(1 for r in results if r.status == "failed"),
+                quarantined=sum(1 for r in results if r.status == "quarantined"),
+            )
+            return results
+
+    def stage_payloads(
+        self,
+        payloads: "list[np.ndarray]",
+        *,
+        use_firmware: bool = False,
+        resilient: bool = False,
+    ) -> "list[SlotResult] | None":
+        """Stage one payload per slot (Alg. 1 lines 3-4, tray-wide).
+
+        ``resilient=True`` returns per-slot :class:`SlotResult` s instead
+        of raising on the first bad slot.
+        """
         if len(payloads) != len(self.boards):
             raise ConfigurationError(
                 f"{len(payloads)} payloads for {len(self.boards)} slots"
             )
+
+        def stage(board: ControlBoard, payload: np.ndarray) -> None:
+            board.stage_payload(payload, use_firmware=use_firmware)
+
+        if resilient:
+            return self.run_slots(stage, payloads, label="rack.stage")
         with telemetry.trace("rack.stage", slots=len(self.boards)):
-            self._map_slots(
-                lambda board, payload: board.stage_payload(
-                    payload, use_firmware=use_firmware
-                ),
-                payloads,
-            )
+            self._map_slots(stage, payloads)
+        return None
 
     def stress_all(
         self,
@@ -87,22 +231,34 @@ class EncodingRack:
         stress_hours: float,
         temp_stress_c: float = 85.0,
         vdd_per_board: "list[float] | None" = None,
+        skip_unpowered: bool = False,
     ) -> None:
         """One shared stress period: set the chamber once, elevate every
-        slot's supply, let the time pass for all devices together."""
+        slot's supply, let the time pass for all devices together.
+
+        ``skip_unpowered=True`` lets a partially-staged tray (some slots
+        failed or quarantined during a resilient stage) stress the
+        powered slots instead of refusing the whole tray.
+        """
         if stress_hours <= 0:
             raise ConfigurationError("stress time must be positive")
-        for board in self.boards:
-            if not board.device.powered:
-                raise ConfigurationError("stage payloads before stressing")
+        live = [
+            (index, board)
+            for index, board in enumerate(self.boards)
+            if board.device.powered
+        ]
+        if len(live) < len(self.boards) and not skip_unpowered:
+            raise ConfigurationError("stage payloads before stressing")
+        if not live:
+            raise ConfigurationError("no powered slots to stress")
         with telemetry.trace(
             "rack.stress",
-            slots=len(self.boards),
+            slots=len(live),
             stress_hours=stress_hours,
             temp_stress_c=temp_stress_c,
         ):
             self.chamber.set_temperature(temp_stress_c)
-            for index, board in enumerate(self.boards):
+            for index, board in live:
                 vdd = (
                     board.device.spec.recipe.vdd_stress
                     if vdd_per_board is None
@@ -114,12 +270,30 @@ class EncodingRack:
                 ):
                     board.device.regulator.bypass()
                 board.supply.set_voltage(vdd)
-            self._map_slots(lambda board: board.device.advance(hours(stress_hours)))
+            live_boards = [board for _, board in live]
+            self._map_slots(
+                lambda board: board.device.advance(hours(stress_hours))
+                if board in live_boards
+                else None
+            )
             self.chamber.set_temperature(kelvin_to_celsius(self.chamber.ambient_k))
-            self._map_slots(lambda board: board.power_off())
+            self._map_slots(
+                lambda board: board.power_off() if board.device.powered else None
+            )
 
-    def measure_errors(self, payloads: "list[np.ndarray]", *, n_captures: int = 5) -> list[float]:
-        """Per-slot channel error against the staged payloads."""
+    def measure_errors(
+        self,
+        payloads: "list[np.ndarray]",
+        *,
+        n_captures: int = 5,
+        resilient: bool = False,
+    ) -> "list[float] | list[SlotResult]":
+        """Per-slot channel error against the staged payloads.
+
+        ``resilient=True`` returns :class:`SlotResult` s (``value`` is the
+        error rate) so one dead slot yields a partial tray measurement
+        instead of nothing.
+        """
         from ..bitutils import bit_error_rate, invert_bits
 
         if len(payloads) != len(self.boards):
@@ -129,6 +303,8 @@ class EncodingRack:
             state = board.majority_power_on_state(n_captures)
             return bit_error_rate(payload, invert_bits(state))
 
+        if resilient:
+            return self.run_slots(measure, payloads, label="rack.measure")
         with telemetry.trace(
             "rack.measure", slots=len(self.boards), n_captures=n_captures
         ):

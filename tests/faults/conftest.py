@@ -1,0 +1,15 @@
+"""Fault-suite isolation.
+
+These tests construct their own plans and injectors; a global
+``REPRO_FAULT_PLAN`` (the CI chaos smoke runs the whole tier-1 suite
+under one) must not wire a second injector into the boards they build,
+so it is stripped for the duration of each test here.  Tests that
+exercise the env-var path set it explicitly via monkeypatch.
+"""
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _no_ambient_fault_plan(monkeypatch):
+    monkeypatch.delenv("REPRO_FAULT_PLAN", raising=False)

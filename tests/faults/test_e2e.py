@@ -1,0 +1,141 @@
+"""End-to-end chaos acceptance: the pipeline self-heals under faults.
+
+The acceptance gates from docs/faults.md:
+
+- under the canonical 5% transient-capture plan the paper-preset channel
+  recovers the payload with zero message errors, and the provenance
+  records the recovery work (extra captures / retries);
+- the fault schedule — and therefore the provenance — is a pure function
+  of the plan seed;
+- with faults disabled the receive path is bit-identical to a plain
+  receive (the injector machinery costs nothing when quiet).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import InvisibleBits
+from repro.core.scheme import paper_end_to_end_scheme
+from repro.device.catalog import make_device
+from repro.errors import RetryExhaustedError
+from repro.faults import (
+    FaultInjector,
+    FaultPlan,
+    FlakyDebugPort,
+    RetryPolicy,
+    StuckRegion,
+    transient_capture_plan,
+)
+from repro.harness.controlboard import ControlBoard
+
+KEY = bytes(range(16))
+MESSAGE = b"zero message errors"
+
+
+def _encoded_channel(device_rng=77):
+    board = ControlBoard(make_device("MSP430G2553", rng=device_rng))
+    channel = InvisibleBits(
+        board, scheme=paper_end_to_end_scheme(KEY), use_firmware=False
+    )
+    channel.send(MESSAGE)
+    return board, channel
+
+
+def _receive_under(plan):
+    board, channel = _encoded_channel()
+    board.fault_injector = FaultInjector(plan)
+    return channel.receive()
+
+
+def test_paper_preset_recovers_under_5pct_transient_faults():
+    # Plan seed 0 lands a brownout inside the first capture window, so
+    # the suspect/escalation path is exercised, not just survived.
+    result = _receive_under(transient_capture_plan(0.05, flaky_rate=0.02, seed=0))
+    assert result.message == MESSAGE  # zero message errors
+    escalation = result.provenance()["escalation"]
+    assert escalation["faults_injected"] >= 1
+    assert escalation["suspect_captures"]  # the hit capture was identified
+    assert escalation["total_captures"] > 5  # ...and replaced
+    assert escalation["escalation_rounds"] >= 1
+    assert not escalation["degraded"]
+    assert result.n_captures == 5  # vote still ran over a clean odd set
+
+
+def test_flaky_port_is_retried_and_recorded():
+    # Plan seed 8 fires the flaky port once during the receive.
+    result = _receive_under(transient_capture_plan(0.05, flaky_rate=0.02, seed=8))
+    assert result.message == MESSAGE
+    escalation = result.provenance()["escalation"]
+    assert escalation["retry_attempts"] >= 1
+    assert escalation["total_captures"] == 5  # retries never cost captures
+
+
+def test_fault_schedule_and_provenance_are_seed_deterministic():
+    plan = transient_capture_plan(0.2, flaky_rate=0.1, seed=3)
+    runs = []
+    for _ in range(2):
+        board, channel = _encoded_channel()
+        board.fault_injector = FaultInjector(plan)
+        result = channel.receive()
+        runs.append((list(board.fault_injector.schedule), result.provenance()))
+    assert runs[0][0] == runs[1][0]  # identical fault schedule
+    assert runs[0][1] == runs[1][1]  # identical provenance
+    assert runs[0][0]  # and it was not trivially empty
+
+
+def test_faults_disabled_is_bit_identical_to_no_injector():
+    plain_board, plain_channel = _encoded_channel()
+    plain = plain_channel.receive()
+
+    quiet_board, quiet_channel = _encoded_channel()
+    quiet_board.fault_injector = FaultInjector(
+        FaultPlan(seed=1, models=(FlakyDebugPort(rate=0.0),))
+    )
+    quiet = quiet_channel.receive()
+
+    assert quiet.message == plain.message
+    np.testing.assert_array_equal(quiet.captures, plain.captures)
+    np.testing.assert_array_equal(quiet.power_on_state, plain.power_on_state)
+    assert quiet.provenance() == plain.provenance()
+    assert quiet.provenance()["escalation"]["total_captures"] == 5
+
+
+def test_stuck_region_is_out_voted():
+    # A stuck region hits every capture identically, so no capture is a
+    # suspect — but a region clear of the frame header is small enough
+    # for the ECC to absorb.
+    result = _receive_under(
+        FaultPlan(seed=0, models=(StuckRegion(offset=1500, length=24, value=1),))
+    )
+    assert result.message == MESSAGE
+    assert result.ecc_corrections > 0
+
+
+def test_capture_ceiling_raises_retry_exhausted():
+    board, channel = _encoded_channel()
+    # Total garbage on every capture: escalation can never find a clean set.
+    board.fault_injector = FaultInjector(
+        FaultPlan(seed=2, models=(StuckRegion(offset=0, length=10**9, value=1),))
+    )
+    with pytest.raises(RetryExhaustedError) as info:
+        channel.receive()
+    assert info.value.attempts == channel.scheme.max_total_captures
+
+
+def test_flaky_only_plan_changes_no_analog_results():
+    """The CI chaos-smoke invariant: a flaky-port plan plus retries is
+    invisible in the data — reads are non-destructive and strike before
+    bits move."""
+    plain_board, plain_channel = _encoded_channel(device_rng=101)
+    plain = plain_channel.receive()
+
+    flaky_board, flaky_channel = _encoded_channel(device_rng=101)
+    flaky_board.fault_injector = FaultInjector(
+        FaultPlan(seed=0, models=(FlakyDebugPort(rate=0.3),))
+    )
+    flaky_board.retry = RetryPolicy(max_attempts=6)
+    flaky = flaky_channel.receive()
+
+    assert flaky_board.fault_injector.injected >= 1  # faults really fired
+    np.testing.assert_array_equal(flaky.captures, plain.captures)
+    assert flaky.message == plain.message == MESSAGE

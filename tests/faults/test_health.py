@@ -1,0 +1,63 @@
+"""HealthLedger: the quarantine lifecycle."""
+
+import pytest
+
+from repro import telemetry
+from repro.errors import ConfigurationError, QuarantinedDeviceError
+from repro.faults import HealthLedger
+
+
+def test_quarantine_after_consecutive_failures():
+    ledger = HealthLedger(quarantine_after=3)
+    assert ledger.record_failure(0) is False
+    assert ledger.record_failure(0) is False
+    assert ledger.record_failure(0) is True  # third strike quarantines
+    assert ledger.is_quarantined(0)
+    assert ledger.quarantined == [0]
+    assert ledger.failures(0) == 3
+
+
+def test_success_resets_the_streak():
+    ledger = HealthLedger(quarantine_after=2)
+    ledger.record_failure(1)
+    ledger.record_success(1)
+    assert ledger.record_failure(1) is False  # streak restarted
+    assert not ledger.is_quarantined(1)
+
+
+def test_check_raises_for_quarantined_slot_only():
+    ledger = HealthLedger(quarantine_after=1)
+    ledger.check(5)  # healthy: no raise
+    ledger.record_failure(5)
+    with pytest.raises(QuarantinedDeviceError) as info:
+        ledger.check(5)
+    assert info.value.slot == 5
+
+
+def test_release_returns_slot_to_service():
+    ledger = HealthLedger(quarantine_after=1)
+    ledger.record_failure(2)
+    assert ledger.is_quarantined(2)
+    ledger.release(2)
+    assert not ledger.is_quarantined(2)
+    assert ledger.failures(2) == 0
+
+
+def test_quarantine_is_sticky_and_counted_once():
+    ledger = HealthLedger(quarantine_after=1)
+    with telemetry.trace("t", force=True) as span:
+        assert ledger.record_failure(3) is True
+        assert ledger.record_failure(3) is False  # already quarantined
+        assert span.counters["slots.quarantined"] == 1
+
+
+def test_slots_are_independent():
+    ledger = HealthLedger(quarantine_after=1)
+    ledger.record_failure(0)
+    assert ledger.is_quarantined(0)
+    assert not ledger.is_quarantined(1)
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        HealthLedger(quarantine_after=0)

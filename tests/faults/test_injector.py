@@ -1,0 +1,98 @@
+"""FaultInjector: the determinism contract and stream independence."""
+
+import numpy as np
+
+from repro import telemetry
+from repro.faults import (
+    CaptureBrownout,
+    FaultInjector,
+    FaultPlan,
+    FlakyDebugPort,
+    SetpointDrift,
+    transient_capture_plan,
+)
+
+
+def _drive(injector, n_events=40, n_bits=256):
+    """A fixed event sequence; returns (schedule, flaky_hits)."""
+    bits = np.zeros(n_bits, dtype=np.uint8)
+    flaky = []
+    for event in range(n_events):
+        if event % 4 == 3:
+            try:
+                injector.check_debug_port()
+            except Exception:
+                flaky.append(event)
+        else:
+            injector.filter_capture(bits)
+    return list(injector.schedule), flaky
+
+
+def test_same_plan_same_salt_identical_schedule():
+    plan = transient_capture_plan(0.3, flaky_rate=0.3, seed=17)
+    first, flaky_a = _drive(FaultInjector(plan))
+    second, flaky_b = _drive(FaultInjector(plan))
+    assert first == second
+    assert flaky_a == flaky_b
+    assert first  # at 30% rates over 40 events, silence would be a bug
+
+
+def test_different_seed_or_salt_changes_schedule():
+    base, _ = _drive(FaultInjector(transient_capture_plan(0.3, seed=17)))
+    reseeded, _ = _drive(FaultInjector(transient_capture_plan(0.3, seed=18)))
+    resalted, _ = _drive(
+        FaultInjector(transient_capture_plan(0.3, seed=17), salt=1)
+    )
+    assert base != reseeded
+    assert base != resalted
+
+
+def test_adding_a_model_does_not_perturb_existing_streams():
+    """Models draw from index-keyed streams: composing plans is stable."""
+    bits = np.zeros(128, dtype=np.uint8)
+    solo = FaultInjector(FaultPlan(seed=5, models=(CaptureBrownout(rate=0.5),)))
+    combo = FaultInjector(
+        FaultPlan(seed=5, models=(CaptureBrownout(rate=0.5), SetpointDrift()))
+    )
+    for _ in range(20):
+        np.testing.assert_array_equal(
+            solo.filter_capture(bits), combo.filter_capture(bits)
+        )
+    assert [s[1:] for s in solo.schedule] == [
+        s[1:] for s in combo.schedule if s[1] == "capture_brownout"
+    ]
+
+
+def test_spawn_creates_sibling_with_same_plan():
+    parent = FaultInjector(transient_capture_plan(0.3, seed=9), salt=0)
+    child = parent.spawn(4)
+    assert child.plan is parent.plan
+    assert child.salt == 4
+    direct, _ = _drive(FaultInjector(parent.plan, salt=4))
+    spawned, _ = _drive(child)
+    assert direct == spawned
+
+
+def test_counters_and_telemetry_mirror():
+    plan = FaultPlan(seed=1, models=(FlakyDebugPort(rate=1.0),))
+    injector = FaultInjector(plan)
+    with telemetry.trace("t", force=True) as span:
+        for _ in range(3):
+            try:
+                injector.check_debug_port()
+            except Exception:
+                pass
+        assert span.counters["faults.injected"] == 3
+        assert span.counters["faults.flaky_port"] == 3
+    assert injector.counters == {"flaky_port": 3}
+    assert injector.injected == 3
+
+
+def test_empty_plan_injector_is_transparent():
+    injector = FaultInjector(FaultPlan())
+    bits = np.ones(16, dtype=np.uint8)
+    np.testing.assert_array_equal(injector.filter_capture(bits), bits)
+    injector.check_debug_port()
+    assert injector.drift_setpoint(85.0) == 85.0
+    assert injector.interrupt_stress(12.0) == 12.0
+    assert injector.injected == 0

@@ -1,0 +1,107 @@
+"""Unit behavior of each fault model, driven with private seeded streams."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, DebugPortError
+from repro.faults import (
+    CaptureBrownout,
+    FaultModel,
+    FlakyDebugPort,
+    InterruptedStress,
+    SetpointDrift,
+    StuckRegion,
+)
+
+
+def _rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+def _sink(kind, **detail):
+    pass
+
+
+def test_base_model_hooks_are_no_ops():
+    model = FaultModel()
+    bits = np.ones(8, dtype=np.uint8)
+    assert model.on_capture(bits, _rng(), _sink) is bits
+    assert model.on_setpoint(100.0, _rng(), _sink) == 100.0
+    assert model.on_stress(24.0, _rng(), _sink) == 24.0
+    model.on_debug_read(_rng(), _sink)  # no raise
+
+
+def test_brownout_corrupts_severity_fraction():
+    model = CaptureBrownout(rate=1.0, severity=0.5)
+    bits = np.zeros(1000, dtype=np.uint8)
+    out = model.on_capture(bits, _rng(1), _sink)
+    assert out is not bits and bits.sum() == 0  # input untouched
+    # 500 cells re-drawn uniformly -> roughly half flip to 1.
+    assert 150 <= out.sum() <= 350
+
+
+def test_brownout_rate_zero_never_fires():
+    model = CaptureBrownout(rate=0.0)
+    bits = np.zeros(64, dtype=np.uint8)
+    for _ in range(20):
+        assert model.on_capture(bits, _rng(2), _sink) is bits
+
+
+def test_brownout_validation():
+    with pytest.raises(ConfigurationError):
+        CaptureBrownout(rate=1.5)
+    with pytest.raises(ConfigurationError):
+        CaptureBrownout(severity=0.0)
+
+
+def test_stuck_region_is_deterministic_and_clipped():
+    model = StuckRegion(offset=4, length=8, value=1)
+    bits = np.zeros(16, dtype=np.uint8)
+    out = model.on_capture(bits, _rng(), _sink)
+    assert list(np.nonzero(out)[0]) == list(range(4, 12))
+    # Region beyond the array is clipped; fully outside is a no-op.
+    short = np.zeros(6, dtype=np.uint8)
+    assert StuckRegion(offset=4, length=8).on_capture(short, _rng(), _sink).sum() == 2
+    outside = StuckRegion(offset=100, length=8)
+    assert outside.on_capture(short, _rng(), _sink) is short
+
+
+def test_stuck_region_validation():
+    with pytest.raises(ConfigurationError):
+        StuckRegion(offset=-1)
+    with pytest.raises(ConfigurationError):
+        StuckRegion(value=2)
+
+
+def test_flaky_port_raises_debug_port_error():
+    model = FlakyDebugPort(rate=1.0)
+    with pytest.raises(DebugPortError, match="injected fault"):
+        model.on_debug_read(_rng(), _sink)
+    FlakyDebugPort(rate=0.0).on_debug_read(_rng(), _sink)  # no raise
+
+
+def test_setpoint_drift_perturbs_temperature():
+    model = SetpointDrift(sigma_c=2.0)
+    drifted = model.on_setpoint(100.0, _rng(3), _sink)
+    assert drifted != 100.0
+    assert abs(drifted - 100.0) < 20.0  # within ~10 sigma
+    assert SetpointDrift(sigma_c=0.0).on_setpoint(100.0, _rng(), _sink) == 100.0
+    with pytest.raises(ConfigurationError):
+        SetpointDrift(sigma_c=-1.0)
+
+
+def test_interrupted_stress_cuts_hours_short():
+    model = InterruptedStress(rate=1.0, min_fraction=0.5)
+    cut = model.on_stress(100.0, _rng(4), _sink)
+    assert 50.0 <= cut < 100.0
+    assert InterruptedStress(rate=0.0).on_stress(100.0, _rng(), _sink) == 100.0
+    with pytest.raises(ConfigurationError):
+        InterruptedStress(min_fraction=1.0)
+
+
+def test_to_dict_tags_every_model():
+    for model in (CaptureBrownout(), StuckRegion(), FlakyDebugPort(),
+                  SetpointDrift(), InterruptedStress()):
+        spec = model.to_dict()
+        assert spec["kind"] == type(model).kind
+        assert spec["kind"] != "base"

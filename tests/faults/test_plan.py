@@ -1,0 +1,135 @@
+"""FaultPlan construction, serialization and the env-var wire format."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults import (
+    CaptureBrownout,
+    FaultPlan,
+    FlakyDebugPort,
+    InterruptedStress,
+    SetpointDrift,
+    StuckRegion,
+    model_from_dict,
+    plan_from_env,
+    transient_capture_plan,
+)
+
+
+def test_empty_plan_is_falsy():
+    assert not FaultPlan()
+    assert FaultPlan(models=(FlakyDebugPort(),))
+
+
+def test_plan_rejects_non_models():
+    with pytest.raises(ConfigurationError):
+        FaultPlan(models=("flaky",))
+
+
+def test_json_round_trip_preserves_every_model():
+    plan = FaultPlan(
+        seed=42,
+        models=(
+            CaptureBrownout(rate=0.1, severity=0.5),
+            StuckRegion(offset=8, length=16, value=0),
+            FlakyDebugPort(rate=0.03),
+            SetpointDrift(sigma_c=2.5),
+            InterruptedStress(rate=0.2, min_fraction=0.25),
+        ),
+    )
+    clone = FaultPlan.from_json(plan.to_json())
+    assert clone == plan
+
+
+def test_from_dict_requires_models_key():
+    with pytest.raises(ConfigurationError):
+        FaultPlan.from_dict({"seed": 3})
+
+
+def test_from_json_rejects_garbage():
+    with pytest.raises(ConfigurationError):
+        FaultPlan.from_json("not json at all {")
+
+
+def test_model_from_dict_unknown_kind():
+    with pytest.raises(ConfigurationError, match="unknown fault model"):
+        model_from_dict({"kind": "gremlins", "rate": 1.0})
+
+
+def test_model_from_dict_bad_params():
+    with pytest.raises(ConfigurationError, match="bad parameters"):
+        model_from_dict({"kind": "flaky_port", "rate": 0.1, "bogus": 1})
+
+
+def test_compact_spec_single_model():
+    plan = FaultPlan.from_spec("flaky:0.02")
+    assert plan.seed == 0
+    assert plan.models == (FlakyDebugPort(rate=0.02),)
+
+
+def test_compact_spec_multi_model_with_seed():
+    plan = FaultPlan.from_spec("brownout:0.05,flaky:0.01@seed=7")
+    assert plan.seed == 7
+    assert isinstance(plan.models[0], CaptureBrownout)
+    assert plan.models[0].rate == 0.05
+    assert plan.models[1] == FlakyDebugPort(rate=0.01)
+
+
+def test_compact_spec_errors():
+    for bad in ("", "gremlins:0.1", "flaky:sometimes", "flaky:0.1@seed=x"):
+        with pytest.raises(ConfigurationError):
+            FaultPlan.from_spec(bad)
+
+
+def test_spec_naming_a_file_loads_json(tmp_path):
+    path = tmp_path / "plan.json"
+    plan = transient_capture_plan(0.07, seed=9, flaky_rate=0.01)
+    path.write_text(plan.to_json())
+    assert FaultPlan.from_spec(str(path)) == plan
+
+
+def test_transient_capture_plan_shape():
+    plan = transient_capture_plan(0.05)
+    assert len(plan.models) == 1
+    assert isinstance(plan.models[0], CaptureBrownout)
+    with_flaky = transient_capture_plan(0.05, flaky_rate=0.02, seed=3)
+    assert with_flaky.seed == 3
+    assert isinstance(with_flaky.models[1], FlakyDebugPort)
+
+
+def test_env_plan_wires_into_new_control_boards(monkeypatch):
+    from repro.device.catalog import make_device
+    from repro.faults import FaultInjector
+    from repro.harness import ControlBoard
+
+    monkeypatch.delenv("REPRO_FAULT_PLAN", raising=False)
+    bare = ControlBoard(make_device("MSP432P401", rng=1, sram_kib=0.25))
+    assert bare.fault_injector is None
+
+    monkeypatch.setenv("REPRO_FAULT_PLAN", "flaky:0.04@seed=2")
+    wired = ControlBoard(make_device("MSP432P401", rng=1, sram_kib=0.25))
+    assert wired.fault_injector is not None
+    assert wired.fault_injector.plan == plan_from_env()
+
+    # An explicit injector always wins over the environment.
+    mine = FaultInjector(transient_capture_plan(0.5, seed=1))
+    explicit = ControlBoard(
+        make_device("MSP432P401", rng=1, sram_kib=0.25), fault_injector=mine
+    )
+    assert explicit.fault_injector is mine
+
+
+def test_plan_from_env(monkeypatch, tmp_path):
+    monkeypatch.delenv("REPRO_FAULT_PLAN", raising=False)
+    assert plan_from_env() is None
+    monkeypatch.setenv("REPRO_FAULT_PLAN", "flaky:0.04@seed=2")
+    plan = plan_from_env()
+    assert plan == FaultPlan(seed=2, models=(FlakyDebugPort(rate=0.04),))
+    # Cached per raw value: the same string returns the same object.
+    assert plan_from_env() is plan
+    path = tmp_path / "p.json"
+    path.write_text(json.dumps({"seed": 1, "models": [{"kind": "flaky_port", "rate": 0.5}]}))
+    monkeypatch.setenv("REPRO_FAULT_PLAN", str(path))
+    assert plan_from_env().models[0].rate == 0.5

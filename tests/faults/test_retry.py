@@ -1,0 +1,129 @@
+"""RetryPolicy: retryability classes, deterministic backoff, exhaustion."""
+
+import pytest
+
+from repro import errors, telemetry
+from repro.faults import RetryPolicy, is_retryable
+
+
+class TestRetryability:
+    def test_transient_device_errors_are_retryable(self):
+        for exc in (
+            errors.DeviceError("x"),
+            errors.DebugPortError("x"),
+            errors.PowerError("x"),
+            errors.FirmwareError("x"),
+        ):
+            assert is_retryable(exc)
+
+    def test_permanent_device_states_are_not(self):
+        assert not is_retryable(errors.OverstressError("cooked"))
+        assert not is_retryable(errors.QuarantinedDeviceError("pulled", slot=1))
+        assert not is_retryable(errors.RetryExhaustedError("gave up", attempts=4))
+
+    def test_non_device_repro_errors_are_not(self):
+        for exc in (
+            errors.ConfigurationError("x"),
+            errors.CodecError("x"),
+            errors.CryptoError("x"),
+            errors.CapacityError("x"),
+            errors.ExtractionError("x"),
+        ):
+            assert not is_retryable(exc)
+
+    def test_foreign_exceptions_are_not(self):
+        assert not is_retryable(ValueError("x"))
+        assert not is_retryable(KeyboardInterrupt())
+
+
+class TestBackoffSchedule:
+    def test_delays_are_deterministic_per_seed(self):
+        policy = RetryPolicy(max_attempts=5, seed=11)
+        assert policy.delays() == policy.delays()
+        assert policy.delays() == RetryPolicy(max_attempts=5, seed=11).delays()
+        assert policy.delays() != RetryPolicy(max_attempts=5, seed=12).delays()
+
+    def test_exponential_growth_capped(self):
+        policy = RetryPolicy(
+            max_attempts=10, base_delay_s=0.01, multiplier=2.0,
+            max_delay_s=0.05, jitter=0.0,
+        )
+        delays = policy.delays()
+        assert delays[:3] == [0.01, 0.02, 0.04]
+        assert all(d == 0.05 for d in delays[3:])
+
+    def test_jitter_stays_bounded(self):
+        policy = RetryPolicy(max_attempts=8, jitter=0.25, max_delay_s=10.0)
+        for base, jittered in zip(
+            RetryPolicy(max_attempts=8, jitter=0.0, max_delay_s=10.0).delays(),
+            policy.delays(),
+        ):
+            assert base <= jittered < base * 1.25
+
+    def test_validation(self):
+        with pytest.raises(errors.ConfigurationError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(errors.ConfigurationError):
+            RetryPolicy(base_delay_s=1.0, max_delay_s=0.5)
+        with pytest.raises(errors.ConfigurationError):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(errors.ConfigurationError):
+            RetryPolicy(jitter=2.0)
+
+
+class TestCall:
+    def test_success_needs_no_retry(self):
+        calls = []
+        assert RetryPolicy().call(lambda: calls.append(1) or "ok") == "ok"
+        assert len(calls) == 1
+
+    def test_transient_failure_is_retried(self):
+        tries = []
+
+        def flaky():
+            tries.append(1)
+            if len(tries) < 3:
+                raise errors.DebugPortError("blip")
+            return "recovered"
+
+        assert RetryPolicy(max_attempts=4).call(flaky) == "recovered"
+        assert len(tries) == 3
+
+    def test_exhaustion_chains_the_last_failure(self):
+        policy = RetryPolicy(max_attempts=3)
+        with pytest.raises(errors.RetryExhaustedError) as info:
+            policy.call(self._always_flaky)
+        assert info.value.attempts == 3
+        assert isinstance(info.value.__cause__, errors.DebugPortError)
+
+    @staticmethod
+    def _always_flaky():
+        raise errors.DebugPortError("blip")
+
+    def test_non_retryable_propagates_unwrapped(self):
+        def broken():
+            raise errors.ConfigurationError("bad setup")
+
+        with pytest.raises(errors.ConfigurationError):
+            RetryPolicy(max_attempts=5).call(broken)
+
+    def test_none_policy_propagates_first_failure_unwrapped(self):
+        with pytest.raises(errors.DebugPortError):
+            RetryPolicy.none().call(self._always_flaky)
+
+    def test_counts_and_hooks(self):
+        seen = []
+        slept = []
+        with telemetry.trace("t", force=True) as span:
+            with pytest.raises(errors.RetryExhaustedError):
+                RetryPolicy(max_attempts=3).call(
+                    self._always_flaky,
+                    on_retry=lambda a, e, d: seen.append((a, d)),
+                    sleep=slept.append,
+                )
+            assert span.counters["retry.attempts"] == 2
+            assert span.counters["retry.backoff_s"] == pytest.approx(
+                sum(d for _, d in seen)
+            )
+        assert slept == [d for _, d in seen]
+        assert [a for a, _ in seen] == [1, 2]

@@ -55,6 +55,22 @@ class TestEncodeDecode:
         with pytest.raises(ConfigurationError):
             board.majority_power_on_state(4)
 
+    @pytest.mark.parametrize("bad_n", [0, -1, -5])
+    def test_capture_count_must_be_positive(self, board, bad_n):
+        with pytest.raises(ConfigurationError, match="at least one capture"):
+            board.capture_power_on_states(bad_n)
+
+    @pytest.mark.parametrize("bad_n", [2.0, "5", None, True])
+    def test_capture_count_must_be_an_integer(self, board, bad_n):
+        with pytest.raises(ConfigurationError, match="must be an integer"):
+            board.capture_power_on_states(bad_n)
+
+    def test_numpy_integer_capture_count_accepted(self, board, payload):
+        board.stage_payload(payload, use_firmware=False)
+        board.power_off()
+        samples = board.capture_power_on_states(np.int64(3))
+        assert samples.shape == (3, board.device.sram.n_bits)
+
     def test_camouflage_reload(self, board, payload):
         board.encode_message(payload, use_firmware=False, camouflage=True)
         # Flash now holds the camouflage app, not the payload writer.

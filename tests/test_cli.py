@@ -133,3 +133,49 @@ class TestCommands:
         for exp_id, (module_name, func_name) in EXPERIMENTS.items():
             module = importlib.import_module(f"repro.experiments.{module_name}")
             assert callable(getattr(module, func_name)), exp_id
+
+    def test_faults_show_prints_resolved_plan(self, capsys):
+        assert main(["faults", "--show", "--plan", "flaky:0.02@seed=7"]) == 0
+        out = capsys.readouterr().out
+        assert '"flaky_port"' in out
+        assert '"seed": 7' in out
+
+    def test_faults_chaos_roundtrip(self, capsys):
+        code = main([
+            "faults", "--device", "MSP430G2553", "--sram-kib", "0.5",
+            "--rate", "0.2", "--flaky-rate", "0.1", "--schedule",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "[exact]" in out
+        assert "escalation provenance" in out
+        assert "total_captures" in out
+
+    def test_faults_rejects_bad_plan(self, capsys):
+        from repro.errors import ConfigurationError
+
+        import pytest
+
+        with pytest.raises(ConfigurationError):
+            main(["faults", "--plan", "gremlins:1.0"])
+
+    def test_global_fault_plan_sets_env_for_the_command(self, capsys,
+                                                        monkeypatch):
+        import os
+
+        monkeypatch.delenv("REPRO_FAULT_PLAN", raising=False)
+        code = main([
+            "--fault-plan", "flaky:0.05", "roundtrip",
+            "--device", "MSP430G2553", "--sram-kib", "0.5", "--fast",
+        ])
+        assert code == 0
+        assert "round trip exact" in capsys.readouterr().out
+        assert "REPRO_FAULT_PLAN" not in os.environ  # restored afterwards
+
+    def test_global_fault_plan_validates_early(self):
+        import pytest
+
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            main(["--fault-plan", "bogus:x", "list-devices"])

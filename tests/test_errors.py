@@ -23,6 +23,9 @@ def test_everything_derives_from_repro_error():
         errors.NonceError,
         errors.CapacityError,
         errors.ExtractionError,
+        errors.RetryExhaustedError,
+        errors.QuarantinedDeviceError,
+        errors.SlotError,
     ]
     for exc in leaf_exceptions:
         assert issubclass(exc, errors.ReproError), exc
@@ -30,8 +33,26 @@ def test_everything_derives_from_repro_error():
 
 def test_device_family():
     for exc in (errors.PowerError, errors.OverstressError,
-                errors.DebugPortError, errors.FirmwareError):
+                errors.DebugPortError, errors.FirmwareError,
+                errors.RetryExhaustedError, errors.QuarantinedDeviceError):
         assert issubclass(exc, errors.DeviceError)
+
+
+def test_retry_exhausted_carries_attempts():
+    err = errors.RetryExhaustedError("gave up", attempts=4)
+    assert err.attempts == 4
+    assert errors.RetryExhaustedError("bare").attempts == 0
+
+
+def test_quarantined_carries_slot():
+    assert errors.QuarantinedDeviceError("out", slot=3).slot == 3
+    assert errors.QuarantinedDeviceError("out").slot is None
+
+
+def test_slot_error_carries_slot():
+    err = errors.SlotError("slot 2 broke", slot=2)
+    assert err.slot == 2
+    assert not issubclass(errors.SlotError, errors.DeviceError)
 
 
 def test_codec_family():
