@@ -24,7 +24,7 @@ run any CLI command under ``repro --trace out.jsonl ...`` and inspect it
 with ``repro telemetry summarize out.jsonl``.
 """
 
-from . import telemetry
+from . import telemetry, verify
 from .bitutils import (
     Captures,
     bit_error_rate,
@@ -176,5 +176,6 @@ __all__ = [
     "shannon_entropy",
     "telemetry",
     "transient_capture_plan",
+    "verify",
     "welch_t_test",
 ]

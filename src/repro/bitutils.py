@@ -20,10 +20,40 @@ from .errors import BlockLengthError
 Captures = np.ndarray
 
 
+def as_byte_array(data: "bytes | bytearray | np.ndarray | list[int]") -> np.ndarray:
+    """Coerce ``data`` to a 1-D uint8 array of byte values, validating range.
+
+    Array input must carry *byte values* (integers in 0..255); the dtype is
+    cast explicitly rather than reinterpreting the raw buffer, so an int64
+    array of values is equivalent to the ``bytes`` of those values — not to
+    its 8x-longer memory image.  Float dtypes are rejected outright.
+    """
+    if isinstance(data, (bytes, bytearray)):
+        return np.frombuffer(bytes(data), dtype=np.uint8)
+    arr = np.asarray(data)
+    if arr.dtype == np.uint8:
+        return arr.ravel()
+    if arr.dtype == np.bool_:
+        return arr.ravel().astype(np.uint8)
+    if not np.issubdtype(arr.dtype, np.integer):
+        raise BlockLengthError(
+            f"byte array must have an integer dtype, got {arr.dtype}"
+        )
+    arr = arr.ravel()
+    if arr.size and (int(arr.min()) < 0 or int(arr.max()) > 255):
+        raise BlockLengthError("byte array contains values outside 0..255")
+    return arr.astype(np.uint8)
+
+
 def bytes_to_bits(data: bytes | bytearray | np.ndarray) -> np.ndarray:
-    """Unpack bytes into a bit array (MSB first within each byte)."""
-    buf = np.frombuffer(bytes(data), dtype=np.uint8)
-    return np.unpackbits(buf)
+    """Unpack bytes into a bit array (MSB first within each byte).
+
+    Array input is validated and cast through :func:`as_byte_array`; it
+    used to be reinterpreted via ``bytes(data)``, which silently unpacked
+    the raw buffer of non-uint8 arrays (an int64 array of bit values
+    yielded 8x the bits, all wrong).
+    """
+    return np.unpackbits(as_byte_array(data))
 
 
 def bits_to_bytes(bits: np.ndarray) -> bytes:

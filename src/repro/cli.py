@@ -10,7 +10,10 @@ Commands:
 - ``telemetry summarize <path>`` — render a JSONL trace written by the
   global ``--trace PATH`` option (or the ``REPRO_TRACE`` env var);
 - ``faults`` — chaos-test the protocol under an injected fault plan and
-  report the schedule, counters and escalation provenance.
+  report the schedule, counters and escalation provenance;
+- ``verify`` — sweep the seeded differential verification oracles
+  (``repro.verify``) and optionally the mutation smoke that plants known
+  defects the oracles must catch.
 
 The global ``--fault-plan SPEC`` option (a JSON plan path or a compact
 spec like ``flaky:0.02``) runs any command with fault injection enabled
@@ -273,6 +276,36 @@ def _cmd_faults(args) -> int:
     return 0 if ok else 1
 
 
+def _cmd_verify(args) -> int:
+    """Sweep the differential oracle registry (and the mutation smoke)."""
+    from .verify import all_oracles, run_mutation_smoke, run_verification
+
+    if args.list:
+        name_w = max(len(o.name) for o in all_oracles())
+        for orc in all_oracles():
+            cap = f" (<= {orc.examples} examples)" if orc.examples else ""
+            print(f"{orc.name.ljust(name_w)}  {orc.doc}{cap}")
+        return 0
+    try:
+        summary = run_verification(
+            seed=args.seed,
+            max_examples=args.examples,
+            names=args.oracle or None,
+        )
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    if args.mutation_smoke:
+        summary = type(summary)(
+            seed=summary.seed,
+            max_examples=summary.max_examples,
+            reports=summary.reports,
+            mutation_reports=run_mutation_smoke(seed=args.seed),
+        )
+    print(summary.to_text())
+    return 0 if summary.ok else 1
+
+
 def _cmd_experiment(args) -> int:
     if args.list or not args.id:
         for exp_id in sorted(EXPERIMENTS):
@@ -401,6 +434,25 @@ def build_parser() -> argparse.ArgumentParser:
     faults.add_argument("--schedule", action="store_true",
                         help="also print the realized fault schedule")
     faults.set_defaults(func=_cmd_faults)
+
+    verify = sub.add_parser(
+        "verify",
+        help="sweep the differential verification oracles (docs/verify.md)",
+    )
+    verify.add_argument("--seed", type=int, default=0,
+                        help="sweep seed (default 0); every example is "
+                        "replayable from (seed, example index)")
+    verify.add_argument("--examples", type=int, default=25,
+                        help="max examples per oracle (default 25; heavy "
+                        "oracles declare lower caps)")
+    verify.add_argument("--oracle", action="append", metavar="NAME",
+                        help="run only this oracle (repeatable; see --list)")
+    verify.add_argument("--list", action="store_true",
+                        help="list registered oracles and exit")
+    verify.add_argument("--mutation-smoke", action="store_true",
+                        help="also replay the planted defects and require "
+                        "every one to be caught")
+    verify.set_defaults(func=_cmd_verify)
     return parser
 
 

@@ -65,10 +65,15 @@ class AesCtr:
         return self._aes.encrypt_blocks(blocks).reshape(-1)[:n_bytes]
 
     def process(self, data: "bytes | np.ndarray") -> np.ndarray:
-        """Encrypt or decrypt (CTR is an involution): bytes in, bytes out."""
-        buf = np.frombuffer(bytes(data), dtype=np.uint8) if isinstance(
-            data, (bytes, bytearray)
-        ) else np.asarray(data, dtype=np.uint8).ravel()
+        """Encrypt or decrypt (CTR is an involution): bytes in, bytes out.
+
+        Array input must hold byte values in 0..255; anything else is
+        rejected (``np.asarray(..., dtype=np.uint8)`` used to wrap values
+        > 255 silently, corrupting the stream without a trace).
+        """
+        from ..bitutils import as_byte_array
+
+        buf = as_byte_array(data)
         return buf ^ self.keystream(buf.size)
 
     def encrypt(self, plaintext: "bytes | np.ndarray") -> bytes:

@@ -26,14 +26,23 @@ from ..rng import make_rng
 
 @dataclass(frozen=True)
 class MoransIResult:
-    """Moran's I statistic with its null expectation and significance."""
+    """Moran's I statistic with its null expectation and significance.
+
+    ``statistic``, ``expected``, ``variance`` and ``z_score`` always come
+    from the analytic randomization-assumption formulas (Cliff & Ord); the
+    permutation test replaces only ``p_value``.  ``p_value_method`` records
+    which branch produced ``p_value`` (``"analytic"`` or ``"permutation"``)
+    so the two significance sources cannot be conflated downstream — the
+    analytic z next to a permutation p is provenance, not a mismatch.
+    """
 
     statistic: float
     expected: float
     variance: float
-    z_score: float
+    z_score: float  # always analytic, whatever produced p_value
     p_value: float  # two-sided
     n: int
+    p_value_method: str = "analytic"
 
     def is_spatially_random(self, alpha: float = 0.05) -> bool:
         """True when the pattern is indistinguishable from spatial noise."""
@@ -123,8 +132,10 @@ def morans_i(
             if abs(stat_p - expected) >= abs(statistic - expected):
                 exceed += 1
         p_value = (exceed + 1) / (permutations + 1)
+        method = "permutation"
     else:
         p_value = 2.0 * float(norm.sf(abs(z_score)))
+        method = "analytic"
 
     return MoransIResult(
         statistic=float(statistic),
@@ -133,4 +144,5 @@ def morans_i(
         z_score=float(z_score),
         p_value=float(p_value),
         n=n,
+        p_value_method=method,
     )

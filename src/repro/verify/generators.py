@@ -1,0 +1,289 @@
+"""Typed, seeded input generators with greedy shrink candidates.
+
+Each :class:`Gen` is a pure pair of functions: ``sample(rng)`` draws a
+value from a :class:`numpy.random.Generator`, and ``shrink(value)``
+yields strictly "simpler" candidate values (shorter arrays, smaller
+integers, earlier choices) that the :class:`~repro.verify.runner.Runner`
+tries when a property fails.  Shrinking is best-effort and must
+terminate: every candidate stream is finite and moves toward a fixed
+simplest value, so the runner's greedy descent cannot cycle.
+
+There is deliberately no dependency beyond numpy — this is the
+"dependency-free property testing" substrate the verification oracles
+run on, not a hypothesis clone.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator
+
+import numpy as np
+
+__all__ = [
+    "Gen",
+    "bit_arrays",
+    "byte_values",
+    "capture_stacks",
+    "grid_shapes",
+    "integers",
+    "odd_integers",
+    "payload_bytes",
+    "sampled_from",
+    "scheme_configs",
+    "seeds",
+]
+
+
+class Gen:
+    """A named generator: ``sample(rng) -> value`` plus shrink candidates."""
+
+    def __init__(
+        self,
+        name: str,
+        sample: Callable[[np.random.Generator], object],
+        shrink: "Callable[[object], Iterable] | None" = None,
+    ):
+        self.name = name
+        self._sample = sample
+        self._shrink = shrink
+
+    def sample(self, rng: np.random.Generator):
+        return self._sample(rng)
+
+    def shrink(self, value) -> Iterator:
+        if self._shrink is None:
+            return iter(())
+        return iter(self._shrink(value))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Gen({self.name})"
+
+
+# -- scalars -----------------------------------------------------------------
+
+
+def integers(lo: int, hi: int, *, name: "str | None" = None) -> Gen:
+    """Uniform integers in ``[lo, hi]`` inclusive; shrinks toward ``lo``."""
+    if hi < lo:
+        raise ValueError(f"empty integer range [{lo}, {hi}]")
+
+    def sample(rng: np.random.Generator) -> int:
+        return int(rng.integers(lo, hi + 1))
+
+    def shrink(value: int):
+        value = int(value)
+        seen = set()
+        # lo first (the simplest), then binary descent from value toward lo.
+        for candidate in (lo, lo + (value - lo) // 2, value - 1):
+            if lo <= candidate < value and candidate not in seen:
+                seen.add(candidate)
+                yield candidate
+
+    return Gen(name or f"int[{lo},{hi}]", sample, shrink)
+
+
+def odd_integers(lo: int, hi: int, *, name: "str | None" = None) -> Gen:
+    """Uniform odd integers in ``[lo, hi]``; shrinks toward the smallest."""
+    choices = [v for v in range(lo, hi + 1) if v % 2 == 1]
+    if not choices:
+        raise ValueError(f"no odd integers in [{lo}, {hi}]")
+    return sampled_from(choices, name=name or f"odd[{lo},{hi}]")
+
+
+def seeds(*, name: str = "seed") -> Gen:
+    """Independent RNG seeds; shrinks toward 0."""
+    return integers(0, 2**31 - 1, name=name)
+
+
+def byte_values(*, name: str = "byte") -> Gen:
+    """A single byte value 0..255."""
+    return integers(0, 255, name=name)
+
+
+def sampled_from(choices, *, name: "str | None" = None) -> Gen:
+    """One of ``choices``; shrinks toward earlier (simpler-first) entries."""
+    choices = list(choices)
+    if not choices:
+        raise ValueError("sampled_from needs at least one choice")
+
+    def sample(rng: np.random.Generator):
+        return choices[int(rng.integers(0, len(choices)))]
+
+    def shrink(value):
+        try:
+            index = choices.index(value)
+        except ValueError:
+            return
+        for candidate in choices[:index]:
+            yield candidate
+
+    return Gen(name or f"choice[{len(choices)}]", sample, shrink)
+
+
+# -- arrays ------------------------------------------------------------------
+
+
+def _shrink_bit_array(value: np.ndarray):
+    value = np.asarray(value)
+    if value.size > 1:
+        yield value[: value.size // 2].copy()
+        yield value[: value.size - 1].copy()
+    if np.any(value):
+        yield np.zeros_like(value)
+        # Zero the first set bit (single-bit simplification).
+        first = int(np.argmax(value != 0))
+        candidate = value.copy()
+        candidate[first] = 0
+        yield candidate
+
+
+def bit_arrays(
+    min_bits: int = 1,
+    max_bits: int = 256,
+    *,
+    multiple_of: int = 1,
+    name: "str | None" = None,
+) -> Gen:
+    """0/1 uint8 arrays with length a multiple of ``multiple_of``."""
+    lo = -(-min_bits // multiple_of)
+    hi = max_bits // multiple_of
+    if hi < lo or hi < 1:
+        raise ValueError(f"no multiple of {multiple_of} in [{min_bits}, {max_bits}]")
+    lo = max(lo, 1)
+
+    def sample(rng: np.random.Generator) -> np.ndarray:
+        blocks = int(rng.integers(lo, hi + 1))
+        return rng.integers(0, 2, blocks * multiple_of).astype(np.uint8)
+
+    def shrink(value: np.ndarray):
+        value = np.asarray(value)
+        blocks = value.size // multiple_of
+        if blocks > lo:
+            half = max(lo, blocks // 2)
+            yield value[: half * multiple_of].copy()
+            yield value[: (blocks - 1) * multiple_of].copy()
+        if np.any(value):
+            yield np.zeros_like(value)
+
+    return Gen(name or f"bits[{min_bits}..{max_bits}x{multiple_of}]", sample, shrink)
+
+
+def payload_bytes(min_len: int = 0, max_len: int = 64, *, name: "str | None" = None) -> Gen:
+    """Random ``bytes`` payloads; shrinks by halving and zeroing."""
+    if max_len < min_len:
+        raise ValueError(f"empty byte-length range [{min_len}, {max_len}]")
+
+    def sample(rng: np.random.Generator) -> bytes:
+        length = int(rng.integers(min_len, max_len + 1))
+        return bytes(rng.integers(0, 256, length, dtype=np.uint8).tobytes())
+
+    def shrink(value: bytes):
+        if len(value) > min_len:
+            yield value[: max(min_len, len(value) // 2)]
+            yield value[: len(value) - 1]
+        if any(value):
+            yield bytes(len(value))
+
+    return Gen(name or f"bytes[{min_len}..{max_len}]", sample, shrink)
+
+
+def capture_stacks(
+    max_captures: int = 7,
+    max_bits: int = 128,
+    *,
+    min_captures: int = 1,
+    name: "str | None" = None,
+) -> Gen:
+    """Capture stacks — ``(n_captures, n_bits)`` uint8 arrays of 0/1 —
+    matching the :data:`repro.bitutils.Captures` convention."""
+
+    def sample(rng: np.random.Generator) -> np.ndarray:
+        n = int(rng.integers(min_captures, max_captures + 1))
+        m = int(rng.integers(1, max_bits + 1))
+        return rng.integers(0, 2, (n, m)).astype(np.uint8)
+
+    def shrink(value: np.ndarray):
+        value = np.asarray(value)
+        n, m = value.shape
+        if n > min_captures:
+            yield value[: max(min_captures, n // 2)].copy()
+            yield value[: n - 1].copy()
+        if m > 1:
+            yield value[:, : max(1, m // 2)].copy()
+        if np.any(value):
+            yield np.zeros_like(value)
+
+    return Gen(name or f"captures[{max_captures}x{max_bits}]", sample, shrink)
+
+
+def grid_shapes(
+    min_side: int = 2, max_side: int = 12, *, name: "str | None" = None
+) -> Gen:
+    """2-D grid shapes ``(rows, cols)``; shrinks toward the smallest square."""
+
+    def sample(rng: np.random.Generator) -> "tuple[int, int]":
+        return (
+            int(rng.integers(min_side, max_side + 1)),
+            int(rng.integers(min_side, max_side + 1)),
+        )
+
+    def shrink(value):
+        rows, cols = value
+        if rows > min_side:
+            yield (min_side, cols)
+            yield (max(min_side, rows // 2), cols)
+        if cols > min_side:
+            yield (rows, min_side)
+            yield (rows, max(min_side, cols // 2))
+
+    return Gen(name or f"grid[{min_side}..{max_side}]", sample, shrink)
+
+
+# -- domain configs ----------------------------------------------------------
+
+#: The fixed key the scheme generator draws from (value is irrelevant to
+#: the contracts; only None-vs-key and key length matter).
+_KEYS = (None, b"0123456789abcdef", b"0123456789abcdef01234567")
+
+
+def scheme_configs(*, name: str = "scheme") -> Gen:
+    """Pre-shared :class:`~repro.core.scheme.CodingScheme` variants.
+
+    Sweeps the axes the bit-identity contracts care about: encrypted or
+    plaintext, each ECC family (none, Hamming, repetition, the paper's
+    concatenated product), and the capture count.  Shrinks toward the
+    default plain scheme.
+    """
+
+    def build(index: int):
+        from ..core.scheme import CodingScheme
+        from ..ecc.hamming import hamming_7_4
+        from ..ecc.product import paper_end_to_end_code
+        from ..ecc.repetition import RepetitionCode
+
+        variants = (
+            lambda: CodingScheme(),
+            lambda: CodingScheme(ecc=hamming_7_4()),
+            lambda: CodingScheme(ecc=RepetitionCode(3), n_captures=3),
+            lambda: CodingScheme(key=_KEYS[1], ecc=paper_end_to_end_code(3)),
+            lambda: CodingScheme(key=_KEYS[2], ecc=hamming_7_4(), n_captures=3),
+            lambda: CodingScheme(key=_KEYS[1]),
+        )
+        return variants[index]()
+
+    n_variants = 6
+
+    def sample(rng: np.random.Generator):
+        index = int(rng.integers(0, n_variants))
+        scheme = build(index)
+        return scheme
+
+    def shrink(value):
+        # Rebuild simpler variants; identity is by construction order.
+        for index in range(n_variants):
+            candidate = build(index)
+            if candidate == value:
+                break
+            yield candidate
+
+    return Gen(name, sample, shrink)

@@ -1,0 +1,185 @@
+"""The deterministic property runner: draw, check, shrink, report.
+
+``Runner(seed, max_examples)`` drives one property (an oracle function
+plus its generators) through ``max_examples`` independently seeded
+examples.  Example ``i`` draws from ``default_rng(SeedSequence([seed,
+i]))``, so any single failing example replays in isolation — no need to
+re-run the whole sweep to reach example 17.
+
+On failure the runner shrinks greedily: one argument position at a time,
+it tries each generator's shrink candidates and keeps the first that
+still fails, restarting the scan until a full pass produces no simpler
+failing input (or the attempt budget runs out).  The final minimal
+counterexample, the original one, and the exact replay coordinates all
+land in the :class:`PropertyReport`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["ContractViolation", "Failure", "PropertyReport", "Runner", "check_that"]
+
+
+class ContractViolation(AssertionError):
+    """An oracle's differential contract did not hold."""
+
+
+def check_that(condition: bool, message: str) -> None:
+    """Raise :class:`ContractViolation` with ``message`` unless ``condition``."""
+    if not condition:
+        raise ContractViolation(message)
+
+
+def _describe(value) -> str:
+    """A compact, log-friendly rendering of one drawn argument."""
+    if isinstance(value, np.ndarray):
+        if value.size <= 16:
+            return f"array{value.tolist()}"
+        return f"array(shape={value.shape}, dtype={value.dtype}, sum={value.sum()})"
+    if isinstance(value, (bytes, bytearray)):
+        if len(value) <= 16:
+            return f"bytes({value.hex()})"
+        return f"bytes(len={len(value)})"
+    return repr(value)
+
+
+@dataclass(frozen=True)
+class Failure:
+    """One falsified property, with its minimal shrunk counterexample."""
+
+    example: int  # index of the failing example (replay coordinate)
+    error: str  # the violation message (from the shrunk input)
+    args: "tuple[str, ...]"  # original failing arguments, described
+    shrunk_args: "tuple[str, ...]"  # minimal failing arguments, described
+    shrinks: int  # successful shrink steps applied
+
+    def __str__(self) -> str:
+        parts = [f"example {self.example}: {self.error}"]
+        if self.shrinks:
+            parts.append(f"shrunk x{self.shrinks} to ({', '.join(self.shrunk_args)})")
+        else:
+            parts.append(f"args ({', '.join(self.shrunk_args)})")
+        return "; ".join(parts)
+
+
+@dataclass(frozen=True)
+class PropertyReport:
+    """The outcome of running one property/oracle."""
+
+    name: str
+    seed: int
+    examples: int  # examples actually executed
+    passed: bool
+    failure: "Failure | None" = None
+    elapsed_ms: float = 0.0
+
+    @property
+    def status(self) -> str:
+        return "ok" if self.passed else "FAIL"
+
+
+@dataclass
+class Runner:
+    """Deterministic property runner.
+
+    ``max_examples`` caps examples per property; a property may declare
+    its own lower cap (expensive differential rigs do).  ``max_shrinks``
+    bounds the total shrink *attempts* (including unsuccessful
+    candidates), so pathological shrink spaces cannot hang a sweep.
+    """
+
+    seed: int = 0
+    max_examples: int = 25
+    max_shrinks: int = 200
+
+    def example_rng(self, index: int) -> np.random.Generator:
+        """The RNG for example ``index`` — stable replay coordinates."""
+        return np.random.default_rng(
+            np.random.SeedSequence([self.seed & 0xFFFFFFFF, index])
+        )
+
+    def check(self, fn, gens, *, name: "str | None" = None,
+              examples: "int | None" = None) -> PropertyReport:
+        """Run ``fn(*drawn_values)`` over seeded examples; shrink failures.
+
+        A property fails by raising (any exception counts — a crash is as
+        falsifying as a :class:`ContractViolation`); returning is passing.
+        """
+        gens = tuple(gens)
+        prop_name = name or getattr(fn, "__name__", "property")
+        budget = min(self.max_examples, examples or self.max_examples)
+        started = time.perf_counter()
+        ran = 0
+        for index in range(budget):
+            rng = self.example_rng(index)
+            values = tuple(g.sample(rng) for g in gens)
+            ran += 1
+            error = self._run_one(fn, values)
+            if error is None:
+                continue
+            shrunk, final_error, steps = self._shrink(fn, gens, values, error)
+            failure = Failure(
+                example=index,
+                error=final_error,
+                args=tuple(_describe(v) for v in values),
+                shrunk_args=tuple(_describe(v) for v in shrunk),
+                shrinks=steps,
+            )
+            return PropertyReport(
+                name=prop_name,
+                seed=self.seed,
+                examples=ran,
+                passed=False,
+                failure=failure,
+                elapsed_ms=(time.perf_counter() - started) * 1e3,
+            )
+        return PropertyReport(
+            name=prop_name,
+            seed=self.seed,
+            examples=ran,
+            passed=True,
+            elapsed_ms=(time.perf_counter() - started) * 1e3,
+        )
+
+    # -- internals ---------------------------------------------------------
+
+    @staticmethod
+    def _run_one(fn, values) -> "str | None":
+        """Run once; the violation message when the property fails."""
+        try:
+            fn(*values)
+        except Exception as exc:  # any crash falsifies the property
+            return f"{type(exc).__name__}: {exc}"
+        return None
+
+    def _shrink(self, fn, gens, values, error) -> "tuple[tuple, str, int]":
+        """Greedy per-position descent to a minimal failing input."""
+        current = tuple(values)
+        current_error = error
+        attempts = 0
+        steps = 0
+        improved = True
+        while improved and attempts < self.max_shrinks:
+            improved = False
+            for position, gen in enumerate(gens):
+                for candidate in gen.shrink(current[position]):
+                    if attempts >= self.max_shrinks:
+                        break
+                    attempts += 1
+                    trial = (
+                        current[:position] + (candidate,) + current[position + 1:]
+                    )
+                    trial_error = self._run_one(fn, trial)
+                    if trial_error is not None:
+                        current = trial
+                        current_error = trial_error
+                        steps += 1
+                        improved = True
+                        break  # restart candidates from the simpler input
+                if improved:
+                    break  # rescan all positions against the new input
+        return current, current_error, steps

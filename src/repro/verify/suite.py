@@ -1,0 +1,192 @@
+"""Sweep the oracle registry and render a telemetry-backed summary.
+
+:func:`run_verification` drives every registered oracle (or a named
+subset) through the :class:`~repro.verify.runner.Runner` at one seed and
+example budget, emitting a ``verify.oracle`` telemetry span per oracle so
+the sweep shows up in any attached sink alongside capture and channel
+spans.  :func:`run_mutation_smoke` is the harness's own test: it replays
+every registered mutant — a seeded, known defect — and reports whether
+the owning oracle's contract caught it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .. import telemetry
+from . import oracles as _oracles
+from .runner import PropertyReport, Runner
+
+__all__ = [
+    "MutationReport",
+    "VerifySummary",
+    "run_mutation_smoke",
+    "run_verification",
+]
+
+
+@dataclass(frozen=True)
+class MutationReport:
+    """One planted defect and whether its oracle's contract caught it."""
+
+    oracle: str
+    mutant: str
+    detected: bool
+    detail: str
+
+    @property
+    def status(self) -> str:
+        return "caught" if self.detected else "MISSED"
+
+
+@dataclass(frozen=True)
+class VerifySummary:
+    """The outcome of one verification sweep (plus optional mutation smoke)."""
+
+    seed: int
+    max_examples: int
+    reports: "tuple[PropertyReport, ...]"
+    mutation_reports: "tuple[MutationReport, ...]" = ()
+
+    @property
+    def passed(self) -> int:
+        return sum(1 for r in self.reports if r.passed)
+
+    @property
+    def failed(self) -> int:
+        return len(self.reports) - self.passed
+
+    @property
+    def examples_run(self) -> int:
+        return sum(r.examples for r in self.reports)
+
+    @property
+    def missed_mutants(self) -> int:
+        return sum(1 for m in self.mutation_reports if not m.detected)
+
+    @property
+    def ok(self) -> bool:
+        return self.failed == 0 and self.missed_mutants == 0
+
+    def to_text(self) -> str:
+        """A fixed-width summary table (the CLI's output)."""
+        name_w = max([len(r.name) for r in self.reports] + [6])
+        lines = [
+            f"verification sweep: seed={self.seed} "
+            f"max_examples={self.max_examples}",
+            "",
+            f"{'oracle'.ljust(name_w)}  {'status':6}  {'examples':>8}  "
+            f"{'ms':>8}",
+        ]
+        lines.append("-" * (name_w + 2 + 6 + 2 + 8 + 2 + 8))
+        for report in self.reports:
+            lines.append(
+                f"{report.name.ljust(name_w)}  {report.status:6}  "
+                f"{report.examples:>8}  {report.elapsed_ms:>8.1f}"
+            )
+            if report.failure is not None:
+                lines.append(f"{' ' * name_w}  ^ {report.failure}")
+        lines.append("")
+        lines.append(
+            f"{self.passed}/{len(self.reports)} oracles ok, "
+            f"{self.examples_run} examples"
+        )
+        if self.mutation_reports:
+            lines.append("")
+            lines.append("mutation smoke (planted defects the oracles must catch):")
+            for m in self.mutation_reports:
+                lines.append(f"  {m.oracle} :: {m.mutant}  {m.status}")
+                if not m.detected:
+                    lines.append(f"    ^ {m.detail}")
+            caught = len(self.mutation_reports) - self.missed_mutants
+            lines.append(
+                f"{caught}/{len(self.mutation_reports)} planted defects caught"
+            )
+        return "\n".join(lines)
+
+
+def run_verification(
+    *,
+    seed: int = 0,
+    max_examples: int = 25,
+    names: "list[str] | None" = None,
+) -> VerifySummary:
+    """Run the oracle sweep; unknown ``names`` raise :class:`KeyError`."""
+    if names:
+        selected = [_oracles.get_oracle(n) for n in names]
+    else:
+        selected = _oracles.all_oracles()
+    runner = Runner(seed=seed, max_examples=max_examples)
+    reports = []
+    with telemetry.trace(
+        "verify.sweep",
+        force=True,
+        seed=seed,
+        max_examples=max_examples,
+        oracles=len(selected),
+    ) as sweep:
+        for orc in selected:
+            with telemetry.trace(
+                "verify.oracle", force=True, oracle=orc.name, seed=seed
+            ) as span:
+                report = runner.check(
+                    orc.fn, orc.gens, name=orc.name, examples=orc.examples
+                )
+                span.set(
+                    examples=report.examples,
+                    passed=report.passed,
+                    elapsed_ms=round(report.elapsed_ms, 3),
+                )
+                if report.failure is not None:
+                    span.set(failure=str(report.failure))
+            telemetry.count("verify.examples", report.examples)
+            if not report.passed:
+                telemetry.count("verify.failures")
+            reports.append(report)
+        sweep.set(
+            passed=sum(1 for r in reports if r.passed),
+            failed=sum(1 for r in reports if not r.passed),
+        )
+    return VerifySummary(
+        seed=seed, max_examples=max_examples, reports=tuple(reports)
+    )
+
+
+def run_mutation_smoke(*, seed: int = 0) -> "tuple[MutationReport, ...]":
+    """Replay every registered planted defect; a sound oracle raises.
+
+    Each mutant runs the owning oracle's comparison with a known defect
+    wired in; detection means the contract raised
+    :class:`~repro.verify.runner.ContractViolation` (or any
+    ``AssertionError``).  A mutant that returns silently is MISSED — the
+    oracle can no longer see the class of bug it exists to catch.
+    """
+    rng = np.random.default_rng(np.random.SeedSequence([seed & 0xFFFFFFFF, 0xB06]))
+    reports = []
+    for oracle_name, mutant_name, fn in _oracles.all_mutants():
+        with telemetry.trace(
+            "verify.mutant", force=True, oracle=oracle_name, mutant=mutant_name
+        ) as span:
+            try:
+                fn(rng)
+            except AssertionError as exc:  # ContractViolation included
+                detected, detail = True, f"{type(exc).__name__}: {exc}"
+            except Exception as exc:  # a crash is also a (noisy) detection
+                detected, detail = True, f"{type(exc).__name__}: {exc}"
+            else:
+                detected, detail = False, "defect passed the contract silently"
+            span.set(detected=detected)
+        telemetry.count(
+            "verify.mutants_caught" if detected else "verify.mutants_missed"
+        )
+        reports.append(
+            MutationReport(
+                oracle=oracle_name,
+                mutant=mutant_name,
+                detected=detected,
+                detail=detail,
+            )
+        )
+    return tuple(reports)

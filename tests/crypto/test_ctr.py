@@ -142,3 +142,38 @@ def test_sp800_38a_ctr_vector():
     ks = ctr.keystream(16, initial_counter=0xFCFDFEFF)
     manual = bytes(a ^ b for a, b in zip(pt, ks.tobytes()))
     assert manual == expected
+
+
+class TestProcessInputValidation:
+    """Regression: process() used np.asarray(..., dtype=np.uint8), which
+    silently wraps values > 255 (e.g. 256 -> 0) and corrupts the stream."""
+
+    def test_out_of_range_array_rejected(self, ctr):
+        from repro.errors import BlockLengthError
+
+        with pytest.raises(BlockLengthError, match="0..255"):
+            ctr.process(np.array([0, 256], dtype=np.int64))
+        with pytest.raises(BlockLengthError):
+            ctr.process(np.array([-1], dtype=np.int64))
+
+    def test_float_array_rejected(self, ctr):
+        from repro.errors import BlockLengthError
+
+        with pytest.raises(BlockLengthError, match="integer dtype"):
+            ctr.process(np.array([1.5, 2.5]))
+
+    def test_wide_dtype_byte_values_match_bytes_path(self, ctr):
+        data = bytes(range(256))
+        wide = np.frombuffer(data, dtype=np.uint8).astype(np.int64)
+        assert np.array_equal(ctr.process(wide), ctr.process(data))
+
+    def test_encrypt_and_decrypt_reject_too(self, ctr):
+        # Pre-fix, 256 wrapped to 0 and encrypted without complaint; the
+        # rejection must cover every entry point that takes arrays.
+        from repro.errors import BlockLengthError
+
+        bad = np.array([256], dtype=np.int64)
+        with pytest.raises(BlockLengthError):
+            ctr.encrypt(bad)
+        with pytest.raises(BlockLengthError):
+            ctr.decrypt(bad)

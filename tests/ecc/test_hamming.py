@@ -93,3 +93,50 @@ class TestValidation:
             code74.encode(np.ones(5, dtype=np.uint8))
         with pytest.raises(BlockLengthError):
             code74.decode(np.ones(8, dtype=np.uint8))
+
+
+class TestDoubleErrorCharacterization:
+    """Characterization: Hamming codes are single-error correctors; two
+    errors in one block alias to a wrong single-bit 'correction' and are
+    silently miscorrected.  This is inherent to the distance-3 code (the
+    paper layers repetition on top precisely because of it), so pin the
+    behavior rather than 'fix' it."""
+
+    def test_two_errors_miscorrect_silently(self, code74):
+        data = np.array([1, 0, 1, 1], dtype=np.uint8)
+        codeword = code74.encode(data)
+        corrupted = codeword.copy()
+        corrupted[0] ^= 1
+        corrupted[3] ^= 1
+        decoded = code74.decode(corrupted)  # no exception, no flag
+        assert not np.array_equal(decoded, data)
+
+    def test_every_double_error_decodes_to_wrong_data(self):
+        code = hamming_7_4()
+        data = np.array([0, 1, 1, 0], dtype=np.uint8)
+        codeword = code.encode(data)
+        miscorrected = 0
+        for i in range(7):
+            for j in range(i + 1, 7):
+                corrupted = codeword.copy()
+                corrupted[i] ^= 1
+                corrupted[j] ^= 1
+                decoded = code.decode(corrupted)
+                if not np.array_equal(decoded, data):
+                    miscorrected += 1
+        # All 21 double-error patterns decode, none to the right data.
+        assert miscorrected == 21
+
+    def test_double_error_lands_on_another_codeword_neighbourhood(self):
+        # The miscorrected word is itself a valid decode of *some* single
+        # error pattern: re-encoding the wrong data is within distance 1
+        # of the corrupted word (that's why it cannot be detected).
+        code = hamming_7_4()
+        data = np.array([1, 1, 0, 0], dtype=np.uint8)
+        codeword = code.encode(data)
+        corrupted = codeword.copy()
+        corrupted[1] ^= 1
+        corrupted[5] ^= 1
+        wrong = code.decode(corrupted)
+        recoded = code.encode(wrong)
+        assert int(np.count_nonzero(recoded != corrupted)) <= 1

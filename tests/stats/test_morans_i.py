@@ -78,3 +78,43 @@ class TestInterface:
     def test_invalid_inputs(self, call):
         with pytest.raises(ConfigurationError):
             call()
+
+
+class TestPermutationProvenance:
+    """Satellite: the permutation branch replaces only p_value; the
+    analytic moments ride along with explicit provenance."""
+
+    def test_p_value_method_field(self):
+        rng = np.random.default_rng(21)
+        values = rng.standard_normal((8, 8))
+        analytic = morans_i(values)
+        permuted = morans_i(values, permutations=99, rng=0)
+        assert analytic.p_value_method == "analytic"
+        assert permuted.p_value_method == "permutation"
+
+    def test_analytic_moments_unchanged_by_permutation_branch(self):
+        rng = np.random.default_rng(22)
+        values = rng.standard_normal((10, 10))
+        analytic = morans_i(values)
+        permuted = morans_i(values, permutations=99, rng=1)
+        assert permuted.statistic == analytic.statistic
+        assert permuted.expected == analytic.expected
+        assert permuted.variance == analytic.variance
+        assert permuted.z_score == analytic.z_score
+
+    def test_analytic_and_permutation_p_values_agree(self):
+        rng = np.random.default_rng(23)
+        for trial in range(3):
+            values = rng.standard_normal((8, 8))
+            analytic = morans_i(values)
+            permuted = morans_i(values, permutations=499, rng=trial)
+            assert abs(analytic.p_value - permuted.p_value) < 0.15
+
+    def test_agreement_on_a_clustered_grid(self):
+        grid = np.zeros((8, 8))
+        grid[:, 4:] = 1.0
+        grid += np.random.default_rng(24).normal(0, 0.05, grid.shape)
+        analytic = morans_i(grid)
+        permuted = morans_i(grid, permutations=499, rng=2)
+        # Both branches call a strongly clustered grid significant.
+        assert analytic.p_value < 0.01 and permuted.p_value < 0.01

@@ -138,3 +138,67 @@ class TestInvertAndTile:
     def test_tile_empty_rejected(self):
         with pytest.raises(BlockLengthError):
             tile_to_length(np.zeros(0, dtype=np.uint8), 4)
+
+
+class TestAsByteArray:
+    """Regression: bytes_to_bits used to call bytes(data) on ndarrays,
+    which reinterprets the raw buffer of non-uint8 arrays (an int64 array
+    of byte values unpacked to 8x the bits, mostly zeros)."""
+
+    def test_bytes_and_bytearray(self):
+        from repro.bitutils import as_byte_array
+
+        assert as_byte_array(b"\x00\xff").tolist() == [0, 255]
+        assert as_byte_array(bytearray([1, 2, 3])).tolist() == [1, 2, 3]
+
+    def test_int64_array_of_byte_values(self):
+        wide = np.array([0, 1, 128, 255], dtype=np.int64)
+        assert np.array_equal(
+            bytes_to_bits(wide), bytes_to_bits(bytes([0, 1, 128, 255]))
+        )
+
+    def test_int64_regression_not_buffer_reinterpreted(self):
+        # Pre-fix, bytes(np.array([65], dtype=np.int64)) was the 8-byte
+        # little-endian buffer b"A\x00..\x00" -> 64 bits instead of 8.
+        bits = bytes_to_bits(np.array([65], dtype=np.int64))
+        assert bits.size == 8
+        assert bits_to_bytes(bits) == b"A"
+
+    def test_bool_array_accepted(self):
+        bits = bytes_to_bits(np.array([True, False], dtype=np.bool_))
+        assert bits.size == 16
+        assert bits_to_bytes(bits) == b"\x01\x00"
+
+    def test_float_array_rejected(self):
+        with pytest.raises(BlockLengthError, match="integer dtype"):
+            bytes_to_bits(np.array([1.0, 2.0]))
+
+    def test_out_of_range_values_rejected(self):
+        for bad in ([256], [-1], [0, 1000]):
+            with pytest.raises(BlockLengthError, match="0..255"):
+                bytes_to_bits(np.array(bad, dtype=np.int64))
+
+    def test_empty_integer_array(self):
+        assert bytes_to_bits(np.array([], dtype=np.int64)).size == 0
+
+
+class TestMajorityVoteTieCharacterization:
+    """Characterization: even-count ties resolve to 1 (2*ones >= n)."""
+
+    def test_even_split_breaks_to_one(self):
+        stack = np.array([[1, 0], [0, 1]], dtype=np.uint8)
+        assert majority_vote(stack).tolist() == [1, 1]
+
+    def test_even_count_without_tie_is_plain_majority(self):
+        stack = np.array(
+            [[1, 1, 0], [1, 0, 0], [1, 1, 0], [0, 1, 0]], dtype=np.uint8
+        )
+        assert majority_vote(stack).tolist() == [1, 1, 0]
+
+    def test_tie_rule_matches_counting_reference(self):
+        rng = np.random.default_rng(11)
+        stack = rng.integers(0, 2, (6, 200)).astype(np.uint8)
+        reference = [
+            1 if 2 * int(col.sum()) >= 6 else 0 for col in stack.T
+        ]
+        assert majority_vote(stack).tolist() == reference

@@ -179,3 +179,35 @@ class TestCommands:
 
         with pytest.raises(ConfigurationError):
             main(["--fault-plan", "bogus:x", "list-devices"])
+
+
+class TestVerifyCommand:
+    def test_verify_list(self, capsys):
+        assert main(["verify", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "ecc.roundtrip" in out
+        assert "capture.batch_vs_loop" in out
+
+    def test_verify_selected_oracles(self, capsys):
+        code = main([
+            "verify", "--examples", "2", "--seed", "3",
+            "--oracle", "ecc.roundtrip", "--oracle", "crypto.ctr_involution",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "2/2 oracles ok" in out
+        assert "ecc.roundtrip" in out
+
+    def test_verify_unknown_oracle(self, capsys):
+        assert main(["verify", "--oracle", "bogus.name"]) == 2
+        assert "unknown oracle" in capsys.readouterr().err
+
+    def test_verify_mutation_smoke(self, capsys):
+        code = main([
+            "verify", "--examples", "1", "--mutation-smoke",
+            "--oracle", "bitutils.pack_roundtrip",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "planted defects caught" in out
+        assert "MISSED" not in out

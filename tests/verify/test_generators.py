@@ -1,0 +1,104 @@
+"""Generators: deterministic sampling and well-founded shrinking."""
+
+import numpy as np
+import pytest
+
+from repro.core.scheme import CodingScheme
+from repro.verify import generators as g
+
+
+def _rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+class TestScalars:
+    def test_integers_in_range_and_deterministic(self):
+        gen = g.integers(3, 9)
+        values = [gen.sample(_rng(i)) for i in range(50)]
+        assert all(3 <= v <= 9 for v in values)
+        assert values == [gen.sample(_rng(i)) for i in range(50)]
+
+    def test_integers_shrink_strictly_smaller(self):
+        gen = g.integers(0, 100)
+        for value in (1, 5, 77, 100):
+            candidates = list(gen.shrink(value))
+            assert candidates
+            assert all(0 <= c < value for c in candidates)
+        assert list(gen.shrink(0)) == []
+
+    def test_integers_empty_range_rejected(self):
+        with pytest.raises(ValueError):
+            g.integers(5, 4)
+
+    def test_odd_integers(self):
+        gen = g.odd_integers(1, 9)
+        assert all(gen.sample(_rng(i)) % 2 == 1 for i in range(30))
+        assert all(c % 2 == 1 for c in gen.shrink(7))
+
+    def test_seeds_nonnegative(self):
+        gen = g.seeds()
+        assert all(gen.sample(_rng(i)) >= 0 for i in range(20))
+
+    def test_sampled_from_shrinks_toward_earlier(self):
+        gen = g.sampled_from(["a", "b", "c"])
+        assert list(gen.shrink("c")) == ["a", "b"]
+        assert list(gen.shrink("a")) == []
+        assert list(gen.shrink("not-a-choice")) == []
+
+
+class TestArrays:
+    def test_bit_arrays_respect_multiple(self):
+        gen = g.bit_arrays(1, 64, multiple_of=7)
+        for i in range(20):
+            value = gen.sample(_rng(i))
+            assert value.size % 7 == 0 and value.size >= 7
+            assert set(np.unique(value)) <= {0, 1}
+
+    def test_bit_arrays_shrink_preserves_multiple(self):
+        gen = g.bit_arrays(1, 64, multiple_of=7)
+        value = gen.sample(_rng(3))
+        for candidate in gen.shrink(value):
+            assert candidate.size % 7 == 0
+
+    def test_payload_bytes_lengths(self):
+        gen = g.payload_bytes(2, 10)
+        for i in range(30):
+            value = gen.sample(_rng(i))
+            assert isinstance(value, bytes) and 2 <= len(value) <= 10
+
+    def test_payload_bytes_shrink_never_below_min(self):
+        gen = g.payload_bytes(2, 10)
+        for candidate in gen.shrink(b"\x01" * 9):
+            assert len(candidate) >= 2
+
+    def test_capture_stacks_shape(self):
+        gen = g.capture_stacks(5, 32, min_captures=2)
+        for i in range(20):
+            value = gen.sample(_rng(i))
+            assert value.ndim == 2
+            assert 2 <= value.shape[0] <= 5 and 1 <= value.shape[1] <= 32
+
+    def test_grid_shapes_bounds_and_shrink(self):
+        gen = g.grid_shapes(3, 8)
+        for i in range(20):
+            rows, cols = gen.sample(_rng(i))
+            assert 3 <= rows <= 8 and 3 <= cols <= 8
+        for rows, cols in gen.shrink((8, 8)):
+            assert rows >= 3 and cols >= 3
+
+
+class TestSchemeConfigs:
+    def test_samples_are_coding_schemes(self):
+        gen = g.scheme_configs()
+        seen = {id(None)}
+        for i in range(30):
+            scheme = gen.sample(_rng(i))
+            assert isinstance(scheme, CodingScheme)
+            seen.add(scheme.n_captures)
+        # The generator sweeps more than one capture count.
+        assert len(seen) > 2
+
+    def test_covers_encrypted_and_plain(self):
+        gen = g.scheme_configs()
+        keys = {gen.sample(_rng(i)).key for i in range(40)}
+        assert None in keys and any(k is not None for k in keys)

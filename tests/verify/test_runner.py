@@ -1,0 +1,150 @@
+"""Runner: determinism, failure reporting, and greedy shrinking."""
+
+import numpy as np
+import pytest
+
+from repro.verify import generators as g
+from repro.verify.runner import ContractViolation, Failure, Runner, check_that
+
+
+class TestCheckThat:
+    def test_passes_silently(self):
+        check_that(True, "never raised")
+
+    def test_raises_contract_violation(self):
+        with pytest.raises(ContractViolation, match="broken"):
+            check_that(False, "broken")
+
+    def test_is_an_assertion_error(self):
+        assert issubclass(ContractViolation, AssertionError)
+
+
+class TestDeterminism:
+    def test_same_seed_same_examples(self):
+        drawn = []
+
+        def record(x, y):
+            drawn.append((x, y))
+
+        gens = (g.integers(0, 1000), g.payload_bytes(0, 8))
+        Runner(seed=42, max_examples=10).check(record, gens)
+        first = list(drawn)
+        drawn.clear()
+        Runner(seed=42, max_examples=10).check(record, gens)
+        assert drawn == first
+
+    def test_different_seeds_differ(self):
+        drawn = []
+        gens = (g.integers(0, 10**9),)
+        Runner(seed=1, max_examples=5).check(lambda x: drawn.append(x), gens)
+        first = list(drawn)
+        drawn.clear()
+        Runner(seed=2, max_examples=5).check(lambda x: drawn.append(x), gens)
+        assert drawn != first
+
+    def test_example_rng_is_replayable(self):
+        runner = Runner(seed=9)
+        a = runner.example_rng(3).integers(0, 2**31)
+        b = runner.example_rng(3).integers(0, 2**31)
+        assert a == b
+
+
+class TestReports:
+    def test_passing_property(self):
+        report = Runner(seed=0, max_examples=7).check(
+            lambda n: None, (g.integers(0, 5),)
+        )
+        assert report.passed and report.status == "ok"
+        assert report.examples == 7 and report.failure is None
+
+    def test_per_oracle_example_cap(self):
+        ran = []
+        report = Runner(seed=0, max_examples=25).check(
+            lambda n: ran.append(n), (g.integers(0, 5),), examples=4
+        )
+        assert report.examples == 4 and len(ran) == 4
+
+    def test_failure_stops_the_sweep(self):
+        calls = []
+
+        def always_fails(n):
+            calls.append(n)
+            check_that(False, "no good")
+
+        report = Runner(seed=0, max_examples=10).check(
+            always_fails, (g.integers(0, 0),)
+        )
+        assert not report.passed and report.status == "FAIL"
+        assert report.examples == 1  # stopped at the first failure
+        assert isinstance(report.failure, Failure)
+        assert "no good" in str(report.failure)
+
+    def test_any_exception_falsifies(self):
+        def crashes(n):
+            raise RuntimeError("boom")
+
+        report = Runner(seed=0, max_examples=3).check(crashes, (g.integers(0, 5),))
+        assert not report.passed
+        assert "RuntimeError" in report.failure.error
+
+
+class TestShrinking:
+    def test_shrinks_to_the_boundary(self):
+        def fails_above_10(n):
+            check_that(n <= 10, f"{n} > 10")
+
+        report = Runner(seed=3, max_examples=50).check(
+            fails_above_10, (g.integers(0, 10**6),)
+        )
+        assert not report.passed
+        # Greedy descent lands on the smallest still-failing value, 11.
+        assert report.failure.shrunk_args == ("11",)
+        assert report.failure.shrinks > 0
+
+    def test_shrinks_byte_payload_length(self):
+        def fails_when_long(data):
+            check_that(len(data) < 3, "too long")
+
+        report = Runner(seed=0, max_examples=50).check(
+            fails_when_long, (g.payload_bytes(0, 64),)
+        )
+        assert not report.passed
+        shrunk = report.failure.shrunk_args[0]
+        # Minimal counterexample is exactly 3 zero bytes.
+        assert shrunk == "bytes(000000)"
+
+    def test_shrink_attempt_budget_is_bounded(self):
+        attempts = []
+
+        def always_fails(n):
+            attempts.append(n)
+            check_that(False, "unconditional")
+
+        runner = Runner(seed=1, max_examples=5, max_shrinks=10)
+        report = runner.check(always_fails, (g.integers(0, 10**6),))
+        assert not report.passed
+        assert len(attempts) <= 1 + 10 + 1  # original + bounded attempts
+
+    def test_multi_position_shrink(self):
+        def fails_on_sum(a, b):
+            check_that(a + b < 20, "sum too big")
+
+        report = Runner(seed=5, max_examples=100).check(
+            fails_on_sum, (g.integers(0, 1000), g.integers(0, 1000))
+        )
+        assert not report.passed
+        a, b = (int(v) for v in report.failure.shrunk_args)
+        assert a + b >= 20
+        # Neither position can shrink further without passing.
+        assert a + b <= 21
+
+
+class TestDescribe:
+    def test_array_and_bytes_rendering(self):
+        from repro.verify.runner import _describe
+
+        assert _describe(np.array([1, 0])) == "array[1, 0]"
+        assert "shape=(100,)" in _describe(np.zeros(100))
+        assert _describe(b"\x01\x02") == "bytes(0102)"
+        assert _describe(b"x" * 40) == "bytes(len=40)"
+        assert _describe(7) == "7"

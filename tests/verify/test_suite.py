@@ -1,0 +1,123 @@
+"""Sweep summary, telemetry spans, and the mutation smoke guarantee."""
+
+import numpy as np
+import pytest
+
+from repro import telemetry
+from repro.verify import (
+    ContractViolation,
+    check_that,
+    run_mutation_smoke,
+    run_verification,
+)
+from repro.verify.oracles import all_mutants, mutants_for
+from repro.verify.suite import MutationReport, VerifySummary
+
+
+class TestSummary:
+    def test_to_text_lists_every_oracle(self):
+        summary = run_verification(seed=0, max_examples=1)
+        text = summary.to_text()
+        for report in summary.reports:
+            assert report.name in text
+        assert f"{summary.passed}/{len(summary.reports)} oracles ok" in text
+
+    def test_counts(self):
+        summary = run_verification(
+            seed=0, max_examples=2, names=["ecc.roundtrip"]
+        )
+        assert summary.passed == 1 and summary.failed == 0
+        assert summary.examples_run == 2
+        assert summary.ok
+
+    def test_failed_oracle_renders_counterexample(self):
+        report_fail = run_verification(
+            seed=0, max_examples=1, names=["ecc.roundtrip"]
+        ).reports[0]
+        # Forge a failing summary to exercise the rendering path.
+        summary = VerifySummary(
+            seed=0,
+            max_examples=1,
+            reports=(
+                type(report_fail)(
+                    name="forged.contract",
+                    seed=0,
+                    examples=1,
+                    passed=False,
+                    failure=None,
+                ),
+            ),
+        )
+        assert "FAIL" in summary.to_text()
+        assert not summary.ok
+
+
+class TestTelemetry:
+    def test_sweep_emits_per_oracle_spans(self):
+        sink = telemetry.RingBufferSink()
+        telemetry.add_sink(sink)
+        try:
+            run_verification(seed=0, max_examples=1, names=["ecc.roundtrip"])
+        finally:
+            telemetry.remove_sink(sink)
+        spans = sink.records(type="span")
+        names = [s["name"] for s in spans]
+        assert "verify.oracle" in names and "verify.sweep" in names
+        oracle_span = next(s for s in spans if s["name"] == "verify.oracle")
+        assert oracle_span["attrs"]["oracle"] == "ecc.roundtrip"
+        assert oracle_span["attrs"]["passed"] is True
+        counters = sink.records(type="counter", name="verify.examples")
+        assert counters and counters[0]["value"] == 1
+
+
+class TestMutationSmoke:
+    def test_registry_has_mutants_for_key_oracles(self):
+        registry = {name for name, _, _ in all_mutants()}
+        assert "faults.disabled_identity" in registry  # the fault-plan defect
+        assert "ecc.roundtrip" in registry
+        assert len(all_mutants()) >= 4
+
+    def test_every_planted_defect_is_caught(self):
+        """ISSUE acceptance: the seeded defects demonstrably fail the oracles."""
+        reports = run_mutation_smoke(seed=0)
+        assert reports, "no mutants registered"
+        missed = [r for r in reports if not r.detected]
+        assert not missed, [f"{r.oracle}::{r.mutant}" for r in missed]
+        for report in reports:
+            assert isinstance(report, MutationReport)
+            assert report.status == "caught"
+
+    def test_stuck_bit_fault_plan_defect_is_caught_directly(self):
+        """The single-bit fault-plan defect, exercised without the harness."""
+        fn = mutants_for("faults.disabled_identity")["stuck-single-bit-plan"]
+        with pytest.raises(ContractViolation):
+            fn(np.random.default_rng(0))
+
+    def test_mutation_smoke_is_deterministic(self):
+        first = run_mutation_smoke(seed=3)
+        second = run_mutation_smoke(seed=3)
+        assert first == second
+
+    def test_a_missed_defect_fails_the_summary(self):
+        summary = run_verification(seed=0, max_examples=1, names=["ecc.roundtrip"])
+        poisoned = VerifySummary(
+            seed=summary.seed,
+            max_examples=summary.max_examples,
+            reports=summary.reports,
+            mutation_reports=(
+                MutationReport(
+                    oracle="ecc.roundtrip",
+                    mutant="hypothetical",
+                    detected=False,
+                    detail="slipped through",
+                ),
+            ),
+        )
+        assert poisoned.missed_mutants == 1
+        assert not poisoned.ok
+        assert "MISSED" in poisoned.to_text()
+
+
+def test_check_that_is_exported():
+    with pytest.raises(ContractViolation):
+        check_that(False, "exported surface works")
