@@ -1,4 +1,4 @@
-"""Benchmark-harness fixtures.
+"""Benchmark-harness fixtures and the bench-history plugin.
 
 Every bench regenerates one of the paper's tables or figures through
 :mod:`repro.experiments`, checks its paper-shape invariants, and writes the
@@ -6,6 +6,17 @@ rendered table to ``benchmarks/out/<id>.txt`` so EXPERIMENTS.md's measured
 numbers are auditable from a single run of::
 
     pytest benchmarks/ --benchmark-only
+
+On a fully green session the plugin also persists a machine-readable
+record of the run (see :mod:`repro.bench`):
+
+- every passed test's call-phase wall time becomes a ``wall_<test>``
+  metric (``better="lower"``);
+- tests may publish derived numbers (speedups, overhead ratios) through
+  the ``record_metric`` fixture with an explicit good direction;
+- the snapshot is appended to ``BENCH_history.jsonl`` (a growing local
+  log, gitignored) and written to ``BENCH_substrate.json`` at the repo
+  root — the committed baseline ``repro bench compare`` gates against.
 """
 
 from __future__ import annotations
@@ -14,7 +25,13 @@ import pathlib
 
 import pytest
 
+ROOT = pathlib.Path(__file__).parent.parent
 OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+#: Metrics published by tests via ``record_metric`` this session.
+_RECORDED: dict = {}
+#: Wall times harvested from passed call-phase reports this session.
+_DURATIONS: dict = {}
 
 
 @pytest.fixture(scope="session", autouse=True)
@@ -33,3 +50,55 @@ def save_report():
         print("\n" + text)
 
     return _save
+
+
+@pytest.fixture
+def record_metric():
+    """Publish a named number into this run's bench-history snapshot.
+
+    ``better`` declares the metric's good direction ("lower" for times,
+    "higher" for speedups/throughput) so the regression gate knows which
+    way is bad.
+    """
+
+    def _record(
+        name: str, value: float, *, better: str = "lower", unit: str = ""
+    ) -> None:
+        _RECORDED[name] = {
+            "value": float(value),
+            "better": better,
+            "unit": unit,
+        }
+
+    return _record
+
+
+def pytest_runtest_logreport(report):
+    if report.when == "call" and report.passed:
+        test_name = report.nodeid.split("::")[-1]
+        _DURATIONS[f"wall_{test_name}"] = {
+            "value": float(report.duration),
+            "better": "lower",
+            "unit": "s",
+        }
+
+
+def pytest_sessionfinish(session, exitstatus):
+    # Only a fully green session is a trustworthy baseline; partial or
+    # red runs must never overwrite the substrate snapshot.
+    if exitstatus != 0 or not (_RECORDED or _DURATIONS):
+        return
+    from repro import bench
+
+    snapshot = bench.make_snapshot({**_DURATIONS, **_RECORDED})
+    bench.append_history(snapshot, ROOT / "BENCH_history.jsonl")
+    bench.write_snapshot(snapshot, ROOT / "BENCH_substrate.json")
+    tw = getattr(session.config, "_tw", None)
+    message = (
+        f"bench history: {len(_DURATIONS) + len(_RECORDED)} metric(s) -> "
+        f"BENCH_substrate.json (sha {snapshot.get('git_sha') or '?'})"
+    )
+    if tw is not None:  # pragma: no cover - cosmetic
+        tw.line(message)
+    else:
+        print(message)

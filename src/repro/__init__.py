@@ -24,7 +24,7 @@ run any CLI command under ``repro --trace out.jsonl ...`` and inspect it
 with ``repro telemetry summarize out.jsonl``.
 """
 
-from . import telemetry, verify
+from . import metrics, monitor, telemetry, verify
 from .bitutils import (
     Captures,
     bit_error_rate,
@@ -88,6 +88,8 @@ from .faults import (
 from .harness import ControlBoard, PowerSupply, ThermalChamber
 from .harness.rack import EncodingRack, SlotResult
 from .io import load_captures, save_captures
+from .metrics import MetricsRegistry, TelemetryBridge
+from .monitor import AlertRule, FleetMonitor, default_slo_rules
 from .puf import (
     FuzzyExtractor,
     PowerOnTrng,
@@ -104,6 +106,7 @@ __all__ = [
     "AES",
     "AesCbc",
     "AesCtr",
+    "AlertRule",
     "BCHCode",
     "BlockInterleaver",
     "Captures",
@@ -121,11 +124,13 @@ __all__ = [
     "EncodingRecipe",
     "FaultInjector",
     "FaultPlan",
+    "FleetMonitor",
     "FrameFormat",
     "FuzzyExtractor",
     "HammingCode",
     "HealthLedger",
     "InvisibleBits",
+    "MetricsRegistry",
     "MultipleSnapshotAdversary",
     "NormalOperationPrng",
     "PowerOnTrng",
@@ -140,6 +145,7 @@ __all__ = [
     "SramPuf",
     "SteganalysisReport",
     "TechnologyProfile",
+    "TelemetryBridge",
     "ThermalChamber",
     "__version__",
     "adversarial_aging_attack",
@@ -152,6 +158,7 @@ __all__ = [
     "capacity_error_tradeoff",
     "clone_power_on_state",
     "compare_device_populations",
+    "default_slo_rules",
     "degrade_puf",
     "device_spec",
     "hamming_3_1",
@@ -163,6 +170,8 @@ __all__ = [
     "majority_vote",
     "make_device",
     "measure_channel_error",
+    "metrics",
+    "monitor",
     "morans_i",
     "nonce_from_device_id",
     "normal_operation_effect",

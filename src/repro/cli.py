@@ -9,6 +9,11 @@ Commands:
   (``fig06``, ``tab04``, ...; ``--list`` shows all);
 - ``telemetry summarize <path>`` — render a JSONL trace written by the
   global ``--trace PATH`` option (or the ``REPRO_TRACE`` env var);
+- ``monitor watch|report <trace>`` — replay (or tail) a trace through
+  the SLO monitor: a live ASCII dashboard, or a markdown/HTML report
+  (see docs/metrics.md); exits 1 while any rule is firing;
+- ``bench compare OLD NEW`` — diff two ``BENCH_substrate.json``
+  snapshots and exit nonzero on a regression past ``--gate`` percent;
 - ``faults`` — chaos-test the protocol under an injected fault plan and
   report the schedule, counters and escalation provenance;
 - ``verify`` — sweep the seeded differential verification oracles
@@ -18,6 +23,9 @@ Commands:
 The global ``--fault-plan SPEC`` option (a JSON plan path or a compact
 spec like ``flaky:0.02``) runs any command with fault injection enabled
 on every control board — equivalent to setting ``REPRO_FAULT_PLAN``.
+The global ``--metrics-out PATH`` option enables the metrics registry,
+bridges telemetry into it, and writes the Prometheus exposition to PATH
+when the command finishes.
 """
 
 from __future__ import annotations
@@ -89,8 +97,10 @@ def _cmd_roundtrip(args) -> int:
     sent = channel.send(message)
     print(f"  stress: {sent.stress_hours:.0f} h at the Table 4 recipe; "
           f"payload {sent.capacity_used:.1%} of SRAM")
-    result = channel.receive()
+    result = channel.receive(expected_payload=sent.payload_bits)
     print(f"recovered: {result.message.decode(errors='replace')!r}")
+    if result.raw_error_vs is not None:
+        print(f"  raw channel BER vs truth: {result.raw_error_vs:.2%}")
     if result.message != message:
         print("MISMATCH", file=sys.stderr)
         return 1
@@ -214,7 +224,7 @@ def _cmd_trng(args) -> int:
 
 def _cmd_telemetry(args) -> int:
     """Inspect trace files written by ``--trace`` or ``REPRO_TRACE``."""
-    from .telemetry import summarize_file
+    from .telemetry import EmptyTraceError, summarize_file
 
     if args.action != "summarize":  # argparse choices already guard this
         print(f"unknown telemetry action {args.action!r}", file=sys.stderr)
@@ -224,7 +234,90 @@ def _cmd_telemetry(args) -> int:
     except FileNotFoundError:
         print(f"{args.path}: no such trace file", file=sys.stderr)
         return 2
+    except EmptyTraceError:
+        print(
+            f"{args.path}: trace is empty — was a sink attached? "
+            f"(run under `repro --trace {args.path} ...` or set REPRO_TRACE)",
+            file=sys.stderr,
+        )
+        return 1
     return 0
+
+
+def _cmd_monitor(args) -> int:
+    """Replay (or tail) a JSONL trace through the SLO fleet monitor."""
+    import pathlib
+    import time
+
+    from .metrics import MetricsRegistry
+    from .monitor import FleetMonitor, default_slo_rules
+
+    rules = default_slo_rules(
+        raw_ber_ceiling=args.ber_ceiling,
+        vote_margin_floor=args.margin_floor,
+        retry_budget=args.retry_budget,
+        quarantine_budget=args.quarantine_budget,
+    )
+    # A private registry: watching a recorded trace must not disturb the
+    # process-wide one (or double-count direct hot-path instruments).
+    monitor = FleetMonitor(rules, registry=MetricsRegistry())
+    monitor.registry.enable()
+
+    if args.action == "report":
+        try:
+            monitor.feed_jsonl(args.path)
+        except FileNotFoundError:
+            print(f"{args.path}: no such trace file", file=sys.stderr)
+            return 2
+        monitor.sample()
+        text = monitor.report(fmt="html" if args.html else "markdown")
+        if args.out:
+            pathlib.Path(args.out).write_text(text, encoding="utf-8")
+            print(f"wrote {args.out}")
+        else:
+            print(text, end="")
+        return 1 if monitor.active_alerts() else 0
+
+    offset = 0
+    try:
+        while True:
+            try:
+                offset = monitor.feed_jsonl(args.path, start=offset)
+            except FileNotFoundError:
+                print(f"{args.path}: no such trace file", file=sys.stderr)
+                return 2
+            monitor.sample()
+            frame = monitor.dashboard()
+            if args.once:
+                print(frame)
+                break
+            # ANSI clear+home: the only escape the dashboard ever needs.
+            print("\x1b[2J\x1b[H" + frame, flush=True)
+            time.sleep(args.interval)
+    except KeyboardInterrupt:  # pragma: no cover - interactive exit
+        print()
+    return 1 if monitor.active_alerts() else 0
+
+
+def _cmd_bench(args) -> int:
+    """Diff two bench snapshots; exit 1 when a metric regressed."""
+    from . import bench
+
+    if args.action != "compare":  # argparse choices already guard this
+        print(f"unknown bench action {args.action!r}", file=sys.stderr)
+        return 2
+    try:
+        old = bench.load_snapshot(args.old)
+        new = bench.load_snapshot(args.new)
+    except FileNotFoundError as exc:
+        print(f"{exc.filename}: no such snapshot", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    comparison = bench.compare_snapshots(old, new, gate_pct=args.gate)
+    print(bench.render_comparison(comparison))
+    return 0 if comparison.ok else 1
 
 
 def _cmd_faults(args) -> int:
@@ -352,6 +445,13 @@ def build_parser() -> argparse.ArgumentParser:
         "path or compact spec like 'flaky:0.02' or "
         "'brownout:0.05,flaky:0.01@seed=7' (see docs/faults.md)",
     )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        default=None,
+        help="enable the metrics registry for the command and write the "
+        "Prometheus exposition to PATH afterwards (see docs/metrics.md)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list-devices", help="show the Table 1 catalog").set_defaults(
@@ -412,6 +512,47 @@ def build_parser() -> argparse.ArgumentParser:
     telemetry_cmd.add_argument("action", choices=["summarize"])
     telemetry_cmd.add_argument("path", help="trace file from --trace/REPRO_TRACE")
     telemetry_cmd.set_defaults(func=_cmd_telemetry)
+
+    monitor_cmd = sub.add_parser(
+        "monitor", help="SLO-monitor a fleet run from its telemetry trace"
+    )
+    monitor_cmd.add_argument(
+        "action",
+        choices=["watch", "report"],
+        help="watch: live ASCII dashboard; report: static markdown/HTML",
+    )
+    monitor_cmd.add_argument("path", help="JSONL trace file (from --trace)")
+    monitor_cmd.add_argument("--interval", type=float, default=2.0,
+                             help="watch poll interval in seconds (default 2)")
+    monitor_cmd.add_argument("--once", action="store_true",
+                             help="render one watch frame and exit")
+    monitor_cmd.add_argument("--out", default=None,
+                             help="write the report here instead of stdout")
+    monitor_cmd.add_argument("--html", action="store_true",
+                             help="report as a standalone HTML page")
+    monitor_cmd.add_argument("--ber-ceiling", type=float, default=0.20,
+                             help="page when max raw BER exceeds this "
+                             "(default 0.20)")
+    monitor_cmd.add_argument("--margin-floor", type=float, default=1.5,
+                             help="warn when mean vote margin drops below "
+                             "this (default 1.5)")
+    monitor_cmd.add_argument("--retry-budget", type=float, default=25.0,
+                             help="warn when retries per sample exceed this "
+                             "(default 25)")
+    monitor_cmd.add_argument("--quarantine-budget", type=float, default=0.0,
+                             help="page when quarantined slots exceed this "
+                             "(default 0)")
+    monitor_cmd.set_defaults(func=_cmd_monitor)
+
+    bench_cmd = sub.add_parser(
+        "bench", help="compare bench-history snapshots (BENCH_substrate.json)"
+    )
+    bench_cmd.add_argument("action", choices=["compare"])
+    bench_cmd.add_argument("old", help="baseline snapshot JSON")
+    bench_cmd.add_argument("new", help="candidate snapshot JSON")
+    bench_cmd.add_argument("--gate", type=float, default=20.0,
+                           help="regression gate in percent (default 20)")
+    bench_cmd.set_defaults(func=_cmd_bench)
 
     faults = sub.add_parser(
         "faults", help="chaos-test the protocol under an injected fault plan"
@@ -476,6 +617,29 @@ def main(argv: "list[str] | None" = None) -> int:
                 os.environ.pop("REPRO_FAULT_PLAN", None)
             else:
                 os.environ["REPRO_FAULT_PLAN"] = previous
+
+    if args.metrics_out:
+        inner = run
+
+        def run() -> int:
+            import pathlib
+
+            from . import metrics, telemetry
+
+            was_enabled = metrics.registry.enabled
+            metrics.registry.enable()
+            bridge = metrics.TelemetryBridge(metrics.registry)
+            telemetry.add_sink(bridge)
+            try:
+                return inner()
+            finally:
+                telemetry.remove_sink(bridge)
+                exposition = metrics.registry.expose()
+                if not was_enabled:
+                    metrics.registry.disable()
+                pathlib.Path(args.metrics_out).write_text(
+                    exposition, encoding="utf-8"
+                )
 
     if args.trace:
         from . import telemetry

@@ -28,7 +28,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from .. import telemetry
+from .. import metrics, telemetry
 from ..bitutils import Captures, bit_error_rate, invert_bits, majority_vote
 from ..crypto.ctr import AesCtr
 from ..ecc.base import Code
@@ -43,6 +43,14 @@ from .message import FrameFormat, build_payload, extract_message
 from .scheme import CodingScheme
 
 _UNSET = object()
+
+#: Direct hot-path instrument: one attribute test while metrics stay
+#: disabled (same contract as the telemetry null-span, docs/metrics.md).
+_MESSAGES_TOTAL = metrics.counter(
+    "repro_messages_total",
+    "Messages pushed through the channel, by phase and device",
+    labelnames=("phase", "device"),
+)
 
 
 @dataclass(frozen=True)
@@ -278,6 +286,9 @@ class InvisibleBits:
                 else -(-len(message) * 8 // self.ecc.k) * self.ecc.n
             )
             span.set(coded_bits=coded_bits)
+            _MESSAGES_TOTAL.inc(
+                phase="send", device=self.board.device.spec.name
+            )
             return EncodeResult(
                 payload_bits=payload,
                 message_bytes=len(message),
@@ -468,6 +479,9 @@ class InvisibleBits:
                 raw_error_vs=raw_error,
                 ecc_corrections=corrections,
                 message_bytes=len(message),
+            )
+            _MESSAGES_TOTAL.inc(
+                phase="receive", device=self.board.device.spec.name
             )
             return DecodeResult(
                 message=message,

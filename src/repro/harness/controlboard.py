@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from .. import telemetry
+from .. import metrics, telemetry
 from ..bitutils import Captures, as_bit_array, bits_to_bytes, majority_vote
 from ..device.debugport import DebugPort
 from ..device.device import Device
@@ -20,6 +20,20 @@ from ..isa.programs import camouflage_program, payload_writer_program, retention
 from ..units import hours, kelvin_to_celsius
 from .power import PowerSupply
 from .thermal import ThermalChamber
+
+#: Direct hot-path instrument: one attribute test while metrics stay
+#: disabled (same contract as the telemetry null-span, docs/metrics.md).
+_CAPTURES_TOTAL = metrics.counter(
+    "repro_captures_total",
+    "Power-on captures taken through a control board, by device",
+    labelnames=("device",),
+)
+# Shared (get-or-create) with the array's batch path; the two capture
+# loops are disjoint, so the total never double-counts.
+_CAPTURE_CELLS_TOTAL = metrics.counter(
+    "repro_capture_cells_total",
+    "Cells evaluated across all power-on captures",
+)
 
 
 class ControlBoard:
@@ -308,6 +322,8 @@ class ControlBoard:
                 self.power_off()
                 self.device.advance(off_seconds)
             span.count("board.captures", n_captures)
+            _CAPTURES_TOTAL.inc(n_captures, device=self.device.spec.name)
+            _CAPTURE_CELLS_TOTAL.inc(n_captures * self.device.sram.n_bits)
             stats = self.device.sram.capture_stats
             for key in ("band_cells", "cache_refreshes"):
                 span.count(f"sram.{key}", stats[key] - stats_before[key])

@@ -1,0 +1,110 @@
+"""Aggregation layer: labelled instruments over the telemetry stream.
+
+Where :mod:`repro.telemetry` traces *one run* (spans, provenance), this
+package aggregates *many*: a process-wide :data:`registry` of labelled
+:class:`Counter` / :class:`Gauge` / :class:`Histogram` instruments,
+rendered as a Prometheus text exposition (:func:`expose`) or a JSON
+snapshot (:func:`snapshot`) that :mod:`repro.monitor` evaluates SLO
+rules against.
+
+Instruments fill two ways:
+
+1. **directly** from hot paths (board captures, pipeline messages) via a
+   near-zero-cost disabled fast path — the registry is **disabled by
+   default**, so the PR 1 performance gates are untouched;
+2. through a :class:`TelemetryBridge` — a regular telemetry sink that
+   folds the span counters PRs 2-3 already emit (per-capture BER,
+   vote-margin histograms, ECC corrections, retry / escalation /
+   quarantine counts) into instruments with zero changes to physics
+   code, and works just as well offline on a recorded JSONL trace.
+
+Quick use::
+
+    from repro import metrics, telemetry
+
+    bridge = metrics.TelemetryBridge()     # default registry
+    telemetry.add_sink(bridge)
+    metrics.enable()
+    # ... run sends/receives ...
+    print(metrics.expose())                # Prometheus text exposition
+
+Or end to end from the CLI::
+
+    repro --metrics-out metrics.prom roundtrip --fast --sram-kib 2
+
+Setting ``REPRO_METRICS=1`` enables the default registry at import;
+setting it to a path additionally attaches a bridge and writes the
+exposition there at exit (how CI runs the metrics smoke).
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+
+from .bridge import BER_BUCKETS, VOTE_MARGIN_BUCKETS, TelemetryBridge
+from .core import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    exponential_buckets,
+    linear_buckets,
+    snapshot_delta,
+)
+
+__all__ = [
+    "BER_BUCKETS",
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "TelemetryBridge",
+    "VOTE_MARGIN_BUCKETS",
+    "counter",
+    "disable",
+    "enable",
+    "enabled",
+    "expose",
+    "exponential_buckets",
+    "gauge",
+    "histogram",
+    "linear_buckets",
+    "registry",
+    "snapshot",
+    "snapshot_delta",
+]
+
+#: The process-wide registry hot paths and the default bridge talk to.
+registry = MetricsRegistry()
+
+# Module-level conveniences bound to the default registry.
+counter = registry.counter
+gauge = registry.gauge
+histogram = registry.histogram
+enable = registry.enable
+disable = registry.disable
+expose = registry.expose
+snapshot = registry.snapshot
+
+
+def enabled() -> bool:
+    """True while the default registry is recording."""
+    return registry.enabled
+
+
+_env_metrics = os.environ.get("REPRO_METRICS")
+if _env_metrics:  # pragma: no cover - exercised via CI env, not unit tests
+    registry.enable()
+    if _env_metrics.lower() not in ("1", "true", "yes", "on"):
+        from .. import telemetry as _telemetry
+
+        _telemetry.add_sink(TelemetryBridge(registry))
+
+        def _write_exposition(path=_env_metrics):
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(registry.expose())
+
+        atexit.register(_write_exposition)

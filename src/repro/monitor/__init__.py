@@ -1,0 +1,50 @@
+"""SLO monitoring over the metrics layer: rules, alerts, dashboards.
+
+Declarative :class:`AlertRule` s are evaluated over
+:meth:`repro.metrics.MetricsRegistry.snapshot` outputs by a
+:class:`FleetMonitor`, which also keeps per-device health series and
+renders a dependency-free terminal dashboard or a static
+markdown / HTML report.  Fired alerts are emitted as telemetry
+``alert`` records, so whatever sinks the run already has (JSONL trace,
+console) carry them.
+
+Live use::
+
+    from repro import monitor
+
+    mon = monitor.FleetMonitor(monitor.default_slo_rules(raw_ber_ceiling=0.15))
+    with mon.attach():
+        ...  # rack / fleet / pipeline work
+        mon.sample()
+    print(mon.dashboard())
+
+Offline, over a recorded trace::
+
+    repro monitor watch trace.jsonl          # live-updating dashboard
+    repro monitor report trace.jsonl --out report.md
+"""
+
+from .dashboard import render_dashboard, render_report, sparkline
+from .fleet import WATCHED_METRICS, FleetMonitor
+from .rules import (
+    Alert,
+    AlertRule,
+    ceiling_rule,
+    default_slo_rules,
+    floor_rule,
+    reduce_metric,
+)
+
+__all__ = [
+    "Alert",
+    "AlertRule",
+    "FleetMonitor",
+    "WATCHED_METRICS",
+    "ceiling_rule",
+    "default_slo_rules",
+    "floor_rule",
+    "reduce_metric",
+    "render_dashboard",
+    "render_report",
+    "sparkline",
+]

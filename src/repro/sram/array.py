@@ -50,7 +50,7 @@ import math
 
 import numpy as np
 
-from .. import telemetry
+from .. import metrics, telemetry
 from ..errors import ConfigurationError, PowerError
 from ..bitutils import as_bit_array
 from ..physics.hci import HCIModel
@@ -58,6 +58,13 @@ from ..physics.nbti import NBTIState
 from ..rng import make_rng
 from .remanence import RemanenceModel
 from .technology import TechnologyProfile
+
+#: Direct hot-path instrument: one attribute test while metrics stay
+#: disabled (same contract as the telemetry null-span, docs/metrics.md).
+_CAPTURE_CELLS_TOTAL = metrics.counter(
+    "repro_capture_cells_total",
+    "Cells evaluated across all power-on captures",
+)
 
 
 class SRAMArray:
@@ -283,6 +290,7 @@ class SRAMArray:
                     )
             for key, before in stats_before.items():
                 span.count(f"sram.{key}", self.capture_stats[key] - before)
+            _CAPTURE_CELLS_TOTAL.inc(n_captures * self.n_bits)
             return samples
 
     # -- memory operations ----------------------------------------------------

@@ -40,6 +40,7 @@ from .core import (
     add_sink,
     count,
     current_span,
+    emit_record,
     enabled,
     gauge,
     registry,
@@ -48,10 +49,11 @@ from .core import (
     trace,
 )
 from .sinks import ConsoleSink, JsonlSink, RingBufferSink, Sink
-from .summary import load_records, summarize, summarize_file
+from .summary import EmptyTraceError, load_records, summarize, summarize_file
 
 __all__ = [
     "ConsoleSink",
+    "EmptyTraceError",
     "JsonlSink",
     "RingBufferSink",
     "Sink",
@@ -61,6 +63,7 @@ __all__ = [
     "add_sink",
     "count",
     "current_span",
+    "emit_record",
     "enabled",
     "gauge",
     "load_records",

@@ -41,6 +41,7 @@ __all__ = [
     "add_sink",
     "count",
     "current_span",
+    "emit_record",
     "enabled",
     "gauge",
     "registry",
@@ -267,6 +268,19 @@ class TelemetryRegistry:
             }
         )
 
+    def emit_record(self, record: dict) -> None:
+        """Emit a foreign record (e.g. a monitor ``alert``) to every sink.
+
+        ``record`` should carry a ``type`` key that is not one of the
+        built-in span/counter/gauge shapes; ``ts`` is stamped if absent.
+        Sinks must render unknown types gracefully (see
+        :class:`repro.telemetry.sinks.ConsoleSink`).  A no-op while no
+        sink is attached, like every other emission.
+        """
+        rec = dict(record)
+        rec.setdefault("ts", time.time())
+        self._emit(_jsonable(rec))
+
     def _emit(self, record: dict) -> None:
         if not self._sinks:
             return
@@ -285,6 +299,7 @@ reset = registry.reset
 trace = registry.trace
 count = registry.count
 gauge = registry.gauge
+emit_record = registry.emit_record
 active = registry.active
 current_span = registry.current_span
 

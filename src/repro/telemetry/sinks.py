@@ -59,21 +59,29 @@ class RingBufferSink(Sink):
 
 
 class JsonlSink(Sink):
-    """Append records to ``path`` as JSON Lines.
+    """Write records to ``path`` as JSON Lines.
 
     The file is opened lazily on the first record and flushed on every
     write — a crashed run still leaves a readable trace, and record
     volume is span/burst-granular by design (see docs/telemetry.md), so
     flush cost is irrelevant.
+
+    ``mode`` controls what happens to an existing trace at ``path``:
+    ``"w"`` (default) starts fresh, ``"a"`` appends — the right choice
+    when several registries (or a resumed run) share one trace file, so
+    earlier records are never silently destroyed.
     """
 
-    def __init__(self, path):
+    def __init__(self, path, *, mode: str = "w"):
+        if mode not in ("w", "a"):
+            raise ValueError(f"mode must be 'w' or 'a', got {mode!r}")
         self.path = pathlib.Path(path)
+        self.mode = mode
         self._handle = None
 
     def emit(self, record: dict) -> None:
         if self._handle is None:
-            self._handle = self.path.open("w", encoding="utf-8")
+            self._handle = self.path.open(self.mode, encoding="utf-8")
         self._handle.write(json.dumps(record, separators=(",", ":")) + "\n")
         self._handle.flush()
 
@@ -90,17 +98,25 @@ class ConsoleSink(Sink):
         self.stream = stream if stream is not None else sys.stderr
 
     def emit(self, record: dict) -> None:
+        # Foreign records (monitor alerts, future types) must render, not
+        # raise inside the registry's emit loop — every field is optional.
         kind = record.get("type", "?")
+        name = record.get("name", "?")
         if kind == "span":
             extras = []
-            for key, value in record.get("attrs", {}).items():
+            for key, value in (record.get("attrs") or {}).items():
                 extras.append(f"{key}={value}")
-            for key, value in record.get("counters", {}).items():
+            for key, value in (record.get("counters") or {}).items():
                 extras.append(f"{key}={value}")
             detail = (" " + " ".join(extras)) if extras else ""
             dur = record.get("dur_ms")
             dur_text = f"{dur:.2f}ms" if isinstance(dur, (int, float)) else "?"
-            line = f"[span] {record['name']} {dur_text} {record['status']}{detail}"
+            status = record.get("status", "?")
+            line = f"[span] {name} {dur_text} {status}{detail}"
+        elif kind == "alert":
+            severity = record.get("severity", "page")
+            message = record.get("message") or record.get("value", "")
+            line = f"[alert] {severity} {name}: {message}"
         else:
-            line = f"[{kind}] {record['name']} = {record.get('value')}"
+            line = f"[{kind}] {name} = {record.get('value')}"
         print(line, file=self.stream)

@@ -16,7 +16,17 @@ from __future__ import annotations
 import json
 import pathlib
 
-__all__ = ["load_records", "summarize", "summarize_file"]
+__all__ = ["EmptyTraceError", "load_records", "summarize", "summarize_file"]
+
+
+class EmptyTraceError(ValueError):
+    """Raised by :func:`summarize_file` when the trace holds no records.
+
+    An empty trace almost always means the run never attached a sink
+    (``--trace`` was pointed at the wrong file, or telemetry stayed
+    disabled) — a summary of zero records would hide that, so callers
+    get a typed error to turn into a diagnostic instead.
+    """
 
 
 def load_records(path) -> list[dict]:
@@ -128,5 +138,12 @@ def summarize(records: "list[dict]") -> str:
 
 
 def summarize_file(path) -> str:
-    """Load ``path`` (JSONL) and render its summary."""
-    return summarize(load_records(path))
+    """Load ``path`` (JSONL) and render its summary.
+
+    Raises :class:`EmptyTraceError` when the file contains no records,
+    and lets the usual ``OSError`` propagate when it does not exist.
+    """
+    records = load_records(path)
+    if not records:
+        raise EmptyTraceError(f"trace {path} contains no telemetry records")
+    return summarize(records)

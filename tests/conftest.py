@@ -20,6 +20,22 @@ def _telemetry_isolated():
     telemetry.reset()
 
 
+@pytest.fixture(autouse=True)
+def _metrics_isolated():
+    """No test leaks metric values or the enable switch into the next one.
+
+    Instruments are kept (module-level hot paths hold references to
+    them); only their series are zeroed.
+    """
+    from repro import metrics
+
+    metrics.disable()
+    metrics.registry.reset_values()
+    yield
+    metrics.disable()
+    metrics.registry.reset_values()
+
+
 @pytest.fixture
 def msp432_profile():
     """The calibrated MSP432P401 technology profile."""

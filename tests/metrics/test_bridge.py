@@ -1,0 +1,202 @@
+"""TelemetryBridge: folding telemetry records into instruments."""
+
+import pytest
+
+from repro.metrics import MetricsRegistry, TelemetryBridge
+
+
+@pytest.fixture
+def rig():
+    registry = MetricsRegistry()
+    registry.enable()
+    return registry, TelemetryBridge(registry)
+
+
+def _value(registry, name, **labels):
+    instrument = registry.get(name)
+    key = tuple(str(labels[n]) for n in instrument.labelnames)
+    return instrument.series()[key].value
+
+
+def test_pre_registered_series_visible_before_traffic(rig):
+    registry, _bridge = rig
+    text = registry.expose()
+    for name in (
+        "repro_retry_attempts_total 0",
+        "repro_slots_quarantined_total 0",
+        "repro_ecc_corrections_total 0",
+        "repro_escalation_captures_total 0",
+        "repro_faults_injected_total 0",
+    ):
+        assert name in text
+
+
+def test_default_registry_is_the_module_one():
+    from repro import metrics
+
+    bridge = TelemetryBridge()
+    assert bridge.registry is metrics.registry
+
+
+class TestCounterRecords:
+    def test_curated_mappings(self, rig):
+        registry, bridge = rig
+        for name, value in (
+            ("retry.attempts", 3),
+            ("faults.injected", 2),
+            ("slots.failed", 1),
+            ("slots.quarantined", 1),
+            ("escalation.captures", 10),
+        ):
+            bridge.emit({"type": "counter", "name": name, "value": value})
+        assert _value(registry, "repro_retry_attempts_total") == 3.0
+        assert _value(registry, "repro_faults_injected_total") == 2.0
+        assert _value(registry, "repro_slots_failed_total") == 1.0
+        assert _value(registry, "repro_slots_quarantined_total") == 1.0
+        assert _value(registry, "repro_escalation_captures_total") == 10.0
+
+    def test_corrections_suffix_folds_all_codes(self, rig):
+        registry, bridge = rig
+        bridge.emit(
+            {"type": "counter", "name": "ecc.hamming.corrections", "value": 4}
+        )
+        bridge.emit(
+            {"type": "counter", "name": "ecc.repetition.corrections", "value": 2}
+        )
+        assert _value(registry, "repro_ecc_corrections_total") == 6.0
+
+    def test_events_catch_all(self, rig):
+        registry, bridge = rig
+        bridge.emit({"type": "counter", "name": "board.captures", "value": 5})
+        assert _value(registry, "repro_events_total", event="board.captures") == 5.0
+
+    def test_malformed_counter_records_ignored(self, rig):
+        _registry, bridge = rig
+        bridge.emit({"type": "counter"})
+        bridge.emit({"type": "counter", "name": "x", "value": "not-a-number"})
+        bridge.emit({"type": "unknown", "name": "x"})
+
+
+class TestReceiveSpans:
+    def test_folds_ber_margin_raw_and_degraded(self, rig):
+        registry, bridge = rig
+        bridge.emit(
+            {
+                "type": "span",
+                "name": "channel.receive",
+                "status": "ok",
+                "attrs": {
+                    "device": "MSP432P401",
+                    "per_capture_flip_rate": [0.01, 0.02],
+                    "vote_margin_hist": [0, 3, 0, 2],
+                    "raw_error_vs": 0.07,
+                    "degraded": True,
+                },
+            }
+        )
+        assert (
+            _value(registry, "repro_receives_total",
+                   device="MSP432P401", status="ok") == 1.0
+        )
+        ber = registry.get("repro_capture_ber").series()[("MSP432P401",)]
+        assert ber.count == 2.0
+        assert ber.sum == pytest.approx(0.03)
+        margin = registry.get("repro_vote_margin").series()[("MSP432P401",)]
+        assert margin.count == 5.0  # 3 bits at margin 1 + 2 bits at margin 3
+        assert margin.sum == pytest.approx(3 * 1.0 + 2 * 3.0)
+        assert (
+            registry.get("repro_raw_ber").series()[("MSP432P401",)].value
+            == pytest.approx(0.07)
+        )
+        assert (
+            _value(registry, "repro_degraded_receives_total",
+                   device="MSP432P401") == 1.0
+        )
+
+    def test_sparse_attrs_do_not_raise(self, rig):
+        registry, bridge = rig
+        bridge.emit({"type": "span", "name": "channel.receive", "attrs": {}})
+        assert _value(registry, "repro_receives_total",
+                      device="?", status="ok") == 1.0
+
+
+class TestSendSpans:
+    def test_stress_hours_only_on_ok(self, rig):
+        registry, bridge = rig
+        bridge.emit(
+            {
+                "type": "span",
+                "name": "channel.send",
+                "status": "ok",
+                "attrs": {"device": "d1", "stress_hours": 10.0},
+            }
+        )
+        bridge.emit(
+            {
+                "type": "span",
+                "name": "channel.send",
+                "status": "error",
+                "attrs": {"device": "d1", "stress_hours": 7.0},
+            }
+        )
+        assert _value(registry, "repro_sends_total",
+                      device="d1", status="ok") == 1.0
+        assert _value(registry, "repro_sends_total",
+                      device="d1", status="error") == 1.0
+        assert _value(registry, "repro_stress_hours_total", device="d1") == 10.0
+
+
+class TestRackAndFleetSpans:
+    def test_rack_phase_slot_statuses(self, rig):
+        registry, bridge = rig
+        bridge.emit(
+            {
+                "type": "span",
+                "name": "rack.measure",
+                "attrs": {"ok": 3, "failed": 1, "quarantined": 1},
+            }
+        )
+        assert _value(registry, "repro_slots_total",
+                      phase="measure", status="ok") == 3.0
+        assert _value(registry, "repro_slots_total",
+                      phase="measure", status="failed") == 1.0
+        assert _value(registry, "repro_slots_total",
+                      phase="measure", status="quarantined") == 1.0
+
+    def test_fleet_encode(self, rig):
+        registry, bridge = rig
+        bridge.emit(
+            {
+                "type": "span",
+                "name": "fleet.encode",
+                "attrs": {"survivors": 3, "failed": 2, "winner_error": 0.04},
+            }
+        )
+        assert registry.get("repro_fleet_survivors").series()[()].value == 3.0
+        assert _value(registry, "repro_fleet_failures_total") == 2.0
+        assert registry.get("repro_fleet_winner_error").series()[()].value == (
+            pytest.approx(0.04)
+        )
+
+
+def test_alert_records_counted_by_severity(rig):
+    registry, bridge = rig
+    bridge.emit({"type": "alert", "name": "raw-ber-ceiling", "severity": "page"})
+    bridge.emit({"type": "alert", "name": "vote-margin-floor"})
+    assert _value(registry, "repro_alerts_total", severity="page") == 2.0
+
+
+def test_bridge_respects_disabled_registry():
+    registry = MetricsRegistry()  # stays disabled
+    bridge = TelemetryBridge(registry)
+    bridge.emit({"type": "counter", "name": "retry.attempts", "value": 5})
+    registry.enable()
+    assert registry.get("repro_retry_attempts_total").series()[()].value == 0.0
+
+
+def test_two_bridges_share_instruments(rig):
+    registry, bridge = rig
+    other = TelemetryBridge(registry)
+    bridge.emit({"type": "counter", "name": "retry.attempts", "value": 1})
+    other.emit({"type": "counter", "name": "retry.attempts", "value": 1})
+    assert _value(registry, "repro_retry_attempts_total") == 2.0

@@ -1,0 +1,85 @@
+"""The acceptance path: a real send/stress/receive filling the registry."""
+
+import pytest
+
+from repro import InvisibleBits, metrics, paper_end_to_end_scheme, telemetry
+from repro.device import make_device
+from repro.harness import ControlBoard
+
+
+@pytest.fixture
+def traced_roundtrip():
+    """Run one full send/receive with the bridge riding telemetry."""
+    metrics.enable()
+    bridge = metrics.TelemetryBridge()
+    telemetry.add_sink(bridge)
+    try:
+        device = make_device("MSP432P401", rng=7, sram_kib=2)
+        channel = InvisibleBits(
+            ControlBoard(device),
+            scheme=paper_end_to_end_scheme(b"0123456789abcdef"),
+            use_firmware=False,
+        )
+        sent = channel.send(b"invisible")
+        result = channel.receive(expected_payload=sent.payload_bits)
+    finally:
+        telemetry.remove_sink(bridge)
+    assert result.message == b"invisible"
+    return metrics.registry.expose()
+
+
+def test_exposition_has_labelled_channel_series(traced_roundtrip):
+    text = traced_roundtrip
+    # Labelled BER histogram and vote-margin buckets.
+    assert 'repro_capture_ber_bucket{device="MSP432P401",le="+Inf"}' in text
+    assert 'repro_vote_margin_bucket{device="MSP432P401",le="1"}' in text
+    assert 'repro_raw_ber{device="MSP432P401"}' in text
+    # Retry and quarantine series must be present even when untouched.
+    assert "repro_retry_attempts_total" in text
+    assert "repro_slots_quarantined_total" in text
+
+
+def test_exposition_has_direct_hot_path_series(traced_roundtrip):
+    text = traced_roundtrip
+    assert 'repro_captures_total{device="MSP432P401"}' in text
+    assert 'repro_messages_total{phase="send",device="MSP432P401"} 1' in text
+    assert 'repro_messages_total{phase="receive",device="MSP432P401"} 1' in text
+    cells = metrics.registry.get("repro_capture_cells_total")
+    assert cells.series()[()].value > 0
+
+
+def test_direct_instruments_silent_while_disabled():
+    device = make_device("MSP432P401", rng=8, sram_kib=1)
+    board = ControlBoard(device)
+    assert not metrics.enabled()
+    board.capture_power_on_states(3)
+    metrics.enable()
+    captures = metrics.registry.get("repro_captures_total")
+    assert ("MSP432P401",) not in captures.series()
+
+
+def test_bridge_replays_offline_trace(tmp_path):
+    """The same aggregates are reachable from a recorded JSONL trace."""
+    trace = tmp_path / "run.jsonl"
+    sink = telemetry.JsonlSink(trace)
+    telemetry.add_sink(sink)
+    try:
+        device = make_device("MSP432P401", rng=9, sram_kib=1)
+        channel = InvisibleBits(
+            ControlBoard(device),
+            scheme=paper_end_to_end_scheme(None, copies=3),
+            use_firmware=False,
+        )
+        sent = channel.send(b"off")
+        channel.receive(expected_payload=sent.payload_bits)
+    finally:
+        telemetry.remove_sink(sink)
+        sink.close()
+
+    registry = metrics.MetricsRegistry(enabled=True)
+    bridge = metrics.TelemetryBridge(registry)
+    for record in telemetry.load_records(trace):
+        bridge.emit(record)
+    text = registry.expose()
+    assert 'repro_receives_total{device="MSP432P401",status="ok"} 1' in text
+    assert 'repro_raw_ber{device="MSP432P401"}' in text

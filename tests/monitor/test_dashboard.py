@@ -1,0 +1,90 @@
+"""Dashboard and report rendering: plain ASCII, markdown, HTML."""
+
+import pytest
+
+from repro.metrics import MetricsRegistry
+from repro.monitor import (
+    FleetMonitor,
+    default_slo_rules,
+    render_dashboard,
+    render_report,
+    sparkline,
+)
+
+
+def _monitor_with_traffic(raw_ber=0.5):
+    monitor = FleetMonitor(
+        default_slo_rules(raw_ber_ceiling=0.2),
+        registry=MetricsRegistry(enabled=True),
+    )
+    monitor.registry.get("repro_raw_ber").set(raw_ber, device="d1")
+    monitor.registry.get("repro_retry_attempts_total").inc(3)
+    monitor.sample()
+    return monitor
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_flat_series_stays_visible(self):
+        assert sparkline([0.0, 0.0, 0.0]) == "..."
+
+    def test_scales_to_ramp(self):
+        strip = sparkline([0.0, 1.0])
+        assert len(strip) == 2
+        assert strip[-1] == "@"
+
+    def test_truncates_to_width(self):
+        assert len(sparkline(range(100), width=10)) == 10
+
+    def test_ascii_only(self):
+        strip = sparkline([1, 5, 2, 9, 0, 3])
+        assert all(ord(ch) < 128 for ch in strip)
+
+
+class TestDashboard:
+    def test_empty_monitor_hints_at_sampling(self):
+        monitor = FleetMonitor(registry=MetricsRegistry(enabled=True))
+        text = render_dashboard(monitor)
+        assert "no samples yet" in text
+
+    def test_sections_present(self):
+        text = render_dashboard(_monitor_with_traffic())
+        assert "repro fleet monitor" in text
+        assert "devices" in text
+        assert "slo rules" in text
+        assert "ALERTING" in text
+        assert "FIRING" in text
+        assert "raw-ber-ceiling" in text
+
+    def test_plain_ascii(self):
+        text = render_dashboard(_monitor_with_traffic())
+        assert all(ord(ch) < 128 for ch in text)
+
+    def test_monitor_method_delegates(self):
+        monitor = _monitor_with_traffic()
+        assert monitor.dashboard() == render_dashboard(monitor)
+
+
+class TestReport:
+    def test_markdown_tables(self):
+        text = render_report(_monitor_with_traffic(), fmt="markdown")
+        assert text.startswith("# Fleet monitor report")
+        assert "| rule |" in text or "| rule " in text
+        assert "raw-ber-ceiling" in text
+
+    def test_html_is_standalone_and_escaped(self):
+        monitor = _monitor_with_traffic()
+        html = render_report(monitor, fmt="html")
+        assert html.startswith("<!DOCTYPE html>")
+        assert "</html>" in html
+        assert "sev-page" in html  # severity styling on the alert row
+
+    def test_bad_format_rejected(self):
+        with pytest.raises(ValueError):
+            render_report(_monitor_with_traffic(), fmt="pdf")
+
+    def test_monitor_method_delegates(self):
+        monitor = _monitor_with_traffic()
+        assert monitor.report() == render_report(monitor, fmt="markdown")

@@ -1,0 +1,220 @@
+"""FleetMonitor: sampling, debounce, alert emission, live and offline."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import InvisibleBits, paper_end_to_end_scheme, telemetry
+from repro.device import make_device
+from repro.faults import FaultInjector, FaultPlan
+from repro.faults.models import StuckRegion
+from repro.harness import ControlBoard
+from repro.metrics import MetricsRegistry
+from repro.monitor import AlertRule, FleetMonitor, ceiling_rule, default_slo_rules
+
+
+def _monitor(rules=None, **kwargs):
+    return FleetMonitor(rules, registry=MetricsRegistry(enabled=True), **kwargs)
+
+
+def _set_raw_ber(monitor, value, device="d1"):
+    gauge = monitor.registry.get("repro_raw_ber")
+    gauge.set(value, device=device)
+
+
+class TestSampling:
+    def test_no_alert_below_threshold(self):
+        monitor = _monitor(default_slo_rules())
+        _set_raw_ber(monitor, 0.05)
+        assert monitor.sample() == []
+        assert monitor.samples == 1
+        assert monitor.active_alerts() == []
+
+    def test_alert_fires_on_violation(self):
+        monitor = _monitor(default_slo_rules(raw_ber_ceiling=0.20))
+        _set_raw_ber(monitor, 0.31)
+        fired = monitor.sample()
+        assert [a.rule for a in fired] == ["raw-ber-ceiling"]
+        assert fired[0].severity == "page"
+        assert fired[0].value == pytest.approx(0.31)
+        assert monitor.active_alerts()[0].name == "raw-ber-ceiling"
+
+    def test_rising_edge_only(self):
+        monitor = _monitor(default_slo_rules(raw_ber_ceiling=0.20))
+        _set_raw_ber(monitor, 0.31)
+        assert len(monitor.sample()) == 1
+        assert monitor.sample() == []  # still violating: no re-fire
+        _set_raw_ber(monitor, 0.01)
+        assert monitor.sample() == []  # resolved
+        assert monitor.active_alerts() == []
+        _set_raw_ber(monitor, 0.4)
+        assert len(monitor.sample()) == 1  # re-fires after resolve
+
+    def test_for_n_samples_debounce(self):
+        monitor = _monitor(default_slo_rules(raw_ber_ceiling=0.2,
+                                             for_n_samples=3))
+        _set_raw_ber(monitor, 0.5)
+        assert monitor.sample() == []
+        assert monitor.sample() == []
+        assert len(monitor.sample()) == 1
+
+    def test_streak_resets_on_recovery(self):
+        monitor = _monitor(default_slo_rules(raw_ber_ceiling=0.2,
+                                             for_n_samples=2))
+        _set_raw_ber(monitor, 0.5)
+        monitor.sample()
+        _set_raw_ber(monitor, 0.1)
+        monitor.sample()
+        _set_raw_ber(monitor, 0.5)
+        assert monitor.sample() == []  # streak restarted
+
+    def test_delta_rule_uses_change_since_previous_sample(self):
+        rules = (
+            ceiling_rule("retry-budget", "repro_retry_attempts_total", 5.0,
+                         reduce="sum", delta=True, severity="warn"),
+        )
+        monitor = _monitor(rules)
+        retries = monitor.registry.get("repro_retry_attempts_total")
+        retries.inc(10)
+        assert len(monitor.sample()) == 1  # first window counts from zero
+        retries.inc(2)
+        monitor.sample()
+        assert monitor.active_alerts() == []  # only +2 this window
+
+    def test_alerts_emitted_as_telemetry_records(self):
+        sink = telemetry.RingBufferSink()
+        telemetry.add_sink(sink)
+        try:
+            monitor = _monitor(default_slo_rules(raw_ber_ceiling=0.2))
+            _set_raw_ber(monitor, 0.5)
+            monitor.sample()
+        finally:
+            telemetry.remove_sink(sink)
+        alerts = sink.records(type="alert")
+        assert len(alerts) == 1
+        assert alerts[0]["name"] == "raw-ber-ceiling"
+        assert alerts[0]["severity"] == "page"
+
+    def test_device_health_tracks_labelled_raw_ber(self):
+        monitor = _monitor(default_slo_rules(raw_ber_ceiling=0.2))
+        _set_raw_ber(monitor, 0.05, device="d1")
+        _set_raw_ber(monitor, 0.5, device="d2")
+        monitor.sample()
+        health = monitor.device_health()
+        assert health["d1"]["status"] == "ok"
+        assert health["d2"]["status"] == "alerting"
+        assert health["d2"]["history"] == [0.5]
+
+    def test_series_accumulate_across_samples(self):
+        monitor = _monitor(default_slo_rules())
+        _set_raw_ber(monitor, 0.1)
+        monitor.sample()
+        _set_raw_ber(monitor, 0.2)
+        monitor.sample()
+        assert list(monitor.series[("repro_raw_ber", "max")]) == [0.1, 0.2]
+
+
+class TestFeeding:
+    def test_feed_records_through_bridge(self):
+        monitor = _monitor(default_slo_rules())
+        n = monitor.feed(
+            [
+                {"type": "counter", "name": "retry.attempts", "value": 4},
+                {"type": "span", "name": "channel.receive",
+                 "attrs": {"device": "d1", "raw_error_vs": 0.31}},
+            ]
+        )
+        assert n == 2
+        monitor.sample()
+        assert [a.rule for a in monitor.alerts] == ["raw-ber-ceiling"]
+
+    def test_feed_jsonl_tails_incrementally(self, tmp_path):
+        trace = tmp_path / "t.jsonl"
+        rec1 = {"type": "counter", "name": "retry.attempts", "value": 1}
+        rec2 = {"type": "counter", "name": "retry.attempts", "value": 2}
+        trace.write_text(json.dumps(rec1) + "\n")
+        monitor = _monitor(default_slo_rules())
+        offset = monitor.feed_jsonl(trace)
+        assert offset == len(trace.read_bytes())
+        with trace.open("a") as handle:
+            handle.write(json.dumps(rec2) + "\n")
+        offset = monitor.feed_jsonl(trace, start=offset)
+        monitor.sample()
+        retries = monitor.registry.get("repro_retry_attempts_total")
+        assert retries.series()[()].value == 3.0
+
+    def test_feed_jsonl_leaves_partial_trailing_line(self, tmp_path):
+        trace = tmp_path / "t.jsonl"
+        full = json.dumps({"type": "counter", "name": "retry.attempts",
+                           "value": 1}) + "\n"
+        partial = '{"type": "counter", "name": "retry.at'
+        trace.write_text(full + partial)
+        monitor = _monitor(default_slo_rules())
+        offset = monitor.feed_jsonl(trace)
+        assert offset == len(full.encode())
+        retries = monitor.registry.get("repro_retry_attempts_total")
+        assert retries.series()[()].value == 1.0
+
+    def test_feed_jsonl_skips_garbage_lines(self, tmp_path):
+        trace = tmp_path / "t.jsonl"
+        trace.write_text("not json\n" + json.dumps(
+            {"type": "counter", "name": "retry.attempts", "value": 1}) + "\n")
+        monitor = _monitor(default_slo_rules())
+        monitor.feed_jsonl(trace)
+        retries = monitor.registry.get("repro_retry_attempts_total")
+        assert retries.series()[()].value == 1.0
+
+    def test_attach_restores_registry_state(self):
+        monitor = _monitor(default_slo_rules())
+        monitor.registry.disable()
+        with monitor.attach():
+            assert monitor.registry.enabled
+            assert telemetry.enabled()
+        assert not monitor.registry.enabled
+        assert not telemetry.enabled()
+
+
+class TestLiveAcceptance:
+    def test_stuck_region_fault_trips_raw_ber_slo(self):
+        """A fault plan pushing raw BER past its SLO must page."""
+        device = make_device("MSP432P401", rng=11, sram_kib=1)
+        # The padding tail stuck at 0: the recovered payload reads 1 across
+        # the back half of the array (~53% raw BER vs the ~6% healthy
+        # baseline), while the coded prefix survives so receive() completes
+        # and records raw_error_vs.
+        n = device.sram.n_bits
+        plan = FaultPlan(
+            seed=0,
+            models=(StuckRegion(offset=n // 2, length=n // 2, value=0),),
+        )
+        board = ControlBoard(device, fault_injector=FaultInjector(plan))
+        channel = InvisibleBits(
+            board,
+            scheme=paper_end_to_end_scheme(None, copies=3),
+            use_firmware=False,
+        )
+        monitor = _monitor(default_slo_rules(raw_ber_ceiling=0.20))
+        with monitor.attach():
+            sent = channel.send(b"x")
+            result = channel.receive(expected_payload=sent.payload_bits)
+            fired = monitor.sample()
+        assert result.raw_error_vs > 0.20
+        assert "raw-ber-ceiling" in [a.rule for a in fired]
+        assert monitor.device_health()["MSP432P401"]["status"] == "alerting"
+
+    def test_healthy_roundtrip_stays_quiet(self):
+        device = make_device("MSP432P401", rng=12, sram_kib=1)
+        channel = InvisibleBits(
+            ControlBoard(device),
+            scheme=paper_end_to_end_scheme(None, copies=3),
+            use_firmware=False,
+        )
+        monitor = _monitor(default_slo_rules())
+        with monitor.attach():
+            sent = channel.send(b"y")
+            result = channel.receive(expected_payload=sent.payload_bits)
+            fired = monitor.sample()
+        assert result.message == b"y"
+        assert fired == []
+        assert monitor.device_health()["MSP432P401"]["status"] == "ok"

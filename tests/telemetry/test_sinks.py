@@ -1,0 +1,146 @@
+"""Sink behaviour in isolation: rendering, eviction, file modes."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.telemetry import ConsoleSink, JsonlSink, RingBufferSink
+
+
+class TestRingBufferSink:
+    def test_evicts_oldest_beyond_capacity(self):
+        sink = RingBufferSink(capacity=3)
+        for i in range(5):
+            sink.emit({"type": "counter", "name": f"c{i}", "value": i})
+        assert len(sink) == 3
+        assert [r["name"] for r in sink.records()] == ["c2", "c3", "c4"]
+
+    def test_filters_by_type_and_name(self):
+        sink = RingBufferSink()
+        sink.emit({"type": "span", "name": "a"})
+        sink.emit({"type": "counter", "name": "a"})
+        sink.emit({"type": "counter", "name": "b"})
+        assert len(sink.records(type="counter")) == 2
+        assert len(sink.records(name="a")) == 2
+        assert len(sink.records(type="counter", name="a")) == 1
+
+    def test_filter_tolerates_typeless_records(self):
+        sink = RingBufferSink()
+        sink.emit({"name": "orphan"})
+        assert sink.records(type="span") == []
+        assert sink.records(name="orphan") == [{"name": "orphan"}]
+
+    def test_clear_empties_buffer(self):
+        sink = RingBufferSink()
+        sink.emit({"type": "counter", "name": "c"})
+        sink.clear()
+        assert len(sink) == 0
+
+
+class TestJsonlSink:
+    def _emit_some(self, sink, names):
+        for name in names:
+            sink.emit({"type": "counter", "name": name, "value": 1})
+        sink.close()
+
+    def test_write_mode_truncates(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        self._emit_some(JsonlSink(path), ["first"])
+        self._emit_some(JsonlSink(path), ["second"])
+        lines = path.read_text().splitlines()
+        assert [json.loads(l)["name"] for l in lines] == ["second"]
+
+    def test_append_mode_preserves_existing_records(self, tmp_path):
+        # Regression: a resumed run (or a second registry sharing one
+        # trace file) must not destroy the earlier records.
+        path = tmp_path / "trace.jsonl"
+        self._emit_some(JsonlSink(path), ["first"])
+        self._emit_some(JsonlSink(path, mode="a"), ["second"])
+        lines = path.read_text().splitlines()
+        assert [json.loads(l)["name"] for l in lines] == ["first", "second"]
+
+    def test_invalid_mode_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            JsonlSink(tmp_path / "t.jsonl", mode="x")
+
+    def test_file_opened_lazily(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = JsonlSink(path)
+        assert not path.exists()
+        sink.emit({"type": "counter", "name": "c", "value": 1})
+        assert path.exists()
+        sink.close()
+
+    def test_close_is_idempotent(self, tmp_path):
+        sink = JsonlSink(tmp_path / "t.jsonl")
+        sink.emit({"type": "counter", "name": "c", "value": 1})
+        sink.close()
+        sink.close()  # second close must not raise
+        # And a sink that never opened closes cleanly too.
+        JsonlSink(tmp_path / "never.jsonl").close()
+
+    def test_reopens_after_close(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = JsonlSink(path, mode="a")
+        sink.emit({"type": "counter", "name": "a", "value": 1})
+        sink.close()
+        sink.emit({"type": "counter", "name": "b", "value": 2})
+        sink.close()
+        assert len(path.read_text().splitlines()) == 2
+
+
+class TestConsoleSink:
+    def _render(self, record):
+        stream = io.StringIO()
+        ConsoleSink(stream).emit(record)
+        return stream.getvalue()
+
+    def test_span_line(self):
+        line = self._render(
+            {
+                "type": "span",
+                "name": "channel.receive",
+                "dur_ms": 12.345,
+                "status": "ok",
+                "attrs": {"device": "X"},
+                "counters": {"retry.attempts": 2},
+            }
+        )
+        assert line == "[span] channel.receive 12.35ms ok device=X retry.attempts=2\n"
+
+    def test_span_with_missing_fields_renders_placeholders(self):
+        # Regression: foreign/truncated records must render, not raise
+        # KeyError inside the registry's emit loop.
+        line = self._render({"type": "span"})
+        assert line == "[span] ? ? ?\n"
+
+    def test_alert_line(self):
+        line = self._render(
+            {
+                "type": "alert",
+                "name": "raw-ber-ceiling",
+                "severity": "page",
+                "message": "repro_raw_ber = 0.31 breached",
+            }
+        )
+        assert line == "[alert] page raw-ber-ceiling: repro_raw_ber = 0.31 breached\n"
+
+    def test_alert_falls_back_to_value(self):
+        line = self._render({"type": "alert", "name": "r", "value": 0.4})
+        assert line == "[alert] page r: 0.4\n"
+
+    def test_counter_and_gauge_lines(self):
+        assert (
+            self._render({"type": "counter", "name": "retry.attempts", "value": 3})
+            == "[counter] retry.attempts = 3\n"
+        )
+        assert (
+            self._render({"type": "gauge", "name": "temp_c", "value": 55.0})
+            == "[gauge] temp_c = 55.0\n"
+        )
+
+    def test_empty_record_renders(self):
+        assert self._render({}) == "[?] ? = None\n"

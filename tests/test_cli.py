@@ -181,6 +181,139 @@ class TestCommands:
             main(["--fault-plan", "bogus:x", "list-devices"])
 
 
+class TestTelemetryCommand:
+    def test_summarize_missing_file_exits_2(self, tmp_path, capsys):
+        assert main(["telemetry", "summarize", str(tmp_path / "nope.jsonl")]) == 2
+        assert "no such trace file" in capsys.readouterr().err
+
+    def test_summarize_empty_trace_diagnoses_and_exits_1(self, tmp_path, capsys):
+        trace = tmp_path / "empty.jsonl"
+        trace.write_text("")
+        assert main(["telemetry", "summarize", str(trace)]) == 1
+        err = capsys.readouterr().err
+        assert "trace is empty" in err
+        assert "REPRO_TRACE" in err
+
+    def test_summarize_real_trace(self, tmp_path, capsys):
+        trace = tmp_path / "t.jsonl"
+        code = main([
+            "--trace", str(trace), "roundtrip", "--fast",
+            "--sram-kib", "2", "--message", "hi",
+        ])
+        assert code == 0
+        assert main(["telemetry", "summarize", str(trace)]) == 0
+        assert "channel.send" in capsys.readouterr().out
+
+
+@pytest.fixture
+def traced_run(tmp_path):
+    """A real JSONL trace plus the metrics exposition from one roundtrip."""
+    trace = tmp_path / "trace.jsonl"
+    prom = tmp_path / "metrics.prom"
+    code = main([
+        "--trace", str(trace), "--metrics-out", str(prom),
+        "roundtrip", "--fast", "--sram-kib", "2", "--message", "hi",
+    ])
+    assert code == 0
+    return trace, prom
+
+
+class TestMonitorCommand:
+    def test_report_on_healthy_trace(self, traced_run, capsys):
+        trace, _ = traced_run
+        assert main(["monitor", "report", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "# Fleet monitor report" in out
+        assert "raw-ber-ceiling" in out
+
+    def test_report_exits_1_when_rule_fires(self, traced_run, capsys):
+        trace, _ = traced_run
+        # An absurd SLO: any successful roundtrip violates it.
+        code = main([
+            "monitor", "report", str(trace), "--ber-ceiling", "0.0001",
+        ])
+        assert code == 1
+        assert "FIRING" in capsys.readouterr().out
+
+    def test_report_html_to_file(self, traced_run, tmp_path, capsys):
+        trace, _ = traced_run
+        out = tmp_path / "report.html"
+        assert main([
+            "monitor", "report", str(trace), "--html", "--out", str(out),
+        ]) == 0
+        assert out.read_text().startswith("<!DOCTYPE html>")
+
+    def test_watch_once_renders_ascii_dashboard(self, traced_run, capsys):
+        trace, _ = traced_run
+        assert main(["monitor", "watch", str(trace), "--once"]) == 0
+        out = capsys.readouterr().out
+        assert "repro fleet monitor" in out
+        assert all(ord(ch) < 128 for ch in out)
+
+    def test_missing_trace_exits_2(self, tmp_path, capsys):
+        assert main(["monitor", "report", str(tmp_path / "no.jsonl")]) == 2
+        assert main(["monitor", "watch", str(tmp_path / "no.jsonl"),
+                     "--once"]) == 2
+
+
+class TestMetricsOutOption:
+    def test_exposition_written_after_command(self, traced_run):
+        _, prom = traced_run
+        text = prom.read_text()
+        assert "# TYPE repro_messages_total counter" in text
+        assert 'phase="send"' in text
+        assert "repro_capture_ber_bucket" in text
+
+    def test_registry_state_restored(self, traced_run):
+        from repro import metrics
+
+        assert not metrics.registry.enabled
+
+
+class TestBenchCommand:
+    @staticmethod
+    def _snapshot(path, value):
+        import json
+
+        path.write_text(json.dumps({
+            "schema": 1,
+            "metrics": {
+                "batch_capture_ms": {"value": value, "better": "lower"},
+            },
+        }))
+        return path
+
+    def test_compare_ok(self, tmp_path, capsys):
+        old = self._snapshot(tmp_path / "old.json", 100.0)
+        new = self._snapshot(tmp_path / "new.json", 105.0)
+        assert main(["bench", "compare", str(old), str(new)]) == 0
+        assert "no regressions" in capsys.readouterr().out
+
+    def test_compare_regression_exits_1(self, tmp_path, capsys):
+        old = self._snapshot(tmp_path / "old.json", 100.0)
+        new = self._snapshot(tmp_path / "new.json", 130.0)
+        assert main(["bench", "compare", str(old), str(new)]) == 1
+        assert "REGRESSED" in capsys.readouterr().out
+
+    def test_gate_is_tunable(self, tmp_path):
+        old = self._snapshot(tmp_path / "old.json", 100.0)
+        new = self._snapshot(tmp_path / "new.json", 130.0)
+        assert main(["bench", "compare", str(old), str(new),
+                     "--gate", "50"]) == 0
+
+    def test_missing_snapshot_exits_2(self, tmp_path, capsys):
+        old = self._snapshot(tmp_path / "old.json", 1.0)
+        assert main(["bench", "compare", str(old),
+                     str(tmp_path / "absent.json")]) == 2
+
+    def test_malformed_snapshot_exits_2(self, tmp_path, capsys):
+        old = self._snapshot(tmp_path / "old.json", 1.0)
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"not": "a snapshot"}')
+        assert main(["bench", "compare", str(old), str(bad)]) == 2
+        assert capsys.readouterr().err
+
+
 class TestVerifyCommand:
     def test_verify_list(self, capsys):
         assert main(["verify", "--list"]) == 0
