@@ -319,6 +319,74 @@ def test_perf_rack_measure_throughput(benchmark):
     assert len(errors) == 4
 
 
+def _encoded_tray(n_devices=8, sram_kib=64, stress_hours=10.0):
+    """A staged-and-stressed tray of full-size devices plus its payloads."""
+    devices = [
+        make_device("MSP432P401", rng=90 + i, sram_kib=sram_kib)
+        for i in range(n_devices)
+    ]
+    rack = EncodingRack(devices)
+    rng = np.random.default_rng(7)
+    payloads = [
+        rng.integers(0, 2, board.device.sram.n_bits).astype(np.uint8)
+        for board in rack.boards
+    ]
+    rack.stage_payloads(payloads)
+    rack.stress_all(stress_hours=stress_hours)
+    return rack, payloads
+
+
+def test_perf_fleet_capture_speedup(record_metric):
+    """The fleet kernel must beat the naive per-device capture loop by
+    >= 10x on the 8-device x 64 KiB x 5-capture tray measurement.
+
+    The baseline is the per-device equivalent of the pre-batching loop
+    (``_seed_loop_capture`` applied slot by slot, plus majority vote and
+    channel error) — the same convention ``batch_capture_speedup`` uses
+    for a single array.  The two consume noise differently (full-width
+    versus band-only draws), so agreement is statistical; the bit-exact
+    fleet-vs-loop guarantee is the ``fleet.capture_vs_device_loop``
+    oracle and tests/core/test_fleetcapture.py.
+    """
+    from repro.bitutils import bit_error_rate, invert_bits, majority_vote
+
+    rack_loop, payloads = _encoded_tray()
+    rack_fleet, _ = _encoded_tray()
+
+    def naive_tray_measure():
+        errors = []
+        for board, payload in zip(rack_loop.boards, payloads):
+            stack = _seed_loop_capture(board.device.sram, 5)
+            vote = majority_vote(stack)
+            errors.append(bit_error_rate(payload, invert_bits(vote)))
+        return errors
+
+    # Same channel error on identical twins (also the warm-up pass).
+    err_loop = naive_tray_measure()
+    err_fleet = rack_fleet.measure_errors(payloads, n_captures=5)
+    for a, b in zip(err_loop, err_fleet):
+        assert b == pytest.approx(a, abs=0.002)
+
+    def best_of(fn, reps=3):
+        best = float("inf")
+        for _ in range(reps):
+            t0 = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - t0)
+        return best
+
+    t_loop = best_of(naive_tray_measure)
+    t_fleet = best_of(
+        lambda: rack_fleet.measure_errors(payloads, n_captures=5)
+    )
+    speedup = t_loop / t_fleet
+    print(f"\nfleet capture speedup: {speedup:.1f}x "
+          f"({t_loop * 1e3:.1f} ms -> {t_fleet * 1e3:.1f} ms)")
+    record_metric("fleet_capture_speedup", speedup, better="higher", unit="x")
+    record_metric("fleet_capture_ms", t_fleet * 1e3, unit="ms")
+    assert speedup >= 10.0
+
+
 def test_perf_morans_i_full_grid(benchmark):
     """Moran's I over a full 64 KiB die grid (2048 x 256)."""
     rng = np.random.default_rng(1)

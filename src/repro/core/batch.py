@@ -16,11 +16,11 @@ from dataclasses import dataclass
 import numpy as np
 
 from .. import telemetry
-from ..bitutils import bit_error_rate, invert_bits
 from ..errors import ConfigurationError, DeviceError, SlotError
 from ..faults import FaultInjector, FaultPlan, RetryPolicy
 from ..harness.controlboard import ControlBoard
 from ..rng import make_rng, spawn
+from .fleetcapture import capture_fleet
 from .planner import plan_scheme
 from ..experiments.common import make_varied_device
 
@@ -104,7 +104,7 @@ def encode_fleet(
     ]
     streams = spawn(gen, n_devices)
 
-    def encode_one(index: int) -> "FleetMember | SlotError":
+    def encode_one(index: int) -> "ControlBoard | SlotError":
         device = make_varied_device(
             device_name, rng=streams[index], sram_kib=sram_kib
         )
@@ -115,16 +115,12 @@ def encode_fleet(
             ),
             retry=retry,
         )
-        payload = payloads[index]
         try:
             board.encode_message(
-                payload,
+                payloads[index],
                 stress_hours=stress_hours,
                 use_firmware=False,
                 camouflage=False,
-            )
-            error = bit_error_rate(
-                payload, invert_bits(board.majority_power_on_state(5))
             )
         except DeviceError as exc:
             telemetry.count("slots.failed")
@@ -133,7 +129,7 @@ def encode_fleet(
                 f"{type(exc).__name__}: {exc}",
                 slot=index,
             )
-        return FleetMember(index=index, board=board, measured_error=error)
+        return board
 
     workers = max_workers or min(n_devices, os.cpu_count() or 1)
     with telemetry.trace(
@@ -149,8 +145,46 @@ def encode_fleet(
             with ThreadPoolExecutor(max_workers=workers) as pool:
                 outcomes = list(pool.map(encode_one, range(n_devices)))
 
-        members = [m for m in outcomes if isinstance(m, FleetMember)]
-        failures = tuple(e for e in outcomes if isinstance(e, SlotError))
+        # The probe measurement runs fleet-wide through the stacked
+        # capture kernel; per-device generators keep it bit-identical to
+        # the per-slot loop this replaced, for any worker count.
+        encoded = [
+            (index, out)
+            for index, out in enumerate(outcomes)
+            if not isinstance(out, SlotError)
+        ]
+        failure_list = [e for e in outcomes if isinstance(e, SlotError)]
+        members = []
+        if encoded:
+            fleet = capture_fleet(
+                [board for _, board in encoded],
+                5,
+                payloads=[payloads[index] for index, _ in encoded],
+                resilient=True,
+            )
+            for pos, (index, board) in enumerate(encoded):
+                exc = fleet.slot_errors[pos]
+                if exc is None:
+                    members.append(
+                        FleetMember(
+                            index=index,
+                            board=board,
+                            measured_error=fleet.errors[pos],
+                        )
+                    )
+                elif isinstance(exc, DeviceError):
+                    telemetry.count("slots.failed")
+                    failure_list.append(
+                        SlotError(
+                            f"slot {index} ({board.device.spec.name}): "
+                            f"{type(exc).__name__}: {exc}",
+                            slot=index,
+                        )
+                    )
+                else:
+                    raise exc
+        failure_list.sort(key=lambda e: e.slot)
+        failures = tuple(failure_list)
         if not members:
             raise SlotError(
                 f"all {n_devices} fleet candidates failed; first: {failures[0]}",

@@ -53,13 +53,21 @@ class HealthLedger:
             return slot in self._quarantined
 
     def check(self, slot) -> None:
-        """Raise :class:`QuarantinedDeviceError` if the slot is out."""
-        if self.is_quarantined(slot):
-            raise QuarantinedDeviceError(
-                f"slot {slot} is quarantined after "
-                f"{self._streaks.get(slot, 0)} consecutive failures",
-                slot=slot if isinstance(slot, int) else None,
-            )
+        """Raise :class:`QuarantinedDeviceError` if the slot is out.
+
+        The quarantine test and the streak read happen under one lock
+        acquisition: a concurrent ``release``/``record_failure`` between
+        them can no longer produce an error quoting a stale streak.
+        """
+        with self._lock:
+            if slot not in self._quarantined:
+                return
+            streak = self._streaks.get(slot, 0)
+        raise QuarantinedDeviceError(
+            f"slot {slot} is quarantined after "
+            f"{streak} consecutive failures",
+            slot=slot if isinstance(slot, int) else None,
+        )
 
     def release(self, slot) -> None:
         """Manual intervention: put a quarantined slot back in service."""

@@ -340,3 +340,26 @@ class ControlBoard:
         return majority_vote(
             self.capture_power_on_states(n_captures, off_seconds=off_seconds)
         )
+
+    def plan_fleet_capture(
+        self, n_captures: int, off_seconds: float = 1.0
+    ) -> "dict | None":
+        """Stage this board's slice of a fleet-stacked capture burst.
+
+        Runs the exact preamble of :meth:`capture_power_on_states` —
+        power down, flash the retention program — then asks the array
+        for its stacking record at the rail the next power-on would
+        apply (see :meth:`SRAMArray.plan_fleet_capture`).  Returns
+        ``None`` when only the per-capture loop can measure this slot: a
+        fault injector is attached (injected faults interleave with the
+        per-capture reads), or the array itself declines the burst.
+        """
+        if self.device.powered:
+            self.power_off()
+        self.device.load_firmware(retention_program())
+        if self.fault_injector is not None:
+            return None
+        vdd = self.device.regulator.core_voltage(self._nominal_rail())
+        return self.device.sram.plan_fleet_capture(
+            n_captures, off_seconds, vdd=vdd
+        )

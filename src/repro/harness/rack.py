@@ -109,9 +109,14 @@ class EncodingRack:
         return list(zip(self.boards, items))
 
     def _pool_width(self, n_calls: int) -> int:
-        return self.max_workers or min(n_calls, os.cpu_count() or 1)
+        # Never spawn more threads than there are calls to run — a
+        # max_workers larger than the tray is a cap, not a quota.
+        width = self.max_workers or (os.cpu_count() or 1)
+        return max(1, min(width, n_calls))
 
-    def _map_slots(self, fn, items: "list | None" = None) -> list:
+    def _map_slots(
+        self, fn, items: "list | None" = None, *, slots: "list | None" = None
+    ) -> list:
         """Apply ``fn(board[, item])`` to every slot, in slot order.
 
         Slots are independent (own device, own RNG stream), so the pool
@@ -119,8 +124,19 @@ class EncodingRack:
         exception no longer kills the map anonymously: it surfaces as a
         :class:`~repro.errors.SlotError` naming the slot and device, with
         the original exception chained as ``__cause__``.
+
+        ``slots`` restricts the map to a subset of ``(index, board)``
+        pairs (e.g. only the live slots of a partially-staged tray);
+        reported slot indices stay the tray positions.
         """
-        calls = self._calls(items)
+        pairs = list(enumerate(self.boards)) if slots is None else list(slots)
+        if items is None:
+            calls = [(index, (board,)) for index, board in pairs]
+        else:
+            calls = [
+                (index, (board, item))
+                for (index, board), item in zip(pairs, items)
+            ]
 
         def run_one(indexed_call):
             index, call = indexed_call
@@ -135,9 +151,9 @@ class EncodingRack:
 
         workers = self._pool_width(len(calls))
         if workers <= 1 or len(calls) <= 1:
-            return [run_one(pair) for pair in enumerate(calls)]
+            return [run_one(pair) for pair in calls]
         with ThreadPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(run_one, enumerate(calls)))
+            return list(pool.map(run_one, calls))
 
     def run_slots(
         self, fn, items: "list | None" = None, *, label: str = "rack.run"
@@ -242,6 +258,13 @@ class EncodingRack:
         """
         if stress_hours <= 0:
             raise ConfigurationError("stress time must be positive")
+        if vdd_per_board is not None and len(vdd_per_board) != len(self.boards):
+            # Validate before touching the chamber: an undersized list must
+            # not die with an IndexError after the tray is already at 85 C.
+            raise ConfigurationError(
+                f"{len(vdd_per_board)} stress voltages for "
+                f"{len(self.boards)} slots"
+            )
         live = [
             (index, board)
             for index, board in enumerate(self.boards)
@@ -270,11 +293,9 @@ class EncodingRack:
                 ):
                     board.device.regulator.bypass()
                 board.supply.set_voltage(vdd)
-            live_boards = [board for _, board in live]
             self._map_slots(
-                lambda board: board.device.advance(hours(stress_hours))
-                if board in live_boards
-                else None
+                lambda board: board.device.advance(hours(stress_hours)),
+                slots=live,
             )
             self.chamber.set_temperature(kelvin_to_celsius(self.chamber.ambient_k))
             self._map_slots(
@@ -290,22 +311,81 @@ class EncodingRack:
     ) -> "list[float] | list[SlotResult]":
         """Per-slot channel error against the staged payloads.
 
+        Measurement routes through the fleet-vectorized capture kernel
+        (:func:`repro.core.fleetcapture.capture_fleet`): eligible slots
+        are evaluated as one stacked ``devices x band-cells x captures``
+        broadcast, bit-identical to the per-board loop; slots the kernel
+        cannot take (fault injector attached, remanence pending, drift
+        bound exceeded) run the exact per-capture loop instead.
+
         ``resilient=True`` returns :class:`SlotResult` s (``value`` is the
         error rate) so one dead slot yields a partial tray measurement
-        instead of nothing.
+        instead of nothing: quarantined slots are skipped outright,
+        fallback slots retry under the rack's policy, and failures feed
+        the health ledger exactly as :meth:`run_slots` would.
         """
-        from ..bitutils import bit_error_rate, invert_bits
+        from ..core.fleetcapture import capture_fleet
 
         if len(payloads) != len(self.boards):
             raise ConfigurationError("payload count mismatch")
 
-        def measure(board: ControlBoard, payload: np.ndarray) -> float:
-            state = board.majority_power_on_state(n_captures)
-            return bit_error_rate(payload, invert_bits(state))
+        if not resilient:
+            with telemetry.trace(
+                "rack.measure", slots=len(self.boards), n_captures=n_captures
+            ):
+                fleet = capture_fleet(
+                    self.boards, n_captures, payloads=list(payloads)
+                )
+                return list(fleet.errors)
 
-        if resilient:
-            return self.run_slots(measure, payloads, label="rack.measure")
+        results: "list[SlotResult | None]" = [None] * len(self.boards)
+        live: "list[int]" = []
+        for index in range(len(self.boards)):
+            if self.health.is_quarantined(index):
+                results[index] = SlotResult(
+                    slot=index,
+                    status="quarantined",
+                    error=QuarantinedDeviceError(
+                        f"slot {index} is quarantined", slot=index
+                    ),
+                    attempts=0,
+                )
+            else:
+                live.append(index)
         with telemetry.trace(
             "rack.measure", slots=len(self.boards), n_captures=n_captures
-        ):
-            return self._map_slots(measure, payloads)
+        ) as span:
+            fleet = capture_fleet(
+                [self.boards[i] for i in live],
+                n_captures,
+                payloads=[payloads[i] for i in live],
+                resilient=True,
+                retry=self.retry,
+            )
+            for pos, index in enumerate(live):
+                exc = fleet.slot_errors[pos]
+                if exc is not None:
+                    self.health.record_failure(index)
+                    telemetry.count("slots.failed")
+                    results[index] = SlotResult(
+                        slot=index,
+                        status="failed",
+                        error=exc,
+                        attempts=max(1, fleet.attempts[pos]),
+                    )
+                    continue
+                self.health.record_success(index)
+                results[index] = SlotResult(
+                    slot=index,
+                    status="ok" if fleet.attempts[pos] <= 1 else "retried",
+                    value=fleet.errors[pos],
+                    attempts=max(1, fleet.attempts[pos]),
+                )
+            span.set(
+                ok=sum(1 for r in results if r.ok),
+                failed=sum(1 for r in results if r.status == "failed"),
+                quarantined=sum(
+                    1 for r in results if r.status == "quarantined"
+                ),
+            )
+        return results

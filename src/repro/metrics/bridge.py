@@ -217,3 +217,15 @@ class TelemetryBridge(Sink):
                 self._fleet_failures.inc(float(attrs["failed"]))
             if "winner_error" in attrs:
                 self._fleet_winner_error.set(float(attrs["winner_error"]))
+        elif name == "fleet.capture":
+            # The stacked capture kernel reports one [device, ber] pair
+            # per measured slot; fold them into the same BER instruments
+            # a channel.receive would feed.
+            for pair in attrs.get("ber") or ():
+                try:
+                    device, rate = pair
+                    rate = float(rate)
+                except (TypeError, ValueError):
+                    continue
+                self._capture_ber.observe(rate, device=str(device))
+                self._raw_ber.set(rate, device=str(device))

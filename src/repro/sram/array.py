@@ -67,6 +67,46 @@ _CAPTURE_CELLS_TOTAL = metrics.counter(
 )
 
 
+def _locked_shift(nbti, stress_seconds: np.ndarray) -> np.ndarray:
+    """``k * t^n`` with zero-stress cells skipped.
+
+    Elementwise-identical to ``nbti.dvth_unrecovered``: nonzero entries go
+    through the same ``np.power`` call and scale, zero entries are exactly
+    ``k * 0**n == 0.0``.  Skipping the zeros matters because the libm
+    ``pow`` slow path for a zero base costs ~4x the finite-base path, and
+    freshly staged banks are half zeros per inverter.
+    """
+    nz = np.flatnonzero(stress_seconds)
+    if nz.size == stress_seconds.size:
+        return nbti.k_scale * np.power(stress_seconds, nbti.time_exponent)
+    full = np.zeros_like(stress_seconds)
+    if nz.size:
+        full[nz] = nbti.k_scale * np.power(
+            stress_seconds[nz], nbti.time_exponent
+        )
+    return full
+
+
+def _recovered_fraction(nbti, relax_seconds: np.ndarray):
+    """``min(c * log1p(r/tau), ceiling)``; uniform clocks take a scalar.
+
+    After a tray-wide stress every relax clock in a state is the same
+    value, so one ``log1p`` stands in for the full-array pass — the
+    subsequent broadcast multiplies are the same double operations the
+    elementwise form performs.
+    """
+    lo = relax_seconds.min()
+    if lo == relax_seconds.max():
+        return np.minimum(
+            nbti.rec_log_coeff * np.log1p(lo / nbti.rec_tau_s),
+            nbti.rec_ceiling,
+        )
+    return np.minimum(
+        nbti.rec_log_coeff * np.log1p(relax_seconds / nbti.rec_tau_s),
+        nbti.rec_ceiling,
+    )
+
+
 class SRAMArray:
     """A bank of simulated 6T cells.
 
@@ -643,6 +683,132 @@ class SRAMArray:
             self.powered = True
             self.vdd = vdd
         self._data = samples[n - 1].copy()
+
+    # -- fleet capture (repro.core.fleetcapture) --------------------------------
+
+    def _fleet_refresh_capture_cache(self, sigma: float) -> dict:
+        """Rebuild the capture cache with the fleet kernel's shared-term math.
+
+        Contents are bit-identical to :meth:`_refresh_capture_cache`: the
+        power-law magnitude ``k * t^n`` is evaluated once per inverter and
+        shared between the offsets and the locked-in values — the same
+        composition :meth:`NBTIModel.dvth` uses — zero-stress cells skip the
+        ``t^n`` ufunc (``0**n == 0`` exactly), and uniform relax clocks
+        collapse the recovered fraction to one scalar (the per-element
+        double operations are unchanged).  tests/sram/test_fleet_capture.py
+        pins the equality against the reference rebuild.
+        """
+        st1, st0 = self.age_when_1, self.age_when_0
+        st1.flush_relax()
+        st0.flush_relax()
+        nbti = self._nbti
+        full1 = _locked_shift(nbti, st1.stress_seconds)
+        full0 = _locked_shift(nbti, st0.stress_seconds)
+        offs = (
+            self.mismatch
+            + full0 * (1.0 - _recovered_fraction(nbti, st0.relax_seconds))
+            - full1 * (1.0 - _recovered_fraction(nbti, st1.relax_seconds))
+        )
+        self._offsets_cache = (self._aging_key(), offs)
+        band = np.flatnonzero(np.abs(offs) < self.NOISE_TAIL_SIGMA * sigma)
+        self._capture_cache = {
+            "aging_epoch": self._aging_epoch,
+            "flushes": (st1.flushes, st0.flushes),
+            "sigma_ref": sigma,
+            "decision_base": (offs > 0.0).astype(np.uint8),
+            "band": band,
+            "mismatch_b": self.mismatch[band],
+            "full1_b": full1[band],
+            "full0_b": full0[band],
+            "r1_b": st1.relax_seconds[band],
+            "r0_b": st0.relax_seconds[band],
+            "r1_min": float(st1.relax_seconds.min()) if self.n_bits else 0.0,
+            "r0_min": float(st0.relax_seconds.min()) if self.n_bits else 0.0,
+            "full_max": float(full1.max()) + float(full0.max()),
+        }
+        self.capture_stats["cache_refreshes"] += 1
+        return self._capture_cache
+
+    def plan_fleet_capture(
+        self,
+        n_captures: int,
+        off_seconds: float = 1.0,
+        *,
+        vdd: "float | None" = None,
+    ) -> "dict | None":
+        """Stage this array's slice of a fleet-stacked capture burst.
+
+        Validates the operating point, performs the same capture-cache
+        refresh (and deferred-relax flush) the burst's first per-capture
+        loop iteration would, and — when the drift bound guarantees no
+        mid-burst refresh — returns the stacking record the fleet kernel
+        concatenates: the cached band arrays, the noise sigma, and both
+        inverters' per-capture ``pending_relax`` trajectories (accumulated
+        float-by-float exactly as ``n_captures`` deferred shelf gaps
+        would).  Returns ``None`` when the burst cannot be guaranteed
+        refresh-free, the array is powered, or remanence could reach the
+        first capture; callers then take the exact per-capture loop, which
+        is bit-identical either way.
+        """
+        if n_captures < 1:
+            raise ConfigurationError(
+                f"need at least one capture, got {n_captures}"
+            )
+        if self.powered or self._retained is not None:
+            return None
+        vdd = self.technology.vdd_nominal if vdd is None else float(vdd)
+        self.technology.check_operating_point(vdd, self.temp_k)
+        off = float(off_seconds)
+        sigma = self._effective_noise_sigma()
+        cache = self._capture_cache
+        if not self._capture_cache_valid(cache, sigma):
+            cache = self._fleet_refresh_capture_cache(sigma)
+        if not self._capture_cache_valid(
+            cache, sigma, extra_relax=(n_captures - 1) * off
+        ):
+            return None
+        p1 = self.age_when_1.pending_relax
+        p0 = self.age_when_0.pending_relax
+        pend1, pend0 = [], []
+        for _ in range(n_captures):
+            pend1.append(p1)
+            pend0.append(p0)
+            p1 += off  # relax_uniform's exact scalar accumulation
+            p0 += off
+        nbti = self._nbti
+        return {
+            "cache": cache,
+            "sigma": sigma,
+            "pend1": pend1,
+            "pend0": pend0,
+            "tau": nbti.rec_tau_s,
+            "coeff": nbti.rec_log_coeff,
+            "ceiling": nbti.rec_ceiling,
+        }
+
+    def commit_fleet_capture(
+        self, n_captures: int, off_seconds: float, band_size: int
+    ) -> None:
+        """Apply the state the equivalent per-capture loop would have left.
+
+        Each capture's power-down advances both recovery clocks by
+        ``off_seconds`` — deferred scalar adds, applied one capture at a
+        time so the accumulated ``pending_relax`` floats match the loop's
+        trajectory bit-for-bit — and the capture stats advance by the
+        whole burst.
+        """
+        st1, st0 = self.age_when_1, self.age_when_0
+        nbti = self._nbti
+        for _ in range(n_captures):
+            nbti.relax_uniform(st1, off_seconds)
+            nbti.relax_uniform(st0, off_seconds)
+        if telemetry.active():
+            telemetry.count(
+                "physics.relax_seconds", n_captures * float(off_seconds)
+            )
+        stats = self.capture_stats
+        stats["captures"] += n_captures
+        stats["band_cells"] += n_captures * int(band_size)
 
     def _require_power(self) -> None:
         if not self.powered:

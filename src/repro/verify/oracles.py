@@ -224,6 +224,91 @@ def capture_batch_vs_loop(seed, n_captures, kib, stress_h):
     )
 
 
+def _fleet_rig(seed: int, n_devices: int, kib: float, stress_h: float):
+    """A staged-and-stressed tray, twin-safe: same seed -> same tray."""
+    from ..device.catalog import make_device
+    from ..harness.rack import EncodingRack
+
+    devices = [
+        make_device(_DEVICE, rng=seed + index, sram_kib=kib)
+        for index in range(n_devices)
+    ]
+    rack = EncodingRack(devices, max_workers=1)
+    rng = np.random.default_rng(seed + 99)
+    payloads = [
+        rng.integers(0, 2, board.device.sram.n_bits).astype(np.uint8)
+        for board in rack.boards
+    ]
+    rack.stage_payloads(payloads)
+    rack.stress_all(stress_hours=stress_h)
+    return rack, payloads
+
+
+@oracle(
+    "fleet.capture_vs_device_loop",
+    gens=(
+        g.seeds(),
+        g.sampled_from([1, 2, 3], name="n_devices"),
+        g.odd_integers(1, 5, name="n_captures"),
+        g.sampled_from([0.25, 0.5], name="kib"),
+    ),
+    examples=4,
+)
+def fleet_capture_vs_device_loop(seed, n_devices, n_captures, kib):
+    """The stacked fleet kernel is bit-identical to the per-device loop:
+    frames, majority states, channel errors, AND the committed analog
+    trajectory (pending relax, flush counts) all match a twin tray
+    measured board by board."""
+    from ..bitutils import bit_error_rate, invert_bits, majority_vote
+    from ..core.fleetcapture import capture_fleet
+
+    rack_a, payloads = _fleet_rig(seed, n_devices, kib, 2.0)
+    rack_b, _ = _fleet_rig(seed, n_devices, kib, 2.0)
+
+    fleet = capture_fleet(
+        rack_a.boards, n_captures, payloads=payloads, return_frames=True
+    )
+    # Boards carrying a fault injector (e.g. the CI chaos sweep's ambient
+    # REPRO_FAULT_PLAN) must opt out of the kernel; injector-free boards
+    # must never fall back.  Bit-identity below holds either way.
+    expected = tuple(board.fault_injector is None for board in rack_a.boards)
+    check_that(
+        fleet.vectorized == expected,
+        f"kernel routing {fleet.vectorized} != injector map {expected}",
+    )
+    for index, board in enumerate(rack_b.boards):
+        stack = board.capture_power_on_states(n_captures)
+        diverged = int(np.count_nonzero(fleet.frames[index] != stack))
+        check_that(
+            diverged == 0,
+            f"slot {index} kernel frames diverged from the device loop "
+            f"on {diverged} bits",
+        )
+        state = majority_vote(stack)
+        check_that(
+            np.array_equal(fleet.states[index], state),
+            f"slot {index} majority state diverged",
+        )
+        error = bit_error_rate(payloads[index], invert_bits(state))
+        check_that(
+            fleet.errors[index] == error,
+            f"slot {index} error {fleet.errors[index]} != loop {error}",
+        )
+        sram_a = rack_a.boards[index].device.sram
+        sram_b = board.device.sram
+        check_that(
+            sram_a.age_when_1.pending_relax == sram_b.age_when_1.pending_relax
+            and sram_a.age_when_0.pending_relax
+            == sram_b.age_when_0.pending_relax,
+            f"slot {index} committed pending relax diverged",
+        )
+        check_that(
+            sram_a.age_when_1.flushes == sram_b.age_when_1.flushes
+            and sram_a.age_when_0.flushes == sram_b.age_when_0.flushes,
+            f"slot {index} flush counts diverged",
+        )
+
+
 @oracle(
     "fleet.worker_invariance",
     gens=(
@@ -780,3 +865,44 @@ def _mutant_tie_to_zero(rng):
         np.array_equal(majority_vote(stack), zero_reference),
         "tie-to-zero defect detected by the majority reference",
     )
+
+
+@mutant("fleet.capture_vs_device_loop", "kernel-decision-bit-flip")
+def _mutant_kernel_decision_flip(rng):
+    """One flipped decision inside the stacked kernel must break frame
+    identity with the per-device loop."""
+    import os
+
+    from ..core import fleetcapture
+
+    # The planted defect lives in the stacked path; an ambient chaos plan
+    # (REPRO_FAULT_PLAN) would wire injectors into every board, route all
+    # slots to the per-capture loop, and hide it.
+    ambient = os.environ.pop("REPRO_FAULT_PLAN", None)
+    pristine = fleetcapture._stacked_decisions
+
+    def skewed(plans, noise):
+        decisions = pristine(plans, noise)
+        flat = decisions.reshape(-1)
+        check_that(flat.size > 0, "mutant needs a non-empty noise band")
+        flat[int(rng.integers(0, flat.size))] ^= 1
+        return decisions
+
+    try:
+        seed = int(rng.integers(0, 2**31))
+        rack_a, payloads = _fleet_rig(seed, 2, 0.25, 2.0)
+        rack_b, _ = _fleet_rig(seed, 2, 0.25, 2.0)
+        fleetcapture._stacked_decisions = skewed
+        fleet = fleetcapture.capture_fleet(
+            rack_a.boards, 3, payloads=payloads, return_frames=True
+        )
+    finally:
+        fleetcapture._stacked_decisions = pristine
+        if ambient is not None:
+            os.environ["REPRO_FAULT_PLAN"] = ambient
+    for index, board in enumerate(rack_b.boards):
+        stack = board.capture_power_on_states(3)
+        check_that(
+            np.array_equal(fleet.frames[index], stack),
+            f"kernel decision flip detected on slot {index}",
+        )

@@ -61,3 +61,54 @@ def test_slots_are_independent():
 def test_validation():
     with pytest.raises(ConfigurationError):
         HealthLedger(quarantine_after=0)
+
+
+def test_check_reports_consistent_streak_under_hammering():
+    """The quarantine test and the streak read are one atomic locked
+    section: a thread hammering record_failure/release can never make a
+    quarantined ``check`` quote a stale or reset streak.  The regression
+    read ``_streaks`` after the lock was released, so the message could
+    cite a streak below the quarantine threshold."""
+    import re
+    import threading
+
+    ledger = HealthLedger(quarantine_after=3)
+    stop = threading.Event()
+
+    def hammer():
+        while not stop.is_set():
+            ledger.release(0)
+            for _ in range(3):
+                ledger.record_failure(0)
+
+    thread = threading.Thread(target=hammer)
+    thread.start()
+    try:
+        seen = 0
+        for _ in range(200_000):
+            if seen >= 200:
+                break
+            try:
+                ledger.check(0)
+            except QuarantinedDeviceError as exc:
+                seen += 1
+                assert exc.slot == 0
+                streak = int(re.search(r"after (\d+)", str(exc)).group(1))
+                # Quarantined implies the streak had reached the
+                # threshold; release+re-failure can only grow it further
+                # before we read it, never shrink it below the bar with
+                # the lock held across test and read.
+                assert streak >= 3
+    finally:
+        stop.set()
+        thread.join()
+    assert seen >= 1  # the race window was actually exercised
+
+
+def test_check_passes_non_int_slot_through_message():
+    ledger = HealthLedger(quarantine_after=1)
+    ledger.record_failure("tray-7/slot-b")
+    with pytest.raises(QuarantinedDeviceError) as info:
+        ledger.check("tray-7/slot-b")
+    assert "tray-7/slot-b" in str(info.value)
+    assert info.value.slot is None  # non-int slots carry no index

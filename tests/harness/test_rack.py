@@ -96,3 +96,49 @@ def test_max_workers_validated():
     devices = [make_device("MSP432P401", rng=70, sram_kib=1)]
     with pytest.raises(ConfigurationError):
         EncodingRack(devices, max_workers=0)
+
+
+@pytest.mark.parametrize("n_voltages", [2, 4])
+def test_vdd_per_board_length_validated_before_heating(
+    rack, payloads, n_voltages
+):
+    """An undersized or oversized ``vdd_per_board`` must be rejected as a
+    ConfigurationError *before* the chamber is set to the stress
+    temperature (the regression was a raw IndexError with the tray
+    already at 85 C)."""
+    rack.stage_payloads(payloads)
+    setpoint = rack.chamber.setpoint_k
+    with pytest.raises(ConfigurationError):
+        rack.stress_all(stress_hours=1.0, vdd_per_board=[3.0] * n_voltages)
+    assert rack.chamber.setpoint_k == setpoint  # chamber untouched
+
+
+def test_stress_advance_touches_live_slots_only(rack, payloads):
+    """With ``skip_unpowered=True`` the time-advance fan-out must call
+    only the powered slots — dead slots used to be mapped and silently
+    no-opped through an O(n^2) membership scan."""
+    rack.stage_payloads(payloads)
+    rack.boards[1].power_off()
+    advanced = []
+    for index, board in enumerate(rack.boards):
+        original = board.device.advance
+
+        def advance(seconds, *, _index=index, _original=original):
+            advanced.append(_index)
+            return _original(seconds)
+
+        board.device.advance = advance
+    rack.stress_all(stress_hours=1.0, skip_unpowered=True)
+    assert sorted(advanced) == [0, 2]
+
+
+def test_pool_width_capped_by_call_count():
+    devices = [
+        make_device("MSP432P401", rng=70 + i, sram_kib=1) for i in range(2)
+    ]
+    rack = EncodingRack(devices, max_workers=16)
+    assert rack._pool_width(2) == 2
+    assert rack._pool_width(1) == 1
+    assert rack._pool_width(40) == 16
+    unbounded = EncodingRack(devices)
+    assert unbounded._pool_width(1) == 1

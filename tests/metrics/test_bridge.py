@@ -178,6 +178,40 @@ class TestRackAndFleetSpans:
             pytest.approx(0.04)
         )
 
+    def test_fleet_capture_folds_per_device_ber(self, rig):
+        registry, bridge = rig
+        bridge.emit(
+            {
+                "type": "span",
+                "name": "fleet.capture",
+                "attrs": {
+                    "devices": 3,
+                    "ber": [["dev-a", 0.06], ["dev-b", 0.09]],
+                },
+            }
+        )
+        hist = registry.get("repro_capture_ber")
+        assert hist.series()[("dev-a",)].count == 1
+        assert hist.series()[("dev-b",)].count == 1
+        assert registry.get("repro_raw_ber").series()[("dev-a",)].value == (
+            pytest.approx(0.06)
+        )
+        assert registry.get("repro_raw_ber").series()[("dev-b",)].value == (
+            pytest.approx(0.09)
+        )
+
+    def test_fleet_capture_sparse_and_malformed_attrs(self, rig):
+        registry, bridge = rig
+        bridge.emit({"type": "span", "name": "fleet.capture", "attrs": {}})
+        bridge.emit(
+            {
+                "type": "span",
+                "name": "fleet.capture",
+                "attrs": {"ber": [["dev-c"], None, ["dev-d", "bad"]]},
+            }
+        )
+        assert registry.get("repro_capture_ber").series() == {}
+
 
 def test_alert_records_counted_by_severity(rig):
     registry, bridge = rig

@@ -1,0 +1,107 @@
+"""SRAMArray's fleet-capture surface: the fast cache rebuild and the
+plan/commit pair.
+
+The fleet kernel's cache refresh (`_fleet_refresh_capture_cache`) shares
+the `k * t^n` power-law between the offsets and the locked-in magnitudes,
+skips zero-stress cells, and collapses uniform relax clocks to a scalar
+`log1p` — all transformations that must leave every cached double
+bit-identical to the reference rebuild (`_refresh_capture_cache`).
+"""
+
+import numpy as np
+import pytest
+
+from repro.device.catalog import device_spec
+from repro.errors import ConfigurationError
+from repro.sram import SRAMArray
+from repro.units import hours
+
+
+def _aged(seed, kib=0.25, stress_h=4.0, mixed_relax=False):
+    tech = device_spec("MSP432P401").technology
+    arr = SRAMArray.from_kib(kib, tech, rng=seed)
+    arr.apply_power()
+    payload = (
+        np.random.default_rng(seed + 1)
+        .integers(0, 2, arr.n_bits)
+        .astype(np.uint8)
+    )
+    arr.write(payload)
+    arr.set_voltage(min(3.0, tech.vdd_abs_max))
+    arr.hold(hours(stress_h))
+    if mixed_relax:
+        # A second stress segment with the inverse payload gives both
+        # inverters non-uniform relax clocks.
+        arr.write((1 - payload).astype(np.uint8))
+        arr.hold(hours(stress_h / 2))
+    arr.remove_power()
+    return arr
+
+
+@pytest.mark.parametrize("mixed_relax", [False, True])
+@pytest.mark.parametrize("seed", [0, 7])
+def test_fleet_refresh_is_bit_identical_to_reference(seed, mixed_relax):
+    a = _aged(seed, mixed_relax=mixed_relax)
+    b = _aged(seed, mixed_relax=mixed_relax)
+    sigma = a._effective_noise_sigma()
+    ref = a._refresh_capture_cache(sigma)
+    fast = b._fleet_refresh_capture_cache(sigma)
+    assert set(ref) == set(fast)
+    for key in ref:
+        left, right = ref[key], fast[key]
+        if isinstance(left, np.ndarray):
+            assert np.array_equal(left, right), key
+        else:
+            assert left == right, key
+
+
+def test_plan_rejects_bad_counts_and_powered_arrays():
+    arr = _aged(1)
+    with pytest.raises(ConfigurationError):
+        arr.plan_fleet_capture(0)
+    arr.apply_power()
+    assert arr.plan_fleet_capture(3) is None  # powered: loop handles it
+
+
+def test_plan_trajectories_accumulate_like_the_loop():
+    arr = _aged(2)
+    plan = arr.plan_fleet_capture(5, off_seconds=1.0)
+    assert plan is not None
+    p = arr.age_when_1.pending_relax
+    expected = []
+    for _ in range(5):
+        expected.append(p)
+        p += 1.0
+    assert plan["pend1"] == expected
+    assert plan["pend0"] == expected
+
+
+def test_commit_matches_loop_relax_and_stats():
+    arr = _aged(3)
+    twin = _aged(3)
+    plan = arr.plan_fleet_capture(3)
+    assert plan is not None
+    before = dict(arr.capture_stats)
+    arr.commit_fleet_capture(3, 1.0, plan["cache"]["band"].size)
+    # The loop equivalent: three deferred shelf gaps.
+    for _ in range(3):
+        twin._nbti.relax_uniform(twin.age_when_1, 1.0)
+        twin._nbti.relax_uniform(twin.age_when_0, 1.0)
+    assert arr.age_when_1.pending_relax == twin.age_when_1.pending_relax
+    assert arr.age_when_0.pending_relax == twin.age_when_0.pending_relax
+    assert arr.capture_stats["captures"] == before["captures"] + 3
+    assert (
+        arr.capture_stats["band_cells"]
+        == before["band_cells"] + 3 * plan["cache"]["band"].size
+    )
+
+
+def test_plan_refuses_burst_exceeding_drift_budget():
+    """A burst whose accumulated shelf relax would invalidate the cache
+    mid-flight returns None (the exact loop handles it) instead of
+    risking a divergent refresh point."""
+    arr = _aged(4)
+    sigma = arr._effective_noise_sigma()
+    arr._refresh_capture_cache(sigma)
+    giant_gap = 10 * 365 * 24 * 3600.0
+    assert arr.plan_fleet_capture(3, off_seconds=giant_gap) is None
