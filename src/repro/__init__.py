@@ -24,7 +24,14 @@ run any CLI command under ``repro --trace out.jsonl ...`` and inspect it
 with ``repro telemetry summarize out.jsonl``.
 """
 
-from . import metrics, monitor, telemetry, verify
+from . import api, metrics, monitor, service, telemetry, verify
+from .api import (
+    ReceiveRequest,
+    ReceiveResult,
+    SendRequest,
+    SendResult,
+    bits_digest,
+)
 from .bitutils import (
     Captures,
     bit_error_rate,
@@ -77,7 +84,14 @@ from .ecc import (
     hamming_7_4,
 )
 from .ecc.product import paper_end_to_end_code
-from .errors import QuarantinedDeviceError, ReproError, RetryExhaustedError
+from .errors import (
+    AdmissionError,
+    QuarantinedDeviceError,
+    ReproError,
+    RetryExhaustedError,
+    ServiceError,
+    ServiceStoppedError,
+)
 from .faults import (
     FaultInjector,
     FaultPlan,
@@ -90,6 +104,13 @@ from .harness.rack import EncodingRack, SlotResult
 from .io import load_captures, save_captures
 from .metrics import MetricsRegistry, TelemetryBridge
 from .monitor import AlertRule, FleetMonitor, default_slo_rules
+from .service import (
+    FleetService,
+    LoadGenerator,
+    ServiceClient,
+    ServiceConfig,
+    serve_forever,
+)
 from .puf import (
     FuzzyExtractor,
     PowerOnTrng,
@@ -104,6 +125,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AES",
+    "AdmissionError",
     "AesCbc",
     "AesCtr",
     "AlertRule",
@@ -125,22 +147,32 @@ __all__ = [
     "FaultInjector",
     "FaultPlan",
     "FleetMonitor",
+    "FleetService",
     "FrameFormat",
     "FuzzyExtractor",
     "HammingCode",
     "HealthLedger",
     "InvisibleBits",
+    "LoadGenerator",
     "MetricsRegistry",
     "MultipleSnapshotAdversary",
     "NormalOperationPrng",
     "PowerOnTrng",
     "PowerSupply",
     "QuarantinedDeviceError",
+    "ReceiveRequest",
+    "ReceiveResult",
     "RepetitionCode",
     "ReproError",
     "RetryExhaustedError",
     "RetryPolicy",
     "SRAMArray",
+    "SendRequest",
+    "SendResult",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceError",
+    "ServiceStoppedError",
     "SlotResult",
     "SramPuf",
     "SteganalysisReport",
@@ -151,7 +183,9 @@ __all__ = [
     "adversarial_aging_attack",
     "all_device_specs",
     "analyze_power_on_state",
+    "api",
     "bit_error_rate",
+    "bits_digest",
     "bits_to_bytes",
     "bsc_capacity",
     "bytes_to_bits",
@@ -182,6 +216,8 @@ __all__ = [
     "plan_scheme",
     "restore_encoding",
     "save_captures",
+    "serve_forever",
+    "service",
     "shannon_entropy",
     "telemetry",
     "transient_capture_plan",

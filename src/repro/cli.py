@@ -18,14 +18,23 @@ Commands:
   report the schedule, counters and escalation provenance;
 - ``verify`` — sweep the seeded differential verification oracles
   (``repro.verify``) and optionally the mutation smoke that plants known
-  defects the oracles must catch.
+  defects the oracles must catch;
+- ``serve`` — run the sharded async encode/decode service
+  (:mod:`repro.service`) with its HTTP frontend until SIGINT/SIGTERM,
+  ``POST /shutdown``, or ``--duration`` elapses, then drain gracefully;
+- ``load`` — fire a deterministic send→receive→verify soak at a running
+  service and exit nonzero unless every message is accounted for.
 
-The global ``--fault-plan SPEC`` option (a JSON plan path or a compact
-spec like ``flaky:0.02``) runs any command with fault injection enabled
-on every control board — equivalent to setting ``REPRO_FAULT_PLAN``.
-The global ``--metrics-out PATH`` option enables the metrics registry,
-bridges telemetry into it, and writes the Prometheus exposition to PATH
-when the command finishes.
+The global options — ``--trace PATH``, ``--fault-plan SPEC``,
+``--metrics-out PATH`` — live in one shared parent parser, so they are
+accepted both before and after any subcommand (``repro --trace t.jsonl
+serve`` and ``repro serve --trace t.jsonl`` are the same invocation).
+``--fault-plan`` (a JSON plan path or a compact spec like
+``flaky:0.02``) runs the command with fault injection enabled on every
+control board — equivalent to setting ``REPRO_FAULT_PLAN``.
+``--metrics-out`` enables the metrics registry, bridges telemetry into
+it, and writes the Prometheus exposition to PATH when the command
+finishes.
 """
 
 from __future__ import annotations
@@ -399,6 +408,73 @@ def _cmd_verify(args) -> int:
     return 0 if summary.ok else 1
 
 
+def _cmd_serve(args) -> int:
+    """Run the sharded fleet service with its HTTP frontend."""
+    import json
+
+    from .faults import FaultPlan
+    from .service import ServiceConfig, serve_forever
+
+    plan = (
+        FaultPlan.from_spec(args.shard_fault_plan)
+        if args.shard_fault_plan
+        else None
+    )
+    fault_shards = tuple(
+        name for name in (args.fault_shards or "").split(",") if name
+    )
+    config = ServiceConfig(
+        shards=args.shards,
+        queue_depth=args.queue_depth,
+        max_batch=args.max_batch,
+        device_name=args.device,
+        sram_kib=args.sram_kib,
+        seed=args.seed,
+        host=args.host,
+        port=args.port,
+        fault_plan=plan,
+        fault_shards=fault_shards,
+    )
+
+    def on_ready(service) -> None:
+        print(
+            f"serving {config.shards} shards on "
+            f"http://{config.host}:{service.port} "
+            "(SIGINT/SIGTERM or POST /shutdown drains and exits)",
+            flush=True,
+        )
+
+    stats = serve_forever(config, duration=args.duration, on_ready=on_ready)
+    print(json.dumps(stats, indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_load(args) -> int:
+    """Soak a running service; nonzero exit unless fully accounted."""
+    import json
+
+    from .service import LoadGenerator, ServiceClient
+
+    generator = LoadGenerator(
+        seed=args.seed,
+        message_bytes=args.message_bytes,
+        stress_hours=args.stress_hours,
+    )
+    client = ServiceClient(args.url, timeout=args.timeout)
+    report = generator.run_remote(
+        client, args.messages, concurrency=args.concurrency
+    )
+    print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    ok = report.lost == 0 and report.mismatched == 0 and report.failed == 0
+    if not ok:
+        print(
+            f"soak failed: lost={report.lost} failed={report.failed} "
+            f"mismatched={report.mismatched}",
+            file=sys.stderr,
+        )
+    return 0 if ok else 1
+
+
 def _cmd_experiment(args) -> int:
     if args.list or not args.id:
         for exp_id in sorted(EXPERIMENTS):
@@ -425,34 +501,59 @@ def _cmd_experiment(args) -> int:
     return 0
 
 
-def build_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
-        prog="repro",
-        description="Invisible Bits (ASPLOS 2022) reproduction toolkit",
-    )
-    parser.add_argument(
+def _global_options() -> argparse.ArgumentParser:
+    """The shared parent parser carrying the cross-command options.
+
+    Attached to the root parser *and* to every subcommand, so the flags
+    work in either position.  Defaults are ``argparse.SUPPRESS`` — a
+    subcommand parse must never clobber a value the root already set —
+    and :func:`main` reads them with ``getattr(args, name, None)``.
+    """
+    parent = argparse.ArgumentParser(add_help=False)
+    group = parent.add_argument_group("global options")
+    group.add_argument(
         "--trace",
         metavar="PATH",
-        default=None,
+        default=argparse.SUPPRESS,
         help="write a JSONL telemetry trace of the command to PATH "
         "(inspect with `repro telemetry summarize PATH`)",
     )
-    parser.add_argument(
+    group.add_argument(
         "--fault-plan",
         metavar="SPEC",
-        default=None,
+        default=argparse.SUPPRESS,
         help="enable fault injection on every control board: a JSON plan "
         "path or compact spec like 'flaky:0.02' or "
         "'brownout:0.05,flaky:0.01@seed=7' (see docs/faults.md)",
     )
-    parser.add_argument(
+    group.add_argument(
         "--metrics-out",
         metavar="PATH",
-        default=None,
+        default=argparse.SUPPRESS,
         help="enable the metrics registry for the command and write the "
         "Prometheus exposition to PATH afterwards (see docs/metrics.md)",
     )
-    sub = parser.add_subparsers(dest="command", required=True)
+    return parent
+
+
+def build_parser() -> argparse.ArgumentParser:
+    common = _global_options()
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Invisible Bits (ASPLOS 2022) reproduction toolkit",
+        parents=[common],
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    class _Sub:
+        """``sub.add_parser`` that threads the shared global options in."""
+
+        @staticmethod
+        def add_parser(name: str, **kwargs) -> argparse.ArgumentParser:
+            kwargs.setdefault("parents", [common])
+            return subparsers.add_parser(name, **kwargs)
+
+    sub = _Sub()
 
     sub.add_parser("list-devices", help="show the Table 1 catalog").set_defaults(
         func=_cmd_list_devices
@@ -594,22 +695,77 @@ def build_parser() -> argparse.ArgumentParser:
                         help="also replay the planted defects and require "
                         "every one to be caught")
     verify.set_defaults(func=_cmd_verify)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the sharded async encode/decode service (docs/service.md)",
+    )
+    serve.add_argument("--shards", type=int, default=4,
+                       help="number of execution lanes (default 4)")
+    serve.add_argument("--queue-depth", type=int, default=64,
+                       help="bounded queue depth per shard (default 64)")
+    serve.add_argument("--max-batch", type=int, default=8,
+                       help="max jobs per worker batch (default 8)")
+    serve.add_argument("--device", default="MSP430G2553")
+    serve.add_argument("--sram-kib", type=float, default=0.25)
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8642,
+                       help="HTTP port; 0 picks an ephemeral one "
+                       "(default 8642)")
+    serve.add_argument("--duration", type=float, default=None,
+                       help="exit (with a graceful drain) after this many "
+                       "seconds instead of waiting for a signal")
+    serve.add_argument("--fault-shards", default=None, metavar="NAMES",
+                       help="comma-separated shard names (e.g. 'shard-2') "
+                       "whose harness lane runs under --shard-fault-plan")
+    serve.add_argument("--shard-fault-plan", default=None, metavar="SPEC",
+                       help="fault plan (JSON path or compact spec) for the "
+                       "lanes named by --fault-shards; unlike the global "
+                       "--fault-plan this is lane-scoped, not fleet-wide")
+    serve.set_defaults(func=_cmd_serve)
+
+    load = sub.add_parser(
+        "load",
+        help="soak a running service with verified send/receive traffic",
+    )
+    load.add_argument("--url", default="http://127.0.0.1:8642",
+                      help="service endpoint (default http://127.0.0.1:8642)")
+    load.add_argument("--messages", type=int, default=200,
+                      help="messages to round-trip (default 200)")
+    load.add_argument("--concurrency", type=int, default=8,
+                      help="parallel client workers (default 8)")
+    load.add_argument("--message-bytes", type=int, default=8,
+                      help="payload size per message (default 8)")
+    load.add_argument("--seed", type=int, default=0,
+                      help="device-id/payload seed (default 0)")
+    load.add_argument("--timeout", type=float, default=120.0,
+                      help="per-request HTTP timeout in seconds")
+    load.add_argument("--stress-hours", type=float, default=None,
+                      help="encode stress per message (default: device "
+                           "recipe; raise for raw-BER margin on big soaks)")
+    load.set_defaults(func=_cmd_load)
     return parser
 
 
 def main(argv: "list[str] | None" = None) -> int:
     args = build_parser().parse_args(argv)
+    # The shared global options use SUPPRESS defaults (so a subcommand
+    # parse never clobbers a root-position value) — read them defensively.
+    fault_plan = getattr(args, "fault_plan", None)
+    metrics_out = getattr(args, "metrics_out", None)
+    trace = getattr(args, "trace", None)
 
     def run() -> int:
-        if not args.fault_plan:
+        if not fault_plan:
             return args.func(args)
         import os
 
         from .faults import FaultPlan
 
-        FaultPlan.from_spec(args.fault_plan)  # fail fast on a bad spec
+        FaultPlan.from_spec(fault_plan)  # fail fast on a bad spec
         previous = os.environ.get("REPRO_FAULT_PLAN")
-        os.environ["REPRO_FAULT_PLAN"] = args.fault_plan
+        os.environ["REPRO_FAULT_PLAN"] = fault_plan
         try:
             return args.func(args)
         finally:
@@ -618,7 +774,7 @@ def main(argv: "list[str] | None" = None) -> int:
             else:
                 os.environ["REPRO_FAULT_PLAN"] = previous
 
-    if args.metrics_out:
+    if metrics_out:
         inner = run
 
         def run() -> int:
@@ -637,14 +793,14 @@ def main(argv: "list[str] | None" = None) -> int:
                 exposition = metrics.registry.expose()
                 if not was_enabled:
                     metrics.registry.disable()
-                pathlib.Path(args.metrics_out).write_text(
+                pathlib.Path(metrics_out).write_text(
                     exposition, encoding="utf-8"
                 )
 
-    if args.trace:
+    if trace:
         from . import telemetry
 
-        sink = telemetry.JsonlSink(args.trace)
+        sink = telemetry.JsonlSink(trace)
         telemetry.add_sink(sink)
         try:
             return run()

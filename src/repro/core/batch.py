@@ -16,6 +16,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from .. import telemetry
+from ..api import SendResult, bits_digest
 from ..errors import ConfigurationError, DeviceError, SlotError
 from ..faults import FaultInjector, FaultPlan, RetryPolicy
 from ..harness.controlboard import ControlBoard
@@ -41,12 +42,17 @@ class FleetSelection:
     ``failures`` holds the :class:`~repro.errors.SlotError` of every
     candidate that could not be encoded or measured (empty on a healthy
     fleet); ``members`` contains only the survivors, ranked.
+    ``results`` carries one :class:`~repro.api.SendResult` per survivor
+    (probe payloads are raw unframed bits, so ``coded_bits`` equals the
+    array size) — the same typed surface the pipeline and the service
+    frontend return.
     """
 
     members: list[FleetMember]
     winner: FleetMember
     scheme: "object"  # repro.ecc Code
     failures: "tuple[SlotError, ...]" = ()
+    results: "tuple[SendResult, ...]" = ()
 
     @property
     def errors(self) -> list[float]:
@@ -192,6 +198,21 @@ def encode_fleet(
             ) from failures[0]
         members.sort(key=lambda m: m.measured_error)
         winner = members[0]
+        send_results = tuple(
+            SendResult(
+                device_id=m.board.device.device_id.hex(),
+                message_bytes=n_bits // 8,
+                coded_bits=n_bits,
+                stress_hours=(
+                    stress_hours
+                    if stress_hours is not None
+                    else m.board.device.spec.recipe.stress_hours
+                ),
+                encrypted=False,
+                payload_digest=bits_digest(payloads[m.index]),
+            )
+            for m in members
+        )
         scheme = plan_scheme(max(winner.measured_error, 1e-6), target_error)
         span.set(
             winner_index=winner.index,
@@ -201,5 +222,9 @@ def encode_fleet(
             scheme=getattr(scheme, "name", str(scheme)),
         )
         return FleetSelection(
-            members=members, winner=winner, scheme=scheme, failures=failures
+            members=members,
+            winner=winner,
+            scheme=scheme,
+            failures=failures,
+            results=send_results,
         )

@@ -29,6 +29,14 @@ from dataclasses import dataclass
 import numpy as np
 
 from .. import metrics, telemetry
+from ..api import (
+    ReceiveRequest,
+    ReceiveResult,
+    SendRequest,
+    SendResult,
+    receive_result,
+    send_result,
+)
 from ..bitutils import Captures, bit_error_rate, invert_bits, majority_vote
 from ..crypto.ctr import AesCtr
 from ..ecc.base import Code
@@ -188,9 +196,9 @@ class InvisibleBits:
             )
         if legacy:
             warnings.warn(
-                "InvisibleBits(key=, ecc=, frame=, n_captures=) is deprecated; "
-                "build a repro.CodingScheme once and pass scheme=... on both "
-                "ends",
+                "InvisibleBits(key=, ecc=, frame=, n_captures=) is deprecated "
+                "and will be removed in repro 2.0; build a repro.CodingScheme "
+                "once and pass scheme=... on both ends",
                 DeprecationWarning,
                 stacklevel=2,
             )
@@ -297,6 +305,38 @@ class InvisibleBits:
                 encrypted=self.scheme.encrypted,
             )
 
+    def handle_send(self, request: SendRequest) -> SendResult:
+        """Serve one typed :class:`~repro.api.SendRequest`.
+
+        The request's ``device_id`` is an opaque routing key echoed onto
+        the result — this channel is already bound to its board, so no
+        lookup happens here.  This is the same entry point
+        ``repro.service`` shards call for queued jobs.
+        """
+        encode = self.send(
+            request.message,
+            stress_hours=request.stress_hours,
+            camouflage=request.camouflage,
+        )
+        return send_result(request.device_id, encode)
+
+    def handle_receive(
+        self,
+        request: ReceiveRequest,
+        *,
+        expected_payload: "np.ndarray | None" = None,
+    ) -> ReceiveResult:
+        """Serve one typed :class:`~repro.api.ReceiveRequest`.
+
+        ``expected_payload`` has the same truth-diagnostics role as in
+        :meth:`receive`; the service passes the payload it staged earlier
+        for the same ``device_id`` so raw-BER SLOs see real numbers.
+        """
+        decode = self.receive(
+            message_len=request.message_len, expected_payload=expected_payload
+        )
+        return receive_result(request.device_id, decode)
+
     # -- Algorithm 2 -----------------------------------------------------------------
 
     def recover_payload(self) -> tuple[np.ndarray, np.ndarray]:
@@ -370,6 +410,56 @@ class InvisibleBits:
                 )
             )
         return message, recovered, corrections
+
+    def decode_state(
+        self,
+        state: np.ndarray,
+        *,
+        message_len: "int | None" = None,
+        expected_payload: "np.ndarray | None" = None,
+        n_captures: "int | None" = None,
+    ) -> DecodeResult:
+        """Decode an already-voted power-on state (no new captures).
+
+        The batched-service fast path: a fleet-stacked capture burst
+        (:func:`repro.core.fleetcapture.capture_fleet`) measures a whole
+        tray in one kernel call and hands each slot's majority state
+        here for the post-processing half of Algorithm 2 — invert,
+        decrypt, ECC-decode.  ``n_captures`` records how many captures
+        produced ``state`` (defaults to the scheme's count); adaptive
+        escalation never fires on this path, so an undecodable state
+        raises :class:`~repro.errors.CodecError` /
+        :class:`~repro.errors.ExtractionError` for the caller to fall
+        back to the full :meth:`receive`.
+        """
+        votes = self.n_captures if n_captures is None else int(n_captures)
+        with telemetry.trace(
+            "channel.decode_state", force=True, **self._span_attrs()
+        ) as span:
+            message, recovered, corrections = self._attempt_decode(
+                state, message_len
+            )
+            raw_error = None
+            if expected_payload is not None:
+                raw_error = bit_error_rate(expected_payload, recovered)
+            span.set(
+                n_captures=votes,
+                raw_error_vs=raw_error,
+                ecc_corrections=corrections,
+                message_bytes=len(message),
+            )
+            _MESSAGES_TOTAL.inc(
+                phase="receive", device=self.board.device.spec.name
+            )
+            return DecodeResult(
+                message=message,
+                power_on_state=state,
+                recovered_payload=recovered,
+                n_captures=votes,
+                raw_error_vs=raw_error,
+                ecc_corrections=corrections,
+                total_captures=votes,
+            )
 
     def receive(
         self,

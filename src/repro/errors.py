@@ -126,3 +126,25 @@ class CapacityError(ReproError):
 class ExtractionError(ReproError):
     """Message extraction failed end-to-end (e.g. residual errors after ECC
     corrupted a length header beyond recovery)."""
+
+
+class ServiceError(ReproError):
+    """Base class for :mod:`repro.service` frontend failures."""
+
+
+class AdmissionError(ServiceError):
+    """The service refused (shed) a job at admission time.
+
+    Raised when every shard is tripped/quarantined, or when the target
+    shard's queue is full and the submitter asked not to wait.  The job
+    never entered a queue — resubmitting later is always safe.
+    ``shard`` names the shard that refused, when one was selected.
+    """
+
+    def __init__(self, message: str, *, shard: "str | None" = None):
+        self.shard = shard
+        super().__init__(message)
+
+
+class ServiceStoppedError(ServiceError):
+    """The service is draining or stopped and accepts no new jobs."""

@@ -75,6 +75,25 @@ class HealthLedger:
             self._quarantined.discard(slot)
             self._streaks[slot] = 0
 
+    def reset(self, slot) -> bool:
+        """Fully re-admit a repaired slot and forget its history.
+
+        Unlike :meth:`release` (which keeps a zeroed streak entry on the
+        books), ``reset`` erases the slot from the ledger entirely — the
+        next failure starts a fresh streak, exactly as if the device had
+        just been inserted.  Returns ``True`` when the slot was actually
+        quarantined, so operators (and the service's re-admission path)
+        can tell a repair from a no-op; a real re-admission ticks the
+        ``slots.reset`` telemetry counter.
+        """
+        with self._lock:
+            was_quarantined = slot in self._quarantined
+            self._quarantined.discard(slot)
+            self._streaks.pop(slot, None)
+        if was_quarantined:
+            telemetry.count("slots.reset")
+        return was_quarantined
+
     def failures(self, slot) -> int:
         """The slot's current consecutive-failure streak."""
         with self._lock:

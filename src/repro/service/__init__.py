@@ -1,0 +1,39 @@
+"""Fleet-as-a-service: the sharded async encode/decode frontend.
+
+The serving layer (docs/service.md) behind ``repro serve``:
+
+- :class:`~repro.service.server.FleetService` — asyncio job queues in
+  front of sharded execution lanes, SLO-driven shed/reroute, graceful
+  drain, and an optional stdlib HTTP surface (``/metrics``, ``/send``,
+  ``/receive``, ...).
+- :class:`~repro.service.shards.Shard` / :class:`FleetHost` — compute
+  lanes over a shared simulated fleet; routing never changes device
+  bits.
+- :class:`~repro.service.admission.AdmissionController` — healthy-set
+  bookkeeping on a :class:`~repro.faults.HealthLedger`.
+- :class:`~repro.service.client.ServiceClient` /
+  :class:`LoadGenerator` — the HTTP client and the deterministic
+  send→receive→verify soak driver behind ``repro load``.
+"""
+
+from .admission import AdmissionController
+from .client import LoadGenerator, LoadReport, ServiceClient
+from .queue import BoundedJobQueue, Job
+from .server import FleetService, ServiceConfig, serve_forever
+from .shards import FleetHost, Shard, ShardRouter, stable_seed
+
+__all__ = [
+    "AdmissionController",
+    "BoundedJobQueue",
+    "FleetHost",
+    "FleetService",
+    "Job",
+    "LoadGenerator",
+    "LoadReport",
+    "ServiceClient",
+    "ServiceConfig",
+    "Shard",
+    "ShardRouter",
+    "serve_forever",
+    "stable_seed",
+]

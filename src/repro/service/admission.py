@@ -1,0 +1,100 @@
+"""Admission control: who gets in, who gets shed, who gets re-admitted.
+
+The controller owns the healthy-shard set the router draws from.  A
+shard whose SLO monitor pages is **tripped** — recorded as a quarantine
+in a :class:`~repro.faults.HealthLedger` keyed by shard name (the same
+ledger the racks use for slots, reused one level up) — and its queued
+jobs reroute to the surviving lanes.  Operators (or tests) re-admit a
+repaired lane with :meth:`AdmissionController.readmit`, which goes
+through :meth:`HealthLedger.reset` so the lane returns with a clean
+history.
+
+Shedding is the other half: when no healthy lane exists, or the target
+lane's queue is full and the caller refused to wait, admission raises
+:class:`~repro.errors.AdmissionError` *before* the job enters a queue —
+a shed job is never half-done, resubmitting is always safe.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from ..errors import AdmissionError, ConfigurationError
+from ..faults import HealthLedger
+
+__all__ = ["AdmissionController"]
+
+
+class AdmissionController:
+    """Healthy-set bookkeeping plus shed accounting for the service."""
+
+    def __init__(self, shard_names: "tuple[str, ...] | list[str]"):
+        names = tuple(shard_names)
+        if not names:
+            raise ConfigurationError("admission needs at least one shard")
+        self._all = names
+        self._ledger = HealthLedger(quarantine_after=1)
+        self._lock = threading.Lock()
+        self._trip_reasons: "dict[str, str]" = {}
+        self.shed = 0
+
+    @property
+    def healthy(self) -> "set[str]":
+        return {
+            name for name in self._all if not self._ledger.is_quarantined(name)
+        }
+
+    @property
+    def tripped(self) -> "dict[str, str]":
+        """Tripped shard → reason, in trip order."""
+        with self._lock:
+            return dict(self._trip_reasons)
+
+    def is_healthy(self, name: str) -> bool:
+        return not self._ledger.is_quarantined(name)
+
+    def trip(self, name: str, reason: str) -> bool:
+        """Quarantine a shard; returns True on the healthy→tripped edge."""
+        if name not in self._all:
+            raise ConfigurationError(f"unknown shard {name!r}")
+        newly = self._ledger.record_failure(name)
+        if newly:
+            with self._lock:
+                self._trip_reasons[name] = reason
+        return newly
+
+    def readmit(self, name: str) -> bool:
+        """Re-admit a repaired shard with a clean ledger history."""
+        if name not in self._all:
+            raise ConfigurationError(f"unknown shard {name!r}")
+        was_tripped = self._ledger.reset(name)
+        with self._lock:
+            self._trip_reasons.pop(name, None)
+        return was_tripped
+
+    def count_shed(self) -> None:
+        with self._lock:
+            self.shed += 1
+
+    def require_capacity(self, shard: "str | None") -> str:
+        """Admission gate: a healthy shard name, or AdmissionError.
+
+        ``shard`` is the router's pick over the current healthy set;
+        ``None`` means the pool was empty.
+        """
+        if shard is None:
+            self.count_shed()
+            tripped = len(self._all) - len(self.healthy)
+            raise AdmissionError(
+                f"no healthy shards: {tripped}/{len(self._all)} lanes tripped"
+            )
+        return shard
+
+    def stats(self) -> dict:
+        healthy = self.healthy
+        return {
+            "shards": list(self._all),
+            "healthy": sorted(healthy),
+            "tripped": self.tripped,
+            "shed": self.shed,
+        }

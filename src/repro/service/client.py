@@ -1,0 +1,330 @@
+"""Clients for the fleet service: HTTP wrapper and load generator.
+
+:class:`ServiceClient` is the thin synchronous wrapper over the service
+HTTP surface (stdlib ``http.client`` — the container has no requests
+library, and none is needed for a loopback control plane).
+
+:class:`LoadGenerator` drives soak traffic: every message gets a fresh
+deterministic ``device_id`` and payload (blake2b of the run seed and
+index), goes through send → receive, and is verified byte-exact on the
+way back.  It runs either **in-process** against a
+:class:`~repro.service.server.FleetService` (the bench path — no socket
+overhead in the measured number) or **remotely** against a URL (the CI
+smoke path).  The resulting :class:`LoadReport` carries the invariant
+the soak tests pin: ``lost == 0`` — every submitted message is accounted
+for as completed, failed, or shed.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import json
+import time
+from dataclasses import dataclass, field
+from http.client import HTTPConnection
+from urllib.parse import urlsplit
+
+from ..api import ReceiveRequest, ReceiveResult, SendRequest, SendResult
+from ..errors import (
+    AdmissionError,
+    ConfigurationError,
+    ReproError,
+    ServiceError,
+)
+
+__all__ = ["LoadGenerator", "LoadReport", "ServiceClient"]
+
+
+class ServiceClient:
+    """Synchronous HTTP client for one service endpoint.
+
+    Each call opens a fresh connection (the server replies
+    ``Connection: close``); errors the service classified come back as
+    the matching :mod:`repro.errors` type — 429 →
+    :class:`~repro.errors.AdmissionError`, 5xx →
+    :class:`~repro.errors.ServiceError`.
+    """
+
+    def __init__(self, url: str, *, timeout: float = 60.0):
+        parts = urlsplit(url if "//" in url else f"http://{url}")
+        if not parts.hostname:
+            raise ConfigurationError(f"bad service url {url!r}")
+        self.host = parts.hostname
+        self.port = parts.port or 80
+        self.timeout = timeout
+
+    def _request(self, method: str, path: str, payload: "dict | None" = None):
+        conn = HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            body = json.dumps(payload).encode() if payload is not None else None
+            headers = {"Content-Type": "application/json"} if body else {}
+            conn.request(method, path, body=body, headers=headers)
+            response = conn.getresponse()
+            raw = response.read()
+            return response.status, raw
+        except OSError as exc:
+            raise ServiceError(
+                f"cannot reach service at {self.host}:{self.port}: {exc}"
+            ) from exc
+        finally:
+            conn.close()
+
+    def _json(self, method: str, path: str, payload: "dict | None" = None):
+        status, raw = self._request(method, path, payload)
+        try:
+            data = json.loads(raw.decode() or "{}")
+        except ValueError:
+            data = {"error": raw.decode(errors="replace")}
+        if status == 429:
+            raise AdmissionError(
+                str(data.get("error", "shed")), shard=data.get("shard")
+            )
+        if status >= 400:
+            detail = data.get("error", repr(raw))
+            raise ServiceError(f"HTTP {status} on {method} {path}: {detail}")
+        return data
+
+    def send(self, request: SendRequest) -> SendResult:
+        return SendResult.from_dict(
+            self._json("POST", "/send", request.to_dict())
+        )
+
+    def receive(self, request: ReceiveRequest) -> ReceiveResult:
+        return ReceiveResult.from_dict(
+            self._json("POST", "/receive", request.to_dict())
+        )
+
+    def metrics(self) -> str:
+        status, raw = self._request("GET", "/metrics")
+        if status != 200:
+            raise ServiceError(f"HTTP {status} on GET /metrics")
+        return raw.decode()
+
+    def healthz(self) -> dict:
+        status, raw = self._request("GET", "/healthz")
+        data = json.loads(raw.decode() or "{}")
+        data["http_status"] = status
+        return data
+
+    def stats(self) -> dict:
+        return self._json("GET", "/stats")
+
+    def shutdown(self) -> dict:
+        return self._json("POST", "/shutdown")
+
+
+@dataclass(frozen=True)
+class LoadReport:
+    """Accounting for one load run; ``lost`` must always be zero."""
+
+    messages: int
+    completed: int
+    failed: int
+    shed: int
+    mismatched: int
+    elapsed_s: float
+    errors: "tuple[str, ...]" = field(default=())
+
+    @property
+    def lost(self) -> int:
+        """Messages not accounted for — the zero-lost-jobs invariant."""
+        return self.messages - self.completed - self.failed - self.shed
+
+    @property
+    def throughput_msgs_per_s(self) -> float:
+        return self.completed / self.elapsed_s if self.elapsed_s > 0 else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "messages": self.messages,
+            "completed": self.completed,
+            "failed": self.failed,
+            "shed": self.shed,
+            "mismatched": self.mismatched,
+            "lost": self.lost,
+            "elapsed_s": self.elapsed_s,
+            "throughput_msgs_per_s": self.throughput_msgs_per_s,
+            "errors": list(self.errors),
+        }
+
+
+def _payload_for(seed: int, index: int, message_bytes: int) -> bytes:
+    """Deterministic per-message payload: reproducible and self-checking."""
+    out = b""
+    counter = 0
+    while len(out) < message_bytes:
+        out += hashlib.blake2b(
+            f"{seed}:{index}:{counter}".encode(), digest_size=32
+        ).digest()
+        counter += 1
+    return out[:message_bytes]
+
+
+class LoadGenerator:
+    """Deterministic send→receive→verify traffic against a service."""
+
+    def __init__(
+        self,
+        *,
+        seed: int = 0,
+        message_bytes: int = 8,
+        stress_hours: "float | None" = None,
+    ):
+        if message_bytes < 1:
+            raise ConfigurationError(
+                f"message_bytes must be >= 1, got {message_bytes}"
+            )
+        if stress_hours is not None and stress_hours <= 0:
+            raise ConfigurationError(
+                f"stress_hours must be positive, got {stress_hours}"
+            )
+        self.seed = seed
+        self.message_bytes = message_bytes
+        #: Encode stress per message (None = the device recipe default).
+        #: Longer stress buys raw-BER margin at the tail of a large
+        #: varied fleet (the paper's stress-time-vs-error tradeoff), so
+        #: big soaks run hotter than the 12 h recipe default.
+        self.stress_hours = stress_hours
+
+    def device_id(self, index: int) -> str:
+        return f"dev-{self.seed}-{index:06d}"
+
+    def message(self, index: int) -> bytes:
+        return _payload_for(self.seed, index, self.message_bytes)
+
+    async def run(
+        self,
+        service,
+        n_messages: int,
+        *,
+        concurrency: int = 32,
+        wait: bool = True,
+    ) -> LoadReport:
+        """In-process soak against a started :class:`FleetService`."""
+        if n_messages < 1:
+            raise ConfigurationError(f"need >= 1 message, got {n_messages}")
+        if concurrency < 1:
+            raise ConfigurationError(
+                f"concurrency must be >= 1, got {concurrency}"
+            )
+        gate = asyncio.Semaphore(concurrency)
+        completed = failed = shed = mismatched = 0
+        errors: "list[str]" = []
+        lock = asyncio.Lock()
+
+        async def one(index: int) -> None:
+            nonlocal completed, failed, shed, mismatched
+            device_id = self.device_id(index)
+            message = self.message(index)
+            async with gate:
+                try:
+                    await service.submit(
+                        SendRequest(
+                            device_id=device_id,
+                            message=message,
+                            stress_hours=self.stress_hours,
+                        ),
+                        wait=wait,
+                    )
+                    result = await service.submit(
+                        ReceiveRequest(device_id=device_id), wait=wait
+                    )
+                except AdmissionError as exc:
+                    async with lock:
+                        shed += 1
+                        if len(errors) < 10:
+                            errors.append(f"{device_id}: shed: {exc}")
+                    return
+                except ReproError as exc:
+                    async with lock:
+                        failed += 1
+                        if len(errors) < 10:
+                            errors.append(
+                                f"{device_id}: {type(exc).__name__}: {exc}"
+                            )
+                    return
+                async with lock:
+                    completed += 1
+                    if result.message != message:
+                        mismatched += 1
+                        if len(errors) < 10:
+                            errors.append(f"{device_id}: payload mismatch")
+
+        start = time.perf_counter()
+        await asyncio.gather(*(one(i) for i in range(n_messages)))
+        elapsed = time.perf_counter() - start
+        return LoadReport(
+            messages=n_messages,
+            completed=completed,
+            failed=failed,
+            shed=shed,
+            mismatched=mismatched,
+            elapsed_s=elapsed,
+            errors=tuple(errors),
+        )
+
+    def run_remote(
+        self,
+        client: ServiceClient,
+        n_messages: int,
+        *,
+        concurrency: int = 8,
+    ) -> LoadReport:
+        """Threaded soak over HTTP (the CI smoke path)."""
+        from concurrent.futures import ThreadPoolExecutor
+
+        if n_messages < 1:
+            raise ConfigurationError(f"need >= 1 message, got {n_messages}")
+        counters = {"completed": 0, "failed": 0, "shed": 0, "mismatched": 0}
+        errors: "list[str]" = []
+        import threading
+
+        lock = threading.Lock()
+
+        def one(index: int) -> None:
+            device_id = self.device_id(index)
+            message = self.message(index)
+            try:
+                client.send(
+                    SendRequest(
+                        device_id=device_id,
+                        message=message,
+                        stress_hours=self.stress_hours,
+                    )
+                )
+                result = client.receive(ReceiveRequest(device_id=device_id))
+            except AdmissionError as exc:
+                with lock:
+                    counters["shed"] += 1
+                    if len(errors) < 10:
+                        errors.append(f"{device_id}: shed: {exc}")
+                return
+            except ReproError as exc:
+                with lock:
+                    counters["failed"] += 1
+                    if len(errors) < 10:
+                        errors.append(
+                            f"{device_id}: {type(exc).__name__}: {exc}"
+                        )
+                return
+            with lock:
+                counters["completed"] += 1
+                if result.message != message:
+                    counters["mismatched"] += 1
+                    if len(errors) < 10:
+                        errors.append(f"{device_id}: payload mismatch")
+
+        start = time.perf_counter()
+        with ThreadPoolExecutor(max_workers=concurrency) as pool:
+            list(pool.map(one, range(n_messages)))
+        elapsed = time.perf_counter() - start
+        return LoadReport(
+            messages=n_messages,
+            completed=counters["completed"],
+            failed=counters["failed"],
+            shed=counters["shed"],
+            mismatched=counters["mismatched"],
+            elapsed_s=elapsed,
+            errors=tuple(errors),
+        )

@@ -1,0 +1,111 @@
+"""Bounded per-shard job queues: the service's backpressure primitive.
+
+One :class:`BoundedJobQueue` per shard.  ``await put(job)`` blocks while
+the queue is full — that blocking *is* the backpressure a cooperative
+submitter feels; an impatient submitter (``wait=False`` at the service
+layer) is shed with :class:`~repro.errors.AdmissionError` before ever
+touching the queue.  Workers pull with :meth:`BoundedJobQueue.get_batch`
+— one blocking get, then an opportunistic non-blocking drain — so a busy
+queue naturally hands the shard kernel-sized receive groups while an
+idle one stays latency-bound at batch size 1.
+
+Unfinished-job accounting mirrors :class:`asyncio.Queue`: every dequeued
+job must be :meth:`~BoundedJobQueue.task_done`'d (the worker does this in
+a ``finally``), and :meth:`~BoundedJobQueue.join` returns only when the
+queue is empty *and* nothing is in flight — the graceful-drain primitive.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+
+from ..api import ReceiveRequest, SendRequest
+
+__all__ = ["BoundedJobQueue", "Job"]
+
+#: Job kinds, in the order requests map to them.
+KINDS = ("send", "receive")
+
+
+@dataclass
+class Job:
+    """One queued unit of work: a typed request plus its delivery future.
+
+    ``shard`` is the name of the shard currently holding the job (set at
+    enqueue time, updated on reroute); ``reroutes`` counts how many times
+    SLO trips bounced it to another shard — capped by the service so a
+    fully-sick fleet fails jobs instead of ping-ponging them forever.
+    """
+
+    kind: str
+    request: "SendRequest | ReceiveRequest"
+    future: asyncio.Future
+    shard: "str | None" = None
+    reroutes: int = 0
+
+    @classmethod
+    def for_request(
+        cls, request: "SendRequest | ReceiveRequest", future: asyncio.Future
+    ) -> "Job":
+        kind = "send" if isinstance(request, SendRequest) else "receive"
+        return cls(kind=kind, request=request, future=future)
+
+
+class BoundedJobQueue:
+    """An :class:`asyncio.Queue` with batch pulls and depth stats."""
+
+    def __init__(self, maxsize: int):
+        if maxsize < 1:
+            raise ValueError(f"queue maxsize must be >= 1, got {maxsize}")
+        self.maxsize = maxsize
+        self._queue: "asyncio.Queue[Job]" = asyncio.Queue(maxsize)
+        self.enqueued = 0
+        self.high_watermark = 0
+
+    def qsize(self) -> int:
+        return self._queue.qsize()
+
+    def full(self) -> bool:
+        return self._queue.full()
+
+    def empty(self) -> bool:
+        return self._queue.empty()
+
+    @property
+    def unfinished(self) -> int:
+        """Jobs enqueued but not yet ``task_done``'d (includes in-flight)."""
+        return self._queue._unfinished_tasks  # noqa: SLF001 - stdlib detail
+
+    async def put(self, job: Job) -> None:
+        """Enqueue, waiting for space (the backpressure path)."""
+        await self._queue.put(job)
+        self._note_put()
+
+    def put_nowait(self, job: Job) -> None:
+        """Enqueue or raise :class:`asyncio.QueueFull` immediately."""
+        self._queue.put_nowait(job)
+        self._note_put()
+
+    def _note_put(self) -> None:
+        self.enqueued += 1
+        depth = self._queue.qsize()
+        if depth > self.high_watermark:
+            self.high_watermark = depth
+
+    async def get_batch(self, max_batch: int) -> "list[Job]":
+        """One blocking get, then drain up to ``max_batch`` jobs total."""
+        job = await self._queue.get()
+        batch = [job]
+        while len(batch) < max_batch:
+            try:
+                batch.append(self._queue.get_nowait())
+            except asyncio.QueueEmpty:
+                break
+        return batch
+
+    def task_done(self) -> None:
+        self._queue.task_done()
+
+    async def join(self) -> None:
+        await self._queue.join()

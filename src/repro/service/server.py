@@ -1,0 +1,563 @@
+"""The fleet service: async job queues in front of sharded encode/decode.
+
+:class:`FleetService` is the tentpole of the serving layer — a single
+asyncio process that accepts typed :class:`~repro.api.SendRequest` /
+:class:`~repro.api.ReceiveRequest` jobs, routes each ``device_id`` to a
+sticky home lane (rendezvous hashing over the currently-healthy shards),
+queues it behind a bounded per-lane queue, and executes lane batches in
+worker threads through the fleet capture kernel.
+
+The control loop (docs/service.md):
+
+* **Admission** — a full queue sheds impatient submitters, a cooperative
+  submitter waits (that wait *is* the backpressure).  No healthy lanes →
+  shed.
+* **SLO trips** — each lane's private :class:`~repro.monitor.FleetMonitor`
+  samples after every batch; a *page* alert (raw-BER ceiling, retry
+  budget) trips the lane: it stops taking new work, queued jobs reroute,
+  and the tripping batch's receives are re-executed on healthy lanes
+  (receives are read-only on device state, so the retry is safe; sends
+  age silicon and keep their first outcome).
+* **Graceful drain** — :meth:`FleetService.drain` stops admission and
+  joins every queue until nothing is queued *or in flight anywhere*,
+  looping because reroutes move jobs between queues mid-drain.
+
+The optional HTTP frontend is hand-rolled over ``asyncio.start_server``
+(stdlib only): ``GET /metrics`` (Prometheus text via the process
+registry), ``GET /healthz``, ``GET /stats``, ``POST /send``,
+``POST /receive``, ``POST /shutdown``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+from dataclasses import dataclass
+
+from .. import metrics, telemetry
+from ..api import ReceiveRequest, SendRequest
+from ..core.scheme import CodingScheme, paper_end_to_end_scheme
+from ..errors import (
+    AdmissionError,
+    ConfigurationError,
+    ReproError,
+    ServiceStoppedError,
+)
+from ..faults import FaultPlan
+from .admission import AdmissionController
+from .queue import BoundedJobQueue, Job
+from .shards import FleetHost, Shard, ShardRouter
+
+__all__ = ["FleetService", "ServiceConfig", "serve_forever"]
+
+#: Direct hot-path instruments on the process-wide registry — the same
+#: get-or-create contract as the pipeline's message counter.
+_JOBS_TOTAL = metrics.counter(
+    "repro_service_jobs_total",
+    "Jobs completed by the service, by shard, kind and status",
+    labelnames=("shard", "kind", "status"),
+)
+_QUEUE_DEPTH = metrics.gauge(
+    "repro_service_queue_depth",
+    "Jobs currently queued per shard",
+    labelnames=("shard",),
+)
+_REROUTED_TOTAL = metrics.counter(
+    "repro_service_rerouted_total",
+    "Jobs moved off a tripped shard onto a healthy one",
+)
+_SHED_TOTAL = metrics.counter(
+    "repro_service_shed_total",
+    "Jobs refused at admission (full queue or no healthy shards)",
+)
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Everything a :class:`FleetService` needs, in one frozen record."""
+
+    shards: int = 4
+    queue_depth: int = 64
+    max_batch: int = 8
+    device_name: str = "MSP430G2553"
+    sram_kib: float = 0.25
+    seed: int = 0
+    scheme: "CodingScheme | None" = None
+    use_firmware: bool = False
+    raw_ber_limit: float = 0.2
+    retry_budget: int = 25
+    max_reroutes: int = 3
+    fault_plan: "FaultPlan | None" = None
+    fault_shards: "tuple[str, ...]" = ()
+    host: str = "127.0.0.1"
+    port: "int | None" = None
+
+    def __post_init__(self):
+        if self.shards < 1:
+            raise ConfigurationError(f"need >= 1 shard, got {self.shards}")
+        if self.max_batch < 1:
+            raise ConfigurationError(
+                f"max_batch must be >= 1, got {self.max_batch}"
+            )
+        if self.max_reroutes < 0:
+            raise ConfigurationError(
+                f"max_reroutes must be >= 0, got {self.max_reroutes}"
+            )
+        unknown = set(self.fault_shards) - set(self.shard_names)
+        if unknown:
+            raise ConfigurationError(
+                f"fault_shards {sorted(unknown)} not in {self.shard_names}"
+            )
+
+    @property
+    def shard_names(self) -> "tuple[str, ...]":
+        return tuple(f"shard-{i}" for i in range(self.shards))
+
+    def resolved_scheme(self) -> CodingScheme:
+        return (
+            self.scheme
+            if self.scheme is not None
+            else paper_end_to_end_scheme(copies=7, n_captures=5)
+        )
+
+
+class FleetService:
+    """The sharded async frontend.  Create, ``await start()``, submit."""
+
+    def __init__(self, config: "ServiceConfig | None" = None):
+        self.config = config or ServiceConfig()
+        scheme = self.config.resolved_scheme()
+        self.host = FleetHost(
+            device_name=self.config.device_name,
+            sram_kib=self.config.sram_kib,
+            scheme=scheme,
+            seed=self.config.seed,
+            use_firmware=self.config.use_firmware,
+        )
+        self.router = ShardRouter(self.config.shard_names)
+        self.admission = AdmissionController(self.config.shard_names)
+        self.shards: "dict[str, Shard]" = {
+            name: Shard(
+                name,
+                self.host,
+                raw_ber_limit=self.config.raw_ber_limit,
+                retry_budget=self.config.retry_budget,
+                fault_plan=(
+                    self.config.fault_plan
+                    if name in self.config.fault_shards
+                    else None
+                ),
+                fault_salt=index,
+            )
+            for index, name in enumerate(self.config.shard_names)
+        }
+        self.queues: "dict[str, BoundedJobQueue]" = {}
+        self._homes: "dict[str, str]" = {}
+        self._workers: "list[asyncio.Task]" = []
+        self._http_server: "asyncio.AbstractServer | None" = None
+        self.accepting = False
+        self.started = False
+        self._metrics_was_enabled = False
+        self.port: "int | None" = None
+        self.completed = 0
+        self.failed = 0
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    async def start(self) -> "FleetService":
+        if self.started:
+            return self
+        self._metrics_was_enabled = metrics.registry.enabled
+        metrics.registry.enable()
+        self.queues = {
+            name: BoundedJobQueue(self.config.queue_depth)
+            for name in self.config.shard_names
+        }
+        self._workers = [
+            asyncio.create_task(self._worker(name), name=f"worker:{name}")
+            for name in self.config.shard_names
+        ]
+        if self.config.port is not None:
+            self._http_server = await asyncio.start_server(
+                self._handle_connection, self.config.host, self.config.port
+            )
+            self.port = self._http_server.sockets[0].getsockname()[1]
+        self.accepting = True
+        self.started = True
+        telemetry.count("service.started")
+        return self
+
+    async def drain(self) -> None:
+        """Stop admission; return once nothing is queued or in flight.
+
+        Loops because a reroute can move a job onto a queue whose
+        ``join`` already returned this pass.
+        """
+        self.accepting = False
+        while True:
+            if all(q.unfinished == 0 for q in self.queues.values()):
+                return
+            await asyncio.gather(*(q.join() for q in self.queues.values()))
+
+    async def stop(self, *, drain: bool = True) -> None:
+        if not self.started:
+            return
+        if drain:
+            await self.drain()
+        self.accepting = False
+        for worker in self._workers:
+            worker.cancel()
+        await asyncio.gather(*self._workers, return_exceptions=True)
+        self._workers = []
+        if self._http_server is not None:
+            self._http_server.close()
+            await self._http_server.wait_closed()
+            self._http_server = None
+        self.started = False
+        if not self._metrics_was_enabled:
+            metrics.registry.disable()
+        telemetry.count("service.stopped")
+
+    # -- submission ---------------------------------------------------------------
+
+    def _pick_shard(self, device_id: str) -> str:
+        home = self._homes.get(device_id)
+        healthy = self.admission.healthy
+        if home is None or home not in healthy:
+            home = self.admission.require_capacity(
+                self.router.route(device_id, healthy)
+            )
+            self._homes[device_id] = home
+        return home
+
+    async def submit(
+        self,
+        request: "SendRequest | ReceiveRequest",
+        *,
+        wait: bool = True,
+    ):
+        """Queue one job and await its typed result.
+
+        ``wait=False`` sheds (raises :class:`~repro.errors.AdmissionError`)
+        instead of blocking when the home shard's queue is full.
+        """
+        if not self.accepting:
+            raise ServiceStoppedError(
+                "service is draining or stopped; no new jobs accepted"
+            )
+        shard = self._pick_shard(request.device_id)
+        job = Job.for_request(
+            request, asyncio.get_running_loop().create_future()
+        )
+        job.shard = shard
+        queue = self.queues[shard]
+        if wait:
+            await queue.put(job)
+        else:
+            try:
+                queue.put_nowait(job)
+            except asyncio.QueueFull:
+                self.admission.count_shed()
+                _SHED_TOTAL.inc()
+                raise AdmissionError(
+                    f"queue for {shard} is full "
+                    f"({queue.maxsize} jobs) and wait=False",
+                    shard=shard,
+                ) from None
+        _QUEUE_DEPTH.set(queue.qsize(), shard=shard)
+        return await job.future
+
+    # -- workers ------------------------------------------------------------------
+
+    async def _worker(self, name: str) -> None:
+        queue = self.queues[name]
+        shard = self.shards[name]
+        while True:
+            batch = await queue.get_batch(self.config.max_batch)
+            _QUEUE_DEPTH.set(queue.qsize(), shard=name)
+            try:
+                if not self.admission.is_healthy(name):
+                    await self._reroute(batch, source=name)
+                    continue
+                outcomes, pages = await asyncio.to_thread(
+                    shard.execute_batch, batch
+                )
+                if pages:
+                    reason = "; ".join(a.message for a in pages)
+                    if self.admission.trip(name, reason):
+                        telemetry.count("service.shard_tripped")
+                        telemetry.emit_record(
+                            {
+                                "type": "service.trip",
+                                "shard": name,
+                                "reason": reason,
+                            }
+                        )
+                    # The lane is untrustworthy: re-execute this batch's
+                    # receives elsewhere (read-only on device state);
+                    # sends aged silicon and keep their first outcome.
+                    retriable = [
+                        job for job, _ in outcomes if job.kind == "receive"
+                    ]
+                    await self._reroute(retriable, source=name)
+                    outcomes = [
+                        (job, outcome)
+                        for job, outcome in outcomes
+                        if job.kind != "receive"
+                    ]
+                for job, outcome in outcomes:
+                    self._finish(job, outcome)
+            except asyncio.CancelledError:
+                raise
+            except Exception as exc:  # defensive: a worker must not die
+                for job in batch:
+                    if not job.future.done():
+                        self._finish(job, exc)
+            finally:
+                for _ in batch:
+                    queue.task_done()
+
+    def _finish(self, job: Job, outcome) -> None:
+        if job.future.done():
+            return
+        if isinstance(outcome, BaseException):
+            self.failed += 1
+            _JOBS_TOTAL.inc(shard=job.shard, kind=job.kind, status="error")
+            job.future.set_exception(outcome)
+        else:
+            self.completed += 1
+            _JOBS_TOTAL.inc(shard=job.shard, kind=job.kind, status="ok")
+            job.future.set_result(outcome)
+
+    async def _reroute(self, jobs: "list[Job]", *, source: str) -> None:
+        healthy = self.admission.healthy - {source}
+        for job in jobs:
+            job.reroutes += 1
+            if job.reroutes > self.config.max_reroutes:
+                self._finish(
+                    job,
+                    AdmissionError(
+                        f"job for {job.request.device_id!r} exceeded "
+                        f"{self.config.max_reroutes} reroutes",
+                        shard=source,
+                    ),
+                )
+                continue
+            target = self.router.route(job.request.device_id, healthy)
+            if target is None:
+                self.admission.count_shed()
+                _SHED_TOTAL.inc()
+                self._finish(
+                    job,
+                    AdmissionError(
+                        "no healthy shards left to reroute to", shard=source
+                    ),
+                )
+                continue
+            self._homes[job.request.device_id] = target
+            job.shard = target
+            try:
+                self.queues[target].put_nowait(job)
+            except asyncio.QueueFull:
+                # Never block a worker on a sibling's full queue (two
+                # tripped lanes could deadlock face to face) — shed.
+                self.admission.count_shed()
+                _SHED_TOTAL.inc()
+                self._finish(
+                    job,
+                    AdmissionError(
+                        f"reroute target {target} is saturated", shard=target
+                    ),
+                )
+                continue
+            _REROUTED_TOTAL.inc()
+            telemetry.count("service.rerouted")
+
+    # -- introspection ------------------------------------------------------------
+
+    def stats(self) -> dict:
+        return {
+            "accepting": self.accepting,
+            "completed": self.completed,
+            "failed": self.failed,
+            "devices": self.host.n_devices,
+            "admission": self.admission.stats(),
+            "queues": {
+                name: {
+                    "depth": queue.qsize(),
+                    "enqueued": queue.enqueued,
+                    "high_watermark": queue.high_watermark,
+                }
+                for name, queue in self.queues.items()
+            },
+            "shards": {
+                name: shard.stats() for name, shard in self.shards.items()
+            },
+        }
+
+    # -- HTTP frontend ------------------------------------------------------------
+
+    async def _handle_connection(self, reader, writer) -> None:
+        try:
+            request_line = await reader.readline()
+            if not request_line:
+                return
+            try:
+                method, path, _ = request_line.decode("latin-1").split(" ", 2)
+            except ValueError:
+                await _respond(writer, 400, {"error": "malformed request"})
+                return
+            content_length = 0
+            while True:
+                line = await reader.readline()
+                if line in (b"\r\n", b"\n", b""):
+                    break
+                header = line.decode("latin-1")
+                if header.lower().startswith("content-length:"):
+                    content_length = int(header.split(":", 1)[1].strip())
+            body = (
+                await reader.readexactly(content_length)
+                if content_length
+                else b""
+            )
+            await self._dispatch(writer, method, path, body)
+        except (asyncio.IncompleteReadError, ConnectionError):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except ConnectionError:
+                pass
+
+    async def _dispatch(self, writer, method: str, path: str, body: bytes):
+        if method == "GET" and path == "/metrics":
+            await _respond_text(writer, 200, metrics.registry.expose())
+        elif method == "GET" and path == "/healthz":
+            healthy = self.admission.healthy
+            status = "ok" if self.accepting and healthy else "draining"
+            await _respond(
+                writer,
+                200 if status == "ok" else 503,
+                {"status": status, "healthy_shards": sorted(healthy)},
+            )
+        elif method == "GET" and path == "/stats":
+            await _respond(writer, 200, self.stats())
+        elif method == "POST" and path in ("/send", "/receive"):
+            await self._handle_job(writer, path, body)
+        elif method == "POST" and path == "/shutdown":
+            asyncio.get_running_loop().call_soon(self.request_shutdown)
+            await _respond(writer, 200, {"status": "draining"})
+        else:
+            await _respond(writer, 404, {"error": f"no route {method} {path}"})
+
+    async def _handle_job(self, writer, path: str, body: bytes) -> None:
+        try:
+            payload = json.loads(body.decode() or "{}")
+            cls = SendRequest if path == "/send" else ReceiveRequest
+            request = cls.from_dict(payload)
+        except (ValueError, KeyError, TypeError, ReproError) as exc:
+            await _respond(writer, 400, {"error": str(exc)})
+            return
+        try:
+            result = await self.submit(request)
+        except AdmissionError as exc:
+            await _respond(
+                writer, 429, {"error": str(exc), "shard": exc.shard}
+            )
+        except ServiceStoppedError as exc:
+            await _respond(writer, 503, {"error": str(exc)})
+        except ReproError as exc:
+            await _respond(
+                writer, 500, {"error": str(exc), "type": type(exc).__name__}
+            )
+        else:
+            await _respond(writer, 200, result.to_dict())
+
+    def request_shutdown(self) -> None:
+        """Signal-safe shutdown request: stops admission, sets the event
+        ``serve_forever`` waits on.  Idempotent."""
+        self.accepting = False
+        if self._shutdown_event is not None:
+            self._shutdown_event.set()
+
+    _shutdown_event: "asyncio.Event | None" = None
+
+
+async def _respond(writer, status: int, payload: dict) -> None:
+    await _respond_raw(
+        writer,
+        status,
+        json.dumps(payload).encode(),
+        "application/json",
+    )
+
+
+async def _respond_text(writer, status: int, text: str) -> None:
+    await _respond_raw(
+        writer, status, text.encode(), "text/plain; version=0.0.4"
+    )
+
+
+_REASONS = {200: "OK", 400: "Bad Request", 404: "Not Found",
+            429: "Too Many Requests", 500: "Internal Server Error",
+            503: "Service Unavailable"}
+
+
+async def _respond_raw(writer, status: int, body: bytes, ctype: str) -> None:
+    reason = _REASONS.get(status, "OK")
+    head = (
+        f"HTTP/1.1 {status} {reason}\r\n"
+        f"Content-Type: {ctype}\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        "Connection: close\r\n\r\n"
+    )
+    writer.write(head.encode("latin-1") + body)
+    await writer.drain()
+
+
+async def _serve(config: ServiceConfig, duration, on_ready) -> dict:
+    service = FleetService(config)
+    await service.start()
+    stop_event = asyncio.Event()
+    service._shutdown_event = stop_event
+    loop = asyncio.get_running_loop()
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        try:
+            loop.add_signal_handler(sig, stop_event.set)
+        except (NotImplementedError, RuntimeError):  # pragma: no cover
+            pass
+    if on_ready is not None:
+        on_ready(service)
+    try:
+        if duration is None:
+            await stop_event.wait()
+        else:
+            try:
+                await asyncio.wait_for(stop_event.wait(), timeout=duration)
+            except asyncio.TimeoutError:
+                pass
+    finally:
+        await service.stop(drain=True)
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.remove_signal_handler(sig)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass
+    return service.stats()
+
+
+def serve_forever(
+    config: "ServiceConfig | None" = None,
+    *,
+    duration: "float | None" = None,
+    on_ready=None,
+) -> dict:
+    """Run a service until SIGINT/SIGTERM, ``POST /shutdown``, or
+    ``duration`` seconds; drain gracefully; return final stats.
+
+    ``on_ready(service)`` fires once the HTTP socket is bound — tests use
+    it to learn the ephemeral port, the CLI to print it.
+    """
+    return asyncio.run(_serve(config or ServiceConfig(), duration, on_ready))

@@ -1,0 +1,382 @@
+"""Shards: compute lanes over a shared simulated fleet.
+
+A :class:`Shard` is *not* a partition of the devices — devices live in
+the shared :class:`FleetHost`, keyed by ``device_id`` and seeded purely
+by ``stable_seed(service_seed, device_id)``.  A shard is a harness lane:
+one worker, one queue, one fault domain, one private metrics registry
+watched by its own :class:`~repro.monitor.FleetMonitor`.  Because device
+simulation never depends on which lane touched it (and the fleet capture
+kernel preserves per-device RNG streams for any batch composition),
+rerouting a device's jobs from a tripped lane to a healthy one yields
+bit-identical results — the property the backpressure tests pin down.
+
+Routing is rendezvous hashing (:class:`ShardRouter`): every device gets
+a stable home among the currently-healthy lanes, reshuffling only the
+tripped lane's devices when one drops out.
+
+Faults are lane-scoped: a shard built with a fault plan swaps its
+:class:`~repro.faults.FaultInjector` onto each board for the duration of
+a batch and restores the board's own injector after — a stuck bus bit in
+one rack position corrupts that lane's captures, not the silicon.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+
+import numpy as np
+
+from .. import metrics
+from ..api import receive_result, send_result
+from ..core.fleetcapture import capture_fleet
+from ..core.pipeline import InvisibleBits
+from ..errors import (
+    CodecError,
+    ConfigurationError,
+    ExtractionError,
+    ReproError,
+    ServiceError,
+)
+from ..experiments.common import make_varied_device
+from ..faults import FaultInjector, FaultPlan
+from ..harness.controlboard import ControlBoard
+from ..monitor import FleetMonitor, ceiling_rule
+from .queue import Job
+
+__all__ = ["FleetHost", "Shard", "ShardRouter", "stable_seed"]
+
+
+def stable_seed(*parts) -> int:
+    """A deterministic 64-bit seed from any printable parts.
+
+    Used for device RNG streams (``stable_seed("device", seed, id)``)
+    and rendezvous scores; stable across processes and Python hash
+    randomization, unlike ``hash()``.
+    """
+    h = hashlib.blake2b(digest_size=8)
+    for part in parts:
+        h.update(str(part).encode())
+        h.update(b"\x1f")
+    return int.from_bytes(h.digest(), "big")
+
+
+class ShardRouter:
+    """Rendezvous (highest-random-weight) device→shard routing.
+
+    Every ``(device_id, shard)`` pair gets a stable score; a device goes
+    to the highest-scoring shard in the eligible pool.  Removing a shard
+    from the pool moves only that shard's devices — the minimal-churn
+    property that keeps reroutes from perturbing healthy lanes.
+    """
+
+    def __init__(self, shards: "tuple[str, ...] | list[str]"):
+        names = tuple(shards)
+        if not names:
+            raise ConfigurationError("router needs at least one shard")
+        if len(set(names)) != len(names):
+            raise ConfigurationError(f"duplicate shard names: {names}")
+        self.shards = names
+
+    def route(
+        self, device_id: str, pool: "set[str] | None" = None
+    ) -> "str | None":
+        """The device's home among ``pool`` (default: all shards).
+
+        Returns ``None`` when the pool is empty — admission turns that
+        into a shed, the router stays policy-free.
+        """
+        eligible = [
+            name
+            for name in self.shards
+            if pool is None or name in pool
+        ]
+        if not eligible:
+            return None
+        return max(
+            eligible, key=lambda name: stable_seed("route", device_id, name)
+        )
+
+
+class FleetHost:
+    """The shared device store behind every shard.
+
+    Creates one simulated device + :class:`ControlBoard` +
+    :class:`~repro.core.pipeline.InvisibleBits` channel per ``device_id``
+    on first use, and remembers the last staged payload bits per device
+    so receives can feed truth-referenced raw BER into the shard SLOs.
+    Thread-safe: shard workers run in threads.
+    """
+
+    def __init__(
+        self,
+        *,
+        device_name: str = "MSP430G2553",
+        sram_kib: float = 0.25,
+        scheme,
+        seed: int = 0,
+        use_firmware: bool = False,
+    ):
+        if sram_kib <= 0:
+            raise ConfigurationError(f"sram_kib must be > 0, got {sram_kib}")
+        self.device_name = device_name
+        self.sram_kib = sram_kib
+        self.scheme = scheme
+        self.seed = seed
+        self.use_firmware = use_firmware
+        self._lock = threading.Lock()
+        self._channels: "dict[str, InvisibleBits]" = {}
+        self._payloads: "dict[str, np.ndarray]" = {}
+
+    def channel(self, device_id: str) -> InvisibleBits:
+        """The device's bound channel, created on first use.
+
+        The device RNG is seeded from ``(seed, device_id)`` only — never
+        from the shard or batch — so results are identical no matter
+        which lane serves the device.
+        """
+        with self._lock:
+            channel = self._channels.get(device_id)
+            if channel is None:
+                device = make_varied_device(
+                    self.device_name,
+                    rng=stable_seed("device", self.seed, device_id),
+                    sram_kib=self.sram_kib,
+                )
+                channel = InvisibleBits(
+                    ControlBoard(device),
+                    scheme=self.scheme,
+                    use_firmware=self.use_firmware,
+                )
+                self._channels[device_id] = channel
+            return channel
+
+    def store_payload(self, device_id: str, payload_bits: np.ndarray) -> None:
+        with self._lock:
+            self._payloads[device_id] = payload_bits
+
+    def payload(self, device_id: str) -> "np.ndarray | None":
+        with self._lock:
+            return self._payloads.get(device_id)
+
+    @property
+    def n_devices(self) -> int:
+        with self._lock:
+            return len(self._channels)
+
+
+def _unique_groups(jobs: "list[Job]") -> "list[list[Job]]":
+    """Split receives into runs with unique device ids (kernel batches)."""
+    groups: "list[list[Job]]" = []
+    current: "list[Job]" = []
+    seen: set = set()
+    for job in jobs:
+        device_id = job.request.device_id
+        if device_id in seen:
+            groups.append(current)
+            current, seen = [], set()
+        current.append(job)
+        seen.add(device_id)
+    if current:
+        groups.append(current)
+    return groups
+
+
+class Shard:
+    """One compute lane: executes job batches, watches its own SLOs.
+
+    ``execute_batch`` is synchronous numpy-heavy work — the service runs
+    it via ``asyncio.to_thread``, one worker per shard, so a shard never
+    executes two batches concurrently.  After every batch the shard
+    samples its private monitor; returned *page* alerts are the signal
+    the admission controller uses to trip the lane.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        host: FleetHost,
+        *,
+        raw_ber_limit: float = 0.2,
+        retry_budget: int = 25,
+        fault_plan: "FaultPlan | None" = None,
+        fault_salt: int = 0,
+    ):
+        if not name:
+            raise ConfigurationError("shard needs a name")
+        self.name = name
+        self.host = host
+        self.injector = (
+            FaultInjector(fault_plan, salt=fault_salt) if fault_plan else None
+        )
+        self.registry = metrics.MetricsRegistry()
+        self.registry.enable()
+        self._raw_ber = self.registry.gauge(
+            "repro_raw_ber",
+            "truth-referenced raw channel BER per device",
+            ("device",),
+        )
+        self._retries = self.registry.counter(
+            "repro_retry_attempts_total",
+            "extra capture attempts beyond the scheme's count",
+        )
+        self.monitor = FleetMonitor(
+            (
+                ceiling_rule(
+                    "raw-ber-slo",
+                    "repro_raw_ber",
+                    raw_ber_limit,
+                    reduce="max",
+                    severity="page",
+                ),
+                ceiling_rule(
+                    "retry-slo",
+                    "repro_retry_attempts_total",
+                    retry_budget,
+                    reduce="sum",
+                    delta=True,
+                    severity="page",
+                ),
+            ),
+            registry=self.registry,
+        )
+        self.jobs_done = 0
+        self.batches = 0
+
+    # -- execution (worker thread) -----------------------------------------------
+
+    def execute_batch(self, jobs: "list[Job]"):
+        """Run a batch; returns ``([(job, result-or-exception)], pages)``.
+
+        Sends run per-device (they create/age devices); receives are
+        grouped into unique-device runs and measured through the fleet
+        capture kernel in one stacked pass each.  Per-job
+        :class:`~repro.errors.ReproError` failures become that job's
+        outcome instead of sinking the batch.
+        """
+        outcomes: "dict[int, object]" = {}
+        swapped: "list[tuple[ControlBoard, FaultInjector | None]]" = []
+        lanes: set = set()
+
+        def lane(channel: InvisibleBits) -> InvisibleBits:
+            board = channel.board
+            if self.injector is not None and id(board) not in lanes:
+                lanes.add(id(board))
+                swapped.append((board, board.fault_injector))
+                board.fault_injector = self.injector
+            return channel
+
+        try:
+            for job in jobs:
+                if job.kind == "send":
+                    self._execute_send(job, outcomes, lane)
+            receives = [j for j in jobs if j.kind == "receive"]
+            for group in _unique_groups(receives):
+                self._execute_receive_group(group, outcomes, lane)
+        finally:
+            for board, previous in swapped:
+                board.fault_injector = previous
+        self.jobs_done += len(jobs)
+        self.batches += 1
+        alerts = self.monitor.sample()
+        pages = [a for a in alerts if a.severity == "page"]
+        return [(job, outcomes[id(job)]) for job in jobs], pages
+
+    def _execute_send(self, job: Job, outcomes: dict, lane) -> None:
+        request = job.request
+        try:
+            channel = lane(self.host.channel(request.device_id))
+            encode = channel.send(
+                request.message,
+                stress_hours=request.stress_hours,
+                camouflage=request.camouflage,
+            )
+        except ReproError as exc:
+            outcomes[id(job)] = exc
+            return
+        self.host.store_payload(request.device_id, encode.payload_bits)
+        outcomes[id(job)] = send_result(
+            request.device_id, encode, shard=self.name
+        )
+
+    def _execute_receive_group(
+        self, group: "list[Job]", outcomes: dict, lane
+    ) -> None:
+        staged = []
+        for job in group:
+            request = job.request
+            payload = self.host.payload(request.device_id)
+            if payload is None:
+                outcomes[id(job)] = ServiceError(
+                    f"device {request.device_id!r} has no staged message "
+                    "on this service"
+                )
+                continue
+            try:
+                staged.append(
+                    (job, lane(self.host.channel(request.device_id)), payload)
+                )
+            except ReproError as exc:
+                outcomes[id(job)] = exc
+        if not staged:
+            return
+        fleet = capture_fleet(
+            [channel.board for _, channel, _ in staged],
+            self.host.scheme.n_captures,
+            payloads=[payload for _, _, payload in staged],
+            resilient=True,
+        )
+        for pos, (job, channel, payload) in enumerate(staged):
+            request = job.request
+            extra = fleet.attempts[pos] - 1
+            if extra > 0:
+                self._retries.inc(extra)
+            exc = fleet.slot_errors[pos]
+            if exc is not None:
+                outcomes[id(job)] = (
+                    exc
+                    if isinstance(exc, ReproError)
+                    else ServiceError(f"{type(exc).__name__}: {exc}")
+                )
+                continue
+            self._raw_ber.set(fleet.errors[pos], device=request.device_id)
+            try:
+                decode = channel.decode_state(
+                    fleet.states[pos],
+                    message_len=request.message_len,
+                    expected_payload=payload,
+                    n_captures=fleet.n_captures,
+                )
+            except (CodecError, ExtractionError):
+                # The kernel's vote was undecodable; fall back to the full
+                # adaptive receive (suspect filtering + escalation) and
+                # bill the extra captures against the retry budget.
+                try:
+                    decode = channel.receive(
+                        message_len=request.message_len,
+                        expected_payload=payload,
+                    )
+                except ReproError as exc2:
+                    outcomes[id(job)] = exc2
+                    continue
+                escalated = (
+                    decode.total_captures - self.host.scheme.n_captures
+                )
+                if escalated > 0:
+                    self._retries.inc(escalated)
+            outcomes[id(job)] = receive_result(
+                request.device_id, decode, shard=self.name
+            )
+
+    # -- introspection ------------------------------------------------------------
+
+    def stats(self) -> dict:
+        return {
+            "name": self.name,
+            "jobs_done": self.jobs_done,
+            "batches": self.batches,
+            "faulted": self.injector is not None,
+            "active_alerts": [
+                rule.name for rule in self.monitor.active_alerts()
+            ],
+        }

@@ -79,6 +79,11 @@ class TestLegacyKwargs:
         with pytest.warns(DeprecationWarning, match="scheme="):
             InvisibleBits(self._board(1), key=KEY, use_firmware=False)
 
+    def test_legacy_warning_names_removal_version(self):
+        """A deprecation without a deadline is a nag, not a migration."""
+        with pytest.warns(DeprecationWarning, match=r"removed in repro 2\.0"):
+            InvisibleBits(self._board(1), key=KEY, use_firmware=False)
+
     def test_scheme_alone_does_not_warn(self, recwarn):
         InvisibleBits(
             self._board(1), scheme=CodingScheme(key=KEY), use_firmware=False

@@ -112,3 +112,41 @@ def test_check_passes_non_int_slot_through_message():
         ledger.check("tray-7/slot-b")
     assert "tray-7/slot-b" in str(info.value)
     assert info.value.slot is None  # non-int slots carry no index
+
+
+def test_reset_readmits_and_forgets_history():
+    ledger = HealthLedger(quarantine_after=2)
+    ledger.record_failure("lane-a")
+    ledger.record_failure("lane-a")
+    assert ledger.is_quarantined("lane-a")
+
+    # A real re-admission: reset reports it and erases the slot.
+    assert ledger.reset("lane-a") is True
+    assert not ledger.is_quarantined("lane-a")
+    assert ledger.failures("lane-a") == 0
+    ledger.check("lane-a")  # no raise
+
+    # Fresh streak after reset: one failure is below the bar again.
+    assert ledger.record_failure("lane-a") is False
+    assert not ledger.is_quarantined("lane-a")
+    assert ledger.record_failure("lane-a") is True  # second re-quarantines
+
+
+def test_reset_on_healthy_slot_is_a_reported_noop():
+    ledger = HealthLedger(quarantine_after=1)
+    assert ledger.reset("never-seen") is False
+    ledger.record_success("fine")
+    assert ledger.reset("fine") is False
+    assert ledger.failures("fine") == 0
+
+
+def test_reset_differs_from_release_in_bookkeeping():
+    ledger = HealthLedger(quarantine_after=1)
+    ledger.record_failure("a")
+    ledger.record_failure("b")
+    ledger.release("a")
+    ledger.reset("b")
+    # Both healthy again; release keeps a zeroed entry, reset forgets.
+    assert not ledger.is_quarantined("a")
+    assert not ledger.is_quarantined("b")
+    assert "a" in ledger._streaks and "b" not in ledger._streaks

@@ -1,0 +1,57 @@
+"""AdmissionController: trip/readmit lifecycle and shed accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import AdmissionError, ConfigurationError
+from repro.service import AdmissionController
+
+NAMES = ("shard-0", "shard-1")
+
+
+def test_needs_shards():
+    with pytest.raises(ConfigurationError):
+        AdmissionController(())
+
+
+def test_all_healthy_initially():
+    admission = AdmissionController(NAMES)
+    assert admission.healthy == set(NAMES)
+    assert admission.tripped == {}
+
+
+def test_trip_and_readmit_cycle():
+    admission = AdmissionController(NAMES)
+    assert admission.trip("shard-1", "raw BER over ceiling") is True
+    assert admission.healthy == {"shard-0"}
+    assert admission.tripped == {"shard-1": "raw BER over ceiling"}
+    # Re-tripping an already-tripped shard is not a new edge.
+    assert admission.trip("shard-1", "again") is False
+
+    assert admission.readmit("shard-1") is True
+    assert admission.healthy == set(NAMES)
+    assert admission.tripped == {}
+    # Readmitting a healthy shard is a no-op.
+    assert admission.readmit("shard-1") is False
+    # The ledger history was reset: the next trip is a fresh first edge.
+    assert admission.trip("shard-1", "later") is True
+
+
+def test_unknown_shard_rejected():
+    admission = AdmissionController(NAMES)
+    with pytest.raises(ConfigurationError):
+        admission.trip("nope", "reason")
+    with pytest.raises(ConfigurationError):
+        admission.readmit("nope")
+
+
+def test_require_capacity_sheds_on_none():
+    admission = AdmissionController(NAMES)
+    assert admission.require_capacity("shard-0") == "shard-0"
+    admission.trip("shard-0", "x")
+    admission.trip("shard-1", "y")
+    with pytest.raises(AdmissionError, match="no healthy shards"):
+        admission.require_capacity(None)
+    assert admission.shed == 1
+    assert admission.stats()["shed"] == 1

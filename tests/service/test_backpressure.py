@@ -1,0 +1,121 @@
+"""SLO-driven shed/reroute: a faulted lane must not perturb healthy ones.
+
+The scenario the serving layer exists for: one shard's harness lane has a
+stuck-at region (half the capture readback forced to 0 — raw BER ~50%
+against the staged payloads, the pattern from tests/monitor).  The lane's
+raw-BER SLO pages, admission trips exactly that lane, its jobs reroute,
+and — the load-bearing claim — every device homed on a *healthy* lane
+produces results bit-identical to the same run without any fault.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.faults import FaultPlan, StuckRegion
+from repro.service import FleetService, ServiceConfig, ShardRouter
+from repro.api import ReceiveRequest, SendRequest
+
+N_DEVICES = 24
+SRAM_KIB = 0.25
+SEED = 77
+
+
+def _stuck_plan() -> FaultPlan:
+    n_bits = int(SRAM_KIB * 8192)
+    return FaultPlan(
+        seed=0,
+        models=(
+            StuckRegion(offset=n_bits // 2, length=n_bits // 2, value=0),
+        ),
+    )
+
+
+def _config(**overrides) -> ServiceConfig:
+    base = dict(shards=4, seed=SEED, sram_kib=SRAM_KIB, max_batch=4)
+    base.update(overrides)
+    return ServiceConfig(**base)
+
+
+async def _run_fleet(config: ServiceConfig) -> "tuple[dict, dict]":
+    """Send+receive one message per device; returns (results, stats)."""
+    service = FleetService(config)
+    await service.start()
+
+    async def one(index: int):
+        device_id = f"dev-{index:03d}"
+        message = f"msg {index:03d}".encode()
+        await service.submit(SendRequest(device_id=device_id, message=message))
+        received = await service.submit(ReceiveRequest(device_id=device_id))
+        return device_id, message, received
+
+    outcomes = await asyncio.gather(
+        *(one(i) for i in range(N_DEVICES)), return_exceptions=True
+    )
+    stats = service.stats()
+    await service.stop()
+    results = {}
+    for out in outcomes:
+        if isinstance(out, BaseException):
+            raise out
+        device_id, message, received = out
+        results[device_id] = (message, received)
+    return results, stats
+
+
+def test_fault_on_one_shard_trips_reroutes_and_preserves_the_rest():
+    baseline, baseline_stats = asyncio.run(_run_fleet(_config()))
+    faulted, faulted_stats = asyncio.run(
+        _run_fleet(
+            _config(fault_plan=_stuck_plan(), fault_shards=("shard-2",))
+        )
+    )
+
+    # Sanity on the baseline: every lane healthy, nothing rerouted.
+    assert baseline_stats["admission"]["tripped"] == {}
+    assert all(
+        received.message == message
+        for message, received in baseline.values()
+    )
+
+    # Exactly the faulted lane tripped, on the raw-BER SLO.
+    tripped = faulted_stats["admission"]["tripped"]
+    assert set(tripped) == {"shard-2"}
+    assert "raw-ber-slo" in tripped["shard-2"]
+    assert faulted_stats["admission"]["healthy"] == [
+        "shard-0", "shard-1", "shard-3",
+    ]
+
+    # Zero lost jobs: every message still round-trips exactly — the
+    # tripped lane's jobs were rescued by reroute, not dropped.
+    assert set(faulted) == set(baseline)
+    for device_id, (message, received) in faulted.items():
+        assert received.message == message, device_id
+
+    # Devices homed on healthy lanes are *bit-identical* to the
+    # unfaulted run: same executing shard, same majority-voted power-on
+    # state digest, same diagnostics-bearing payload.
+    router = ShardRouter(_config().shard_names)
+    healthy_homed = [
+        device_id
+        for device_id in baseline
+        if router.route(device_id) != "shard-2"
+    ]
+    assert healthy_homed, "routing should put some devices off shard-2"
+    for device_id in healthy_homed:
+        _, base_received = baseline[device_id]
+        _, fault_received = faulted[device_id]
+        assert fault_received.shard == base_received.shard
+        assert fault_received.state_digest == base_received.state_digest
+        assert fault_received.raw_ber == base_received.raw_ber
+
+    # And the faulted lane's devices really moved somewhere healthy.
+    moved = [
+        device_id
+        for device_id in baseline
+        if router.route(device_id) == "shard-2"
+    ]
+    assert moved, "routing should put some devices on shard-2"
+    for device_id in moved:
+        _, fault_received = faulted[device_id]
+        assert fault_received.shard != "shard-2"

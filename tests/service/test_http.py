@@ -1,0 +1,116 @@
+"""The HTTP frontend over real TCP: routes, errors, drain-on-shutdown."""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.client import HTTPConnection
+
+import pytest
+
+from repro.api import ReceiveRequest, SendRequest
+from repro.errors import ServiceError
+from repro.service import (
+    LoadGenerator,
+    ServiceClient,
+    ServiceConfig,
+    serve_forever,
+)
+
+
+@pytest.fixture(scope="module")
+def live_service():
+    """One serve_forever loop in a thread for the whole module."""
+    ready = threading.Event()
+    box: dict = {}
+
+    def on_ready(service) -> None:
+        box["service"] = service
+        ready.set()
+
+    thread = threading.Thread(
+        target=serve_forever,
+        args=(ServiceConfig(shards=2, port=0),),
+        kwargs={"duration": 120, "on_ready": on_ready},
+        daemon=True,
+    )
+    thread.start()
+    assert ready.wait(timeout=15), "service never came up"
+    client = ServiceClient(f"http://127.0.0.1:{box['service'].port}")
+    yield client
+    try:
+        client.shutdown()
+    except (ServiceError, OSError):
+        pass  # already shut down by the shutdown test
+    thread.join(timeout=30)
+    assert not thread.is_alive(), "serve_forever failed to drain and exit"
+
+
+def test_healthz(live_service):
+    health = live_service.healthz()
+    assert health["http_status"] == 200
+    assert health["status"] == "ok"
+    assert health["healthy_shards"] == ["shard-0", "shard-1"]
+
+
+def test_send_receive_over_http(live_service):
+    sent = live_service.send(
+        SendRequest(device_id="http-dev", message=b"over the wire")
+    )
+    assert sent.device_id == "http-dev"
+    assert sent.shard in ("shard-0", "shard-1")
+    received = live_service.receive(ReceiveRequest(device_id="http-dev"))
+    assert received.message == b"over the wire"
+    assert received.shard == sent.shard
+
+
+def test_load_generator_remote(live_service):
+    generator = LoadGenerator(seed=21, message_bytes=6)
+    report = generator.run_remote(live_service, 10, concurrency=4)
+    assert report.lost == 0
+    assert report.completed == 10
+    assert report.mismatched == 0
+
+
+def test_metrics_exposition(live_service):
+    text = live_service.metrics()
+    assert "repro_service_jobs_total" in text
+    assert "# HELP" in text
+
+
+def test_stats_endpoint(live_service):
+    stats = live_service.stats()
+    assert stats["accepting"] is True
+    assert set(stats["queues"]) == {"shard-0", "shard-1"}
+
+
+def test_unknown_route_404(live_service):
+    conn = HTTPConnection(live_service.host, live_service.port, timeout=10)
+    try:
+        conn.request("GET", "/nope")
+        response = conn.getresponse()
+        assert response.status == 404
+    finally:
+        conn.close()
+
+
+def test_malformed_job_400(live_service):
+    conn = HTTPConnection(live_service.host, live_service.port, timeout=10)
+    try:
+        conn.request(
+            "POST", "/send",
+            body=json.dumps({"device_id": "x"}).encode(),
+            headers={"Content-Type": "application/json"},
+        )
+        response = conn.getresponse()
+        assert response.status == 400
+        assert "message_hex" in json.loads(response.read().decode())["error"]
+    finally:
+        conn.close()
+
+
+def test_shutdown_drains(live_service):
+    # Ordered last by name? No — pytest runs in definition order; this
+    # is the final test in the module, so the fixture teardown only has
+    # to tolerate an already-closed service.
+    assert live_service.shutdown() == {"status": "draining"}

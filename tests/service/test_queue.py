@@ -1,0 +1,107 @@
+"""BoundedJobQueue: batching, backpressure accounting, drain bookkeeping."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.api import ReceiveRequest, SendRequest
+from repro.service import BoundedJobQueue, Job
+
+
+def _job(kind: str = "send", device: str = "dev-1") -> Job:
+    loop = asyncio.get_running_loop()
+    request = (
+        SendRequest(device_id=device, message=b"x")
+        if kind == "send"
+        else ReceiveRequest(device_id=device)
+    )
+    return Job.for_request(request, loop.create_future())
+
+
+def test_maxsize_validated():
+    with pytest.raises(ValueError):
+        BoundedJobQueue(0)
+
+
+def test_for_request_maps_kind():
+    async def scenario():
+        send = Job.for_request(
+            SendRequest(device_id="d", message=b"x"),
+            asyncio.get_running_loop().create_future(),
+        )
+        recv = Job.for_request(
+            ReceiveRequest(device_id="d"),
+            asyncio.get_running_loop().create_future(),
+        )
+        assert (send.kind, recv.kind) == ("send", "receive")
+        assert send.reroutes == 0 and send.shard is None
+
+    asyncio.run(scenario())
+
+
+def test_get_batch_drains_up_to_max():
+    async def scenario():
+        queue = BoundedJobQueue(16)
+        for _ in range(5):
+            await queue.put(_job())
+        batch = await queue.get_batch(3)
+        assert len(batch) == 3
+        assert queue.qsize() == 2
+        rest = await queue.get_batch(8)
+        assert len(rest) == 2
+
+    asyncio.run(scenario())
+
+
+def test_get_batch_returns_single_job_when_idle():
+    async def scenario():
+        queue = BoundedJobQueue(16)
+        await queue.put(_job())
+        batch = await queue.get_batch(8)
+        assert len(batch) == 1
+
+    asyncio.run(scenario())
+
+
+def test_put_nowait_raises_when_full():
+    async def scenario():
+        queue = BoundedJobQueue(2)
+        queue.put_nowait(_job())
+        queue.put_nowait(_job())
+        assert queue.full()
+        with pytest.raises(asyncio.QueueFull):
+            queue.put_nowait(_job())
+
+    asyncio.run(scenario())
+
+
+def test_stats_track_enqueues_and_watermark():
+    async def scenario():
+        queue = BoundedJobQueue(8)
+        for _ in range(4):
+            await queue.put(_job())
+        await queue.get_batch(2)
+        await queue.put(_job())
+        assert queue.enqueued == 5
+        assert queue.high_watermark == 4
+
+    asyncio.run(scenario())
+
+
+def test_join_waits_for_task_done():
+    async def scenario():
+        queue = BoundedJobQueue(8)
+        await queue.put(_job())
+        batch = await queue.get_batch(4)
+        assert queue.unfinished == 1
+        join = asyncio.create_task(queue.join())
+        await asyncio.sleep(0)
+        assert not join.done()
+        for _ in batch:
+            queue.task_done()
+        await asyncio.wait_for(join, timeout=1)
+        assert queue.unfinished == 0
+
+    asyncio.run(scenario())

@@ -1,0 +1,58 @@
+"""ShardRouter: stable rendezvous routing with minimal-churn failover."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.service import ShardRouter, stable_seed
+
+SHARDS = ("shard-0", "shard-1", "shard-2", "shard-3")
+DEVICES = [f"dev-{i:04d}" for i in range(200)]
+
+
+def test_router_validates_names():
+    with pytest.raises(ConfigurationError):
+        ShardRouter(())
+    with pytest.raises(ConfigurationError):
+        ShardRouter(("a", "a"))
+
+
+def test_stable_seed_is_stable_and_distinct():
+    assert stable_seed("a", 1) == stable_seed("a", 1)
+    assert stable_seed("a", 1) != stable_seed("a", 2)
+    # Part boundaries matter: ("ab", "c") is not ("a", "bc").
+    assert stable_seed("ab", "c") != stable_seed("a", "bc")
+
+
+def test_routing_is_deterministic():
+    router = ShardRouter(SHARDS)
+    again = ShardRouter(SHARDS)
+    for device in DEVICES:
+        assert router.route(device) == again.route(device)
+
+
+def test_routing_spreads_load():
+    router = ShardRouter(SHARDS)
+    homes = [router.route(device) for device in DEVICES]
+    counts = {name: homes.count(name) for name in SHARDS}
+    assert set(counts) == set(SHARDS)
+    # 200 devices over 4 shards: every lane gets a real share.
+    assert min(counts.values()) >= 20
+
+
+def test_removing_a_shard_moves_only_its_devices():
+    router = ShardRouter(SHARDS)
+    before = {device: router.route(device) for device in DEVICES}
+    pool = set(SHARDS) - {"shard-2"}
+    for device in DEVICES:
+        after = router.route(device, pool)
+        if before[device] == "shard-2":
+            assert after in pool
+        else:
+            assert after == before[device]
+
+
+def test_empty_pool_returns_none():
+    router = ShardRouter(SHARDS)
+    assert router.route("dev-1", set()) is None

@@ -344,3 +344,94 @@ class TestVerifyCommand:
         out = capsys.readouterr().out
         assert "planted defects caught" in out
         assert "MISSED" not in out
+
+
+class TestGlobalFlagPositions:
+    """The shared parent parser: global flags before OR after the command."""
+
+    def test_trace_after_subcommand(self, tmp_path, capsys):
+        trace = tmp_path / "after.jsonl"
+        code = main([
+            "roundtrip", "--trace", str(trace), "--fast",
+            "--device", "MSP430G2553", "--sram-kib", "0.25", "--message", "hi",
+        ])
+        assert code == 0
+        assert trace.exists() and trace.stat().st_size > 0
+
+    def test_trace_before_subcommand_still_works(self, tmp_path):
+        trace = tmp_path / "before.jsonl"
+        code = main([
+            "--trace", str(trace), "roundtrip", "--fast",
+            "--device", "MSP430G2553", "--sram-kib", "0.25", "--message", "hi",
+        ])
+        assert code == 0
+        assert trace.exists() and trace.stat().st_size > 0
+
+    def test_root_value_not_clobbered_by_subparser(self, tmp_path):
+        """SUPPRESS defaults: the subparser must not reset a root flag."""
+        args = build_parser().parse_args([
+            "--metrics-out", str(tmp_path / "m.prom"), "list-devices",
+        ])
+        assert args.metrics_out == str(tmp_path / "m.prom")
+
+    def test_metrics_out_after_subcommand(self, tmp_path, capsys):
+        out = tmp_path / "m.prom"
+        code = main(["list-devices", "--metrics-out", str(out)])
+        assert code == 0
+        assert "repro" in out.read_text() or out.read_text() == ""
+
+    def test_every_subcommand_accepts_the_global_flags(self):
+        parser = build_parser()
+        # Probing via parse_args would run commands; inspect the actions.
+        sub = next(
+            action for action in parser._actions
+            if isinstance(action, __import__("argparse")._SubParsersAction)
+        )
+        for name, subparser in sub.choices.items():
+            flags = {
+                flag
+                for action in subparser._actions
+                for flag in action.option_strings
+            }
+            assert {"--trace", "--fault-plan", "--metrics-out"} <= flags, name
+
+
+class TestServeAndLoadCommands:
+    def test_serve_parser_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.shards == 4
+        assert args.port == 8642
+        assert args.duration is None
+
+    def test_load_parser_defaults(self):
+        args = build_parser().parse_args(["load"])
+        assert args.messages == 200
+        assert args.url.endswith(":8642")
+
+    def test_serve_duration_runs_and_drains(self, capsys):
+        code = main([
+            "serve", "--shards", "2", "--port", "0", "--duration", "0.3",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "serving 2 shards on http://127.0.0.1:" in out
+        assert '"completed"' in out  # final stats JSON
+
+    def test_serve_rejects_unknown_fault_shard(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="fault_shards"):
+            main([
+                "serve", "--shards", "2", "--port", "0",
+                "--duration", "0.1", "--fault-shards", "shard-9",
+                "--shard-fault-plan", "flaky:0.5",
+            ])
+
+    def test_load_against_dead_endpoint_exits_nonzero(self, capsys):
+        code = main([
+            "load", "--url", "http://127.0.0.1:9",  # discard port: refused
+            "--messages", "2", "--concurrency", "1", "--timeout", "2",
+        ])
+        assert code == 1
+        captured = capsys.readouterr()
+        assert "soak failed" in captured.err
