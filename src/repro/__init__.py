@@ -86,11 +86,14 @@ from .ecc import (
 from .ecc.product import paper_end_to_end_code
 from .errors import (
     AdmissionError,
+    CircuitOpenError,
+    JournalError,
     QuarantinedDeviceError,
     ReproError,
     RetryExhaustedError,
     ServiceError,
     ServiceStoppedError,
+    ServiceUnavailableError,
 )
 from .faults import (
     FaultInjector,
@@ -133,6 +136,7 @@ __all__ = [
     "BlockInterleaver",
     "Captures",
     "ChannelModel",
+    "CircuitOpenError",
     "Code",
     "CodingScheme",
     "ConcatenatedCode",
@@ -153,6 +157,7 @@ __all__ = [
     "HammingCode",
     "HealthLedger",
     "InvisibleBits",
+    "JournalError",
     "LoadGenerator",
     "MetricsRegistry",
     "MultipleSnapshotAdversary",
@@ -173,6 +178,7 @@ __all__ = [
     "ServiceConfig",
     "ServiceError",
     "ServiceStoppedError",
+    "ServiceUnavailableError",
     "SlotResult",
     "SramPuf",
     "SteganalysisReport",

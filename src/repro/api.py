@@ -66,6 +66,15 @@ def _require_device_id(device_id) -> None:
         )
 
 
+def _require_idempotency_key(key) -> None:
+    if key is None:
+        return
+    if not isinstance(key, str) or not key:
+        raise ConfigurationError(
+            f"idempotency_key must be a non-empty string or None, got {key!r}"
+        )
+
+
 @dataclass(frozen=True)
 class SendRequest:
     """Embed ``message`` on the device addressed by ``device_id``.
@@ -74,15 +83,22 @@ class SendRequest:
     the result, the service uses it to shard and to pin the simulated
     device it provisions.  ``stress_hours=None`` takes the device
     recipe's default.
+
+    ``idempotency_key`` makes retries safe against a journaled service:
+    a resubmission carrying the key of an already-completed request gets
+    the cached result back instead of aging the silicon a second time.
+    ``None`` means "no dedup" — the service assigns a fresh internal key.
     """
 
     device_id: str
     message: bytes
     stress_hours: "float | None" = None
     camouflage: bool = True
+    idempotency_key: "str | None" = None
 
     def __post_init__(self) -> None:
         _require_device_id(self.device_id)
+        _require_idempotency_key(self.idempotency_key)
         if not isinstance(self.message, bytes):
             raise ConfigurationError(
                 f"message must be bytes, got {type(self.message).__name__}"
@@ -100,6 +116,7 @@ class SendRequest:
             "message_hex": self.message.hex(),
             "stress_hours": self.stress_hours,
             "camouflage": self.camouflage,
+            "idempotency_key": self.idempotency_key,
         }
 
     @classmethod
@@ -115,6 +132,7 @@ class SendRequest:
             message=message,
             stress_hours=data.get("stress_hours"),
             camouflage=bool(data.get("camouflage", True)),
+            idempotency_key=data.get("idempotency_key"),
         )
 
 
@@ -158,22 +176,29 @@ class ReceiveRequest:
 
     device_id: str
     message_len: "int | None" = None
+    idempotency_key: "str | None" = None
 
     def __post_init__(self) -> None:
         _require_device_id(self.device_id)
+        _require_idempotency_key(self.idempotency_key)
         if self.message_len is not None and self.message_len < 1:
             raise ConfigurationError(
                 f"message_len must be >= 1, got {self.message_len}"
             )
 
     def to_dict(self) -> dict:
-        return {"device_id": self.device_id, "message_len": self.message_len}
+        return {
+            "device_id": self.device_id,
+            "message_len": self.message_len,
+            "idempotency_key": self.idempotency_key,
+        }
 
     @classmethod
     def from_dict(cls, data: dict) -> "ReceiveRequest":
         return cls(
             device_id=data.get("device_id", ""),
             message_len=data.get("message_len"),
+            idempotency_key=data.get("idempotency_key"),
         )
 
 

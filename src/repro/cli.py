@@ -434,12 +434,26 @@ def _cmd_serve(args) -> int:
         port=args.port,
         fault_plan=plan,
         fault_shards=fault_shards,
+        journal_dir=args.journal_dir,
+        checkpoint_every=args.checkpoint_every,
+        max_resident=args.max_resident,
+        probe_interval_s=args.probe_interval,
+        readmit_after=args.readmit_after,
     )
+    if args.journal_dir is not None:
+        _write_service_config_json(args)
 
     def on_ready(service) -> None:
+        recovered = ""
+        if service.recovery is not None:
+            r = service.recovery
+            recovered = (
+                f" (recovered: checkpoint={r.checkpoint} "
+                f"cached={r.cached} replayed={r.replayed})"
+            )
         print(
             f"serving {config.shards} shards on "
-            f"http://{config.host}:{service.port} "
+            f"http://{config.host}:{service.port}{recovered} "
             "(SIGINT/SIGTERM or POST /shutdown drains and exits)",
             flush=True,
         )
@@ -449,20 +463,94 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+#: ServiceConfig fields persisted to <journal_dir>/config.json so that
+#: ``repro recover`` can rebuild the exact fleet without re-passing flags.
+_PERSISTED_CONFIG_FIELDS = (
+    "shards", "queue_depth", "max_batch", "device_name", "sram_kib",
+    "seed", "journal_dir", "checkpoint_every", "max_resident",
+)
+
+
+def _write_service_config_json(args) -> None:
+    import json
+    import pathlib
+
+    directory = pathlib.Path(args.journal_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "shards": args.shards,
+        "queue_depth": args.queue_depth,
+        "max_batch": args.max_batch,
+        "device_name": args.device,
+        "sram_kib": args.sram_kib,
+        "seed": args.seed,
+        "journal_dir": args.journal_dir,
+        "checkpoint_every": args.checkpoint_every,
+        "max_resident": args.max_resident,
+    }
+    (directory / "config.json").write_text(json.dumps(payload, indent=1))
+
+
+def _cmd_recover(args) -> int:
+    """Offline recovery: replay a journal dir, print the report.
+
+    With ``--digest`` also prints the recovered fleet's state digest and
+    the digest of every journaled ok result — the CI crash-recovery job
+    compares these against an uninterrupted reference run.
+    """
+    import json
+    import pathlib
+
+    from .service import ServiceConfig, recover_components, results_digest
+
+    config_path = pathlib.Path(args.journal_dir) / "config.json"
+    overrides = {}
+    if config_path.exists():
+        raw = json.loads(config_path.read_text())
+        overrides = {
+            k: raw[k] for k in _PERSISTED_CONFIG_FIELDS if k in raw
+        }
+    overrides["journal_dir"] = args.journal_dir
+    config = ServiceConfig(**overrides)
+    host, journal, cache, report = recover_components(config)
+    journal.close()
+    out = {"recovery": report.to_dict()}
+    if args.digest:
+        out["state_digest"] = host.state_digest()
+        out["results_digest"] = results_digest(
+            [
+                outcome.to_dict()
+                for outcome in cache.values()
+                if not isinstance(outcome, BaseException)
+            ]
+        )
+    print(json.dumps(out, indent=2, sort_keys=True))
+    return 0
+
+
 def _cmd_load(args) -> int:
     """Soak a running service; nonzero exit unless fully accounted."""
     import json
 
-    from .service import LoadGenerator, ServiceClient
+    from .service import CircuitBreaker, LoadGenerator, ServiceClient
 
     generator = LoadGenerator(
         seed=args.seed,
         message_bytes=args.message_bytes,
         stress_hours=args.stress_hours,
+        idempotency=args.idempotency or args.restart_retries > 0,
     )
-    client = ServiceClient(args.url, timeout=args.timeout)
+    client = ServiceClient(
+        args.url,
+        timeout=args.timeout,
+        breaker=CircuitBreaker() if args.restart_retries > 0 else None,
+    )
     report = generator.run_remote(
-        client, args.messages, concurrency=args.concurrency
+        client,
+        args.messages,
+        concurrency=args.concurrency,
+        restart_retries=args.restart_retries,
+        restart_backoff_s=args.restart_backoff,
     )
     print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
     ok = report.lost == 0 and report.mismatched == 0 and report.failed == 0
@@ -723,7 +811,34 @@ def build_parser() -> argparse.ArgumentParser:
                        help="fault plan (JSON path or compact spec) for the "
                        "lanes named by --fault-shards; unlike the global "
                        "--fault-plan this is lane-scoped, not fleet-wide")
+    serve.add_argument("--journal-dir", default=None, metavar="DIR",
+                       help="enable crash-safe durability: write-ahead "
+                       "journal + checkpoints under DIR; restarting on the "
+                       "same DIR recovers bit-identically")
+    serve.add_argument("--checkpoint-every", type=int, default=0,
+                       help="auto-checkpoint after this many journaled "
+                       "completions (default 0 = only on graceful stop)")
+    serve.add_argument("--max-resident", type=int, default=None,
+                       help="LRU cap on in-memory simulated devices; "
+                       "overflow archives to the journal dir")
+    serve.add_argument("--probe-interval", type=float, default=0.0,
+                       help="re-probe tripped lanes with synthetic traffic "
+                       "every this many seconds (default 0 = off)")
+    serve.add_argument("--readmit-after", type=int, default=3,
+                       help="consecutive clean probes before a tripped lane "
+                       "is re-admitted (default 3)")
     serve.set_defaults(func=_cmd_serve)
+
+    recover = sub.add_parser(
+        "recover",
+        help="replay a service journal dir offline and print the report",
+    )
+    recover.add_argument("journal_dir", metavar="DIR",
+                         help="the --journal-dir a service ran with")
+    recover.add_argument("--digest", action="store_true",
+                         help="also print the recovered fleet state digest "
+                         "and the digest of all journaled ok results")
+    recover.set_defaults(func=_cmd_recover)
 
     load = sub.add_parser(
         "load",
@@ -744,6 +859,17 @@ def build_parser() -> argparse.ArgumentParser:
     load.add_argument("--stress-hours", type=float, default=None,
                       help="encode stress per message (default: device "
                            "recipe; raise for raw-BER margin on big soaks)")
+    load.add_argument("--idempotency", action="store_true",
+                      help="stamp deterministic idempotency keys on every "
+                      "op (rerunning the same soak resumes instead of "
+                      "re-executing against a journaled service)")
+    load.add_argument("--restart-retries", type=int, default=0,
+                      help="retry an op this many times across service "
+                      "restart windows before counting it lost "
+                      "(implies --idempotency)")
+    load.add_argument("--restart-backoff", type=float, default=0.5,
+                      help="seconds between restart-window retries "
+                      "(default 0.5)")
     load.set_defaults(func=_cmd_load)
     return parser
 

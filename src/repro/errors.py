@@ -148,3 +148,31 @@ class AdmissionError(ServiceError):
 
 class ServiceStoppedError(ServiceError):
     """The service is draining or stopped and accepts no new jobs."""
+
+
+class JournalError(ServiceError):
+    """The write-ahead journal or a checkpoint is unusable.
+
+    Raised on CRC corruption *before* the final record (a torn tail is
+    tolerated — that is the expected signature of a crash mid-append),
+    on a manifest referencing device files that do not exist, or on a
+    replay whose re-executed result diverges from the journaled one.
+    """
+
+
+class ServiceUnavailableError(ServiceError):
+    """The service endpoint cannot be reached right now.
+
+    Wraps connection-level failures (refused, reset, timed out) on the
+    client side.  Distinct from :class:`ServiceError` proper so soak
+    drivers can retry through a server restart window without also
+    retrying real application failures.
+    """
+
+
+class CircuitOpenError(ServiceUnavailableError):
+    """The client's circuit breaker is open for this endpoint.
+
+    Calls fail fast without touching the socket until the cooldown
+    elapses; the first call after the cooldown is the half-open probe.
+    """

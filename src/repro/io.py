@@ -115,12 +115,19 @@ def load_enrollment(path):
     )
 
 
-def save_device_state(path, device) -> None:
-    """Persist a simulated device's full analog state (mismatch + aging).
+def device_state_arrays(device, *, rng_state: bool = True) -> dict:
+    """The self-contained array mapping behind a device-state snapshot.
 
-    Long campaigns (14-week shelf studies, multi-session fleets) can stop
-    and resume without recomputing stress history.  Uses numpy's ``.npz``
-    container; power must be off (a real device also only travels cold).
+    Shared by :func:`save_device_state` (which writes it to ``.npz``) and
+    the fleet service's checkpointer (which stores the same mapping per
+    device under a checkpoint directory).  The device must be powered off.
+
+    ``rng_state=True`` additionally captures the exact position of the
+    device's noise RNG stream (as a JSON-encoded bit-generator state), so
+    a restored device draws the *same* future capture noise as one that
+    was never snapshotted — the property the crash-restart bit-identity
+    oracle rests on.  Statistical resume (the original campaign use case)
+    does not need it.
     """
     from .errors import PowerError
 
@@ -131,39 +138,45 @@ def save_device_state(path, device) -> None:
     # snapshot is self-contained (the format has no pending-relax field).
     sram.age_when_1.flush_relax()
     sram.age_when_0.flush_relax()
-    np.savez_compressed(
-        _check_path(path),
-        format=np.array("invisible-bits/device-state"),
-        version=np.array(FORMAT_VERSION),
-        device_name=np.array(device.spec.name),
-        device_id=np.frombuffer(device.device_id, dtype=np.uint8),
-        n_bits=np.array(sram.n_bits),
-        mismatch=sram.mismatch,
-        stress_1=sram.age_when_1.stress_seconds,
-        relax_1=sram.age_when_1.relax_seconds,
-        stress_0=sram.age_when_0.stress_seconds,
-        relax_0=sram.age_when_0.relax_seconds,
-        toggle_count=np.array(sram.toggle_count),
-    )
+    arrays = {
+        "format": np.array("invisible-bits/device-state"),
+        "version": np.array(FORMAT_VERSION),
+        "device_name": np.array(device.spec.name),
+        "device_id": np.frombuffer(device.device_id, dtype=np.uint8),
+        "n_bits": np.array(sram.n_bits),
+        "mismatch": sram.mismatch,
+        "stress_1": sram.age_when_1.stress_seconds,
+        "relax_1": sram.age_when_1.relax_seconds,
+        "stress_0": sram.age_when_0.stress_seconds,
+        "relax_0": sram.age_when_0.relax_seconds,
+        "toggle_count": np.array(sram.toggle_count),
+    }
+    if rng_state:
+        arrays["rng_state"] = np.array(
+            json.dumps(device._rng.bit_generator.state)
+        )
+    return arrays
 
 
-def load_device_state(path, device) -> None:
-    """Restore a snapshot into a compatible (same model, same size) device.
+def apply_device_state(device, raw, *, source: str = "snapshot") -> None:
+    """Restore a :func:`device_state_arrays` mapping into ``device``.
 
-    The target keeps its own RNG stream; only the analog state is replaced.
+    The target must be the same model and SRAM size.  When the mapping
+    carries an ``rng_state`` entry the device's noise RNG is rewound to
+    the captured position; otherwise the target keeps its own stream and
+    only the analog state is replaced.
     """
-    raw = np.load(_check_path(path))
     if str(raw["format"]) != "invisible-bits/device-state":
-        raise ConfigurationError(f"{path}: not a device-state file")
+        raise ConfigurationError(f"{source}: not a device-state file")
     if int(raw["version"]) != FORMAT_VERSION:
-        raise ConfigurationError(f"{path}: unsupported version")
+        raise ConfigurationError(f"{source}: unsupported version")
     if str(raw["device_name"]) != device.spec.name:
         raise ConfigurationError(
-            f"{path}: snapshot is for {raw['device_name']}, "
+            f"{source}: snapshot is for {raw['device_name']}, "
             f"target is {device.spec.name}"
         )
     if int(raw["n_bits"]) != device.sram.n_bits:
-        raise ConfigurationError(f"{path}: SRAM size mismatch")
+        raise ConfigurationError(f"{source}: SRAM size mismatch")
     sram = device.sram
     sram.mismatch[...] = raw["mismatch"]
     sram.age_when_1.stress_seconds[...] = raw["stress_1"]
@@ -176,7 +189,32 @@ def load_device_state(path, device) -> None:
     sram.age_when_0.pending_relax = 0.0
     sram.toggle_count = float(raw["toggle_count"])
     sram.invalidate_analog_caches()
-    device.device_id = bytes(raw["device_id"].tobytes())
+    device.device_id = bytes(np.asarray(raw["device_id"]).tobytes())
+    if "rng_state" in getattr(raw, "files", raw):
+        device._rng.bit_generator.state = json.loads(str(raw["rng_state"]))
+
+
+def save_device_state(path, device, *, rng_state: bool = True) -> None:
+    """Persist a simulated device's full analog state (mismatch + aging).
+
+    Long campaigns (14-week shelf studies, multi-session fleets) can stop
+    and resume without recomputing stress history.  Uses numpy's ``.npz``
+    container; power must be off (a real device also only travels cold).
+    """
+    np.savez_compressed(
+        _check_path(path), **device_state_arrays(device, rng_state=rng_state)
+    )
+
+
+def load_device_state(path, device) -> None:
+    """Restore a snapshot into a compatible (same model, same size) device.
+
+    Snapshots written with ``rng_state`` (the default since the service
+    durability layer) also rewind the device's noise RNG; older snapshots
+    leave the target's own stream in place.
+    """
+    raw = np.load(_check_path(path))
+    apply_device_state(device, raw, source=str(path))
 
 
 def save_helper_data(path, helper) -> None:

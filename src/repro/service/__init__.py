@@ -12,28 +12,47 @@ The serving layer (docs/service.md) behind ``repro serve``:
 - :class:`~repro.service.admission.AdmissionController` — healthy-set
   bookkeeping on a :class:`~repro.faults.HealthLedger`.
 - :class:`~repro.service.client.ServiceClient` /
-  :class:`LoadGenerator` — the HTTP client and the deterministic
+  :class:`LoadGenerator` — the hardened HTTP client (timeouts, retries,
+  circuit breaker, idempotency keys) and the deterministic
   send→receive→verify soak driver behind ``repro load``.
+- :class:`~repro.service.journal.Journal` and
+  :mod:`~repro.service.recovery` — the write-ahead journal, fleet
+  checkpoints and the crash-restart replay that make the service
+  durable (``docs/service.md`` "Durability & recovery").
 """
 
 from .admission import AdmissionController
-from .client import LoadGenerator, LoadReport, ServiceClient
+from .client import CircuitBreaker, LoadGenerator, LoadReport, ServiceClient
+from .journal import Journal, read_journal
 from .queue import BoundedJobQueue, Job
+from .recovery import (
+    RecoveryReport,
+    latest_checkpoint,
+    recover_components,
+    results_digest,
+)
 from .server import FleetService, ServiceConfig, serve_forever
 from .shards import FleetHost, Shard, ShardRouter, stable_seed
 
 __all__ = [
     "AdmissionController",
     "BoundedJobQueue",
+    "CircuitBreaker",
     "FleetHost",
     "FleetService",
     "Job",
+    "Journal",
     "LoadGenerator",
     "LoadReport",
+    "RecoveryReport",
     "ServiceClient",
     "ServiceConfig",
     "Shard",
     "ShardRouter",
+    "latest_checkpoint",
+    "read_journal",
+    "recover_components",
+    "results_digest",
     "serve_forever",
     "stable_seed",
 ]

@@ -37,6 +37,7 @@ class AdmissionController:
         self._lock = threading.Lock()
         self._trip_reasons: "dict[str, str]" = {}
         self.shed = 0
+        self.readmissions = 0
 
     @property
     def healthy(self) -> "set[str]":
@@ -54,23 +55,31 @@ class AdmissionController:
         return not self._ledger.is_quarantined(name)
 
     def trip(self, name: str, reason: str) -> bool:
-        """Quarantine a shard; returns True on the healthy→tripped edge."""
+        """Quarantine a shard; returns True on the healthy→tripped edge.
+
+        The ledger update and the reason book share one critical section:
+        with separate locks a concurrent :meth:`readmit` could interleave
+        and leave a lane quarantined without a reason (or healthy with a
+        stale one) — the tripped-and-serving split state the concurrency
+        hammer test pins down.
+        """
         if name not in self._all:
             raise ConfigurationError(f"unknown shard {name!r}")
-        newly = self._ledger.record_failure(name)
-        if newly:
-            with self._lock:
+        with self._lock:
+            newly = self._ledger.record_failure(name)
+            if newly:
                 self._trip_reasons[name] = reason
-        return newly
+            return newly
 
     def readmit(self, name: str) -> bool:
         """Re-admit a repaired shard with a clean ledger history."""
         if name not in self._all:
             raise ConfigurationError(f"unknown shard {name!r}")
-        was_tripped = self._ledger.reset(name)
         with self._lock:
+            was_tripped = self._ledger.reset(name)
             self._trip_reasons.pop(name, None)
-        return was_tripped
+            self.readmissions += was_tripped
+            return was_tripped
 
     def count_shed(self) -> None:
         with self._lock:
@@ -97,4 +106,5 @@ class AdmissionController:
             "healthy": sorted(healthy),
             "tripped": self.tripped,
             "shed": self.shed,
+            "readmissions": self.readmissions,
         }

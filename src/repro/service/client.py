@@ -1,8 +1,15 @@
-"""Clients for the fleet service: HTTP wrapper and load generator.
+"""Clients for the fleet service: hardened HTTP wrapper and load generator.
 
-:class:`ServiceClient` is the thin synchronous wrapper over the service
-HTTP surface (stdlib ``http.client`` — the container has no requests
-library, and none is needed for a loopback control plane).
+:class:`ServiceClient` is the synchronous wrapper over the service HTTP
+surface (stdlib ``http.client`` — the container has no requests library,
+and none is needed for a loopback control plane), hardened for restart
+windows: per-call timeouts, capped-exponential retries on
+connection-level failures (reusing the repo-wide
+:class:`~repro.faults.RetryPolicy` schedule), and a per-endpoint
+:class:`CircuitBreaker` that fails fast while the endpoint is clearly
+down.  Job calls auto-assign an ``idempotency_key`` when the request has
+none, so a retry that lands after the original was actually executed is
+deduplicated by the journaled service instead of aging silicon twice.
 
 :class:`LoadGenerator` drives soak traffic: every message gets a fresh
 deterministic ``device_id`` and payload (blake2b of the run seed and
@@ -18,22 +25,100 @@ for as completed, failed, or shed.
 from __future__ import annotations
 
 import asyncio
+import dataclasses
 import hashlib
 import json
+import threading
 import time
+import uuid
 from dataclasses import dataclass, field
 from http.client import HTTPConnection
 from urllib.parse import urlsplit
 
+from .. import telemetry
 from ..api import ReceiveRequest, ReceiveResult, SendRequest, SendResult
 from ..errors import (
     AdmissionError,
+    CircuitOpenError,
     ConfigurationError,
     ReproError,
     ServiceError,
+    ServiceUnavailableError,
 )
+from ..faults import RetryPolicy
 
-__all__ = ["LoadGenerator", "LoadReport", "ServiceClient"]
+__all__ = ["CircuitBreaker", "LoadGenerator", "LoadReport", "ServiceClient"]
+
+
+class CircuitBreaker:
+    """Consecutive-failure circuit breaker for one endpoint.
+
+    ``threshold`` connection-level failures in a row open the circuit:
+    calls fail fast with :class:`~repro.errors.CircuitOpenError` (no
+    socket touched) until ``cooldown_s`` passes, then exactly one
+    half-open probe call is let through — success closes the circuit,
+    failure re-opens it for another cooldown.  Thread-safe: the load
+    generator's soak threads share their client's breaker.
+    """
+
+    def __init__(
+        self,
+        *,
+        threshold: int = 5,
+        cooldown_s: float = 1.0,
+        clock=time.monotonic,
+    ):
+        if threshold < 1:
+            raise ConfigurationError(
+                f"threshold must be >= 1, got {threshold}"
+            )
+        if cooldown_s <= 0:
+            raise ConfigurationError(
+                f"cooldown_s must be > 0, got {cooldown_s}"
+            )
+        self.threshold = threshold
+        self.cooldown_s = cooldown_s
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._failures = 0
+        self._open_until = 0.0
+        self._half_open_busy = False
+        self.opens = 0
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            if self._failures < self.threshold:
+                return "closed"
+            return "open" if self._clock() < self._open_until else "half-open"
+
+    def before_call(self) -> None:
+        """Gate one call; raises :class:`CircuitOpenError` while open."""
+        with self._lock:
+            if self._failures < self.threshold:
+                return
+            now = self._clock()
+            if now < self._open_until or self._half_open_busy:
+                raise CircuitOpenError(
+                    f"circuit open for {self._open_until - now:.2f}s more "
+                    f"after {self._failures} consecutive failures"
+                )
+            # Half-open: admit exactly one probe call at a time.
+            self._half_open_busy = True
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._failures = 0
+            self._half_open_busy = False
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self._failures += 1
+            self._half_open_busy = False
+            if self._failures >= self.threshold:
+                self._open_until = self._clock() + self.cooldown_s
+                self.opens += 1
+                telemetry.count("client.circuit_opened")
 
 
 class ServiceClient:
@@ -43,18 +128,40 @@ class ServiceClient:
     ``Connection: close``); errors the service classified come back as
     the matching :mod:`repro.errors` type — 429 →
     :class:`~repro.errors.AdmissionError`, 5xx →
-    :class:`~repro.errors.ServiceError`.
+    :class:`~repro.errors.ServiceError`, connection-level failures →
+    :class:`~repro.errors.ServiceUnavailableError` (retried on the
+    ``retry`` policy's capped-exponential schedule with real sleeps
+    before surfacing).  ``retry=RetryPolicy.none()`` disables retries;
+    ``breaker=None`` disables the circuit breaker.
     """
 
-    def __init__(self, url: str, *, timeout: float = 60.0):
+    def __init__(
+        self,
+        url: str,
+        *,
+        timeout: float = 60.0,
+        retry: "RetryPolicy | None" = None,
+        breaker: "CircuitBreaker | None" = None,
+        sleep=time.sleep,
+    ):
         parts = urlsplit(url if "//" in url else f"http://{url}")
         if not parts.hostname:
             raise ConfigurationError(f"bad service url {url!r}")
         self.host = parts.hostname
         self.port = parts.port or 80
         self.timeout = timeout
+        self.retry = retry if retry is not None else RetryPolicy(
+            max_attempts=4, base_delay_s=0.1, max_delay_s=2.0
+        )
+        self.breaker = breaker
+        self._sleep = sleep
+        self.retried = 0
 
-    def _request(self, method: str, path: str, payload: "dict | None" = None):
+    def _request_once(
+        self, method: str, path: str, payload: "dict | None" = None
+    ):
+        if self.breaker is not None:
+            self.breaker.before_call()
         conn = HTTPConnection(self.host, self.port, timeout=self.timeout)
         try:
             body = json.dumps(payload).encode() if payload is not None else None
@@ -62,13 +169,41 @@ class ServiceClient:
             conn.request(method, path, body=body, headers=headers)
             response = conn.getresponse()
             raw = response.read()
-            return response.status, raw
         except OSError as exc:
-            raise ServiceError(
+            if self.breaker is not None:
+                self.breaker.record_failure()
+            raise ServiceUnavailableError(
                 f"cannot reach service at {self.host}:{self.port}: {exc}"
             ) from exc
         finally:
             conn.close()
+        if self.breaker is not None:
+            self.breaker.record_success()
+        return response.status, raw
+
+    def _request(self, method: str, path: str, payload: "dict | None" = None):
+        """One logical request: retries connection-level failures.
+
+        Retrying is safe for every route the client owns — the GET
+        surfaces are read-only and the job POSTs carry idempotency keys
+        (see :meth:`_keyed`) — so a retry that follows a
+        half-executed original is deduplicated server-side.
+        ``CircuitOpenError`` propagates immediately: the whole point of
+        the breaker is not to queue more work behind a dead endpoint.
+        """
+        delays = self.retry.delays()
+        for attempt in range(1, self.retry.max_attempts + 1):
+            try:
+                return self._request_once(method, path, payload)
+            except CircuitOpenError:
+                raise
+            except ServiceUnavailableError:
+                if attempt == self.retry.max_attempts:
+                    raise
+                self.retried += 1
+                telemetry.count("client.retries")
+                self._sleep(delays[attempt - 1])
+        raise AssertionError("unreachable")  # pragma: no cover
 
     def _json(self, method: str, path: str, payload: "dict | None" = None):
         status, raw = self._request(method, path, payload)
@@ -80,19 +215,33 @@ class ServiceClient:
             raise AdmissionError(
                 str(data.get("error", "shed")), shard=data.get("shard")
             )
+        if status == 503:
+            raise ServiceUnavailableError(
+                str(data.get("error", "service unavailable"))
+            )
         if status >= 400:
             detail = data.get("error", repr(raw))
             raise ServiceError(f"HTTP {status} on {method} {path}: {detail}")
         return data
 
+    @staticmethod
+    def _keyed(request):
+        """The request with an idempotency key, minting one if absent —
+        the piece that makes the retry loop exactly-once end to end."""
+        if request.idempotency_key is not None:
+            return request
+        return dataclasses.replace(
+            request, idempotency_key=f"client-{uuid.uuid4().hex}"
+        )
+
     def send(self, request: SendRequest) -> SendResult:
         return SendResult.from_dict(
-            self._json("POST", "/send", request.to_dict())
+            self._json("POST", "/send", self._keyed(request).to_dict())
         )
 
     def receive(self, request: ReceiveRequest) -> ReceiveResult:
         return ReceiveResult.from_dict(
-            self._json("POST", "/receive", request.to_dict())
+            self._json("POST", "/receive", self._keyed(request).to_dict())
         )
 
     def metrics(self) -> str:
@@ -170,6 +319,7 @@ class LoadGenerator:
         seed: int = 0,
         message_bytes: int = 8,
         stress_hours: "float | None" = None,
+        idempotency: bool = False,
     ):
         if message_bytes < 1:
             raise ConfigurationError(
@@ -186,12 +336,36 @@ class LoadGenerator:
         #: varied fleet (the paper's stress-time-vs-error tradeoff), so
         #: big soaks run hotter than the 12 h recipe default.
         self.stress_hours = stress_hours
+        #: Stamp every request with a deterministic per-op idempotency
+        #: key (``soak-<seed>-<index>-<op>``).  Against a journaled
+        #: service, rerunning the same soak after a crash resumes it:
+        #: already-executed ops come back from the cache, only the lost
+        #: tail actually runs.  Off by default so repeated soaks against
+        #: one long-lived service measure real work, not cache hits.
+        self.idempotency = idempotency
 
     def device_id(self, index: int) -> str:
         return f"dev-{self.seed}-{index:06d}"
 
     def message(self, index: int) -> bytes:
         return _payload_for(self.seed, index, self.message_bytes)
+
+    def _key(self, index: int, op: str) -> "str | None":
+        return f"soak-{self.seed}-{index}-{op}" if self.idempotency else None
+
+    def _requests(self, index: int) -> "tuple[SendRequest, ReceiveRequest]":
+        return (
+            SendRequest(
+                device_id=self.device_id(index),
+                message=self.message(index),
+                stress_hours=self.stress_hours,
+                idempotency_key=self._key(index, "send"),
+            ),
+            ReceiveRequest(
+                device_id=self.device_id(index),
+                idempotency_key=self._key(index, "recv"),
+            ),
+        )
 
     async def run(
         self,
@@ -217,19 +391,11 @@ class LoadGenerator:
             nonlocal completed, failed, shed, mismatched
             device_id = self.device_id(index)
             message = self.message(index)
+            send_request, receive_request = self._requests(index)
             async with gate:
                 try:
-                    await service.submit(
-                        SendRequest(
-                            device_id=device_id,
-                            message=message,
-                            stress_hours=self.stress_hours,
-                        ),
-                        wait=wait,
-                    )
-                    result = await service.submit(
-                        ReceiveRequest(device_id=device_id), wait=wait
-                    )
+                    await service.submit(send_request, wait=wait)
+                    result = await service.submit(receive_request, wait=wait)
                 except AdmissionError as exc:
                     async with lock:
                         shed += 1
@@ -270,30 +436,64 @@ class LoadGenerator:
         n_messages: int,
         *,
         concurrency: int = 8,
+        restart_retries: int = 0,
+        restart_backoff_s: float = 0.5,
     ) -> LoadReport:
-        """Threaded soak over HTTP (the CI smoke path)."""
+        """Threaded soak over HTTP (the CI smoke path).
+
+        ``restart_retries > 0`` makes the soak survive a service restart
+        window: an op that hits a connection-level failure (reset,
+        refused, circuit open — the kill-9 signature) backs off
+        ``restart_backoff_s`` and re-issues the *same* request, up to
+        the bound, before being left uncounted (``lost``).  Requires
+        :attr:`idempotency` so re-issues after a half-executed original
+        dedup server-side instead of double-aging silicon.
+        """
         from concurrent.futures import ThreadPoolExecutor
 
         if n_messages < 1:
             raise ConfigurationError(f"need >= 1 message, got {n_messages}")
+        if restart_retries < 0:
+            raise ConfigurationError(
+                f"restart_retries must be >= 0, got {restart_retries}"
+            )
+        if restart_retries > 0 and not self.idempotency:
+            raise ConfigurationError(
+                "restart_retries needs idempotency=True — re-issuing "
+                "unkeyed jobs across a restart can execute them twice"
+            )
         counters = {"completed": 0, "failed": 0, "shed": 0, "mismatched": 0}
         errors: "list[str]" = []
-        import threading
-
         lock = threading.Lock()
+
+        def call_through_restarts(fn):
+            for attempt in range(restart_retries + 1):
+                try:
+                    return fn()
+                except ServiceUnavailableError:
+                    if attempt == restart_retries:
+                        raise
+                    telemetry.count("load.restart_retries")
+                    time.sleep(restart_backoff_s)
+            raise AssertionError("unreachable")  # pragma: no cover
 
         def one(index: int) -> None:
             device_id = self.device_id(index)
             message = self.message(index)
+            send_request, receive_request = self._requests(index)
             try:
-                client.send(
-                    SendRequest(
-                        device_id=device_id,
-                        message=message,
-                        stress_hours=self.stress_hours,
-                    )
+                call_through_restarts(lambda: client.send(send_request))
+                result = call_through_restarts(
+                    lambda: client.receive(receive_request)
                 )
-                result = client.receive(ReceiveRequest(device_id=device_id))
+            except ServiceUnavailableError as exc:
+                # Out of restart budget: leave the op uncounted — it
+                # surfaces as ``lost`` in the report, which is exactly
+                # what the zero-lost CI gate should trip on.
+                with lock:
+                    if len(errors) < 10:
+                        errors.append(f"{device_id}: unreachable: {exc}")
+                return
             except AdmissionError as exc:
                 with lock:
                     counters["shed"] += 1

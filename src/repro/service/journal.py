@@ -1,0 +1,252 @@
+"""The write-ahead journal: every admitted job is on disk before it runs.
+
+Durability contract (docs/service.md "Durability & recovery"):
+
+- **Admit before enqueue.**  :meth:`Journal.admit` appends an ``admit``
+  record — sequence number, idempotency key, kind, and the full request
+  dict — *before* the job enters a shard queue.  A crash after the append
+  can lose the in-memory job but never the fact that it was accepted.
+- **Complete on result.**  :meth:`Journal.complete` appends the outcome:
+  the serialized result for successes, the error type/message for
+  failures, a bare ``shed`` marker for jobs refused mid-flight.  Recovery
+  replays every admitted-but-incomplete record and serves completed ones
+  from cache (idempotency keys make client retries exact no-ops).
+- **CRC framing.**  Each line is ``<crc32:08x> <compact-json>``; a torn
+  final line is the expected crash signature and is skipped, while a bad
+  CRC *before* a valid record means real corruption and raises
+  :class:`~repro.errors.JournalError` — silently resuming from a damaged
+  prefix could double-apply stress.
+- **Batched fsync.**  Appends are flushed to the OS on every record and
+  fsynced every ``fsync_every`` records (checkpoints and :meth:`close`
+  always fsync).  Losing a not-yet-synced tail is safe by construction:
+  a lost ``admit`` was never acknowledged (the client retries with the
+  same key), and a lost ``complete`` just re-executes deterministically
+  on replay.
+
+Record vocabulary (one JSON object per line, ``op`` discriminates):
+
+``{"op": "admit", "seq": n, "key": k, "kind": "send"|"receive",
+   "request": {...}}``
+``{"op": "complete", "seq": n, "key": k, "status": "ok"|"error"|"shed",
+   "result": {...}|None, "error": str|None, "error_type": str|None,
+   "replayed": bool}``
+``{"op": "checkpoint", "checkpoint": "ckpt-00000042",
+   "completed": [seq, ...]}``
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import threading
+import time
+import zlib
+
+from .. import metrics, telemetry
+from ..errors import ConfigurationError, JournalError
+
+__all__ = ["Journal", "read_journal"]
+
+#: Journal instruments on the process-wide registry (same get-or-create
+#: contract as the service counters in server.py).
+_APPENDS_TOTAL = metrics.counter(
+    "repro_journal_appends_total",
+    "Records appended to the write-ahead journal, by op",
+    labelnames=("op",),
+)
+_FSYNC_SECONDS = metrics.histogram(
+    "repro_journal_fsync_seconds",
+    "Wall latency of journal fsync batches",
+    buckets=metrics.exponential_buckets(1e-5, 4.0, 10),
+)
+_TORN_TAIL_TOTAL = metrics.counter(
+    "repro_journal_torn_tail_total",
+    "Torn/partial trailing lines skipped while reading a journal",
+)
+
+
+def _frame(record: dict) -> str:
+    body = json.dumps(record, separators=(",", ":"), sort_keys=True)
+    return f"{zlib.crc32(body.encode()):08x} {body}\n"
+
+
+def _unframe(line: str) -> "dict | None":
+    """Parse one framed line; ``None`` for anything torn or corrupt."""
+    if len(line) < 10 or line[8] != " ":
+        return None
+    crc_hex, body = line[:8], line[9:]
+    try:
+        if int(crc_hex, 16) != zlib.crc32(body.encode()):
+            return None
+        record = json.loads(body)
+    except (ValueError, TypeError):
+        return None
+    return record if isinstance(record, dict) and "op" in record else None
+
+
+def read_journal(path) -> "tuple[list[dict], int]":
+    """Read every valid record; returns ``(records, torn_lines)``.
+
+    A run of unparseable lines at the *end* of the file is the crash
+    signature (a write cut mid-line) and is tolerated; an unparseable
+    line followed by a valid record is corruption and raises
+    :class:`~repro.errors.JournalError`.
+    """
+    path = pathlib.Path(path)
+    if not path.exists():
+        return [], 0
+    records: "list[dict]" = []
+    bad_at: "int | None" = None
+    for lineno, line in enumerate(
+        path.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        if not line.strip():
+            continue
+        record = _unframe(line)
+        if record is None:
+            if bad_at is None:
+                bad_at = lineno
+            continue
+        if bad_at is not None:
+            raise JournalError(
+                f"{path}: corrupt record at line {bad_at} followed by a "
+                "valid one — refusing to replay a damaged journal"
+            )
+        records.append(record)
+    torn = 1 if bad_at is not None else 0
+    if torn:
+        _TORN_TAIL_TOTAL.inc()
+        telemetry.count("journal.torn_tail")
+    return records, torn
+
+
+class Journal:
+    """Append-only CRC-framed JSONL writer with batched fsync.
+
+    Thread-safe: the asyncio event loop appends admits/completes while a
+    checkpointer thread appends markers.  ``next_seq`` starts after the
+    highest seq already on disk, so reopening a journal (restart) keeps
+    sequence numbers strictly increasing across process lives.
+    """
+
+    def __init__(self, path, *, fsync_every: int = 8):
+        if fsync_every < 1:
+            raise ConfigurationError(
+                f"fsync_every must be >= 1, got {fsync_every}"
+            )
+        self.path = pathlib.Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        existing, _ = read_journal(self.path)
+        self.next_seq = 1 + max(
+            (r.get("seq", 0) for r in existing), default=0
+        )
+        self.fsync_every = fsync_every
+        self._file = open(self.path, "a", encoding="utf-8")
+        self._lock = threading.Lock()
+        self._unsynced = 0
+        self.appended = 0
+        self.fsyncs = 0
+
+    # -- record builders ----------------------------------------------------------
+
+    def admit(self, key: str, kind: str, request: dict) -> int:
+        """Journal an accepted job; returns its sequence number."""
+        with self._lock:
+            seq = self.next_seq
+            self.next_seq += 1
+            self._append(
+                {
+                    "op": "admit",
+                    "seq": seq,
+                    "key": key,
+                    "kind": kind,
+                    "request": request,
+                }
+            )
+        return seq
+
+    def complete(
+        self,
+        seq: int,
+        key: str,
+        status: str,
+        *,
+        result: "dict | None" = None,
+        error: "str | None" = None,
+        error_type: "str | None" = None,
+        replayed: bool = False,
+    ) -> None:
+        """Journal a job outcome (``ok``/``error``/``shed``)."""
+        if status not in ("ok", "error", "shed"):
+            raise ConfigurationError(f"unknown complete status {status!r}")
+        with self._lock:
+            self._append(
+                {
+                    "op": "complete",
+                    "seq": seq,
+                    "key": key,
+                    "status": status,
+                    "result": result,
+                    "error": error,
+                    "error_type": error_type,
+                    "replayed": replayed,
+                }
+            )
+
+    def checkpoint(self, checkpoint_id: str, completed: "list[int]") -> None:
+        """Journal a durable checkpoint marker (always fsynced)."""
+        with self._lock:
+            self._append(
+                {
+                    "op": "checkpoint",
+                    "checkpoint": checkpoint_id,
+                    "completed": sorted(completed),
+                }
+            )
+            self._fsync()
+
+    # -- plumbing -----------------------------------------------------------------
+
+    def _append(self, record: dict) -> None:
+        self._file.write(_frame(record))
+        self._file.flush()
+        self.appended += 1
+        self._unsynced += 1
+        _APPENDS_TOTAL.inc(op=record["op"])
+        if self._unsynced >= self.fsync_every:
+            self._fsync()
+
+    def _fsync(self) -> None:
+        if self._unsynced == 0 or self._file.closed:
+            return
+        start = time.perf_counter()
+        os.fsync(self._file.fileno())
+        _FSYNC_SECONDS.observe(time.perf_counter() - start)
+        self._unsynced = 0
+        self.fsyncs += 1
+
+    def flush(self) -> None:
+        """Force any batched records down to the disk."""
+        with self._lock:
+            self._fsync()
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._file.closed:
+                self._fsync()
+                self._file.close()
+
+    def abandon(self) -> None:
+        """Close the handle with no final fsync — the crash-simulation
+        path (:meth:`FleetService.abort`); whatever the OS already has is
+        whatever recovery gets."""
+        with self._lock:
+            if not self._file.closed:
+                self._file.close()
+
+    def __enter__(self) -> "Journal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -43,6 +43,10 @@ class Job:
     future: asyncio.Future
     shard: "str | None" = None
     reroutes: int = 0
+    #: Write-ahead journal coordinates, set at admission when the service
+    #: runs with a journal (``None`` on the in-memory path).
+    seq: "int | None" = None
+    key: "str | None" = None
 
     @classmethod
     def for_request(
@@ -103,6 +107,23 @@ class BoundedJobQueue:
             except asyncio.QueueEmpty:
                 break
         return batch
+
+    def drain_pending(self) -> "list[Job]":
+        """Remove and return every queued (not in-flight) job.
+
+        The no-drain stop path uses this to *shed explicitly*: each
+        drained job is marked ``task_done`` here so :meth:`join` still
+        balances, and the service fails its future (and journals a
+        ``shed`` completion) instead of letting it dangle forever.
+        """
+        drained: "list[Job]" = []
+        while True:
+            try:
+                drained.append(self._queue.get_nowait())
+            except asyncio.QueueEmpty:
+                break
+            self._queue.task_done()
+        return drained
 
     def task_done(self) -> None:
         self._queue.task_done()

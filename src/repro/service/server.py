@@ -32,11 +32,13 @@ from __future__ import annotations
 
 import asyncio
 import json
+import pathlib
 import signal
 from dataclasses import dataclass
 
 from .. import metrics, telemetry
 from ..api import ReceiveRequest, SendRequest
+from ..core.pipeline import InvisibleBits
 from ..core.scheme import CodingScheme, paper_end_to_end_scheme
 from ..errors import (
     AdmissionError,
@@ -44,10 +46,13 @@ from ..errors import (
     ReproError,
     ServiceStoppedError,
 )
-from ..faults import FaultPlan
+from ..experiments.common import make_varied_device
+from ..faults import FaultPlan, RetryPolicy
+from ..harness.controlboard import ControlBoard
 from .admission import AdmissionController
+from .journal import Journal
 from .queue import BoundedJobQueue, Job
-from .shards import FleetHost, Shard, ShardRouter
+from .shards import FleetHost, Shard, ShardRouter, stable_seed
 
 __all__ = ["FleetService", "ServiceConfig", "serve_forever"]
 
@@ -71,6 +76,23 @@ _SHED_TOTAL = metrics.counter(
     "repro_service_shed_total",
     "Jobs refused at admission (full queue or no healthy shards)",
 )
+_IDEM_REPLAYS_TOTAL = metrics.counter(
+    "repro_service_idempotent_replays_total",
+    "Requests answered from the idempotency cache instead of re-executing",
+)
+_CHECKPOINTS_TOTAL = metrics.counter(
+    "repro_service_checkpoints_total",
+    "Fleet checkpoints written by the service",
+)
+_PROBES_TOTAL = metrics.counter(
+    "repro_service_probes_total",
+    "Synthetic readmission probes against tripped lanes, by outcome",
+    labelnames=("shard", "outcome"),
+)
+_READMITTED_TOTAL = metrics.counter(
+    "repro_service_readmitted_total",
+    "Tripped lanes re-admitted by the readmission prober",
+)
 
 
 @dataclass(frozen=True)
@@ -92,6 +114,21 @@ class ServiceConfig:
     fault_shards: "tuple[str, ...]" = ()
     host: str = "127.0.0.1"
     port: "int | None" = None
+    #: Durability: a directory for the write-ahead journal + checkpoints.
+    #: ``None`` keeps the service purely in-memory (the bench baseline).
+    journal_dir: "str | None" = None
+    #: Auto-checkpoint after this many journaled completions (0 = only
+    #: the final graceful-stop checkpoint).
+    checkpoint_every: int = 0
+    #: LRU cap on simulated devices held in memory; overflow is archived
+    #: to disk and rehydrated bit-identically on next touch.
+    max_resident: "int | None" = None
+    archive_dir: "str | None" = None
+    #: Self-healing: re-probe tripped lanes every this many seconds with
+    #: synthetic traffic (0 = prober off); re-admit after this many
+    #: consecutive probes inside the raw-BER SLO.
+    probe_interval_s: float = 0.0
+    readmit_after: int = 3
 
     def __post_init__(self):
         if self.shards < 1:
@@ -109,6 +146,37 @@ class ServiceConfig:
             raise ConfigurationError(
                 f"fault_shards {sorted(unknown)} not in {self.shard_names}"
             )
+        if self.checkpoint_every < 0:
+            raise ConfigurationError(
+                f"checkpoint_every must be >= 0, got {self.checkpoint_every}"
+            )
+        if self.checkpoint_every and self.journal_dir is None:
+            raise ConfigurationError(
+                "checkpoint_every needs a journal_dir to write into"
+            )
+        if self.max_resident is not None and self.max_resident < 1:
+            raise ConfigurationError(
+                f"max_resident must be >= 1, got {self.max_resident}"
+            )
+        if self.max_resident is not None and self.resolved_archive_dir() is None:
+            raise ConfigurationError(
+                "max_resident needs an archive_dir (or journal_dir)"
+            )
+        if self.probe_interval_s < 0:
+            raise ConfigurationError(
+                f"probe_interval_s must be >= 0, got {self.probe_interval_s}"
+            )
+        if self.readmit_after < 1:
+            raise ConfigurationError(
+                f"readmit_after must be >= 1, got {self.readmit_after}"
+            )
+
+    def resolved_archive_dir(self) -> "str | None":
+        if self.archive_dir is not None:
+            return self.archive_dir
+        if self.journal_dir is not None:
+            return str(pathlib.Path(self.journal_dir) / "archive")
+        return None
 
     @property
     def shard_names(self) -> "tuple[str, ...]":
@@ -127,14 +195,35 @@ class FleetService:
 
     def __init__(self, config: "ServiceConfig | None" = None):
         self.config = config or ServiceConfig()
-        scheme = self.config.resolved_scheme()
-        self.host = FleetHost(
-            device_name=self.config.device_name,
-            sram_kib=self.config.sram_kib,
-            scheme=scheme,
-            seed=self.config.seed,
-            use_firmware=self.config.use_firmware,
-        )
+        #: Idempotency key → completed outcome (result or exception).
+        self._idem: "dict[str, object]" = {}
+        #: Idempotency key → future of the currently-in-flight job, so a
+        #: concurrent retry latches on instead of double-executing.
+        self._inflight: "dict[str, asyncio.Future]" = {}
+        #: Journaled seqs whose silicon effects the host now holds — the
+        #: next checkpoint's ``completed_seqs``.
+        self._completed_seqs: "set[int]" = set()
+        self.journal: "Journal | None" = None
+        self.recovery = None
+        if self.config.journal_dir is not None:
+            # Restart and first boot are the same path: restore the
+            # newest checkpoint (if any) and replay the journal suffix.
+            from .recovery import recover_components
+
+            self.host, self.journal, self._idem, self.recovery = (
+                recover_components(self.config)
+            )
+            self._completed_seqs = set(self.recovery.completed_seqs)
+        else:
+            self.host = FleetHost(
+                device_name=self.config.device_name,
+                sram_kib=self.config.sram_kib,
+                scheme=self.config.resolved_scheme(),
+                seed=self.config.seed,
+                use_firmware=self.config.use_firmware,
+                max_resident=self.config.max_resident,
+                archive_dir=self.config.resolved_archive_dir(),
+            )
         self.router = ShardRouter(self.config.shard_names)
         self.admission = AdmissionController(self.config.shard_names)
         self.shards: "dict[str, Shard]" = {
@@ -155,6 +244,8 @@ class FleetService:
         self.queues: "dict[str, BoundedJobQueue]" = {}
         self._homes: "dict[str, str]" = {}
         self._workers: "list[asyncio.Task]" = []
+        self._prober_task: "asyncio.Task | None" = None
+        self._bg_tasks: "set[asyncio.Task]" = set()
         self._http_server: "asyncio.AbstractServer | None" = None
         self.accepting = False
         self.started = False
@@ -162,6 +253,12 @@ class FleetService:
         self.port: "int | None" = None
         self.completed = 0
         self.failed = 0
+        self.checkpoints = 0
+        self.probes = 0
+        self._since_checkpoint = 0
+        self._executing = 0
+        self._checkpointing = False
+        self._pause: "asyncio.Event | None" = None
 
     # -- lifecycle ----------------------------------------------------------------
 
@@ -170,6 +267,8 @@ class FleetService:
             return self
         self._metrics_was_enabled = metrics.registry.enabled
         metrics.registry.enable()
+        self._pause = asyncio.Event()
+        self._pause.set()
         self.queues = {
             name: BoundedJobQueue(self.config.queue_depth)
             for name in self.config.shard_names
@@ -178,6 +277,10 @@ class FleetService:
             asyncio.create_task(self._worker(name), name=f"worker:{name}")
             for name in self.config.shard_names
         ]
+        if self.config.probe_interval_s > 0:
+            self._prober_task = asyncio.create_task(
+                self._prober(), name="readmission-prober"
+            )
         if self.config.port is not None:
             self._http_server = await asyncio.start_server(
                 self._handle_connection, self.config.host, self.config.port
@@ -203,9 +306,16 @@ class FleetService:
     async def stop(self, *, drain: bool = True) -> None:
         if not self.started:
             return
+        await self._stop_background()
         if drain:
             await self.drain()
+            if self.journal is not None:
+                # A graceful stop leaves a fresh checkpoint behind, so
+                # the next boot replays an empty (or tiny) suffix.
+                await self.checkpoint()
         self.accepting = False
+        if not drain:
+            self._shed_queued()
         for worker in self._workers:
             worker.cancel()
         await asyncio.gather(*self._workers, return_exceptions=True)
@@ -214,10 +324,219 @@ class FleetService:
             self._http_server.close()
             await self._http_server.wait_closed()
             self._http_server = None
+        if self.journal is not None:
+            self.journal.close()
         self.started = False
         if not self._metrics_was_enabled:
             metrics.registry.disable()
         telemetry.count("service.stopped")
+
+    async def abort(self) -> None:
+        """Crash simulation: stop dead, completing and flushing nothing.
+
+        Queued and in-flight jobs are dropped on the floor (their
+        futures never resolve — abandon the old submitters too), the
+        journal's file handle closes without a final fsync, no
+        checkpoint is written.  What a ``kill -9`` leaves behind, minus
+        the process exit; the recovery tests boot a fresh service on the
+        same ``journal_dir`` afterwards.
+        """
+        if not self.started:
+            return
+        self.accepting = False
+        await self._stop_background()
+        for worker in self._workers:
+            worker.cancel()
+        await asyncio.gather(*self._workers, return_exceptions=True)
+        self._workers = []
+        if self._http_server is not None:
+            self._http_server.close()
+            await self._http_server.wait_closed()
+            self._http_server = None
+        if self.journal is not None:
+            self.journal.abandon()
+        self.started = False
+        if not self._metrics_was_enabled:
+            metrics.registry.disable()
+        telemetry.count("service.aborted")
+
+    async def _stop_background(self) -> None:
+        tasks = list(self._bg_tasks)
+        if self._prober_task is not None:
+            tasks.append(self._prober_task)
+            self._prober_task = None
+        for task in tasks:
+            task.cancel()
+        if tasks:
+            await asyncio.gather(*tasks, return_exceptions=True)
+        self._bg_tasks.clear()
+
+    def _shed_queued(self) -> None:
+        """Surface every still-queued job as an explicit shed.
+
+        The no-drain stop path: each drained job gets a journal-marked
+        ``shed`` completion (so replay knows it never ran) and a
+        :class:`~repro.errors.ServiceStoppedError` on its future —
+        nothing dangles, nothing half-executes.
+        """
+        for queue in self.queues.values():
+            for job in queue.drain_pending():
+                if self.journal is not None and job.seq is not None:
+                    self.journal.complete(job.seq, job.key, "shed")
+                self.admission.count_shed()
+                _SHED_TOTAL.inc()
+                key = job.request.idempotency_key
+                if key is not None:
+                    self._inflight.pop(key, None)
+                if not job.future.done():
+                    job.future.set_exception(
+                        ServiceStoppedError(
+                            "service stopped without draining; job shed"
+                        )
+                    )
+
+    # -- durability ---------------------------------------------------------------
+
+    async def checkpoint(self) -> "dict | None":
+        """Cut a consistent fleet checkpoint; returns a small summary.
+
+        Quiesce protocol: clear the worker gate, wait until no batch is
+        executing (completions included — ``_executing`` spans them), so
+        the snapshot holds *exactly* the effects of ``_completed_seqs``;
+        write every device + manifest; append a fsynced checkpoint
+        marker; reopen the gate.  Concurrent calls coalesce (the second
+        returns ``None``).
+        """
+        if self.journal is None:
+            raise ConfigurationError(
+                "checkpoint() needs a service with a journal_dir"
+            )
+        if self._checkpointing:
+            return None
+        self._checkpointing = True
+        self._pause.clear()
+        try:
+            while self._executing:
+                await asyncio.sleep(0.005)
+            checkpoint_id = f"ckpt-{self.journal.next_seq:08d}"
+            directory = (
+                pathlib.Path(self.config.journal_dir)
+                / "checkpoints"
+                / checkpoint_id
+            )
+            completed = sorted(self._completed_seqs)
+            await asyncio.to_thread(
+                self.host.snapshot,
+                directory,
+                extra={
+                    "checkpoint": checkpoint_id,
+                    "completed_seqs": completed,
+                },
+            )
+            self.journal.checkpoint(checkpoint_id, completed)
+            self.checkpoints += 1
+            self._since_checkpoint = 0
+            _CHECKPOINTS_TOTAL.inc()
+            telemetry.count("service.checkpoint")
+            return {
+                "checkpoint": checkpoint_id,
+                "devices": self.host.n_devices,
+                "completed": len(completed),
+            }
+        finally:
+            self._pause.set()
+            self._checkpointing = False
+
+    # -- self-healing readmission -------------------------------------------------
+
+    def _probe_lane(self, name: str, probe_index: int) -> float:
+        """One synthetic send→receive on an ephemeral device; returns the
+        measured raw BER (1.0 when the probe cannot decode at all).
+
+        The probe device lives *outside* the :class:`FleetHost` — never
+        journaled, never snapshotted, so probing cannot perturb the
+        crash-restart bit-identity of real traffic — but it borrows the
+        lane's fault injector, so it sees exactly what a real job on
+        this lane would see.
+        """
+        device = make_varied_device(
+            self.config.device_name,
+            rng=stable_seed("probe", self.config.seed, name, probe_index),
+            sram_kib=self.config.sram_kib,
+        )
+        board = ControlBoard(device)
+        shard = self.shards[name]
+        if shard.injector is not None:
+            board.fault_injector = shard.injector
+        channel = InvisibleBits(
+            board,
+            scheme=self.host.scheme,
+            use_firmware=self.config.use_firmware,
+        )
+        try:
+            encode = channel.send(b"probe")
+            decode = channel.receive(expected_payload=encode.payload_bits)
+        except ReproError:
+            return 1.0
+        raw = decode.raw_error_vs
+        return float(raw) if raw is not None else 1.0
+
+    async def _prober(self) -> None:
+        """Re-probe tripped lanes; re-admit after a clean streak.
+
+        A dirty probe backs the lane off on the shared
+        :class:`~repro.faults.RetryPolicy` capped-exponential schedule
+        (base = the probe interval), so a lane that stays sick costs
+        asymptotically one probe per cap interval instead of hammering.
+        """
+        interval = self.config.probe_interval_s
+        policy = RetryPolicy(
+            max_attempts=2,
+            base_delay_s=interval,
+            max_delay_s=interval * 8,
+            seed=self.config.seed,
+        )
+        streaks: "dict[str, int]" = {}
+        failures: "dict[str, int]" = {}
+        next_due: "dict[str, float]" = {}
+        loop = asyncio.get_running_loop()
+        while True:
+            await asyncio.sleep(interval)
+            for name in sorted(self.admission.tripped):
+                if loop.time() < next_due.get(name, 0.0):
+                    continue
+                self.probes += 1
+                probe_ber = await asyncio.to_thread(
+                    self._probe_lane, name, self.probes
+                )
+                clean = probe_ber <= self.config.raw_ber_limit
+                _PROBES_TOTAL.inc(
+                    shard=name, outcome="clean" if clean else "dirty"
+                )
+                telemetry.count("service.probe")
+                if clean:
+                    failures.pop(name, None)
+                    streaks[name] = streaks.get(name, 0) + 1
+                    if streaks[name] >= self.config.readmit_after:
+                        if self.admission.readmit(name):
+                            _READMITTED_TOTAL.inc()
+                            telemetry.count("service.readmitted")
+                            telemetry.emit_record(
+                                {
+                                    "type": "service.readmit",
+                                    "shard": name,
+                                    "probes": streaks[name],
+                                }
+                            )
+                        streaks.pop(name, None)
+                        next_due.pop(name, None)
+                else:
+                    streaks.pop(name, None)
+                    failures[name] = failures.get(name, 0) + 1
+                    backoff = policy.delays(failures[name])[-1]
+                    next_due[name] = loop.time() + min(
+                        backoff, policy.max_delay_s
+                    )
 
     # -- submission ---------------------------------------------------------------
 
@@ -241,30 +560,66 @@ class FleetService:
 
         ``wait=False`` sheds (raises :class:`~repro.errors.AdmissionError`)
         instead of blocking when the home shard's queue is full.
+
+        A request carrying an ``idempotency_key`` is exactly-once: a key
+        already completed returns (or re-raises) the cached outcome
+        without touching silicon, a key currently in flight latches onto
+        the running job's future, and on a journaled service the request
+        is on disk before it enters a queue — a crash between admit and
+        complete replays it deterministically on restart.
         """
         if not self.accepting:
             raise ServiceStoppedError(
                 "service is draining or stopped; no new jobs accepted"
             )
+        key = request.idempotency_key
+        if key is not None:
+            if key in self._idem:
+                _IDEM_REPLAYS_TOTAL.inc()
+                telemetry.count("service.idempotent_replay")
+                outcome = self._idem[key]
+                if isinstance(outcome, BaseException):
+                    raise outcome
+                return outcome
+            pending = self._inflight.get(key)
+            if pending is not None:
+                _IDEM_REPLAYS_TOTAL.inc()
+                telemetry.count("service.idempotent_replay")
+                return await asyncio.shield(pending)
         shard = self._pick_shard(request.device_id)
         job = Job.for_request(
             request, asyncio.get_running_loop().create_future()
         )
         job.shard = shard
+        if self.journal is not None:
+            # Admit-before-enqueue: auto keys embed the sequence number,
+            # which resumes past prior lives, so they never collide with
+            # a previous run's keys.
+            job.key = key if key is not None else f"auto-{self.journal.next_seq}"
+            job.seq = self.journal.admit(job.key, job.kind, request.to_dict())
+        if key is not None:
+            self._inflight[key] = job.future
         queue = self.queues[shard]
-        if wait:
-            await queue.put(job)
-        else:
-            try:
-                queue.put_nowait(job)
-            except asyncio.QueueFull:
-                self.admission.count_shed()
-                _SHED_TOTAL.inc()
-                raise AdmissionError(
-                    f"queue for {shard} is full "
-                    f"({queue.maxsize} jobs) and wait=False",
-                    shard=shard,
-                ) from None
+        try:
+            if wait:
+                await queue.put(job)
+            else:
+                try:
+                    queue.put_nowait(job)
+                except asyncio.QueueFull:
+                    self.admission.count_shed()
+                    _SHED_TOTAL.inc()
+                    if self.journal is not None and job.seq is not None:
+                        self.journal.complete(job.seq, job.key, "shed")
+                    raise AdmissionError(
+                        f"queue for {shard} is full "
+                        f"({queue.maxsize} jobs) and wait=False",
+                        shard=shard,
+                    ) from None
+        except BaseException:
+            if key is not None and self._inflight.get(key) is job.future:
+                del self._inflight[key]
+            raise
         _QUEUE_DEPTH.set(queue.qsize(), shard=shard)
         return await job.future
 
@@ -275,6 +630,15 @@ class FleetService:
         shard = self.shards[name]
         while True:
             batch = await queue.get_batch(self.config.max_batch)
+            # Checkpoint quiesce gate: no new batch starts while a
+            # snapshot is being cut.  ``_executing`` covers the whole
+            # batch *including* its completions, so when the
+            # checkpointer sees it reach zero, every executed seq is
+            # journaled and in ``_completed_seqs`` — the manifest's
+            # frontier is exact.  (No await point between the gate and
+            # the increment, so the checkpointer cannot miss us.)
+            await self._pause.wait()
+            self._executing += 1
             _QUEUE_DEPTH.set(queue.qsize(), shard=name)
             try:
                 if not self.admission.is_healthy(name):
@@ -315,20 +679,69 @@ class FleetService:
                     if not job.future.done():
                         self._finish(job, exc)
             finally:
+                self._executing -= 1
                 for _ in batch:
                     queue.task_done()
 
     def _finish(self, job: Job, outcome) -> None:
         if job.future.done():
             return
+        # Sheds (refused at admission/reroute, or drained at stop) never
+        # touched a device: journal them as such and keep their keys out
+        # of the cache so a client retry runs fresh.  Real errors *may*
+        # have aged silicon (a failed receive still burned captures), so
+        # they journal — and cache — like results do.
+        shed = isinstance(outcome, (AdmissionError, ServiceStoppedError))
         if isinstance(outcome, BaseException):
             self.failed += 1
-            _JOBS_TOTAL.inc(shard=job.shard, kind=job.kind, status="error")
+            _JOBS_TOTAL.inc(
+                shard=job.shard,
+                kind=job.kind,
+                status="shed" if shed else "error",
+            )
             job.future.set_exception(outcome)
         else:
             self.completed += 1
             _JOBS_TOTAL.inc(shard=job.shard, kind=job.kind, status="ok")
             job.future.set_result(outcome)
+        if self.journal is not None and job.seq is not None:
+            if shed:
+                self.journal.complete(job.seq, job.key, "shed")
+            elif isinstance(outcome, BaseException):
+                self.journal.complete(
+                    job.seq,
+                    job.key,
+                    "error",
+                    error=str(outcome),
+                    error_type=type(outcome).__name__,
+                )
+                self._completed_seqs.add(job.seq)
+            else:
+                self.journal.complete(
+                    job.seq, job.key, "ok", result=outcome.to_dict()
+                )
+                self._completed_seqs.add(job.seq)
+        key = job.request.idempotency_key
+        if key is not None:
+            if not shed:
+                self._idem[key] = outcome
+            if self._inflight.get(key) is job.future:
+                del self._inflight[key]
+        if (
+            self.journal is not None
+            and not shed
+            and self.config.checkpoint_every > 0
+        ):
+            self._since_checkpoint += 1
+            if (
+                self._since_checkpoint >= self.config.checkpoint_every
+                and not self._checkpointing
+            ):
+                task = asyncio.get_running_loop().create_task(
+                    self.checkpoint()
+                )
+                self._bg_tasks.add(task)
+                task.add_done_callback(self._bg_tasks.discard)
 
     async def _reroute(self, jobs: "list[Job]", *, source: str) -> None:
         healthy = self.admission.healthy - {source}
@@ -382,7 +795,21 @@ class FleetService:
             "completed": self.completed,
             "failed": self.failed,
             "devices": self.host.n_devices,
+            "resident_devices": self.host.n_resident,
+            "evicted_devices": self.host.evicted,
             "admission": self.admission.stats(),
+            "durability": {
+                "journaled": self.journal is not None,
+                "journal_seq": (
+                    self.journal.next_seq - 1 if self.journal else 0
+                ),
+                "checkpoints": self.checkpoints,
+                "idempotency_cache": len(self._idem),
+                "probes": self.probes,
+                "recovery": (
+                    self.recovery.to_dict() if self.recovery else None
+                ),
+            },
             "queues": {
                 name: {
                     "depth": queue.qsize(),

@@ -23,11 +23,16 @@ one rack position corrupts that lane's captures, not the silicon.
 from __future__ import annotations
 
 import hashlib
+import json
+import pathlib
+import shutil
 import threading
+from collections import OrderedDict
+from contextlib import contextmanager
 
 import numpy as np
 
-from .. import metrics
+from .. import metrics, telemetry
 from ..api import receive_result, send_result
 from ..core.fleetcapture import capture_fleet
 from ..core.pipeline import InvisibleBits
@@ -35,16 +40,31 @@ from ..errors import (
     CodecError,
     ConfigurationError,
     ExtractionError,
+    JournalError,
     ReproError,
     ServiceError,
 )
 from ..experiments.common import make_varied_device
 from ..faults import FaultInjector, FaultPlan
 from ..harness.controlboard import ControlBoard
+from ..io import apply_device_state, device_state_arrays
 from ..monitor import FleetMonitor, ceiling_rule
 from .queue import Job
 
 __all__ = ["FleetHost", "Shard", "ShardRouter", "stable_seed"]
+
+#: Fleet checkpoint manifest format tag (docs/service.md).
+CHECKPOINT_FORMAT = "invisible-bits/fleet-checkpoint"
+CHECKPOINT_VERSION = 1
+
+_EVICTED_TOTAL = metrics.counter(
+    "repro_service_devices_evicted_total",
+    "Devices archived to disk by the FleetHost LRU",
+)
+_REHYDRATED_TOTAL = metrics.counter(
+    "repro_service_devices_rehydrated_total",
+    "Devices restored from archive/checkpoint on first touch",
+)
 
 
 def stable_seed(*parts) -> int:
@@ -116,40 +136,139 @@ class FleetHost:
         scheme,
         seed: int = 0,
         use_firmware: bool = False,
+        max_resident: "int | None" = None,
+        archive_dir=None,
     ):
         if sram_kib <= 0:
             raise ConfigurationError(f"sram_kib must be > 0, got {sram_kib}")
+        if max_resident is not None:
+            if max_resident < 1:
+                raise ConfigurationError(
+                    f"max_resident must be >= 1, got {max_resident}"
+                )
+            if archive_dir is None:
+                raise ConfigurationError(
+                    "max_resident needs an archive_dir to evict into"
+                )
         self.device_name = device_name
         self.sram_kib = sram_kib
         self.scheme = scheme
         self.seed = seed
         self.use_firmware = use_firmware
+        self.max_resident = max_resident
+        self.archive_dir = (
+            pathlib.Path(archive_dir) if archive_dir is not None else None
+        )
         self._lock = threading.Lock()
-        self._channels: "dict[str, InvisibleBits]" = {}
+        #: Resident channels in least-recently-used order (first = coldest).
+        self._channels: "OrderedDict[str, InvisibleBits]" = OrderedDict()
         self._payloads: "dict[str, np.ndarray]" = {}
+        #: device_id -> on-disk .npz holding its state (LRU archive or a
+        #: restored checkpoint); rehydrated lazily on next touch.
+        self._cold: "dict[str, pathlib.Path]" = {}
+        #: device_id -> pin count; pinned devices are never evicted (a
+        #: shard thread is mutating them mid-batch).
+        self._pins: "dict[str, int]" = {}
+        self.evicted = 0
+        self.rehydrated = 0
+
+    def _device_file(self, device_id: str) -> str:
+        """A filesystem-safe, collision-free file name for a device."""
+        tag = hashlib.blake2b(device_id.encode(), digest_size=12).hexdigest()
+        return f"dev-{tag}.npz"
+
+    def _fresh_channel(self, device_id: str) -> InvisibleBits:
+        device = make_varied_device(
+            self.device_name,
+            rng=stable_seed("device", self.seed, device_id),
+            sram_kib=self.sram_kib,
+        )
+        return InvisibleBits(
+            ControlBoard(device),
+            scheme=self.scheme,
+            use_firmware=self.use_firmware,
+        )
 
     def channel(self, device_id: str) -> InvisibleBits:
-        """The device's bound channel, created on first use.
+        """The device's bound channel, created (or rehydrated) on use.
 
         The device RNG is seeded from ``(seed, device_id)`` only — never
         from the shard or batch — so results are identical no matter
-        which lane serves the device.
+        which lane serves the device.  A device evicted to the archive
+        (or restored lazily from a checkpoint) is rebuilt from the same
+        seed and its snapshot applied on top — bit-identical to one that
+        never left memory, because snapshots carry the exact aging clocks
+        *and* the RNG stream position.
         """
         with self._lock:
             channel = self._channels.get(device_id)
             if channel is None:
-                device = make_varied_device(
-                    self.device_name,
-                    rng=stable_seed("device", self.seed, device_id),
-                    sram_kib=self.sram_kib,
-                )
-                channel = InvisibleBits(
-                    ControlBoard(device),
-                    scheme=self.scheme,
-                    use_firmware=self.use_firmware,
-                )
+                channel = self._fresh_channel(device_id)
+                cold = self._cold.pop(device_id, None)
+                if cold is not None:
+                    with np.load(cold) as raw:
+                        apply_device_state(
+                            channel.board.device, raw, source=str(cold)
+                        )
+                    self.rehydrated += 1
+                    _REHYDRATED_TOTAL.inc()
+                    telemetry.count("service.device_rehydrated")
                 self._channels[device_id] = channel
+            self._channels.move_to_end(device_id)
+            self._maybe_evict(keep=device_id)
             return channel
+
+    @contextmanager
+    def pinned(self, device_ids):
+        """Hold the named devices resident for the duration of a batch."""
+        ids = list(device_ids)
+        with self._lock:
+            for device_id in ids:
+                self._pins[device_id] = self._pins.get(device_id, 0) + 1
+        try:
+            yield
+        finally:
+            with self._lock:
+                for device_id in ids:
+                    count = self._pins.get(device_id, 0) - 1
+                    if count <= 0:
+                        self._pins.pop(device_id, None)
+                    else:
+                        self._pins[device_id] = count
+                # A fully-pinned batch can push residency over the cap;
+                # sweep now that these devices are evictable again.
+                self._maybe_evict()
+
+    def _maybe_evict(self, *, keep: "str | None" = None) -> None:
+        """Archive coldest unpinned devices down to ``max_resident``.
+
+        Caller holds the lock.  Pinned (mid-batch) devices are skipped —
+        the fleet may transiently exceed the cap rather than lose
+        in-flight aging state.
+        """
+        if self.max_resident is None:
+            return
+        while len(self._channels) > self.max_resident:
+            victim = next(
+                (
+                    device_id
+                    for device_id in self._channels
+                    if device_id != keep and device_id not in self._pins
+                ),
+                None,
+            )
+            if victim is None:
+                return
+            channel = self._channels.pop(victim)
+            self.archive_dir.mkdir(parents=True, exist_ok=True)
+            path = self.archive_dir / self._device_file(victim)
+            np.savez_compressed(
+                path, **device_state_arrays(channel.board.device)
+            )
+            self._cold[victim] = path
+            self.evicted += 1
+            _EVICTED_TOTAL.inc()
+            telemetry.count("service.device_evicted")
 
     def store_payload(self, device_id: str, payload_bits: np.ndarray) -> None:
         with self._lock:
@@ -161,8 +280,158 @@ class FleetHost:
 
     @property
     def n_devices(self) -> int:
+        """Every device this host knows, resident or archived."""
+        with self._lock:
+            return len(self._channels) + len(self._cold)
+
+    @property
+    def n_resident(self) -> int:
         with self._lock:
             return len(self._channels)
+
+    # -- checkpoint / restore -----------------------------------------------------
+
+    def snapshot(self, directory, *, extra: "dict | None" = None) -> dict:
+        """Write the whole fleet's state under ``directory``.
+
+        One ``.npz`` per device (the :func:`repro.io.device_state_arrays`
+        format, RNG stream included) plus a ``manifest.json`` naming the
+        fleet parameters, per-device files, staged payloads, and any
+        ``extra`` bookkeeping the caller wants carried (the service puts
+        its completed-sequence frontier here).  Archived devices are
+        copied from the LRU archive without rehydrating them.  Returns
+        the manifest.
+        """
+        directory = pathlib.Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        with self._lock:
+            devices: "dict[str, str]" = {}
+            for device_id, channel in self._channels.items():
+                name = self._device_file(device_id)
+                np.savez_compressed(
+                    directory / name,
+                    **device_state_arrays(channel.board.device),
+                )
+                devices[device_id] = name
+            for device_id, cold_path in self._cold.items():
+                name = self._device_file(device_id)
+                target = directory / name
+                # A no-new-work restart re-cuts the checkpoint it was
+                # restored from under the same id: the cold source *is*
+                # the target, and its content is already current.
+                if not target.exists() or not cold_path.samefile(target):
+                    shutil.copyfile(cold_path, target)
+                devices[device_id] = name
+            manifest = {
+                "format": CHECKPOINT_FORMAT,
+                "version": CHECKPOINT_VERSION,
+                "device_name": self.device_name,
+                "sram_kib": self.sram_kib,
+                "seed": self.seed,
+                "use_firmware": self.use_firmware,
+                "devices": devices,
+                "payloads": {
+                    device_id: {
+                        "n_bits": int(bits.size),
+                        "packed_hex": np.packbits(
+                            bits.astype(np.uint8)
+                        ).tobytes().hex(),
+                    }
+                    for device_id, bits in self._payloads.items()
+                },
+                **(extra or {}),
+            }
+        tmp = directory / "manifest.json.tmp"
+        tmp.write_text(json.dumps(manifest, indent=1, sort_keys=True))
+        tmp.replace(directory / "manifest.json")
+        telemetry.count("service.checkpoint_devices", len(devices))
+        return manifest
+
+    def restore(self, directory) -> dict:
+        """Adopt a :meth:`snapshot` directory; devices rehydrate lazily.
+
+        Validates the manifest against this host's fleet parameters,
+        loads the staged-payload map eagerly (it is small and receives
+        need it), and records each device's file as a cold source —
+        first touch rebuilds the device and applies the snapshot.
+        Returns the manifest.
+        """
+        directory = pathlib.Path(directory)
+        manifest_path = directory / "manifest.json"
+        if not manifest_path.exists():
+            raise JournalError(f"{directory}: no checkpoint manifest")
+        manifest = json.loads(manifest_path.read_text())
+        if manifest.get("format") != CHECKPOINT_FORMAT:
+            raise JournalError(f"{directory}: not a fleet checkpoint")
+        if manifest.get("version") != CHECKPOINT_VERSION:
+            raise JournalError(
+                f"{directory}: unsupported checkpoint version "
+                f"{manifest.get('version')}"
+            )
+        for field in ("device_name", "sram_kib", "seed", "use_firmware"):
+            ours = getattr(self, field)
+            theirs = manifest.get(field)
+            if theirs != ours:
+                raise JournalError(
+                    f"{directory}: checkpoint {field}={theirs!r} does not "
+                    f"match this host's {field}={ours!r}"
+                )
+        with self._lock:
+            for device_id, name in manifest["devices"].items():
+                path = directory / name
+                if not path.exists():
+                    raise JournalError(f"{directory}: missing device file {name}")
+                self._channels.pop(device_id, None)
+                self._cold[device_id] = path
+            self._payloads.update(
+                {
+                    device_id: np.unpackbits(
+                        np.frombuffer(
+                            bytes.fromhex(entry["packed_hex"]), dtype=np.uint8
+                        )
+                    )[: entry["n_bits"]].astype(np.uint8)
+                    for device_id, entry in manifest["payloads"].items()
+                }
+            )
+        return manifest
+
+    def state_digest(self) -> str:
+        """A stable digest of every device's analog state + RNG position.
+
+        Two hosts that digest equal will produce bit-identical results
+        for any identical future request sequence — the crash-restart
+        differential oracle's equality anchor.  Resident devices hash
+        their live arrays (deferred relax flushed first — flush order is
+        analytically invariant, pinned by the NBTI oracles); cold devices
+        hash their snapshot files' arrays, which is the same data.
+        """
+        with self._lock:
+            entries = []
+            for device_id, channel in self._channels.items():
+                entries.append(
+                    (device_id, device_state_arrays(channel.board.device))
+                )
+            for device_id, path in self._cold.items():
+                with np.load(path) as raw:
+                    entries.append((device_id, dict(raw.items())))
+            payloads = {
+                device_id: bits.astype(np.uint8).tobytes()
+                for device_id, bits in self._payloads.items()
+            }
+        h = hashlib.sha256()
+        for device_id, arrays in sorted(entries):
+            h.update(device_id.encode())
+            for key in (
+                "mismatch", "stress_1", "relax_1", "stress_0", "relax_0",
+                "toggle_count", "device_id",
+            ):
+                h.update(np.ascontiguousarray(arrays[key]).tobytes())
+            if "rng_state" in arrays:
+                h.update(str(arrays["rng_state"]).encode())
+        for device_id in sorted(payloads):
+            h.update(device_id.encode())
+            h.update(payloads[device_id])
+        return h.hexdigest()[:32]
 
 
 def _unique_groups(jobs: "list[Job]") -> "list[list[Job]]":
@@ -266,16 +535,19 @@ class Shard:
                 board.fault_injector = self.injector
             return channel
 
-        try:
-            for job in jobs:
-                if job.kind == "send":
-                    self._execute_send(job, outcomes, lane)
-            receives = [j for j in jobs if j.kind == "receive"]
-            for group in _unique_groups(receives):
-                self._execute_receive_group(group, outcomes, lane)
-        finally:
-            for board, previous in swapped:
-                board.fault_injector = previous
+        # Pin the batch's devices: the host LRU must not archive a device
+        # while this thread holds its channel mid-mutation.
+        with self.host.pinned({job.request.device_id for job in jobs}):
+            try:
+                for job in jobs:
+                    if job.kind == "send":
+                        self._execute_send(job, outcomes, lane)
+                receives = [j for j in jobs if j.kind == "receive"]
+                for group in _unique_groups(receives):
+                    self._execute_receive_group(group, outcomes, lane)
+            finally:
+                for board, previous in swapped:
+                    board.fault_injector = previous
         self.jobs_done += len(jobs)
         self.batches += 1
         alerts = self.monitor.sample()

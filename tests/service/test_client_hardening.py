@@ -1,0 +1,159 @@
+"""Client hardening: circuit breaker states, retry schedule, idempotency keys."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import SendRequest
+from repro.errors import (
+    CircuitOpenError,
+    ConfigurationError,
+    ServiceUnavailableError,
+)
+from repro.faults import RetryPolicy
+from repro.service import CircuitBreaker, LoadGenerator, ServiceClient
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+class TestCircuitBreaker:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            CircuitBreaker(threshold=0)
+        with pytest.raises(ConfigurationError):
+            CircuitBreaker(cooldown_s=0.0)
+
+    def test_stays_closed_below_threshold(self):
+        breaker = CircuitBreaker(threshold=3, clock=FakeClock())
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == "closed"
+        breaker.before_call()  # no raise
+
+    def test_opens_at_threshold_and_fails_fast(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(threshold=3, cooldown_s=5.0, clock=clock)
+        for _ in range(3):
+            breaker.record_failure()
+        assert breaker.state == "open"
+        assert breaker.opens == 1
+        with pytest.raises(CircuitOpenError, match="3 consecutive failures"):
+            breaker.before_call()
+        clock.now = 4.9
+        with pytest.raises(CircuitOpenError):
+            breaker.before_call()
+
+    def test_half_open_admits_exactly_one_probe(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(threshold=1, cooldown_s=1.0, clock=clock)
+        breaker.record_failure()
+        clock.now = 1.5
+        assert breaker.state == "half-open"
+        breaker.before_call()  # the single probe slot
+        with pytest.raises(CircuitOpenError):
+            breaker.before_call()  # a concurrent caller is refused
+
+    def test_half_open_success_closes(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(threshold=1, cooldown_s=1.0, clock=clock)
+        breaker.record_failure()
+        clock.now = 1.5
+        breaker.before_call()
+        breaker.record_success()
+        assert breaker.state == "closed"
+        breaker.before_call()  # freely admitted again
+
+    def test_half_open_failure_reopens_for_another_cooldown(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(threshold=1, cooldown_s=1.0, clock=clock)
+        breaker.record_failure()
+        clock.now = 1.5
+        breaker.before_call()
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert breaker.opens == 2
+        clock.now = 2.4  # still inside the new cooldown window
+        with pytest.raises(CircuitOpenError):
+            breaker.before_call()
+
+
+def _dead_client(**kwargs) -> ServiceClient:
+    # Port 9 on loopback: nothing listens; connect fails immediately.
+    return ServiceClient("http://127.0.0.1:9", timeout=0.2, **kwargs)
+
+
+class TestClientRetries:
+    def test_connection_failures_retry_then_surface(self):
+        sleeps: "list[float]" = []
+        client = _dead_client(
+            retry=RetryPolicy(
+                max_attempts=3, base_delay_s=0.01, max_delay_s=0.05
+            ),
+            sleep=sleeps.append,
+        )
+        with pytest.raises(ServiceUnavailableError, match="cannot reach"):
+            client.stats()
+        assert client.retried == 2  # two retries between three attempts
+        assert len(sleeps) == 2
+        assert sleeps == client.retry.delays()[:2]
+
+    def test_open_breaker_short_circuits_without_sleeping(self):
+        sleeps: "list[float]" = []
+        breaker = CircuitBreaker(threshold=2, cooldown_s=60.0)
+        client = _dead_client(
+            retry=RetryPolicy(
+                max_attempts=2, base_delay_s=0.01, max_delay_s=0.05
+            ),
+            breaker=breaker,
+            sleep=sleeps.append,
+        )
+        with pytest.raises(ServiceUnavailableError):
+            client.stats()  # two attempts = two failures: breaker opens
+        assert breaker.state == "open"
+        with pytest.raises(CircuitOpenError):
+            client.stats()  # fails fast: no socket, no retry sleep
+        assert len(sleeps) == 1  # only the first call's inter-attempt sleep
+
+    def test_bad_url_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ServiceClient("http://")
+
+
+class TestIdempotencyKeys:
+    def test_keyed_mints_unique_client_keys(self):
+        bare = SendRequest(device_id="d", message=b"x")
+        first = ServiceClient._keyed(bare)
+        second = ServiceClient._keyed(bare)
+        assert first.idempotency_key.startswith("client-")
+        assert first.idempotency_key != second.idempotency_key
+        assert first.device_id == "d" and first.message == b"x"
+
+    def test_keyed_preserves_an_explicit_key(self):
+        keyed = SendRequest(device_id="d", message=b"x", idempotency_key="k")
+        assert ServiceClient._keyed(keyed) is keyed
+
+    def test_soak_keys_are_deterministic_per_op(self):
+        generator = LoadGenerator(seed=9, idempotency=True)
+        send, receive = generator._requests(3)
+        assert send.idempotency_key == "soak-9-3-send"
+        assert receive.idempotency_key == "soak-9-3-recv"
+        again, _ = generator._requests(3)
+        assert again.idempotency_key == send.idempotency_key
+
+    def test_keys_off_by_default(self):
+        send, receive = LoadGenerator(seed=9)._requests(3)
+        assert send.idempotency_key is None
+        assert receive.idempotency_key is None
+
+
+def test_restart_retries_require_idempotency():
+    generator = LoadGenerator(seed=1)  # idempotency=False
+    client = _dead_client(retry=RetryPolicy.none())
+    with pytest.raises(ConfigurationError, match="idempotency"):
+        generator.run_remote(client, 1, restart_retries=3)

@@ -90,6 +90,53 @@ def test_stats_track_enqueues_and_watermark():
     asyncio.run(scenario())
 
 
+def test_drain_pending_returns_queued_jobs_and_balances_join():
+    async def scenario():
+        queue = BoundedJobQueue(8)
+        jobs = [_job(device=f"dev-{i}") for i in range(3)]
+        for job in jobs:
+            await queue.put(job)
+        drained = queue.drain_pending()
+        assert drained == jobs  # FIFO order preserved for shed reporting
+        assert queue.qsize() == 0
+        # task_done was called for every drained job: join returns
+        # immediately instead of hanging the no-drain stop path.
+        assert queue.unfinished == 0
+        await asyncio.wait_for(queue.join(), timeout=1)
+
+    asyncio.run(scenario())
+
+
+def test_drain_pending_on_empty_queue():
+    async def scenario():
+        queue = BoundedJobQueue(4)
+        assert queue.drain_pending() == []
+
+    asyncio.run(scenario())
+
+
+def test_drain_pending_skips_jobs_already_in_flight():
+    async def scenario():
+        queue = BoundedJobQueue(8)
+        for i in range(4):
+            await queue.put(_job(device=f"dev-{i}"))
+        batch = await queue.get_batch(2)  # a worker holds these
+        drained = queue.drain_pending()
+        assert len(batch) == 2 and len(drained) == 2
+        assert {j.request.device_id for j in drained} == {"dev-2", "dev-3"}
+        assert queue.unfinished == 2  # the in-flight batch still owes
+
+    asyncio.run(scenario())
+
+
+def test_jobs_carry_journal_bookkeeping_defaults():
+    async def scenario():
+        job = _job()
+        assert job.seq is None and job.key is None
+
+    asyncio.run(scenario())
+
+
 def test_join_waits_for_task_done():
     async def scenario():
         queue = BoundedJobQueue(8)

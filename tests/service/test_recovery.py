@@ -1,0 +1,309 @@
+"""Checkpoint/restore and crash-restart replay: the durability contract.
+
+The differential twin of the ``service.crash_recovery`` oracle: these
+tests pin each recovery semantic individually — snapshot/restore
+bit-identity, LRU eviction transparency, replay of the crash window,
+shed skipping, divergence refusal, and idempotent resubmission after a
+graceful restart.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.api import ReceiveRequest, SendRequest
+from repro.errors import JournalError, ServiceError, ServiceStoppedError
+from repro.service import (
+    FleetHost,
+    FleetService,
+    Journal,
+    Shard,
+    ServiceConfig,
+    read_journal,
+    recover_components,
+)
+from repro.service.journal import _frame
+from repro.service.recovery import journal_path, latest_checkpoint
+from repro.service.queue import Job
+
+SEED = 31
+
+
+def _host(tmp_path=None, **overrides) -> FleetHost:
+    base = dict(
+        scheme=ServiceConfig().resolved_scheme(),
+        seed=SEED,
+        archive_dir=str(tmp_path / "archive") if tmp_path else None,
+    )
+    base.update(overrides)
+    return FleetHost(**base)
+
+
+def _execute(host: FleetHost, requests) -> list:
+    shard = Shard("lane", host)
+    results = []
+    for request in requests:
+        job = Job(
+            kind="send" if isinstance(request, SendRequest) else "receive",
+            request=request,
+            future=None,
+        )
+        outcomes, _pages = shard.execute_batch([job])
+        outcome = outcomes[0][1]
+        if isinstance(outcome, BaseException):
+            raise outcome
+        results.append(outcome)
+    return results
+
+
+def _traffic(n: int):
+    for index in range(n):
+        device = f"dev-{index}"
+        yield SendRequest(device_id=device, message=f"m{index}".encode())
+        yield ReceiveRequest(device_id=device)
+
+
+class TestSnapshotRestore:
+    def test_restore_is_bit_identical(self, tmp_path):
+        host = _host()
+        _execute(host, _traffic(3))
+        manifest = host.snapshot(tmp_path / "ckpt", extra={"checkpoint": "c"})
+        assert manifest["devices"] and manifest["checkpoint"] == "c"
+
+        twin = _host()
+        restored = twin.restore(tmp_path / "ckpt")
+        assert restored["checkpoint"] == "c"
+        assert twin.n_devices == host.n_devices
+        assert twin.state_digest() == host.state_digest()
+
+    def test_restore_rejects_a_mismatched_fleet(self, tmp_path):
+        host = _host()
+        _execute(host, _traffic(1))
+        host.snapshot(tmp_path / "ckpt")
+        with pytest.raises(JournalError, match="seed"):
+            _host(seed=SEED + 1).restore(tmp_path / "ckpt")
+
+    def test_restore_rejects_an_unknown_format(self, tmp_path):
+        host = _host()
+        _execute(host, _traffic(1))
+        host.snapshot(tmp_path / "ckpt")
+        manifest_path = tmp_path / "ckpt" / "manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        manifest["format"] = "somebody-elses-checkpoint"
+        manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(JournalError, match="not a fleet checkpoint"):
+            _host().restore(tmp_path / "ckpt")
+
+    def test_lru_eviction_is_transparent(self, tmp_path):
+        capped = _host(tmp_path, max_resident=2)
+        uncapped = _host()
+        # All sends, then all receives: every receive touches a device
+        # the send wave already pushed out of residency.
+        requests = sorted(
+            _traffic(5), key=lambda r: isinstance(r, ReceiveRequest)
+        )
+        capped_results = _execute(capped, requests)
+        uncapped_results = _execute(uncapped, requests)
+
+        assert capped.n_resident <= 2
+        assert capped.n_devices == 5
+        assert capped.evicted > 0 and capped.rehydrated > 0
+        # Eviction+rehydration never changes a single device bit.
+        assert capped.state_digest() == uncapped.state_digest()
+        for mine, theirs in zip(capped_results, uncapped_results):
+            if hasattr(mine, "state_digest"):
+                assert mine.state_digest == theirs.state_digest
+                assert mine.message == theirs.message
+
+
+def _config(tmp_path, **overrides) -> ServiceConfig:
+    base = dict(shards=1, seed=SEED, journal_dir=str(tmp_path / "jd"))
+    base.update(overrides)
+    return ServiceConfig(**base)
+
+
+def _keyed_pair(index: int):
+    device = f"dev-{index}"
+    return (
+        SendRequest(
+            device_id=device,
+            message=f"m{index}".encode(),
+            idempotency_key=f"t-{index}-send",
+        ),
+        ReceiveRequest(device_id=device, idempotency_key=f"t-{index}-recv"),
+    )
+
+
+class TestCrashRestart:
+    def test_graceful_restart_serves_everything_from_cache(self, tmp_path):
+        async def first_life():
+            service = FleetService(_config(tmp_path))
+            await service.start()
+            results = []
+            for index in range(2):
+                send, receive = _keyed_pair(index)
+                await service.submit(send)
+                results.append(await service.submit(receive))
+            await service.stop()  # leaves a final checkpoint behind
+            return results
+
+        async def second_life():
+            service = FleetService(_config(tmp_path))
+            report = service.recovery
+            await service.start()
+            results = []
+            for index in range(2):
+                send, receive = _keyed_pair(index)
+                await service.submit(send)
+                results.append(await service.submit(receive))
+            executed = service.completed
+            await service.stop()
+            return results, report, executed
+
+        first = asyncio.run(first_life())
+        second, report, executed = asyncio.run(second_life())
+        # Everything predates the checkpoint: cached, nothing re-executed.
+        assert report.checkpoint is not None
+        assert report.cached == 4 and report.replayed == 0
+        assert executed == 0
+        for a, b in zip(first, second):
+            assert a.to_dict() == b.to_dict()
+
+    def test_crash_window_admits_are_replayed(self, tmp_path):
+        config = _config(tmp_path)
+
+        async def crash():
+            service = FleetService(config)
+            await service.start()
+            send, receive = _keyed_pair(0)
+            await service.submit(send)
+            await service.submit(receive)
+            # The crash window: admitted on disk, never executed.
+            tail_send, _ = _keyed_pair(1)
+            service.journal.admit(
+                "t-1-send", "send", tail_send.to_dict()
+            )
+            await service.abort()
+
+        asyncio.run(crash())
+        host, journal, cache, report = recover_components(config)
+        journal.close()
+        assert report.admitted == 3
+        assert report.replayed == 1  # the dangling admit re-executed
+        assert report.verified == 2  # completed ops replay digest-equal
+        assert "t-1-send" in cache
+        # The replay appended its own completion: a second recovery of
+        # the same journal has nothing left to replay.
+        host2, journal2, _cache2, second = recover_components(config)
+        journal2.close()
+        assert second.replayed == 0
+        assert host2.state_digest() == host.state_digest()
+
+    def test_shed_ops_are_skipped_and_stay_uncached(self, tmp_path):
+        config = _config(tmp_path)
+        send, _ = _keyed_pair(0)
+        with Journal(journal_path(config.journal_dir)) as journal:
+            seq = journal.admit("t-0-send", "send", send.to_dict())
+            journal.complete(seq, "t-0-send", "shed")
+        host, journal, cache, report = recover_components(config)
+        journal.close()
+        assert report.shed == 1 and report.replayed == 0
+        assert "t-0-send" not in cache  # a retry must run fresh
+        assert host.n_devices == 0  # shed means no silicon was touched
+
+    def test_cached_errors_resurface_on_resubmit(self, tmp_path):
+        async def first_life():
+            service = FleetService(_config(tmp_path))
+            await service.start()
+            with pytest.raises(ServiceError, match="no staged message"):
+                await service.submit(
+                    ReceiveRequest(
+                        device_id="ghost", idempotency_key="ghost-recv"
+                    )
+                )
+            await service.stop()
+
+        async def second_life():
+            service = FleetService(_config(tmp_path))
+            await service.start()
+            try:
+                with pytest.raises(ServiceError, match="no staged message"):
+                    await service.submit(
+                        ReceiveRequest(
+                            device_id="ghost", idempotency_key="ghost-recv"
+                        )
+                    )
+                return service.completed
+            finally:
+                await service.stop()
+
+        asyncio.run(first_life())
+        assert asyncio.run(second_life()) == 0  # served from the cache
+
+    def test_replay_divergence_is_refused(self, tmp_path):
+        config = _config(tmp_path)
+
+        async def life():
+            service = FleetService(config)
+            await service.start()
+            send, _ = _keyed_pair(0)
+            await service.submit(send)
+            await service.abort()  # no checkpoint: replay must re-verify
+
+        asyncio.run(life())
+        path = journal_path(config.journal_dir)
+        lines = path.read_text().splitlines(keepends=True)
+        records, _ = read_journal(path)
+        doctored = False
+        for index, record in enumerate(records):
+            if record["op"] == "complete" and record["status"] == "ok":
+                record["result"]["payload_digest"] = "0" * 16
+                lines[index] = _frame(record)
+                doctored = True
+        assert doctored
+        path.write_text("".join(lines))
+        with pytest.raises(JournalError, match="diverged"):
+            recover_components(config)
+
+
+def test_stop_without_drain_journals_queued_jobs_as_shed(tmp_path):
+    """Satellite: a no-drain stop sheds the queue explicitly — every
+    queued job gets a journaled ``shed`` completion and a
+    ServiceStoppedError, and recovery leaves their keys uncached."""
+    config = _config(tmp_path, max_batch=1, queue_depth=16)
+
+    async def scenario():
+        service = FleetService(config)
+        await service.start()
+        service._pause.clear()  # stall the worker at the checkpoint gate
+        tasks = []
+        for index in range(5):
+            send, _ = _keyed_pair(index)
+            tasks.append(asyncio.create_task(service.submit(send)))
+        await asyncio.sleep(0.02)  # all admitted; worker holds one batch
+        await service.stop(drain=False)
+        # The one job the stalled worker held in flight is abandoned with
+        # the worker — cancel its submitter once the shed ones retire.
+        _done, pending = await asyncio.wait(tasks, timeout=1)
+        for task in pending:
+            task.cancel()
+        return await asyncio.gather(*tasks, return_exceptions=True)
+
+    outcomes = asyncio.run(scenario())
+    stopped = [o for o in outcomes if isinstance(o, ServiceStoppedError)]
+    assert len(stopped) == 4  # five submitted, one held by the worker
+
+    records, _ = read_journal(journal_path(config.journal_dir))
+    shed = [
+        r for r in records if r["op"] == "complete" and r["status"] == "shed"
+    ]
+    assert len(shed) == len(stopped)
+
+    host, journal, cache, report = recover_components(config)
+    journal.close()
+    assert report.shed == len(stopped)
+    for record in shed:
+        assert record["key"] not in cache
