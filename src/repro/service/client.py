@@ -164,19 +164,31 @@ class ServiceClient:
             self.breaker.before_call()
         conn = HTTPConnection(self.host, self.port, timeout=self.timeout)
         try:
-            body = json.dumps(payload).encode() if payload is not None else None
-            headers = {"Content-Type": "application/json"} if body else {}
-            conn.request(method, path, body=body, headers=headers)
-            response = conn.getresponse()
-            raw = response.read()
+            try:
+                body = (
+                    json.dumps(payload).encode() if payload is not None else None
+                )
+                headers = {"Content-Type": "application/json"} if body else {}
+                conn.request(method, path, body=body, headers=headers)
+                response = conn.getresponse()
+                raw = response.read()
+            finally:
+                conn.close()
         except OSError as exc:
             if self.breaker is not None:
                 self.breaker.record_failure()
             raise ServiceUnavailableError(
                 f"cannot reach service at {self.host}:{self.port}: {exc}"
             ) from exc
-        finally:
-            conn.close()
+        except BaseException:
+            # Every post-``before_call`` exit must resolve the breaker's
+            # half-open probe latch: a non-socket failure here (e.g. a
+            # garbage response raising http.client.BadStatusLine) would
+            # otherwise leak ``_half_open_busy`` and leave the breaker
+            # raising CircuitOpenError forever.
+            if self.breaker is not None:
+                self.breaker.record_failure()
+            raise
         if self.breaker is not None:
             self.breaker.record_success()
         return response.status, raw

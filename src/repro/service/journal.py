@@ -15,13 +15,19 @@ Durability contract (docs/service.md "Durability & recovery"):
   final line is the expected crash signature and is skipped, while a bad
   CRC *before* a valid record means real corruption and raises
   :class:`~repro.errors.JournalError` — silently resuming from a damaged
-  prefix could double-apply stress.
+  prefix could double-apply stress.  Reopening a journal for append
+  repairs a torn tail first (truncating the fragment, or terminating a
+  final record that only lost its newline), so the next append starts on
+  a fresh line instead of concatenating onto the fragment and turning a
+  tolerated torn tail into hard corruption one restart later.
 - **Batched fsync.**  Appends are flushed to the OS on every record and
-  fsynced every ``fsync_every`` records (checkpoints and :meth:`close`
-  always fsync).  Losing a not-yet-synced tail is safe by construction:
-  a lost ``admit`` was never acknowledged (the client retries with the
-  same key), and a lost ``complete`` just re-executes deterministically
-  on replay.
+  fsynced every ``fsync_every`` records (checkpoints, :meth:`flush` and
+  :meth:`close` always fsync inline).  Batched fsyncs run on a dedicated
+  writer thread so the every-Nth-record sync never stalls the asyncio
+  event loop the service appends from.  Losing a not-yet-synced tail is
+  safe by construction: a lost ``admit`` was never acknowledged (the
+  client retries with the same key), and a lost ``complete`` just
+  re-executes deterministically on replay.
 
 Record vocabulary (one JSON object per line, ``op`` discriminates):
 
@@ -29,7 +35,7 @@ Record vocabulary (one JSON object per line, ``op`` discriminates):
    "request": {...}}``
 ``{"op": "complete", "seq": n, "key": k, "status": "ok"|"error"|"shed",
    "result": {...}|None, "error": str|None, "error_type": str|None,
-   "replayed": bool}``
+   "shard": str|None, "replayed": bool}``
 ``{"op": "checkpoint", "checkpoint": "ckpt-00000042",
    "completed": [seq, ...]}``
 """
@@ -63,6 +69,10 @@ _FSYNC_SECONDS = metrics.histogram(
 _TORN_TAIL_TOTAL = metrics.counter(
     "repro_journal_torn_tail_total",
     "Torn/partial trailing lines skipped while reading a journal",
+)
+_TAIL_REPAIRS_TOTAL = metrics.counter(
+    "repro_journal_tail_repairs_total",
+    "Torn trailing fragments repaired before reopening a journal for append",
 )
 
 
@@ -121,13 +131,57 @@ def read_journal(path) -> "tuple[list[dict], int]":
     return records, torn
 
 
+def _repair_tail(path: pathlib.Path) -> bool:
+    """Make the on-disk journal safe to append to; True if it changed.
+
+    A crash mid-write leaves a partial final line, usually without a
+    trailing newline.  :func:`read_journal` tolerates that fragment, but
+    appending after it would concatenate the next record onto it —
+    producing one corrupt line *followed by* valid records, the pattern
+    the reader rightly treats as hard corruption, so the restart after
+    next would refuse to boot.  Truncate the fragment away before the
+    first append — or, when the final record is complete and only lost
+    its terminator, finish it with the missing newline.
+
+    Only call this after :func:`read_journal` has validated the file:
+    this helper assumes anything after the first bad line is tail, never
+    a valid record (the reader raises on that).
+    """
+    if not path.exists():
+        return False
+    raw = path.read_bytes()
+    keep = 0
+    for line in raw.splitlines(keepends=True):
+        body = line.rstrip(b"\r\n")
+        try:
+            text = body.decode("utf-8")
+        except UnicodeDecodeError:
+            break  # torn mid-character: truncate from here
+        if text.strip() and _unframe(text) is None:
+            break  # torn mid-record: truncate from here
+        if not line.endswith(b"\n"):
+            # A complete final record that lost only its newline: the
+            # cheapest repair is to terminate it in place.
+            with open(path, "ab") as handle:
+                handle.write(b"\n")
+            return True
+        keep += len(line)
+    if keep == len(raw):
+        return False
+    with open(path, "r+b") as handle:
+        handle.truncate(keep)
+    return True
+
+
 class Journal:
     """Append-only CRC-framed JSONL writer with batched fsync.
 
     Thread-safe: the asyncio event loop appends admits/completes while a
     checkpointer thread appends markers.  ``next_seq`` starts after the
     highest seq already on disk, so reopening a journal (restart) keeps
-    sequence numbers strictly increasing across process lives.
+    sequence numbers strictly increasing across process lives.  Opening
+    repairs a torn trailing fragment (see :func:`_repair_tail`) so the
+    first append of the new life starts on a fresh line.
     """
 
     def __init__(self, path, *, fsync_every: int = 8):
@@ -137,16 +191,31 @@ class Journal:
             )
         self.path = pathlib.Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
+        # Read (and validate) first: a corrupt journal raises here and is
+        # never repaired over; only a tolerated torn tail gets trimmed.
         existing, _ = read_journal(self.path)
         self.next_seq = 1 + max(
             (r.get("seq", 0) for r in existing), default=0
         )
+        self.repaired_tail = _repair_tail(self.path)
+        if self.repaired_tail:
+            _TAIL_REPAIRS_TOTAL.inc()
+            telemetry.count("journal.tail_repaired")
         self.fsync_every = fsync_every
         self._file = open(self.path, "a", encoding="utf-8")
         self._lock = threading.Lock()
         self._unsynced = 0
         self.appended = 0
         self.fsyncs = 0
+        #: Batched fsyncs run here, off the appender's (event loop's)
+        #: thread; flush/close/checkpoint still fsync inline for a hard
+        #: durability point.
+        self._sync_wanted = threading.Event()
+        self._sync_stop = False
+        self._sync_thread = threading.Thread(
+            target=self._sync_loop, name="journal-fsync", daemon=True
+        )
+        self._sync_thread.start()
 
     # -- record builders ----------------------------------------------------------
 
@@ -175,9 +244,16 @@ class Journal:
         result: "dict | None" = None,
         error: "str | None" = None,
         error_type: "str | None" = None,
+        shard: "str | None" = None,
         replayed: bool = False,
     ) -> None:
-        """Journal a job outcome (``ok``/``error``/``shed``)."""
+        """Journal a job outcome (``ok``/``error``/``shed``).
+
+        ``shard`` records the lane that produced the outcome even when
+        there is no result dict to carry it (error/shed completions) —
+        recovery needs it to exempt faulted-lane outcomes from strict
+        replay verification.
+        """
         if status not in ("ok", "error", "shed"):
             raise ConfigurationError(f"unknown complete status {status!r}")
         with self._lock:
@@ -190,6 +266,7 @@ class Journal:
                     "result": result,
                     "error": error,
                     "error_type": error_type,
+                    "shard": shard,
                     "replayed": replayed,
                 }
             )
@@ -215,7 +292,35 @@ class Journal:
         self._unsynced += 1
         _APPENDS_TOTAL.inc(op=record["op"])
         if self._unsynced >= self.fsync_every:
-            self._fsync()
+            # Hand the sync to the writer thread: the appender (often
+            # the service's event loop) never blocks on the disk.
+            self._sync_wanted.set()
+
+    def _sync_loop(self) -> None:
+        while True:
+            self._sync_wanted.wait()
+            with self._lock:
+                self._sync_wanted.clear()
+                if self._sync_stop:
+                    return
+                pending = self._unsynced
+                fd = None if self._file.closed else self._file.fileno()
+            if fd is None or pending == 0:
+                continue
+            start = time.perf_counter()
+            os.fsync(fd)
+            _FSYNC_SECONDS.observe(time.perf_counter() - start)
+            with self._lock:
+                # Records appended *during* the fsync may or may not have
+                # made it down; count them as still unsynced.
+                self._unsynced = max(0, self._unsynced - pending)
+                self.fsyncs += 1
+
+    def _halt_sync_thread(self) -> None:
+        with self._lock:
+            self._sync_stop = True
+        self._sync_wanted.set()
+        self._sync_thread.join(timeout=10.0)
 
     def _fsync(self) -> None:
         if self._unsynced == 0 or self._file.closed:
@@ -232,6 +337,7 @@ class Journal:
             self._fsync()
 
     def close(self) -> None:
+        self._halt_sync_thread()
         with self._lock:
             if not self._file.closed:
                 self._fsync()
@@ -241,6 +347,7 @@ class Journal:
         """Close the handle with no final fsync — the crash-simulation
         path (:meth:`FleetService.abort`); whatever the OS already has is
         whatever recovery gets."""
+        self._halt_sync_thread()
         with self._lock:
             if not self._file.closed:
                 self._file.close()

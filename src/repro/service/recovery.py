@@ -256,13 +256,27 @@ def recover_components(config) -> "tuple[FleetHost, Journal, dict, RecoveryRepor
                 error_type=(
                     None if status == "ok" else type(outcome).__name__
                 ),
+                shard=REPLAY_SHARD,
                 replayed=True,
             )
             report.replayed += 1
             telemetry.count("recovery.replayed")
         else:
-            original_shard = (comp.get("result") or {}).get("shard")
-            if original_shard in faulted:
+            # The lane that produced the outcome: completions carry it
+            # directly (error completions have no result dict to read it
+            # from); fall back to the result's shard for journals written
+            # before the field existed.
+            original_shard = comp.get("shard")
+            if original_shard is None:
+                original_shard = (comp.get("result") or {}).get("shard")
+            if original_shard in faulted or (
+                faulted and original_shard is None and comp["status"] == "error"
+            ):
+                # A faulted lane's outcome (or a legacy error record that
+                # cannot prove it wasn't one) is not reproducible: the
+                # injector's fault streams advanced per event on the
+                # original lane, and the clean replay lane sees none of
+                # them.  Re-executed, not digest-verified.
                 report.unverified += 1
             elif comp["status"] != status or (
                 status == "ok"

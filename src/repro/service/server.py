@@ -334,9 +334,11 @@ class FleetService:
     async def abort(self) -> None:
         """Crash simulation: stop dead, completing and flushing nothing.
 
-        Queued and in-flight jobs are dropped on the floor (their
-        futures never resolve — abandon the old submitters too), the
-        journal's file handle closes without a final fsync, no
+        Queued jobs are dropped on the floor (their futures never
+        resolve — abandon the old submitters too); an in-flight batch's
+        futures fail with :class:`~repro.errors.ServiceStoppedError` as
+        its worker is cancelled, with no journal completion written.
+        The journal's file handle closes without a final fsync, no
         checkpoint is written.  What a ``kill -9`` leaves behind, minus
         the process exit; the recovery tests boot a fresh service on the
         same ``journal_dir`` afterwards.
@@ -382,7 +384,9 @@ class FleetService:
         for queue in self.queues.values():
             for job in queue.drain_pending():
                 if self.journal is not None and job.seq is not None:
-                    self.journal.complete(job.seq, job.key, "shed")
+                    self.journal.complete(
+                        job.seq, job.key, "shed", shard=job.shard
+                    )
                 self.admission.count_shed()
                 _SHED_TOTAL.inc()
                 key = job.request.idempotency_key
@@ -610,7 +614,9 @@ class FleetService:
                     self.admission.count_shed()
                     _SHED_TOTAL.inc()
                     if self.journal is not None and job.seq is not None:
-                        self.journal.complete(job.seq, job.key, "shed")
+                        self.journal.complete(
+                            job.seq, job.key, "shed", shard=shard
+                        )
                     raise AdmissionError(
                         f"queue for {shard} is full "
                         f"({queue.maxsize} jobs) and wait=False",
@@ -630,58 +636,88 @@ class FleetService:
         shard = self.shards[name]
         while True:
             batch = await queue.get_batch(self.config.max_batch)
-            # Checkpoint quiesce gate: no new batch starts while a
-            # snapshot is being cut.  ``_executing`` covers the whole
-            # batch *including* its completions, so when the
-            # checkpointer sees it reach zero, every executed seq is
-            # journaled and in ``_completed_seqs`` — the manifest's
-            # frontier is exact.  (No await point between the gate and
-            # the increment, so the checkpointer cannot miss us.)
-            await self._pause.wait()
-            self._executing += 1
-            _QUEUE_DEPTH.set(queue.qsize(), shard=name)
             try:
-                if not self.admission.is_healthy(name):
-                    await self._reroute(batch, source=name)
-                    continue
-                outcomes, pages = await asyncio.to_thread(
-                    shard.execute_batch, batch
-                )
-                if pages:
-                    reason = "; ".join(a.message for a in pages)
-                    if self.admission.trip(name, reason):
-                        telemetry.count("service.shard_tripped")
-                        telemetry.emit_record(
-                            {
-                                "type": "service.trip",
-                                "shard": name,
-                                "reason": reason,
-                            }
-                        )
-                    # The lane is untrustworthy: re-execute this batch's
-                    # receives elsewhere (read-only on device state);
-                    # sends aged silicon and keep their first outcome.
-                    retriable = [
-                        job for job, _ in outcomes if job.kind == "receive"
-                    ]
-                    await self._reroute(retriable, source=name)
-                    outcomes = [
-                        (job, outcome)
-                        for job, outcome in outcomes
-                        if job.kind != "receive"
-                    ]
-                for job, outcome in outcomes:
-                    self._finish(job, outcome)
+                await self._run_batch(name, queue, shard, batch)
             except asyncio.CancelledError:
+                # A no-drain stop (or abort) cancels workers mid-batch.
+                # These jobs were already dequeued, so ``_shed_queued``
+                # cannot see them — fail their unresolved futures here
+                # so concurrent submitters never hang.  No journal
+                # completion is written: the batch may have half-run in
+                # its thread, so the truthful durable record is the
+                # dangling admit, which recovery re-executes.
+                self._fail_cancelled(batch)
                 raise
-            except Exception as exc:  # defensive: a worker must not die
-                for job in batch:
-                    if not job.future.done():
-                        self._finish(job, exc)
             finally:
-                self._executing -= 1
                 for _ in batch:
                     queue.task_done()
+
+    async def _run_batch(self, name, queue, shard, batch) -> None:
+        # Checkpoint quiesce gate: no new batch starts while a
+        # snapshot is being cut.  ``_executing`` covers the whole
+        # batch *including* its completions, so when the
+        # checkpointer sees it reach zero, every executed seq is
+        # journaled and in ``_completed_seqs`` — the manifest's
+        # frontier is exact.  (No await point between the gate and
+        # the increment, so the checkpointer cannot miss us.)
+        await self._pause.wait()
+        self._executing += 1
+        _QUEUE_DEPTH.set(queue.qsize(), shard=name)
+        try:
+            if not self.admission.is_healthy(name):
+                await self._reroute(batch, source=name)
+                return
+            outcomes, pages = await asyncio.to_thread(
+                shard.execute_batch, batch
+            )
+            if pages:
+                reason = "; ".join(a.message for a in pages)
+                if self.admission.trip(name, reason):
+                    telemetry.count("service.shard_tripped")
+                    telemetry.emit_record(
+                        {
+                            "type": "service.trip",
+                            "shard": name,
+                            "reason": reason,
+                        }
+                    )
+                # The lane is untrustworthy: re-execute this batch's
+                # receives elsewhere (read-only on device state);
+                # sends aged silicon and keep their first outcome.
+                retriable = [
+                    job for job, _ in outcomes if job.kind == "receive"
+                ]
+                await self._reroute(retriable, source=name)
+                outcomes = [
+                    (job, outcome)
+                    for job, outcome in outcomes
+                    if job.kind != "receive"
+                ]
+            for job, outcome in outcomes:
+                self._finish(job, outcome)
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:  # defensive: a worker must not die
+            for job in batch:
+                if not job.future.done():
+                    self._finish(job, exc)
+        finally:
+            self._executing -= 1
+
+    def _fail_cancelled(self, batch: "list[Job]") -> None:
+        """Resolve a cancelled in-flight batch's futures so submitters
+        don't wait forever on a stop that skipped the drain."""
+        for job in batch:
+            key = job.request.idempotency_key
+            if key is not None and self._inflight.get(key) is job.future:
+                del self._inflight[key]
+            if not job.future.done():
+                job.future.set_exception(
+                    ServiceStoppedError(
+                        "service stopped mid-batch without draining; the "
+                        "journaled admit replays on restart"
+                    )
+                )
 
     def _finish(self, job: Job, outcome) -> None:
         if job.future.done():
@@ -706,19 +742,29 @@ class FleetService:
             job.future.set_result(outcome)
         if self.journal is not None and job.seq is not None:
             if shed:
-                self.journal.complete(job.seq, job.key, "shed")
+                self.journal.complete(
+                    job.seq, job.key, "shed", shard=job.shard
+                )
             elif isinstance(outcome, BaseException):
+                # ``shard`` is recorded even without a result dict so
+                # recovery can exempt faulted-lane errors from strict
+                # replay verification.
                 self.journal.complete(
                     job.seq,
                     job.key,
                     "error",
                     error=str(outcome),
                     error_type=type(outcome).__name__,
+                    shard=job.shard,
                 )
                 self._completed_seqs.add(job.seq)
             else:
                 self.journal.complete(
-                    job.seq, job.key, "ok", result=outcome.to_dict()
+                    job.seq,
+                    job.key,
+                    "ok",
+                    result=outcome.to_dict(),
+                    shard=job.shard,
                 )
                 self._completed_seqs.add(job.seq)
         key = job.request.idempotency_key

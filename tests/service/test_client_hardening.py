@@ -69,6 +69,46 @@ class TestCircuitBreaker:
         assert breaker.state == "closed"
         breaker.before_call()  # freely admitted again
 
+    def test_non_socket_failure_releases_the_half_open_latch(
+        self, monkeypatch
+    ):
+        """A probe that dies on a non-OSError (e.g. a garbage response
+        raising BadStatusLine) must not leak ``_half_open_busy`` — that
+        would leave the breaker raising CircuitOpenError forever."""
+        from http.client import BadStatusLine
+
+        clock = FakeClock()
+        breaker = CircuitBreaker(threshold=1, cooldown_s=1.0, clock=clock)
+        breaker.record_failure()
+        clock.now = 1.5
+        assert breaker.state == "half-open"
+
+        class GarbageConnection:
+            def __init__(self, *args, **kwargs):
+                pass
+
+            def request(self, *args, **kwargs):
+                raise BadStatusLine("HTP/9.9 garbage")
+
+            def close(self):
+                pass
+
+        monkeypatch.setattr(
+            "repro.service.client.HTTPConnection", GarbageConnection
+        )
+        client = ServiceClient(
+            "http://127.0.0.1:9", retry=RetryPolicy.none(), breaker=breaker
+        )
+        with pytest.raises(BadStatusLine):
+            client.stats()
+        # The failed probe re-opened the circuit for a cooldown instead
+        # of wedging it: after the window, another probe is admitted.
+        assert breaker.state == "open"
+        clock.now = 3.0
+        assert breaker.state == "half-open"
+        with pytest.raises(BadStatusLine):
+            client.stats()
+
     def test_half_open_failure_reopens_for_another_cooldown(self):
         clock = FakeClock()
         breaker = CircuitBreaker(threshold=1, cooldown_s=1.0, clock=clock)

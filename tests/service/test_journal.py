@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import time
+
 import pytest
 
 from repro.errors import ConfigurationError, JournalError
@@ -47,6 +49,43 @@ def test_torn_tail_is_tolerated(tmp_path):
     assert torn == 1
 
 
+def test_reopen_after_torn_tail_repairs_before_appending(tmp_path):
+    """The second-restart regression: appending after a torn tail must
+    not concatenate onto the fragment — that would turn one tolerated
+    torn line into corruption-followed-by-valid-records, and the restart
+    after next would refuse to boot."""
+    with Journal(_path(tmp_path)) as journal:
+        journal.admit("k1", "send", {"device_id": "d"})
+    with open(_path(tmp_path), "a") as handle:
+        handle.write('0badc0de {"op": "adm')  # crash cut a line mid-write
+    # First restart: the torn fragment is truncated before any append.
+    with Journal(_path(tmp_path)) as revived:
+        assert revived.repaired_tail
+        assert revived.next_seq == 2
+        revived.admit("k2", "send", {"device_id": "d"})
+    # Second restart: the journal reads clean end to end.
+    records, torn = read_journal(_path(tmp_path))
+    assert torn == 0
+    assert [r["key"] for r in records] == ["k1", "k2"]
+    with Journal(_path(tmp_path)) as third:
+        assert not third.repaired_tail
+        assert third.next_seq == 3
+
+
+def test_reopen_terminates_a_record_that_only_lost_its_newline(tmp_path):
+    with Journal(_path(tmp_path)) as journal:
+        journal.admit("k1", "send", {"device_id": "d"})
+        journal.admit("k2", "send", {"device_id": "d"})
+    raw = _path(tmp_path).read_bytes()
+    _path(tmp_path).write_bytes(raw[:-1])  # the crash ate only the "\n"
+    with Journal(_path(tmp_path)) as revived:
+        assert revived.repaired_tail
+        revived.admit("k3", "send", {"device_id": "d"})
+    records, torn = read_journal(_path(tmp_path))
+    assert torn == 0
+    assert [r["key"] for r in records] == ["k1", "k2", "k3"]
+
+
 def test_corruption_before_a_valid_record_raises(tmp_path):
     with Journal(_path(tmp_path)) as journal:
         journal.admit("k1", "send", {"device_id": "d"})
@@ -71,9 +110,13 @@ def test_fsync_batches_and_flush_forces(tmp_path):
         journal.admit("k2", "send", {})
         assert journal.fsyncs == 0  # below the batch threshold
         journal.admit("k3", "send", {})
+        # Batched syncs run on the writer thread, off the appender.
+        deadline = time.monotonic() + 5.0
+        while journal.fsyncs < 1 and time.monotonic() < deadline:
+            time.sleep(0.005)
         assert journal.fsyncs == 1  # batch boundary
         journal.admit("k4", "send", {})
-        journal.flush()
+        journal.flush()  # inline: a hard durability point
         assert journal.fsyncs == 2
         journal.flush()  # nothing pending: no extra fsync
         assert journal.fsyncs == 2

@@ -270,9 +270,11 @@ class TestCrashRestart:
 
 
 def test_stop_without_drain_journals_queued_jobs_as_shed(tmp_path):
-    """Satellite: a no-drain stop sheds the queue explicitly — every
-    queued job gets a journaled ``shed`` completion and a
-    ServiceStoppedError, and recovery leaves their keys uncached."""
+    """Satellite: a no-drain stop leaves nothing dangling — every queued
+    job gets a journaled ``shed`` completion and a ServiceStoppedError,
+    the batch already held by a worker fails its future too (no journal
+    completion: its dangling admit replays on restart), and recovery
+    leaves the shed keys uncached."""
     config = _config(tmp_path, max_batch=1, queue_depth=16)
 
     async def scenario():
@@ -285,25 +287,65 @@ def test_stop_without_drain_journals_queued_jobs_as_shed(tmp_path):
             tasks.append(asyncio.create_task(service.submit(send)))
         await asyncio.sleep(0.02)  # all admitted; worker holds one batch
         await service.stop(drain=False)
-        # The one job the stalled worker held in flight is abandoned with
-        # the worker — cancel its submitter once the shed ones retire.
-        _done, pending = await asyncio.wait(tasks, timeout=1)
-        for task in pending:
-            task.cancel()
+        # Every submitter resolves — including the one whose job the
+        # stalled worker held in flight when its task was cancelled.
+        done, pending = await asyncio.wait(tasks, timeout=5)
+        assert not pending, "a submitter hung on a no-drain stop"
         return await asyncio.gather(*tasks, return_exceptions=True)
 
     outcomes = asyncio.run(scenario())
     stopped = [o for o in outcomes if isinstance(o, ServiceStoppedError)]
-    assert len(stopped) == 4  # five submitted, one held by the worker
+    assert len(stopped) == 5  # four shed from queues + one mid-batch
 
     records, _ = read_journal(journal_path(config.journal_dir))
     shed = [
         r for r in records if r["op"] == "complete" and r["status"] == "shed"
     ]
-    assert len(shed) == len(stopped)
+    assert len(shed) == 4  # the in-flight job journals no completion
 
     host, journal, cache, report = recover_components(config)
     journal.close()
-    assert report.shed == len(stopped)
+    assert report.shed == 4
+    assert report.replayed == 1  # the in-flight job's dangling admit
     for record in shed:
         assert record["key"] not in cache
+
+
+def test_faulted_lane_error_completions_replay_unverified(tmp_path):
+    """An error journaled by a faulted lane replays on the clean replay
+    lane (where it may well succeed) without tripping the divergence
+    check — the injector's fault schedule is not reproducible there."""
+    config = _config(tmp_path, shards=2, fault_shards=("shard-1",))
+    send = SendRequest(
+        device_id="dev-0", message=b"m", idempotency_key="f-send"
+    )
+    legacy = SendRequest(
+        device_id="dev-1", message=b"n", idempotency_key="f-legacy"
+    )
+    with Journal(journal_path(config.journal_dir)) as journal:
+        seq = journal.admit("f-send", "send", send.to_dict())
+        journal.complete(
+            seq,
+            "f-send",
+            "error",
+            error="injected: brownout during capture",
+            error_type="CaptureFaultError",
+            shard="shard-1",
+        )
+        # A journal written before completions carried ``shard``: an
+        # error record with no way to prove which lane produced it.
+        seq2 = journal.admit("f-legacy", "send", legacy.to_dict())
+        journal.complete(
+            seq2,
+            "f-legacy",
+            "error",
+            error="injected: flaky port",
+            error_type="CaptureFaultError",
+        )
+    host, journal, cache, report = recover_components(config)
+    journal.close()
+    assert report.unverified == 2
+    assert report.verified == 0
+    # Both keys are cached with the fresh replay outcome; the rebuilt
+    # host state reflects that successful re-execution.
+    assert "f-send" in cache and "f-legacy" in cache
