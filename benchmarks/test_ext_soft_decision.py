@@ -1,0 +1,47 @@
+"""Extension bench: soft-decision receive vs the hard-decision baseline.
+
+Two halves, both on identical capture stacks at equal stress time:
+
+- BER + channel capacity, soft vs hard, across capture counts — the
+  margin the majority vote throws away, measured;
+- the recovery ladder behind the ``soft_vs_hard_gain`` metric gated in
+  BENCH_substrate.json: the largest exactly-recovered message under
+  each decision mode.
+"""
+
+from repro.experiments.ext_soft_decision import run, run_recovery_ladder
+
+
+def test_ext_soft_decision(benchmark, save_report):
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_report("ext_soft_decision", result)
+
+    for n, p_flip, hard_ber, soft_ber, cap_hard, cap_soft in result.rows:
+        # Soft decoding of the same captures is never worse, and the
+        # capacity ordering is information-theoretic: collapsing the
+        # ones-count to a majority bit can only lose information.
+        assert soft_ber <= hard_ber, n
+        assert cap_soft >= cap_hard, n
+        assert 0.0 < p_flip < 0.5
+    # At this stress level the margin is worth a strict improvement.
+    assert sum(result.column("soft_ber_pct")) < sum(
+        result.column("hard_ber_pct")
+    )
+
+
+def test_ext_soft_recovery_gain(benchmark, save_report, record_metric):
+    result = benchmark.pedantic(run_recovery_ladder, rounds=1, iterations=1)
+    save_report("ext_soft_recovery_ladder", result)
+
+    hard_max = max(
+        (size for size, hard_ok, _ in result.rows if hard_ok), default=0
+    )
+    soft_max = max(
+        (size for size, _, soft_ok in result.rows if soft_ok), default=0
+    )
+    # Soft must recover at least as long a message as hard from the very
+    # same capture stacks; at this channel error it is strictly longer.
+    assert soft_max >= hard_max > 0
+    gain = soft_max / hard_max
+    record_metric("soft_vs_hard_gain", gain, better="higher", unit="x")
+    assert gain >= 1.0

@@ -125,17 +125,58 @@ def block_hamming_weights(bits: np.ndarray, block_bits: int) -> np.ndarray:
     return block_view(bits, block_bits).sum(axis=1, dtype=np.int64)
 
 
-def majority_vote(samples: np.ndarray) -> np.ndarray:
+def most_marginal_row(samples: np.ndarray) -> int:
+    """Index of the row that disagrees most with the provisional majority.
+
+    The deterministic sit-one-out rule the receive pipeline applies to
+    even capture stacks: the row with the highest flip count against the
+    provisional vote is dropped (ties break to the highest index — the
+    newest capture), leaving an odd, tie-free set.  Exposed so every
+    even-count voter shares one policy instead of silently biasing ties.
+    """
+    samples = np.asarray(samples, dtype=np.uint8)
+    if samples.ndim != 2 or samples.shape[0] == 0:
+        raise BlockLengthError(f"expected (n_samples, n_bits), got {samples.shape}")
+    provisional = majority_vote(samples)
+    flips = (samples != provisional[None, :]).sum(axis=1)
+    # argmax of (flips, row index): newest capture wins ties.
+    return int(max(range(samples.shape[0]), key=lambda i: (int(flips[i]), i)))
+
+
+def majority_vote(samples: np.ndarray, *, on_tie: str = "one") -> np.ndarray:
     """Bitwise majority across ``samples`` of shape ``(n_samples, n_bits)``.
 
     The paper uses an odd number of power-on captures (five) so ties cannot
-    occur; with an even count, ties resolve to 1 (sum*2 == n counts as >=).
+    occur.  With an even count the ``on_tie`` policy decides:
+
+    - ``"one"`` (default, the historical behaviour): ties resolve to 1
+      (``sum*2 == n`` counts as >=).  After the receive path's inversion
+      this silently biases tied payload bits toward 0 — callers voting
+      even stacks should prefer one of the explicit policies below.
+    - ``"drop"``: sit the :func:`most_marginal_row` out first — the same
+      deterministic rule ``InvisibleBits.receive`` applies, so no tie can
+      occur.
+    - ``"error"``: raise :class:`~repro.errors.BlockLengthError` on even
+      counts (the scheme/board boundary validation, made available to
+      direct callers).
     """
     samples = np.asarray(samples, dtype=np.uint8)
     if samples.ndim != 2:
         raise BlockLengthError(f"expected (n_samples, n_bits), got {samples.shape}")
     if samples.shape[0] == 0:
         raise BlockLengthError("majority vote needs at least one sample")
+    if on_tie not in ("one", "drop", "error"):
+        raise BlockLengthError(f"unknown tie policy {on_tie!r}")
+    if samples.shape[0] % 2 == 0:
+        if on_tie == "error":
+            raise BlockLengthError(
+                f"majority vote over an even count ({samples.shape[0]}) can "
+                "tie; capture an odd number or pick an explicit tie policy"
+            )
+        if on_tie == "drop" and samples.shape[0] > 1:
+            keep = np.ones(samples.shape[0], dtype=bool)
+            keep[most_marginal_row(samples)] = False
+            samples = samples[keep]
     counts = samples.sum(axis=0, dtype=np.int64)
     return (2 * counts >= samples.shape[0]).astype(np.uint8)
 

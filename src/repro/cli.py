@@ -68,6 +68,8 @@ EXPERIMENTS = {
     "sec514": ("sec514_normal_operation", "run"),
     "sec72": ("sec72_complex_systems", "run"),
     "sec74": ("sec74_adversarial", "run"),
+    "ext-soft": ("ext_soft_decision", "run"),
+    "ext-soft-ladder": ("ext_soft_decision", "run_recovery_ladder"),
     "ablation-noise": ("ablation_noise", "run"),
     "ablation-votes": ("ablations", "run_capture_votes"),
     "ablation-cipher": ("ablations", "run_cipher_mode"),
@@ -98,7 +100,9 @@ def _cmd_roundtrip(args) -> int:
     device = make_device(args.device, rng=args.seed, sram_kib=args.sram_kib)
     board = ControlBoard(device)
     key = bytes.fromhex(args.key) if args.key else None
-    scheme = paper_end_to_end_scheme(key, copies=args.copies)
+    scheme = paper_end_to_end_scheme(
+        key, copies=args.copies
+    ).with_decision(args.decision)
     channel = InvisibleBits(board, scheme=scheme, use_firmware=not args.fast)
     message = args.message.encode()
     print(f"encoding {len(message)} bytes on {device.spec.name} "
@@ -657,6 +661,10 @@ def build_parser() -> argparse.ArgumentParser:
     roundtrip.add_argument("--seed", type=int, default=0)
     roundtrip.add_argument("--fast", action="store_true",
                            help="debugger bulk-write instead of firmware")
+    roundtrip.add_argument("--decision", choices=("hard", "soft"),
+                           default="hard",
+                           help="receiver decode mode: majority bits or "
+                                "vote-margin LLRs (docs/api.md)")
     roundtrip.set_defaults(func=_cmd_roundtrip)
 
     sub.add_parser(

@@ -55,6 +55,13 @@ class FrameFormat:
         raw = self._header_code().decode(bits)
         return int.from_bytes(bits_to_bytes(raw), "big")
 
+    def decode_header_soft(self, llrs: np.ndarray) -> int:
+        """Soft-combine the header's repetition copies (sum of LLRs)."""
+        from ..ecc.soft import soft_decode
+
+        raw = soft_decode(self._header_code(), llrs)
+        return int.from_bytes(bits_to_bytes(raw), "big")
+
 
 def _pad_to_multiple(bits: np.ndarray, k: int) -> np.ndarray:
     remainder = bits.size % k
@@ -131,6 +138,52 @@ def extract_message(
         )
     decoded = (
         code.decode(body[:coded_bits]) if coded_bits else np.zeros(0, dtype=np.uint8)
+    )
+    return bits_to_bytes(decoded[: length * 8]) if length else b""
+
+
+def extract_message_soft(
+    payload_llrs: np.ndarray,
+    *,
+    ecc: "Code | None" = None,
+    frame: "FrameFormat | None" = None,
+    message_len: "int | None" = None,
+) -> bytes:
+    """Soft-decision twin of :func:`extract_message`.
+
+    Takes per-bit log-likelihood ratios of the *plain* payload (positive
+    favours 0 — the convention of :mod:`repro.ecc.soft`) instead of hard
+    bits.  The frame geometry is identical: one LLR per payload bit, so
+    header/body slicing works on the same offsets.
+    """
+    llrs = np.asarray(payload_llrs, dtype=np.float64).ravel()
+    code = ecc or IdentityCode()
+    frame = frame or FrameFormat()
+
+    from ..ecc.soft import soft_decode
+
+    if frame.framed:
+        if llrs.size < frame.header_bits:
+            raise ExtractionError("payload shorter than the frame header")
+        length = frame.decode_header_soft(llrs[: frame.header_bits])
+        body = llrs[frame.header_bits :]
+    else:
+        if message_len is None:
+            raise ExtractionError("raw mode needs the pre-shared message length")
+        length = message_len
+        body = llrs
+
+    data_bits_padded = -(-length * 8 // code.k) * code.k
+    coded_bits = data_bits_padded // code.k * code.n
+    if coded_bits > body.size:
+        raise ExtractionError(
+            f"header claims {length} bytes but only {body.size} coded bits "
+            "are present — header corrupted beyond repair?"
+        )
+    decoded = (
+        soft_decode(code, body[:coded_bits])
+        if coded_bits
+        else np.zeros(0, dtype=np.uint8)
     )
     return bits_to_bytes(decoded[: length * 8]) if length else b""
 

@@ -37,9 +37,16 @@ from ..api import (
     receive_result,
     send_result,
 )
-from ..bitutils import Captures, bit_error_rate, invert_bits, majority_vote
+from ..bitutils import (
+    Captures,
+    bit_error_rate,
+    invert_bits,
+    majority_vote,
+    most_marginal_row,
+)
 from ..crypto.ctr import AesCtr
 from ..ecc.base import Code
+from ..ecc.soft import estimate_p_flip, votes_to_llrs
 from ..errors import (
     CodecError,
     ConfigurationError,
@@ -47,7 +54,12 @@ from ..errors import (
     RetryExhaustedError,
 )
 from ..harness.controlboard import ControlBoard
-from .message import FrameFormat, build_payload, extract_message
+from .message import (
+    FrameFormat,
+    build_payload,
+    extract_message,
+    extract_message_soft,
+)
 from .scheme import CodingScheme
 
 _UNSET = object()
@@ -86,9 +98,16 @@ class DecodeResult:
     - ``per_capture_flip_rate``: each capture's disagreement with the
       majority-voted state (the noise floor the vote suppresses);
     - ``vote_margin_hist``: histogram of per-bit vote margins
-      ``|2 * ones - n_captures|`` (index = margin);
-    - ``ecc_corrections``: corrections performed during decode (Hamming
-      blocks repaired + repetition copies overruled), from telemetry;
+      ``|2 * ones - n_captures|`` (index = margin) for the final vote;
+      ``round_margin_hists`` keeps one such histogram per vote round when
+      adaptive escalation re-voted (last entry == ``vote_margin_hist``);
+    - ``ecc_corrections``: data bits/blocks the decode repaired (Hamming
+      blocks corrected + repetition data bits with at least one copy
+      outvoted), from telemetry; per-copy overrules are the separate
+      ``ecc.repetition.overruled`` counter;
+    - ``decision`` / ``p_flip_estimate``: whether the decode consumed
+      hard bits or soft vote-margin LLRs, and — in soft mode — the
+      channel flip rate the LLR scale was derived from;
     - ``raw_error_vs`` / ``per_capture_error_vs``: channel BER against the
       true payload, filled when ``receive(expected_payload=...)`` knows it.
 
@@ -117,7 +136,10 @@ class DecodeResult:
     per_capture_flip_rate: "tuple[float, ...] | None" = None
     per_capture_error_vs: "tuple[float, ...] | None" = None
     vote_margin_hist: "tuple[int, ...] | None" = None
+    round_margin_hists: "tuple[tuple[int, ...], ...]" = ()
     ecc_corrections: "int | None" = None
+    decision: str = "hard"
+    p_flip_estimate: "float | None" = None
     total_captures: int = 0
     suspect_captures: "tuple[int, ...]" = ()
     escalation_rounds: int = 0
@@ -146,7 +168,10 @@ class DecodeResult:
                 if self.vote_margin_hist is not None
                 else None
             ),
+            "round_margin_hists": [list(h) for h in self.round_margin_hists],
             "ecc_corrections": self.ecc_corrections,
+            "decision": self.decision,
+            "p_flip_estimate": self.p_flip_estimate,
             "escalation": {
                 "total_captures": self.total_captures,
                 "suspect_captures": list(self.suspect_captures),
@@ -361,12 +386,8 @@ class InvisibleBits:
         """
         good = [i for i in range(samples.shape[0]) if i not in excluded]
         if len(good) % 2 == 0 and len(good) > 1:
-            provisional = majority_vote(samples[good])
-            flips = [
-                (int(np.count_nonzero(samples[i] != provisional)), i) for i in good
-            ]
-            drop = max(flips)[1]
-            good = [i for i in good if i != drop]
+            # Shared rule from bitutils (= majority_vote(on_tie="drop")).
+            good.pop(most_marginal_row(samples[good]))
         return good, majority_vote(samples[good])
 
     def _classify_captures(
@@ -411,6 +432,57 @@ class InvisibleBits:
             )
         return message, recovered, corrections
 
+    def _attempt_decode_soft(
+        self,
+        state: np.ndarray,
+        ones: np.ndarray,
+        n_votes: int,
+        p_flip: float,
+        message_len: "int | None",
+    ) -> "tuple[bytes, np.ndarray, int]":
+        """Soft-decision twin of :meth:`_attempt_decode`.
+
+        Works on per-cell LLRs derived from the vote counts instead of the
+        voted bits.  The stages map cleanly into the LLR domain:
+
+        - **invert** (§4.3's photographic negative) negates every LLR;
+        - **decrypt**: AES-CTR XORs a keystream bit into each payload bit,
+          which in the LLR domain flips the sign wherever the keystream
+          bit is 1 — confidences pass through untouched (CTR never mixes
+          bits, the same property that makes it error-neutral);
+        - **ECC-decode** runs the soft-combining stack
+          (:func:`repro.ecc.soft.soft_decode`) over the payload LLRs.
+
+        ``recovered`` stays the *hard* inverted state so raw-BER
+        diagnostics are mode-independent.
+        """
+        recovered = invert_bits(state)
+        payload_llrs = -votes_to_llrs(ones, n_votes, p_flip)
+        cipher = self._cipher()
+        with telemetry.trace("channel.decrypt", encrypted=cipher is not None):
+            if cipher is not None:
+                ks_bits = np.unpackbits(cipher.keystream(payload_llrs.size // 8))
+                payload_llrs = payload_llrs * (1.0 - 2.0 * ks_bits)
+        with telemetry.trace(
+            "channel.ecc_decode",
+            code=self.ecc.name if self.ecc is not None else "identity",
+            decision="soft",
+        ) as ecc_span:
+            message = extract_message_soft(
+                payload_llrs,
+                ecc=self.ecc,
+                frame=self.frame,
+                message_len=message_len,
+            )
+            corrections = int(
+                sum(
+                    count
+                    for name, count in ecc_span.counters.items()
+                    if name.endswith(".corrections")
+                )
+            )
+        return message, recovered, corrections
+
     def decode_state(
         self,
         state: np.ndarray,
@@ -418,6 +490,8 @@ class InvisibleBits:
         message_len: "int | None" = None,
         expected_payload: "np.ndarray | None" = None,
         n_captures: "int | None" = None,
+        ones: "np.ndarray | None" = None,
+        p_flip: "float | None" = None,
     ) -> DecodeResult:
         """Decode an already-voted power-on state (no new captures).
 
@@ -431,14 +505,31 @@ class InvisibleBits:
         raises :class:`~repro.errors.CodecError` /
         :class:`~repro.errors.ExtractionError` for the caller to fall
         back to the full :meth:`receive`.
+
+        On a ``decision="soft"`` scheme, pass ``ones`` (the per-cell
+        count of captures that read 1, as the vote computed it) to decode
+        from vote-margin LLRs; ``p_flip`` sets the LLR scale (decode
+        decisions are scale-invariant, so omitting it is safe — a
+        conservative floor is used).  Without ``ones`` the margins are
+        unknowable from a voted state alone, so the decode falls back to
+        hard decisions — exactly the soft decode of saturated LLRs.
         """
         votes = self.n_captures if n_captures is None else int(n_captures)
+        soft = self.scheme.decision == "soft" and ones is not None
+        p_flip_est = (
+            estimate_p_flip(() if p_flip is None else (p_flip,)) if soft else None
+        )
         with telemetry.trace(
             "channel.decode_state", force=True, **self._span_attrs()
         ) as span:
-            message, recovered, corrections = self._attempt_decode(
-                state, message_len
-            )
+            if soft:
+                message, recovered, corrections = self._attempt_decode_soft(
+                    state, ones, votes, p_flip_est, message_len
+                )
+            else:
+                message, recovered, corrections = self._attempt_decode(
+                    state, message_len
+                )
             raw_error = None
             if expected_payload is not None:
                 raw_error = bit_error_rate(expected_payload, recovered)
@@ -447,6 +538,7 @@ class InvisibleBits:
                 raw_error_vs=raw_error,
                 ecc_corrections=corrections,
                 message_bytes=len(message),
+                decision="soft" if soft else "hard",
             )
             _MESSAGES_TOTAL.inc(
                 phase="receive", device=self.board.device.spec.name
@@ -458,7 +550,95 @@ class InvisibleBits:
                 n_captures=votes,
                 raw_error_vs=raw_error,
                 ecc_corrections=corrections,
+                decision="soft" if soft else "hard",
+                p_flip_estimate=p_flip_est,
                 total_captures=votes,
+            )
+
+    def decode_captures(
+        self,
+        samples: Captures,
+        *,
+        message_len: "int | None" = None,
+        expected_payload: "np.ndarray | None" = None,
+    ) -> DecodeResult:
+        """Vote and decode an existing capture stack (no new captures).
+
+        The offline half of Algorithm 2 for captures obtained elsewhere
+        (:func:`repro.io.load_captures`, a fleet burst, a stored
+        experiment): majority-votes the stack with the receive path's
+        even-count drop rule, then decodes per the scheme's ``decision``
+        mode — in soft mode the vote margins become LLRs with the scale
+        estimated from the stack's own flip rates.  The same stack can be
+        decoded under both modes by swapping
+        ``scheme.with_decision(...)``.  No escalation fires (there is no
+        board to ask for more captures); an undecodable stack raises
+        :class:`~repro.errors.CodecError` /
+        :class:`~repro.errors.ExtractionError`.
+        """
+        samples = np.asarray(samples, dtype=np.uint8)
+        if samples.ndim != 2 or samples.shape[0] == 0:
+            raise ConfigurationError(
+                f"expected a (n_captures, n_bits) stack, got shape "
+                f"{samples.shape}"
+            )
+        with telemetry.trace(
+            "channel.decode_captures", force=True, **self._span_attrs()
+        ) as span:
+            vote_idx, state = self._vote_rows(samples, [])
+            voting = samples[vote_idx]
+            ones = voting.sum(axis=0, dtype=np.int64)
+            margins = np.abs(2 * ones - len(vote_idx))
+            margin_hist = tuple(
+                int(v)
+                for v in np.bincount(margins, minlength=len(vote_idx) + 1)
+            )
+            flip_rate = tuple(
+                float(np.count_nonzero(row != state)) / state.size
+                for row in samples
+            )
+            soft = self.scheme.decision == "soft"
+            p_flip_est = (
+                estimate_p_flip([flip_rate[i] for i in vote_idx])
+                if soft
+                else None
+            )
+            if soft:
+                message, recovered, corrections = self._attempt_decode_soft(
+                    state, ones, len(vote_idx), p_flip_est, message_len
+                )
+            else:
+                message, recovered, corrections = self._attempt_decode(
+                    state, message_len
+                )
+            raw_error = None
+            if expected_payload is not None:
+                raw_error = bit_error_rate(expected_payload, recovered)
+            span.set(
+                n_captures=len(vote_idx),
+                raw_error_vs=raw_error,
+                ecc_corrections=corrections,
+                message_bytes=len(message),
+                decision=self.scheme.decision,
+                vote_margin_hist=list(margin_hist),
+            )
+            _MESSAGES_TOTAL.inc(
+                phase="receive", device=self.board.device.spec.name
+            )
+            return DecodeResult(
+                message=message,
+                power_on_state=state,
+                recovered_payload=recovered,
+                n_captures=len(vote_idx),
+                raw_error_vs=raw_error,
+                captures=samples,
+                per_capture_flip_rate=flip_rate,
+                vote_margin_hist=margin_hist,
+                round_margin_hists=(margin_hist,),
+                ecc_corrections=corrections,
+                decision=self.scheme.decision,
+                p_flip_estimate=p_flip_est,
+                total_captures=int(samples.shape[0]),
             )
 
     def receive(
@@ -494,6 +674,9 @@ class InvisibleBits:
             suspects: "list[int]" = []
             escalation_rounds = 0
             degraded = False
+            soft = scheme.decision == "soft"
+            p_flip_est: "float | None" = None
+            round_hists: "list[tuple[int, ...]]" = []
 
             while True:
                 vote_idx, state, suspects = self._classify_captures(
@@ -501,12 +684,16 @@ class InvisibleBits:
                 )
                 with telemetry.trace("channel.vote", n_captures=len(vote_idx)):
                     voting = samples[vote_idx]
+                    # Escalation accumulates: every round re-votes (and, in
+                    # soft mode, re-counts margins) over *all* clean rows
+                    # captured so far, not just the newest batch.
                     ones = voting.sum(axis=0, dtype=np.int64)
                     margins = np.abs(2 * ones - len(vote_idx))
                     margin_hist = tuple(
                         int(v)
                         for v in np.bincount(margins, minlength=len(vote_idx) + 1)
                     )
+                    round_hists.append(margin_hist)
                     flip_rate = tuple(
                         float(np.count_nonzero(row != state)) / state.size
                         for row in samples
@@ -514,9 +701,23 @@ class InvisibleBits:
 
                 decode_error: "Exception | None" = None
                 try:
-                    message, recovered, corrections = self._attempt_decode(
-                        state, message_len
-                    )
+                    if soft:
+                        p_flip_est = estimate_p_flip(
+                            [flip_rate[i] for i in vote_idx]
+                        )
+                        message, recovered, corrections = (
+                            self._attempt_decode_soft(
+                                state,
+                                ones,
+                                len(vote_idx),
+                                p_flip_est,
+                                message_len,
+                            )
+                        )
+                    else:
+                        message, recovered, corrections = self._attempt_decode(
+                            state, message_len
+                        )
                 except (CodecError, ExtractionError) as exc:
                     decode_error = exc
 
@@ -562,6 +763,9 @@ class InvisibleBits:
                 escalation_rounds=escalation_rounds,
                 degraded=degraded,
                 vote_margin_hist=list(margin_hist),
+                vote_margin_rounds=[list(h) for h in round_hists],
+                decision=scheme.decision,
+                p_flip_estimate=p_flip_est,
                 per_capture_flip_rate=list(flip_rate),
                 per_capture_ber=(
                     list(per_capture_error) if per_capture_error else None
@@ -583,7 +787,10 @@ class InvisibleBits:
                 per_capture_flip_rate=flip_rate,
                 per_capture_error_vs=per_capture_error,
                 vote_margin_hist=margin_hist,
+                round_margin_hists=tuple(round_hists),
                 ecc_corrections=corrections,
+                decision=scheme.decision,
+                p_flip_estimate=p_flip_est,
                 total_captures=int(samples.shape[0]),
                 suspect_captures=tuple(sorted(suspects)),
                 escalation_rounds=escalation_rounds,

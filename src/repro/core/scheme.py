@@ -54,6 +54,14 @@ class CodingScheme:
         region) and replaced.  Natural power-up noise sits well below
         0.1 on every catalog device, so the default never fires on a
         healthy channel.
+    decision:
+        How the receiver uses the capture stack: ``"hard"`` (default)
+        majority-votes each cell to one bit before decoding — bit-identical
+        to the pre-soft pipeline; ``"soft"`` keeps the per-cell vote
+        margins as log-likelihood ratios and decodes them with the
+        soft-combining stack in :mod:`repro.ecc.soft` (LLR convention in
+        docs/api.md).  A receiver-side knob: the encoded image is the
+        same either way, so the two ends need not agree on it.
     """
 
     key: "bytes | None" = None
@@ -63,6 +71,7 @@ class CodingScheme:
     capture_ceiling: "int | None" = None
     escalation_step: int = 2
     suspect_flip_rate: float = 0.2
+    decision: str = "hard"
 
     def __post_init__(self) -> None:
         if self.key is not None and len(self.key) not in (16, 24, 32):
@@ -83,6 +92,10 @@ class CodingScheme:
         if not 0.0 < self.suspect_flip_rate < 1.0:
             raise ConfigurationError(
                 f"suspect_flip_rate must be in (0, 1), got {self.suspect_flip_rate}"
+            )
+        if self.decision not in ("hard", "soft"):
+            raise ConfigurationError(
+                f'decision must be "hard" or "soft", got {self.decision!r}'
             )
         if self.frame is None:
             object.__setattr__(self, "frame", FrameFormat())
@@ -111,6 +124,10 @@ class CodingScheme:
         """A copy with a different capture count (receiver-side knob)."""
         return replace(self, n_captures=n_captures)
 
+    def with_decision(self, decision: str) -> "CodingScheme":
+        """A copy with a different decision mode (receiver-side knob)."""
+        return replace(self, decision=decision)
+
     def describe(self) -> dict:
         """Provenance attributes for telemetry records."""
         return {
@@ -120,6 +137,7 @@ class CodingScheme:
             "n_captures": self.n_captures,
             "capture_ceiling": self.max_total_captures,
             "encrypted": self.encrypted,
+            "decision": self.decision,
         }
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

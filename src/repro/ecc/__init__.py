@@ -12,6 +12,7 @@ from .analysis import (
     copies_to_reach,
     exact_residual_ber,
     repetition_residual_error,
+    vote_channel_capacity,
 )
 from .base import Code, IdentityCode
 from .bch import BCHCode
@@ -20,6 +21,18 @@ from .hamming import HammingCode, hamming_3_1, hamming_7_4
 from .interleave import BlockInterleaver
 from .product import ConcatenatedCode
 from .repetition import RepetitionCode
+from .soft import (
+    LLR_SAT,
+    SoftCode,
+    chase_decode,
+    estimate_p_flip,
+    hard_bits,
+    llr_scale,
+    saturate,
+    soft_combine,
+    soft_decode,
+    votes_to_llrs,
+)
 
 __all__ = [
     "BCHCode",
@@ -29,10 +42,21 @@ __all__ = [
     "ConcatenatedCode",
     "HammingCode",
     "IdentityCode",
+    "LLR_SAT",
     "RepetitionCode",
+    "SoftCode",
+    "chase_decode",
     "copies_to_reach",
+    "estimate_p_flip",
     "exact_residual_ber",
     "hamming_3_1",
     "hamming_7_4",
+    "hard_bits",
+    "llr_scale",
     "repetition_residual_error",
+    "saturate",
+    "soft_combine",
+    "soft_decode",
+    "vote_channel_capacity",
+    "votes_to_llrs",
 ]

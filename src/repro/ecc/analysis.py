@@ -9,6 +9,7 @@ capacity/error trade-offs (Figure 15).
 from __future__ import annotations
 
 import itertools
+import math
 
 import numpy as np
 from scipy.stats import binom
@@ -66,18 +67,36 @@ def exact_residual_ber(code: Code, p_error: float, *, max_block_bits: int = 16) 
     data = np.zeros(code.k, dtype=np.uint8)  # linear codes: WLOG all-zero data
     codeword = code.encode(data)
 
+    # Weight-class probabilities are accumulated in log space: at small
+    # ``p_error`` the per-pattern probability ``p^w (1-p)^(n-w)`` underflows
+    # to 0.0 long before the class total ``C(n,w) * p^w ...`` does, and the
+    # old ``pattern_prob == 0.0`` skip silently dropped that mass — the
+    # exact curve the capacity analysis gates on read as optimistically
+    # zero.  Only mathematically impossible classes are skipped now.
     total = 0.0
     for weight in range(n + 1):
-        pattern_prob = p_error**weight * (1.0 - p_error) ** (n - weight)
-        if pattern_prob == 0.0:
+        if p_error == 0.0 and weight > 0:
             continue
+        if p_error == 1.0 and weight < n:
+            continue
+        wrong_total = 0
         for positions in itertools.combinations(range(n), weight):
             corrupted = codeword.copy()
             for pos in positions:
                 corrupted[pos] ^= 1
             decoded = code.decode(corrupted)
-            wrong = int(np.count_nonzero(decoded != data))
-            total += pattern_prob * wrong
+            wrong_total += int(np.count_nonzero(decoded != data))
+        if wrong_total == 0:
+            continue
+        if p_error in (0.0, 1.0):
+            total += float(wrong_total)  # the surviving class has prob 1
+            continue
+        log_class = (
+            weight * math.log(p_error)
+            + (n - weight) * math.log1p(-p_error)
+            + math.log(wrong_total)
+        )
+        total += math.exp(log_class)
     return total / code.k
 
 
@@ -95,6 +114,51 @@ def concatenated_residual_error(
     code = hamming_code or hamming_7_4()
     after_vote = repetition_residual_error(p_error, copies)
     return exact_residual_ber(code, after_vote)
+
+
+def vote_channel_capacity(
+    p_flip: float, n_captures: int, *, decision: str = "soft"
+) -> float:
+    """Per-cell capacity of the ``n_captures``-vote channel, in bits.
+
+    Models one stego cell as a binary input ``X`` observed through
+    ``n_captures`` independent power-on reads, each flipping with
+    probability ``p_flip``.  What the receiver keeps decides the capacity:
+
+    - ``decision="soft"``: the receiver keeps the ones count ``K`` (the
+      vote margin), a binary-input soft-output channel; capacity is the
+      mutual information ``I(X; K)`` with ``K | X=0 ~ Binom(n, p)`` and
+      ``K | X=1 ~ Binom(n, 1-p)`` (the quantised-observation construction
+      of arXiv:2112.02198).
+    - ``decision="hard"``: the receiver keeps only the majority bit;
+      capacity is the BSC capacity at the Equation-1 residual error,
+      which requires an odd ``n_captures``.
+
+    The soft/hard gap is exactly the information the hard path throws
+    away by discarding vote margins.
+    """
+    if not 0.0 <= p_flip <= 1.0:
+        raise ConfigurationError(f"flip rate must be in [0, 1], got {p_flip}")
+    if n_captures < 1:
+        raise ConfigurationError(f"n_captures must be positive, got {n_captures}")
+    if decision == "hard":
+        from ..core.channel import bsc_capacity
+
+        return bsc_capacity(repetition_residual_error(p_flip, n_captures))
+    if decision != "soft":
+        raise ConfigurationError(f"unknown decision {decision!r}")
+    k = np.arange(n_captures + 1)
+    pmf0 = binom.pmf(k, n_captures, p_flip)  # X=0: captures flip toward 1
+    pmf1 = binom.pmf(k, n_captures, 1.0 - p_flip)
+    marginal = 0.5 * (pmf0 + pmf1)
+    info = 0.0
+    for pmf in (pmf0, pmf1):
+        mask = pmf > 0.0
+        info += 0.5 * float(
+            np.sum(pmf[mask] * np.log2(pmf[mask] / marginal[mask]))
+        )
+    # Clip the ~1e-16 negatives float error can produce at p=0.5.
+    return float(min(1.0, max(0.0, info)))
 
 
 def effective_capacity(sram_bits: int, code: Code) -> int:

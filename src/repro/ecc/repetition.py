@@ -57,11 +57,18 @@ class RepetitionCode(Code):
             samples = bits.reshape(-1, self.copies).T
             voted = majority_vote(samples)
         if telemetry.active():
-            # Copies overruled by the vote — the paper's per-capture
-            # "disagreement" accounting, one level up the stack.
+            # Two different units, kept apart: ``overruled`` counts every
+            # copy the vote outvoted (the paper's per-copy disagreement
+            # accounting), ``corrections`` counts data bits that needed
+            # repair at all — the unit Hamming's per-block corrections
+            # use, so the pipeline's ``*.corrections`` total is coherent.
+            overruled = samples != voted[None, :]
+            telemetry.count(
+                "ecc.repetition.overruled", int(np.count_nonzero(overruled))
+            )
             telemetry.count(
                 "ecc.repetition.corrections",
-                int(np.count_nonzero(samples != voted[None, :])),
+                int(np.count_nonzero(overruled.any(axis=0))),
             )
             telemetry.count("ecc.repetition.bits", int(voted.size))
         return voted

@@ -1,0 +1,297 @@
+"""Soft-decision decoding: vote margins as log-likelihood ratios.
+
+The capture stack already measures more than the bits it reports: every
+receive knows, per cell, how many of the ``n`` power-on captures read 1.
+Hard-decision decoding (the paper's §5.2 baseline) collapses that count
+to a majority bit and throws the margin away.  This module keeps it,
+following the PUF-channel information-theoretic treatment of Maringer
+et al. (arXiv:2112.02198).
+
+**LLR convention** (see docs/api.md): a cell's log-likelihood ratio is
+
+    ``llr = log P(bit = 0 | observation) - log P(bit = 1 | observation)``
+
+so *positive* means 0, *negative* means 1, ``|llr|`` is confidence, and
+0 is an erasure.  Modelling each capture as an independent binary
+symmetric channel with flip probability ``p_flip`` gives
+
+    ``llr = (n_captures - 2 * ones) * log((1 - p_flip) / p_flip)``
+
+— the margin, scaled.  The hard decision ``llr <= 0 -> 1`` reproduces
+:func:`repro.bitutils.majority_vote` exactly (including its tie-to-1
+rule at ``llr == 0``), which is what makes ``decision="hard"`` a strict
+special case: saturate every magnitude and the soft decoders below
+collapse to their hard counterparts (the ``ecc.soft_saturation``
+oracle pins this).
+
+Three decoder families understand LLRs:
+
+- **soft-combining repetition** — sum the copies' LLRs instead of
+  majority-voting their signs, so one confident copy outvotes two
+  marginal ones;
+- **Chase-2** (:func:`chase_decode`) — wrap an existing hard bounded-
+  distance decoder (Hamming, BCH): hard-decode the received block plus
+  every test pattern over the least-reliable positions, keep the
+  candidate codeword closest in *analog* distance;
+- **pass-through** — interleavers permute LLRs, concatenations chain
+  ``soft_combine`` through the inner stage into the outer decoder, so
+  the paper's repetition+Hamming stack composes unchanged.
+
+Everything dispatches through :func:`soft_decode` / :func:`soft_combine`
+on the existing :class:`~repro.ecc.base.Code` types; new codes can opt
+in natively by subclassing :class:`SoftCode`.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .. import telemetry
+from ..errors import BlockLengthError, ConfigurationError
+from .base import Code, IdentityCode
+from .bch import BCHCode
+from .hamming import HammingCode
+from .interleave import BlockInterleaver
+from .product import ConcatenatedCode
+from .repetition import RepetitionCode
+
+__all__ = [
+    "LLR_SAT",
+    "SoftCode",
+    "chase_decode",
+    "estimate_p_flip",
+    "hard_bits",
+    "llr_scale",
+    "saturate",
+    "soft_combine",
+    "soft_decode",
+    "votes_to_llrs",
+]
+
+#: Magnitude used for "certain" LLRs (saturated hard decisions).  Large
+#: enough that exp(-LLR_SAT) is negligible against any real margin, small
+#: enough that sums over thousands of copies never overflow a float64.
+LLR_SAT = 50.0
+
+#: ``p_flip`` estimates are clamped into this range: the floor keeps the
+#: scale finite when a capture burst happens to agree perfectly, the
+#: ceiling keeps it positive on a channel too noisy to estimate.
+_P_FLIP_FLOOR = 1e-3
+_P_FLIP_CEILING = 0.4
+
+
+def llr_scale(p_flip: float) -> float:
+    """Per-unit-margin LLR magnitude ``log((1-p)/p)`` for a BSC(p) capture."""
+    if not 0.0 <= p_flip <= 1.0:
+        raise ConfigurationError(f"p_flip must be in [0, 1], got {p_flip}")
+    p = min(max(p_flip, _P_FLIP_FLOOR), _P_FLIP_CEILING)
+    return math.log((1.0 - p) / p)
+
+
+def estimate_p_flip(flip_rates) -> float:
+    """Channel flip-rate estimate from per-capture flip-rate telemetry.
+
+    ``flip_rates`` is the ``per_capture_flip_rate`` sequence a receive
+    already computes (each capture's disagreement with the voted state).
+    The mean is a slight *under*-estimate of the true per-capture error
+    (the vote itself absorbs some), which only makes the LLR scale
+    conservative; decode decisions are scale-invariant anyway.
+    """
+    rates = [float(r) for r in flip_rates]
+    if not rates:
+        return _P_FLIP_FLOOR
+    mean = sum(rates) / len(rates)
+    return min(max(mean, _P_FLIP_FLOOR), _P_FLIP_CEILING)
+
+
+def votes_to_llrs(ones, n_captures: int, p_flip: float) -> np.ndarray:
+    """Per-cell LLRs from vote counts: ``(n - 2*ones) * llr_scale(p_flip)``.
+
+    ``ones[i]`` is how many of the ``n_captures`` captures read cell ``i``
+    as 1.  A unanimous 0 gives ``+n*scale``, a unanimous 1 ``-n*scale``,
+    a tie exactly 0 (an erasure).
+    """
+    counts = np.asarray(ones, dtype=np.int64).ravel()
+    if n_captures < 1:
+        raise ConfigurationError(f"n_captures must be >= 1, got {n_captures}")
+    if counts.size and (counts.min() < 0 or counts.max() > n_captures):
+        raise ConfigurationError(
+            f"vote counts must lie in [0, {n_captures}]"
+        )
+    return (n_captures - 2 * counts).astype(np.float64) * llr_scale(p_flip)
+
+
+def hard_bits(llrs) -> np.ndarray:
+    """Collapse LLRs to bits: ``llr <= 0`` reads 1 (ties to 1, matching
+    :func:`repro.bitutils.majority_vote`)."""
+    arr = np.asarray(llrs, dtype=np.float64)
+    return (arr <= 0.0).astype(np.uint8)
+
+
+def saturate(bits) -> np.ndarray:
+    """Lift hard bits to certain LLRs: 0 -> ``+LLR_SAT``, 1 -> ``-LLR_SAT``."""
+    arr = np.asarray(bits, dtype=np.float64).ravel()
+    if arr.size and (arr.min() < 0 or arr.max() > 1):
+        raise BlockLengthError("bit array contains values other than 0/1")
+    return LLR_SAT * (1.0 - 2.0 * arr)
+
+
+class SoftCode(Code):
+    """A :class:`Code` whose decoder consumes LLRs natively.
+
+    ``decode_soft`` maps ``n``-multiples of LLRs to the data bits;
+    ``soft_output`` additionally yields per-data-bit LLRs for chaining
+    into an outer decoder (the default saturates ``decode_soft``'s hard
+    output, which is the correct degenerate behaviour for a final stage).
+    """
+
+    def decode_soft(self, llrs: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def soft_output(self, llrs: np.ndarray) -> np.ndarray:
+        return saturate(self.decode_soft(llrs))
+
+
+def _check_llrs(code: Code, llrs) -> np.ndarray:
+    arr = np.asarray(llrs, dtype=np.float64).ravel()
+    if arr.size == 0 or arr.size % code.n:
+        raise BlockLengthError(
+            f"{code.name}: soft decode input of {arr.size} LLRs is not a "
+            f"positive multiple of n={code.n}"
+        )
+    return arr
+
+
+def _repetition_combine(code: RepetitionCode, llrs: np.ndarray) -> np.ndarray:
+    """Sum LLRs across copies — the soft-combining rule (one confident
+    copy outweighs several marginal ones).  Emits the same counter split
+    as the hard decoder: ``overruled`` copies, ``corrections`` data bits."""
+    if code.layout == "block":
+        stacked = llrs.reshape(code.copies, -1)
+    else:
+        stacked = llrs.reshape(-1, code.copies).T
+    combined = stacked.sum(axis=0)
+    if telemetry.active():
+        copy_bits = hard_bits(stacked)
+        voted = hard_bits(combined)
+        overruled = copy_bits != voted[None, :]
+        telemetry.count(
+            "ecc.repetition.overruled", int(np.count_nonzero(overruled))
+        )
+        telemetry.count(
+            "ecc.repetition.corrections",
+            int(np.count_nonzero(overruled.any(axis=0))),
+        )
+        telemetry.count("ecc.repetition.bits", int(combined.size))
+    return combined
+
+
+def _interleave_combine(code: BlockInterleaver, llrs: np.ndarray) -> np.ndarray:
+    """De-interleave LLRs — the same permutation the bit decoder applies."""
+    blocks = llrs.reshape(-1, code.span, code.depth)
+    return blocks.transpose(0, 2, 1).reshape(-1)
+
+
+def chase_decode(
+    code: Code, llrs: np.ndarray, *, test_bits: int = 2
+) -> np.ndarray:
+    """Chase-2 decoding around any hard block decoder (Hamming, BCH).
+
+    Per block: hard-decode the received bits (the baseline), then
+    hard-decode every test pattern that flips a subset of the
+    ``test_bits`` least-reliable positions, re-encode each candidate and
+    score it by analog distance — the sum of ``|llr|`` over positions
+    where the candidate codeword disagrees with the hard decision.  The
+    baseline wins ties, so with uniform reliabilities (saturated LLRs)
+    Chase is *exactly* the wrapped hard decoder; with real margins it
+    corrects beyond the bounded distance by spending disagreement where
+    confidence is cheapest.
+
+    Trial decodes run under ``telemetry.mute()``; the one delivered
+    result is accounted as ``ecc.chase.corrections`` (blocks where the
+    winner differs from the received hard decision) / ``ecc.chase.blocks``.
+    """
+    llrs = _check_llrs(code, llrs)
+    if test_bits < 0:
+        raise ConfigurationError(f"test_bits must be >= 0, got {test_bits}")
+    n, k = code.n, code.k
+    blocks = llrs.reshape(-1, n)
+    n_blocks = blocks.shape[0]
+    received = hard_bits(blocks)
+    mags = np.abs(blocks)
+    t = min(test_bits, n)
+    # Least-reliable positions per block, most marginal first (stable so
+    # equal magnitudes break deterministically by position).
+    weakest = np.argsort(mags, axis=1, kind="stable")[:, :t]
+    rows = np.arange(n_blocks)[:, None]
+
+    with telemetry.mute():
+        best_data = code.decode(received.reshape(-1)).reshape(n_blocks, k)
+        best_cw = code.encode(best_data.reshape(-1)).reshape(n_blocks, n)
+        best_cost = (mags * (best_cw != received)).sum(axis=1)
+        for mask in range(1, 2**t):
+            flips = np.array(
+                [bool(mask >> j & 1) for j in range(t)], dtype=bool
+            )
+            candidate = received.copy()
+            cols = weakest[:, flips]
+            candidate[np.broadcast_to(rows, cols.shape), cols] ^= 1
+            data = code.decode(candidate.reshape(-1)).reshape(n_blocks, k)
+            cw = code.encode(data.reshape(-1)).reshape(n_blocks, n)
+            cost = (mags * (cw != received)).sum(axis=1)
+            better = cost < best_cost
+            if better.any():
+                best_data[better] = data[better]
+                best_cw[better] = cw[better]
+                best_cost[better] = cost[better]
+
+    if telemetry.active():
+        repaired = np.count_nonzero((best_cw != received).any(axis=1))
+        telemetry.count("ecc.chase.corrections", int(repaired))
+        telemetry.count("ecc.chase.blocks", int(n_blocks))
+    return best_data.reshape(-1).astype(np.uint8)
+
+
+def soft_combine(code: "Code | None", llrs) -> np.ndarray:
+    """Per-data-bit LLRs after soft-decoding one stage of ``code``.
+
+    The chaining half of the API: an inner stage's ``soft_combine`` feeds
+    the outer stage's :func:`soft_decode`.  Repetition genuinely combines
+    (LLRs add), interleaving permutes, concatenation recurses; any other
+    code falls back to hard-decoding and saturating — lossy, but exactly
+    what a hard inner stage would hand the outer decoder anyway.
+    """
+    if code is None or isinstance(code, IdentityCode):
+        return np.asarray(llrs, dtype=np.float64).ravel()
+    if isinstance(code, SoftCode):
+        return code.soft_output(_check_llrs(code, llrs))
+    if isinstance(code, RepetitionCode):
+        return _repetition_combine(code, _check_llrs(code, llrs))
+    if isinstance(code, BlockInterleaver):
+        return _interleave_combine(code, _check_llrs(code, llrs))
+    if isinstance(code, ConcatenatedCode):
+        return soft_combine(code.outer, soft_combine(code.inner, llrs))
+    return saturate(code.decode(hard_bits(_check_llrs(code, llrs))))
+
+
+def soft_decode(code: "Code | None", llrs) -> np.ndarray:
+    """Soft-decision decode: LLRs in, data bits out.
+
+    Dispatches on the code family (see module docstring); composite
+    codes decode the inner stage softly via :func:`soft_combine` and
+    hand the combined LLRs to the outer decoder, mirroring
+    :meth:`~repro.ecc.product.ConcatenatedCode.decode` stage order.
+    """
+    if code is None or isinstance(code, IdentityCode):
+        return hard_bits(np.asarray(llrs, dtype=np.float64).ravel())
+    if isinstance(code, SoftCode):
+        return code.decode_soft(_check_llrs(code, llrs))
+    if isinstance(code, (RepetitionCode, BlockInterleaver)):
+        return hard_bits(soft_combine(code, llrs))
+    if isinstance(code, ConcatenatedCode):
+        return soft_decode(code.outer, soft_combine(code.inner, llrs))
+    if isinstance(code, (HammingCode, BCHCode)):
+        return chase_decode(code, llrs)
+    return code.decode(hard_bits(_check_llrs(code, llrs)))

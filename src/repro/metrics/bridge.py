@@ -97,7 +97,12 @@ class TelemetryBridge(Sink):
         )
         self._ecc_corrections = reg.counter(
             "repro_ecc_corrections_total",
-            "ECC corrections performed during decode",
+            "Data bits/blocks repaired by ECC decodes",
+        )
+        self._ecc_overruled = reg.counter(
+            "repro_ecc_overruled_copies_total",
+            "Repetition copies outvoted during decode (per-copy unit, "
+            "kept apart from corrections)",
         )
         self._escalation = reg.counter(
             "repro_escalation_captures_total",
@@ -174,6 +179,8 @@ class TelemetryBridge(Sink):
             self._quarantined.inc(value)
         elif name == "escalation.captures":
             self._escalation.inc(value)
+        elif name == "ecc.repetition.overruled":
+            self._ecc_overruled.inc(value)
         elif name.endswith(".corrections"):
             self._ecc_corrections.inc(value)
 

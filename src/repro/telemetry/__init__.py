@@ -43,6 +43,7 @@ from .core import (
     emit_record,
     enabled,
     gauge,
+    mute,
     registry,
     remove_sink,
     reset,
@@ -67,6 +68,7 @@ __all__ = [
     "enabled",
     "gauge",
     "load_records",
+    "mute",
     "registry",
     "remove_sink",
     "reset",

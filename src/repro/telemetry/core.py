@@ -44,6 +44,7 @@ __all__ = [
     "emit_record",
     "enabled",
     "gauge",
+    "mute",
     "registry",
     "remove_sink",
     "reset",
@@ -188,7 +189,24 @@ class TelemetryRegistry:
     def active(self) -> bool:
         """True when spans/counters would actually be recorded: a sink is
         attached, or an enclosing (possibly forced) span is collecting."""
+        if getattr(self._local, "muted", 0):
+            return False
         return bool(self._sinks) or bool(getattr(self._local, "stack", None))
+
+    @contextmanager
+    def mute(self):
+        """Suppress recording on this thread for the duration of the block.
+
+        Speculative work — e.g. the Chase decoder hard-decoding candidate
+        error patterns it will mostly discard — runs inside ``mute()`` so
+        trial decodes don't inflate the ``ecc.*.corrections`` accounting
+        of the one result actually delivered.  Nests; spans opened inside
+        are null spans and counters are dropped."""
+        self._local.muted = getattr(self._local, "muted", 0) + 1
+        try:
+            yield
+        finally:
+            self._local.muted -= 1
 
     def current_span(self) -> "Span | _NullSpan":
         stack = getattr(self._local, "stack", None)
@@ -206,6 +224,9 @@ class TelemetryRegistry:
         :class:`~repro.core.pipeline.DecodeResult`, sinks or not.  Nothing
         is emitted unless a sink is attached.
         """
+        if getattr(self._local, "muted", 0):
+            yield _NULL_SPAN
+            return
         stack = self._stack()
         if not force and not self._sinks and not stack:
             yield _NULL_SPAN
@@ -228,6 +249,8 @@ class TelemetryRegistry:
 
     def count(self, name: str, value: float = 1) -> None:
         """Bump a typed counter on the innermost span (and emit it)."""
+        if getattr(self._local, "muted", 0):
+            return
         stack = getattr(self._local, "stack", None)
         if not stack and not self._sinks:
             return
@@ -249,6 +272,8 @@ class TelemetryRegistry:
 
     def gauge(self, name: str, value) -> None:
         """Record an instantaneous measurement (also set as a span attr)."""
+        if getattr(self._local, "muted", 0):
+            return
         stack = getattr(self._local, "stack", None)
         if not stack and not self._sinks:
             return
@@ -302,6 +327,7 @@ gauge = registry.gauge
 emit_record = registry.emit_record
 active = registry.active
 current_span = registry.current_span
+mute = registry.mute
 
 
 def enabled() -> bool:

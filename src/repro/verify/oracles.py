@@ -197,6 +197,22 @@ _SINGLE_ERROR_CODES = (
     "paper-x3",
 )
 
+#: Single-stage codes for which the soft decoder provably collapses to
+#: the hard decoder at saturated LLRs on *arbitrary* words.  Composites
+#: are excluded by design: a repetition-combined stage hands the outer
+#: Chase decoder non-uniform magnitudes, where beating the hard chain is
+#: legitimate; BCH's bounded-distance decoder returns the received data
+#: on failure blocks, which is not a maximum-likelihood baseline.  Those
+#: paths are pinned on near-codewords inside ``ecc.soft_repetition``.
+_SOFT_FLAT_CODES = (
+    "identity",
+    "rep3-block",
+    "rep5-bitwise",
+    "hamming31",
+    "hamming74",
+    "interleave3x7",
+)
+
 
 # -- capture / harness contracts ---------------------------------------------
 
@@ -640,6 +656,104 @@ def ecc_composition(seed, blocks):
     )
 
 
+@oracle(
+    "ecc.soft_saturation",
+    gens=(
+        g.sampled_from(list(_SOFT_FLAT_CODES), name="code"),
+        g.seeds(),
+        g.integers(1, 4, name="blocks"),
+    ),
+)
+def ecc_soft_saturation(code_name, seed, blocks):
+    """Soft decode of saturated (+-LLR_SAT) words == the hard decoder.
+
+    Hard decoding is the saturation limit of soft decoding: with every
+    magnitude equal, Chase's analog distance degenerates to Hamming
+    distance and the baseline wins every tie, so the decoders must agree
+    bit-for-bit on *arbitrary* (however corrupted) words.  This is what
+    licenses ``decision="hard"`` as a special case of the soft path.
+    """
+    from ..ecc.soft import saturate, soft_decode
+
+    code = _code_catalog()[code_name]()
+    rng = np.random.default_rng(seed)
+    word = rng.integers(0, 2, blocks * code.n).astype(np.uint8)
+    hard = code.decode(word)
+    soft = soft_decode(code, saturate(word))
+    check_that(
+        np.array_equal(soft, hard),
+        f"{code.name}: soft decode of saturated LLRs diverged from the "
+        f"hard decoder on {int(np.count_nonzero(soft != hard))} bits",
+    )
+
+
+@oracle(
+    "ecc.soft_repetition",
+    gens=(
+        g.seeds(),
+        g.sampled_from([3, 5], name="copies"),
+        g.sampled_from(["block", "bitwise"], name="layout"),
+        g.integers(2, 16, name="bits"),
+    ),
+)
+def ecc_soft_repetition(seed, copies, layout, bits):
+    """Soft-combining repetition: round-trips, survives a single erasure,
+    and out-decodes the hard majority on confidence-skewed copies; the
+    paper's composite stack round-trips a saturated near-codeword."""
+    from ..ecc.product import paper_end_to_end_code
+    from ..ecc.repetition import RepetitionCode
+    from ..ecc.soft import LLR_SAT, hard_bits, saturate, soft_decode
+
+    rng = np.random.default_rng(seed)
+    code = RepetitionCode(copies, layout=layout)
+    data = rng.integers(0, 2, bits).astype(np.uint8)
+    llrs = saturate(code.encode(data))
+    check_that(
+        np.array_equal(soft_decode(code, llrs), data),
+        "clean soft repetition round-trip corrupted data",
+    )
+
+    erased = llrs.copy()
+    target = int(rng.integers(0, erased.size))
+    erased[target] = 0.0  # one copy of one bit becomes an erasure
+    check_that(
+        np.array_equal(soft_decode(code, erased), data),
+        f"a single erased copy (LLR=0 at {target}) broke the decode",
+    )
+
+    # Confidence-skewed copies: a weak wrong majority against a confident
+    # right minority.  The hard majority is wrong by construction; the
+    # LLR sum is right — the case soft-combining exists for.
+    majority = (copies + 1) // 2
+    right_sign = 1.0 - 2.0 * data.astype(np.float64)
+    stacked = np.empty((copies, bits), dtype=np.float64)
+    stacked[:majority] = -right_sign  # weakly wrong, |llr| = 1
+    stacked[majority:] = right_sign * LLR_SAT
+    skewed = (
+        stacked.reshape(-1) if layout == "block" else stacked.T.reshape(-1)
+    )
+    check_that(
+        np.array_equal(code.decode(hard_bits(skewed)), 1 - data),
+        "skewed pattern did not make the hard majority wrong",
+    )
+    check_that(
+        np.array_equal(soft_decode(code, skewed), data),
+        "soft combining lost to a weak wrong majority",
+    )
+
+    # The composite (Hamming x repetition) chain, pinned on a saturated
+    # near-codeword (<=1 flip): the regime where the chained soft path
+    # must agree with the hard chain.
+    paper = paper_end_to_end_code(3)
+    pdata = rng.integers(0, 2, paper.k).astype(np.uint8)
+    word = paper.encode(pdata)
+    word[int(rng.integers(0, word.size))] ^= 1
+    check_that(
+        np.array_equal(soft_decode(paper, saturate(word)), pdata),
+        "composite soft decode failed a saturated near-codeword",
+    )
+
+
 # -- crypto contracts --------------------------------------------------------
 
 
@@ -939,6 +1053,23 @@ def _mutant_decode_bit_flip(rng):
     check_that(
         np.array_equal(decoded, data),
         "single decoder bit-flip detected by the round-trip contract",
+    )
+
+
+@mutant("ecc.soft_saturation", "llr-sign-flip")
+def _mutant_llr_sign_flip(rng):
+    """A decoder reading LLRs with the opposite sign convention must
+    diverge from the hard decoder on saturated words."""
+    from ..ecc.hamming import hamming_7_4
+    from ..ecc.soft import saturate, soft_decode
+
+    code = hamming_7_4()
+    word = rng.integers(0, 2, 3 * code.n).astype(np.uint8)
+    hard = code.decode(word)
+    soft = soft_decode(code, -saturate(word))  # the planted defect
+    check_that(
+        np.array_equal(soft, hard),
+        "LLR sign-convention flip detected by the saturation identity",
     )
 
 

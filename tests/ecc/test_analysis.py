@@ -1,9 +1,11 @@
 """Unit tests for the analytic ECC error models (Equation 1 and friends)."""
 
+import math
+
 import numpy as np
 import pytest
 
-from repro.ecc import RepetitionCode, hamming_7_4
+from repro.ecc import RepetitionCode, hamming_7_4, vote_channel_capacity
 from repro.ecc.analysis import (
     concatenated_residual_error,
     copies_to_reach,
@@ -84,6 +86,59 @@ class TestExactEnumeration:
     def test_large_blocks_refused(self):
         with pytest.raises(ConfigurationError):
             exact_residual_ber(RepetitionCode(21, layout="bitwise"), 0.1)
+
+    def test_tiny_channel_error_does_not_underflow(self):
+        """Regression: the per-pattern product p**w * (1-p)**(n-w) used to
+        underflow to 0.0 for tiny p, reporting an exactly-zero residual.
+        The log-space accumulation keeps subnormal but nonzero answers."""
+        p = 3e-47
+        residual = exact_residual_ber(RepetitionCode(13, layout="bitwise"), p)
+        assert residual > 0.0
+        # Dominant term: C(13,7) = 1716 weight-7 patterns, each wrong.
+        # (The naive 1716 * p**7 underflows: compute it in log space.)
+        analytic = math.exp(math.log(1716) + 7 * math.log(p))
+        assert residual == pytest.approx(analytic, rel=1e-2)
+
+    def test_degenerate_channels_stay_exact(self):
+        code = RepetitionCode(3, layout="bitwise")
+        assert exact_residual_ber(code, 0.0) == 0.0
+        assert exact_residual_ber(code, 1.0) == 1.0
+
+
+class TestVoteChannelCapacity:
+    def test_soft_keeps_more_of_the_channel(self):
+        # Collapsing the ones-count to a majority bit is a data
+        # processing step: it can only lose information.
+        for p in (0.05, 0.1, 0.2):
+            for n in (3, 5, 7):
+                soft = vote_channel_capacity(p, n, decision="soft")
+                hard = vote_channel_capacity(p, n, decision="hard")
+                assert 0.0 < hard < soft <= 1.0
+
+    def test_single_capture_modes_agree(self):
+        # With one capture the ones-count IS the bit: both reduce to the
+        # BSC(p) capacity 1 - H(p).
+        p = 0.1
+        h = -(p * math.log2(p) + (1 - p) * math.log2(1 - p))
+        for decision in ("hard", "soft"):
+            assert vote_channel_capacity(p, 1, decision=decision) == (
+                pytest.approx(1.0 - h, abs=1e-9)
+            )
+
+    def test_noiseless_channel_is_one_bit(self):
+        assert vote_channel_capacity(0.0, 5) == pytest.approx(1.0)
+
+    def test_monotone_in_captures(self):
+        caps = [vote_channel_capacity(0.15, n) for n in (1, 3, 5, 7, 9)]
+        assert caps == sorted(caps)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            vote_channel_capacity(1.5, 3)
+        with pytest.raises(ConfigurationError):
+            vote_channel_capacity(0.1, 0)
+        with pytest.raises(ConfigurationError):
+            vote_channel_capacity(0.1, 3, decision="fuzzy")
 
 
 class TestComposedModel:

@@ -80,3 +80,41 @@ def test_random_channel_error_reduction(random_payload):
     noisy = coded ^ (rng.random(coded.size) < 0.10).astype(np.uint8)
     residual = np.mean(code.decode(noisy) != data)
     assert residual == pytest.approx(0.0086, abs=0.004)
+
+
+def test_counter_split_overruled_vs_corrections():
+    """Regression: ``overruled`` (per outvoted copy) and ``corrections``
+    (per repaired data bit) used to be conflated, inflating the
+    pipeline's corrections total by up to copies//2 per bit."""
+    from repro import telemetry
+    from repro.telemetry import RingBufferSink
+
+    sink = RingBufferSink()
+    telemetry.add_sink(sink)
+    code = RepetitionCode(5, layout="block")
+    data = np.array([1, 0], dtype=np.uint8)
+    coded = code.encode(data)
+    # Bit 0: two copies flipped (two overruled, one correction).
+    # Bit 1: one copy flipped (one overruled, one correction).
+    coded[0] ^= 1
+    coded[2] ^= 1
+    coded[3] ^= 1
+    with telemetry.trace("test"):
+        assert np.array_equal(code.decode(coded), data)
+    counters = {r["name"]: r["value"] for r in sink.records(type="counter")}
+    assert counters["ecc.repetition.overruled"] == 3
+    assert counters["ecc.repetition.corrections"] == 2
+    assert counters["ecc.repetition.bits"] == 2
+
+
+def test_clean_decode_counts_nothing(code):
+    from repro import telemetry
+    from repro.telemetry import RingBufferSink
+
+    sink = RingBufferSink()
+    telemetry.add_sink(sink)
+    with telemetry.trace("test"):
+        code.decode(code.encode(np.array([1, 0, 1], dtype=np.uint8)))
+    counters = {r["name"]: r["value"] for r in sink.records(type="counter")}
+    assert counters["ecc.repetition.overruled"] == 0
+    assert counters["ecc.repetition.corrections"] == 0

@@ -1,0 +1,240 @@
+"""Unit tests for the soft-decision (LLR) decoding layer.
+
+The two load-bearing contracts:
+
+- **saturation identity** — soft decoding of saturated LLRs is exactly
+  the hard decoder, which is what makes ``decision="hard"`` a strict
+  special case (also pinned by the ``ecc.soft_saturation`` oracle);
+- **margins help** — with real (non-uniform) confidences the soft
+  decoders recover patterns the hard decoders provably cannot.
+"""
+
+import numpy as np
+import pytest
+
+from repro import telemetry
+from repro.bitutils import majority_vote
+from repro.ecc import RepetitionCode, hamming_7_4
+from repro.ecc.interleave import BlockInterleaver
+from repro.ecc.product import paper_end_to_end_code
+from repro.ecc.soft import (
+    LLR_SAT,
+    chase_decode,
+    estimate_p_flip,
+    hard_bits,
+    llr_scale,
+    saturate,
+    soft_combine,
+    soft_decode,
+    votes_to_llrs,
+)
+from repro.errors import BlockLengthError, ConfigurationError
+from repro.telemetry import RingBufferSink
+
+
+class TestLlrPrimitives:
+    def test_votes_to_llrs_sign_convention(self):
+        # Unanimous 0 -> positive, unanimous 1 -> negative, tie -> 0.
+        llrs = votes_to_llrs([0, 5, 2], 5, 0.1)
+        scale = llr_scale(0.1)
+        assert llrs[0] == pytest.approx(5 * scale)
+        assert llrs[1] == pytest.approx(-5 * scale)
+        assert llrs[2] == pytest.approx(scale)
+        assert votes_to_llrs([2], 4, 0.1)[0] == 0.0  # erasure
+
+    def test_votes_to_llrs_validation(self):
+        with pytest.raises(ConfigurationError):
+            votes_to_llrs([0, 6], 5, 0.1)  # count above n_captures
+        with pytest.raises(ConfigurationError):
+            votes_to_llrs([-1], 5, 0.1)
+        with pytest.raises(ConfigurationError):
+            votes_to_llrs([0], 0, 0.1)
+
+    def test_llr_scale_clamped_at_extremes(self):
+        # Perfect agreement must not produce an infinite scale...
+        assert llr_scale(0.0) == llr_scale(1e-3)
+        assert np.isfinite(llr_scale(0.0))
+        # ...and a hopeless channel must keep the scale positive.
+        assert llr_scale(0.5) == llr_scale(0.4) > 0.0
+        with pytest.raises(ConfigurationError):
+            llr_scale(1.5)
+
+    def test_estimate_p_flip(self):
+        assert estimate_p_flip([0.1, 0.2]) == pytest.approx(0.15)
+        assert estimate_p_flip([]) == pytest.approx(1e-3)  # floor
+        assert estimate_p_flip([0.0]) == pytest.approx(1e-3)
+        assert estimate_p_flip([0.49, 0.49]) == pytest.approx(0.4)  # ceiling
+
+    def test_hard_bits_matches_majority_vote_including_ties(self):
+        # llr <= 0 -> 1 must reproduce majority_vote's tie-to-1 rule, so
+        # the even-stack characterization transfers to the LLR domain.
+        rng = np.random.default_rng(7)
+        stack = rng.integers(0, 2, (6, 200)).astype(np.uint8)
+        llrs = votes_to_llrs(stack.sum(axis=0), 6, 0.1)
+        np.testing.assert_array_equal(hard_bits(llrs), majority_vote(stack))
+
+    def test_saturate_round_trip(self):
+        bits = np.array([0, 1, 1, 0], dtype=np.uint8)
+        llrs = saturate(bits)
+        assert llrs.tolist() == [LLR_SAT, -LLR_SAT, -LLR_SAT, LLR_SAT]
+        np.testing.assert_array_equal(hard_bits(llrs), bits)
+
+    def test_saturate_rejects_non_bits(self):
+        with pytest.raises(BlockLengthError):
+            saturate([0, 2])
+
+
+class TestSaturationIdentity:
+    """soft_decode(code, saturate(word)) == code.decode(word) — for any
+    word, not just codewords — on every flat code family."""
+
+    @pytest.mark.parametrize(
+        "code",
+        [
+            hamming_7_4(),
+            RepetitionCode(3, layout="block"),
+            RepetitionCode(5, layout="bitwise"),
+            BlockInterleaver(span=7, depth=3),
+        ],
+        ids=lambda c: c.name,
+    )
+    def test_arbitrary_words(self, code):
+        rng = np.random.default_rng(3)
+        word = rng.integers(0, 2, 4 * code.n).astype(np.uint8)
+        np.testing.assert_array_equal(
+            soft_decode(code, saturate(word)), code.decode(word)
+        )
+
+    def test_identity_and_none_are_hard_bits(self):
+        llrs = np.array([3.0, -1.0, 0.0])
+        np.testing.assert_array_equal(soft_decode(None, llrs), [0, 1, 1])
+
+
+class TestSoftRepetition:
+    def test_confident_minority_outvotes_marginal_majority(self):
+        # Two copies weakly wrong, one copy certain: the hard vote is
+        # wrong by construction, the LLR sum is right.
+        code = RepetitionCode(3, layout="block")
+        llrs = np.array([-1.0, -1.0, LLR_SAT])  # data bit 0, copies say 1,1,0
+        assert code.decode(hard_bits(llrs)).tolist() == [1]
+        assert soft_decode(code, llrs).tolist() == [0]
+
+    def test_erasure_copy_abstains(self):
+        code = RepetitionCode(3, layout="block")
+        # One erased copy, the remaining margin decides.
+        assert soft_decode(code, np.array([0.0, 2.0, -0.5])).tolist() == [0]
+        assert soft_decode(code, np.array([0.0, -2.0, 0.5])).tolist() == [1]
+
+    def test_bitwise_layout_combines_per_bit(self):
+        code = RepetitionCode(3, layout="bitwise")
+        # Bit 0's copies are adjacent in bitwise layout.
+        llrs = np.array([-1.0, -1.0, LLR_SAT, 2.0, 2.0, 2.0])
+        assert soft_decode(code, llrs).tolist() == [0, 0]
+
+    def test_counter_split_matches_hard_decoder_units(self):
+        sink = RingBufferSink()
+        telemetry.add_sink(sink)
+        code = RepetitionCode(3, layout="block")
+        # Data [0, 1]; copy 0 of bit 0 weakly wrong, all else certain.
+        llrs = saturate(code.encode(np.array([0, 1], dtype=np.uint8)))
+        llrs[0] = -1.0
+        with telemetry.trace("test"):
+            soft_decode(code, llrs)
+        counters = {
+            r["name"]: r["value"] for r in sink.records(type="counter")
+        }
+        assert counters["ecc.repetition.overruled"] == 1  # one copy outvoted
+        assert counters["ecc.repetition.corrections"] == 1  # one data bit
+        assert counters["ecc.repetition.bits"] == 2
+
+
+class TestChase:
+    def test_two_weak_errors_beat_bounded_distance(self):
+        # Hamming(7,4) hard-corrects one flip per block.  Plant two flips
+        # on low-confidence positions: the hard decoder moves to the
+        # wrong codeword (flipping a third, fully-confident position);
+        # Chase-2 spends its disagreement on the two cheap positions.
+        code = hamming_7_4()
+        data = np.array([1, 0, 1, 1], dtype=np.uint8)
+        llrs = saturate(code.encode(data))
+        for pos in (1, 4):
+            llrs[pos] = -np.sign(llrs[pos])  # wrong, with |llr| = 1
+        assert not np.array_equal(code.decode(hard_bits(llrs)), data)
+        np.testing.assert_array_equal(chase_decode(code, llrs), data)
+
+    def test_saturated_input_is_exactly_the_hard_decoder(self):
+        # Uniform reliabilities: every candidate ties or loses against
+        # the baseline, so Chase must return the bounded-distance result.
+        code = hamming_7_4()
+        rng = np.random.default_rng(5)
+        word = rng.integers(0, 2, 7 * 8).astype(np.uint8)
+        np.testing.assert_array_equal(
+            chase_decode(code, saturate(word)), code.decode(word)
+        )
+
+    def test_trial_decodes_are_muted(self):
+        sink = RingBufferSink()
+        telemetry.add_sink(sink)
+        code = hamming_7_4()
+        data = np.array([1, 0, 1, 1], dtype=np.uint8)
+        llrs = saturate(code.encode(data))
+        llrs[2] = -llrs[2]
+        with telemetry.trace("test"):
+            chase_decode(code, llrs)
+        names = {r["name"] for r in sink.records(type="counter")}
+        # Only the chase accounting surfaces — the 2^test_bits trial
+        # decodes must not inflate the wrapped code's counters.
+        assert "ecc.chase.corrections" in names
+        assert "ecc.chase.blocks" in names
+        assert not any(n.startswith("ecc.hamming") for n in names)
+
+    def test_negative_test_bits_rejected(self):
+        with pytest.raises(ConfigurationError):
+            chase_decode(hamming_7_4(), saturate(np.zeros(7)), test_bits=-1)
+
+
+class TestComposite:
+    def test_paper_stack_saturated_round_trip(self):
+        code = paper_end_to_end_code(3)
+        rng = np.random.default_rng(9)
+        data = rng.integers(0, 2, 3 * code.k).astype(np.uint8)
+        np.testing.assert_array_equal(
+            soft_decode(code, saturate(code.encode(data))), data
+        )
+
+    def test_soft_combine_chains_into_outer_stage(self):
+        # The inner repetition stage must hand *summed* LLRs (not
+        # saturated hard bits) to the outer decoder.
+        code = RepetitionCode(3, layout="block")
+        out = soft_combine(code, np.array([-1.0, -1.0, LLR_SAT]))
+        assert out.shape == (1,)
+        assert out[0] == pytest.approx(LLR_SAT - 2.0)
+
+    def test_planted_vote_margins_soft_never_worse(self):
+        # Simulated capture stacks (3-vote binomial margins) through the
+        # paper's full stack: across seeds, soft decoding at least
+        # matches hard — deterministic given the fixed seeds.
+        code = paper_end_to_end_code(3)
+        hard_errors = soft_errors = 0
+        for seed in range(12):
+            rng = np.random.default_rng(100 + seed)
+            data = rng.integers(0, 2, 2 * code.k).astype(np.uint8)
+            coded = code.encode(data)
+            p_flip = 0.25
+            ones = rng.binomial(3, np.where(coded == 1, 1 - p_flip, p_flip))
+            llrs = votes_to_llrs(ones, 3, p_flip)
+            hard_errors += int(
+                np.count_nonzero(code.decode(hard_bits(llrs)) != data)
+            )
+            soft_errors += int(
+                np.count_nonzero(soft_decode(code, llrs) != data)
+            )
+        assert soft_errors <= hard_errors
+        assert soft_errors < hard_errors  # margins are worth something here
+
+    def test_block_length_validation(self):
+        code = hamming_7_4()
+        with pytest.raises(BlockLengthError):
+            soft_decode(code, np.zeros(8))
+        with pytest.raises(BlockLengthError):
+            soft_decode(code, np.zeros(0))

@@ -63,7 +63,27 @@ class TestCounterRecords:
         bridge.emit(
             {"type": "counter", "name": "ecc.repetition.corrections", "value": 2}
         )
-        assert _value(registry, "repro_ecc_corrections_total") == 6.0
+        bridge.emit(
+            {"type": "counter", "name": "ecc.chase.corrections", "value": 1}
+        )
+        assert _value(registry, "repro_ecc_corrections_total") == 7.0
+
+    def test_overruled_copies_kept_apart_from_corrections(self, rig):
+        # Different units (copies vs data bits): folding them together
+        # used to overstate ECC work by up to copies//2 per bit.
+        registry, bridge = rig
+        bridge.emit(
+            {"type": "counter", "name": "ecc.repetition.overruled", "value": 5}
+        )
+        bridge.emit(
+            {"type": "counter", "name": "ecc.repetition.corrections", "value": 2}
+        )
+        assert _value(registry, "repro_ecc_overruled_copies_total") == 5.0
+        assert _value(registry, "repro_ecc_corrections_total") == 2.0
+
+    def test_overruled_series_visible_before_traffic(self, rig):
+        registry, _bridge = rig
+        assert "repro_ecc_overruled_copies_total 0" in registry.expose()
 
     def test_events_catch_all(self, rig):
         registry, bridge = rig

@@ -14,6 +14,7 @@ from repro.bitutils import (
     hamming_weight,
     invert_bits,
     majority_vote,
+    most_marginal_row,
     tile_to_length,
 )
 from repro.errors import BlockLengthError
@@ -202,3 +203,61 @@ class TestMajorityVoteTieCharacterization:
             1 if 2 * int(col.sum()) >= 6 else 0 for col in stack.T
         ]
         assert majority_vote(stack).tolist() == reference
+
+
+class TestMostMarginalRow:
+    def test_picks_highest_disagreement(self):
+        stack = np.array(
+            [[0, 0, 0, 0], [0, 0, 0, 1], [1, 1, 0, 0], [0, 0, 0, 0]],
+            dtype=np.uint8,
+        )
+        assert most_marginal_row(stack) == 2  # two flips vs the vote
+
+    def test_flip_count_ties_break_to_newest(self):
+        stack = np.array(
+            [[0, 0, 1], [0, 0, 1], [1, 0, 1], [0, 1, 1]], dtype=np.uint8
+        )
+        # Rows 2 and 3 each disagree on one bit: the newest sits out.
+        assert most_marginal_row(stack) == 3
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(BlockLengthError):
+            most_marginal_row(np.zeros(4, dtype=np.uint8))
+        with pytest.raises(BlockLengthError):
+            most_marginal_row(np.zeros((0, 4), dtype=np.uint8))
+
+
+class TestTiePolicies:
+    def test_drop_policy_removes_the_tie(self):
+        # Bit 1 ties 2-2 under the default policy; dropping the most
+        # marginal row leaves an odd, tie-free vote.
+        stack = np.array(
+            [[1, 0, 0], [1, 1, 0], [1, 0, 0], [0, 1, 1]], dtype=np.uint8
+        )
+        assert majority_vote(stack).tolist() == [1, 1, 0]  # tie -> 1
+        assert majority_vote(stack, on_tie="drop").tolist() == [1, 0, 0]
+
+    def test_drop_matches_explicit_sit_out(self):
+        rng = np.random.default_rng(23)
+        stack = rng.integers(0, 2, (6, 100)).astype(np.uint8)
+        keep = np.ones(6, dtype=bool)
+        keep[most_marginal_row(stack)] = False
+        np.testing.assert_array_equal(
+            majority_vote(stack, on_tie="drop"), majority_vote(stack[keep])
+        )
+
+    def test_error_policy_rejects_even_counts(self):
+        with pytest.raises(BlockLengthError):
+            majority_vote(np.zeros((4, 3), dtype=np.uint8), on_tie="error")
+
+    def test_error_policy_allows_odd_counts(self):
+        stack = np.array([[1, 0], [1, 1], [0, 0]], dtype=np.uint8)
+        assert majority_vote(stack, on_tie="error").tolist() == [1, 0]
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(BlockLengthError):
+            majority_vote(np.zeros((3, 2), dtype=np.uint8), on_tie="coin")
+
+    def test_single_sample_drop_is_identity(self):
+        s = np.array([[1, 0, 1]], dtype=np.uint8)
+        assert majority_vote(s, on_tie="drop").tolist() == [1, 0, 1]
