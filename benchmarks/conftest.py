@@ -40,6 +40,49 @@ def _out_dir():
     return OUT_DIR
 
 
+@pytest.fixture(autouse=True)
+def _global_metrics_isolated():
+    """Zero the global metrics registry around every bench.
+
+    Service benches enable the global registry for their soaks (the
+    fleet kernel bumps ``repro_capture_cells_total`` and friends while
+    it is on), which leaks accumulated values into later benches that
+    assert a cold registry — the disabled-fast-path bench in particular.
+    Value reset keeps the suite order-independent; enabled-state is
+    restored so a bench can never leave the registry on for the next.
+    """
+    from repro import metrics
+
+    was_enabled = metrics.registry.enabled
+    metrics.registry.reset_values()
+    yield
+    if was_enabled:
+        metrics.registry.enable()
+    else:
+        metrics.disable()
+    metrics.registry.reset_values()
+
+
+@pytest.fixture
+def frozen_heap():
+    """Exclude the session's accumulated heap from GC for one bench.
+
+    Late in a full bench session the live heap is huge (cached arrays,
+    experiment results, earlier soaks), so every collection an
+    allocation-heavy soak triggers sweeps that whole heap — wall times
+    then depend on suite position, not on the code under test (measured
+    as a ~25% slowdown on the 10k service soak).  ``gc.freeze()`` moves
+    the pre-existing objects to the permanent generation: the bench
+    still pays for its *own* garbage, but not for the session's.
+    """
+    import gc
+
+    gc.collect()
+    gc.freeze()
+    yield
+    gc.unfreeze()
+
+
 @pytest.fixture
 def save_report():
     """Persist an ExperimentResult (or raw text) under benchmarks/out/."""

@@ -26,6 +26,7 @@ the extra hours cost nothing measurable.
 from __future__ import annotations
 
 import asyncio
+import gc
 import tempfile
 import time
 
@@ -35,7 +36,7 @@ N_MESSAGES = 10_000
 N_SHARDS = 4
 
 
-def test_perf_service_soak_throughput(record_metric):
+def test_perf_service_soak_throughput(record_metric, frozen_heap):
     """>= 10k messages over 4 shards: zero lost, zero mismatched."""
 
     async def soak():
@@ -90,7 +91,7 @@ def test_perf_service_soak_throughput(record_metric):
 N_JOURNAL_MESSAGES = 400
 
 
-def test_perf_journal_overhead(record_metric):
+def test_perf_journal_overhead(record_metric, frozen_heap):
     """Write-ahead journaling costs <= 1.25x the in-memory service.
 
     Two identical keyed soaks — same seed, same devices, same payloads —
@@ -126,10 +127,24 @@ def test_perf_journal_overhead(record_metric):
 
         return asyncio.run(soak())
 
-    in_memory_s = timed_soak(ServiceConfig(shards=2, seed=77))
-    with tempfile.TemporaryDirectory() as journal_dir:
-        journaled_s = timed_soak(
-            ServiceConfig(shards=2, seed=77, journal_dir=journal_dir)
+    def best_of(make_config, reps: int = 2) -> float:
+        # A single leg carries ~20% scheduler/GC noise on a loaded or
+        # single-core machine — more than the 1.25x gate leaves room
+        # for.  The min over repeats estimates the noise-free cost,
+        # which is what a ratio gate should compare.  Each rep gets a
+        # fresh config (and journal dir) so the keyed soak can never be
+        # served from a previous rep's idempotency cache.
+        gc.collect()
+        return min(timed_soak(make_config()) for _ in range(reps))
+
+    timed_soak(ServiceConfig(shards=2, seed=77))  # cold-start warm-up
+    in_memory_s = best_of(lambda: ServiceConfig(shards=2, seed=77))
+    with tempfile.TemporaryDirectory() as journal_root:
+        dirs = iter([f"{journal_root}/a", f"{journal_root}/b"])
+        journaled_s = best_of(
+            lambda: ServiceConfig(
+                shards=2, seed=77, journal_dir=next(dirs)
+            )
         )
 
     overhead = journaled_s / in_memory_s

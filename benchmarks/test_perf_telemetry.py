@@ -1,0 +1,140 @@
+"""Observability overhead: trace propagation and the sampling profiler.
+
+The tracing PR's acceptance gates.  Observability that taxes the serving
+path gets turned off in production, so both knobs are benched as paired
+soaks — same seed, same devices, same payloads — and gated as ratios:
+
+- ``trace_propagation_overhead_x``: a fully traced soak (JSONL sink
+  attached, every request carrying a trace id, every span recorded)
+  versus the untraced default where spans are null objects;
+- ``profiler_overhead_x``: the same soak with the sampling profiler
+  ticking at its 5 ms default versus unprofiled.
+
+Both must stay <= 1.25x.  The soak is sized like the journal-overhead
+bench: enough messages that per-soak setup amortizes away, few enough
+that the paired legs stay cheap next to the 10k throughput soak.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import gc
+import tempfile
+import time
+
+from repro import telemetry
+from repro.profile import profiling
+from repro.service import FleetService, LoadGenerator, ServiceConfig
+from repro.telemetry import JsonlSink
+
+N_MESSAGES = 400
+
+
+def _one_soak(seed: int = 77) -> float:
+    """One keyed in-memory soak; returns elapsed seconds."""
+
+    async def soak():
+        service = FleetService(ServiceConfig(shards=2, seed=seed))
+        await service.start()
+        # 24 h stress: buy raw-BER margin so the process-variation tail
+        # never turns a timing bench into a decode flake.
+        generator = LoadGenerator(
+            seed=seed, message_bytes=8, stress_hours=24.0, idempotency=True
+        )
+        start = time.perf_counter()
+        report = await generator.run(service, N_MESSAGES, concurrency=16)
+        elapsed = time.perf_counter() - start
+        await service.stop()
+        assert report.lost == 0
+        assert report.completed == N_MESSAGES, report.errors
+        assert report.mismatched == 0, report.errors
+        return elapsed
+
+    return asyncio.run(soak())
+
+
+_WARMED = False
+
+
+def _timed_soak(seed: int = 77) -> float:
+    """Best-of-three soaks, after a one-time session warm-up.
+
+    A single 400-message leg has ~20% wall-time noise on a busy (or
+    single-core) machine — more than the 1.25x gates leave room for —
+    and the first soak of the session pays cold-import and
+    allocator-warm-up costs that would bias whichever leg runs first.
+    Warm once, collect garbage so a long bench session's accumulated
+    heap doesn't tax one leg more than the other, then take the min of
+    three runs per leg: the minimum estimates the noise-free cost,
+    which is what a ratio gate should compare.
+    """
+    global _WARMED
+    if not _WARMED:
+        _WARMED = True
+        _one_soak(seed)
+    gc.collect()
+    return min(_one_soak(seed) for _ in range(3))
+
+
+def test_perf_trace_propagation_overhead(record_metric, frozen_heap):
+    """Full span recording costs <= 1.25x the untraced service."""
+    untraced_s = _timed_soak()
+
+    with tempfile.TemporaryDirectory() as tmp:
+        sink = JsonlSink(f"{tmp}/trace.jsonl")
+        telemetry.add_sink(sink)
+        try:
+            traced_s = _timed_soak()
+        finally:
+            telemetry.remove_sink(sink)
+            sink.close()
+        # The soak actually traced: one connected tree per message.
+        # (Stacked group captures and lane probes root extra traces of
+        # their own — shared work that belongs to no single request —
+        # so count the per-message roots, not every trace in the file.)
+        records = telemetry.load_records(f"{tmp}/trace.jsonl")
+        traces = telemetry.traceview.group_traces(records)
+        message_roots = [
+            summary
+            for tid, spans in traces.items()
+            for summary in [telemetry.traceview.summarize_trace(tid, spans)]
+            if summary.root_name == "load.message"
+        ]
+        # Three timed runs wrote into one file (best-of-three legs).
+        assert len(message_roots) == 3 * N_MESSAGES
+        assert all(s.complete for s in message_roots)
+
+    overhead = traced_s / untraced_s
+    print(
+        f"\ntrace propagation: {untraced_s:.2f} s untraced vs "
+        f"{traced_s:.2f} s traced over {N_MESSAGES} msgs "
+        f"-> {overhead:.3f}x"
+    )
+    record_metric(
+        "trace_propagation_overhead_x", overhead, better="lower", unit="x"
+    )
+    # The acceptance gate: contextvar plumbing plus JSONL span writes
+    # stay under a quarter of the serving cost.
+    assert overhead <= 1.25
+
+
+def test_perf_profiler_overhead(record_metric, frozen_heap):
+    """The 5 ms sampling profiler costs <= 1.25x the unprofiled service."""
+    unprofiled_s = _timed_soak()
+
+    with tempfile.TemporaryDirectory() as tmp:
+        with profiling(f"{tmp}/profile.txt") as profiler:
+            profiled_s = _timed_soak()
+        # The profiler genuinely sampled the soak.
+        assert profiler.total_samples > 0
+
+    overhead = profiled_s / unprofiled_s
+    print(
+        f"\nprofiler: {unprofiled_s:.2f} s unprofiled vs "
+        f"{profiled_s:.2f} s profiled over {N_MESSAGES} msgs "
+        f"-> {overhead:.3f}x"
+    )
+    record_metric("profiler_overhead_x", overhead, better="lower", unit="x")
+    # The acceptance gate: O(threads x depth) work per 5 ms tick is
+    # noise next to capture/decode.
+    assert overhead <= 1.25

@@ -24,7 +24,7 @@ run any CLI command under ``repro --trace out.jsonl ...`` and inspect it
 with ``repro telemetry summarize out.jsonl``.
 """
 
-from . import api, metrics, monitor, service, telemetry, verify
+from . import api, metrics, monitor, profile, service, telemetry, verify
 from .api import (
     ReceiveRequest,
     ReceiveResult,
@@ -220,6 +220,7 @@ __all__ = [
     "paper_end_to_end_scheme",
     "parallel_device_selection",
     "plan_scheme",
+    "profile",
     "restore_encoding",
     "save_captures",
     "serve_forever",

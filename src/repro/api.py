@@ -75,6 +75,15 @@ def _require_idempotency_key(key) -> None:
         )
 
 
+def _require_trace_id(trace_id) -> None:
+    if trace_id is None:
+        return
+    if not isinstance(trace_id, str) or not trace_id:
+        raise ConfigurationError(
+            f"trace_id must be a non-empty string or None, got {trace_id!r}"
+        )
+
+
 @dataclass(frozen=True)
 class SendRequest:
     """Embed ``message`` on the device addressed by ``device_id``.
@@ -88,6 +97,10 @@ class SendRequest:
     a resubmission carrying the key of an already-completed request gets
     the cached result back instead of aging the silicon a second time.
     ``None`` means "no dedup" — the service assigns a fresh internal key.
+
+    ``trace_id`` correlates the request with a distributed trace (see
+    :mod:`repro.telemetry.context`); ``None`` means "adopt the ambient
+    trace context, or mint a fresh id at admission".
     """
 
     device_id: str
@@ -95,10 +108,12 @@ class SendRequest:
     stress_hours: "float | None" = None
     camouflage: bool = True
     idempotency_key: "str | None" = None
+    trace_id: "str | None" = None
 
     def __post_init__(self) -> None:
         _require_device_id(self.device_id)
         _require_idempotency_key(self.idempotency_key)
+        _require_trace_id(self.trace_id)
         if not isinstance(self.message, bytes):
             raise ConfigurationError(
                 f"message must be bytes, got {type(self.message).__name__}"
@@ -117,6 +132,7 @@ class SendRequest:
             "stress_hours": self.stress_hours,
             "camouflage": self.camouflage,
             "idempotency_key": self.idempotency_key,
+            "trace_id": self.trace_id,
         }
 
     @classmethod
@@ -133,6 +149,7 @@ class SendRequest:
             stress_hours=data.get("stress_hours"),
             camouflage=bool(data.get("camouflage", True)),
             idempotency_key=data.get("idempotency_key"),
+            trace_id=data.get("trace_id"),
         )
 
 
@@ -177,10 +194,12 @@ class ReceiveRequest:
     device_id: str
     message_len: "int | None" = None
     idempotency_key: "str | None" = None
+    trace_id: "str | None" = None
 
     def __post_init__(self) -> None:
         _require_device_id(self.device_id)
         _require_idempotency_key(self.idempotency_key)
+        _require_trace_id(self.trace_id)
         if self.message_len is not None and self.message_len < 1:
             raise ConfigurationError(
                 f"message_len must be >= 1, got {self.message_len}"
@@ -191,6 +210,7 @@ class ReceiveRequest:
             "device_id": self.device_id,
             "message_len": self.message_len,
             "idempotency_key": self.idempotency_key,
+            "trace_id": self.trace_id,
         }
 
     @classmethod
@@ -199,6 +219,7 @@ class ReceiveRequest:
             device_id=data.get("device_id", ""),
             message_len=data.get("message_len"),
             idempotency_key=data.get("idempotency_key"),
+            trace_id=data.get("trace_id"),
         )
 
 

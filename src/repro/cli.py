@@ -257,6 +257,44 @@ def _cmd_telemetry(args) -> int:
     return 0
 
 
+def _cmd_trace(args) -> int:
+    """Query a JSONL trace by trace_id: search, span tree, critical path."""
+    from .telemetry import load_records, traceview
+
+    try:
+        records = load_records(args.path)
+    except FileNotFoundError:
+        print(f"{args.path}: no such trace file", file=sys.stderr)
+        return 2
+    try:
+        if args.action == "search":
+            summaries = traceview.search_traces(
+                records,
+                trace_id=args.trace_id,
+                name=args.name,
+                status=args.status,
+                min_dur_ms=args.min_dur_ms,
+                limit=args.limit,
+            )
+            if args.complete:
+                summaries = [s for s in summaries if s.complete]
+            print(traceview.render_search(summaries))
+            return 0 if summaries else 1
+        if args.action == "show":
+            if not args.trace_id:
+                print("show needs a TRACE_ID (or unique prefix)",
+                      file=sys.stderr)
+                return 2
+            print(traceview.render_tree(records, args.trace_id))
+            return 0
+        # critical-path: one trace when an id is given, else aggregate.
+        print(traceview.render_critical_path(records, args.trace_id or None))
+        return 0
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+
+
 def _cmd_monitor(args) -> int:
     """Replay (or tail) a JSONL trace through the SLO fleet monitor."""
     import pathlib
@@ -625,6 +663,21 @@ def _global_options() -> argparse.ArgumentParser:
         help="enable the metrics registry for the command and write the "
         "Prometheus exposition to PATH afterwards (see docs/metrics.md)",
     )
+    group.add_argument(
+        "--profile-out",
+        metavar="PATH",
+        default=argparse.SUPPRESS,
+        help="run the command under the sampling profiler and write "
+        "collapsed stacks to PATH (see docs/telemetry.md); equivalent "
+        "to setting REPRO_PROFILE",
+    )
+    group.add_argument(
+        "--profile-mode",
+        choices=("wall", "cpu"),
+        default=argparse.SUPPRESS,
+        help="what --profile-out samples: wall time (default) or "
+        "on-CPU only (idle wait leaves dropped)",
+    )
     return parent
 
 
@@ -709,6 +762,35 @@ def build_parser() -> argparse.ArgumentParser:
     telemetry_cmd.add_argument("action", choices=["summarize"])
     telemetry_cmd.add_argument("path", help="trace file from --trace/REPRO_TRACE")
     telemetry_cmd.set_defaults(func=_cmd_telemetry)
+
+    trace_cmd = sub.add_parser(
+        "trace", help="query a JSONL trace by trace_id (docs/telemetry.md)"
+    )
+    trace_cmd.add_argument(
+        "action",
+        choices=["search", "show", "critical-path"],
+        help="search: one line per trace; show: span tree of one trace; "
+        "critical-path: latency-dominating chain (aggregate without an id)",
+    )
+    trace_cmd.add_argument("path", help="JSONL trace file (from --trace)")
+    trace_cmd.add_argument(
+        "trace_id", nargs="?", default=None,
+        help="trace id or unique prefix (required for show; filters "
+        "search; optional for critical-path)",
+    )
+    trace_cmd.add_argument("--name", default=None,
+                           help="search: keep traces containing a span "
+                           "with this name")
+    trace_cmd.add_argument("--status", choices=["ok", "error"], default=None,
+                           help="search: keep traces with this overall status")
+    trace_cmd.add_argument("--min-dur-ms", type=float, default=None,
+                           help="search: keep traces at least this long")
+    trace_cmd.add_argument("--limit", type=int, default=None,
+                           help="search: cap results (keeps the slowest)")
+    trace_cmd.add_argument("--complete", action="store_true",
+                           help="search: only traces with a root span to "
+                           "hang a tree on")
+    trace_cmd.set_defaults(func=_cmd_trace)
 
     monitor_cmd = sub.add_parser(
         "monitor", help="SLO-monitor a fleet run from its telemetry trace"
@@ -883,12 +965,28 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: "list[str] | None" = None) -> int:
+    try:
+        return _main(argv)
+    except BrokenPipeError:
+        # ``repro trace search ... | head`` closes our stdout early;
+        # that is a normal way to consume tabular output, not an error.
+        # Reopen stdout on devnull so the interpreter's shutdown flush
+        # does not raise a second time.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+
+
+def _main(argv: "list[str] | None" = None) -> int:
     args = build_parser().parse_args(argv)
     # The shared global options use SUPPRESS defaults (so a subcommand
     # parse never clobbers a root-position value) — read them defensively.
     fault_plan = getattr(args, "fault_plan", None)
     metrics_out = getattr(args, "metrics_out", None)
     trace = getattr(args, "trace", None)
+    profile_out = getattr(args, "profile_out", None)
+    profile_mode = getattr(args, "profile_mode", None) or "wall"
 
     def run() -> int:
         if not fault_plan:
@@ -930,6 +1028,15 @@ def main(argv: "list[str] | None" = None) -> int:
                 pathlib.Path(metrics_out).write_text(
                     exposition, encoding="utf-8"
                 )
+
+    if profile_out:
+        inner_profiled = run
+
+        def run() -> int:
+            from .profile import profiling
+
+            with profiling(profile_out, mode=profile_mode):
+                return inner_profiled()
 
     if trace:
         from . import telemetry

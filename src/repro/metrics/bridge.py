@@ -28,13 +28,41 @@ from __future__ import annotations
 from ..telemetry.sinks import Sink
 from .core import MetricsRegistry, exponential_buckets, linear_buckets
 
-__all__ = ["TelemetryBridge", "BER_BUCKETS", "VOTE_MARGIN_BUCKETS"]
+__all__ = [
+    "TelemetryBridge",
+    "BER_BUCKETS",
+    "VOTE_MARGIN_BUCKETS",
+    "LATENCY_SPANS",
+    "SPAN_LATENCY_BUCKETS",
+]
 
 #: Bit-error rates: 1e-4 .. ~0.2 exponentially, then +Inf.
 BER_BUCKETS = exponential_buckets(1e-4, 2.0, 12)
 
 #: Per-bit vote margins are small odd integers (|2*ones - n|).
 VOTE_MARGIN_BUCKETS = linear_buckets(1.0, 2.0, 8)
+
+#: Request-path span names whose durations fold into
+#: ``repro_span_latency_seconds{span=...}``.  Distinct from the service's
+#: direct ``repro_service_request_latency_seconds`` instrument (which only
+#: ticks inside a live server process): the bridge version also works
+#: offline, replaying a recorded trace through ``repro monitor``.
+LATENCY_SPANS = (
+    "service.request",
+    "service.submit",
+    "lane.capture",
+    "lane.execute",
+    "service.journal",
+    "recovery.replay",
+    "client.send",
+    "client.receive",
+)
+
+#: Request-path latencies: sub-millisecond journal fsyncs up to
+#: multi-second stacked captures.
+SPAN_LATENCY_BUCKETS = (
+    0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0,
+)
 
 
 class TelemetryBridge(Sink):
@@ -146,6 +174,12 @@ class TelemetryBridge(Sink):
             "Raw telemetry counter events by name (catch-all)",
             labelnames=("event",),
         )
+        self._span_latency = reg.histogram(
+            "repro_span_latency_seconds",
+            "Durations of request-path spans, by span name",
+            labelnames=("span",),
+            buckets=SPAN_LATENCY_BUCKETS,
+        )
 
     # -- sink interface ------------------------------------------------------
 
@@ -188,15 +222,33 @@ class TelemetryBridge(Sink):
         name = record.get("name", "")
         attrs = record.get("attrs") or {}
         status = str(record.get("status", "ok"))
+        # A finished span record carries the trace it belonged to; hand
+        # it to the histograms as the exemplar, so a hot bucket in the
+        # exposition points straight at an offending trace.
+        exemplar = record.get("trace_id")
+        if name in LATENCY_SPANS:
+            dur = record.get("dur_ms")
+            if dur is not None:
+                try:
+                    self._span_latency.observe(
+                        float(dur) / 1e3, exemplar=exemplar, span=name
+                    )
+                except (TypeError, ValueError):
+                    pass
         if name == "channel.receive":
             device = str(attrs.get("device", "?"))
             self._receives.inc(1, device=device, status=status)
             for rate in attrs.get("per_capture_flip_rate") or ():
-                self._capture_ber.observe(float(rate), device=device)
+                self._capture_ber.observe(
+                    float(rate), exemplar=exemplar, device=device
+                )
             for margin, count in enumerate(attrs.get("vote_margin_hist") or ()):
                 if count:
                     self._vote_margin.observe(
-                        float(margin), n=float(count), device=device
+                        float(margin),
+                        n=float(count),
+                        exemplar=exemplar,
+                        device=device,
                     )
             raw = attrs.get("raw_error_vs")
             if raw is not None:
@@ -234,5 +286,7 @@ class TelemetryBridge(Sink):
                     rate = float(rate)
                 except (TypeError, ValueError):
                     continue
-                self._capture_ber.observe(rate, device=str(device))
+                self._capture_ber.observe(
+                    rate, exemplar=exemplar, device=str(device)
+                )
                 self._raw_ber.set(rate, device=str(device))

@@ -36,6 +36,7 @@ import re
 import threading
 
 from ..errors import ConfigurationError
+from ..telemetry.core import registry as _telemetry_registry
 
 __all__ = [
     "Counter",
@@ -120,14 +121,20 @@ def _label_pairs(labelnames: "tuple[str, ...]", key: "tuple[str, ...]") -> str:
 class _Series:
     """One label combination's state.  Mutations lock per instrument."""
 
-    __slots__ = ("value", "bucket_counts", "sum", "count")
+    __slots__ = ("value", "bucket_counts", "exemplars", "sum", "count")
 
     def __init__(self, n_buckets: int = 0):
         self.value = 0.0
         if n_buckets:
             self.bucket_counts = [0.0] * (n_buckets + 1)  # + the +Inf bucket
+            # Last-sampled (trace_id, observed value) per bucket: the
+            # breadcrumb from an SLO page back to one offending trace.
+            self.exemplars: "list[tuple[str, float] | None]" = [None] * (
+                n_buckets + 1
+            )
         else:
             self.bucket_counts = None
+            self.exemplars = None
         self.sum = 0.0
         self.count = 0.0
 
@@ -249,12 +256,26 @@ class Histogram(Instrument):
     ``observe(v, n=...)`` folds ``n`` identical observations in one call —
     how the telemetry bridge replays a whole vote-margin histogram without
     per-bit cost.
+
+    Each bucket remembers the **last-sampled exemplar**: the trace id of
+    the request whose observation most recently landed there.  Pass it
+    explicitly (``exemplar="<trace_id>"`` — what the telemetry bridge
+    does, since a finished span record already carries its trace) or let
+    ``observe`` pick up the ambient trace context; with neither, the
+    bucket's exemplar is left untouched.  Exemplars render in
+    :meth:`MetricsRegistry.expose` as OpenMetrics-style suffixes.
     """
 
     kind = "histogram"
     __slots__ = ()
 
-    def observe(self, value: float, n: float = 1.0, **labels) -> None:
+    def observe(
+        self,
+        value: float,
+        n: float = 1.0,
+        exemplar: "str | None" = None,
+        **labels,
+    ) -> None:
         if not self._registry._enabled:
             return
         if n <= 0:
@@ -265,10 +286,14 @@ class Histogram(Instrument):
             if value <= bound:
                 index = i
                 break
+        if exemplar is None:
+            exemplar = _telemetry_registry.current_trace_id()
         with self._lock:
             series.bucket_counts[index] += n
             series.sum += float(value) * n
             series.count += n
+            if exemplar is not None:
+                series.exemplars[index] = (str(exemplar), float(value))
 
 
 class _Bound:
@@ -298,7 +323,9 @@ class _Bound:
         with inst._lock:
             self._series.value = float(value)
 
-    def observe(self, value: float, n: float = 1.0) -> None:
+    def observe(
+        self, value: float, n: float = 1.0, exemplar: "str | None" = None
+    ) -> None:
         inst = self._instrument
         if not inst._registry._enabled:
             return
@@ -308,10 +335,14 @@ class _Bound:
             if value <= bound:
                 index = i
                 break
+        if exemplar is None:
+            exemplar = _telemetry_registry.current_trace_id()
         with inst._lock:
             series.bucket_counts[index] += n
             series.sum += float(value) * n
             series.count += n
+            if exemplar is not None:
+                series.exemplars[index] = (str(exemplar), float(value))
 
 
 class MetricsRegistry:
@@ -422,14 +453,29 @@ class MetricsRegistry:
                 if instrument.kind == "histogram":
                     cumulative = 0.0
                     bounds = [*instrument.buckets, float("inf")]
-                    for bound, count in zip(bounds, state.bucket_counts):
+                    for index, (bound, count) in enumerate(
+                        zip(bounds, state.bucket_counts)
+                    ):
                         cumulative += count
                         le = "+Inf" if bound == float("inf") else _format_value(bound)
                         pairs = _label_pairs(
                             (*instrument.labelnames, "le"), (*key, le)
                         )
+                        exemplar = (
+                            state.exemplars[index] if state.exemplars else None
+                        )
+                        # OpenMetrics-style exemplar suffix; the bucket
+                        # line itself stays a valid 0.0.4 sample prefix.
+                        tail = ""
+                        if exemplar is not None:
+                            trace_id, observed = exemplar
+                            tail = (
+                                f' # {{trace_id="{_escape_label_value(trace_id)}"}}'
+                                f" {_format_value(observed)}"
+                            )
                         lines.append(
                             f"{name}_bucket{pairs} {_format_value(cumulative)}"
+                            f"{tail}"
                         )
                     pairs = _label_pairs(instrument.labelnames, key)
                     lines.append(f"{name}_sum{pairs} {_format_value(state.sum)}")
@@ -452,18 +498,30 @@ class MetricsRegistry:
                 labels = dict(zip(instrument.labelnames, key))
                 if instrument.kind == "histogram":
                     buckets = {}
+                    exemplars = {}
                     bounds = [*instrument.buckets, float("inf")]
-                    for bound, count in zip(bounds, state.bucket_counts):
+                    for index, (bound, count) in enumerate(
+                        zip(bounds, state.bucket_counts)
+                    ):
                         le = "+Inf" if bound == float("inf") else _format_value(bound)
                         buckets[le] = count
-                    entries.append(
-                        {
-                            "labels": labels,
-                            "buckets": buckets,
-                            "sum": state.sum,
-                            "count": state.count,
-                        }
-                    )
+                        exemplar = (
+                            state.exemplars[index] if state.exemplars else None
+                        )
+                        if exemplar is not None:
+                            exemplars[le] = {
+                                "trace_id": exemplar[0],
+                                "value": exemplar[1],
+                            }
+                    entry = {
+                        "labels": labels,
+                        "buckets": buckets,
+                        "sum": state.sum,
+                        "count": state.count,
+                    }
+                    if exemplars:
+                        entry["exemplars"] = exemplars
+                    entries.append(entry)
                 else:
                     entries.append({"labels": labels, "value": state.value})
             metrics[instrument.name] = {
@@ -499,17 +557,20 @@ def snapshot_delta(old: dict, new: dict) -> dict:
             if new_metric.get("kind") == "gauge" or prior is None:
                 entries.append(dict(entry))
             elif "buckets" in entry:
-                entries.append(
-                    {
-                        "labels": dict(entry["labels"]),
-                        "buckets": {
-                            le: count - prior.get("buckets", {}).get(le, 0.0)
-                            for le, count in entry["buckets"].items()
-                        },
-                        "sum": entry["sum"] - prior.get("sum", 0.0),
-                        "count": entry["count"] - prior.get("count", 0.0),
-                    }
-                )
+                delta = {
+                    "labels": dict(entry["labels"]),
+                    "buckets": {
+                        le: count - prior.get("buckets", {}).get(le, 0.0)
+                        for le, count in entry["buckets"].items()
+                    },
+                    "sum": entry["sum"] - prior.get("sum", 0.0),
+                    "count": entry["count"] - prior.get("count", 0.0),
+                }
+                # Exemplars are last-seen breadcrumbs, not totals: the
+                # newest one is the right answer for a delta window too.
+                if "exemplars" in entry:
+                    delta["exemplars"] = dict(entry["exemplars"])
+                entries.append(delta)
             else:
                 entries.append(
                     {

@@ -66,6 +66,24 @@ def _device_rows(monitor) -> "list[tuple[str, str, str, str]]":
     return rows
 
 
+def _latency_rows(monitor) -> "list[tuple[str, str, str, str]]":
+    rows = []
+    breakdown = getattr(monitor, "latency_breakdown", lambda: {})()
+    for span, info in sorted(
+        breakdown.items(), key=lambda kv: -kv[1]["mean_ms"]
+    ):
+        exemplar = info.get("exemplar") or "-"
+        rows.append(
+            (
+                span,
+                str(info["count"]),
+                f"{info['mean_ms']:.2f}",
+                exemplar[:16],
+            )
+        )
+    return rows
+
+
 def _rule_rows(monitor) -> "list[tuple[str, str, str, str, str]]":
     rows = []
     for rule, value, active in monitor.rule_states():
@@ -121,6 +139,14 @@ def render_dashboard(monitor, width: int = 78) -> str:
             _table(device_rows, ("device", "raw BER", "trend", "status"))
         )
 
+    latency_rows = _latency_rows(monitor)
+    if latency_rows:
+        lines.append("")
+        lines.append("request latency (slowest span first)")
+        lines.extend(
+            _table(latency_rows, ("span", "count", "mean ms", "slow trace"))
+        )
+
     rule_rows = _rule_rows(monitor)
     if rule_rows:
         lines.append("")
@@ -165,6 +191,11 @@ def render_report(monitor, fmt: str = "markdown") -> str:
             "Device health",
             ("device", "raw BER", "trend", "status"),
             _device_rows(monitor),
+        ),
+        (
+            "Request latency",
+            ("span", "count", "mean ms", "slow trace"),
+            _latency_rows(monitor),
         ),
         (
             "SLO rules",

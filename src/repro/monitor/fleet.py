@@ -240,6 +240,36 @@ class FleetMonitor:
             }
         return out
 
+    def latency_breakdown(self) -> "dict[str, dict]":
+        """Per-span request-path latency from the bridge's histogram.
+
+        Keys are span names (``service.submit``, ``lane.capture``, ...);
+        each value carries ``count``, ``mean_ms`` and the ``exemplar``
+        trace id of the slowest populated bucket — paste it into
+        ``repro trace show`` to see why that phase is hot.
+        """
+        snapshot = self.registry.snapshot()
+        entry = snapshot.get("metrics", {}).get("repro_span_latency_seconds")
+        out: "dict[str, dict]" = {}
+        if entry is None:
+            return out
+        for series in entry.get("series", []):
+            span = series.get("labels", {}).get("span")
+            count = float(series.get("count", 0.0))
+            if span is None or not count:
+                continue
+            exemplar = None
+            # Exemplars iterate in bucket-bound order; keep the last
+            # (slowest) populated bucket's trace.
+            for info in (series.get("exemplars") or {}).values():
+                exemplar = info.get("trace_id")
+            out[span] = {
+                "count": int(count),
+                "mean_ms": float(series.get("sum", 0.0)) / count * 1e3,
+                "exemplar": exemplar,
+            }
+        return out
+
     def dashboard(self, width: int = 78) -> str:
         from .dashboard import render_dashboard
 

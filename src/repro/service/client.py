@@ -37,6 +37,7 @@ from urllib.parse import urlsplit
 
 from .. import telemetry
 from ..api import ReceiveRequest, ReceiveResult, SendRequest, SendResult
+from ..telemetry import context as trace_ctx
 from ..errors import (
     AdmissionError,
     CircuitOpenError,
@@ -48,6 +49,22 @@ from ..errors import (
 from ..faults import RetryPolicy
 
 __all__ = ["CircuitBreaker", "LoadGenerator", "LoadReport", "ServiceClient"]
+
+
+def _traceparent_header() -> "str | None":
+    """The ``traceparent`` value for the caller's current position.
+
+    Prefers the innermost live span (its id becomes the server-side
+    parent, so the remote spans graft onto the client's tree); falls
+    back to the ambient trace context; ``None`` outside any trace.
+    """
+    span = telemetry.current_span()
+    trace_id = getattr(span, "trace_id", None)
+    if trace_id is not None:
+        return trace_ctx.to_traceparent(
+            trace_ctx.TraceContext(trace_id, span.span_id)
+        )
+    return trace_ctx.to_traceparent()
 
 
 class CircuitBreaker:
@@ -169,6 +186,9 @@ class ServiceClient:
                     json.dumps(payload).encode() if payload is not None else None
                 )
                 headers = {"Content-Type": "application/json"} if body else {}
+                traceparent = _traceparent_header()
+                if traceparent is not None:
+                    headers[trace_ctx.TRACEPARENT_HEADER] = traceparent
                 conn.request(method, path, body=body, headers=headers)
                 response = conn.getresponse()
                 raw = response.read()
@@ -247,14 +267,24 @@ class ServiceClient:
         )
 
     def send(self, request: SendRequest) -> SendResult:
-        return SendResult.from_dict(
-            self._json("POST", "/send", self._keyed(request).to_dict())
-        )
+        request = self._keyed(request)
+        with trace_ctx.trace_context(request.trace_id) as ctx:
+            if request.trace_id is None:
+                request = dataclasses.replace(request, trace_id=ctx.trace_id)
+            with telemetry.trace("client.send", device_id=request.device_id):
+                return SendResult.from_dict(
+                    self._json("POST", "/send", request.to_dict())
+                )
 
     def receive(self, request: ReceiveRequest) -> ReceiveResult:
-        return ReceiveResult.from_dict(
-            self._json("POST", "/receive", self._keyed(request).to_dict())
-        )
+        request = self._keyed(request)
+        with trace_ctx.trace_context(request.trace_id) as ctx:
+            if request.trace_id is None:
+                request = dataclasses.replace(request, trace_id=ctx.trace_id)
+            with telemetry.trace("client.receive", device_id=request.device_id):
+                return ReceiveResult.from_dict(
+                    self._json("POST", "/receive", request.to_dict())
+                )
 
     def metrics(self) -> str:
         status, raw = self._request("GET", "/metrics")
@@ -404,30 +434,35 @@ class LoadGenerator:
             device_id = self.device_id(index)
             message = self.message(index)
             send_request, receive_request = self._requests(index)
+            # One fresh trace per message: the send and receive land as
+            # one connected span tree under a single trace_id.
             async with gate:
-                try:
-                    await service.submit(send_request, wait=wait)
-                    result = await service.submit(receive_request, wait=wait)
-                except AdmissionError as exc:
+                with trace_ctx.trace_context(inherit=False), telemetry.trace(
+                    "load.message", index=index, device_id=device_id
+                ):
+                    try:
+                        await service.submit(send_request, wait=wait)
+                        result = await service.submit(receive_request, wait=wait)
+                    except AdmissionError as exc:
+                        async with lock:
+                            shed += 1
+                            if len(errors) < 10:
+                                errors.append(f"{device_id}: shed: {exc}")
+                        return
+                    except ReproError as exc:
+                        async with lock:
+                            failed += 1
+                            if len(errors) < 10:
+                                errors.append(
+                                    f"{device_id}: {type(exc).__name__}: {exc}"
+                                )
+                        return
                     async with lock:
-                        shed += 1
-                        if len(errors) < 10:
-                            errors.append(f"{device_id}: shed: {exc}")
-                    return
-                except ReproError as exc:
-                    async with lock:
-                        failed += 1
-                        if len(errors) < 10:
-                            errors.append(
-                                f"{device_id}: {type(exc).__name__}: {exc}"
-                            )
-                    return
-                async with lock:
-                    completed += 1
-                    if result.message != message:
-                        mismatched += 1
-                        if len(errors) < 10:
-                            errors.append(f"{device_id}: payload mismatch")
+                        completed += 1
+                        if result.message != message:
+                            mismatched += 1
+                            if len(errors) < 10:
+                                errors.append(f"{device_id}: payload mismatch")
 
         start = time.perf_counter()
         await asyncio.gather(*(one(i) for i in range(n_messages)))
@@ -493,39 +528,45 @@ class LoadGenerator:
             device_id = self.device_id(index)
             message = self.message(index)
             send_request, receive_request = self._requests(index)
-            try:
-                call_through_restarts(lambda: client.send(send_request))
-                result = call_through_restarts(
-                    lambda: client.receive(receive_request)
-                )
-            except ServiceUnavailableError as exc:
-                # Out of restart budget: leave the op uncounted — it
-                # surfaces as ``lost`` in the report, which is exactly
-                # what the zero-lost CI gate should trip on.
+            # One fresh trace per message, exactly like the in-process
+            # soak: the client spans (and everything server-side they
+            # cause via the traceparent header) share one trace_id.
+            with trace_ctx.trace_context(inherit=False), telemetry.trace(
+                "load.message", index=index, device_id=device_id
+            ):
+                try:
+                    call_through_restarts(lambda: client.send(send_request))
+                    result = call_through_restarts(
+                        lambda: client.receive(receive_request)
+                    )
+                except ServiceUnavailableError as exc:
+                    # Out of restart budget: leave the op uncounted — it
+                    # surfaces as ``lost`` in the report, which is exactly
+                    # what the zero-lost CI gate should trip on.
+                    with lock:
+                        if len(errors) < 10:
+                            errors.append(f"{device_id}: unreachable: {exc}")
+                    return
+                except AdmissionError as exc:
+                    with lock:
+                        counters["shed"] += 1
+                        if len(errors) < 10:
+                            errors.append(f"{device_id}: shed: {exc}")
+                    return
+                except ReproError as exc:
+                    with lock:
+                        counters["failed"] += 1
+                        if len(errors) < 10:
+                            errors.append(
+                                f"{device_id}: {type(exc).__name__}: {exc}"
+                            )
+                    return
                 with lock:
-                    if len(errors) < 10:
-                        errors.append(f"{device_id}: unreachable: {exc}")
-                return
-            except AdmissionError as exc:
-                with lock:
-                    counters["shed"] += 1
-                    if len(errors) < 10:
-                        errors.append(f"{device_id}: shed: {exc}")
-                return
-            except ReproError as exc:
-                with lock:
-                    counters["failed"] += 1
-                    if len(errors) < 10:
-                        errors.append(
-                            f"{device_id}: {type(exc).__name__}: {exc}"
-                        )
-                return
-            with lock:
-                counters["completed"] += 1
-                if result.message != message:
-                    counters["mismatched"] += 1
-                    if len(errors) < 10:
-                        errors.append(f"{device_id}: payload mismatch")
+                    counters["completed"] += 1
+                    if result.message != message:
+                        counters["mismatched"] += 1
+                        if len(errors) < 10:
+                            errors.append(f"{device_id}: payload mismatch")
 
         start = time.perf_counter()
         with ThreadPoolExecutor(max_workers=concurrency) as pool:

@@ -219,8 +219,21 @@ class Journal:
 
     # -- record builders ----------------------------------------------------------
 
-    def admit(self, key: str, kind: str, request: dict) -> int:
-        """Journal an accepted job; returns its sequence number."""
+    def admit(
+        self,
+        key: str,
+        kind: str,
+        request: dict,
+        *,
+        trace: "str | None" = None,
+    ) -> int:
+        """Journal an accepted job; returns its sequence number.
+
+        ``trace`` records the admitting request's trace id, so a replay
+        after a crash can re-enter the original trace context — the
+        replayed completion correlates with the admit that caused it,
+        even across process lives.
+        """
         with self._lock:
             seq = self.next_seq
             self.next_seq += 1
@@ -231,6 +244,7 @@ class Journal:
                     "key": key,
                     "kind": kind,
                     "request": request,
+                    "trace": trace,
                 }
             )
         return seq
@@ -246,13 +260,16 @@ class Journal:
         error_type: "str | None" = None,
         shard: "str | None" = None,
         replayed: bool = False,
+        trace: "str | None" = None,
     ) -> None:
         """Journal a job outcome (``ok``/``error``/``shed``).
 
         ``shard`` records the lane that produced the outcome even when
         there is no result dict to carry it (error/shed completions) —
         recovery needs it to exempt faulted-lane outcomes from strict
-        replay verification.
+        replay verification.  ``trace`` carries the originating request's
+        trace id (recovery re-stamps the admit's trace on replayed
+        completions).
         """
         if status not in ("ok", "error", "shed"):
             raise ConfigurationError(f"unknown complete status {status!r}")
@@ -268,6 +285,7 @@ class Journal:
                     "error_type": error_type,
                     "shard": shard,
                     "replayed": replayed,
+                    "trace": trace,
                 }
             )
 

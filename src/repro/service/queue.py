@@ -47,6 +47,18 @@ class Job:
     #: runs with a journal (``None`` on the in-memory path).
     seq: "int | None" = None
     key: "str | None" = None
+    #: Trace context captured at admission.  A worker batch mixes jobs
+    #: from different requests, so the lane re-enters each job's own
+    #: context around its work — reroutes, escalation retries and the
+    #: journaled completion all stay under the original trace.
+    trace_id: "str | None" = None
+    parent_span_id: "int | None" = None
+    #: Per-request latency breakdown (phase -> seconds), filled as the
+    #: job moves: ``queue_wait`` by the worker, ``capture``/``decode`` by
+    #: the lane, ``journal_fsync`` by the completion path.
+    phases: "dict[str, float] | None" = None
+    #: perf_counter timestamp of the enqueue (queue-wait phase start).
+    enqueued_at: "float | None" = None
 
     @classmethod
     def for_request(

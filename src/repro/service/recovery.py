@@ -42,6 +42,7 @@ from dataclasses import dataclass, field
 
 from .. import errors as errors_module
 from .. import telemetry
+from ..telemetry import context as trace_ctx
 from ..api import ReceiveRequest, ReceiveResult, SendRequest, SendResult
 from ..errors import JournalError, ServiceError
 from .journal import Journal, read_journal
@@ -123,6 +124,10 @@ class RecoveryReport:
     #: Every non-shed sequence number whose effects are in the host —
     #: the next checkpoint's ``completed_seqs`` starts from here.
     completed_seqs: "set[int]" = field(default_factory=set)
+    #: Idempotency key → original trace id (from the journaled admit),
+    #: so post-restart replays of a cached key still correlate with the
+    #: request that did the work, possibly a process lifetime ago.
+    idem_traces: "dict[str, str]" = field(default_factory=dict)
 
     def to_dict(self) -> dict:
         return {
@@ -221,6 +226,9 @@ def recover_components(config) -> "tuple[FleetHost, Journal, dict, RecoveryRepor
 
     for record in sorted(admits, key=lambda r: r["seq"]):
         seq, key, kind = record["seq"], record["key"], record["kind"]
+        trace = record.get("trace")
+        if trace is not None:
+            report.idem_traces[key] = trace
         report.admitted += 1
         comp = completes.get(seq)
         if comp is not None and comp["status"] == "shed":
@@ -239,8 +247,16 @@ def recover_components(config) -> "tuple[FleetHost, Journal, dict, RecoveryRepor
             continue
         # Re-execute: either completed after the checkpoint (effects
         # missing from the snapshot) or cut off mid-flight by the crash.
+        # The replay re-enters the admit's trace, so its spans and the
+        # appended completion correlate with the original request even
+        # though that request lived in a dead process.
         job = Job(kind=kind, request=_request_for(record), future=None)
-        outcomes, _pages = lane.execute_batch([job])
+        with trace_ctx.trace_context(trace, inherit=False), telemetry.trace(
+            "recovery.replay", seq=seq, kind=kind
+        ) as replay_span:
+            job.trace_id = replay_span.trace_id or trace
+            job.parent_span_id = replay_span.span_id
+            outcomes, _pages = lane.execute_batch([job])
         outcome = outcomes[0][1]
         if isinstance(outcome, BaseException):
             status, result_dict = "error", None
@@ -258,6 +274,7 @@ def recover_components(config) -> "tuple[FleetHost, Journal, dict, RecoveryRepor
                 ),
                 shard=REPLAY_SHARD,
                 replayed=True,
+                trace=trace,
             )
             report.replayed += 1
             telemetry.count("recovery.replayed")

@@ -34,9 +34,11 @@ import asyncio
 import json
 import pathlib
 import signal
+import time
 from dataclasses import dataclass
 
 from .. import metrics, telemetry
+from ..telemetry import context as trace_ctx
 from ..api import ReceiveRequest, SendRequest
 from ..core.pipeline import InvisibleBits
 from ..core.scheme import CodingScheme, paper_end_to_end_scheme
@@ -92,6 +94,11 @@ _PROBES_TOTAL = metrics.counter(
 _READMITTED_TOTAL = metrics.counter(
     "repro_service_readmitted_total",
     "Tripped lanes re-admitted by the readmission prober",
+)
+_REQUEST_LATENCY = metrics.histogram(
+    "repro_service_request_latency_seconds",
+    "End-to-end job latency from admission to completion",
+    buckets=(0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0),
 )
 
 
@@ -200,6 +207,15 @@ class FleetService:
         #: Idempotency key → future of the currently-in-flight job, so a
         #: concurrent retry latches on instead of double-executing.
         self._inflight: "dict[str, asyncio.Future]" = {}
+        #: Idempotency key → trace id of the execution that owns (or will
+        #: own) the cached outcome, so a replay's span can carry the
+        #: original request's trace.
+        self._idem_trace: "dict[str, str]" = {}
+        #: Per-phase latency accounting over completed jobs (seconds).
+        self._phase_totals: "dict[str, float]" = {}
+        self._phase_counts: "dict[str, int]" = {}
+        self._latency_total = 0.0
+        self._latency_n = 0
         #: Journaled seqs whose silicon effects the host now holds — the
         #: next checkpoint's ``completed_seqs``.
         self._completed_seqs: "set[int]" = set()
@@ -214,6 +230,7 @@ class FleetService:
                 recover_components(self.config)
             )
             self._completed_seqs = set(self.recovery.completed_seqs)
+            self._idem_trace.update(self.recovery.idem_traces)
         else:
             self.host = FleetHost(
                 device_name=self.config.device_name,
@@ -385,7 +402,11 @@ class FleetService:
             for job in queue.drain_pending():
                 if self.journal is not None and job.seq is not None:
                     self.journal.complete(
-                        job.seq, job.key, "shed", shard=job.shard
+                        job.seq,
+                        job.key,
+                        "shed",
+                        shard=job.shard,
+                        trace=job.trace_id,
                     )
                 self.admission.count_shed()
                 _SHED_TOTAL.inc()
@@ -477,13 +498,18 @@ class FleetService:
             scheme=self.host.scheme,
             use_firmware=self.config.use_firmware,
         )
-        try:
-            encode = channel.send(b"probe")
-            decode = channel.receive(expected_payload=encode.payload_bits)
-        except ReproError:
-            return 1.0
-        raw = decode.raw_error_vs
-        return float(raw) if raw is not None else 1.0
+        # Each probe is its own trace — synthetic traffic must not ride
+        # (or pollute) any real request's span tree.
+        with trace_ctx.trace_context(inherit=False), telemetry.trace(
+            "service.probe", shard=name, probe=probe_index
+        ):
+            try:
+                encode = channel.send(b"probe")
+                decode = channel.receive(expected_payload=encode.payload_bits)
+            except ReproError:
+                return 1.0
+            raw = decode.raw_error_vs
+            return float(raw) if raw is not None else 1.0
 
     async def _prober(self) -> None:
         """Re-probe tripped lanes; re-admit after a clean streak.
@@ -581,53 +607,106 @@ class FleetService:
             if key in self._idem:
                 _IDEM_REPLAYS_TOTAL.inc()
                 telemetry.count("service.idempotent_replay")
-                outcome = self._idem[key]
-                if isinstance(outcome, BaseException):
-                    raise outcome
-                return outcome
+                with telemetry.trace(
+                    "service.idempotent_replay",
+                    device_id=request.device_id,
+                    key=key,
+                ) as span:
+                    original = self._idem_trace.get(key)
+                    if original is not None and span.trace_id not in (
+                        None,
+                        original,
+                    ):
+                        # Re-home the replay span onto the execution that
+                        # produced the cached outcome, so the answer
+                        # correlates with the admit that did the work.
+                        span.trace_id = original
+                        span.parent_id = None
+                    outcome = self._idem[key]
+                    if isinstance(outcome, BaseException):
+                        raise outcome
+                    return outcome
             pending = self._inflight.get(key)
             if pending is not None:
                 _IDEM_REPLAYS_TOTAL.inc()
                 telemetry.count("service.idempotent_replay")
-                return await asyncio.shield(pending)
-        shard = self._pick_shard(request.device_id)
+                with telemetry.trace(
+                    "service.idempotent_replay",
+                    device_id=request.device_id,
+                    key=key,
+                ) as span:
+                    original = self._idem_trace.get(key)
+                    if original is not None and span.trace_id not in (
+                        None,
+                        original,
+                    ):
+                        span.trace_id = original
+                        span.parent_id = None
+                    return await asyncio.shield(pending)
         job = Job.for_request(
             request, asyncio.get_running_loop().create_future()
         )
-        job.shard = shard
-        if self.journal is not None:
-            # Admit-before-enqueue: auto keys embed the sequence number,
-            # which resumes past prior lives, so they never collide with
-            # a previous run's keys.
-            job.key = key if key is not None else f"auto-{self.journal.next_seq}"
-            job.seq = self.journal.admit(job.key, job.kind, request.to_dict())
-        if key is not None:
-            self._inflight[key] = job.future
-        queue = self.queues[shard]
-        try:
-            if wait:
-                await queue.put(job)
-            else:
-                try:
-                    queue.put_nowait(job)
-                except asyncio.QueueFull:
-                    self.admission.count_shed()
-                    _SHED_TOTAL.inc()
-                    if self.journal is not None and job.seq is not None:
-                        self.journal.complete(
-                            job.seq, job.key, "shed", shard=shard
-                        )
-                    raise AdmissionError(
-                        f"queue for {shard} is full "
-                        f"({queue.maxsize} jobs) and wait=False",
-                        shard=shard,
-                    ) from None
-        except BaseException:
-            if key is not None and self._inflight.get(key) is job.future:
-                del self._inflight[key]
-            raise
-        _QUEUE_DEPTH.set(queue.qsize(), shard=shard)
-        return await job.future
+        # Trace priority: an explicit ``request.trace_id`` wins (unless a
+        # caller span is already open, which by construction carries the
+        # same trace), then the ambient context, then a freshly minted
+        # id — so every admitted job belongs to exactly one trace.
+        with trace_ctx.trace_context(request.trace_id), telemetry.trace(
+            "service.submit", kind=job.kind, device_id=request.device_id
+        ) as span:
+            # The or-branch covers inactive telemetry (null span): the
+            # ambient context minted by ``trace_context`` still supplies
+            # an id, so journal records carry traces even untraced.
+            job.trace_id = span.trace_id or trace_ctx.current_trace_id()
+            job.parent_span_id = span.span_id
+            job.phases = {}
+            job.enqueued_at = time.perf_counter()
+            if key is not None and job.trace_id is not None:
+                self._idem_trace[key] = job.trace_id
+            shard = self._pick_shard(request.device_id)
+            job.shard = shard
+            if self.journal is not None:
+                # Admit-before-enqueue: auto keys embed the sequence
+                # number, which resumes past prior lives, so they never
+                # collide with a previous run's keys.
+                job.key = (
+                    key if key is not None else f"auto-{self.journal.next_seq}"
+                )
+                t0 = time.perf_counter()
+                job.seq = self.journal.admit(
+                    job.key, job.kind, request.to_dict(), trace=job.trace_id
+                )
+                job.phases["journal_fsync"] = time.perf_counter() - t0
+            if key is not None:
+                self._inflight[key] = job.future
+            queue = self.queues[shard]
+            try:
+                if wait:
+                    await queue.put(job)
+                else:
+                    try:
+                        queue.put_nowait(job)
+                    except asyncio.QueueFull:
+                        self.admission.count_shed()
+                        _SHED_TOTAL.inc()
+                        if self.journal is not None and job.seq is not None:
+                            self.journal.complete(
+                                job.seq,
+                                job.key,
+                                "shed",
+                                shard=shard,
+                                trace=job.trace_id,
+                            )
+                        raise AdmissionError(
+                            f"queue for {shard} is full "
+                            f"({queue.maxsize} jobs) and wait=False",
+                            shard=shard,
+                        ) from None
+            except BaseException:
+                if key is not None and self._inflight.get(key) is job.future:
+                    del self._inflight[key]
+                raise
+            _QUEUE_DEPTH.set(queue.qsize(), shard=shard)
+            return await job.future
 
     # -- workers ------------------------------------------------------------------
 
@@ -663,6 +742,12 @@ class FleetService:
         await self._pause.wait()
         self._executing += 1
         _QUEUE_DEPTH.set(queue.qsize(), shard=name)
+        dequeued = time.perf_counter()
+        for job in batch:
+            if job.phases is not None and job.enqueued_at is not None:
+                # Time since admission until this execution began; a
+                # rerouted job's wait includes its aborted first pass.
+                job.phases["queue_wait"] = dequeued - job.enqueued_at
         try:
             if not self.admission.is_healthy(name):
                 await self._reroute(batch, source=name)
@@ -730,43 +815,70 @@ class FleetService:
         shed = isinstance(outcome, (AdmissionError, ServiceStoppedError))
         if isinstance(outcome, BaseException):
             self.failed += 1
-            _JOBS_TOTAL.inc(
-                shard=job.shard,
-                kind=job.kind,
-                status="shed" if shed else "error",
-            )
+            status = "shed" if shed else "error"
+            _JOBS_TOTAL.inc(shard=job.shard, kind=job.kind, status=status)
             job.future.set_exception(outcome)
         else:
             self.completed += 1
+            status = "ok"
             _JOBS_TOTAL.inc(shard=job.shard, kind=job.kind, status="ok")
             job.future.set_result(outcome)
         if self.journal is not None and job.seq is not None:
-            if shed:
-                self.journal.complete(
-                    job.seq, job.key, "shed", shard=job.shard
+            t0 = time.perf_counter()
+            with trace_ctx.trace_context(
+                job.trace_id, job.parent_span_id, inherit=False
+            ), telemetry.trace(
+                "service.journal", seq=job.seq, status=status
+            ):
+                if shed:
+                    self.journal.complete(
+                        job.seq,
+                        job.key,
+                        "shed",
+                        shard=job.shard,
+                        trace=job.trace_id,
+                    )
+                elif isinstance(outcome, BaseException):
+                    # ``shard`` is recorded even without a result dict so
+                    # recovery can exempt faulted-lane errors from strict
+                    # replay verification.
+                    self.journal.complete(
+                        job.seq,
+                        job.key,
+                        "error",
+                        error=str(outcome),
+                        error_type=type(outcome).__name__,
+                        shard=job.shard,
+                        trace=job.trace_id,
+                    )
+                    self._completed_seqs.add(job.seq)
+                else:
+                    self.journal.complete(
+                        job.seq,
+                        job.key,
+                        "ok",
+                        result=outcome.to_dict(),
+                        shard=job.shard,
+                        trace=job.trace_id,
+                    )
+                    self._completed_seqs.add(job.seq)
+            if job.phases is not None:
+                job.phases["journal_fsync"] = (
+                    job.phases.get("journal_fsync", 0.0)
+                    + (time.perf_counter() - t0)
                 )
-            elif isinstance(outcome, BaseException):
-                # ``shard`` is recorded even without a result dict so
-                # recovery can exempt faulted-lane errors from strict
-                # replay verification.
-                self.journal.complete(
-                    job.seq,
-                    job.key,
-                    "error",
-                    error=str(outcome),
-                    error_type=type(outcome).__name__,
-                    shard=job.shard,
+        if not shed and job.enqueued_at is not None:
+            latency = time.perf_counter() - job.enqueued_at
+            _REQUEST_LATENCY.observe(latency, exemplar=job.trace_id)
+            self._latency_total += latency
+            self._latency_n += 1
+            for phase, seconds in (job.phases or {}).items():
+                self._phase_totals[phase] = (
+                    self._phase_totals.get(phase, 0.0) + seconds
                 )
-                self._completed_seqs.add(job.seq)
-            else:
-                self.journal.complete(
-                    job.seq,
-                    job.key,
-                    "ok",
-                    result=outcome.to_dict(),
-                    shard=job.shard,
+                self._phase_counts[phase] = (
+                    self._phase_counts.get(phase, 0) + 1
                 )
-                self._completed_seqs.add(job.seq)
         key = job.request.idempotency_key
         if key is not None:
             if not shed:
@@ -844,6 +956,23 @@ class FleetService:
             "resident_devices": self.host.n_resident,
             "evicted_devices": self.host.evicted,
             "admission": self.admission.stats(),
+            "latency": {
+                "requests": self._latency_n,
+                "mean_ms": (
+                    round(self._latency_total / self._latency_n * 1e3, 3)
+                    if self._latency_n
+                    else 0.0
+                ),
+                "phases": {
+                    phase: {
+                        "mean_ms": round(
+                            total / self._phase_counts[phase] * 1e3, 3
+                        ),
+                        "total_ms": round(total * 1e3, 3),
+                    }
+                    for phase, total in sorted(self._phase_totals.items())
+                },
+            },
             "durability": {
                 "journaled": self.journal is not None,
                 "journal_seq": (
@@ -882,19 +1011,23 @@ class FleetService:
                 await _respond(writer, 400, {"error": "malformed request"})
                 return
             content_length = 0
+            traceparent = None
             while True:
                 line = await reader.readline()
                 if line in (b"\r\n", b"\n", b""):
                     break
                 header = line.decode("latin-1")
-                if header.lower().startswith("content-length:"):
+                lowered = header.lower()
+                if lowered.startswith("content-length:"):
                     content_length = int(header.split(":", 1)[1].strip())
+                elif lowered.startswith(trace_ctx.TRACEPARENT_HEADER + ":"):
+                    traceparent = header.split(":", 1)[1].strip()
             body = (
                 await reader.readexactly(content_length)
                 if content_length
                 else b""
             )
-            await self._dispatch(writer, method, path, body)
+            await self._dispatch(writer, method, path, body, traceparent)
         except (asyncio.IncompleteReadError, ConnectionError):
             pass
         finally:
@@ -904,7 +1037,14 @@ class FleetService:
             except ConnectionError:
                 pass
 
-    async def _dispatch(self, writer, method: str, path: str, body: bytes):
+    async def _dispatch(
+        self,
+        writer,
+        method: str,
+        path: str,
+        body: bytes,
+        traceparent: "str | None" = None,
+    ):
         if method == "GET" and path == "/metrics":
             await _respond_text(writer, 200, metrics.registry.expose())
         elif method == "GET" and path == "/healthz":
@@ -918,14 +1058,20 @@ class FleetService:
         elif method == "GET" and path == "/stats":
             await _respond(writer, 200, self.stats())
         elif method == "POST" and path in ("/send", "/receive"):
-            await self._handle_job(writer, path, body)
+            await self._handle_job(writer, path, body, traceparent)
         elif method == "POST" and path == "/shutdown":
             asyncio.get_running_loop().call_soon(self.request_shutdown)
             await _respond(writer, 200, {"status": "draining"})
         else:
             await _respond(writer, 404, {"error": f"no route {method} {path}"})
 
-    async def _handle_job(self, writer, path: str, body: bytes) -> None:
+    async def _handle_job(
+        self,
+        writer,
+        path: str,
+        body: bytes,
+        traceparent: "str | None" = None,
+    ) -> None:
         try:
             payload = json.loads(body.decode() or "{}")
             cls = SendRequest if path == "/send" else ReceiveRequest
@@ -933,20 +1079,33 @@ class FleetService:
         except (ValueError, KeyError, TypeError, ReproError) as exc:
             await _respond(writer, 400, {"error": str(exc)})
             return
-        try:
-            result = await self.submit(request)
-        except AdmissionError as exc:
-            await _respond(
-                writer, 429, {"error": str(exc), "shard": exc.shard}
-            )
-        except ServiceStoppedError as exc:
-            await _respond(writer, 503, {"error": str(exc)})
-        except ReproError as exc:
-            await _respond(
-                writer, 500, {"error": str(exc), "type": type(exc).__name__}
-            )
-        else:
-            await _respond(writer, 200, result.to_dict())
+        # Ingress context: the traceparent header wins (its span id lets
+        # the server span parent under the client's), then the request
+        # body's trace_id, then a fresh trace for bare curl-style calls.
+        ctx = trace_ctx.from_traceparent(traceparent)
+        with trace_ctx.trace_context(
+            ctx.trace_id if ctx is not None else request.trace_id,
+            ctx.span_id if ctx is not None else None,
+            inherit=False,
+        ), telemetry.trace(
+            "service.request", path=path, device_id=request.device_id
+        ):
+            try:
+                result = await self.submit(request)
+            except AdmissionError as exc:
+                await _respond(
+                    writer, 429, {"error": str(exc), "shard": exc.shard}
+                )
+            except ServiceStoppedError as exc:
+                await _respond(writer, 503, {"error": str(exc)})
+            except ReproError as exc:
+                await _respond(
+                    writer,
+                    500,
+                    {"error": str(exc), "type": type(exc).__name__},
+                )
+            else:
+                await _respond(writer, 200, result.to_dict())
 
     def request_shutdown(self) -> None:
         """Signal-safe shutdown request: stops admission, sets the event

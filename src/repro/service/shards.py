@@ -27,12 +27,14 @@ import json
 import pathlib
 import shutil
 import threading
+import time
 from collections import OrderedDict
 from contextlib import contextmanager
 
 import numpy as np
 
 from .. import metrics, telemetry
+from ..telemetry import context as trace_ctx
 from ..api import receive_result, send_result
 from ..core.fleetcapture import capture_fleet
 from ..core.pipeline import InvisibleBits
@@ -434,6 +436,18 @@ class FleetHost:
         return h.hexdigest()[:32]
 
 
+def _job_trace(job: Job):
+    """Re-enter the job's own trace for lane-side work.
+
+    A worker batch mixes jobs from different requests, so the thread's
+    ambient context (copied from the worker task) is never the right
+    one — each job's spans must land under its submitting span.
+    """
+    return trace_ctx.trace_context(
+        job.trace_id, job.parent_span_id, inherit=False
+    )
+
+
 def _unique_groups(jobs: "list[Job]") -> "list[list[Job]]":
     """Split receives into runs with unique device ids (kernel batches)."""
     groups: "list[list[Job]]" = []
@@ -556,16 +570,29 @@ class Shard:
 
     def _execute_send(self, job: Job, outcomes: dict, lane) -> None:
         request = job.request
+        t0 = time.perf_counter()
         try:
-            channel = lane(self.host.channel(request.device_id))
-            encode = channel.send(
-                request.message,
-                stress_hours=request.stress_hours,
-                camouflage=request.camouflage,
-            )
+            with _job_trace(job), telemetry.trace(
+                "lane.execute",
+                shard=self.name,
+                kind="send",
+                device_id=request.device_id,
+            ):
+                channel = lane(self.host.channel(request.device_id))
+                encode = channel.send(
+                    request.message,
+                    stress_hours=request.stress_hours,
+                    camouflage=request.camouflage,
+                )
         except ReproError as exc:
             outcomes[id(job)] = exc
             return
+        finally:
+            if job.phases is not None:
+                job.phases["encode"] = (
+                    job.phases.get("encode", 0.0)
+                    + (time.perf_counter() - t0)
+                )
         self.host.store_payload(request.device_id, encode.payload_bits)
         outcomes[id(job)] = send_result(
             request.device_id, encode, shard=self.name
@@ -592,17 +619,36 @@ class Shard:
                 outcomes[id(job)] = exc
         if not staged:
             return
-        fleet = capture_fleet(
-            [channel.board for _, channel, _ in staged],
-            self.host.scheme.n_captures,
-            payloads=[payload for _, _, payload in staged],
-            resilient=True,
+        # A singleton group's capture belongs to that request's trace; a
+        # stacked group is shared work that cannot belong to any single
+        # request, so its span roots a trace of its own.
+        group_cm = (
+            _job_trace(staged[0][0])
+            if len(staged) == 1
+            else trace_ctx.trace_context(inherit=False)
         )
+        t_capture = time.perf_counter()
+        with group_cm, telemetry.trace(
+            "lane.capture", shard=self.name, group=len(staged)
+        ):
+            fleet = capture_fleet(
+                [channel.board for _, channel, _ in staged],
+                self.host.scheme.n_captures,
+                payloads=[payload for _, _, payload in staged],
+                resilient=True,
+            )
+        capture_s = time.perf_counter() - t_capture
         for pos, (job, channel, payload) in enumerate(staged):
             request = job.request
             extra = fleet.attempts[pos] - 1
             if extra > 0:
                 self._retries.inc(extra)
+            if job.phases is not None:
+                # Wall time the request spent waiting on the (possibly
+                # shared) capture pass — what the submitter experienced.
+                job.phases["capture"] = (
+                    job.phases.get("capture", 0.0) + capture_s
+                )
             exc = fleet.slot_errors[pos]
             if exc is not None:
                 outcomes[id(job)] = (
@@ -612,30 +658,45 @@ class Shard:
                 )
                 continue
             self._raw_ber.set(fleet.errors[pos], device=request.device_id)
+            t_decode = time.perf_counter()
             try:
-                decode = channel.decode_state(
-                    fleet.states[pos],
-                    message_len=request.message_len,
-                    expected_payload=payload,
-                    n_captures=fleet.n_captures,
-                )
-            except (CodecError, ExtractionError):
-                # The kernel's vote was undecodable; fall back to the full
-                # adaptive receive (suspect filtering + escalation) and
-                # bill the extra captures against the retry budget.
-                try:
-                    decode = channel.receive(
-                        message_len=request.message_len,
-                        expected_payload=payload,
+                with _job_trace(job), telemetry.trace(
+                    "lane.execute",
+                    shard=self.name,
+                    kind="receive",
+                    device_id=request.device_id,
+                ):
+                    try:
+                        decode = channel.decode_state(
+                            fleet.states[pos],
+                            message_len=request.message_len,
+                            expected_payload=payload,
+                            n_captures=fleet.n_captures,
+                        )
+                    except (CodecError, ExtractionError):
+                        # The kernel's vote was undecodable; fall back to
+                        # the full adaptive receive (suspect filtering +
+                        # escalation) and bill the extra captures against
+                        # the retry budget.
+                        decode = channel.receive(
+                            message_len=request.message_len,
+                            expected_payload=payload,
+                        )
+                        escalated = (
+                            decode.total_captures
+                            - self.host.scheme.n_captures
+                        )
+                        if escalated > 0:
+                            self._retries.inc(escalated)
+            except ReproError as exc2:
+                outcomes[id(job)] = exc2
+                continue
+            finally:
+                if job.phases is not None:
+                    job.phases["decode"] = (
+                        job.phases.get("decode", 0.0)
+                        + (time.perf_counter() - t_decode)
                     )
-                except ReproError as exc2:
-                    outcomes[id(job)] = exc2
-                    continue
-                escalated = (
-                    decode.total_captures - self.host.scheme.n_captures
-                )
-                if escalated > 0:
-                    self._retries.inc(escalated)
             outcomes[id(job)] = receive_result(
                 request.device_id, decode, shard=self.name
             )

@@ -33,6 +33,15 @@ from __future__ import annotations
 import atexit
 import os
 
+from . import context, traceview
+from .context import (
+    TraceContext,
+    current_trace_id,
+    from_traceparent,
+    new_trace_id,
+    to_traceparent,
+    trace_context,
+)
 from .core import (
     Span,
     TelemetryRegistry,
@@ -50,7 +59,13 @@ from .core import (
     trace,
 )
 from .sinks import ConsoleSink, JsonlSink, RingBufferSink, Sink
-from .summary import EmptyTraceError, load_records, summarize, summarize_file
+from .summary import (
+    EmptyTraceError,
+    load_records,
+    percentile,
+    summarize,
+    summarize_file,
+)
 
 __all__ = [
     "ConsoleSink",
@@ -60,25 +75,37 @@ __all__ = [
     "Sink",
     "Span",
     "TelemetryRegistry",
+    "TraceContext",
     "active",
     "add_sink",
+    "context",
     "count",
     "current_span",
+    "current_trace_id",
     "emit_record",
     "enabled",
+    "from_traceparent",
     "gauge",
     "load_records",
     "mute",
+    "new_trace_id",
+    "percentile",
     "registry",
     "remove_sink",
     "reset",
     "summarize",
     "summarize_file",
+    "to_traceparent",
     "trace",
+    "trace_context",
+    "traceview",
 ]
 
 _env_trace = os.environ.get("REPRO_TRACE")
 if _env_trace:  # pragma: no cover - exercised via CI env, not unit tests
-    _env_sink = JsonlSink(_env_trace)
+    _env_max = os.environ.get("REPRO_TRACE_MAX_BYTES")
+    _env_sink = JsonlSink(
+        _env_trace, max_bytes=int(_env_max) if _env_max else None
+    )
     add_sink(_env_sink)
     atexit.register(_env_sink.close)

@@ -9,10 +9,23 @@ lookup and a boolean test.  Attaching any sink (see
 :mod:`repro.telemetry.sinks`) turns every span and counter into an
 emitted record.
 
-Spans nest through a *thread-local* stack, so fleet workers
-(:class:`repro.harness.rack.EncodingRack`, ``encode_fleet``) trace
-independently without locks on the hot path; sink emission is the only
-serialized step.  When a span finishes, its counters fold into its
+Spans nest through a :class:`contextvars.ContextVar` stack, so they are
+correct in *both* concurrency regimes the code runs under:
+
+- plain worker threads (:class:`repro.harness.rack.EncodingRack`,
+  ``encode_fleet``) start with an empty context and trace independently,
+  exactly as the old thread-local stack behaved;
+- concurrent **asyncio tasks** sharing one event-loop thread each see
+  their own stack — the fleet-service workers used to interleave spans
+  under each other's parents; with contextvars every task (and every
+  ``asyncio.to_thread`` lane hop, which copies the context) keeps its
+  own lineage.
+
+Every span carries a ``trace_id`` — the ambient
+:class:`repro.telemetry.context.TraceContext` if one is entered, else a
+fresh id minted for the root span — so records from one request can be
+reassembled into a single tree across tasks, threads, processes and
+journal replays.  When a span finishes, its counters fold into its
 parent — a ``channel.receive`` span therefore ends holding the ECC
 correction counts its nested decode emitted, which is how
 :class:`repro.core.pipeline.DecodeResult` gets its provenance without
@@ -22,9 +35,10 @@ Record shapes (plain dicts, JSON-ready):
 
 ``span``
     ``{"type": "span", "name", "ts", "dur_ms", "status", "span_id",
-    "parent_id", "attrs": {...}, "counters": {...}}``
+    "parent_id", "trace_id", "attrs": {...}, "counters": {...}}``
 ``counter`` / ``gauge``
-    ``{"type": "counter"|"gauge", "name", "ts", "value", "span_id"}``
+    ``{"type": "counter"|"gauge", "name", "ts", "value", "span_id",
+    "trace_id"}``
 """
 
 from __future__ import annotations
@@ -33,6 +47,9 @@ import itertools
 import threading
 import time
 from contextlib import contextmanager
+from contextvars import ContextVar
+
+from . import context as trace_ctx
 
 __all__ = [
     "Span",
@@ -85,18 +102,26 @@ class Span:
         "counters",
         "span_id",
         "parent_id",
+        "trace_id",
         "status",
         "ts",
         "duration_ms",
         "_t0",
     )
 
-    def __init__(self, name: str, attrs: dict, parent_id: "int | None" = None):
+    def __init__(
+        self,
+        name: str,
+        attrs: dict,
+        parent_id: "int | None" = None,
+        trace_id: "str | None" = None,
+    ):
         self.name = name
         self.attrs = dict(attrs)
         self.counters: dict[str, float] = {}
         self.span_id = next(_SPAN_IDS)
         self.parent_id = parent_id
+        self.trace_id = trace_id
         self.status = "ok"
         self.ts = time.time()
         self.duration_ms: float | None = None
@@ -124,6 +149,7 @@ class Span:
             "status": self.status,
             "span_id": self.span_id,
             "parent_id": self.parent_id,
+            "trace_id": self.trace_id,
             "attrs": _jsonable(self.attrs),
             "counters": _jsonable(self.counters),
         }
@@ -135,6 +161,11 @@ class _NullSpan:
     __slots__ = ()
     counters: dict = {}
     attrs: dict = {}
+    #: Identity fields mirror :class:`Span` so trace-propagation call
+    #: sites (``job.trace_id = span.trace_id or ...``) need no guards.
+    span_id: "int | None" = None
+    parent_id: "int | None" = None
+    trace_id: "str | None" = None
 
     def set(self, **attrs) -> "_NullSpan":
         return self
@@ -145,6 +176,8 @@ class _NullSpan:
 
 _NULL_SPAN = _NullSpan()
 
+_EMPTY: tuple = ()
+
 
 class TelemetryRegistry:
     """Process-wide span/counter hub with pluggable sinks."""
@@ -152,7 +185,15 @@ class TelemetryRegistry:
     def __init__(self):
         self._sinks: list = []
         self._lock = threading.Lock()
-        self._local = threading.local()
+        # Immutable-tuple stacks: each push/pop replaces the value, so a
+        # task (or copied thread context) forked mid-span sees a frozen
+        # snapshot — its pops can never corrupt the parent's stack.
+        self._stack_var: ContextVar[tuple] = ContextVar(
+            "repro_telemetry_stack", default=_EMPTY
+        )
+        self._muted_var: ContextVar[int] = ContextVar(
+            "repro_telemetry_muted", default=0
+        )
 
     # -- sink management -----------------------------------------------------
 
@@ -179,38 +220,38 @@ class TelemetryRegistry:
 
     # -- span stack ----------------------------------------------------------
 
-    def _stack(self) -> list:
-        stack = getattr(self._local, "stack", None)
-        if stack is None:
-            stack = []
-            self._local.stack = stack
-        return stack
-
     def active(self) -> bool:
         """True when spans/counters would actually be recorded: a sink is
         attached, or an enclosing (possibly forced) span is collecting."""
-        if getattr(self._local, "muted", 0):
+        if self._muted_var.get():
             return False
-        return bool(self._sinks) or bool(getattr(self._local, "stack", None))
+        return bool(self._sinks) or bool(self._stack_var.get())
 
     @contextmanager
     def mute(self):
-        """Suppress recording on this thread for the duration of the block.
+        """Suppress recording in this context for the duration of the block.
 
         Speculative work — e.g. the Chase decoder hard-decoding candidate
         error patterns it will mostly discard — runs inside ``mute()`` so
         trial decodes don't inflate the ``ecc.*.corrections`` accounting
         of the one result actually delivered.  Nests; spans opened inside
         are null spans and counters are dropped."""
-        self._local.muted = getattr(self._local, "muted", 0) + 1
+        token = self._muted_var.set(self._muted_var.get() + 1)
         try:
             yield
         finally:
-            self._local.muted -= 1
+            self._muted_var.reset(token)
 
     def current_span(self) -> "Span | _NullSpan":
-        stack = getattr(self._local, "stack", None)
+        stack = self._stack_var.get()
         return stack[-1] if stack else _NULL_SPAN
+
+    def current_trace_id(self) -> "str | None":
+        """The innermost span's trace id, else the ambient context's."""
+        stack = self._stack_var.get()
+        if stack:
+            return stack[-1].trace_id
+        return trace_ctx.current_trace_id()
 
     # -- recording -----------------------------------------------------------
 
@@ -224,42 +265,55 @@ class TelemetryRegistry:
         :class:`~repro.core.pipeline.DecodeResult`, sinks or not.  Nothing
         is emitted unless a sink is attached.
         """
-        if getattr(self._local, "muted", 0):
+        if self._muted_var.get():
             yield _NULL_SPAN
             return
-        stack = self._stack()
+        stack = self._stack_var.get()
         if not force and not self._sinks and not stack:
             yield _NULL_SPAN
             return
-        span = Span(name, attrs, parent_id=stack[-1].span_id if stack else None)
-        stack.append(span)
+        if stack:
+            top = stack[-1]
+            span = Span(name, attrs, parent_id=top.span_id, trace_id=top.trace_id)
+        else:
+            ctx = trace_ctx.current()
+            if ctx is not None:
+                span = Span(
+                    name, attrs, parent_id=ctx.span_id, trace_id=ctx.trace_id
+                )
+            else:
+                span = Span(name, attrs, trace_id=trace_ctx.new_trace_id())
+        token = self._stack_var.set(stack + (span,))
         try:
             yield span
         except BaseException:
             span.status = "error"
             raise
         finally:
-            stack.pop()
+            self._stack_var.reset(token)
             span.finish()
-            if stack:
-                parent = stack[-1]
+            parent_stack = self._stack_var.get()
+            if parent_stack:
+                parent = parent_stack[-1]
                 for key, value in span.counters.items():
                     parent.counters[key] = parent.counters.get(key, 0) + value
             self._emit(span.to_record())
 
     def count(self, name: str, value: float = 1) -> None:
         """Bump a typed counter on the innermost span (and emit it)."""
-        if getattr(self._local, "muted", 0):
+        if self._muted_var.get():
             return
-        stack = getattr(self._local, "stack", None)
+        stack = self._stack_var.get()
         if not stack and not self._sinks:
             return
         if stack:
             span = stack[-1]
             span.counters[name] = span.counters.get(name, 0) + value
             span_id = span.span_id
+            trace_id = span.trace_id
         else:
             span_id = None
+            trace_id = trace_ctx.current_trace_id()
         self._emit(
             {
                 "type": "counter",
@@ -267,22 +321,25 @@ class TelemetryRegistry:
                 "ts": time.time(),
                 "value": _jsonable(value),
                 "span_id": span_id,
+                "trace_id": trace_id,
             }
         )
 
     def gauge(self, name: str, value) -> None:
         """Record an instantaneous measurement (also set as a span attr)."""
-        if getattr(self._local, "muted", 0):
+        if self._muted_var.get():
             return
-        stack = getattr(self._local, "stack", None)
+        stack = self._stack_var.get()
         if not stack and not self._sinks:
             return
         if stack:
             span = stack[-1]
             span.attrs[name] = value
             span_id = span.span_id
+            trace_id = span.trace_id
         else:
             span_id = None
+            trace_id = trace_ctx.current_trace_id()
         self._emit(
             {
                 "type": "gauge",
@@ -290,6 +347,7 @@ class TelemetryRegistry:
                 "ts": time.time(),
                 "value": _jsonable(value),
                 "span_id": span_id,
+                "trace_id": trace_id,
             }
         )
 

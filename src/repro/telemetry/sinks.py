@@ -70,20 +70,51 @@ class JsonlSink(Sink):
     ``"w"`` (default) starts fresh, ``"a"`` appends — the right choice
     when several registries (or a resumed run) share one trace file, so
     earlier records are never silently destroyed.
+
+    ``max_bytes`` caps the file size: when writing a record would push
+    the current file past the cap, the file is rotated to ``<path>.1``
+    (replacing any previous ``<path>.1``) and the record starts a fresh
+    file.  A long ``REPRO_TRACE`` soak therefore holds at most
+    ``2 * max_bytes`` of trace on disk.  One record is never split
+    across files, so both files stay valid JSONL; a record larger than
+    the cap still lands whole.  ``None`` (default) never rotates.
     """
 
-    def __init__(self, path, *, mode: str = "w"):
+    def __init__(self, path, *, mode: str = "w", max_bytes: "int | None" = None):
         if mode not in ("w", "a"):
             raise ValueError(f"mode must be 'w' or 'a', got {mode!r}")
+        if max_bytes is not None and int(max_bytes) <= 0:
+            raise ValueError(f"max_bytes must be positive, got {max_bytes!r}")
         self.path = pathlib.Path(path)
         self.mode = mode
+        self.max_bytes = None if max_bytes is None else int(max_bytes)
         self._handle = None
+        self._bytes = 0
+
+    def _open(self, mode: str) -> None:
+        self._handle = self.path.open(mode, encoding="utf-8")
+        # Appending to an existing trace resumes its byte budget.
+        self._bytes = self.path.stat().st_size if mode == "a" else 0
+
+    def _rotate(self) -> None:
+        self._handle.close()
+        self._handle = None
+        self.path.replace(self.path.with_name(self.path.name + ".1"))
+        self._open("w")
 
     def emit(self, record: dict) -> None:
         if self._handle is None:
-            self._handle = self.path.open(self.mode, encoding="utf-8")
-        self._handle.write(json.dumps(record, separators=(",", ":")) + "\n")
+            self._open(self.mode)
+        line = json.dumps(record, separators=(",", ":")) + "\n"
+        if (
+            self.max_bytes is not None
+            and self._bytes > 0
+            and self._bytes + len(line) > self.max_bytes
+        ):
+            self._rotate()
+        self._handle.write(line)
         self._handle.flush()
+        self._bytes += len(line)
 
     def close(self) -> None:
         if self._handle is not None:

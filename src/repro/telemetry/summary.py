@@ -2,7 +2,7 @@
 
 ``repro telemetry summarize out.jsonl`` renders:
 
-- per-span-name timing (count, total, mean, max);
+- per-span-name timing (count, total, mean, p50/p95/p99, max);
 - counter totals (each ``count()`` call emits exactly one counter
   record, so summing records never double-counts the copies folded into
   parent spans);
@@ -16,7 +16,35 @@ from __future__ import annotations
 import json
 import pathlib
 
-__all__ = ["EmptyTraceError", "load_records", "summarize", "summarize_file"]
+__all__ = [
+    "EmptyTraceError",
+    "load_records",
+    "percentile",
+    "summarize",
+    "summarize_file",
+]
+
+
+def percentile(values: "list[float]", q: float) -> float:
+    """The ``q``-th percentile (0..100) by linear interpolation.
+
+    Matches numpy's default (``linear``) method so summaries agree with
+    any offline analysis, without importing numpy into the stdlib-only
+    telemetry layer.  ``values`` need not be sorted; must be non-empty.
+    """
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile q must be in [0, 100], got {q!r}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (q / 100.0) * (len(ordered) - 1)
+    lower = int(rank)
+    frac = rank - lower
+    if lower + 1 >= len(ordered):
+        return ordered[-1]
+    return ordered[lower] * (1.0 - frac) + ordered[lower + 1] * frac
 
 
 class EmptyTraceError(ValueError):
@@ -106,13 +134,30 @@ def summarize(records: "list[dict]") -> str:
                 len(durs),
                 f"{sum(durs):.1f}",
                 f"{sum(durs) / len(durs):.2f}",
+                f"{percentile(durs, 50):.2f}",
+                f"{percentile(durs, 95):.2f}",
+                f"{percentile(durs, 99):.2f}",
                 f"{max(durs):.2f}",
             )
             for name, durs in sorted(by_name.items())
         ]
         out.append("")
         out.append("spans")
-        out.extend(_format_table(rows, ("name", "n", "total ms", "mean ms", "max ms")))
+        out.extend(
+            _format_table(
+                rows,
+                (
+                    "name",
+                    "n",
+                    "total ms",
+                    "mean ms",
+                    "p50 ms",
+                    "p95 ms",
+                    "p99 ms",
+                    "max ms",
+                ),
+            )
+        )
 
     if counters:
         totals: dict[str, float] = {}

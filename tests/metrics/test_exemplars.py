@@ -1,0 +1,142 @@
+"""Histogram exemplars: last-sampled trace ids per bucket."""
+
+from __future__ import annotations
+
+from repro import metrics
+from repro.metrics import MetricsRegistry, TelemetryBridge
+from repro.telemetry import trace_context
+
+T1 = "ab" * 16
+T2 = "cd" * 16
+
+
+def _histogram(registry):
+    return registry.histogram(
+        "test_latency_seconds",
+        "test distribution",
+        buckets=(0.1, 1.0),
+    )
+
+
+class TestExemplarCapture:
+    def test_explicit_exemplar_lands_in_bucket(self):
+        registry = MetricsRegistry(enabled=True)
+        hist = _histogram(registry)
+        hist.observe(0.05, exemplar=T1)
+        entry = registry.snapshot()["metrics"]["test_latency_seconds"]
+        exemplars = entry["series"][0]["exemplars"]
+        assert exemplars == {"0.1": {"trace_id": T1, "value": 0.05}}
+
+    def test_ambient_trace_context_is_the_fallback(self):
+        registry = MetricsRegistry(enabled=True)
+        hist = _histogram(registry)
+        with trace_context(T2):
+            hist.observe(0.5)
+        entry = registry.snapshot()["metrics"]["test_latency_seconds"]
+        assert entry["series"][0]["exemplars"]["1"]["trace_id"] == T2
+
+    def test_no_trace_leaves_bucket_untouched(self):
+        registry = MetricsRegistry(enabled=True)
+        hist = _histogram(registry)
+        hist.observe(0.05)
+        entry = registry.snapshot()["metrics"]["test_latency_seconds"]
+        assert "exemplars" not in entry["series"][0]
+
+    def test_last_sampled_wins_per_bucket(self):
+        registry = MetricsRegistry(enabled=True)
+        hist = _histogram(registry)
+        hist.observe(0.01, exemplar=T1)
+        hist.observe(0.02, exemplar=T2)
+        hist.observe(5.0, exemplar=T1)  # +Inf bucket keeps its own
+        entry = registry.snapshot()["metrics"]["test_latency_seconds"]
+        exemplars = entry["series"][0]["exemplars"]
+        assert exemplars["0.1"]["trace_id"] == T2
+        assert exemplars["+Inf"]["trace_id"] == T1
+
+    def test_bound_handle_carries_exemplars_too(self):
+        registry = MetricsRegistry(enabled=True)
+        hist = registry.histogram(
+            "test_labelled_seconds",
+            "labelled distribution",
+            labelnames=("device",),
+            buckets=(1.0,),
+        )
+        hist.labels(device="X").observe(0.5, exemplar=T1)
+        entry = registry.snapshot()["metrics"]["test_labelled_seconds"]
+        assert entry["series"][0]["exemplars"]["1"]["trace_id"] == T1
+
+
+class TestExemplarExposition:
+    def test_bucket_line_gets_openmetrics_suffix(self):
+        registry = MetricsRegistry(enabled=True)
+        hist = _histogram(registry)
+        hist.observe(0.05, exemplar=T1)
+        text = registry.expose()
+        line = next(
+            l for l in text.splitlines()
+            if l.startswith('test_latency_seconds_bucket{le="0.1"}')
+        )
+        assert line.endswith(f'# {{trace_id="{T1}"}} 0.05')
+
+    def test_bucket_line_without_exemplar_stays_bare(self):
+        # The suffix is strictly additive: CI greps anchored on
+        # `name_bucket{...} <count>` keep matching.
+        registry = MetricsRegistry(enabled=True)
+        hist = _histogram(registry)
+        hist.observe(0.05)
+        for line in registry.expose().splitlines():
+            if line.startswith("test_latency_seconds_bucket"):
+                assert "#" not in line.split("} ", 1)[1]
+
+
+class TestBridgeSpanLatency:
+    def _span(self, name, dur_ms, trace=T1):
+        return {
+            "type": "span",
+            "name": name,
+            "dur_ms": dur_ms,
+            "status": "ok",
+            "trace_id": trace,
+            "attrs": {},
+            "counters": {},
+        }
+
+    def test_request_path_spans_fold_into_latency_histogram(self):
+        registry = MetricsRegistry(enabled=True)
+        bridge = TelemetryBridge(registry)
+        bridge.emit(self._span("service.submit", 200.0))
+        bridge.emit(self._span("lane.capture", 40.0, trace=T2))
+        bridge.emit(self._span("unrelated.span", 9999.0))
+        entry = registry.snapshot()["metrics"]["repro_span_latency_seconds"]
+        by_span = {
+            s["labels"]["span"]: s for s in entry["series"] if s["count"]
+        }
+        assert set(by_span) == {"service.submit", "lane.capture"}
+        assert by_span["service.submit"]["sum"] == 0.2
+        # The span's own trace id rides along as the bucket exemplar.
+        assert any(
+            e["trace_id"] == T2
+            for e in by_span["lane.capture"]["exemplars"].values()
+        )
+
+    def test_monitor_breakdown_and_dashboard(self):
+        from repro.monitor import FleetMonitor
+
+        registry = MetricsRegistry(enabled=True)
+        monitor = FleetMonitor(registry=registry)
+        monitor.feed(
+            [
+                self._span("service.submit", 100.0),
+                self._span("service.submit", 300.0),
+                self._span("service.journal", 2.0, trace=T2),
+            ]
+        )
+        breakdown = monitor.latency_breakdown()
+        assert breakdown["service.submit"]["count"] == 2
+        assert breakdown["service.submit"]["mean_ms"] == 200.0
+        assert breakdown["service.journal"]["exemplar"] == T2
+        dashboard = monitor.dashboard()
+        assert "request latency" in dashboard
+        assert "service.submit" in dashboard
+        report = monitor.report()
+        assert "Request latency" in report

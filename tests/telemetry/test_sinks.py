@@ -92,6 +92,69 @@ class TestJsonlSink:
         assert len(path.read_text().splitlines()) == 2
 
 
+class TestJsonlRotation:
+    def _record(self, name, pad=0):
+        return {"type": "counter", "name": name, "value": "x" * pad}
+
+    def test_rotates_to_dot_one_at_cap(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        # Each record serializes to 63 bytes, so the cap fits two.
+        sink = JsonlSink(path, max_bytes=130)
+        for i in range(4):
+            sink.emit(self._record(f"c{i:02d}", pad=20))
+        sink.close()
+        rotated = tmp_path / "trace.jsonl.1"
+        assert rotated.exists()
+        # Every line in both files is valid JSON and nothing was lost:
+        # the rotated file holds the older records, the live file the
+        # newer ones, in emit order across the boundary.
+        names = [
+            json.loads(line)["name"]
+            for target in (rotated, path)
+            for line in target.read_text().splitlines()
+        ]
+        assert names == [f"c{i:02d}" for i in range(4)]
+        assert rotated.stat().st_size <= 130
+
+    def test_second_rotation_replaces_previous_dot_one(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = JsonlSink(path, max_bytes=80)
+        for i in range(40):
+            sink.emit(self._record(f"c{i:02d}", pad=10))
+        sink.close()
+        # Disk usage stays bounded at two files regardless of volume.
+        files = sorted(p.name for p in tmp_path.iterdir())
+        assert files == ["trace.jsonl", "trace.jsonl.1"]
+        total = path.stat().st_size + (tmp_path / "trace.jsonl.1").stat().st_size
+        assert total <= 2 * 80 + 60  # one oversize record of slack
+
+    def test_oversize_record_lands_whole(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = JsonlSink(path, max_bytes=50)
+        sink.emit(self._record("big", pad=200))
+        sink.close()
+        # A record larger than the cap is never split or dropped.
+        assert json.loads(path.read_text())["name"] == "big"
+
+    def test_append_mode_resumes_byte_budget(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        first = JsonlSink(path, max_bytes=100)
+        first.emit(self._record("a", pad=40))
+        first.close()
+        second = JsonlSink(path, mode="a", max_bytes=100)
+        second.emit(self._record("b", pad=40))
+        second.close()
+        # The resumed sink counted the existing bytes, so the second
+        # record tripped the rotation instead of blowing past the cap.
+        assert (tmp_path / "trace.jsonl.1").exists()
+
+    def test_invalid_max_bytes_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            JsonlSink(tmp_path / "t.jsonl", max_bytes=0)
+        with pytest.raises(ValueError):
+            JsonlSink(tmp_path / "t.jsonl", max_bytes=-5)
+
+
 class TestConsoleSink:
     def _render(self, record):
         stream = io.StringIO()

@@ -1,0 +1,189 @@
+"""Trace querying (``repro trace``) and summary percentiles."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.telemetry import percentile, summarize
+from repro.telemetry.traceview import (
+    critical_path,
+    group_traces,
+    render_critical_path,
+    render_search,
+    render_tree,
+    resolve_trace_id,
+    search_traces,
+    summarize_trace,
+)
+
+T1 = "a1" * 16
+T2 = "b2" * 16
+
+
+def _span(name, *, trace, span_id, parent=None, ts=0.0, dur=1.0, status="ok",
+          counters=None):
+    return {
+        "type": "span",
+        "name": name,
+        "ts": ts,
+        "dur_ms": dur,
+        "status": status,
+        "span_id": span_id,
+        "parent_id": parent,
+        "trace_id": trace,
+        "attrs": {},
+        "counters": counters or {},
+    }
+
+
+@pytest.fixture
+def fixture_records():
+    """Two traces: a 4-span request tree and a later, slower errored one."""
+    return [
+        # trace 1: root(10ms) -> submit(8ms) -> {capture(5ms), journal(1ms)}
+        _span("service.request", trace=T1, span_id=1, ts=100.0, dur=10.0),
+        _span("service.submit", trace=T1, span_id=2, parent=1, ts=100.1, dur=8.0),
+        _span("lane.capture", trace=T1, span_id=3, parent=2, ts=100.2, dur=5.0,
+              counters={"captures": 3}),
+        _span("service.journal", trace=T1, span_id=4, parent=2, ts=100.3, dur=1.0),
+        # trace 2: a slower, failed request
+        _span("service.request", trace=T2, span_id=5, ts=200.0, dur=50.0,
+              status="error"),
+        _span("service.submit", trace=T2, span_id=6, parent=5, ts=200.1, dur=45.0,
+              status="error"),
+        # noise the grouper must skip
+        {"type": "counter", "name": "loose", "value": 1, "trace_id": T1},
+        _span("legacy.span", trace=None, span_id=7),
+    ]
+
+
+class TestGrouping:
+    def test_groups_by_trace_skipping_untraced(self, fixture_records):
+        traces = group_traces(fixture_records)
+        assert set(traces) == {T1, T2}
+        assert len(traces[T1]) == 4
+        assert len(traces[T2]) == 2
+
+    def test_summary_of_a_tree(self, fixture_records):
+        summary = summarize_trace(T1, group_traces(fixture_records)[T1])
+        assert summary.spans == 4
+        assert summary.roots == 1
+        assert summary.root_name == "service.request"
+        assert summary.duration_ms == 10.0
+        assert summary.status == "ok"
+        assert summary.complete
+
+    def test_missing_parent_is_still_a_local_root(self):
+        # A server-side tree whose client spans live in another file:
+        # the top server span is the local root, the trace still renders.
+        orphan = _span("service.request", trace=T1, span_id=9, parent=999)
+        summary = summarize_trace(T1, [orphan])
+        assert summary.complete
+        assert summary.root_name == "service.request"
+
+    def test_parent_cycle_is_incomplete(self):
+        looped = [
+            _span("a", trace=T1, span_id=8, parent=9),
+            _span("b", trace=T1, span_id=9, parent=8),
+        ]
+        summary = summarize_trace(T1, looped)
+        assert not summary.complete
+
+
+class TestSearch:
+    def test_ordered_by_start_time(self, fixture_records):
+        out = search_traces(fixture_records)
+        assert [s.trace_id for s in out] == [T1, T2]
+
+    def test_filters(self, fixture_records):
+        assert [s.trace_id for s in search_traces(fixture_records, status="error")] == [T2]
+        assert [s.trace_id for s in search_traces(fixture_records, min_dur_ms=20)] == [T2]
+        assert [s.trace_id for s in search_traces(fixture_records, name="lane.capture")] == [T1]
+        assert [s.trace_id for s in search_traces(fixture_records, trace_id=T1[:8])] == [T1]
+
+    def test_limit_keeps_slowest(self, fixture_records):
+        out = search_traces(fixture_records, limit=1)
+        assert [s.trace_id for s in out] == [T2]
+
+    def test_render(self, fixture_records):
+        text = render_search(search_traces(fixture_records))
+        assert "2 trace(s)" in text
+        assert T1 in text and T2 in text
+        assert "service.request" in text
+        assert render_search([]) == "no traces matched"
+
+    def test_resolve_prefix(self, fixture_records):
+        assert resolve_trace_id(fixture_records, T1[:6]) == T1
+        with pytest.raises(ValueError):
+            resolve_trace_id(fixture_records, "ffff")
+        # Ambiguous prefix: both ids share no prefix here, so fabricate.
+        records = [
+            _span("x", trace="cc" * 16, span_id=1),
+            _span("y", trace="cc" * 15 + "dd", span_id=2),
+        ]
+        with pytest.raises(ValueError):
+            resolve_trace_id(records, "cccc")
+
+
+class TestTreeAndCriticalPath:
+    def test_tree_renders_nested(self, fixture_records):
+        text = render_tree(fixture_records, T1[:8])
+        lines = text.splitlines()
+        assert lines[0].startswith(f"trace {T1}: 4 span(s)")
+        assert lines[1].startswith("service.request")
+        assert lines[2].startswith("  service.submit")
+        # Children indent under their parent, siblings in ts order.
+        assert lines[3].startswith("    lane.capture")
+        assert "(captures=3)" in lines[3]
+        assert lines[4].startswith("    service.journal")
+
+    def test_error_status_marked(self, fixture_records):
+        text = render_tree(fixture_records, T2)
+        assert "[error]" in text
+
+    def test_critical_path_descends_heaviest_child(self, fixture_records):
+        path = critical_path(group_traces(fixture_records)[T1])
+        names = [span["name"] for span, _ in path]
+        assert names == ["service.request", "service.submit", "lane.capture"]
+        # Self-times: 10-8=2, 8-5=3, then the leaf keeps its full 5.
+        selfs = [self_ms for _, self_ms in path]
+        assert selfs == [2.0, 3.0, 5.0]
+
+    def test_render_single_and_aggregate(self, fixture_records):
+        single = render_critical_path(fixture_records, T1[:4])
+        assert single.startswith(f"critical path of trace {T1}")
+        assert "lane.capture" in single
+        aggregate = render_critical_path(fixture_records)
+        assert aggregate.startswith("aggregate critical path over 2 trace(s)")
+        assert "service.submit" in aggregate
+        assert render_critical_path([]) == "no traces found"
+
+
+class TestPercentiles:
+    def test_interpolation_matches_numpy(self):
+        import numpy as np
+
+        values = [5.0, 1.0, 9.0, 3.0, 7.0, 2.0]
+        for q in (0, 25, 50, 75, 90, 95, 99, 100):
+            assert percentile(values, q) == pytest.approx(
+                float(np.percentile(values, q))
+            )
+
+    def test_edges(self):
+        assert percentile([4.0], 99) == 4.0
+        with pytest.raises(ValueError):
+            percentile([], 50)
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+
+    def test_summarize_reports_percentiles(self, fixture_records):
+        # Satellite: `repro telemetry summarize` shows p50/p95/p99 per
+        # span name over the fixture trace.
+        text = summarize(fixture_records)
+        assert "p50 ms" in text and "p95 ms" in text and "p99 ms" in text
+        row = next(
+            line for line in text.splitlines()
+            if line.strip().startswith("service.request")
+        )
+        # Two service.request spans of 10ms and 50ms: p50 = 30ms.
+        assert "30.00" in row

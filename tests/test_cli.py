@@ -435,3 +435,83 @@ class TestServeAndLoadCommands:
         assert code == 1
         captured = capsys.readouterr()
         assert "soak failed" in captured.err
+
+
+class TestTraceCommand:
+    def test_search_lists_roundtrip_traces(self, traced_run, capsys):
+        trace, _ = traced_run
+        assert main(["trace", "search", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "trace(s)" in out
+        assert "channel.send" in out
+
+    def test_search_no_match_exits_1(self, traced_run, capsys):
+        trace, _ = traced_run
+        code = main([
+            "trace", "search", str(trace), "--min-dur-ms", "1e12",
+        ])
+        assert code == 1
+        assert "no traces matched" in capsys.readouterr().out
+
+    def test_search_missing_file_exits_2(self, tmp_path, capsys):
+        assert main(["trace", "search", str(tmp_path / "no.jsonl")]) == 2
+        assert "no such trace file" in capsys.readouterr().err
+
+    def test_show_renders_tree_from_prefix(self, traced_run, capsys):
+        from repro.telemetry import load_records, traceview
+
+        trace, _ = traced_run
+        summaries = traceview.search_traces(
+            load_records(trace), name="channel.send"
+        )
+        assert summaries
+        trace_id = summaries[0].trace_id
+        assert main(["trace", "show", str(trace), trace_id[:10]]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith(f"trace {trace_id}:")
+        assert "channel.send" in out
+
+    def test_show_without_id_exits_2(self, traced_run, capsys):
+        trace, _ = traced_run
+        assert main(["trace", "show", str(trace)]) == 2
+        assert "TRACE_ID" in capsys.readouterr().err
+
+    def test_show_unknown_id_exits_2(self, traced_run, capsys):
+        trace, _ = traced_run
+        assert main(["trace", "show", str(trace), "ffffffff"]) == 2
+        assert "no trace matching" in capsys.readouterr().err
+
+    def test_critical_path_aggregate(self, traced_run, capsys):
+        trace, _ = traced_run
+        assert main(["trace", "critical-path", str(trace)]) == 0
+        assert "aggregate critical path" in capsys.readouterr().out
+
+    def test_critical_path_single_trace(self, traced_run, capsys):
+        from repro.telemetry import load_records, traceview
+
+        trace, _ = traced_run
+        trace_id = traceview.search_traces(load_records(trace))[0].trace_id
+        code = main(["trace", "critical-path", str(trace), trace_id])
+        assert code == 0
+        assert f"critical path of trace {trace_id}" in capsys.readouterr().out
+
+
+class TestProfileOutOption:
+    def test_profiles_any_command(self, tmp_path, capsys):
+        out = tmp_path / "profile.txt"
+        code = main([
+            "--profile-out", str(out), "roundtrip", "--fast",
+            "--sram-kib", "2", "--message", "hi",
+        ])
+        assert code == 0
+        text = out.read_text()
+        assert "# repro-profile mode=wall" in text
+
+    def test_profile_mode_cpu(self, tmp_path):
+        out = tmp_path / "profile.txt"
+        code = main([
+            "--profile-out", str(out), "--profile-mode", "cpu",
+            "list-devices",
+        ])
+        assert code == 0
+        assert "mode=cpu" in out.read_text()
